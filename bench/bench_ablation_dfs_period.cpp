@@ -1,0 +1,89 @@
+// Ablation: DFS period.
+//
+// The paper fixes the window at 100 ms. This sweep rebuilds the Phase-1
+// table for several window lengths and shows the tradeoff: shorter windows
+// let Pro-Temp track the workload more tightly (higher safe frequencies
+// from hot starts, since less can go wrong before the next decision) while
+// longer windows must be provisioned for the worst case; for Basic-DFS,
+// longer windows mean later trip detection and larger overshoots.
+//
+//   ./bench_ablation_dfs_period [--duration=45] [--seed=2008]
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  using namespace protemp::bench;
+  try {
+    util::CliArgs args(argc, argv);
+    const double duration = args.get_double("duration", 45.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2008));
+    args.check_unknown();
+
+    const workload::TaskTrace trace = compute_trace(duration, seed);
+    sim::FirstIdleAssignment assignment;
+
+    util::AsciiTable table({"period [ms]", "protemp safe@85C [MHz]",
+                            "protemp viol [%]", "basic viol [%]",
+                            "basic max [degC]"});
+    begin_csv("ablation_dfs_period");
+    util::CsvWriter csv(std::cout);
+    csv.header({"period_ms", "protemp_safe_mhz_at_85", "protemp_violation",
+                "basic_violation", "basic_max_temp"});
+
+    bool protemp_always_safe = true;
+    for (const double period_ms : {25.0, 50.0, 100.0, 200.0}) {
+      const double period = util::ms(period_ms);
+
+      core::ProTempConfig opt_config = paper_optimizer_config(false);
+      opt_config.dfs_period = period;
+      const core::ProTempOptimizer optimizer(platform(), opt_config);
+      const auto safe = optimizer.max_supported_frequency(85.0);
+      const double safe_mhz =
+          safe ? util::to_mhz(safe->average_frequency) : 0.0;
+
+      const core::FrequencyTable lut = core::FrequencyTable::build(
+          optimizer, paper_tstart_grid(), paper_ftarget_grid());
+
+      PaperSetup setup;
+      setup.dfs_period = period;
+      const sim::SimConfig sim_config = paper_sim_config(setup);
+
+      core::ProTempPolicy protemp(lut);
+      const sim::SimResult pt =
+          run_policy(protemp, assignment, trace, duration, sim_config);
+      core::BasicDfsPolicy basic({90.0, false});
+      const sim::SimResult bd =
+          run_policy(basic, assignment, trace, duration, sim_config);
+
+      table.add_row({util::format_fixed(period_ms, 0),
+                     util::format_fixed(safe_mhz, 0),
+                     util::format_fixed(
+                         100.0 * pt.metrics.violation_fraction(), 3),
+                     util::format_fixed(
+                         100.0 * bd.metrics.violation_fraction(), 2),
+                     util::format_fixed(bd.metrics.max_temp_seen(), 1)});
+      csv.row_numeric({period_ms, safe_mhz,
+                       pt.metrics.violation_fraction(),
+                       bd.metrics.violation_fraction(),
+                       bd.metrics.max_temp_seen()}, 6);
+      if (pt.metrics.violation_fraction() > 0.0) protemp_always_safe = false;
+    }
+    end_csv();
+    table.render(std::cout, "ablation: DFS period");
+
+    std::printf("\nshape check (Pro-Temp safe at every period): %s\n",
+                protemp_always_safe ? "PASS" : "FAIL");
+    return protemp_always_safe ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+// Ablation: weight of the gradient term in the objective (Eq. 5).
+//
+// The paper simply adds tgrad to the power sum; this sweep shows the
+// power/uniformity tradeoff that choice sits on: heavier weights buy a
+// tighter spatial spread at (slightly) higher total power, because the
+// middle cores must slow down and the periphery must speed up relative to
+// the power-optimal assignment.
+//
+//   ./bench_ablation_gradient_weight [--tstart=70] [--ftarget-mhz=600]
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  using namespace protemp::bench;
+  try {
+    util::CliArgs args(argc, argv);
+    const double tstart = args.get_double("tstart", 70.0);
+    const double ftarget = util::mhz(args.get_double("ftarget-mhz", 600.0));
+    args.check_unknown();
+
+    util::AsciiTable table({"weight", "total power [W]", "tgrad [K]",
+                            "avg freq [MHz]", "newton iters"});
+    begin_csv("ablation_gradient_weight");
+    util::CsvWriter csv(std::cout);
+    csv.header({"weight", "power_w", "tgrad_k", "avg_mhz"});
+
+    double prev_tgrad = 1e300;
+    double prev_power = 0.0;
+    bool tgrad_monotone = true;
+    bool power_monotone = true;
+    for (const double weight : {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0}) {
+      core::ProTempConfig config = paper_optimizer_config(true);
+      config.gradient_weight = weight;
+      const core::ProTempOptimizer optimizer(platform(), config);
+      const core::FrequencyAssignment result =
+          optimizer.solve(tstart, ftarget);
+      if (!result.feasible) {
+        table.add_row({util::format("%g", weight), "-", "-", "-", "-"});
+        continue;
+      }
+      table.add_row({util::format("%g", weight),
+                     util::format_fixed(result.total_power, 4),
+                     util::format_fixed(result.tgrad, 4),
+                     util::format_fixed(
+                         util::to_mhz(result.average_frequency), 1),
+                     std::to_string(result.newton_iterations)});
+      csv.row_numeric({weight, result.total_power, result.tgrad,
+                       util::to_mhz(result.average_frequency)}, 6);
+      if (result.tgrad > prev_tgrad + 1e-6) tgrad_monotone = false;
+      if (result.total_power + 1e-9 < prev_power) power_monotone = false;
+      prev_tgrad = result.tgrad;
+      prev_power = result.total_power;
+    }
+    end_csv();
+    table.render(std::cout, "ablation: gradient weight (Eq. 5)");
+
+    const bool ok = tgrad_monotone && power_monotone;
+    std::printf("\nshape check (tgrad non-increasing, power non-decreasing "
+                "in weight): %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

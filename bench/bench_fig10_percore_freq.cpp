@@ -1,0 +1,71 @@
+// Figure 10: per-core operating frequency computed by the convex program,
+// for the periphery core P1 and the sandwiched core P2, across starting
+// temperatures (variable assignment mode).
+//
+// Expected shape: P1 (next to a cool L2 bank) runs significantly faster
+// than P2 (cores on both sides) at every binding temperature, because P1's
+// heat has somewhere to go (Sec. 5.3).
+//
+//   ./bench_fig10_percore_freq
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  using namespace protemp::bench;
+  try {
+    util::CliArgs args(argc, argv);
+    args.check_unknown();
+
+    const core::ProTempOptimizer optimizer(platform(),
+                                           paper_optimizer_config(false));
+
+    util::AsciiTable fig(
+        {"tstart [degC]", "P1 [MHz]", "P2 [MHz]", "P1/P2"});
+    begin_csv("fig10_percore_freq");
+    util::CsvWriter csv(std::cout);
+    csv.header({"tstart", "p1_mhz", "p2_mhz"});
+
+    bool periphery_faster = true;
+    bool saw_binding_point = false;
+    for (double tstart = 27.0; tstart <= 97.0 + 1e-9; tstart += 10.0) {
+      const auto result = optimizer.max_supported_frequency(tstart);
+      if (!result) {
+        fig.add_row({util::format_fixed(tstart, 0), "-", "-", "-"});
+        csv.row_numeric({tstart, 0.0, 0.0}, 6);
+        continue;
+      }
+      const double p1 = util::to_mhz(result->frequencies[0]);
+      const double p2 = util::to_mhz(result->frequencies[1]);
+      fig.add_row({util::format_fixed(tstart, 0), util::format_fixed(p1, 0),
+                   util::format_fixed(p2, 0),
+                   util::format_fixed(p2 > 0 ? p1 / p2 : 0.0, 3)});
+      csv.row_numeric({tstart, p1, p2}, 6);
+      // At a binding point the optimizer has to differentiate the cores;
+      // where the constraint is slack both sit at fmax.
+      const bool binding = p1 < util::to_mhz(platform().fmax()) - 1.0;
+      if (binding) {
+        saw_binding_point = true;
+        if (p1 <= p2) periphery_faster = false;
+      }
+    }
+    end_csv();
+    fig.render(std::cout,
+               "Fig. 10: per-core frequency (P1 periphery vs P2 middle)");
+
+    const bool ok = saw_binding_point && periphery_faster;
+    std::printf("\nshape check (P1 > P2 wherever constraints bind): %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

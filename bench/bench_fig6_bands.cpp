@@ -1,0 +1,87 @@
+// Figure 6: percentage of time the cores spend in each temperature band,
+// for (a) the mixed benchmark and (b) the most computation-intensive
+// benchmark, under No-TC (the paper's "No-DFS" reference), Basic-DFS and
+// Pro-Temp.
+//
+// Expected shape: No-TC and Basic-DFS spend significant time above
+// 100 degC on the compute-heavy load (paper: up to ~40 % for Basic-DFS);
+// Pro-Temp spends exactly none.
+//
+//   ./bench_fig6_bands [--duration=90] [--seed=2008]
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  using namespace protemp::bench;
+  try {
+    util::CliArgs args(argc, argv);
+    const double duration = args.get_double("duration", 90.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2008));
+    args.check_unknown();
+
+    const sim::SimConfig config = paper_sim_config();
+    sim::FirstIdleAssignment assignment;
+
+    const char* band_names[] = {"<80", "80-90", "90-100", ">100"};
+
+    begin_csv("fig6_bands");
+    util::CsvWriter csv(std::cout);
+    csv.header({"workload", "policy", "band", "fraction"});
+
+    double protemp_over_limit = 0.0;
+    double basic_over_limit_compute = 0.0;
+
+    for (const bool compute : {false, true}) {
+      const workload::TaskTrace trace =
+          compute ? compute_trace(duration, seed)
+                  : mixed_trace(duration, seed);
+      const char* workload_name = compute ? "compute" : "mixed";
+
+      core::NoTcPolicy no_tc;
+      core::BasicDfsPolicy basic({90.0, false});
+      core::ProTempPolicy protemp(paper_table(/*gradient=*/true));
+      sim::DfsPolicy* policies[] = {&no_tc, &basic, &protemp};
+
+      util::AsciiTable fig({"policy", "<80", "80-90", "90-100", ">100"});
+      for (sim::DfsPolicy* policy : policies) {
+        const sim::SimResult result =
+            run_policy(*policy, assignment, trace, duration, config);
+        const auto bands = result.metrics.band_fractions();
+        std::vector<std::string> row = {policy->name()};
+        for (std::size_t b = 0; b < bands.size(); ++b) {
+          row.push_back(util::format_fixed(bands[b], 3));
+          csv.row({workload_name, policy->name(), band_names[b],
+                   util::format("%.6f", bands[b])});
+        }
+        fig.add_row(std::move(row));
+        if (policy == &protemp) {
+          protemp_over_limit = std::max(protemp_over_limit, bands.back());
+        }
+        if (policy == &basic && compute) {
+          basic_over_limit_compute = bands.back();
+        }
+      }
+      fig.render(std::cout,
+                 std::string("Fig. 6") + (compute ? "(b) compute" : "(a) mixed") +
+                     ": normalized time per temperature band");
+      std::printf("\n");
+    }
+    end_csv();
+
+    const bool ok =
+        protemp_over_limit == 0.0 && basic_over_limit_compute > 0.0;
+    std::printf("shape check (Pro-Temp never >100C, Basic-DFS >100C on "
+                "compute): %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,74 @@
+// Figure 8: temperatures of processors P1 and P2 over time under Pro-Temp.
+//
+// The paper's point: with the Eq. (4)-(5) gradient machinery active, the
+// spatial temperature difference between a periphery core (P1) and a middle
+// core (P2) stays small. We reproduce the two time series and additionally
+// quantify the gradient with and without the tgrad term (the ablation the
+// paper implies).
+//
+//   ./bench_fig8_gradient [--duration=60] [--seed=2008]
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  using namespace protemp::bench;
+  try {
+    util::CliArgs args(argc, argv);
+    const double duration = args.get_double("duration", 60.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2008));
+    args.check_unknown();
+
+    sim::SimConfig config = paper_sim_config();
+    config.trace_sample_period = 0.1;
+    sim::FirstIdleAssignment assignment;
+    const workload::TaskTrace trace = mixed_trace(duration, seed);
+
+    core::ProTempPolicy with_gradient(paper_table(/*gradient=*/true));
+    const sim::SimResult fig8 =
+        run_policy(with_gradient, assignment, trace, duration, config);
+
+    core::ProTempPolicy without_gradient(paper_table(/*gradient=*/false));
+    const sim::SimResult no_grad =
+        run_policy(without_gradient, assignment, trace, duration, config);
+
+    begin_csv("fig8_gradient");
+    util::CsvWriter csv(std::cout);
+    csv.header({"time_s", "p1_degC", "p2_degC"});
+    for (const auto& sample : fig8.temperature_trace) {
+      csv.row_numeric({sample.time, sample.core_temps[0],
+                       sample.core_temps[1]}, 6);
+    }
+    end_csv();
+
+    util::AsciiTable summary({"variant", "mean gradient [K]",
+                              "max gradient [K]", "max temp [degC]"});
+    summary.add_row(
+        {"pro-temp (tgrad on)",
+         util::format_fixed(fig8.metrics.mean_spatial_gradient(), 3),
+         util::format_fixed(fig8.metrics.max_spatial_gradient(), 3),
+         util::format_fixed(fig8.metrics.max_temp_seen(), 2)});
+    summary.add_row(
+        {"pro-temp (tgrad off)",
+         util::format_fixed(no_grad.metrics.mean_spatial_gradient(), 3),
+         util::format_fixed(no_grad.metrics.max_spatial_gradient(), 3),
+         util::format_fixed(no_grad.metrics.max_temp_seen(), 2)});
+    summary.render(std::cout, "Fig. 8: P1/P2 gradient under Pro-Temp");
+
+    const bool ok = fig8.metrics.max_temp_seen() <= config.tmax + 1e-3 &&
+                    fig8.metrics.mean_spatial_gradient() <=
+                        no_grad.metrics.mean_spatial_gradient() + 0.05;
+    std::printf("\nshape check (low gradient, never above tmax): %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

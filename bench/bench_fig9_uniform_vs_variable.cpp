@@ -1,0 +1,68 @@
+// Figure 9: highest supportable average frequency vs. starting temperature,
+// for the uniform and variable frequency assignment policies (Sec. 5.3).
+//
+// Expected shape: both curves decrease with temperature; the variable
+// (non-uniform) assignment supports at least as high an average frequency
+// at every point, with the advantage growing as the thermal constraints
+// tighten (middle cores throttle, periphery cores compensate).
+//
+//   ./bench_fig9_uniform_vs_variable
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  using namespace protemp::bench;
+  try {
+    util::CliArgs args(argc, argv);
+    args.check_unknown();
+
+    core::ProTempConfig variable_config = paper_optimizer_config(false);
+    core::ProTempConfig uniform_config = variable_config;
+    uniform_config.uniform_frequency = true;
+
+    const core::ProTempOptimizer variable(platform(), variable_config);
+    const core::ProTempOptimizer uniform(platform(), uniform_config);
+
+    util::AsciiTable fig({"tstart [degC]", "uniform [MHz]",
+                          "variable [MHz]", "advantage [MHz]"});
+    begin_csv("fig9_uniform_vs_variable");
+    util::CsvWriter csv(std::cout);
+    csv.header({"tstart", "uniform_mhz", "variable_mhz"});
+
+    bool monotone = true;
+    bool variable_wins = true;
+    double prev_var = 1e18;
+    // The paper sweeps 27..97 degC.
+    for (double tstart = 27.0; tstart <= 97.0 + 1e-9; tstart += 10.0) {
+      const auto u = uniform.max_supported_frequency(tstart);
+      const auto v = variable.max_supported_frequency(tstart);
+      const double u_mhz = u ? util::to_mhz(u->average_frequency) : 0.0;
+      const double v_mhz = v ? util::to_mhz(v->average_frequency) : 0.0;
+      fig.add_row({util::format_fixed(tstart, 0),
+                   util::format_fixed(u_mhz, 0), util::format_fixed(v_mhz, 0),
+                   util::format_fixed(v_mhz - u_mhz, 0)});
+      csv.row_numeric({tstart, u_mhz, v_mhz}, 6);
+      if (v_mhz > prev_var + 1.0) monotone = false;
+      prev_var = v_mhz;
+      if (v_mhz + 1.0 < u_mhz) variable_wins = false;
+    }
+    end_csv();
+    fig.render(std::cout,
+               "Fig. 9: max supportable average frequency vs tstart");
+
+    std::printf("\nshape check (both decreasing, variable >= uniform): %s\n",
+                (monotone && variable_wins) ? "PASS" : "FAIL");
+    return (monotone && variable_wins) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,155 @@
+// Micro-kernel benchmarks: the hot inner loops under the experiments.
+//
+//   * dense Cholesky and weighted-Gram products (barrier Newton steps),
+//   * one thermal Euler step and the exact-discretization construction,
+//   * horizon-map building,
+//   * a small QP solve,
+//   * simulator step rate and trace generation throughput.
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "convex/qp.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/expm.hpp"
+#include "thermal/model.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace protemp;
+using namespace protemp::bench;
+using linalg::Matrix;
+using linalg::Vector;
+
+Matrix random_spd(std::size_t n, util::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  }
+  Matrix spd = a.transposed() * a;
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  return spd;
+}
+
+void BM_CholeskyFactor(benchmark::State& state) {
+  util::Rng rng(42);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Matrix a = random_spd(n, rng);
+  for (auto _ : state) {
+    auto chol = linalg::Cholesky::factor(a);
+    benchmark::DoNotOptimize(chol);
+  }
+}
+BENCHMARK(BM_CholeskyFactor)->Arg(9)->Arg(32)->Arg(64);
+
+void BM_GramWeighted(benchmark::State& state) {
+  // The barrier solver's dominant cost: G^T diag(w) G with the Pro-Temp
+  // constraint matrix shape (rows x 9 variables).
+  util::Rng rng(43);
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Matrix g(rows, 9);
+  Vector w(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) g(i, j) = rng.normal();
+    w[i] = rng.uniform(0.1, 2.0);
+  }
+  for (auto _ : state) {
+    const Matrix h = g.gram_weighted(w);
+    benchmark::DoNotOptimize(h.max_abs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows));
+}
+BENCHMARK(BM_GramWeighted)->Arg(2000)->Arg(16000);
+
+void BM_ThermalEulerStep(benchmark::State& state) {
+  const thermal::ThermalModel model(platform().network(), 0.4e-3);
+  Vector t(platform().num_nodes(), 60.0);
+  const Vector p = platform().full_power(Vector(8, 2.0));
+  for (auto _ : state) {
+    t = model.step(t, p);
+    benchmark::DoNotOptimize(t[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThermalEulerStep);
+
+void BM_ExactDiscretization(benchmark::State& state) {
+  const thermal::ThermalModel model(platform().network(), 0.4e-3);
+  for (auto _ : state) {
+    const auto disc = model.exact_discretization(0.1);
+    benchmark::DoNotOptimize(disc.a.max_abs());
+  }
+}
+BENCHMARK(BM_ExactDiscretization)->Unit(benchmark::kMillisecond);
+
+void BM_HorizonMapBuild(benchmark::State& state) {
+  const thermal::ThermalModel model(platform().network(), 0.4e-3);
+  const auto steps = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto map = thermal::build_horizon_map(
+        model, steps, platform().core_nodes(), platform().core_nodes(),
+        platform().background_power());
+    benchmark::DoNotOptimize(map.steps());
+  }
+}
+BENCHMARK(BM_HorizonMapBuild)->Arg(250)->Unit(benchmark::kMillisecond);
+
+void BM_QpSolve(benchmark::State& state) {
+  // Random strictly-feasible QP of the size sweep.
+  util::Rng rng(44);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  convex::QpProblem qp;
+  qp.p = random_spd(n, rng);
+  qp.q = Vector(n);
+  for (auto& v : qp.q) v = rng.normal();
+  qp.g = Matrix(2 * n, n);
+  qp.h = Vector(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) qp.g(i, j) = rng.normal();
+    qp.h[i] = rng.uniform(0.5, 2.0);
+  }
+  for (auto _ : state) {
+    const auto sol = convex::solve_qp(qp);
+    benchmark::DoNotOptimize(sol.objective);
+  }
+}
+BENCHMARK(BM_QpSolve)->Arg(8)->Arg(32);
+
+void BM_SimulatorSecond(benchmark::State& state) {
+  // One simulated second (2500 steps at 0.4 ms) of the full pipeline under
+  // a fixed-frequency policy and a steady queue.
+  class Fixed final : public sim::DfsPolicy {
+   public:
+    std::string name() const override { return "fixed"; }
+    Vector on_window(const sim::ControllerView& view) override {
+      return Vector(view.num_cores, 0.6e9);
+    }
+  };
+  std::vector<workload::Task> tasks;
+  for (int i = 0; i < 4000; ++i) tasks.push_back({0, 0.0, 5e-3, 0});
+  const workload::TaskTrace trace(std::move(tasks), "bench");
+  const sim::SimConfig config = paper_sim_config();
+  sim::MulticoreSimulator simulator(platform(), config);
+  Fixed policy;
+  sim::FirstIdleAssignment assignment;
+  for (auto _ : state) {
+    const auto result = simulator.run(trace, policy, assignment, 1.0);
+    benchmark::DoNotOptimize(result.tasks_completed);
+  }
+  state.SetLabel("2500 thermal+exec steps");
+}
+BENCHMARK(BM_SimulatorSecond)->Unit(benchmark::kMillisecond);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto trace = workload::make_mixed_trace(10.0, 7);
+    benchmark::DoNotOptimize(trace.size());
+  }
+  state.SetLabel("10 s mixed trace");
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Section 5.1: design-time solver cost (google-benchmark).
+//
+// The paper reports that CVX takes "less than 2 minutes" per
+// (tstart, ftarget) point and "a few hours" for the full Phase-1 sweep.
+// These benchmarks time our dense log-barrier solver on the same programs:
+// single points (variable/uniform, with and without the gradient term), the
+// max-throughput solve behind Fig. 9, and optimizer construction (horizon
+// map precomputation).
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace protemp;
+using namespace protemp::bench;
+
+const core::ProTempOptimizer& variable_optimizer(bool gradient) {
+  static const core::ProTempOptimizer with_grad(
+      platform(), paper_optimizer_config(true));
+  static const core::ProTempOptimizer without_grad(
+      platform(), paper_optimizer_config(false));
+  return gradient ? with_grad : without_grad;
+}
+
+void BM_SolvePoint_Variable(benchmark::State& state) {
+  const bool gradient = state.range(0) != 0;
+  const double tstart = static_cast<double>(state.range(1));
+  const auto& optimizer = variable_optimizer(gradient);
+  for (auto _ : state) {
+    const auto result = optimizer.solve(tstart, util::mhz(500.0));
+    benchmark::DoNotOptimize(result.average_frequency);
+  }
+  state.SetLabel(gradient ? "gradient-on" : "gradient-off");
+}
+BENCHMARK(BM_SolvePoint_Variable)
+    ->Args({0, 60})
+    ->Args({0, 90})
+    ->Args({1, 60})
+    ->Args({1, 90})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SolvePoint_Uniform(benchmark::State& state) {
+  core::ProTempConfig config = paper_optimizer_config(false);
+  config.uniform_frequency = true;
+  const core::ProTempOptimizer optimizer(platform(), config);
+  for (auto _ : state) {
+    const auto result =
+        optimizer.solve(static_cast<double>(state.range(0)),
+                        util::mhz(500.0));
+    benchmark::DoNotOptimize(result.average_frequency);
+  }
+}
+BENCHMARK(BM_SolvePoint_Uniform)->Arg(60)->Arg(90)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MaxThroughput(benchmark::State& state) {
+  const auto& optimizer = variable_optimizer(false);
+  for (auto _ : state) {
+    const auto result = optimizer.max_supported_frequency(
+        static_cast<double>(state.range(0)));
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MaxThroughput)->Arg(47)->Arg(77)->Arg(97)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OptimizerConstruction(benchmark::State& state) {
+  // Horizon-map precomputation (250 steps x full state recursions).
+  for (auto _ : state) {
+    const core::ProTempOptimizer optimizer(platform(),
+                                           paper_optimizer_config(true));
+    benchmark::DoNotOptimize(optimizer.num_linear_rows());
+  }
+}
+BENCHMARK(BM_OptimizerConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_FullTableBuild_CoarseGrid(benchmark::State& state) {
+  // A 4x4 sub-grid of the paper sweep; scales linearly to the full grid.
+  const auto& optimizer = variable_optimizer(false);
+  for (auto _ : state) {
+    const auto table = core::FrequencyTable::build(
+        optimizer, {50.0, 70.0, 90.0, 100.0},
+        {util::mhz(200), util::mhz(400), util::mhz(600), util::mhz(800)});
+    benchmark::DoNotOptimize(table.feasible_cells());
+  }
+}
+BENCHMARK(BM_FullTableBuild_CoarseGrid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Figure 4 / Section 5.1: the Phase-1 lookup table and its build cost.
+//
+// Prints the table in the paper's layout (starting temperature rows x
+// target frequency columns; each feasible cell holds a frequency vector,
+// summarized here by its average) plus one fully expanded example cell, and
+// reports the per-point / total solver times the paper discusses in
+// Sec. 5.1 (CVX took "less than 2 minutes" per point and "few hours" total;
+// our dense barrier solver is ~3 orders of magnitude faster).
+//
+//   ./bench_table4_lut [--gradient=true]
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  using namespace protemp::bench;
+  try {
+    util::CliArgs args(argc, argv);
+    const bool gradient = args.get_bool("gradient", true);
+    args.check_unknown();
+
+    // Build fresh (no cache) so the timing numbers are real.
+    const core::ProTempOptimizer optimizer(platform(),
+                                           paper_optimizer_config(gradient));
+    double total_seconds = 0.0;
+    double worst_seconds = 0.0;
+    std::size_t solves = 0;
+    const core::FrequencyTable table = core::FrequencyTable::build(
+        optimizer, paper_tstart_grid(), paper_ftarget_grid(),
+        [&](std::size_t, std::size_t, const core::FrequencyAssignment& a) {
+          total_seconds += a.solve_seconds;
+          worst_seconds = std::max(worst_seconds, a.solve_seconds);
+          ++solves;
+        });
+
+    // The Fig. 4 table: average frequency per cell, '-' if infeasible.
+    std::vector<std::string> header = {"tstart\\ftarget[MHz]"};
+    for (const double f : table.ftarget_grid()) {
+      header.push_back(util::format_fixed(util::to_mhz(f), 0));
+    }
+    util::AsciiTable fig4(header);
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      std::vector<std::string> row = {
+          util::format_fixed(table.tstart_grid()[r], 0)};
+      for (std::size_t c = 0; c < table.cols(); ++c) {
+        const auto& cell = table.cell(r, c);
+        row.push_back(cell ? util::format_fixed(
+                                 util::to_mhz(cell->average_frequency), 0)
+                           : "-");
+      }
+      fig4.add_row(std::move(row));
+    }
+    fig4.render(std::cout,
+                "Fig. 4: Phase-1 table (cell = average frequency [MHz])");
+
+    // One expanded cell, like the paper's "80, 120 / 120, 80" example.
+    std::printf("\nexample cell (tstart=85, ftarget=500 MHz): ");
+    const auto q = table.query(85.0, util::mhz(500.0));
+    if (q.entry != nullptr) {
+      std::printf("[");
+      for (std::size_t c = 0; c < q.entry->frequencies.size(); ++c) {
+        std::printf("%s%.0f", c ? ", " : "",
+                    util::to_mhz(q.entry->frequencies[c]));
+      }
+      std::printf("] MHz, total power %.2f W\n", q.entry->total_power);
+    } else {
+      std::printf("infeasible\n");
+    }
+
+    begin_csv("table4_lut");
+    util::CsvWriter csv(std::cout);
+    csv.header({"tstart", "ftarget_mhz", "feasible", "avg_mhz", "power_w"});
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+      for (std::size_t c = 0; c < table.cols(); ++c) {
+        const auto& cell = table.cell(r, c);
+        csv.row_numeric({table.tstart_grid()[r],
+                         util::to_mhz(table.ftarget_grid()[c]),
+                         cell ? 1.0 : 0.0,
+                         cell ? util::to_mhz(cell->average_frequency) : 0.0,
+                         cell ? cell->total_power : 0.0},
+                        6);
+      }
+    }
+    end_csv();
+
+    std::printf("\nSec. 5.1 design-time cost: %zu solves, %.3f s total, "
+                "%.3f s worst point (paper: <2 min per point with CVX, "
+                "hours total)\n",
+                solves, total_seconds, worst_seconds);
+    std::printf("feasible cells: %zu / %zu\n", table.feasible_cells(),
+                table.rows() * table.cols());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

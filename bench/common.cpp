@@ -1,0 +1,103 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "util/units.hpp"
+
+namespace protemp::bench {
+
+std::vector<double> paper_tstart_grid() {
+  std::vector<double> grid;
+  for (double t = 50.0; t <= 100.0 + 1e-9; t += 5.0) grid.push_back(t);
+  return grid;
+}
+
+std::vector<double> paper_ftarget_grid() {
+  std::vector<double> grid;
+  for (double f = 100.0; f <= 1000.0 + 1e-9; f += 100.0) {
+    grid.push_back(util::mhz(f));
+  }
+  return grid;
+}
+
+const arch::Platform& platform() {
+  static const arch::Platform instance = arch::make_niagara_platform();
+  return instance;
+}
+
+core::ProTempConfig paper_optimizer_config(bool gradient) {
+  core::ProTempConfig config;
+  config.tmax = 100.0;
+  config.dfs_period = 0.1;
+  config.dt = 0.4e-3;
+  config.minimize_gradient = gradient;
+  config.gradient_step_stride = 10;
+  return config;
+}
+
+const core::FrequencyTable& paper_table(bool gradient) {
+  static std::map<bool, core::FrequencyTable> cache;
+  const auto it = cache.find(gradient);
+  if (it != cache.end()) return it->second;
+
+  // Phase-1 is identical across bench binaries, so persist it next to the
+  // working directory and let later binaries in a bench sweep reload it.
+  const std::string path = std::string("protemp_table_cache_grad") +
+                           (gradient ? "1" : "0") + ".csv";
+  if (std::FILE* f = std::fopen(path.c_str(), "r")) {
+    std::fclose(f);
+    std::printf("# loading cached Phase-1 table from %s (delete to force a "
+                "rebuild)\n", path.c_str());
+    return cache.emplace(gradient, core::FrequencyTable::load_file(path))
+        .first->second;
+  }
+
+  std::printf("# building Phase-1 table (gradient=%d)...\n", gradient);
+  const core::ProTempOptimizer optimizer(platform(),
+                                         paper_optimizer_config(gradient));
+  core::FrequencyTable table = core::FrequencyTable::build(
+      optimizer, paper_tstart_grid(), paper_ftarget_grid());
+  table.save_file(path);
+  return cache.emplace(gradient, std::move(table)).first->second;
+}
+
+sim::SimConfig paper_sim_config(const PaperSetup& setup) {
+  sim::SimConfig config;
+  config.dt = setup.dt;
+  config.dfs_period = setup.dfs_period;
+  config.tmax = setup.tmax;
+  config.band_edges = {80.0, 90.0, 100.0};
+  return config;
+}
+
+workload::TaskTrace mixed_trace(double duration, std::uint64_t seed) {
+  return workload::make_mixed_trace(duration, seed,
+                                    platform().num_cores());
+}
+
+workload::TaskTrace compute_trace(double duration, std::uint64_t seed) {
+  return workload::make_compute_intensive_trace(duration, seed,
+                                                platform().num_cores());
+}
+
+workload::TaskTrace high_load_trace(double duration, std::uint64_t seed) {
+  return workload::make_high_load_trace(duration, seed,
+                                        platform().num_cores());
+}
+
+sim::SimResult run_policy(sim::DfsPolicy& policy,
+                          sim::AssignmentPolicy& assignment,
+                          const workload::TaskTrace& trace, double duration,
+                          const sim::SimConfig& config) {
+  sim::MulticoreSimulator simulator(platform(), config);
+  return simulator.run(trace, policy, assignment, duration);
+}
+
+void begin_csv(const std::string& name) {
+  std::printf("BEGIN-CSV %s\n", name.c_str());
+}
+
+void end_csv() { std::printf("END-CSV\n"); }
+
+}  // namespace protemp::bench

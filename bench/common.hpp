@@ -1,0 +1,67 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Every figure bench uses the same platform, the same two standard traces
+// (the paper's "mix of tasks from different benchmarks" and its "most
+// computation intensive benchmark") and the same Phase-1 table grid, so
+// series are comparable across benches. Benches print two artifacts: an
+// aligned ASCII table mirroring the paper's figure, and a machine-readable
+// CSV block (between BEGIN-CSV/END-CSV markers) for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/niagara.hpp"
+#include "core/frequency_table.hpp"
+#include "core/optimizer.hpp"
+#include "core/policies.hpp"
+#include "sim/assignment.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace protemp::bench {
+
+/// The paper's evaluation defaults.
+struct PaperSetup {
+  double tmax = 100.0;
+  double trip = 90.0;
+  double dfs_period = 0.1;
+  double dt = 0.4e-3;
+  std::uint64_t seed = 2008;
+};
+
+/// Paper table grid: tstart every 5 degC from 50 to 100, ftarget every
+/// 100 MHz from 100 to 1000 (Figs. 3-4 describe the sweep shape).
+std::vector<double> paper_tstart_grid();
+std::vector<double> paper_ftarget_grid();
+
+/// Platform shared by all benches (built once per process).
+const arch::Platform& platform();
+
+/// Phase-1 optimizer config at the paper's parameters.
+core::ProTempConfig paper_optimizer_config(bool gradient = true);
+
+/// Builds (and memoizes per-process) the Phase-1 table at the paper grid.
+/// `gradient` selects whether the Eq. (4)-(5) term is active.
+const core::FrequencyTable& paper_table(bool gradient = false);
+
+/// Simulator config at the paper's parameters.
+sim::SimConfig paper_sim_config(const PaperSetup& setup = {});
+
+/// Standard traces.
+workload::TaskTrace mixed_trace(double duration, std::uint64_t seed);
+workload::TaskTrace compute_trace(double duration, std::uint64_t seed);
+workload::TaskTrace high_load_trace(double duration, std::uint64_t seed);
+
+/// Runs one policy over a trace and returns the result.
+sim::SimResult run_policy(sim::DfsPolicy& policy,
+                          sim::AssignmentPolicy& assignment,
+                          const workload::TaskTrace& trace, double duration,
+                          const sim::SimConfig& config);
+
+/// CSV block markers so downstream tooling can scrape bench output.
+void begin_csv(const std::string& name);
+void end_csv();
+
+}  // namespace protemp::bench

@@ -1,0 +1,108 @@
+// Datacenter soak: the full Pro-Temp deployment pipeline end to end —
+// generate a long mixed workload, build the Phase-1 table offline, persist
+// it to disk (the artifact a real thermal management unit would ship with),
+// reload it, and run Phase-2 for minutes of simulated time while checking
+// the guarantee continuously.
+//
+//   ./datacenter_soak [--minutes=2] [--seed=7] [--table-out=protemp_table.csv]
+#include <cstdio>
+#include <iostream>
+
+#include "arch/niagara.hpp"
+#include "core/frequency_table.hpp"
+#include "core/optimizer.hpp"
+#include "core/policies.hpp"
+#include "sim/assignment.hpp"
+#include "sim/simulator.hpp"
+#include "util/cli.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  using util::mhz;
+  try {
+    util::CliArgs args(argc, argv);
+    const double minutes = args.get_double("minutes", 2.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+    const std::string table_path =
+        args.get_string("table-out", "protemp_table.csv");
+    args.check_unknown();
+
+    const double duration = minutes * 60.0;
+    const arch::Platform platform = arch::make_niagara_platform();
+
+    // -- workload ---------------------------------------------------------
+    const workload::TaskTrace trace =
+        workload::make_mixed_trace(duration, seed);
+    std::printf("workload: %zu tasks over %.0f s (util %.2f)\n", trace.size(),
+                duration, trace.offered_utilization(platform.num_cores()));
+
+    // -- Phase 1: offline table build and persistence ----------------------
+    core::ProTempConfig opt_config;  // paper defaults, gradient term on
+    const core::ProTempOptimizer optimizer(platform, opt_config);
+    std::vector<double> tgrid;
+    for (double t = 50.0; t <= 100.0; t += 5.0) tgrid.push_back(t);
+    std::vector<double> fgrid;
+    for (double f = 100.0; f <= 1000.0; f += 100.0) fgrid.push_back(mhz(f));
+
+    std::printf("Phase 1: solving %zu grid points...\n",
+                tgrid.size() * fgrid.size());
+    double solve_time = 0.0;
+    const core::FrequencyTable table = core::FrequencyTable::build(
+        optimizer, tgrid, fgrid,
+        [&](std::size_t, std::size_t, const core::FrequencyAssignment& a) {
+          solve_time += a.solve_seconds;
+        });
+    std::printf("Phase 1 done: %zu/%zu cells feasible, %.1f s of solver "
+                "time\n",
+                table.feasible_cells(), table.rows() * table.cols(),
+                solve_time);
+    table.save_file(table_path);
+    std::printf("table persisted to %s\n", table_path.c_str());
+
+    // -- Phase 2: online control from the persisted artifact ---------------
+    const core::FrequencyTable reloaded =
+        core::FrequencyTable::load_file(table_path);
+    core::ProTempPolicy policy(reloaded);
+    sim::CoolestFirstAssignment assignment;  // Sec. 5.4 pairing
+    sim::SimConfig sim_config;
+    sim::MulticoreSimulator simulator(platform, sim_config);
+
+    std::printf("Phase 2: simulating %.0f s...\n", duration);
+    const sim::SimResult result =
+        simulator.run(trace, policy, assignment, duration);
+
+    const auto bands = result.metrics.band_fractions();
+    std::printf("\n== soak report ==\n");
+    std::printf("max temperature seen:    %.2f degC (tmax %.0f)\n",
+                result.metrics.max_temp_seen(), sim_config.tmax);
+    std::printf("time above tmax:         %.4f %%\n",
+                100.0 * result.metrics.violation_fraction());
+    std::printf("band residency:          <80: %.1f%%  80-90: %.1f%%  "
+                "90-100: %.1f%%  >100: %.1f%%\n",
+                100.0 * bands[0], 100.0 * bands[1], 100.0 * bands[2],
+                100.0 * bands[3]);
+    std::printf("tasks completed:         %zu / %zu admitted\n",
+                result.tasks_completed, result.tasks_admitted);
+    std::printf("mean waiting time:       %.2f ms\n",
+                util::to_ms(result.metrics.mean_waiting_time()));
+    std::printf("mean spatial gradient:   %.2f K\n",
+                result.metrics.mean_spatial_gradient());
+    std::printf("energy:                  %.0f J\n",
+                result.metrics.total_energy_joules());
+    std::printf("controller stats:        %zu windows, %zu emergencies, "
+                "%zu downgrades\n",
+                policy.stats().windows, policy.stats().emergencies,
+                policy.stats().downgrades);
+
+    const bool safe = result.metrics.max_temp_seen() <= sim_config.tmax + 1e-3;
+    std::printf("\nguarantee check: %s\n",
+                safe ? "PASS (never above tmax)" : "FAIL");
+    return safe ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

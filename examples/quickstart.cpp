@@ -1,0 +1,66 @@
+// Quickstart: build the Niagara-8 platform, solve one Pro-Temp point, and
+// print the optimal frequency assignment.
+//
+//   ./quickstart [--tstart=85] [--ftarget-mhz=500]
+#include <cstdio>
+#include <iostream>
+
+#include "arch/niagara.hpp"
+#include "core/optimizer.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  try {
+    util::CliArgs args(argc, argv);
+    const double tstart = args.get_double("tstart", 85.0);
+    const double ftarget = util::mhz(args.get_double("ftarget-mhz", 500.0));
+    args.check_unknown();
+
+    // 1. The platform: floorplan, RC thermal network, power model.
+    const arch::Platform platform = arch::make_niagara_platform();
+    std::printf("platform: %s (%zu cores, %zu thermal nodes)\n",
+                platform.name().c_str(), platform.num_cores(),
+                platform.num_nodes());
+
+    // 2. The Pro-Temp Phase-1 optimizer at the paper's parameters.
+    core::ProTempConfig config;  // tmax=100degC, 100ms window, 0.4ms step
+    const core::ProTempOptimizer optimizer(platform, config);
+    std::printf("horizon: %zu steps, %zu constraint rows\n",
+                optimizer.horizon_steps(), optimizer.num_linear_rows());
+
+    // 3. Solve one (tstart, ftarget) point.
+    const core::FrequencyAssignment result =
+        optimizer.solve(tstart, ftarget);
+    std::printf("\nsolve(tstart=%.1f degC, ftarget=%.0f MHz): %s in %.0f ms "
+                "(%zu Newton steps)\n",
+                tstart, util::to_mhz(ftarget),
+                result.feasible ? "FEASIBLE" : "infeasible",
+                result.solve_seconds * 1e3, result.newton_iterations);
+    if (!result.feasible) {
+      std::printf("no frequency assignment can hold the cores below "
+                  "%.0f degC from this start; try a lower ftarget.\n",
+                  config.tmax);
+      return 0;
+    }
+
+    util::AsciiTable table({"core", "frequency [MHz]", "power [W]"});
+    for (std::size_t c = 0; c < platform.num_cores(); ++c) {
+      const double f = result.frequencies[c];
+      table.add_row_numeric(
+          platform.core_name(c),
+          {util::to_mhz(f), platform.core_power().dynamic_power(f)}, 1);
+    }
+    table.render(std::cout, "optimal assignment");
+    std::printf("\naverage frequency: %.1f MHz   total power: %.2f W   "
+                "max gradient bound: %.2f K\n",
+                util::to_mhz(result.average_frequency), result.total_power,
+                result.tgrad);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,117 @@
+#include "arch/niagara.hpp"
+
+#include "util/units.hpp"
+
+namespace protemp::arch {
+
+using thermal::Block;
+using thermal::BlockKind;
+using thermal::Floorplan;
+using util::mm;
+
+Floorplan make_niagara_floorplan() {
+  Floorplan fp;
+  // Die: 12 mm x 10.5 mm. Horizontal strips (bottom to top):
+  //   [0.0, 1.5)   l2buf   (L2 buffer strip)
+  //   [1.5, 4.5)   bottom core row: l2_sw | P1 P2 P3 P4 | l2_se
+  //   [4.5, 6.0)   xbar    (interconnect / crossbar)
+  //   [6.0, 9.0)   top core row:    l2_nw | P5 P6 P7 P8 | l2_ne
+  //   [9.0, 10.5)  io_dram (DRAM bridges / IO)
+  const double core_w = mm(1.875);
+  const double core_h = mm(3.0);
+  const double cache_w = mm(2.25);
+  const double strip_h = mm(1.5);
+  const double die_w = mm(12.0);
+
+  fp.add_block({"l2buf", BlockKind::kCache, 0.0, 0.0, die_w, strip_h});
+
+  const double row0_y = strip_h;
+  fp.add_block({"l2_sw", BlockKind::kCache, 0.0, row0_y, cache_w, core_h});
+  for (int i = 0; i < 4; ++i) {
+    fp.add_block({"P" + std::to_string(i + 1), BlockKind::kCore,
+                  cache_w + i * core_w, row0_y, core_w, core_h});
+  }
+  fp.add_block({"l2_se", BlockKind::kCache, cache_w + 4 * core_w, row0_y,
+                cache_w, core_h});
+
+  const double xbar_y = row0_y + core_h;
+  fp.add_block(
+      {"xbar", BlockKind::kInterconnect, 0.0, xbar_y, die_w, strip_h});
+
+  const double row1_y = xbar_y + strip_h;
+  fp.add_block({"l2_nw", BlockKind::kCache, 0.0, row1_y, cache_w, core_h});
+  for (int i = 0; i < 4; ++i) {
+    fp.add_block({"P" + std::to_string(i + 5), BlockKind::kCore,
+                  cache_w + i * core_w, row1_y, core_w, core_h});
+  }
+  fp.add_block({"l2_ne", BlockKind::kCache, cache_w + 4 * core_w, row1_y,
+                cache_w, core_h});
+
+  const double io_y = row1_y + core_h;
+  fp.add_block(
+      {"io_dram", BlockKind::kInterconnect, 0.0, io_y, die_w, strip_h});
+
+  fp.validate_no_overlap();
+  return fp;
+}
+
+thermal::PackageParams make_niagara_package(double ambient_celsius) {
+  thermal::PackageParams pkg;
+  pkg.die_thickness = 0.35e-3;
+  pkg.silicon_conductivity = 100.0;
+  pkg.silicon_volumetric_heat = 1.75e6;
+  pkg.block_capacitance_factor = 1.0;    // bare-silicon block mass:
+                                         // core tau ~50 ms, so one core at
+                                         // full power sweeps most of its
+                                         // local rise inside one DFS window
+  pkg.tim_resistance_per_area = 8.0e-5;  // ~14.5 K/W per core: a full-power
+                                         // core swings ~55 K above the
+                                         // spreader within one window — the
+                                         // sawtooth regime of Fig. 1
+  pkg.spreader_capacitance = 4.0;
+  pkg.spreader_to_sink_resistance = 0.35;
+  pkg.sink_capacitance = 24.0;
+  pkg.convection_resistance = 0.9;
+  pkg.ambient_celsius = ambient_celsius;
+  return pkg;
+}
+
+Platform make_niagara_platform(const NiagaraConfig& config) {
+  Floorplan fp = make_niagara_floorplan();
+  const thermal::PackageParams pkg =
+      make_niagara_package(config.ambient_celsius);
+
+  const power::DvfsPowerModel core_model(config.core_pmax_watts,
+                                         config.fmax_hz,
+                                         config.power_exponent,
+                                         config.idle_fraction);
+
+  // Background power: other_power_fraction of the total core pmax, spread
+  // over the non-core blocks proportionally to area. Spreader/sink nodes
+  // (appended after the blocks) get zero.
+  const auto cores = fp.blocks_of_kind(BlockKind::kCore);
+  const double total_core_pmax =
+      config.core_pmax_watts * static_cast<double>(cores.size());
+  const double background_total =
+      config.other_power_fraction * total_core_pmax;
+
+  double non_core_area = 0.0;
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    if (fp.block(i).kind != BlockKind::kCore) {
+      non_core_area += fp.block(i).area();
+    }
+  }
+
+  linalg::Vector background(fp.size() + 2);  // + spreader + sink
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    if (fp.block(i).kind != BlockKind::kCore) {
+      background[i] = background_total * fp.block(i).area() / non_core_area;
+    }
+  }
+
+  return Platform("niagara8", std::move(fp), pkg, core_model,
+                  std::move(background),
+                  config.background_activity_fraction);
+}
+
+}  // namespace protemp::arch

@@ -1,0 +1,45 @@
+// Sun Niagara-8 platform model (paper Section 5, Figure 5).
+//
+// Eight processing cores P1..P8 arranged in two rows of four, flanked left
+// and right by L2 cache banks, with an interconnect/crossbar strip between
+// the rows, an IO/DRAM-bridge strip on top and an L2 buffer strip on the
+// bottom. Cores P1, P4, P5, P8 sit at the row ends next to the (cooler)
+// caches; P2, P3, P6, P7 are sandwiched between other cores — the asymmetry
+// Section 5.3 exploits.
+//
+// Electrical parameters follow the paper: fmax = 1 GHz, 4 W per core at
+// fmax, non-core blocks dissipating ~30 % of the total core power
+// (distributed by area). Package parameters are calibrated so that
+//   * the all-cores-at-fmax steady state peaks near 125-135 degC,
+//   * a core's local thermal time constant is tens of milliseconds (so a
+//     reactive scheme overshoots within one 100 ms DFS window, Fig. 1),
+//   * the package-level constant is tens of seconds,
+//   * forward Euler at the paper's 0.4 ms step is stable.
+#pragma once
+
+#include "arch/platform.hpp"
+
+namespace protemp::arch {
+
+struct NiagaraConfig {
+  double fmax_hz = 1e9;            ///< max core frequency [Hz]
+  double core_pmax_watts = 4.0;    ///< per-core power at fmax [W]
+  double other_power_fraction = 0.3;  ///< non-core power / total core pmax
+  /// Share of the non-core power that scales with core activity (caches and
+  /// crossbar mostly burn power serving the cores).
+  double background_activity_fraction = 0.75;
+  double power_exponent = 2.0;     ///< paper Eq. (2): quadratic
+  double idle_fraction = 0.05;     ///< idle dynamic power fraction
+  double ambient_celsius = 45.0;
+};
+
+/// Builds the Niagara-8 floorplan of Figure 5 (12 x 10.5 mm die).
+thermal::Floorplan make_niagara_floorplan();
+
+/// Calibrated package parameters (see header comment for the targets).
+thermal::PackageParams make_niagara_package(double ambient_celsius = 45.0);
+
+/// Assembles the full platform.
+Platform make_niagara_platform(const NiagaraConfig& config = {});
+
+}  // namespace protemp::arch

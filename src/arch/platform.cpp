@@ -1,0 +1,54 @@
+#include "arch/platform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace protemp::arch {
+
+Platform::Platform(std::string name, thermal::Floorplan floorplan,
+                   thermal::PackageParams package,
+                   power::DvfsPowerModel core_power,
+                   linalg::Vector background_power,
+                   double background_activity_fraction)
+    : name_(std::move(name)),
+      floorplan_(std::move(floorplan)),
+      network_(floorplan_, package),
+      core_power_(core_power),
+      background_(std::move(background_power)),
+      background_activity_fraction_(background_activity_fraction) {
+  if (background_.size() != network_.num_nodes()) {
+    throw std::invalid_argument(
+        "Platform: background_power must have one entry per network node");
+  }
+  if (background_activity_fraction_ < 0.0 ||
+      background_activity_fraction_ > 1.0) {
+    throw std::invalid_argument(
+        "Platform: background_activity_fraction must be in [0, 1]");
+  }
+  core_nodes_ = floorplan_.blocks_of_kind(thermal::BlockKind::kCore);
+  if (core_nodes_.empty()) {
+    throw std::invalid_argument("Platform: floorplan has no core blocks");
+  }
+  for (const std::size_t node : core_nodes_) background_[node] = 0.0;
+}
+
+linalg::Vector Platform::background_power_at(double activity) const {
+  const double a = std::clamp(activity, 0.0, 1.0);
+  const double scale = (1.0 - background_activity_fraction_) +
+                       background_activity_fraction_ * a;
+  return background_ * scale;
+}
+
+linalg::Vector Platform::full_power(const linalg::Vector& core_watts,
+                                    double activity) const {
+  if (core_watts.size() != num_cores()) {
+    throw std::invalid_argument("Platform::full_power: core power size mismatch");
+  }
+  linalg::Vector full = background_power_at(activity);
+  for (std::size_t c = 0; c < core_nodes_.size(); ++c) {
+    full[core_nodes_[c]] = core_watts[c];
+  }
+  return full;
+}
+
+}  // namespace protemp::arch

@@ -1,0 +1,84 @@
+// Platform description: floorplan + thermal network + power characteristics.
+//
+// A Platform bundles everything the simulator and the Pro-Temp optimizer
+// need to know about one chip: geometry, the assembled RC network, which
+// nodes are DFS-controlled cores, and the fixed background power of the
+// non-core blocks.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.hpp"
+#include "power/power_model.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace protemp::arch {
+
+class Platform {
+ public:
+  /// `background_power` must have one entry per network node (block nodes
+  /// plus spreader and sink); entries at core nodes are ignored (cores are
+  /// DFS-driven). `background_activity_fraction` is the share of the
+  /// non-core power that tracks core activity (caches and interconnect
+  /// mostly burn power serving the cores); the rest is static. Effective
+  /// background at activity level a in [0, 1] is
+  ///   bg * ((1 - fraction) + fraction * a).
+  Platform(std::string name, thermal::Floorplan floorplan,
+           thermal::PackageParams package, power::DvfsPowerModel core_power,
+           linalg::Vector background_power,
+           double background_activity_fraction = 0.75);
+
+  const std::string& name() const noexcept { return name_; }
+  const thermal::Floorplan& floorplan() const noexcept { return floorplan_; }
+  const thermal::RcNetwork& network() const noexcept { return network_; }
+  const power::DvfsPowerModel& core_power() const noexcept {
+    return core_power_;
+  }
+
+  std::size_t num_cores() const noexcept { return core_nodes_.size(); }
+  std::size_t num_nodes() const noexcept { return network_.num_nodes(); }
+  /// Network node indices of the cores, in floorplan insertion order
+  /// (core c of the simulator is node core_nodes()[c]).
+  const std::vector<std::size_t>& core_nodes() const noexcept {
+    return core_nodes_;
+  }
+  const std::string& core_name(std::size_t core) const {
+    return floorplan_.block(core_nodes_.at(core)).name;
+  }
+
+  /// Peak per-node background power [W] (core entries zero); equals
+  /// background_power_at(1.0).
+  const linalg::Vector& background_power() const noexcept {
+    return background_;
+  }
+
+  /// Background power at a core-activity level in [0, 1] (clamped).
+  linalg::Vector background_power_at(double activity) const;
+
+  double background_activity_fraction() const noexcept {
+    return background_activity_fraction_;
+  }
+
+  /// Assembles the full per-node power vector from per-core powers, with
+  /// the background scaled to the given core-activity level (1 = peak;
+  /// conservative default).
+  linalg::Vector full_power(const linalg::Vector& core_watts,
+                            double activity = 1.0) const;
+
+  double fmax() const noexcept { return core_power_.fmax(); }
+  double core_pmax() const noexcept { return core_power_.pmax(); }
+
+ private:
+  std::string name_;
+  thermal::Floorplan floorplan_;
+  thermal::RcNetwork network_;
+  power::DvfsPowerModel core_power_;
+  std::vector<std::size_t> core_nodes_;
+  linalg::Vector background_;
+  double background_activity_fraction_;
+};
+
+}  // namespace protemp::arch

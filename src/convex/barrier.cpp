@@ -1,0 +1,378 @@
+#include "convex/barrier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "util/logging.hpp"
+
+namespace protemp::convex {
+namespace {
+
+constexpr const char* kModule = "convex.barrier";
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Barrier value, gradient and Hessian at x for parameter t, or +inf value
+/// if x is not strictly feasible (gradient/Hessian then unset).
+struct BarrierEval {
+  double value = kInfinity;
+  linalg::Vector gradient;
+  linalg::Matrix hessian;
+  bool feasible = false;
+};
+
+BarrierEval evaluate(const BarrierProblem& prob, const linalg::Vector& x,
+                     double t, bool with_derivatives) {
+  BarrierEval out;
+  const std::size_t n = x.size();
+  double value = t * prob.objective->value(x);
+  linalg::Vector grad;
+  linalg::Matrix hess;
+  if (with_derivatives) {
+    grad = prob.objective->gradient(x) * t;
+    hess = prob.objective->hessian(x) * t;
+  }
+
+  for (const auto& f : prob.constraints) {
+    const double fi = f->value(x);
+    if (!(fi < 0.0)) return out;  // infeasible (or NaN)
+    value -= std::log(-fi);
+    if (with_derivatives) {
+      const linalg::Vector gi = f->gradient(x);
+      // -log(-f): grad = g / (-f), hess = H/(-f) + g g^T / f^2.
+      const double inv = 1.0 / (-fi);
+      grad.axpy(inv, gi);
+      hess += f->hessian(x) * inv;
+      const double inv2 = inv * inv;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          hess(i, j) += inv2 * gi[i] * gi[j];
+        }
+      }
+    }
+  }
+
+  if (prob.linear) {
+    const linalg::Vector r = prob.linear->residuals(x);  // feasible iff < 0
+    linalg::Vector inv_d(r.size());
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (!(r[i] < 0.0)) return out;
+      const double d = -r[i];
+      value -= std::log(d);
+      inv_d[i] = 1.0 / d;
+    }
+    if (with_derivatives) {
+      grad += prob.linear->g.multiply_transposed(inv_d);
+      linalg::Vector inv_d2(r.size());
+      for (std::size_t i = 0; i < r.size(); ++i) inv_d2[i] = inv_d[i] * inv_d[i];
+      hess += prob.linear->g.gram_weighted(inv_d2);
+    }
+  }
+
+  out.value = value;
+  out.feasible = true;
+  if (with_derivatives) {
+    out.gradient = std::move(grad);
+    out.hessian = std::move(hess);
+  }
+  return out;
+}
+
+/// One centering stage (damped Newton at fixed t). Returns the Newton
+/// decrement reached; updates x in place.
+struct CenterResult {
+  bool ok = false;
+  std::size_t newton_steps = 0;
+};
+
+CenterResult center(const BarrierProblem& prob, linalg::Vector& x, double t,
+                    const BarrierOptions& opt) {
+  CenterResult result;
+  for (std::size_t step = 0; step < opt.max_newton_per_stage; ++step) {
+    BarrierEval eval = evaluate(prob, x, t, /*with_derivatives=*/true);
+    if (!eval.feasible) return result;  // should not happen from feasible x
+
+    // Newton direction with ridge escalation on factorization failure. The
+    // ridge is scaled to the Hessian's diagonal so it stays meaningful when
+    // barrier terms near the boundary inflate the conditioning.
+    double diag_scale = 1.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      diag_scale = std::max(diag_scale, std::abs(eval.hessian(i, i)));
+    }
+    if (!std::isfinite(diag_scale)) return result;
+    linalg::Vector direction;
+    double ridge = opt.ridge * diag_scale;
+    for (int attempt = 0;; ++attempt, ridge *= 100.0) {
+      const auto chol =
+          linalg::Cholesky::factor_regularized(eval.hessian, ridge);
+      if (chol) {
+        direction = chol->solve(-eval.gradient);
+        break;
+      }
+      if (attempt >= 8) return result;
+    }
+
+    const double decrement2 = -eval.gradient.dot(direction);  // lambda^2
+    result.newton_steps = step + 1;
+    if (!std::isfinite(decrement2)) return result;  // barrier overflow
+    if (decrement2 / 2.0 <= opt.newton_tolerance) {
+      result.ok = true;
+      return result;
+    }
+
+    // Backtracking line search (rejects steps that leave the domain).
+    double step_size = 1.0;
+    const double slope = eval.gradient.dot(direction);  // negative
+    bool moved = false;
+    for (int ls = 0; ls < 60; ++ls) {
+      linalg::Vector candidate = x;
+      candidate.axpy(step_size, direction);
+      const BarrierEval trial =
+          evaluate(prob, candidate, t, /*with_derivatives=*/false);
+      if (trial.feasible &&
+          trial.value <= eval.value + opt.line_search_alpha * step_size * slope) {
+        x = std::move(candidate);
+        moved = true;
+        break;
+      }
+      step_size *= opt.line_search_beta;
+    }
+    if (!moved) {
+      // Line search stalled at numerical precision: accept current center.
+      result.ok = true;
+      return result;
+    }
+  }
+  // Budget exhausted; treat as centered enough to continue outer loop.
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+std::size_t BarrierProblem::num_variables() const {
+  if (objective) return objective->dimension();
+  if (linear) return linear->g.cols();
+  throw std::logic_error("BarrierProblem: no objective");
+}
+
+void BarrierProblem::validate() const {
+  if (!objective) throw std::invalid_argument("BarrierProblem: no objective");
+  const std::size_t n = objective->dimension();
+  for (const auto& f : constraints) {
+    if (!f) throw std::invalid_argument("BarrierProblem: null constraint");
+    if (f->dimension() != n) {
+      throw std::invalid_argument("BarrierProblem: constraint dimension mismatch");
+    }
+  }
+  if (linear) {
+    if (linear->g.cols() != n || linear->g.rows() != linear->h.size()) {
+      throw std::invalid_argument("BarrierProblem: linear block shape mismatch");
+    }
+  }
+}
+
+bool BarrierProblem::strictly_feasible(const linalg::Vector& x,
+                                       double slack) const {
+  return max_violation(x) < -slack;
+}
+
+double BarrierProblem::max_violation(const linalg::Vector& x) const {
+  double worst = -kInfinity;
+  for (const auto& f : constraints) {
+    worst = std::max(worst, f->value(x));
+  }
+  if (linear) {
+    const linalg::Vector r = linear->residuals(x);
+    if (r.size() > 0) worst = std::max(worst, r.max());
+  }
+  if (worst == -kInfinity) worst = -1.0;  // unconstrained: trivially feasible
+  return worst;
+}
+
+Solution solve_barrier(const BarrierProblem& problem, const linalg::Vector& x0,
+                       const BarrierOptions& options) {
+  problem.validate();
+  if (x0.size() != problem.num_variables()) {
+    throw std::invalid_argument("solve_barrier: x0 dimension mismatch");
+  }
+  if (!problem.strictly_feasible(x0)) {
+    throw std::invalid_argument(
+        "solve_barrier: x0 must be strictly feasible (use "
+        "find_strictly_feasible for phase-I)");
+  }
+
+  Solution result;
+  linalg::Vector x = x0;
+  const double m = static_cast<double>(problem.num_constraints());
+
+  // Unconstrained problems: a single Newton stage at t=1 is exact.
+  double t = (m == 0.0) ? 1.0 : options.t_initial;
+  std::size_t total_newton = 0;
+  // Gap certified by the last *completed* centering stage; used to degrade
+  // gracefully when a late stage hits floating-point limits.
+  double certified_gap = kInfinity;
+
+  for (std::size_t stage = 0; stage < options.max_stages; ++stage) {
+    const CenterResult centered = center(problem, x, t, options);
+    total_newton += centered.newton_steps;
+    if (!centered.ok) {
+      // Late-stage numerical trouble (barrier Hessian overflow near the
+      // boundary). If an earlier stage already certified a decent gap, the
+      // current strictly feasible iterate is an excellent solution; only
+      // fail hard when nothing was certified.
+      result.x = x;
+      result.objective = problem.objective->value(x);
+      result.iterations = total_newton;
+      result.gap = certified_gap;
+      if (certified_gap <= 1e-3) {
+        PROTEMP_LOG_WARN(kModule,
+                         "centering failed at t=%.3e; returning previous "
+                         "stage's solution (gap=%.3e)", t, certified_gap);
+        result.status = SolveStatus::kOptimal;
+        result.primal_residual = std::max(0.0, problem.max_violation(x));
+      } else {
+        result.status = SolveStatus::kNumericalFailure;
+      }
+      return result;
+    }
+    certified_gap = m / t;
+    const double gap = m / t;
+    if (options.verbose) {
+      PROTEMP_LOG_INFO(kModule, "stage=%zu t=%.3e gap=%.3e newton=%zu", stage,
+                       t, gap, centered.newton_steps);
+    }
+    if (m == 0.0 || gap < options.tolerance) {
+      result.status = SolveStatus::kOptimal;
+      result.x = x;
+      result.objective = problem.objective->value(x);
+      result.iterations = total_newton;
+      result.gap = gap;
+      // Barrier dual estimates: lambda_i = 1 / (t * (-f_i(x))).
+      linalg::Vector duals(problem.num_constraints());
+      std::size_t idx = 0;
+      for (const auto& f : problem.constraints) {
+        duals[idx++] = 1.0 / (t * (-f->value(x)));
+      }
+      if (problem.linear) {
+        const linalg::Vector r = problem.linear->residuals(x);
+        for (std::size_t i = 0; i < r.size(); ++i) {
+          duals[idx++] = 1.0 / (t * (-r[i]));
+        }
+      }
+      result.ineq_duals = std::move(duals);
+      result.primal_residual = std::max(0.0, problem.max_violation(x));
+      return result;
+    }
+    t *= options.mu;
+  }
+
+  result.status = SolveStatus::kMaxIterations;
+  result.x = x;
+  result.objective = problem.objective->value(x);
+  result.iterations = total_newton;
+  result.gap = m / t;
+  return result;
+}
+
+namespace {
+
+/// Lifted constraint for phase-I: g(x, tau) = f(x) - tau <= 0.
+class LiftedConstraint final : public ScalarFunction {
+ public:
+  explicit LiftedConstraint(std::shared_ptr<const ScalarFunction> inner)
+      : inner_(std::move(inner)) {}
+
+  std::size_t dimension() const noexcept override {
+    return inner_->dimension() + 1;
+  }
+  double value(const linalg::Vector& xt) const override {
+    return inner_->value(strip(xt)) - xt[xt.size() - 1];
+  }
+  linalg::Vector gradient(const linalg::Vector& xt) const override {
+    const linalg::Vector gi = inner_->gradient(strip(xt));
+    linalg::Vector g(xt.size());
+    for (std::size_t i = 0; i < gi.size(); ++i) g[i] = gi[i];
+    g[xt.size() - 1] = -1.0;
+    return g;
+  }
+  linalg::Matrix hessian(const linalg::Vector& xt) const override {
+    const linalg::Matrix hi = inner_->hessian(strip(xt));
+    linalg::Matrix h(xt.size(), xt.size());
+    for (std::size_t i = 0; i < hi.rows(); ++i) {
+      for (std::size_t j = 0; j < hi.cols(); ++j) h(i, j) = hi(i, j);
+    }
+    return h;
+  }
+
+ private:
+  static linalg::Vector strip(const linalg::Vector& xt) {
+    linalg::Vector x(xt.size() - 1);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = xt[i];
+    return x;
+  }
+  std::shared_ptr<const ScalarFunction> inner_;
+};
+
+}  // namespace
+
+std::optional<linalg::Vector> find_strictly_feasible(
+    const BarrierProblem& problem, const linalg::Vector& x0, double margin,
+    const BarrierOptions& options) {
+  problem.validate();
+  const std::size_t n = problem.num_variables();
+  if (x0.size() != n) {
+    throw std::invalid_argument("find_strictly_feasible: x0 dimension mismatch");
+  }
+  if (problem.strictly_feasible(x0, margin)) return x0;
+
+  // Lifted problem over (x, tau): minimize tau s.t. f_i(x) <= tau.
+  BarrierProblem lifted;
+  {
+    linalg::Vector c(n + 1);
+    c[n] = 1.0;
+    lifted.objective = std::make_shared<AffineFunction>(std::move(c), 0.0);
+  }
+  for (const auto& f : problem.constraints) {
+    lifted.constraints.push_back(std::make_shared<LiftedConstraint>(f));
+  }
+  {
+    // Lift the linear block (rows become g_i x - tau <= h_i) and append a
+    // floor tau >= -1: we only need tau < -margin, and without the floor the
+    // lifted problem can be unbounded below.
+    const std::size_t rows = problem.linear ? problem.linear->count() : 0;
+    linalg::Matrix g(rows + 1, n + 1);
+    linalg::Vector h(rows + 1);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < n; ++j) g(i, j) = problem.linear->g(i, j);
+      g(i, n) = -1.0;
+      h[i] = problem.linear->h[i];
+    }
+    g(rows, n) = -1.0;
+    h[rows] = 1.0;
+    lifted.linear = LinearConstraints{std::move(g), std::move(h)};
+  }
+
+  linalg::Vector xt(n + 1);
+  for (std::size_t i = 0; i < n; ++i) xt[i] = x0[i];
+  const double v0 = problem.max_violation(x0);
+  if (!std::isfinite(v0)) {
+    throw std::invalid_argument(
+        "find_strictly_feasible: x0 outside constraint domain");
+  }
+  xt[n] = v0 + std::max(1.0, std::abs(v0));
+
+  // We only need tau < -margin, not an exact minimum; loosen the gap target.
+  BarrierOptions phase1 = options;
+  phase1.tolerance = std::max(options.tolerance, margin * 0.5);
+  const Solution sol = solve_barrier(lifted, xt, phase1);
+
+  linalg::Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = sol.x[i];
+  if (problem.strictly_feasible(x, margin)) return x;
+  return std::nullopt;
+}
+
+}  // namespace protemp::convex

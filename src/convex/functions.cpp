@@ -1,0 +1,25 @@
+#include "convex/functions.hpp"
+
+#include <stdexcept>
+
+namespace protemp::convex {
+
+QuadraticFunction::QuadraticFunction(linalg::Matrix p, linalg::Vector q,
+                                     double r)
+    : p_(std::move(p)), q_(std::move(q)), r_(r) {
+  if (!p_.square() || p_.rows() != q_.size()) {
+    throw std::invalid_argument("QuadraticFunction: P must be n x n with n = dim(q)");
+  }
+}
+
+double QuadraticFunction::value(const linalg::Vector& x) const {
+  return 0.5 * x.dot(p_ * x) + q_.dot(x) + r_;
+}
+
+linalg::Vector QuadraticFunction::gradient(const linalg::Vector& x) const {
+  linalg::Vector g = p_ * x;
+  g += q_;
+  return g;
+}
+
+}  // namespace protemp::convex

@@ -1,0 +1,85 @@
+// Smooth scalar functions with gradients and Hessians.
+//
+// The barrier solver consumes objectives and constraints through this
+// interface. Affine and quadratic convenience implementations cover most
+// uses; the Pro-Temp workload constraint supplies a custom subclass (the
+// concave sum-of-square-roots term).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace protemp::convex {
+
+/// A twice-differentiable scalar function R^n -> R.
+///
+/// Implementations must be convex for use as a barrier-solver constraint
+/// (f(x) <= 0) or objective; the solver does not verify convexity but its
+/// convergence guarantees assume it.
+class ScalarFunction {
+ public:
+  virtual ~ScalarFunction() = default;
+
+  virtual std::size_t dimension() const noexcept = 0;
+  virtual double value(const linalg::Vector& x) const = 0;
+  virtual linalg::Vector gradient(const linalg::Vector& x) const = 0;
+  virtual linalg::Matrix hessian(const linalg::Vector& x) const = 0;
+};
+
+/// f(x) = c^T x + d.
+class AffineFunction final : public ScalarFunction {
+ public:
+  AffineFunction(linalg::Vector c, double d) : c_(std::move(c)), d_(d) {}
+
+  std::size_t dimension() const noexcept override { return c_.size(); }
+  double value(const linalg::Vector& x) const override {
+    return c_.dot(x) + d_;
+  }
+  linalg::Vector gradient(const linalg::Vector&) const override { return c_; }
+  linalg::Matrix hessian(const linalg::Vector&) const override {
+    return linalg::Matrix(c_.size(), c_.size());
+  }
+
+  const linalg::Vector& coefficients() const noexcept { return c_; }
+  double offset() const noexcept { return d_; }
+
+ private:
+  linalg::Vector c_;
+  double d_;
+};
+
+/// f(x) = 1/2 x^T P x + q^T x + r, with P symmetric (only ever read
+/// symmetrically).
+class QuadraticFunction final : public ScalarFunction {
+ public:
+  QuadraticFunction(linalg::Matrix p, linalg::Vector q, double r);
+
+  std::size_t dimension() const noexcept override { return q_.size(); }
+  double value(const linalg::Vector& x) const override;
+  linalg::Vector gradient(const linalg::Vector& x) const override;
+  linalg::Matrix hessian(const linalg::Vector&) const override { return p_; }
+
+ private:
+  linalg::Matrix p_;
+  linalg::Vector q_;
+  double r_;
+};
+
+/// A block of linear inequality constraints G x <= h, evaluated vectorized.
+/// The barrier solver treats this specially (no virtual dispatch per row),
+/// which matters when the thermal horizon contributes thousands of rows.
+struct LinearConstraints {
+  linalg::Matrix g;  ///< m x n
+  linalg::Vector h;  ///< m
+
+  std::size_t count() const noexcept { return h.size(); }
+  /// Residuals r = G x - h (feasible iff r <= 0).
+  linalg::Vector residuals(const linalg::Vector& x) const {
+    return g * x - h;
+  }
+};
+
+}  // namespace protemp::convex

@@ -1,0 +1,274 @@
+#include "convex/qp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <tuple>
+
+#include "linalg/cholesky.hpp"
+#include "util/logging.hpp"
+
+namespace protemp::convex {
+
+namespace {
+
+constexpr const char* kModule = "convex.qp";
+
+/// Largest alpha in (0, 1] with v + alpha * dv >= (1 - fraction) * v... we
+/// use the classic rule: alpha = min over dv_i < 0 of -v_i / dv_i, scaled.
+double max_step(const linalg::Vector& v, const linalg::Vector& dv,
+                double fraction) {
+  double alpha = 1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (dv[i] < 0.0) {
+      alpha = std::min(alpha, -v[i] / dv[i]);
+    }
+  }
+  return std::min(1.0, fraction * alpha);
+}
+
+struct KktSolver {
+  // Factorizes the condensed system
+  //   [ P + G^T W G   A^T ] [dx]   [r1]
+  //   [ A             0   ] [dy] = [r2]
+  // with W = diag(z/s). Uses Cholesky when there are no equalities, LDLT
+  // otherwise. Retries with growing ridge on factorization failure.
+  const QpProblem& qp;
+  double base_ridge;
+  linalg::Matrix h_mat;           // P + G^T W G (n x n)
+  std::optional<linalg::Cholesky> chol;
+  std::optional<linalg::Ldlt> ldlt;
+  std::size_t n = 0, p = 0;
+
+  explicit KktSolver(const QpProblem& problem, double ridge)
+      : qp(problem), base_ridge(ridge) {}
+
+  bool factorize(const linalg::Vector& w) {
+    n = qp.num_variables();
+    p = qp.num_equalities();
+    h_mat = (qp.num_inequalities() > 0) ? qp.g.gram_weighted(w)
+                                        : linalg::Matrix(n, n);
+    if (qp.p.rows() == n) h_mat += qp.p;
+
+    double ridge = base_ridge;
+    for (int attempt = 0; attempt < 8; ++attempt, ridge *= 100.0) {
+      if (p == 0) {
+        chol = linalg::Cholesky::factor_regularized(h_mat, ridge);
+        if (chol) return true;
+      } else {
+        linalg::Matrix kkt(n + p, n + p);
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = 0; j < n; ++j) kkt(i, j) = h_mat(i, j);
+          kkt(i, i) += ridge;
+        }
+        for (std::size_t i = 0; i < p; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            kkt(n + i, j) = qp.a(i, j);
+            kkt(j, n + i) = qp.a(i, j);
+          }
+          kkt(n + i, n + i) = -ridge;  // quasi-definite regularization
+        }
+        ldlt = linalg::Ldlt::factor(kkt);
+        if (ldlt) return true;
+      }
+    }
+    return false;
+  }
+
+  // Solves for (dx, dy) given the right-hand sides.
+  std::pair<linalg::Vector, linalg::Vector> solve(
+      const linalg::Vector& r1, const linalg::Vector& r2) const {
+    if (p == 0) {
+      return {chol->solve(r1), linalg::Vector{}};
+    }
+    linalg::Vector rhs(n + p);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = r1[i];
+    for (std::size_t i = 0; i < p; ++i) rhs[n + i] = r2[i];
+    const linalg::Vector sol = ldlt->solve(rhs);
+    linalg::Vector dx(n), dy(p);
+    for (std::size_t i = 0; i < n; ++i) dx[i] = sol[i];
+    for (std::size_t i = 0; i < p; ++i) dy[i] = sol[n + i];
+    return {dx, dy};
+  }
+};
+
+}  // namespace
+
+void QpProblem::validate() const {
+  const std::size_t n = q.size();
+  if (p.rows() != 0 && (p.rows() != n || p.cols() != n)) {
+    throw std::invalid_argument("QpProblem: P must be n x n or empty");
+  }
+  if (h.size() != g.rows() || (g.rows() > 0 && g.cols() != n)) {
+    throw std::invalid_argument("QpProblem: G/h shape mismatch");
+  }
+  if (b.size() != a.rows() || (a.rows() > 0 && a.cols() != n)) {
+    throw std::invalid_argument("QpProblem: A/b shape mismatch");
+  }
+  if (n == 0) throw std::invalid_argument("QpProblem: no variables");
+}
+
+Solution solve_qp(const QpProblem& qp, const QpOptions& options) {
+  qp.validate();
+  const std::size_t n = qp.num_variables();
+  const std::size_t m = qp.num_inequalities();
+  const std::size_t p = qp.num_equalities();
+
+  const auto objective = [&](const linalg::Vector& x) {
+    double obj = qp.q.dot(x);
+    if (qp.p.rows() == n) obj += 0.5 * x.dot(qp.p * x);
+    return obj;
+  };
+
+  Solution result;
+
+  // No inequalities: the KKT system is linear; solve it directly.
+  if (m == 0) {
+    KktSolver kkt(qp, options.ridge);
+    if (!kkt.factorize(linalg::Vector{})) {
+      result.status = SolveStatus::kNumericalFailure;
+      return result;
+    }
+    const auto [x, y] = kkt.solve(-qp.q, qp.b);
+    result.status = SolveStatus::kOptimal;
+    result.x = x;
+    result.eq_duals = y;
+    result.objective = objective(x);
+    result.iterations = 1;
+    return result;
+  }
+
+  // -- Interior-point initialization ------------------------------------
+  linalg::Vector x(n);
+  linalg::Vector y(p);
+  linalg::Vector s(m), z(m);
+  {
+    const linalg::Vector r = qp.h - qp.g * x;
+    for (std::size_t i = 0; i < m; ++i) {
+      s[i] = std::max(1.0, r[i]);
+      z[i] = 1.0;
+    }
+  }
+
+  const double scale =
+      1.0 + std::max({qp.q.norm_inf(), qp.h.size() ? qp.h.norm_inf() : 0.0,
+                      qp.b.size() ? qp.b.norm_inf() : 0.0});
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Residuals.
+    linalg::Vector r_dual = qp.q;  // P x + q + G^T z + A^T y
+    if (qp.p.rows() == n) r_dual += qp.p * x;
+    r_dual += qp.g.multiply_transposed(z);
+    if (p > 0) r_dual += qp.a.multiply_transposed(y);
+
+    linalg::Vector r_pri = qp.g * x + s - qp.h;              // = 0 at opt
+    linalg::Vector r_eq = (p > 0) ? qp.a * x - qp.b : linalg::Vector{};
+
+    const double mu = s.dot(z) / static_cast<double>(m);
+    const double res_d = r_dual.norm_inf();
+    const double res_p = std::max(r_pri.norm_inf(),
+                                  p > 0 ? r_eq.norm_inf() : 0.0);
+
+    result.iterations = iter;
+    result.gap = mu;
+    result.primal_residual = res_p;
+    result.dual_residual = res_d;
+
+    if (options.verbose) {
+      PROTEMP_LOG_INFO(kModule, "iter=%zu mu=%.3e res_p=%.3e res_d=%.3e", iter,
+                       mu, res_p, res_d);
+    }
+
+    if (mu < options.tolerance * scale && res_p < options.tolerance * scale &&
+        res_d < options.tolerance * scale) {
+      result.status = SolveStatus::kOptimal;
+      result.x = x;
+      result.ineq_duals = z;
+      result.eq_duals = y;
+      result.objective = objective(x);
+      return result;
+    }
+
+    // Infeasibility heuristic: duals blowing up while primal residual stalls.
+    if (z.norm_inf() > 1e10 * scale && res_p > 1e-6 * scale) {
+      result.status = SolveStatus::kInfeasible;
+      result.x = x;
+      result.objective = objective(x);
+      return result;
+    }
+
+    // Factor the condensed KKT matrix with W = diag(z / s).
+    linalg::Vector w(m);
+    for (std::size_t i = 0; i < m; ++i) w[i] = z[i] / s[i];
+    KktSolver kkt(qp, options.ridge);
+    if (!kkt.factorize(w)) {
+      result.status = SolveStatus::kNumericalFailure;
+      result.x = x;
+      return result;
+    }
+
+    // The right-hand side builder for a given complementarity target:
+    // Z ds + S dz = rc with ds = -r_pri - G dx gives
+    //   dz = (rc + Z r_pri)/S + (Z/S) G dx,
+    // and substituting into the dual residual equation condenses to
+    //   (P + G^T W G) dx + A^T dy = -r_dual - G^T (rc + Z r_pri)/S.
+    const auto build_and_solve = [&](const linalg::Vector& rc)
+        -> std::tuple<linalg::Vector, linalg::Vector, linalg::Vector,
+                      linalg::Vector> {
+      linalg::Vector tmp(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        tmp[i] = (rc[i] + z[i] * r_pri[i]) / s[i];
+      }
+      linalg::Vector r1 = -r_dual;
+      r1 -= qp.g.multiply_transposed(tmp);
+      linalg::Vector r2(p);
+      for (std::size_t i = 0; i < p; ++i) r2[i] = -r_eq[i];
+      auto [dx, dy] = kkt.solve(r1, r2);
+      linalg::Vector ds = -r_pri - qp.g * dx;
+      linalg::Vector dz(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        dz[i] = (rc[i] - z[i] * ds[i]) / s[i];
+      }
+      return {dx, dy, ds, dz};
+    };
+
+    // Predictor (affine scaling) step: rc = -s .* z.
+    linalg::Vector rc_aff(m);
+    for (std::size_t i = 0; i < m; ++i) rc_aff[i] = -s[i] * z[i];
+    const auto [dx_aff, dy_aff, ds_aff, dz_aff] = build_and_solve(rc_aff);
+
+    const double alpha_p_aff = max_step(s, ds_aff, 1.0);
+    const double alpha_d_aff = max_step(z, dz_aff, 1.0);
+    double mu_aff = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      mu_aff += (s[i] + alpha_p_aff * ds_aff[i]) *
+                (z[i] + alpha_d_aff * dz_aff[i]);
+    }
+    mu_aff /= static_cast<double>(m);
+
+    // Corrector with Mehrotra's sigma heuristic.
+    const double sigma = std::pow(mu_aff / mu, 3.0);
+    linalg::Vector rc(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      rc[i] = sigma * mu - s[i] * z[i] - ds_aff[i] * dz_aff[i];
+    }
+    const auto [dx, dy, ds, dz] = build_and_solve(rc);
+
+    const double alpha_p = max_step(s, ds, options.step_fraction);
+    const double alpha_d = max_step(z, dz, options.step_fraction);
+
+    x.axpy(alpha_p, dx);
+    s.axpy(alpha_p, ds);
+    z.axpy(alpha_d, dz);
+    if (p > 0) y.axpy(alpha_d, dy);
+  }
+
+  result.status = SolveStatus::kMaxIterations;
+  result.x = x;
+  result.ineq_duals = z;
+  result.eq_duals = y;
+  result.objective = objective(x);
+  return result;
+}
+
+}  // namespace protemp::convex

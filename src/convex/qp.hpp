@@ -1,0 +1,57 @@
+// Dense convex quadratic program solver (primal-dual interior point).
+//
+//   minimize    1/2 x^T P x + q^T x
+//   subject to  G x <= h
+//               A x  = b
+//
+// with P symmetric positive semidefinite. P may be zero (LP). The solver is
+// a Mehrotra-style predictor-corrector interior-point method working on the
+// condensed normal equations; it targets the problem sizes in this library
+// (n up to a few hundred variables, thousands of inequality rows).
+//
+// This is the general-purpose work-horse the paper delegates to CVX [27]:
+// the Pro-Temp per-point programs reduce to instances of this class (after
+// the s = f^2 change of variables the workload constraint is handled by the
+// barrier solver; pure-QP subproblems and all solver cross-checks use this).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "convex/problem.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace protemp::convex {
+
+struct QpOptions {
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-9;        ///< duality gap + residual target
+  double step_fraction = 0.99;    ///< fraction-to-boundary rule
+  double ridge = 1e-12;           ///< base diagonal regularization
+  bool verbose = false;           ///< per-iteration log lines at INFO level
+};
+
+struct QpProblem {
+  linalg::Matrix p;  ///< n x n PSD (may be 0 x 0 for a pure LP in n vars —
+                     ///< then q defines n)
+  linalg::Vector q;  ///< n
+  linalg::Matrix g;  ///< m x n (may be empty: unconstrained/equality only)
+  linalg::Vector h;  ///< m
+  linalg::Matrix a;  ///< p x n (may be empty)
+  linalg::Vector b;  ///< p
+
+  std::size_t num_variables() const noexcept { return q.size(); }
+  std::size_t num_inequalities() const noexcept { return h.size(); }
+  std::size_t num_equalities() const noexcept { return b.size(); }
+
+  /// Throws std::invalid_argument if the shapes are inconsistent.
+  void validate() const;
+};
+
+/// Solves the QP. Infeasibility is reported as kInfeasible when the iterates
+/// diverge with growing primal residual (heuristic certificate; exact Farkas
+/// certificates are out of scope for this dense solver).
+Solution solve_qp(const QpProblem& problem, const QpOptions& options = {});
+
+}  // namespace protemp::convex

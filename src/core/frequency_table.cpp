@@ -1,0 +1,243 @@
+#include "core/frequency_table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace protemp::core {
+namespace {
+
+void check_grid(const std::vector<double>& grid, const char* what) {
+  if (grid.empty()) {
+    throw std::invalid_argument(std::string("FrequencyTable: empty ") + what);
+  }
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    if (!(grid[i] > grid[i - 1])) {
+      throw std::invalid_argument(std::string("FrequencyTable: ") + what +
+                                  " must be strictly increasing");
+    }
+  }
+}
+
+}  // namespace
+
+FrequencyTable::FrequencyTable(std::vector<double> tstart_grid,
+                               std::vector<double> ftarget_grid,
+                               std::size_t num_cores)
+    : tstart_grid_(std::move(tstart_grid)),
+      ftarget_grid_(std::move(ftarget_grid)),
+      num_cores_(num_cores) {
+  check_grid(tstart_grid_, "tstart grid");
+  check_grid(ftarget_grid_, "ftarget grid");
+  if (num_cores_ == 0) {
+    throw std::invalid_argument("FrequencyTable: num_cores must be >= 1");
+  }
+  cells_.resize(rows() * cols());
+}
+
+FrequencyTable FrequencyTable::build(const ProTempOptimizer& optimizer,
+                                     std::vector<double> tstart_grid,
+                                     std::vector<double> ftarget_grid,
+                                     const BuildObserver& observer) {
+  FrequencyTable table(std::move(tstart_grid), std::move(ftarget_grid),
+                       optimizer.num_cores());
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+      const FrequencyAssignment result = optimizer.solve(
+          table.tstart_grid_[r], table.ftarget_grid_[c]);
+      if (observer) observer(r, c, result);
+      if (result.feasible) {
+        table.set_cell(r, c,
+                       Entry{result.frequencies, result.average_frequency,
+                             result.total_power});
+      }
+    }
+  }
+  return table;
+}
+
+const std::optional<FrequencyTable::Entry>& FrequencyTable::cell(
+    std::size_t row, std::size_t col) const {
+  if (row >= rows() || col >= cols()) {
+    throw std::out_of_range("FrequencyTable::cell: index out of range");
+  }
+  return cells_[index(row, col)];
+}
+
+void FrequencyTable::set_cell(std::size_t row, std::size_t col, Entry entry) {
+  if (row >= rows() || col >= cols()) {
+    throw std::out_of_range("FrequencyTable::set_cell: index out of range");
+  }
+  if (entry.frequencies.size() != num_cores_) {
+    throw std::invalid_argument(
+        "FrequencyTable::set_cell: frequency vector size mismatch");
+  }
+  cells_[index(row, col)] = std::move(entry);
+}
+
+std::size_t FrequencyTable::feasible_cells() const noexcept {
+  std::size_t count = 0;
+  for (const auto& cell : cells_) {
+    if (cell) ++count;
+  }
+  return count;
+}
+
+double FrequencyTable::max_feasible_frequency(std::size_t row) const {
+  double best = 0.0;
+  for (std::size_t c = 0; c < cols(); ++c) {
+    const auto& entry = cell(row, c);
+    if (entry) best = std::max(best, entry->average_frequency);
+  }
+  return best;
+}
+
+FrequencyTable::QueryResult FrequencyTable::query(double temperature_celsius,
+                                                  double required_hz) const {
+  QueryResult out;
+  // Row: smallest grid tstart >= observed temperature (conservative). Below
+  // the grid, the first row still upper-bounds the true temperature.
+  const auto row_it = std::lower_bound(tstart_grid_.begin(),
+                                       tstart_grid_.end(),
+                                       temperature_celsius);
+  if (row_it == tstart_grid_.end()) {
+    out.emergency = true;  // hotter than anything Phase 1 planned for
+    return out;
+  }
+  out.row = static_cast<std::size_t>(row_it - tstart_grid_.begin());
+
+  // Column: smallest grid ftarget >= required (so performance is served),
+  // then walk down to the nearest feasible cell.
+  std::size_t col = cols() - 1;
+  const auto col_it = std::lower_bound(ftarget_grid_.begin(),
+                                       ftarget_grid_.end(), required_hz);
+  if (col_it != ftarget_grid_.end()) {
+    col = static_cast<std::size_t>(col_it - ftarget_grid_.begin());
+  } else {
+    out.downgraded = true;  // demand beyond the grid: serve the top column
+  }
+  for (std::size_t c = col + 1; c-- > 0;) {
+    const auto& entry = cells_[index(out.row, c)];
+    if (entry) {
+      out.entry = &*entry;
+      out.col = c;
+      out.downgraded = out.downgraded || (c != col);
+      return out;
+    }
+  }
+  // Entire row infeasible at or below the requested demand.
+  out.downgraded = true;
+  return out;
+}
+
+void FrequencyTable::save(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  std::vector<std::string> header = {"tstart", "ftarget", "feasible",
+                                     "average_frequency", "total_power"};
+  for (std::size_t c = 0; c < num_cores_; ++c) {
+    header.push_back("f" + std::to_string(c));
+  }
+  csv.header(header);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (std::size_t c = 0; c < cols(); ++c) {
+      std::vector<std::string> row = {util::format("%.17g", tstart_grid_[r]),
+                                      util::format("%.17g", ftarget_grid_[c])};
+      const auto& entry = cells_[index(r, c)];
+      if (entry) {
+        row.push_back("1");
+        row.push_back(util::format("%.17g", entry->average_frequency));
+        row.push_back(util::format("%.17g", entry->total_power));
+        for (std::size_t k = 0; k < num_cores_; ++k) {
+          row.push_back(util::format("%.17g", entry->frequencies[k]));
+        }
+      } else {
+        row.push_back("0");
+        row.push_back("0");
+        row.push_back("0");
+        for (std::size_t k = 0; k < num_cores_; ++k) row.push_back("0");
+      }
+      csv.row(row);
+    }
+  }
+}
+
+FrequencyTable FrequencyTable::load(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("FrequencyTable::load: empty input");
+  }
+  const auto header = util::parse_csv_line(line);
+  if (header.size() < 6 || header[0] != "tstart") {
+    throw std::runtime_error("FrequencyTable::load: bad header");
+  }
+  const std::size_t num_cores = header.size() - 5;
+
+  struct Row {
+    double tstart, ftarget;
+    bool feasible;
+    Entry entry;
+  };
+  std::vector<Row> parsed;
+  std::vector<double> tgrid, fgrid;
+  while (std::getline(in, line)) {
+    if (util::trim(line).empty()) continue;
+    const auto fields = util::parse_csv_line(line);
+    if (fields.size() != header.size()) {
+      throw std::runtime_error("FrequencyTable::load: ragged row");
+    }
+    Row row;
+    row.tstart = util::parse_double(fields[0]);
+    row.ftarget = util::parse_double(fields[1]);
+    row.feasible = util::parse_int(fields[2]) != 0;
+    row.entry.average_frequency = util::parse_double(fields[3]);
+    row.entry.total_power = util::parse_double(fields[4]);
+    row.entry.frequencies = linalg::Vector(num_cores);
+    for (std::size_t k = 0; k < num_cores; ++k) {
+      row.entry.frequencies[k] = util::parse_double(fields[5 + k]);
+    }
+    if (tgrid.empty() || row.tstart > tgrid.back()) {
+      tgrid.push_back(row.tstart);
+    }
+    if (std::find(fgrid.begin(), fgrid.end(), row.ftarget) == fgrid.end()) {
+      fgrid.push_back(row.ftarget);
+    }
+    parsed.push_back(std::move(row));
+  }
+  std::sort(fgrid.begin(), fgrid.end());
+
+  FrequencyTable table(std::move(tgrid), std::move(fgrid), num_cores);
+  for (auto& row : parsed) {
+    if (!row.feasible) continue;
+    const auto rit = std::lower_bound(table.tstart_grid_.begin(),
+                                      table.tstart_grid_.end(), row.tstart);
+    const auto cit = std::lower_bound(table.ftarget_grid_.begin(),
+                                      table.ftarget_grid_.end(), row.ftarget);
+    table.set_cell(
+        static_cast<std::size_t>(rit - table.tstart_grid_.begin()),
+        static_cast<std::size_t>(cit - table.ftarget_grid_.begin()),
+        std::move(row.entry));
+  }
+  return table;
+}
+
+void FrequencyTable::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("FrequencyTable::save_file: cannot open " + path);
+  }
+  save(out);
+}
+
+FrequencyTable FrequencyTable::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("FrequencyTable::load_file: cannot open " + path);
+  }
+  return load(in);
+}
+
+}  // namespace protemp::core

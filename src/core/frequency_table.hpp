@@ -1,0 +1,94 @@
+// The Phase-1 output table (paper Fig. 4).
+//
+// Rows are starting-temperature grid points, columns are target average
+// frequencies; each feasible cell stores the optimal per-core frequency
+// vector. Built offline (ProTempOptimizer per cell), queried online by
+// ProTempPolicy:
+//   * the row is the smallest grid temperature >= the observed maximum
+//     sensor temperature (rounding up keeps the guarantee conservative);
+//   * the column is the smallest grid target >= the required frequency,
+//     walking down to "the next lower frequency point ... that can support
+//     the temperature constraints" (Sec. 3.3) when the cell is infeasible.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "linalg/vector.hpp"
+
+namespace protemp::core {
+
+class FrequencyTable {
+ public:
+  struct Entry {
+    linalg::Vector frequencies;      ///< per core [Hz]
+    double average_frequency = 0.0;  ///< [Hz]
+    double total_power = 0.0;        ///< [W]
+  };
+
+  /// Progress callback: (row index, column index, assignment).
+  using BuildObserver = std::function<void(
+      std::size_t, std::size_t, const FrequencyAssignment&)>;
+
+  /// Grids must be non-empty and strictly increasing.
+  FrequencyTable(std::vector<double> tstart_grid,
+                 std::vector<double> ftarget_grid, std::size_t num_cores);
+
+  /// Runs the optimizer over the full grid. Infeasible cells stay empty.
+  static FrequencyTable build(const ProTempOptimizer& optimizer,
+                              std::vector<double> tstart_grid,
+                              std::vector<double> ftarget_grid,
+                              const BuildObserver& observer = nullptr);
+
+  std::size_t rows() const noexcept { return tstart_grid_.size(); }
+  std::size_t cols() const noexcept { return ftarget_grid_.size(); }
+  std::size_t num_cores() const noexcept { return num_cores_; }
+  const std::vector<double>& tstart_grid() const noexcept {
+    return tstart_grid_;
+  }
+  const std::vector<double>& ftarget_grid() const noexcept {
+    return ftarget_grid_;
+  }
+
+  const std::optional<Entry>& cell(std::size_t row, std::size_t col) const;
+  void set_cell(std::size_t row, std::size_t col, Entry entry);
+
+  std::size_t feasible_cells() const noexcept;
+
+  /// Highest feasible average frequency in the given row [Hz]; 0 if the row
+  /// is entirely infeasible.
+  double max_feasible_frequency(std::size_t row) const;
+
+  struct QueryResult {
+    const Entry* entry = nullptr;  ///< nullptr => shut everything down
+    std::size_t row = 0;
+    std::size_t col = 0;
+    bool emergency = false;   ///< temperature above the top grid row
+    bool downgraded = false;  ///< had to fall below the requested column
+  };
+
+  /// Online lookup for an observed max temperature and required frequency.
+  QueryResult query(double temperature_celsius, double required_hz) const;
+
+  // -- serialization (CSV; the design-time artifact handed to the runtime) --
+  void save(std::ostream& out) const;
+  static FrequencyTable load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static FrequencyTable load_file(const std::string& path);
+
+ private:
+  std::size_t index(std::size_t row, std::size_t col) const {
+    return row * cols() + col;
+  }
+
+  std::vector<double> tstart_grid_;
+  std::vector<double> ftarget_grid_;
+  std::size_t num_cores_;
+  std::vector<std::optional<Entry>> cells_;
+};
+
+}  // namespace protemp::core

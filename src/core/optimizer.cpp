@@ -1,0 +1,398 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace protemp::core {
+namespace {
+
+constexpr const char* kModule = "core.optimizer";
+
+/// f(x) = offset - scale * sum_{v < count} sqrt(x_v): the workload
+/// constraint (offset = n * ftarget / fmax, scale = 1) and, negated via
+/// offset = 0, the max-throughput objective. Convex on x_v > 0.
+class NegSqrtSum final : public convex::ScalarFunction {
+ public:
+  NegSqrtSum(std::size_t dimension, std::size_t count, double offset,
+             double scale)
+      : dimension_(dimension), count_(count), offset_(offset), scale_(scale) {}
+
+  std::size_t dimension() const noexcept override { return dimension_; }
+
+  double value(const linalg::Vector& x) const override {
+    double acc = offset_;
+    for (std::size_t v = 0; v < count_; ++v) {
+      acc -= scale_ * std::sqrt(x[v]);  // NaN for x_v < 0 -> caller rejects
+    }
+    return acc;
+  }
+
+  linalg::Vector gradient(const linalg::Vector& x) const override {
+    linalg::Vector g(dimension_);
+    for (std::size_t v = 0; v < count_; ++v) {
+      g[v] = -scale_ * 0.5 / std::sqrt(x[v]);
+    }
+    return g;
+  }
+
+  linalg::Matrix hessian(const linalg::Vector& x) const override {
+    linalg::Matrix h(dimension_, dimension_);
+    for (std::size_t v = 0; v < count_; ++v) {
+      h(v, v) = scale_ * 0.25 / (x[v] * std::sqrt(x[v]));
+    }
+    return h;
+  }
+
+ private:
+  std::size_t dimension_;
+  std::size_t count_;
+  double offset_;
+  double scale_;
+};
+
+}  // namespace
+
+ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
+                                   ProTempConfig config)
+    : platform_(platform), config_(std::move(config)) {
+  if (!(config_.dfs_period > 0.0) || !(config_.dt > 0.0) ||
+      config_.dfs_period < config_.dt) {
+    throw std::invalid_argument("ProTempConfig: need dfs_period >= dt > 0");
+  }
+  if (config_.gradient_step_stride == 0) {
+    throw std::invalid_argument("ProTempConfig: gradient_step_stride >= 1");
+  }
+  if (!(config_.sigma_floor > 0.0)) {
+    throw std::invalid_argument("ProTempConfig: sigma_floor must be > 0");
+  }
+  steps_ = static_cast<std::size_t>(
+      std::llround(config_.dfs_period / config_.dt));
+  num_cores_ = platform_.num_cores();
+  num_sigma_ = config_.uniform_frequency ? 1 : num_cores_;
+  // With a single shared frequency there is no degree of freedom to shape
+  // the gradient, so tgrad is only meaningful in variable mode.
+  has_tgrad_ = config_.minimize_gradient && !config_.uniform_frequency;
+  num_vars_ = num_sigma_ + (has_tgrad_ ? 1 : 0);
+
+  const thermal::ThermalModel model(platform_.network(), config_.dt);
+  // Two horizon maps: one with the static background (cores idle), one with
+  // the peak background. Their difference d_k is the thermal response to
+  // the activity-coupled share of the background power, which scales with
+  // mean(sigma) and therefore stays linear in the decision variables (the
+  // worst-case activity estimate: every core fully busy at its frequency).
+  const thermal::HorizonAffineMap map = thermal::build_horizon_map(
+      model, steps_, platform_.core_nodes(), platform_.core_nodes(),
+      platform_.background_power_at(0.0));
+  const thermal::HorizonAffineMap map_peak = thermal::build_horizon_map(
+      model, steps_, platform_.core_nodes(), platform_.core_nodes(),
+      platform_.background_power());
+
+  const double pmax = platform_.core_pmax();
+  const std::size_t nc = num_cores_;
+  // d_k[r]: extra temperature at (k, r) per unit of mean core activity.
+  const auto activity_coeff = [&](std::size_t k, std::size_t r) {
+    return map_peak.w[k - 1][r] - map.w[k - 1][r];
+  };
+
+  // Row layout:
+  //   [0, steps*nc)                       temperature rows, k-major
+  //   then nc (or 1) upper bounds sigma <= 1
+  //   then nc (or 1) lower bounds -sigma <= -sigma_floor
+  //   then 1 row -tgrad <= 0                        (if tgrad)
+  //   then gradient rows for strided k, ordered core pairs (if tgrad)
+  std::size_t gradient_rows = 0;
+  if (has_tgrad_) {
+    std::size_t strided_steps = 0;
+    for (std::size_t k = 1; k <= steps_; k += config_.gradient_step_stride) {
+      ++strided_steps;
+    }
+    gradient_rows = strided_steps * nc * (nc - 1);
+  }
+  const std::size_t budget_rows = config_.power_budget_watts ? 1 : 0;
+  const std::size_t rows = steps_ * nc + 2 * num_sigma_ + budget_rows +
+                           (has_tgrad_ ? 1 + gradient_rows : 0);
+
+  const std::size_t n_nodes = platform_.num_nodes();
+  g_ = linalg::Matrix(rows, num_vars_);
+  h0_ = linalg::Vector(rows);
+  state_gain_ = linalg::Matrix(rows, n_nodes);
+
+  std::size_t row = 0;
+  // Temperature rows: for each step k and monitored core r,
+  //   sum_v M_k(r, v) * pmax * sigma_v <= tmax + slack - u_k[r]*tstart - w_k[r].
+  for (std::size_t k = 1; k <= steps_; ++k) {
+    const linalg::Matrix& mk = map.m[k - 1];
+    for (std::size_t r = 0; r < nc; ++r) {
+      const double d = activity_coeff(k, r);
+      if (config_.uniform_frequency) {
+        double acc = 0.0;
+        for (std::size_t v = 0; v < nc; ++v) acc += mk(r, v);
+        g_(row, 0) = acc * pmax + d;  // mean(sigma) == sigma in uniform mode
+      } else {
+        for (std::size_t v = 0; v < nc; ++v) {
+          g_(row, v) = mk(r, v) * pmax + d / static_cast<double>(nc);
+        }
+      }
+      h0_[row] = config_.tmax + config_.constraint_slack - map.w[k - 1][r];
+      for (std::size_t j = 0; j < n_nodes; ++j) {
+        state_gain_(row, j) = -map.s[k - 1](r, j);
+      }
+      ++row;
+    }
+  }
+  // Bounds.
+  for (std::size_t v = 0; v < num_sigma_; ++v) {
+    g_(row, v) = 1.0;
+    h0_[row] = 1.0;
+    ++row;
+  }
+  for (std::size_t v = 0; v < num_sigma_; ++v) {
+    g_(row, v) = -1.0;
+    h0_[row] = -config_.sigma_floor;
+    ++row;
+  }
+  if (config_.power_budget_watts) {
+    // sum_i p_i = pmax * (sum sigma, or n * sigma uniform) <= budget.
+    const double per_sigma =
+        config_.uniform_frequency ? pmax * static_cast<double>(nc) : pmax;
+    for (std::size_t v = 0; v < num_sigma_; ++v) g_(row, v) = per_sigma;
+    h0_[row] = *config_.power_budget_watts;
+    ++row;
+  }
+  if (has_tgrad_) {
+    g_(row, num_sigma_) = -1.0;
+    h0_[row] = 0.0;
+    ++row;
+    // Gradient rows: T_k[r] - T_k[q] <= tgrad for ordered pairs r != q.
+    for (std::size_t k = 1; k <= steps_; k += config_.gradient_step_stride) {
+      const linalg::Matrix& mk = map.m[k - 1];
+      for (std::size_t r = 0; r < nc; ++r) {
+        for (std::size_t q = 0; q < nc; ++q) {
+          if (r == q) continue;
+          const double dd =
+              (activity_coeff(k, r) - activity_coeff(k, q)) /
+              static_cast<double>(nc);
+          for (std::size_t v = 0; v < nc; ++v) {
+            g_(row, v) = (mk(r, v) - mk(q, v)) * pmax + dd;
+          }
+          g_(row, num_sigma_) = -1.0;
+          h0_[row] = map.w[k - 1][q] - map.w[k - 1][r];
+          for (std::size_t j = 0; j < n_nodes; ++j) {
+            state_gain_(row, j) = map.s[k - 1](q, j) - map.s[k - 1](r, j);
+          }
+          ++row;
+        }
+      }
+    }
+  }
+  if (row != rows) {
+    throw std::logic_error("ProTempOptimizer: row layout mismatch");
+  }
+  // Cache the uniform-start gain h1 = S * 1.
+  h1_ = state_gain_ * linalg::Vector(n_nodes, 1.0);
+}
+
+linalg::Vector ProTempOptimizer::rhs_for(double tstart) const {
+  linalg::Vector h = h0_;
+  h.axpy(tstart, h1_);
+  return h;
+}
+
+linalg::Vector ProTempOptimizer::rhs_for_state(
+    const linalg::Vector& node_temps) const {
+  if (node_temps.size() != platform_.num_nodes()) {
+    throw std::invalid_argument(
+        "ProTempOptimizer: node_temps must have one entry per thermal node");
+  }
+  linalg::Vector h = h0_;
+  h += state_gain_ * node_temps;
+  return h;
+}
+
+std::optional<linalg::Vector> ProTempOptimizer::feasible_start(
+    const convex::LinearConstraints& lin) const {
+  // Near-zero sigma is strictly feasible for the thermal rows whenever the
+  // point is feasible at all (temperatures are monotone in power); tgrad
+  // starts above the largest zero-power pairwise gap.
+  linalg::Vector x(num_vars_);
+  for (std::size_t v = 0; v < num_sigma_; ++v) {
+    x[v] = std::max(config_.sigma_floor * 4.0, 1e-8);
+  }
+  if (has_tgrad_) x[num_sigma_] = 1.0;
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const linalg::Vector r = lin.residuals(x);
+    double worst = r.max();
+    if (worst < 0.0) return x;
+    if (!has_tgrad_) break;
+    // Raise tgrad to clear gradient rows; thermal rows do not involve tgrad,
+    // so if they are violated at near-zero power the point is infeasible.
+    bool thermal_violated = false;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      if (r[i] >= 0.0 && g_(i, num_sigma_) == 0.0) {
+        thermal_violated = true;
+        break;
+      }
+    }
+    if (thermal_violated) break;
+    x[num_sigma_] = x[num_sigma_] * 2.0 + worst + 1.0;
+  }
+  // Fall back to generic phase-I.
+  convex::BarrierProblem probe;
+  linalg::Vector c(num_vars_);
+  probe.objective = std::make_shared<convex::AffineFunction>(c, 0.0);
+  probe.linear = lin;
+  return convex::find_strictly_feasible(probe, x, 1e-12, config_.solver);
+}
+
+FrequencyAssignment ProTempOptimizer::solve(double tstart_celsius,
+                                            double ftarget_hz) const {
+  return solve_with_rhs(rhs_for(tstart_celsius), ftarget_hz);
+}
+
+FrequencyAssignment ProTempOptimizer::solve_from_state(
+    const linalg::Vector& node_temps, double ftarget_hz) const {
+  return solve_with_rhs(rhs_for_state(node_temps), ftarget_hz);
+}
+
+FrequencyAssignment ProTempOptimizer::solve_with_rhs(linalg::Vector rhs,
+                                                     double ftarget_hz) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  FrequencyAssignment out;
+
+  const double fmax = platform_.fmax();
+  const double phi = std::clamp(ftarget_hz / fmax, 0.0, 1.0);
+
+  convex::LinearConstraints lin{g_, std::move(rhs)};
+
+  // Objective: total power + gradient weight (Eq. 5), all linear.
+  linalg::Vector cost(num_vars_);
+  const double per_sigma_power =
+      config_.uniform_frequency
+          ? platform_.core_pmax() * static_cast<double>(num_cores_)
+          : platform_.core_pmax();
+  for (std::size_t v = 0; v < num_sigma_; ++v) cost[v] = per_sigma_power;
+  if (has_tgrad_) cost[num_sigma_] = config_.gradient_weight;
+
+  convex::BarrierProblem problem;
+  problem.objective =
+      std::make_shared<convex::AffineFunction>(std::move(cost), 0.0);
+  problem.linear = lin;
+  // Workload constraint: n*phi - sum sqrt(sigma) <= 0. In uniform mode the
+  // single sigma serves all n cores: n*phi - n*sqrt(sigma) <= 0.
+  const double ws_scale =
+      config_.uniform_frequency ? static_cast<double>(num_cores_) : 1.0;
+  if (phi > 0.0) {
+    problem.constraints.push_back(std::make_shared<NegSqrtSum>(
+        num_vars_, num_sigma_, static_cast<double>(num_cores_) * phi,
+        ws_scale));
+  }
+
+  const auto finish = [&](convex::SolveStatus status) {
+    out.status = status;
+    out.solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return out;
+  };
+
+  // Strictly feasible start for the thermal rows...
+  const auto start = feasible_start(lin);
+  if (!start) return finish(convex::SolveStatus::kInfeasible);
+
+  linalg::Vector x0 = *start;
+  if (phi > 0.0 && !problem.strictly_feasible(x0)) {
+    // ...then lift it over the workload constraint: push sigma up along the
+    // max-throughput direction. Maximize sum sqrt(sigma) subject to the
+    // thermal rows; its optimizer is strictly feasible for them, and if even
+    // it cannot meet the workload the point is infeasible.
+    convex::BarrierProblem throughput;
+    throughput.objective =
+        std::make_shared<NegSqrtSum>(num_vars_, num_sigma_, 0.0, ws_scale);
+    throughput.linear = lin;
+    const convex::Solution sol =
+        convex::solve_barrier(throughput, x0, config_.solver);
+    out.newton_iterations += sol.iterations;
+    if (sol.status != convex::SolveStatus::kOptimal) {
+      return finish(sol.status);
+    }
+    if (!problem.strictly_feasible(sol.x)) {
+      return finish(convex::SolveStatus::kInfeasible);
+    }
+    x0 = sol.x;
+  }
+
+  const convex::Solution sol = convex::solve_barrier(problem, x0, config_.solver);
+  out.newton_iterations += sol.iterations;
+  if (sol.status != convex::SolveStatus::kOptimal) {
+    return finish(sol.status);
+  }
+
+  out.feasible = true;
+  out.frequencies = linalg::Vector(num_cores_);
+  double freq_sum = 0.0;
+  double power_sum = 0.0;
+  for (std::size_t c = 0; c < num_cores_; ++c) {
+    const double sigma =
+        config_.uniform_frequency ? sol.x[0] : sol.x[c];
+    out.frequencies[c] = fmax * std::sqrt(std::max(0.0, sigma));
+    freq_sum += out.frequencies[c];
+    power_sum += platform_.core_pmax() * sigma;
+  }
+  out.average_frequency = freq_sum / static_cast<double>(num_cores_);
+  out.total_power = power_sum;
+  if (has_tgrad_) out.tgrad = sol.x[num_sigma_];
+  PROTEMP_LOG_DEBUG(kModule,
+                    "solve(ftarget=%.0fMHz): favg=%.0fMHz "
+                    "P=%.2fW tgrad=%.2fK newton=%zu",
+                    ftarget_hz / 1e6, out.average_frequency / 1e6,
+                    out.total_power, out.tgrad, out.newton_iterations);
+  return finish(convex::SolveStatus::kOptimal);
+}
+
+std::optional<ProTempOptimizer::ThroughputResult>
+ProTempOptimizer::max_supported_frequency(double tstart_celsius) const {
+  return max_throughput_with_rhs(rhs_for(tstart_celsius));
+}
+
+std::optional<ProTempOptimizer::ThroughputResult>
+ProTempOptimizer::max_supported_frequency_from_state(
+    const linalg::Vector& node_temps) const {
+  return max_throughput_with_rhs(rhs_for_state(node_temps));
+}
+
+std::optional<ProTempOptimizer::ThroughputResult>
+ProTempOptimizer::max_throughput_with_rhs(linalg::Vector rhs) const {
+  convex::LinearConstraints lin{g_, std::move(rhs)};
+  const auto start = feasible_start(lin);
+  if (!start) return std::nullopt;
+
+  const double ws_scale =
+      config_.uniform_frequency ? static_cast<double>(num_cores_) : 1.0;
+  convex::BarrierProblem throughput;
+  throughput.objective =
+      std::make_shared<NegSqrtSum>(num_vars_, num_sigma_, 0.0, ws_scale);
+  throughput.linear = lin;
+  const convex::Solution sol =
+      convex::solve_barrier(throughput, *start, config_.solver);
+  if (sol.status != convex::SolveStatus::kOptimal) return std::nullopt;
+
+  ThroughputResult out;
+  out.frequencies = linalg::Vector(num_cores_);
+  double freq_sum = 0.0;
+  for (std::size_t c = 0; c < num_cores_; ++c) {
+    const double sigma =
+        config_.uniform_frequency ? sol.x[0] : sol.x[c];
+    out.frequencies[c] = platform_.fmax() * std::sqrt(std::max(0.0, sigma));
+    freq_sum += out.frequencies[c];
+  }
+  out.average_frequency = freq_sum / static_cast<double>(num_cores_);
+  return out;
+}
+
+}  // namespace protemp::core

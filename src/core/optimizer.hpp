@@ -1,0 +1,147 @@
+// Pro-Temp Phase-1 optimizer — the paper's convex program (3)-(5).
+//
+// For a starting temperature `tstart` (all nodes, worst case) and a required
+// average frequency `ftarget`, find per-core frequencies f minimizing total
+// power (plus, optionally, the spatial gradient bound tgrad of Eq. (4)-(5))
+// such that every core stays at or below tmax at every discrete step of the
+// DFS window.
+//
+// Reformulation actually solved (see DESIGN.md):
+//   * state elimination: with constant within-window power, core
+//     temperatures are affine in the power vector (HorizonAffineMap);
+//   * change of variables sigma_i = (f_i / fmax)^2, so p_i = pmax * sigma_i
+//     is linear in sigma (paper Eq. 2) and all temperature rows are linear;
+//   * the workload constraint sum_i f_i >= n * ftarget becomes the convex
+//     constraint n*phi - sum_i sqrt(sigma_i) <= 0 with phi = ftarget/fmax.
+// The result is a smooth convex program solved by the log-barrier
+// interior-point solver; at the optimum the power law holds with equality,
+// recovering the paper's formulation exactly.
+//
+// The same machinery answers "what is the highest average frequency this
+// starting temperature can support?" (Fig. 9) by maximizing sum_i
+// sqrt(sigma_i) subject to the thermal rows only.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "arch/platform.hpp"
+#include "convex/barrier.hpp"
+#include "convex/problem.hpp"
+#include "linalg/vector.hpp"
+#include "thermal/model.hpp"
+
+namespace protemp::core {
+
+struct ProTempConfig {
+  double tmax = 100.0;        ///< max core temperature [degC]
+  double dfs_period = 0.1;    ///< window the guarantee covers [s]
+  double dt = 0.4e-3;         ///< discretization step (paper: 0.4 ms)
+
+  bool uniform_frequency = false;  ///< Sec. 5.3: one frequency for all cores
+
+  bool minimize_gradient = true;   ///< add Eq. (4)-(5) tgrad machinery
+  double gradient_weight = 1.0;    ///< weight of tgrad in the objective
+  /// Enforce the pairwise gradient rows every this many steps (1 = every
+  /// step). The temperature trajectory is smooth at the 0.4 ms scale, so a
+  /// stride > 1 trims constraint count at negligible fidelity cost.
+  std::size_t gradient_step_stride = 10;
+
+  /// Tiny slack on the temperature rows so the tstart == tmax boundary case
+  /// retains a strict interior (see DESIGN.md).
+  double constraint_slack = 1e-6;
+  /// Lower bound on sigma, keeping sqrt() away from its singular point.
+  double sigma_floor = 1e-9;
+
+  /// Optional chip-wide core power budget [W] (extension): adds the linear
+  /// row sum_i p_i <= budget to the program.
+  std::optional<double> power_budget_watts;
+
+  convex::BarrierOptions solver;
+};
+
+/// Result of one Phase-1 solve.
+struct FrequencyAssignment {
+  bool feasible = false;
+  convex::SolveStatus status = convex::SolveStatus::kInfeasible;
+  linalg::Vector frequencies;      ///< per core [Hz] (empty if infeasible)
+  double average_frequency = 0.0;  ///< mean of frequencies [Hz]
+  double total_power = 0.0;        ///< sum of core powers [W]
+  double tgrad = 0.0;              ///< achieved gradient bound [K] (if on)
+  std::size_t newton_iterations = 0;
+  double solve_seconds = 0.0;
+};
+
+class ProTempOptimizer {
+ public:
+  /// Precomputes the horizon affine maps for `platform`; cheap to query
+  /// afterwards. Throws std::invalid_argument on inconsistent config.
+  ProTempOptimizer(const arch::Platform& platform, ProTempConfig config);
+
+  /// Solves the program for one (tstart, ftarget) point — every thermal
+  /// node assumed to start at `tstart` (worst case; Phase-1 table entries).
+  FrequencyAssignment solve(double tstart_celsius,
+                            double ftarget_hz) const;
+
+  /// Online (MPC-style) variant: solves from an arbitrary measured initial
+  /// state (one temperature per thermal node, spreader/sink included).
+  /// Strictly less conservative than solve() keyed on max(t0): the affine
+  /// horizon maps propagate the true non-uniform state. Extension beyond
+  /// the paper's table-lookup Phase 2; see OnlineProTempPolicy.
+  FrequencyAssignment solve_from_state(const linalg::Vector& node_temps,
+                                       double ftarget_hz) const;
+
+  /// Highest supportable average frequency [Hz] from `tstart` (Fig. 9), or
+  /// std::nullopt if even near-zero frequencies violate the constraints.
+  /// Also reports the maximizing per-core frequencies (Fig. 10).
+  struct ThroughputResult {
+    double average_frequency = 0.0;
+    linalg::Vector frequencies;
+  };
+  std::optional<ThroughputResult> max_supported_frequency(
+      double tstart_celsius) const;
+  /// Same, from an arbitrary measured initial state.
+  std::optional<ThroughputResult> max_supported_frequency_from_state(
+      const linalg::Vector& node_temps) const;
+
+  const ProTempConfig& config() const noexcept { return config_; }
+  std::size_t horizon_steps() const noexcept { return steps_; }
+  std::size_t num_cores() const noexcept { return num_cores_; }
+  const arch::Platform& platform() const noexcept { return platform_; }
+
+  /// Number of linear constraint rows in the variable-frequency program
+  /// (diagnostics / tests).
+  std::size_t num_linear_rows() const noexcept { return g_.rows(); }
+
+ private:
+  /// Right-hand side of the cached linear block for a uniform tstart.
+  linalg::Vector rhs_for(double tstart) const;
+  /// Right-hand side for an arbitrary initial node-temperature vector.
+  linalg::Vector rhs_for_state(const linalg::Vector& node_temps) const;
+  /// A strictly feasible starting sigma (+ tgrad) for the thermal rows, or
+  /// nullopt if none exists.
+  std::optional<linalg::Vector> feasible_start(
+      const convex::LinearConstraints& lin) const;
+  /// Shared solve paths once the rhs is fixed.
+  FrequencyAssignment solve_with_rhs(linalg::Vector rhs,
+                                     double ftarget_hz) const;
+  std::optional<ThroughputResult> max_throughput_with_rhs(
+      linalg::Vector rhs) const;
+
+  const arch::Platform& platform_;
+  ProTempConfig config_;
+  std::size_t steps_ = 0;
+  std::size_t num_cores_ = 0;
+  std::size_t num_sigma_ = 0;   ///< n (variable) or 1 (uniform)
+  bool has_tgrad_ = false;
+  std::size_t num_vars_ = 0;    ///< num_sigma_ + (has_tgrad_ ? 1 : 0)
+
+  // Cached linear block: G x <= h0 + S t0 (uniform tstart: h0 + tstart*h1
+  // with h1 = S 1).
+  linalg::Matrix g_;
+  linalg::Vector h0_;
+  linalg::Vector h1_;
+  linalg::Matrix state_gain_;  ///< rows x num_nodes
+};
+
+}  // namespace protemp::core

@@ -1,0 +1,177 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace protemp::linalg {
+
+std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
+  if (!a.square()) {
+    throw std::invalid_argument("Cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      const double* li = l.row_data(i);
+      const double* lj = l.row_data(j);
+      for (std::size_t k = 0; k < j; ++k) acc -= li[k] * lj[k];
+      l(i, j) = acc / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+std::optional<Cholesky> Cholesky::factor_regularized(const Matrix& a,
+                                                     double ridge) {
+  Matrix reg = a;
+  for (std::size_t i = 0; i < reg.rows(); ++i) reg(i, i) += ridge;
+  return factor(reg);
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("Cholesky::solve: dimension mismatch");
+  }
+  // Forward substitution: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    const double* li = l_.row_data(i);
+    for (std::size_t k = 0; k < i; ++k) acc -= li[k] * y[k];
+    y[i] = acc / li[i];
+  }
+  // Back substitution: L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  if (b.rows() != l_.rows()) {
+    throw std::invalid_argument("Cholesky::solve: dimension mismatch");
+  }
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    x.set_col(j, solve(b.col(j)));
+  }
+  return x;
+}
+
+double Cholesky::log_det() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+std::optional<Ldlt> Ldlt::factor(const Matrix& a, double pivot_tol) {
+  if (!a.square()) {
+    throw std::invalid_argument("Ldlt: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  // Work on a permuted copy; `perm` maps factor row -> original row.
+  Matrix work = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  Matrix l = Matrix::identity(n);
+  Vector d(n);
+
+  const auto swap_rows_cols = [&](std::size_t p, std::size_t q) {
+    if (p == q) return;
+    for (std::size_t j = 0; j < n; ++j) std::swap(work(p, j), work(q, j));
+    for (std::size_t i = 0; i < n; ++i) std::swap(work(i, p), work(i, q));
+    // Swap the already-computed part of L (columns < current step).
+    for (std::size_t j = 0; j < n; ++j) std::swap(l(p, j), l(q, j));
+    std::swap(perm[p], perm[q]);
+  };
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Diagonal pivoting: bring the largest remaining |diagonal| to position j.
+    std::size_t best = j;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      if (std::abs(work(i, i)) > std::abs(work(best, best))) best = i;
+    }
+    swap_rows_cols(j, best);
+    // Undo the unwanted column swap inside L's identity part: columns >= j of
+    // L are still identity, the swap above may have moved 1s around. Restore.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = j; k < n; ++k) l(i, k) = (i == k) ? 1.0 : 0.0;
+    }
+
+    const double pivot = work(j, j);
+    if (std::abs(pivot) < pivot_tol || !std::isfinite(pivot)) {
+      return std::nullopt;
+    }
+    d[j] = pivot;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      l(i, j) = work(i, j) / pivot;
+    }
+    // Schur complement update of the trailing block.
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double lij = l(i, j);
+      if (lij == 0.0) continue;
+      for (std::size_t k = j + 1; k < n; ++k) {
+        work(i, k) -= lij * pivot * l(k, j);
+      }
+    }
+  }
+
+  Ldlt out;
+  out.l_ = std::move(l);
+  out.d_ = std::move(d);
+  out.perm_ = std::move(perm);
+  return out;
+}
+
+Vector Ldlt::solve(const Vector& b) const {
+  const std::size_t n = d_.size();
+  if (b.size() != n) {
+    throw std::invalid_argument("Ldlt::solve: dimension mismatch");
+  }
+  // Apply permutation: solve (P A P^T) z = P b, then x = P^T z.
+  Vector pb(n);
+  for (std::size_t i = 0; i < n; ++i) pb[i] = b[perm_[i]];
+
+  // L y = pb
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = pb[i];
+    const double* li = l_.row_data(i);
+    for (std::size_t k = 0; k < i; ++k) acc -= li[k] * y[k];
+    y[i] = acc;
+  }
+  // D z = y
+  for (std::size_t i = 0; i < n; ++i) y[i] /= d_[i];
+  // L^T w = z
+  Vector w(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * w[k];
+    w[ii] = acc;
+  }
+  // Un-permute.
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = w[i];
+  return x;
+}
+
+std::size_t Ldlt::negative_pivots() const noexcept {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < d_.size(); ++i) {
+    if (d_[i] < 0.0) ++count;
+  }
+  return count;
+}
+
+}  // namespace protemp::linalg

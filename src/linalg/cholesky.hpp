@@ -1,0 +1,69 @@
+// Cholesky (LL^T) and LDL^T factorizations for symmetric systems.
+//
+// Cholesky serves the interior-point normal equations (symmetric positive
+// definite by construction); LDL^T handles the quasi-definite KKT systems of
+// equality-constrained Newton steps, where the matrix is symmetric but
+// indefinite.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace protemp::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive definite matrix.
+class Cholesky {
+ public:
+  /// Factorizes A = L L^T. Returns std::nullopt if A is not (numerically)
+  /// positive definite. Only the lower triangle of A is read.
+  static std::optional<Cholesky> factor(const Matrix& a);
+
+  /// Like factor(), but adds `ridge` to the diagonal before factorizing —
+  /// the standard regularization fallback inside optimization loops.
+  static std::optional<Cholesky> factor_regularized(const Matrix& a,
+                                                    double ridge);
+
+  /// Solves A x = b via forward/back substitution.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// log(det A) = 2 * sum_i log L_ii (well defined: L_ii > 0).
+  double log_det() const noexcept;
+
+  const Matrix& factor_matrix() const noexcept { return l_; }
+
+ private:
+  explicit Cholesky(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// LDL^T factorization with symmetric diagonal pivoting (Bunch-Kaufman style
+/// 1x1 pivots). Handles symmetric indefinite matrices as long as no 2x2
+/// pivot is required to maintain stability — sufficient for the
+/// quasi-definite KKT matrices produced by our solvers, where diagonal
+/// blocks have a definite sign pattern.
+class Ldlt {
+ public:
+  /// Factorizes P A P^T = L D L^T. Returns std::nullopt if a pivot collapses
+  /// below tolerance (matrix numerically singular).
+  static std::optional<Ldlt> factor(const Matrix& a, double pivot_tol = 1e-13);
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Number of negative eigenvalues of A (= negative entries of D); used to
+  /// verify the inertia of KKT systems.
+  std::size_t negative_pivots() const noexcept;
+
+ private:
+  Ldlt() = default;
+  Matrix l_;
+  Vector d_;
+  std::vector<std::size_t> perm_;
+};
+
+}  // namespace protemp::linalg

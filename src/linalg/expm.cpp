@@ -1,0 +1,79 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace protemp::linalg {
+namespace {
+
+/// Padé(6,6) numerator/denominator coefficients for e^x.
+constexpr double kPade6[] = {1.0,          1.0 / 2.0,     5.0 / 44.0,
+                             1.0 / 66.0,   1.0 / 792.0,   1.0 / 15840.0,
+                             1.0 / 665280.0};
+
+int scaling_power(double norm) {
+  // Scale so ||A/2^s|| <= 0.5, a conservative bound for Padé(6,6).
+  if (norm <= 0.5) return 0;
+  return static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+}
+
+}  // namespace
+
+Matrix expm(const Matrix& a) {
+  if (!a.square()) throw std::invalid_argument("expm: matrix must be square");
+  const std::size_t n = a.rows();
+  const double norm = a.norm_inf();
+  if (!std::isfinite(norm)) {
+    throw std::runtime_error("expm: non-finite input");
+  }
+  const int s = scaling_power(norm);
+  Matrix x = a * std::pow(2.0, -s);
+
+  // Horner evaluation of the Padé numerator N = sum c_k X^k and
+  // denominator D = sum (-1)^k c_k X^k.
+  Matrix power = Matrix::identity(n);
+  Matrix numerator(n, n);
+  Matrix denominator(n, n);
+  for (int k = 0; k <= 6; ++k) {
+    const Matrix term = power * kPade6[k];
+    numerator += term;
+    if (k % 2 == 0) {
+      denominator += term;
+    } else {
+      denominator -= term;
+    }
+    if (k < 6) power = power * x;
+  }
+
+  const auto lu = Lu::factor(denominator);
+  if (!lu) throw std::runtime_error("expm: Padé denominator singular");
+  Matrix result = lu->solve(numerator);
+
+  for (int i = 0; i < s; ++i) result = result * result;
+  return result;
+}
+
+Matrix expm_phi(const Matrix& a) {
+  if (!a.square()) {
+    throw std::invalid_argument("expm_phi: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  // Build the block matrix M = [[A, I], [0, 0]]; then
+  // expm(M) = [[e^A, phi(A)], [0, I]].  (Standard augmented-matrix trick;
+  // see Van Loan, "Computing integrals involving the matrix exponential".)
+  Matrix m(2 * n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = a(i, j);
+    m(i, n + i) = 1.0;
+  }
+  const Matrix e = expm(m);
+  Matrix phi(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) phi(i, j) = e(i, n + j);
+  }
+  return phi;
+}
+
+}  // namespace protemp::linalg

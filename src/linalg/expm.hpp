@@ -1,0 +1,24 @@
+// Matrix exponential via scaling-and-squaring with a Padé(6,6) approximant.
+//
+// The thermal model is the linear ODE  C dT/dt = -G T + u.  The *exact*
+// one-step discretization over dt is  T(dt) = expm(A dt) T(0) + ...  — we use
+// expm to build a reference discretization against which the paper's forward
+// Euler scheme (Eq. 1) is validated, and to quantify Euler's step-size error
+// in the ablation bench.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace protemp::linalg {
+
+/// Computes e^A for a square matrix. Throws std::runtime_error if the Padé
+/// linear solve is singular (cannot happen for the norm-scaled argument
+/// unless A contains non-finite entries).
+Matrix expm(const Matrix& a);
+
+/// Computes phi(A) = A^{-1} (e^A - I) without inverting A (series/recursion
+/// based, well defined for singular A). Used for the exact zero-order-hold
+/// input response: x(dt) = e^{A dt} x0 + dt * phi(A dt) * u.
+Matrix expm_phi(const Matrix& a);
+
+}  // namespace protemp::linalg

@@ -1,0 +1,96 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace protemp::linalg {
+
+std::optional<Lu> Lu::factor(const Matrix& a, double pivot_tol) {
+  if (!a.square()) {
+    throw std::invalid_argument("Lu: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Lu out;
+  out.lu_ = a;
+  out.perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.perm_[i] = i;
+
+  Matrix& lu = out.lu_;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Partial pivot: largest |entry| in column j at or below the diagonal.
+    std::size_t best = j;
+    double best_abs = std::abs(lu(j, j));
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double v = std::abs(lu(i, j));
+      if (v > best_abs) {
+        best = i;
+        best_abs = v;
+      }
+    }
+    if (best_abs < pivot_tol || !std::isfinite(best_abs)) return std::nullopt;
+    if (best != j) {
+      for (std::size_t k = 0; k < n; ++k) std::swap(lu(j, k), lu(best, k));
+      std::swap(out.perm_[j], out.perm_[best]);
+      out.perm_sign_ = -out.perm_sign_;
+    }
+    const double pivot = lu(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double mult = lu(i, j) / pivot;
+      lu(i, j) = mult;
+      if (mult == 0.0) continue;
+      double* ri = lu.row_data(i);
+      const double* rj = lu.row_data(j);
+      for (std::size_t k = j + 1; k < n; ++k) ri[k] -= mult * rj[k];
+    }
+  }
+  return out;
+}
+
+Vector Lu::solve(const Vector& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("Lu::solve: dimension mismatch");
+  }
+  // Forward substitution with permuted RHS: L y = P b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    const double* ri = lu_.row_data(i);
+    for (std::size_t k = 0; k < i; ++k) acc -= ri[k] * y[k];
+    y[i] = acc;
+  }
+  // Back substitution: U x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    const double* ri = lu_.row_data(ii);
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= ri[k] * x[k];
+    x[ii] = acc / ri[ii];
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  if (b.rows() != lu_.rows()) {
+    throw std::invalid_argument("Lu::solve: dimension mismatch");
+  }
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+  return x;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(lu_.rows())); }
+
+double Lu::det() const noexcept {
+  double acc = static_cast<double>(perm_sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) acc *= lu_(i, i);
+  return acc;
+}
+
+Vector solve_linear(const Matrix& a, const Vector& b) {
+  const auto lu = Lu::factor(a);
+  if (!lu) throw std::runtime_error("solve_linear: singular matrix");
+  return lu->solve(b);
+}
+
+}  // namespace protemp::linalg

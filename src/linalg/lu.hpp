@@ -1,0 +1,45 @@
+// LU factorization with partial pivoting for general square systems.
+//
+// Used for the thermal model's steady-state solves (conductance matrices are
+// SPD, but LU also covers the non-symmetric discretization matrices used in
+// the validation paths) and for matrix inversion in the expm Padé kernel.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace protemp::linalg {
+
+class Lu {
+ public:
+  /// Factorizes P A = L U. Returns std::nullopt if a pivot column is
+  /// (numerically) zero, i.e. A is singular to working precision.
+  static std::optional<Lu> factor(const Matrix& a, double pivot_tol = 1e-13);
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// Inverse of A (via n solves). Prefer solve() where possible.
+  Matrix inverse() const;
+
+  /// Determinant of A (product of pivots with sign of the permutation).
+  double det() const noexcept;
+
+ private:
+  Lu() = default;
+  Matrix lu_;                      // packed L (unit lower) and U
+  std::vector<std::size_t> perm_;  // row permutation: factored row i reads
+                                   // original row perm_[i]
+  int perm_sign_ = 1;
+};
+
+/// One-shot convenience: solves A x = b, throwing std::runtime_error if A is
+/// singular.
+Vector solve_linear(const Matrix& a, const Vector& b);
+
+}  // namespace protemp::linalg

@@ -1,0 +1,239 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace protemp::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Vector Matrix::row(std::size_t i) const {
+  check_index(i, 0);
+  Vector out(cols_);
+  const double* src = row_data(i);
+  for (std::size_t j = 0; j < cols_; ++j) out[j] = src[j];
+  return out;
+}
+
+Vector Matrix::col(std::size_t j) const {
+  check_index(0, j);
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = data_[i * cols_ + j];
+  return out;
+}
+
+void Matrix::set_row(std::size_t i, const Vector& values) {
+  check_index(i, 0);
+  if (values.size() != cols_) {
+    throw std::invalid_argument("Matrix::set_row: size mismatch");
+  }
+  double* dst = row_data(i);
+  for (std::size_t j = 0; j < cols_; ++j) dst[j] = values[j];
+}
+
+void Matrix::set_col(std::size_t j, const Vector& values) {
+  check_index(0, j);
+  if (values.size() != rows_) {
+    throw std::invalid_argument("Matrix::set_col: size mismatch");
+  }
+  for (std::size_t i = 0; i < rows_; ++i) data_[i * cols_ + j] = values[i];
+}
+
+Vector Matrix::diag() const {
+  const std::size_t n = std::min(rows_, cols_);
+  Vector out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = data_[i * cols_ + i];
+  return out;
+}
+
+void Matrix::check_same_shape(const Matrix& rhs, const char* op) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw std::invalid_argument(std::string("Matrix ") + op +
+                                ": shape mismatch " + shape_string() + " vs " +
+                                rhs.shape_string());
+  }
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  check_same_shape(rhs, "+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  check_same_shape(rhs, "-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scale) noexcept {
+  for (auto& x : data_) x *= scale;
+  return *this;
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("Matrix*Vector: shape mismatch " +
+                                shape_string() + " vs vector of size " +
+                                std::to_string(x.size()));
+  }
+  Vector y(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_data(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::multiply_transposed(const Vector& x) const {
+  if (x.size() != rows_) {
+    throw std::invalid_argument("Matrix^T*Vector: shape mismatch " +
+                                shape_string() + " vs vector of size " +
+                                std::to_string(x.size()));
+  }
+  Vector y(cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_data(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < cols_; ++j) y[j] += r[j] * xi;
+  }
+  return y;
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw std::invalid_argument("Matrix*Matrix: shape mismatch " +
+                                shape_string() + " vs " + rhs.shape_string());
+  }
+  Matrix out(rows_, rhs.cols_);
+  // i-k-j loop order: unit-stride access on both rhs row and output row.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row_data(i);
+    double* o = out.row_data(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = rhs.row_data(k);
+      for (std::size_t j = 0; j < rhs.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_data(i);
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = r[j];
+  }
+  return out;
+}
+
+Matrix Matrix::gram_weighted(const Vector& d) const {
+  if (d.size() != rows_) {
+    throw std::invalid_argument("Matrix::gram_weighted: weight size " +
+                                std::to_string(d.size()) + " != rows " +
+                                std::to_string(rows_));
+  }
+  Matrix out(cols_, cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* r = row_data(k);
+    const double w = d[k];
+    if (w == 0.0) continue;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double wri = w * r[i];
+      if (wri == 0.0) continue;
+      double* o = out.row_data(i);
+      // Fill the upper triangle; mirror below.
+      for (std::size_t j = i; j < cols_; ++j) o[j] += wri * r[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i + 1; j < cols_; ++j) out(j, i) = out(i, j);
+  }
+  return out;
+}
+
+double Matrix::norm_fro() const noexcept {
+  double acc = 0.0;
+  for (const double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Matrix::norm_inf() const noexcept {
+  double best = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row_data(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += std::abs(r[j]);
+    best = std::max(best, acc);
+  }
+  return best;
+}
+
+double Matrix::max_abs() const noexcept {
+  double best = 0.0;
+  for (const double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+bool Matrix::approx_equal(const Matrix& rhs, double tol) const noexcept {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - rhs.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+bool Matrix::symmetric(double tol) const noexcept {
+  if (!square()) return false;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i + 1; j < cols_; ++j) {
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out += (i == 0) ? "[[" : " [";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      std::snprintf(buf, sizeof(buf), "%.*g", precision, (*this)(i, j));
+      out += buf;
+      if (j + 1 < cols_) out += ", ";
+    }
+    out += (i + 1 < rows_) ? "],\n" : "]]";
+  }
+  return out;
+}
+
+}  // namespace protemp::linalg

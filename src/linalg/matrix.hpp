@@ -1,0 +1,115 @@
+// Dense row-major real matrix.
+//
+// Sized for the problems in this library: thermal state matrices (tens of
+// nodes) and interior-point KKT systems (tens of variables, thousands of
+// constraints folded into normal equations). Dense storage with O(n^3)
+// factorizations is the right tool at this scale; everything is dimension
+// checked.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace protemp::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero matrix of the given shape.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// Constant-filled matrix.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+  /// Row-major nested initializer list; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix diagonal(const Vector& d);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+  bool square() const noexcept { return rows_ == cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    check_index(i, j);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    check_index(i, j);
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw row pointer (row-major); valid for cols() doubles.
+  double* row_data(std::size_t i) { return &data_[i * cols_]; }
+  const double* row_data(std::size_t i) const { return &data_[i * cols_]; }
+
+  Vector row(std::size_t i) const;
+  Vector col(std::size_t j) const;
+  void set_row(std::size_t i, const Vector& values);
+  void set_col(std::size_t j, const Vector& values);
+  Vector diag() const;  ///< main diagonal (square not required; min dim)
+
+  // -- arithmetic ------------------------------------------------------
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double scale) noexcept;
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+  /// Matrix-vector product (this * x).
+  Vector multiply(const Vector& x) const;
+  /// Transposed matrix-vector product (this^T * x).
+  Vector multiply_transposed(const Vector& x) const;
+  /// Matrix-matrix product (this * rhs).
+  Matrix multiply(const Matrix& rhs) const;
+  friend Vector operator*(const Matrix& m, const Vector& x) {
+    return m.multiply(x);
+  }
+  friend Matrix operator*(const Matrix& a, const Matrix& b) {
+    return a.multiply(b);
+  }
+
+  Matrix transposed() const;
+
+  /// this^T * D * this for diagonal D given as a vector (Gram-type product
+  /// used to fold inequality constraints into IPM normal equations).
+  Matrix gram_weighted(const Vector& d) const;
+
+  // -- reductions / predicates ------------------------------------------
+  double norm_fro() const noexcept;   ///< Frobenius norm
+  double norm_inf() const noexcept;   ///< max absolute row sum
+  double max_abs() const noexcept;    ///< largest |entry|
+  bool approx_equal(const Matrix& rhs, double tol) const noexcept;
+  bool symmetric(double tol = 0.0) const noexcept;
+
+  std::string to_string(int precision = 6) const;
+
+ private:
+  void check_index(std::size_t i, std::size_t j) const {
+    if (i >= rows_ || j >= cols_) {
+      throw std::out_of_range("Matrix index (" + std::to_string(i) + ", " +
+                              std::to_string(j) + ") out of range " +
+                              shape_string());
+    }
+  }
+  void check_same_shape(const Matrix& rhs, const char* op) const;
+  std::string shape_string() const {
+    return "(" + std::to_string(rows_) + " x " + std::to_string(cols_) + ")";
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace protemp::linalg

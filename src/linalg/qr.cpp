@@ -1,0 +1,90 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace protemp::linalg {
+
+Qr Qr::factor(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) {
+    throw std::invalid_argument("Qr: requires rows >= cols");
+  }
+  Qr out;
+  out.m_ = m;
+  out.n_ = n;
+  out.v_ = Matrix(m, n);
+  out.beta_ = Vector(n);
+
+  Matrix work = a;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Build the Householder vector for column j below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = j; i < m; ++i) norm += work(i, j) * work(i, j);
+    norm = std::sqrt(norm);
+    const double x0 = work(j, j);
+    const double alpha = (x0 >= 0.0) ? -norm : norm;
+
+    Vector v(m);
+    for (std::size_t i = j; i < m; ++i) v[i] = work(i, j);
+    v[j] -= alpha;
+    const double vnorm2 = v.dot(v);
+    const double beta = (vnorm2 > 0.0) ? 2.0 / vnorm2 : 0.0;
+    out.beta_[j] = beta;
+    out.v_.set_col(j, v);
+
+    // Apply the reflector H = I - beta v v^T to the trailing block.
+    if (beta != 0.0) {
+      for (std::size_t k = j; k < n; ++k) {
+        double dot_vk = 0.0;
+        for (std::size_t i = j; i < m; ++i) dot_vk += v[i] * work(i, k);
+        const double scale = beta * dot_vk;
+        for (std::size_t i = j; i < m; ++i) work(i, k) -= scale * v[i];
+      }
+    }
+  }
+
+  out.r_ = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) out.r_(i, j) = work(i, j);
+  }
+  return out;
+}
+
+Vector Qr::apply_qt(const Vector& b) const {
+  if (b.size() != m_) {
+    throw std::invalid_argument("Qr::apply_qt: dimension mismatch");
+  }
+  Vector y = b;
+  for (std::size_t j = 0; j < n_; ++j) {
+    const double beta = beta_[j];
+    if (beta == 0.0) continue;
+    double dot_v = 0.0;
+    for (std::size_t i = j; i < m_; ++i) dot_v += v_(i, j) * y[i];
+    const double scale = beta * dot_v;
+    for (std::size_t i = j; i < m_; ++i) y[i] -= scale * v_(i, j);
+  }
+  return y;
+}
+
+std::optional<Vector> Qr::solve(const Vector& b, double rank_tol) const {
+  const Vector y = apply_qt(b);
+  Vector x(n_);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    const double rii = r_(ii, ii);
+    if (std::abs(rii) < rank_tol) return std::nullopt;
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n_; ++k) acc -= r_(ii, k) * x[k];
+    x[ii] = acc / rii;
+  }
+  return x;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  const auto solution = Qr::factor(a).solve(b);
+  if (!solution) throw std::runtime_error("least_squares: rank deficient");
+  return *solution;
+}
+
+}  // namespace protemp::linalg

@@ -1,0 +1,47 @@
+// Householder QR factorization and least-squares solves.
+//
+// Used for over-determined calibration fits (thermal parameter fitting in
+// tests) and as a rank-revealing fallback when normal equations are too
+// ill-conditioned.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace protemp::linalg {
+
+class Qr {
+ public:
+  /// Factorizes A = Q R for A with rows >= cols. Always succeeds for finite
+  /// input; rank deficiency surfaces in solve().
+  static Qr factor(const Matrix& a);
+
+  /// Minimum-norm-residual solution of min ||A x - b||_2.
+  /// Returns std::nullopt if R has a (numerically) zero diagonal entry,
+  /// i.e. A is rank deficient.
+  std::optional<Vector> solve(const Vector& b, double rank_tol = 1e-12) const;
+
+  /// Applies Q^T to a vector of length rows().
+  Vector apply_qt(const Vector& b) const;
+
+  /// Upper-triangular factor (cols x cols block of interest).
+  const Matrix& r() const noexcept { return r_; }
+
+  std::size_t rows() const noexcept { return m_; }
+  std::size_t cols() const noexcept { return n_; }
+
+ private:
+  Qr() = default;
+  std::size_t m_ = 0, n_ = 0;
+  Matrix v_;   // Householder vectors, one per column (stored column-wise)
+  Vector beta_;
+  Matrix r_;
+};
+
+/// Convenience: least-squares solve min ||A x - b||; throws on rank
+/// deficiency.
+Vector least_squares(const Matrix& a, const Vector& b);
+
+}  // namespace protemp::linalg

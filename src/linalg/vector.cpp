@@ -1,0 +1,111 @@
+#include "linalg/vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace protemp::linalg {
+
+void Vector::check_same_size(const Vector& rhs, const char* op) const {
+  if (data_.size() != rhs.data_.size()) {
+    throw std::invalid_argument(std::string("Vector ") + op +
+                                ": size mismatch (" +
+                                std::to_string(data_.size()) + " vs " +
+                                std::to_string(rhs.data_.size()) + ")");
+  }
+}
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  check_same_size(rhs, "+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  check_same_size(rhs, "-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double scale) noexcept {
+  for (auto& x : data_) x *= scale;
+  return *this;
+}
+
+Vector& Vector::operator/=(double scale) {
+  if (scale == 0.0) throw std::invalid_argument("Vector /=: divide by zero");
+  for (auto& x : data_) x /= scale;
+  return *this;
+}
+
+void Vector::axpy(double alpha, const Vector& x) {
+  check_same_size(x, "axpy");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * x.data_[i];
+  }
+}
+
+double Vector::dot(const Vector& rhs) const {
+  check_same_size(rhs, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) acc += data_[i] * rhs.data_[i];
+  return acc;
+}
+
+double Vector::norm2() const noexcept {
+  double acc = 0.0;
+  for (const double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Vector::norm_inf() const noexcept {
+  double acc = 0.0;
+  for (const double x : data_) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+double Vector::sum() const noexcept {
+  double acc = 0.0;
+  for (const double x : data_) acc += x;
+  return acc;
+}
+
+double Vector::min() const {
+  if (data_.empty()) throw std::logic_error("Vector::min on empty vector");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Vector::max() const {
+  if (data_.empty()) throw std::logic_error("Vector::max on empty vector");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Vector::argmax() const {
+  if (data_.empty()) throw std::logic_error("Vector::argmax on empty vector");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+bool Vector::approx_equal(const Vector& rhs, double tol) const noexcept {
+  if (data_.size() != rhs.data_.size()) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - rhs.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Vector::to_string(int precision) const {
+  std::string out = "[";
+  char buf[64];
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, data_[i]);
+    out += buf;
+    if (i + 1 < data_.size()) out += ", ";
+  }
+  out += "]";
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) { return a.dot(b); }
+
+}  // namespace protemp::linalg

@@ -1,0 +1,97 @@
+// Dense real vector.
+//
+// A thin, bounds-checked value type over contiguous doubles. All arithmetic
+// checks dimensions and throws std::invalid_argument on mismatch — solver
+// bugs surface at the call site instead of as silent NaN propagation.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace protemp::linalg {
+
+class Vector {
+ public:
+  Vector() = default;
+  /// Zero vector of dimension n.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+  /// Constant vector of dimension n.
+  Vector(std::size_t n, double fill) : data_(n, fill) {}
+  Vector(std::initializer_list<double> values) : data_(values) {}
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator[](std::size_t i) {
+    check_index(i);
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    check_index(i);
+    return data_[i];
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  auto begin() noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() const noexcept { return data_.end(); }
+
+  const std::vector<double>& raw() const noexcept { return data_; }
+
+  // -- arithmetic ------------------------------------------------------
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double scale) noexcept;
+  Vector& operator/=(double scale);
+
+  friend Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+  friend Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+  friend Vector operator*(Vector lhs, double s) { return lhs *= s; }
+  friend Vector operator*(double s, Vector rhs) { return rhs *= s; }
+  friend Vector operator/(Vector lhs, double s) { return lhs /= s; }
+  friend Vector operator-(Vector v) {
+    for (auto& x : v.data_) x = -x;
+    return v;
+  }
+
+  /// y += alpha * x  (classic axpy, dimension-checked).
+  void axpy(double alpha, const Vector& x);
+
+  // -- reductions ------------------------------------------------------
+  double dot(const Vector& rhs) const;
+  double norm2() const noexcept;        ///< Euclidean norm.
+  double norm_inf() const noexcept;     ///< max |x_i|; 0 for empty.
+  double sum() const noexcept;
+  double min() const;                   ///< throws on empty
+  double max() const;                   ///< throws on empty
+  std::size_t argmax() const;           ///< throws on empty
+
+  /// Element-wise comparison with absolute tolerance.
+  bool approx_equal(const Vector& rhs, double tol) const noexcept;
+
+  std::string to_string(int precision = 6) const;
+
+ private:
+  void check_index(std::size_t i) const {
+    if (i >= data_.size()) {
+      throw std::out_of_range("Vector index " + std::to_string(i) +
+                              " out of range [0, " +
+                              std::to_string(data_.size()) + ")");
+    }
+  }
+  void check_same_size(const Vector& rhs, const char* op) const;
+
+  std::vector<double> data_;
+};
+
+/// Dot product as a free function.
+double dot(const Vector& a, const Vector& b);
+
+}  // namespace protemp::linalg

@@ -1,0 +1,59 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace protemp::power {
+
+DvfsPowerModel::DvfsPowerModel(double pmax, double fmax, double exponent,
+                               double idle_fraction)
+    : pmax_(pmax),
+      fmax_(fmax),
+      exponent_(exponent),
+      idle_fraction_(idle_fraction) {
+  if (!(pmax > 0.0) || !(fmax > 0.0)) {
+    throw std::invalid_argument("DvfsPowerModel: pmax and fmax must be positive");
+  }
+  if (!(exponent >= 1.0)) {
+    throw std::invalid_argument("DvfsPowerModel: exponent must be >= 1");
+  }
+  if (idle_fraction < 0.0 || idle_fraction > 1.0) {
+    throw std::invalid_argument("DvfsPowerModel: idle_fraction must be in [0,1]");
+  }
+}
+
+double DvfsPowerModel::dynamic_power(double frequency) const noexcept {
+  const double f = std::clamp(frequency, 0.0, fmax_);
+  return pmax_ * std::pow(f / fmax_, exponent_);
+}
+
+double DvfsPowerModel::power(double frequency, bool busy) const noexcept {
+  if (frequency <= 0.0) return 0.0;
+  const double dynamic = dynamic_power(frequency);
+  return busy ? dynamic : idle_fraction_ * dynamic;
+}
+
+double DvfsPowerModel::frequency_for_power(double watts) const noexcept {
+  if (watts <= 0.0) return 0.0;
+  if (watts >= pmax_) return fmax_;
+  return fmax_ * std::pow(watts / pmax_, 1.0 / exponent_);
+}
+
+LeakagePowerModel::LeakagePowerModel(double nominal, double sensitivity,
+                                     double ref_celsius)
+    : nominal_(nominal), sensitivity_(sensitivity), ref_celsius_(ref_celsius) {
+  if (nominal < 0.0) {
+    throw std::invalid_argument("LeakagePowerModel: nominal must be >= 0");
+  }
+  if (sensitivity < 0.0) {
+    throw std::invalid_argument("LeakagePowerModel: sensitivity must be >= 0");
+  }
+}
+
+double LeakagePowerModel::power(double celsius) const noexcept {
+  const double raw = nominal_ * std::exp(sensitivity_ * (celsius - ref_celsius_));
+  return std::min(raw, kCapFactor * nominal_);
+}
+
+}  // namespace protemp::power

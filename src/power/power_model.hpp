@@ -1,0 +1,68 @@
+// Core power models.
+//
+// The paper's Eq. (2) assumes supply voltage squared scales linearly with
+// frequency, giving dynamic power quadratic in frequency:
+//     p(f) = pmax * (f / fmax)^2.
+// DvfsPowerModel implements that law with a configurable exponent (gamma = 2
+// reproduces the paper; gamma = 3 models V ~ f scaling) plus an idle
+// fraction for non-gated idle logic. The Pro-Temp convex formulation relies
+// on gamma = 2 (power linear in s = f^2); the simulator accepts any gamma.
+//
+// LeakagePowerModel is an extension beyond the paper: exponential
+// temperature-dependent leakage, used by the ablation benches to quantify
+// how leakage-aware simulation changes the reported violation statistics.
+#pragma once
+
+#include <cstddef>
+
+namespace protemp::power {
+
+class DvfsPowerModel {
+ public:
+  /// `pmax` [W] at `fmax` [Hz]; `exponent` >= 1; `idle_fraction` in [0, 1].
+  DvfsPowerModel(double pmax, double fmax, double exponent = 2.0,
+                 double idle_fraction = 0.05);
+
+  double pmax() const noexcept { return pmax_; }
+  double fmax() const noexcept { return fmax_; }
+  double exponent() const noexcept { return exponent_; }
+  double idle_fraction() const noexcept { return idle_fraction_; }
+
+  /// Dynamic power of a busy core at frequency f (clamped to [0, fmax]).
+  double dynamic_power(double frequency) const noexcept;
+
+  /// Power draw at frequency f: full dynamic power when busy, the idle
+  /// fraction of it when idle. A core at f = 0 (shut down) draws nothing.
+  double power(double frequency, bool busy) const noexcept;
+
+  /// Inverse of the power law: the frequency that dissipates `watts`
+  /// (clamped to [0, fmax]).
+  double frequency_for_power(double watts) const noexcept;
+
+ private:
+  double pmax_;
+  double fmax_;
+  double exponent_;
+  double idle_fraction_;
+};
+
+class LeakagePowerModel {
+ public:
+  /// `nominal` [W] at `ref_celsius`, growing as exp(sensitivity * (T-ref)).
+  /// sensitivity is typically 0.01-0.04 / K for deep-submicron silicon.
+  LeakagePowerModel(double nominal, double sensitivity, double ref_celsius);
+
+  /// Leakage power at the given temperature, capped at `cap_factor` times
+  /// nominal to keep a runaway simulation finite.
+  double power(double celsius) const noexcept;
+
+  double nominal() const noexcept { return nominal_; }
+
+ private:
+  double nominal_;
+  double sensitivity_;
+  double ref_celsius_;
+  static constexpr double kCapFactor = 10.0;
+};
+
+}  // namespace protemp::power

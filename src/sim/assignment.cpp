@@ -1,0 +1,112 @@
+#include "sim/assignment.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace protemp::sim {
+namespace {
+
+void check_not_empty(const AssignmentContext& ctx, const char* who) {
+  if (ctx.idle_cores.empty()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": no idle cores to pick from");
+  }
+}
+
+}  // namespace
+
+std::size_t FirstIdleAssignment::pick(const AssignmentContext& ctx) {
+  check_not_empty(ctx, "FirstIdleAssignment");
+  std::size_t best = ctx.idle_cores.front();
+  for (const std::size_t c : ctx.idle_cores) best = std::min(best, c);
+  return best;
+}
+
+std::size_t CoolestFirstAssignment::pick(const AssignmentContext& ctx) {
+  check_not_empty(ctx, "CoolestFirstAssignment");
+  std::size_t best = ctx.idle_cores.front();
+  for (const std::size_t c : ctx.idle_cores) {
+    if (ctx.core_temps[c] < ctx.core_temps[best]) best = c;
+  }
+  return best;
+}
+
+std::size_t RoundRobinAssignment::pick(const AssignmentContext& ctx) {
+  check_not_empty(ctx, "RoundRobinAssignment");
+  // Scan from the cursor for the next idle core (by index, wrapping).
+  const std::size_t n = ctx.core_temps.size();
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    const std::size_t candidate = (next_ + offset) % n;
+    for (const std::size_t c : ctx.idle_cores) {
+      if (c == candidate) {
+        next_ = (candidate + 1) % n;
+        return candidate;
+      }
+    }
+  }
+  return ctx.idle_cores.front();  // unreachable if idle_cores is consistent
+}
+
+std::size_t RandomAssignment::pick(const AssignmentContext& ctx) {
+  check_not_empty(ctx, "RandomAssignment");
+  return ctx.idle_cores[rng_.uniform_index(ctx.idle_cores.size())];
+}
+
+AdaptiveRandomAssignment::AdaptiveRandomAssignment(std::uint64_t seed,
+                                                   double history_decay,
+                                                   double sharpness)
+    : rng_(seed), seed_(seed), decay_(history_decay), sharpness_(sharpness) {
+  if (history_decay <= 0.0 || history_decay >= 1.0) {
+    throw std::invalid_argument(
+        "AdaptiveRandomAssignment: history_decay must be in (0, 1)");
+  }
+  if (sharpness <= 0.0) {
+    throw std::invalid_argument(
+        "AdaptiveRandomAssignment: sharpness must be > 0");
+  }
+}
+
+void AdaptiveRandomAssignment::reset() {
+  rng_ = util::Rng(seed_);
+  history_.clear();
+}
+
+double AdaptiveRandomAssignment::history(std::size_t core) const {
+  if (core >= history_.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return history_[core];
+}
+
+std::size_t AdaptiveRandomAssignment::pick(const AssignmentContext& ctx) {
+  check_not_empty(ctx, "AdaptiveRandomAssignment");
+  const std::size_t n = ctx.core_temps.size();
+  if (history_.size() != n) {
+    history_.assign(ctx.core_temps.begin(), ctx.core_temps.end());
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    history_[c] = decay_ * history_[c] + (1.0 - decay_) * ctx.core_temps[c];
+  }
+
+  double hottest = history_[ctx.idle_cores.front()];
+  for (const std::size_t c : ctx.idle_cores) {
+    hottest = std::max(hottest, history_[c]);
+  }
+  double total_weight = 0.0;
+  std::vector<double> weights;
+  weights.reserve(ctx.idle_cores.size());
+  for (const std::size_t c : ctx.idle_cores) {
+    const double w = std::pow(hottest - history_[c] + 1.0, sharpness_);
+    weights.push_back(w);
+    total_weight += w;
+  }
+  double draw = rng_.uniform() * total_weight;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    draw -= weights[i];
+    if (draw <= 0.0) return ctx.idle_cores[i];
+  }
+  return ctx.idle_cores.back();
+}
+
+}  // namespace protemp::sim

@@ -1,0 +1,82 @@
+// Task-to-core assignment policies.
+//
+//   * FirstIdleAssignment  — the paper's default (Sec. 3.1): "when a task
+//     arrives, the control unit assigns the task to any idle processor";
+//     deterministic lowest-index choice.
+//   * CoolestFirstAssignment — temperature-aware assignment in the spirit of
+//     Coskun et al. [26] (Sec. 5.4): route to the coolest idle core.
+//   * RoundRobinAssignment / RandomAssignment — ablation baselines.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/policies.hpp"
+#include "util/rng.hpp"
+
+namespace protemp::sim {
+
+class FirstIdleAssignment final : public AssignmentPolicy {
+ public:
+  std::string name() const override { return "first-idle"; }
+  std::size_t pick(const AssignmentContext& ctx) override;
+};
+
+class CoolestFirstAssignment final : public AssignmentPolicy {
+ public:
+  std::string name() const override { return "coolest-first"; }
+  std::size_t pick(const AssignmentContext& ctx) override;
+};
+
+class RoundRobinAssignment final : public AssignmentPolicy {
+ public:
+  std::string name() const override { return "round-robin"; }
+  void reset() override { next_ = 0; }
+  std::size_t pick(const AssignmentContext& ctx) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+class RandomAssignment final : public AssignmentPolicy {
+ public:
+  explicit RandomAssignment(std::uint64_t seed = 1234) : rng_(seed), seed_(seed) {}
+  std::string name() const override { return "random"; }
+  void reset() override { rng_ = util::Rng(seed_); }
+  std::size_t pick(const AssignmentContext& ctx) override;
+
+ private:
+  util::Rng rng_;
+  std::uint64_t seed_;
+};
+
+/// Adaptive-Random in the spirit of Coskun et al. [26]: each core keeps an
+/// exponentially weighted moving average of its temperature (its thermal
+/// history), and idle cores are chosen randomly with probabilities weighted
+/// toward those with the coolest history — so a core that recently ran hot
+/// is avoided even after it has transiently cooled.
+class AdaptiveRandomAssignment final : public AssignmentPolicy {
+ public:
+  /// `history_decay` in (0, 1): per-decision EWMA retention (closer to 1 =
+  /// longer memory). `sharpness` > 0 controls how strongly cool history is
+  /// favoured (weight = (hottest_history - history_i + 1)^sharpness).
+  explicit AdaptiveRandomAssignment(std::uint64_t seed = 1234,
+                                    double history_decay = 0.98,
+                                    double sharpness = 2.0);
+
+  std::string name() const override { return "adaptive-random"; }
+  void reset() override;
+  std::size_t pick(const AssignmentContext& ctx) override;
+
+  /// Current thermal-history estimate for a core (for tests/diagnostics);
+  /// NaN until the first pick.
+  double history(std::size_t core) const;
+
+ private:
+  util::Rng rng_;
+  std::uint64_t seed_;
+  double decay_;
+  double sharpness_;
+  std::vector<double> history_;
+};
+
+}  // namespace protemp::sim

@@ -1,0 +1,125 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace protemp::sim {
+
+Metrics::Metrics(std::size_t num_cores, std::vector<double> band_edges,
+                 double tmax)
+    : num_cores_(num_cores),
+      band_edges_(std::move(band_edges)),
+      tmax_(tmax) {
+  if (num_cores_ == 0) {
+    throw std::invalid_argument("Metrics: need at least one core");
+  }
+  if (!std::is_sorted(band_edges_.begin(), band_edges_.end()) ||
+      std::adjacent_find(band_edges_.begin(), band_edges_.end()) !=
+          band_edges_.end()) {
+    throw std::invalid_argument("Metrics: band edges must be strictly increasing");
+  }
+  band_time_.assign(num_cores_ * num_bands(), 0.0);
+  violation_time_.assign(num_cores_, 0.0);
+  core_max_temp_.assign(num_cores_, -1e300);
+}
+
+std::size_t Metrics::band_of(double temp) const noexcept {
+  std::size_t band = 0;
+  while (band < band_edges_.size() && temp >= band_edges_[band]) ++band;
+  return band;
+}
+
+void Metrics::record_step(double dt, const linalg::Vector& core_temps,
+                          double total_power_watts) {
+  if (core_temps.size() != num_cores_) {
+    throw std::invalid_argument("Metrics::record_step: temp size mismatch");
+  }
+  bool any_violation = false;
+  double lo = core_temps[0], hi = core_temps[0];
+  for (std::size_t c = 0; c < num_cores_; ++c) {
+    const double t = core_temps[c];
+    band_time_[c * num_bands() + band_of(t)] += dt;
+    if (t > tmax_) {
+      violation_time_[c] += dt;
+      any_violation = true;
+    }
+    core_max_temp_[c] = std::max(core_max_temp_[c], t);
+    max_temp_ = std::max(max_temp_, t);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  if (any_violation) any_violation_time_ += dt;
+  const double gradient = hi - lo;
+  gradient_integral_ += gradient * dt;
+  max_gradient_ = std::max(max_gradient_, gradient);
+  energy_ += total_power_watts * dt;
+  elapsed_ += dt;
+}
+
+void Metrics::record_task_start(double waiting_seconds) {
+  ++tasks_started_;
+  waiting_sum_ += waiting_seconds;
+  max_waiting_ = std::max(max_waiting_, waiting_seconds);
+}
+
+void Metrics::record_task_completion(double response_seconds) {
+  ++tasks_completed_;
+  response_sum_ += response_seconds;
+}
+
+std::vector<double> Metrics::band_fractions() const {
+  std::vector<double> fractions(num_bands(), 0.0);
+  const double total = elapsed_ * static_cast<double>(num_cores_);
+  if (total <= 0.0) return fractions;
+  for (std::size_t c = 0; c < num_cores_; ++c) {
+    for (std::size_t b = 0; b < num_bands(); ++b) {
+      fractions[b] += band_time_[c * num_bands() + b];
+    }
+  }
+  for (double& f : fractions) f /= total;
+  return fractions;
+}
+
+double Metrics::band_fraction(std::size_t core, std::size_t band) const {
+  if (core >= num_cores_ || band >= num_bands()) {
+    throw std::out_of_range("Metrics::band_fraction: index out of range");
+  }
+  if (elapsed_ <= 0.0) return 0.0;
+  return band_time_[core * num_bands() + band] / elapsed_;
+}
+
+double Metrics::violation_fraction() const {
+  if (elapsed_ <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (const double v : violation_time_) acc += v;
+  return acc / (elapsed_ * static_cast<double>(num_cores_));
+}
+
+double Metrics::any_violation_fraction() const {
+  return elapsed_ > 0.0 ? any_violation_time_ / elapsed_ : 0.0;
+}
+
+double Metrics::max_temp_seen(std::size_t core) const {
+  if (core >= num_cores_) {
+    throw std::out_of_range("Metrics::max_temp_seen: core out of range");
+  }
+  return core_max_temp_[core];
+}
+
+double Metrics::mean_spatial_gradient() const {
+  return elapsed_ > 0.0 ? gradient_integral_ / elapsed_ : 0.0;
+}
+
+double Metrics::mean_waiting_time() const {
+  return tasks_started_ > 0
+             ? waiting_sum_ / static_cast<double>(tasks_started_)
+             : 0.0;
+}
+
+double Metrics::mean_response_time() const {
+  return tasks_completed_ > 0
+             ? response_sum_ / static_cast<double>(tasks_completed_)
+             : 0.0;
+}
+
+}  // namespace protemp::sim

@@ -1,0 +1,84 @@
+// Simulation metrics: everything the paper's evaluation section reports.
+//
+//   * temperature-band residency per core (Fig. 6's <80 / 80-90 / 90-100 /
+//     >100 bars),
+//   * time above Tmax (violation fraction, Fig. 11),
+//   * task waiting/response times (Fig. 7),
+//   * spatial gradient across cores (Sec. 5.4's 16 % reduction claim),
+//   * energy, throughput, per-core peaks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace protemp::sim {
+
+class Metrics {
+ public:
+  /// `band_edges` must be strictly increasing; bands are
+  /// (-inf, e0), [e0, e1), ..., [e_last, +inf) — one more band than edges.
+  Metrics(std::size_t num_cores, std::vector<double> band_edges, double tmax);
+
+  // -- recording (called by the simulator) -------------------------------
+  void record_step(double dt, const linalg::Vector& core_temps,
+                   double total_power_watts);
+  void record_task_start(double waiting_seconds);
+  void record_task_completion(double response_seconds);
+
+  // -- results ------------------------------------------------------------
+  std::size_t num_bands() const noexcept { return band_edges_.size() + 1; }
+  const std::vector<double>& band_edges() const noexcept { return band_edges_; }
+
+  /// Fraction of (core x time) spent in each band; sums to 1.
+  std::vector<double> band_fractions() const;
+  /// Per-core fraction of time in band b.
+  double band_fraction(std::size_t core, std::size_t band) const;
+
+  /// Fraction of (core x time) above tmax.
+  double violation_fraction() const;
+  /// Fraction of time during which at least one core exceeds tmax.
+  double any_violation_fraction() const;
+
+  double max_temp_seen() const noexcept { return max_temp_; }
+  double max_temp_seen(std::size_t core) const;
+
+  /// Time-average and maximum of (max_i T_i - min_i T_i) across cores.
+  double mean_spatial_gradient() const;
+  double max_spatial_gradient() const noexcept { return max_gradient_; }
+
+  std::size_t tasks_started() const noexcept { return tasks_started_; }
+  std::size_t tasks_completed() const noexcept { return tasks_completed_; }
+  double mean_waiting_time() const;
+  double max_waiting_time() const noexcept { return max_waiting_; }
+  double mean_response_time() const;
+
+  double total_energy_joules() const noexcept { return energy_; }
+  double elapsed() const noexcept { return elapsed_; }
+
+ private:
+  std::size_t band_of(double temp) const noexcept;
+
+  std::size_t num_cores_;
+  std::vector<double> band_edges_;
+  double tmax_;
+
+  std::vector<double> band_time_;  // [core * num_bands + band]
+  std::vector<double> violation_time_;  // per core
+  std::vector<double> core_max_temp_;   // per core
+  double any_violation_time_ = 0.0;
+  double elapsed_ = 0.0;
+  double max_temp_ = -1e300;
+  double gradient_integral_ = 0.0;
+  double max_gradient_ = 0.0;
+  double energy_ = 0.0;
+
+  std::size_t tasks_started_ = 0;
+  std::size_t tasks_completed_ = 0;
+  double waiting_sum_ = 0.0;
+  double max_waiting_ = 0.0;
+  double response_sum_ = 0.0;
+};
+
+}  // namespace protemp::sim

@@ -1,0 +1,20 @@
+#include "sim/policies.hpp"
+
+#include <algorithm>
+
+namespace protemp::sim {
+
+double required_average_frequency(const ControllerView& view) {
+  if (view.num_cores == 0 || view.dfs_period <= 0.0 || view.fmax <= 0.0) {
+    return 0.0;
+  }
+  // Work [s at fmax] we would like to complete in the next window: what is
+  // pending now plus a persistence forecast of arrivals.
+  const double target_work = view.backlog_work + view.arrived_work_last_window;
+  const double capacity_at_fmax =
+      static_cast<double>(view.num_cores) * view.dfs_period;
+  const double fraction = target_work / capacity_at_fmax;
+  return std::clamp(fraction, 0.0, 1.0) * view.fmax;
+}
+
+}  // namespace protemp::sim

@@ -1,0 +1,88 @@
+// Policy interfaces of the thermal management unit.
+//
+// The simulator is policy-agnostic: a DfsPolicy decides per-core frequencies
+// at every DFS window boundary (and may optionally intervene at sensor
+// sampling granularity), and an AssignmentPolicy routes queued tasks to idle
+// cores. The paper's Pro-Temp, Basic-DFS and No-TC methods are DfsPolicy
+// implementations (src/core/); FirstIdle/CoolestFirst/etc. are
+// AssignmentPolicy implementations (src/sim/assignment.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.hpp"
+
+namespace protemp::sim {
+
+/// Snapshot handed to a DfsPolicy at a window boundary.
+struct ControllerView {
+  double time = 0.0;           ///< [s]
+  double dfs_period = 0.1;     ///< [s]
+  linalg::Vector core_temps;   ///< per-core sensor readings [degC]
+  /// Sensor readings of every floorplan block (cores, caches,
+  /// interconnect). Pro-Temp keys its table on the max over all sensors,
+  /// which makes the worst-case-start assumption of Phase 1 a true upper
+  /// bound (see DESIGN.md).
+  linalg::Vector sensor_temps;
+  double backlog_work = 0.0;   ///< queued + in-flight work [s at fmax]
+  double arrived_work_last_window = 0.0;  ///< [s at fmax]
+  std::size_t queue_length = 0;
+  std::size_t num_cores = 0;
+  double fmax = 0.0;           ///< [Hz]
+
+  double max_core_temp() const { return core_temps.max(); }
+  double max_sensor_temp() const {
+    return sensor_temps.empty() ? core_temps.max() : sensor_temps.max();
+  }
+};
+
+/// The average frequency the cores need over the next window to clear the
+/// backlog plus a persistence forecast of new arrivals (Sec. 3.3: "the unit
+/// also monitors the workload of the tasks waiting in the task queue ...
+/// the required average operating frequency ... is calculated").
+double required_average_frequency(const ControllerView& view);
+
+class DfsPolicy {
+ public:
+  virtual ~DfsPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Resets internal state before a simulation run.
+  virtual void reset() {}
+
+  /// Called at every DFS boundary (including t = 0); returns the per-core
+  /// frequency vector [Hz] for the next window.
+  virtual linalg::Vector on_window(const ControllerView& view) = 0;
+
+  /// Called every simulation step with fresh sensor values. May modify
+  /// `frequencies` in place (e.g. a continuous thermal trip); returns true
+  /// if it did. Default: no intervention.
+  virtual bool on_sample(double time, const linalg::Vector& core_temps,
+                         linalg::Vector& frequencies) {
+    (void)time;
+    (void)core_temps;
+    (void)frequencies;
+    return false;
+  }
+};
+
+/// Context for one task-to-core assignment decision.
+struct AssignmentContext {
+  double time = 0.0;
+  std::vector<std::size_t> idle_cores;  ///< candidate cores (non-empty)
+  linalg::Vector core_temps;            ///< all cores [degC]
+};
+
+class AssignmentPolicy {
+ public:
+  virtual ~AssignmentPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual void reset() {}
+  /// Picks one of ctx.idle_cores for the task at the head of the queue.
+  virtual std::size_t pick(const AssignmentContext& ctx) = 0;
+};
+
+}  // namespace protemp::sim

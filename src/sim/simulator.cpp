@@ -1,0 +1,286 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace protemp::sim {
+namespace {
+
+constexpr const char* kModule = "sim";
+
+struct CoreState {
+  std::optional<workload::Task> task;
+  double remaining = 0.0;   ///< work left [s at fmax]
+  double task_start = 0.0;  ///< time execution began (for response time)
+  double frequency = 0.0;   ///< [Hz]
+};
+
+}  // namespace
+
+MulticoreSimulator::MulticoreSimulator(const arch::Platform& platform,
+                                       SimConfig config)
+    : platform_(platform),
+      config_(std::move(config)),
+      model_(platform.network(), config_.dt) {
+  if (!(config_.dt > 0.0) || !(config_.dfs_period > 0.0)) {
+    throw std::invalid_argument("SimConfig: dt and dfs_period must be positive");
+  }
+  if (config_.dfs_period < config_.dt) {
+    throw std::invalid_argument("SimConfig: dfs_period must be >= dt");
+  }
+  if (config_.frequency_quantum < 0.0) {
+    throw std::invalid_argument("SimConfig: frequency_quantum must be >= 0");
+  }
+}
+
+SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
+                                  DfsPolicy& dfs,
+                                  AssignmentPolicy& assignment,
+                                  double duration) {
+  if (!(duration > 0.0)) {
+    throw std::invalid_argument("MulticoreSimulator::run: duration must be > 0");
+  }
+  const std::size_t n_cores = platform_.num_cores();
+  const std::size_t n_nodes = platform_.num_nodes();
+  const double fmax = platform_.fmax();
+  const auto& core_nodes = platform_.core_nodes();
+  const power::DvfsPowerModel& pm = platform_.core_power();
+
+  dfs.reset();
+  assignment.reset();
+
+  // Initial thermal state.
+  linalg::Vector temps(n_nodes);
+  if (config_.initial_temperature) {
+    temps = linalg::Vector(n_nodes, *config_.initial_temperature);
+  } else {
+    // Idle chip: cores off, background at its static (zero-activity) level.
+    temps = platform_.network().steady_state(
+        platform_.background_power_at(0.0));
+  }
+
+  std::vector<CoreState> cores(n_cores);
+  std::deque<workload::Task> queue;
+
+  SimResult result{Metrics(n_cores, config_.band_edges, config_.tmax),
+                   {}, 0, 0, 0, 0, 0.0, 0.0};
+
+  const std::size_t steps_per_window = static_cast<std::size_t>(
+      std::llround(config_.dfs_period / config_.dt));
+  if (steps_per_window == 0) {
+    throw std::invalid_argument("SimConfig: dfs_period shorter than dt");
+  }
+  const std::size_t total_steps =
+      static_cast<std::size_t>(std::ceil(duration / config_.dt));
+
+  const std::size_t trace_stride =
+      config_.trace_sample_period > 0.0
+          ? std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       std::llround(config_.trace_sample_period / config_.dt)))
+          : 0;
+
+  std::size_t next_arrival = 0;
+  linalg::Vector frequencies(n_cores);
+  double arrived_work_window = 0.0;
+  double arrived_work_prev_window = 0.0;
+  double freq_integral = 0.0;
+
+  const auto core_temps_of = [&](const linalg::Vector& node_temps) {
+    linalg::Vector out(n_cores);
+    for (std::size_t c = 0; c < n_cores; ++c) {
+      out[c] = node_temps[core_nodes[c]];
+    }
+    return out;
+  };
+
+  // Sensor model: policies see true temperatures plus optional Gaussian
+  // noise; the metrics always see the truth.
+  util::Rng sensor_rng(config_.sensor_noise_seed);
+  const auto sense = [&](const linalg::Vector& truth) {
+    if (config_.sensor_noise_stddev <= 0.0) return truth;
+    linalg::Vector noisy = truth;
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      noisy[i] += sensor_rng.normal(0.0, config_.sensor_noise_stddev);
+    }
+    return noisy;
+  };
+
+  const auto quantize = [&](double f) {
+    if (config_.frequency_quantum <= 0.0) return std::clamp(f, 0.0, fmax);
+    const double q = config_.frequency_quantum;
+    return std::clamp(std::floor(f / q) * q, 0.0, fmax);
+  };
+
+  const auto assign_from_queue = [&](double now,
+                                     const linalg::Vector& core_temps) {
+    for (;;) {
+      if (queue.empty()) return;
+      AssignmentContext ctx;
+      ctx.time = now;
+      ctx.core_temps = core_temps;
+      for (std::size_t c = 0; c < n_cores; ++c) {
+        if (!cores[c].task) ctx.idle_cores.push_back(c);
+      }
+      if (ctx.idle_cores.empty()) return;
+      const std::size_t chosen = assignment.pick(ctx);
+      if (chosen >= n_cores || cores[chosen].task) {
+        throw std::logic_error("AssignmentPolicy picked a non-idle core");
+      }
+      workload::Task task = queue.front();
+      queue.pop_front();
+      result.metrics.record_task_start(now - task.arrival_time);
+      cores[chosen].task = task;
+      cores[chosen].remaining = task.work;
+      cores[chosen].task_start = now;
+    }
+  };
+
+  for (std::size_t step = 0; step < total_steps; ++step) {
+    const double now = static_cast<double>(step) * config_.dt;
+    const linalg::Vector true_core_temps = core_temps_of(temps);
+    const linalg::Vector core_temps = sense(true_core_temps);
+
+    // 1. Admit arrivals up to `now`.
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival_time <= now) {
+      queue.push_back(trace[next_arrival]);
+      arrived_work_window += trace[next_arrival].work;
+      ++result.tasks_admitted;
+      ++next_arrival;
+    }
+
+    // 2. Assign queued tasks to idle cores.
+    assign_from_queue(now, core_temps);
+
+    // 3. DFS boundary: ask the policy for the next window's frequencies.
+    if (step % steps_per_window == 0) {
+      ControllerView view;
+      view.time = now;
+      view.dfs_period = config_.dfs_period;
+      view.core_temps = core_temps;
+      linalg::Vector block_temps(platform_.floorplan().size());
+      for (std::size_t b = 0; b < platform_.floorplan().size(); ++b) {
+        block_temps[b] = temps[b];
+      }
+      view.sensor_temps = sense(block_temps);
+      view.queue_length = queue.size();
+      view.num_cores = n_cores;
+      view.fmax = fmax;
+      double backlog = 0.0;
+      for (const auto& t : queue) backlog += t.work;
+      for (const auto& c : cores) backlog += c.remaining;
+      view.backlog_work = backlog;
+      view.arrived_work_last_window =
+          (step == 0) ? arrived_work_window : arrived_work_prev_window;
+      frequencies = dfs.on_window(view);
+      if (frequencies.size() != n_cores) {
+        throw std::logic_error("DfsPolicy returned wrong frequency count");
+      }
+      for (std::size_t c = 0; c < n_cores; ++c) {
+        frequencies[c] = quantize(frequencies[c]);
+      }
+      arrived_work_prev_window = arrived_work_window;
+      arrived_work_window = 0.0;
+    }
+
+    // 4. Sensor-granularity policy hook (e.g. continuous thermal trip).
+    if (dfs.on_sample(now, core_temps, frequencies)) {
+      for (std::size_t c = 0; c < n_cores; ++c) {
+        frequencies[c] = quantize(frequencies[c]);
+      }
+    }
+
+    // 5. Execute this step; cores that finish pull the next queued task
+    //    immediately (FCFS) with exact sub-step time accounting.
+    linalg::Vector core_watts(n_cores);
+    for (std::size_t c = 0; c < n_cores; ++c) {
+      CoreState& core = cores[c];
+      core.frequency = frequencies[c];
+      const double speed = core.frequency / fmax;  // work-seconds per second
+      double time_left = config_.dt;
+      double busy_time = 0.0;
+      while (speed > 0.0 && time_left > 1e-15) {
+        if (!core.task) {
+          if (queue.empty()) break;
+          workload::Task task = queue.front();
+          queue.pop_front();
+          const double start_time = now + (config_.dt - time_left);
+          result.metrics.record_task_start(start_time - task.arrival_time);
+          core.task = task;
+          core.remaining = task.work;
+          core.task_start = start_time;
+        }
+        const double capacity = time_left * speed;
+        if (core.remaining <= capacity) {
+          const double used_time = core.remaining / speed;
+          busy_time += used_time;
+          time_left -= used_time;
+          const double finish_time = now + (config_.dt - time_left);
+          result.metrics.record_task_completion(finish_time -
+                                                core.task->arrival_time);
+          ++result.tasks_completed;
+          core.task.reset();
+          core.remaining = 0.0;
+        } else {
+          core.remaining -= capacity;
+          busy_time += time_left;
+          time_left = 0.0;
+        }
+      }
+      const double busy_fraction = busy_time / config_.dt;
+      core_watts[c] = pm.power(core.frequency, true) * busy_fraction +
+                      pm.power(core.frequency, false) * (1.0 - busy_fraction);
+      if (config_.core_leakage) {
+        // Leakage follows the physical temperature, not the sensor reading.
+        core_watts[c] += config_.core_leakage->power(true_core_temps[c]);
+      }
+      freq_integral += core.frequency * config_.dt;
+    }
+
+    // 6. Thermal step. The cache/interconnect background scales with the
+    //    chip's dynamic activity (fraction of peak dynamic power), which is
+    //    never above the worst-case activity the Phase-1 optimizer assumed.
+    double activity = 0.0;
+    for (std::size_t c = 0; c < n_cores; ++c) {
+      activity += pm.power(frequencies[c], true);
+    }
+    activity /= static_cast<double>(n_cores) * pm.pmax();
+    const linalg::Vector full_power =
+        platform_.full_power(core_watts, activity);
+    double total_power = 0.0;
+    for (std::size_t i = 0; i < full_power.size(); ++i) {
+      total_power += full_power[i];
+    }
+    temps = model_.step(temps, full_power);
+
+    // 7. Metrics and optional trace (post-step temperatures).
+    const linalg::Vector post_temps = core_temps_of(temps);
+    result.metrics.record_step(config_.dt, post_temps, total_power);
+    if (trace_stride > 0 && step % trace_stride == 0) {
+      result.temperature_trace.push_back(
+          TraceSample{now + config_.dt, post_temps});
+    }
+  }
+
+  result.sim_time = static_cast<double>(total_steps) * config_.dt;
+  result.tasks_left_queued = queue.size();
+  for (const auto& c : cores) {
+    if (c.task) ++result.tasks_in_flight;
+  }
+  result.mean_frequency =
+      freq_integral / (result.sim_time * static_cast<double>(n_cores));
+
+  PROTEMP_LOG_DEBUG(kModule,
+                    "run done: %.1fs, admitted=%zu completed=%zu queued=%zu",
+                    result.sim_time, result.tasks_admitted,
+                    result.tasks_completed, result.tasks_left_queued);
+  return result;
+}
+
+}  // namespace protemp::sim

@@ -1,0 +1,88 @@
+// Time-stepped multi-core simulator with thermal co-simulation.
+//
+// Models the system of Sec. 3.1: n cores each running one task at a time, a
+// centralized FIFO task queue, per-core thermal sensors, and a thermal
+// management unit that applies DFS every `dfs_period`. Execution advances in
+// fixed steps of `dt` (the paper's 0.4 ms); tasks complete mid-step with
+// exact sub-step accounting, and a core that finishes pulls the next queued
+// task immediately so no capacity is lost to step granularity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/platform.hpp"
+#include "power/power_model.hpp"
+#include "sim/metrics.hpp"
+#include "sim/policies.hpp"
+#include "thermal/model.hpp"
+#include "workload/task.hpp"
+
+namespace protemp::sim {
+
+struct SimConfig {
+  double dt = 0.4e-3;          ///< thermal/execution step [s] (paper: 0.4 ms)
+  double dfs_period = 0.1;     ///< DFS window [s] (paper: 100 ms)
+  double tmax = 100.0;         ///< max allowed core temperature [degC]
+  std::vector<double> band_edges = {80.0, 90.0, 100.0};  ///< Fig. 6 bands
+
+  /// Initial node temperatures; if unset, the background-power steady state.
+  std::optional<double> initial_temperature;
+
+  /// Frequency quantum [Hz]; policies' outputs are floored to a multiple of
+  /// it (0 = continuous). Flooring only lowers power, so it cannot break the
+  /// Pro-Temp guarantee.
+  double frequency_quantum = 0.0;
+
+  /// Optional temperature-dependent core leakage added on top of dynamic
+  /// power (extension; off by default to match the paper).
+  std::optional<power::LeakagePowerModel> core_leakage;
+
+  /// Record per-core temperatures every `trace_sample_period` seconds
+  /// (0 = off). Figures 1, 2 and 8 are produced from this trace.
+  double trace_sample_period = 0.0;
+
+  /// Gaussian sensor noise (stddev, degC) applied to the readings handed to
+  /// the policies — metrics always use the true temperatures (extension:
+  /// robustness ablation; real thermal sensors are 1-3 degC accurate).
+  double sensor_noise_stddev = 0.0;
+  std::uint64_t sensor_noise_seed = 7777;
+};
+
+/// One row of the recorded temperature trace.
+struct TraceSample {
+  double time = 0.0;
+  linalg::Vector core_temps;
+};
+
+struct SimResult {
+  Metrics metrics;
+  std::vector<TraceSample> temperature_trace;
+  std::size_t tasks_admitted = 0;
+  std::size_t tasks_completed = 0;
+  std::size_t tasks_left_queued = 0;  ///< still waiting at end of run
+  std::size_t tasks_in_flight = 0;    ///< on a core at end of run
+  double sim_time = 0.0;
+  double mean_frequency = 0.0;  ///< time-average of the per-core mean [Hz]
+};
+
+class MulticoreSimulator {
+ public:
+  MulticoreSimulator(const arch::Platform& platform, SimConfig config);
+
+  /// Runs `trace` under the given policies for `duration` seconds of
+  /// simulated time. Both policies are reset() first.
+  SimResult run(const workload::TaskTrace& trace, DfsPolicy& dfs,
+                AssignmentPolicy& assignment, double duration);
+
+  const SimConfig& config() const noexcept { return config_; }
+  const arch::Platform& platform() const noexcept { return platform_; }
+
+ private:
+  const arch::Platform& platform_;
+  SimConfig config_;
+  thermal::ThermalModel model_;
+};
+
+}  // namespace protemp::sim

@@ -1,0 +1,118 @@
+#include "thermal/floorplan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace protemp::thermal {
+
+const char* to_string(BlockKind kind) noexcept {
+  switch (kind) {
+    case BlockKind::kCore: return "core";
+    case BlockKind::kCache: return "cache";
+    case BlockKind::kInterconnect: return "interconnect";
+    case BlockKind::kOther: return "other";
+  }
+  return "?";
+}
+
+std::size_t Floorplan::add_block(Block block) {
+  if (!(block.width > 0.0) || !(block.height > 0.0)) {
+    throw std::invalid_argument("Floorplan: block '" + block.name +
+                                "' must have positive dimensions");
+  }
+  if (find(block.name)) {
+    throw std::invalid_argument("Floorplan: duplicate block name '" +
+                                block.name + "'");
+  }
+  blocks_.push_back(std::move(block));
+  return blocks_.size() - 1;
+}
+
+std::optional<std::size_t> Floorplan::find(
+    const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> Floorplan::blocks_of_kind(BlockKind kind) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].kind == kind) out.push_back(i);
+  }
+  return out;
+}
+
+double Floorplan::total_area() const noexcept {
+  double area = 0.0;
+  for (const auto& b : blocks_) area += b.area();
+  return area;
+}
+
+double Floorplan::bound_width() const noexcept {
+  double hi = 0.0;
+  for (const auto& b : blocks_) hi = std::max(hi, b.x + b.width);
+  return hi;
+}
+
+double Floorplan::bound_height() const noexcept {
+  double hi = 0.0;
+  for (const auto& b : blocks_) hi = std::max(hi, b.y + b.height);
+  return hi;
+}
+
+namespace {
+
+/// Length of the overlap of intervals [a0, a1] and [b0, b1].
+double interval_overlap(double a0, double a1, double b0, double b1) noexcept {
+  return std::max(0.0, std::min(a1, b1) - std::max(a0, b0));
+}
+
+}  // namespace
+
+void Floorplan::validate_no_overlap(double tol) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      const Block& a = blocks_[i];
+      const Block& b = blocks_[j];
+      const double ox =
+          interval_overlap(a.x, a.x + a.width, b.x, b.x + b.width);
+      const double oy =
+          interval_overlap(a.y, a.y + a.height, b.y, b.y + b.height);
+      if (ox > tol && oy > tol) {
+        throw std::invalid_argument("Floorplan: blocks '" + a.name +
+                                    "' and '" + b.name + "' overlap");
+      }
+    }
+  }
+}
+
+std::vector<Adjacency> Floorplan::adjacency(double gap_tol) const {
+  std::vector<Adjacency> out;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      const Block& a = blocks_[i];
+      const Block& b = blocks_[j];
+      // Vertical shared edge: a's right against b's left (or vice versa).
+      const double oy =
+          interval_overlap(a.y, a.y + a.height, b.y, b.y + b.height);
+      const double ox =
+          interval_overlap(a.x, a.x + a.width, b.x, b.x + b.width);
+      const bool touch_x =
+          std::abs((a.x + a.width) - b.x) <= gap_tol ||
+          std::abs((b.x + b.width) - a.x) <= gap_tol;
+      const bool touch_y =
+          std::abs((a.y + a.height) - b.y) <= gap_tol ||
+          std::abs((b.y + b.height) - a.y) <= gap_tol;
+      if (touch_x && oy > gap_tol) {
+        out.push_back({i, j, oy});
+      } else if (touch_y && ox > gap_tol) {
+        out.push_back({i, j, ox});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace protemp::thermal

@@ -1,0 +1,82 @@
+// Chip floorplan: axis-aligned rectangular blocks on a die.
+//
+// The floorplan is the geometric input to the RC thermal network builder:
+// block areas set capacitances and vertical conductances, and shared-edge
+// lengths between abutting blocks set the lateral conductances (Adj_i in the
+// paper's Eq. 1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace protemp::thermal {
+
+enum class BlockKind {
+  kCore,          ///< processing core (DFS-controlled heat source)
+  kCache,         ///< cache bank (background power)
+  kInterconnect,  ///< crossbar / IO / DRAM bridges (background power)
+  kOther,
+};
+
+const char* to_string(BlockKind kind) noexcept;
+
+/// One rectangular block; coordinates in meters, origin at die lower-left.
+struct Block {
+  std::string name;
+  BlockKind kind = BlockKind::kOther;
+  double x = 0.0;       ///< lower-left x [m]
+  double y = 0.0;       ///< lower-left y [m]
+  double width = 0.0;   ///< extent in x [m]
+  double height = 0.0;  ///< extent in y [m]
+
+  double area() const noexcept { return width * height; }
+  double center_x() const noexcept { return x + width / 2.0; }
+  double center_y() const noexcept { return y + height / 2.0; }
+};
+
+/// Adjacency record between two blocks sharing a boundary segment.
+struct Adjacency {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double shared_length = 0.0;  ///< length of the common edge [m]
+};
+
+class Floorplan {
+ public:
+  /// Adds a block and returns its index. Throws std::invalid_argument on
+  /// non-positive dimensions or duplicate names.
+  std::size_t add_block(Block block);
+
+  std::size_t size() const noexcept { return blocks_.size(); }
+  const Block& block(std::size_t i) const { return blocks_.at(i); }
+  const std::vector<Block>& blocks() const noexcept { return blocks_; }
+
+  /// Index of the block with this name, if any.
+  std::optional<std::size_t> find(const std::string& name) const noexcept;
+
+  /// Indices of blocks of the given kind, in insertion order.
+  std::vector<std::size_t> blocks_of_kind(BlockKind kind) const;
+
+  /// Total die area = sum of block areas [m^2].
+  double total_area() const noexcept;
+
+  /// Bounding box extents [m].
+  double bound_width() const noexcept;
+  double bound_height() const noexcept;
+
+  /// Throws std::invalid_argument if any two blocks overlap with more than
+  /// `tol` of penetration (abutting edges are fine).
+  void validate_no_overlap(double tol = 1e-9) const;
+
+  /// All pairs of blocks that share a boundary segment of length > `tol`.
+  /// Two blocks are adjacent if they touch along an edge (within `gap_tol`
+  /// of separation) with positive overlap extent.
+  std::vector<Adjacency> adjacency(double gap_tol = 1e-9) const;
+
+ private:
+  std::vector<Block> blocks_;
+};
+
+}  // namespace protemp::thermal

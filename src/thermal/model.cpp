@@ -1,0 +1,208 @@
+#include "thermal/model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/expm.hpp"
+
+namespace protemp::thermal {
+
+ThermalModel::ThermalModel(RcNetwork network, double dt)
+    : network_(std::move(network)), dt_(dt) {
+  if (!(dt > 0.0) || !std::isfinite(dt)) {
+    throw std::invalid_argument("ThermalModel: dt must be positive");
+  }
+  const std::size_t n = network_.num_nodes();
+  const linalg::Matrix& g = network_.conductance();
+  const linalg::Vector& c = network_.capacitance();
+
+  max_stable_dt_ = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (g(i, i) > 0.0) {
+      max_stable_dt_ = std::min(max_stable_dt_, c[i] / g(i, i));
+    }
+  }
+  if (dt_ > max_stable_dt_) {
+    throw std::invalid_argument(
+        "ThermalModel: dt exceeds the positivity-preserving Euler limit (" +
+        std::to_string(max_stable_dt_) + " s)");
+  }
+
+  a_ = linalg::Matrix(n, n);
+  b_ = linalg::Vector(n);
+  c_ = linalg::Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b_[i] = dt_ / c[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      a_(i, j) = (i == j ? 1.0 : 0.0) - dt_ * g(i, j) / c[i];
+    }
+    c_[i] = dt_ * network_.ambient_conductance()[i] *
+            network_.ambient_celsius() / c[i];
+  }
+}
+
+double ThermalModel::coeff_a(std::size_t i, std::size_t j) const {
+  if (i == j) {
+    throw std::invalid_argument("ThermalModel::coeff_a: i == j");
+  }
+  return dt_ * (-network_.conductance()(i, j)) /
+         network_.capacitance()[i];
+}
+
+double ThermalModel::coeff_b(std::size_t i) const {
+  return dt_ / network_.capacitance()[i];
+}
+
+linalg::Vector ThermalModel::step(const linalg::Vector& t,
+                                  const linalg::Vector& p) const {
+  if (t.size() != num_nodes() || p.size() != num_nodes()) {
+    throw std::invalid_argument("ThermalModel::step: dimension mismatch");
+  }
+  linalg::Vector next = a_ * t;
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    next[i] += b_[i] * p[i] + c_[i];
+  }
+  return next;
+}
+
+ThermalModel::Discretization ThermalModel::exact_discretization(
+    double step_dt) const {
+  if (!(step_dt > 0.0)) {
+    throw std::invalid_argument("exact_discretization: dt must be positive");
+  }
+  const std::size_t n = num_nodes();
+  const linalg::Matrix& g = network_.conductance();
+  const linalg::Vector& cap = network_.capacitance();
+
+  // Continuous A_c = -C^{-1} G.
+  linalg::Matrix a_c(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a_c(i, j) = -g(i, j) / cap[i];
+  }
+  const linalg::Matrix a_scaled = a_c * step_dt;
+
+  Discretization out;
+  out.a = linalg::expm(a_scaled);
+  // B = (int_0^dt e^{A_c s} ds) C^{-1} = dt * phi(A_c dt) * C^{-1}.
+  const linalg::Matrix phi = linalg::expm_phi(a_scaled);
+  out.b = linalg::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.b(i, j) = step_dt * phi(i, j) / cap[j];
+    }
+  }
+  // c = B (g_amb .* T_amb).
+  linalg::Vector amb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    amb[i] = network_.ambient_conductance()[i] * network_.ambient_celsius();
+  }
+  out.c = out.b * amb;
+  return out;
+}
+
+linalg::Vector HorizonAffineMap::evaluate(std::size_t k,
+                                          const linalg::Vector& p_var,
+                                          double tstart) const {
+  if (k == 0 || k > steps()) {
+    throw std::out_of_range("HorizonAffineMap::evaluate: k out of range");
+  }
+  linalg::Vector t = m[k - 1] * p_var;
+  t.axpy(tstart, u[k - 1]);
+  t += w[k - 1];
+  return t;
+}
+
+linalg::Vector HorizonAffineMap::evaluate_state(std::size_t k,
+                                                const linalg::Vector& p_var,
+                                                const linalg::Vector& t0) const {
+  if (k == 0 || k > steps()) {
+    throw std::out_of_range("HorizonAffineMap::evaluate_state: k out of range");
+  }
+  linalg::Vector t = m[k - 1] * p_var;
+  t += s[k - 1] * t0;
+  t += w[k - 1];
+  return t;
+}
+
+HorizonAffineMap build_horizon_map(const ThermalModel& model,
+                                   std::size_t steps,
+                                   std::vector<std::size_t> monitored,
+                                   std::vector<std::size_t> variables,
+                                   const linalg::Vector& fixed_power) {
+  const std::size_t n = model.num_nodes();
+  if (steps == 0) {
+    throw std::invalid_argument("build_horizon_map: steps must be >= 1");
+  }
+  if (fixed_power.size() != n) {
+    throw std::invalid_argument("build_horizon_map: fixed_power size mismatch");
+  }
+  for (const std::size_t i : monitored) {
+    if (i >= n) throw std::out_of_range("build_horizon_map: monitored index");
+  }
+  for (const std::size_t i : variables) {
+    if (i >= n) throw std::out_of_range("build_horizon_map: variable index");
+  }
+
+  const linalg::Matrix& a = model.a_discrete();
+  const linalg::Vector& b = model.b_discrete();
+  const std::size_t nv = variables.size();
+
+  // Fixed-power injection with variable nodes zeroed.
+  linalg::Vector inject = model.c_ambient();
+  {
+    linalg::Vector p_fix = fixed_power;
+    for (const std::size_t i : variables) p_fix[i] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) inject[i] += b[i] * p_fix[i];
+  }
+
+  HorizonAffineMap out;
+  out.monitored = monitored;
+  out.variables = variables;
+  out.m.reserve(steps);
+  out.u.reserve(steps);
+  out.w.reserve(steps);
+
+  // Full-state recursions:
+  //   P_{k+1} = A P_k + B E,  Z_{k+1} = A Z_k,  w_{k+1} = A w_k + inject,
+  // with P_0 = 0, Z_0 = I, w_0 = 0; u_k = Z_k 1.
+  linalg::Matrix p_full(n, nv);
+  linalg::Matrix z_full = linalg::Matrix::identity(n);
+  linalg::Vector w_full(n);
+
+  for (std::size_t k = 1; k <= steps; ++k) {
+    linalg::Matrix p_next = a * p_full;
+    for (std::size_t v = 0; v < nv; ++v) {
+      p_next(variables[v], v) += b[variables[v]];
+    }
+    p_full = std::move(p_next);
+    z_full = a * z_full;
+    linalg::Vector w_next = a * w_full;
+    w_next += inject;
+    w_full = std::move(w_next);
+
+    linalg::Matrix m_row(monitored.size(), nv);
+    linalg::Matrix s_row(monitored.size(), n);
+    linalg::Vector u_row(monitored.size());
+    linalg::Vector w_row(monitored.size());
+    for (std::size_t r = 0; r < monitored.size(); ++r) {
+      double row_sum = 0.0;
+      for (std::size_t v = 0; v < nv; ++v) {
+        m_row(r, v) = p_full(monitored[r], v);
+      }
+      for (std::size_t j = 0; j < n; ++j) {
+        s_row(r, j) = z_full(monitored[r], j);
+        row_sum += z_full(monitored[r], j);
+      }
+      u_row[r] = row_sum;
+      w_row[r] = w_full[monitored[r]];
+    }
+    out.m.push_back(std::move(m_row));
+    out.s.push_back(std::move(s_row));
+    out.u.push_back(std::move(u_row));
+    out.w.push_back(std::move(w_row));
+  }
+  return out;
+}
+
+}  // namespace protemp::thermal

@@ -1,0 +1,123 @@
+// Discrete-time thermal model — the paper's Eq. (1).
+//
+// From the RC network's continuous dynamics  C dT/dt = -G T + g_amb T_amb + p
+// the forward-Euler discretization with step dt gives
+//
+//   t_{k+1,i} = t_{k,i} + sum_{j in Adj_i} a_ij (t_{k,j} - t_{k,i})
+//             + a_i,amb (T_amb - t_{k,i}) + b_i p_i                  (Eq. 1)
+//
+// with a_ij = dt g_ij / C_i and b_i = dt / C_i. The ambient term is the
+// extra neighbour the paper leaves implicit (heat must leave the chip; see
+// DESIGN.md). The model also provides the exact zero-order-hold
+// discretization (via matrix exponential) used to validate Euler's accuracy,
+// and the stacked affine horizon maps consumed by the Pro-Temp optimizer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "thermal/rc_network.hpp"
+
+namespace protemp::thermal {
+
+class ThermalModel {
+ public:
+  /// Builds the Euler discretization at step `dt` [s]. Throws
+  /// std::invalid_argument if dt exceeds the forward-Euler stability limit
+  /// (all diagonal entries of A_d must stay non-negative, which also makes
+  /// the discrete system monotone/positive).
+  ThermalModel(RcNetwork network, double dt);
+
+  std::size_t num_nodes() const noexcept { return network_.num_nodes(); }
+  double dt() const noexcept { return dt_; }
+  const RcNetwork& network() const noexcept { return network_; }
+
+  /// Largest dt keeping the Euler discretization positivity-preserving:
+  /// min_i C_i / G_ii.
+  double max_stable_dt() const noexcept { return max_stable_dt_; }
+
+  /// Discrete state matrix A_d = I - dt C^{-1} G (row-substochastic).
+  const linalg::Matrix& a_discrete() const noexcept { return a_; }
+  /// Discrete input gain b_i = dt / C_i (diagonal, returned as vector).
+  const linalg::Vector& b_discrete() const noexcept { return b_; }
+  /// Constant ambient injection c_i = dt g_amb,i T_amb / C_i.
+  const linalg::Vector& c_ambient() const noexcept { return c_; }
+
+  /// Paper notation: coupling coefficient a_ij (i != j) and input gain b_i.
+  double coeff_a(std::size_t i, std::size_t j) const;
+  double coeff_b(std::size_t i) const;
+
+  /// One Euler step: t_{k+1} = A_d t_k + B_d p + c.
+  linalg::Vector step(const linalg::Vector& t, const linalg::Vector& p) const;
+
+  /// Steady-state temperatures for constant power.
+  linalg::Vector steady_state(const linalg::Vector& power) const {
+    return network_.steady_state(power);
+  }
+
+  /// Exact zero-order-hold discretization over `step_dt`:
+  ///   t' = a t + b p + c.
+  struct Discretization {
+    linalg::Matrix a;
+    linalg::Matrix b;
+    linalg::Vector c;
+  };
+  Discretization exact_discretization(double step_dt) const;
+
+ private:
+  RcNetwork network_;
+  double dt_;
+  double max_stable_dt_;
+  linalg::Matrix a_;
+  linalg::Vector b_;
+  linalg::Vector c_;
+};
+
+/// Stacked affine horizon maps: with every node initialized at `tstart` and
+/// the variable nodes driven by constant power p_var (all other nodes held
+/// at their fixed background power), the temperature of monitored node r at
+/// step k is
+///
+///   T_k[r] = m[k-1].row(r) . p_var + u[k-1][r] * tstart + w[k-1][r]
+///
+/// for k = 1..steps. This is the state-elimination that turns the paper's
+/// optimization (3) into a small dense program over p (and then over
+/// s = f^2); see DESIGN.md.
+struct HorizonAffineMap {
+  std::vector<linalg::Matrix> m;  ///< steps entries, each monitored x n_var
+  std::vector<linalg::Vector> u;  ///< steps entries, each monitored
+  std::vector<linalg::Vector> w;  ///< steps entries, each monitored
+  /// Monitored rows of A_d^k (steps entries, each monitored x n_nodes):
+  /// the response to an arbitrary (non-uniform) initial state. u[k] is the
+  /// row sum of s[k], so the scalar-tstart form is the special case
+  /// T_0 = tstart * 1. Used by the online (MPC-style) controller.
+  std::vector<linalg::Matrix> s;
+  std::vector<std::size_t> monitored;  ///< node indices of the rows
+  std::vector<std::size_t> variables;  ///< node indices of the columns
+
+  std::size_t steps() const noexcept { return m.size(); }
+
+  /// Evaluates T_k (k in 1..steps) for the monitored nodes, worst-case
+  /// uniform start T_0 = tstart * 1.
+  linalg::Vector evaluate(std::size_t k, const linalg::Vector& p_var,
+                          double tstart) const;
+
+  /// Evaluates T_k for an arbitrary full initial state (size n_nodes).
+  linalg::Vector evaluate_state(std::size_t k, const linalg::Vector& p_var,
+                                const linalg::Vector& t0) const;
+};
+
+/// Builds the horizon map.
+///  - `monitored`: node indices whose temperatures are constrained;
+///  - `variables`: node indices whose power is the decision variable;
+///  - `fixed_power`: full-length per-node background power (entries at
+///    variable nodes are ignored).
+HorizonAffineMap build_horizon_map(const ThermalModel& model,
+                                   std::size_t steps,
+                                   std::vector<std::size_t> monitored,
+                                   std::vector<std::size_t> variables,
+                                   const linalg::Vector& fixed_power);
+
+}  // namespace protemp::thermal

@@ -1,0 +1,119 @@
+#include "thermal/rc_network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace protemp::thermal {
+
+void PackageParams::validate() const {
+  const auto positive = [](double v, const char* what) {
+    if (!(v > 0.0) || !std::isfinite(v)) {
+      throw std::invalid_argument(std::string("PackageParams: ") + what +
+                                  " must be positive");
+    }
+  };
+  positive(die_thickness, "die_thickness");
+  positive(silicon_conductivity, "silicon_conductivity");
+  positive(silicon_volumetric_heat, "silicon_volumetric_heat");
+  positive(block_capacitance_factor, "block_capacitance_factor");
+  positive(tim_resistance_per_area, "tim_resistance_per_area");
+  positive(spreader_capacitance, "spreader_capacitance");
+  positive(spreader_to_sink_resistance, "spreader_to_sink_resistance");
+  positive(sink_capacitance, "sink_capacitance");
+  positive(convection_resistance, "convection_resistance");
+  if (!std::isfinite(ambient_celsius)) {
+    throw std::invalid_argument("PackageParams: ambient must be finite");
+  }
+}
+
+RcNetwork::RcNetwork(const Floorplan& floorplan, const PackageParams& params) {
+  params.validate();
+  if (floorplan.size() == 0) {
+    throw std::invalid_argument("RcNetwork: empty floorplan");
+  }
+  floorplan.validate_no_overlap();
+
+  num_blocks_ = floorplan.size();
+  const std::size_t n = num_blocks_ + 2;  // + spreader + sink
+  conductance_ = linalg::Matrix(n, n);
+  capacitance_ = linalg::Vector(n);
+  g_ambient_ = linalg::Vector(n);
+  ambient_celsius_ = params.ambient_celsius;
+
+  for (std::size_t i = 0; i < num_blocks_; ++i) {
+    names_.push_back(floorplan.block(i).name);
+  }
+  names_.push_back("spreader");
+  names_.push_back("sink");
+
+  const double t = params.die_thickness;
+  const double k = params.silicon_conductivity;
+
+  // Block capacitances: volumetric heat times block volume, scaled by the
+  // lumping factor (see PackageParams::block_capacitance_factor).
+  for (std::size_t i = 0; i < num_blocks_; ++i) {
+    capacitance_[i] = params.block_capacitance_factor *
+                      params.silicon_volumetric_heat *
+                      floorplan.block(i).area() * t;
+  }
+  capacitance_[spreader_node()] = params.spreader_capacitance;
+  capacitance_[sink_node()] = params.sink_capacitance;
+
+  // Lateral conductances: for blocks a, b sharing an edge of length w, the
+  // heat path is half of a's extent plus half of b's extent perpendicular to
+  // the edge, through cross-section (w * t):
+  //   R = (da/2 + db/2) / (k * w * t).
+  for (const Adjacency& adj : floorplan.adjacency()) {
+    const Block& a = floorplan.block(adj.a);
+    const Block& b = floorplan.block(adj.b);
+    // Perpendicular extents: if the shared edge is vertical (x-abutting),
+    // the path runs along x, so use widths; otherwise use heights.
+    const bool vertical_edge =
+        std::abs((a.x + a.width) - b.x) <= 1e-9 ||
+        std::abs((b.x + b.width) - a.x) <= 1e-9;
+    const double da = vertical_edge ? a.width : a.height;
+    const double db = vertical_edge ? b.width : b.height;
+    const double resistance =
+        (da / 2.0 + db / 2.0) / (k * adj.shared_length * t);
+    add_conductance(adj.a, adj.b, 1.0 / resistance);
+  }
+
+  // Vertical conductances block -> spreader: bulk silicon (half thickness as
+  // the heat is generated at the active layer) in series with the TIM,
+  // scaled by block area.
+  for (std::size_t i = 0; i < num_blocks_; ++i) {
+    const double area = floorplan.block(i).area();
+    const double r_bulk = (t / 2.0) / (k * area);
+    const double r_tim = params.tim_resistance_per_area / area;
+    add_conductance(i, spreader_node(), 1.0 / (r_bulk + r_tim));
+  }
+
+  // Spreader -> sink and sink -> ambient.
+  add_conductance(spreader_node(), sink_node(),
+                  1.0 / params.spreader_to_sink_resistance);
+  g_ambient_[sink_node()] = 1.0 / params.convection_resistance;
+  conductance_(sink_node(), sink_node()) += g_ambient_[sink_node()];
+}
+
+void RcNetwork::add_conductance(std::size_t a, std::size_t b, double g) {
+  conductance_(a, a) += g;
+  conductance_(b, b) += g;
+  conductance_(a, b) -= g;
+  conductance_(b, a) -= g;
+}
+
+linalg::Vector RcNetwork::steady_state(const linalg::Vector& power) const {
+  if (power.size() != num_nodes()) {
+    throw std::invalid_argument("RcNetwork::steady_state: power size mismatch");
+  }
+  // G T = p + g_amb * T_amb.
+  linalg::Vector rhs = power;
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    rhs[i] += g_ambient_[i] * ambient_celsius_;
+  }
+  return linalg::solve_linear(conductance_, rhs);
+}
+
+}  // namespace protemp::thermal

@@ -1,0 +1,103 @@
+// Compact RC thermal network built from a floorplan (HotSpot-style [17,19]).
+//
+// Nodes:
+//   * one node per floorplan block (silicon layer),
+//   * one heat-spreader node (copper lid, lumped),
+//   * one heat-sink node (lumped; couples to ambient through the
+//     convection resistance).
+//
+// Conductances:
+//   * lateral, between abutting silicon blocks: series of the two half-block
+//     spreading resistances through the shared edge cross-section,
+//   * vertical, block -> spreader: bulk conduction through the die plus TIM,
+//     distributed per block area,
+//   * spreader -> sink, and sink -> ambient.
+//
+// Capacitances: volumetric silicon heat capacity per block; lumped spreader
+// and sink capacitances set by the package parameters.
+//
+// The resulting continuous-time model is
+//     C dT/dt = -G T + g_amb * T_amb + p
+// which the ThermalModel discretizes into the paper's Eq. (1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+#include "thermal/floorplan.hpp"
+
+namespace protemp::thermal {
+
+/// Physical parameters of die and package. Defaults follow HotSpot's classic
+/// configuration, with the convection resistance left as the main
+/// calibration knob.
+struct PackageParams {
+  double die_thickness = 0.35e-3;        ///< [m]
+  double silicon_conductivity = 100.0;   ///< [W/(m K)]
+  double silicon_volumetric_heat = 1.75e6;  ///< [J/(m^3 K)]
+  /// HotSpot-style lumping factor on block capacitances: accounts for
+  /// thermal mass directly coupled to each block (interconnect stack,
+  /// local TIM/copper) beyond the bare silicon volume. Scales the block
+  /// time constants without changing any steady state. Ablation knob;
+  /// 1.0 = bare silicon.
+  double block_capacitance_factor = 1.0;
+
+  double tim_resistance_per_area = 2.0e-5;  ///< die->spreader TIM [K m^2/W]
+
+  double spreader_capacitance = 4.0;   ///< lumped [J/K]
+  double spreader_to_sink_resistance = 0.35;  ///< [K/W]
+
+  double sink_capacitance = 48.0;      ///< lumped [J/K]
+  double convection_resistance = 0.9;  ///< sink->ambient [K/W]
+
+  double ambient_celsius = 45.0;       ///< inside-enclosure ambient [degC]
+
+  /// Throws std::invalid_argument on non-physical (non-positive) values.
+  void validate() const;
+};
+
+/// Assembled network: symmetric conductance matrix, per-node capacitance,
+/// and per-node conductance to the (fixed-temperature) ambient node.
+class RcNetwork {
+ public:
+  /// Builds the network for a floorplan. Block i becomes node i; the
+  /// spreader and sink are appended after the blocks.
+  RcNetwork(const Floorplan& floorplan, const PackageParams& params);
+
+  std::size_t num_nodes() const noexcept { return capacitance_.size(); }
+  std::size_t num_blocks() const noexcept { return num_blocks_; }
+  std::size_t spreader_node() const noexcept { return num_blocks_; }
+  std::size_t sink_node() const noexcept { return num_blocks_ + 1; }
+
+  const std::string& node_name(std::size_t i) const { return names_.at(i); }
+
+  /// Symmetric PSD conductance Laplacian G [W/K]; row i sums to
+  /// ambient_conductance(i).
+  const linalg::Matrix& conductance() const noexcept { return conductance_; }
+  /// Per-node thermal capacitance [J/K].
+  const linalg::Vector& capacitance() const noexcept { return capacitance_; }
+  /// Per-node conductance to ambient [W/K] (only the sink is nonzero in the
+  /// default package, but the representation is general).
+  const linalg::Vector& ambient_conductance() const noexcept {
+    return g_ambient_;
+  }
+  double ambient_celsius() const noexcept { return ambient_celsius_; }
+
+  /// Steady-state temperatures for a per-node power vector [W].
+  linalg::Vector steady_state(const linalg::Vector& power) const;
+
+ private:
+  void add_conductance(std::size_t a, std::size_t b, double g);
+
+  std::size_t num_blocks_ = 0;
+  std::vector<std::string> names_;
+  linalg::Matrix conductance_;
+  linalg::Vector capacitance_;
+  linalg::Vector g_ambient_;
+  double ambient_celsius_ = 45.0;
+};
+
+}  // namespace protemp::thermal

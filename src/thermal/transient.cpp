@@ -1,0 +1,101 @@
+#include "thermal/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace protemp::thermal {
+
+linalg::Vector TransientSimulator::run(linalg::Vector t,
+                                       const linalg::Vector& p,
+                                       std::size_t steps) const {
+  for (std::size_t k = 0; k < steps; ++k) t = step(t, p);
+  return t;
+}
+
+EulerSimulator::EulerSimulator(const RcNetwork& network, double dt)
+    : dt_(dt) {
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("EulerSimulator: dt must be positive");
+  }
+  // Probe the stability limit, then build the model at a stable substep.
+  // (ThermalModel computes the limit; we construct a scratch model at a
+  // conservative tiny dt just to read it.)
+  const ThermalModel probe(network, 1e-9);
+  const double limit = probe.max_stable_dt();
+  substeps_ = static_cast<std::size_t>(std::ceil(dt / limit));
+  if (substeps_ == 0) substeps_ = 1;
+  model_ = std::make_unique<ThermalModel>(network,
+                                          dt / static_cast<double>(substeps_));
+}
+
+linalg::Vector EulerSimulator::step(const linalg::Vector& t,
+                                    const linalg::Vector& p) const {
+  linalg::Vector state = t;
+  for (std::size_t s = 0; s < substeps_; ++s) state = model_->step(state, p);
+  return state;
+}
+
+Rk4Simulator::Rk4Simulator(RcNetwork network, double dt)
+    : network_(std::move(network)), dt_(dt) {
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("Rk4Simulator: dt must be positive");
+  }
+}
+
+linalg::Vector Rk4Simulator::derivative(const linalg::Vector& t,
+                                        const linalg::Vector& p) const {
+  // dT/dt = C^{-1} (-G T + g_amb T_amb + p)
+  linalg::Vector d = network_.conductance() * t;
+  const linalg::Vector& g_amb = network_.ambient_conductance();
+  const linalg::Vector& cap = network_.capacitance();
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    d[i] = (-d[i] + g_amb[i] * network_.ambient_celsius() + p[i]) / cap[i];
+  }
+  return d;
+}
+
+linalg::Vector Rk4Simulator::step(const linalg::Vector& t,
+                                  const linalg::Vector& p) const {
+  if (t.size() != num_nodes() || p.size() != num_nodes()) {
+    throw std::invalid_argument("Rk4Simulator::step: dimension mismatch");
+  }
+  const linalg::Vector k1 = derivative(t, p);
+  linalg::Vector t2 = t;
+  t2.axpy(dt_ / 2.0, k1);
+  const linalg::Vector k2 = derivative(t2, p);
+  linalg::Vector t3 = t;
+  t3.axpy(dt_ / 2.0, k2);
+  const linalg::Vector k3 = derivative(t3, p);
+  linalg::Vector t4 = t;
+  t4.axpy(dt_, k3);
+  const linalg::Vector k4 = derivative(t4, p);
+
+  linalg::Vector out = t;
+  out.axpy(dt_ / 6.0, k1);
+  out.axpy(dt_ / 3.0, k2);
+  out.axpy(dt_ / 3.0, k3);
+  out.axpy(dt_ / 6.0, k4);
+  return out;
+}
+
+ExactSimulator::ExactSimulator(const RcNetwork& network, double dt)
+    : dt_(dt) {
+  if (!(dt > 0.0)) {
+    throw std::invalid_argument("ExactSimulator: dt must be positive");
+  }
+  const ThermalModel probe(network, 1e-9);
+  disc_ = probe.exact_discretization(dt);
+}
+
+linalg::Vector ExactSimulator::step(const linalg::Vector& t,
+                                    const linalg::Vector& p) const {
+  if (t.size() != num_nodes() || p.size() != num_nodes()) {
+    throw std::invalid_argument("ExactSimulator::step: dimension mismatch");
+  }
+  linalg::Vector out = disc_.a * t;
+  out += disc_.b * p;
+  out += disc_.c;
+  return out;
+}
+
+}  // namespace protemp::thermal

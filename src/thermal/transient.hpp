@@ -1,0 +1,97 @@
+// Transient thermal simulators.
+//
+// Three integrators over the same RC network, used to cross-validate each
+// other (the paper validates its models against HotSpot [17]; we validate
+// forward Euler — the paper's Eq. 1 — against RK4 and the exact
+// matrix-exponential solution):
+//
+//   * EulerSimulator — the paper's scheme, optionally sub-stepping when the
+//     requested step exceeds the stability limit;
+//   * Rk4Simulator   — classic fixed-step RK4 on the continuous ODE;
+//   * ExactSimulator — zero-order-hold via matrix exponential (exact for
+//     piecewise-constant power).
+#pragma once
+
+#include <memory>
+
+#include "thermal/model.hpp"
+
+namespace protemp::thermal {
+
+/// Common interface: advance the state by one step of the simulator's
+/// configured dt under constant power p.
+class TransientSimulator {
+ public:
+  virtual ~TransientSimulator() = default;
+  virtual double dt() const noexcept = 0;
+  virtual std::size_t num_nodes() const noexcept = 0;
+  /// Returns t(t0 + dt) given t(t0) = t and constant power p over the step.
+  virtual linalg::Vector step(const linalg::Vector& t,
+                              const linalg::Vector& p) const = 0;
+
+  /// Convenience: integrates over `steps` steps, returning the final state.
+  linalg::Vector run(linalg::Vector t, const linalg::Vector& p,
+                     std::size_t steps) const;
+};
+
+/// Forward Euler per the paper's Eq. (1). If `dt` exceeds the stability
+/// limit of the network, the step is internally divided into the smallest
+/// number of equal substeps that restores stability.
+class EulerSimulator final : public TransientSimulator {
+ public:
+  EulerSimulator(const RcNetwork& network, double dt);
+
+  double dt() const noexcept override { return dt_; }
+  std::size_t num_nodes() const noexcept override {
+    return model_->num_nodes();
+  }
+  linalg::Vector step(const linalg::Vector& t,
+                      const linalg::Vector& p) const override;
+
+  std::size_t substeps() const noexcept { return substeps_; }
+  const ThermalModel& model() const noexcept { return *model_; }
+
+ private:
+  double dt_;
+  std::size_t substeps_;
+  std::unique_ptr<ThermalModel> model_;  // built at dt_/substeps_
+};
+
+/// Classic RK4 on C dT/dt = -G T + g_amb T_amb + p.
+class Rk4Simulator final : public TransientSimulator {
+ public:
+  Rk4Simulator(RcNetwork network, double dt);
+
+  double dt() const noexcept override { return dt_; }
+  std::size_t num_nodes() const noexcept override {
+    return network_.num_nodes();
+  }
+  linalg::Vector step(const linalg::Vector& t,
+                      const linalg::Vector& p) const override;
+
+ private:
+  linalg::Vector derivative(const linalg::Vector& t,
+                            const linalg::Vector& p) const;
+
+  RcNetwork network_;
+  double dt_;
+};
+
+/// Exact zero-order-hold discretization (matrix exponential, precomputed).
+class ExactSimulator final : public TransientSimulator {
+ public:
+  ExactSimulator(const RcNetwork& network, double dt);
+
+  double dt() const noexcept override { return dt_; }
+  std::size_t num_nodes() const noexcept override {
+    return static_cast<std::size_t>(disc_.a.rows());
+  }
+  linalg::Vector step(const linalg::Vector& t,
+                      const linalg::Vector& p) const override;
+
+ private:
+  double dt_;
+  ThermalModel::Discretization disc_;
+};
+
+}  // namespace protemp::thermal

@@ -1,0 +1,75 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace protemp::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    if (body.empty()) {
+      throw std::invalid_argument("CliArgs: bare '--' is not supported");
+    }
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      values_[body] = "true";  // boolean flag (values require --name=value)
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::lookup(const std::string& name) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                std::string default_value) {
+  const auto v = lookup(name);
+  return v ? *v : std::move(default_value);
+}
+
+double CliArgs::get_double(const std::string& name, double default_value) {
+  const auto v = lookup(name);
+  return v ? parse_double(*v) : default_value;
+}
+
+long long CliArgs::get_int(const std::string& name, long long default_value) {
+  const auto v = lookup(name);
+  return v ? parse_int(*v) : default_value;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool default_value) {
+  const auto v = lookup(name);
+  if (!v) return default_value;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("CliArgs: flag --" + name +
+                              " expects a boolean, got '" + *v + "'");
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+void CliArgs::check_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (consumed_.count(name) == 0) {
+      throw std::invalid_argument("CliArgs: unknown flag --" + name);
+    }
+  }
+}
+
+}  // namespace protemp::util

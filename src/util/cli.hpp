@@ -1,0 +1,49 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Supports `--name=value` and boolean `--name` (space-separated values are
+// deliberately not supported — they are ambiguous next to boolean flags).
+// Unknown flags are an error (catches typos in experiment scripts);
+// positional arguments are collected in order.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace protemp::util {
+
+class CliArgs {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  /// Declares a flag with a default; returns the parsed or default value.
+  /// Also records the flag as known (so it is not reported as unknown).
+  std::string get_string(const std::string& name, std::string default_value);
+  double get_double(const std::string& name, double default_value);
+  long long get_int(const std::string& name, long long default_value);
+  bool get_bool(const std::string& name, bool default_value);
+
+  /// True if the user supplied the flag explicitly.
+  bool has(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  const std::string& program_name() const noexcept { return program_; }
+
+  /// Throws if any user-provided flag was never declared via a get_* call.
+  /// Benches call this after reading all their flags.
+  void check_unknown() const;
+
+ private:
+  std::optional<std::string> lookup(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace protemp::util

@@ -1,0 +1,99 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace protemp::util {
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (const char c : field) {
+    if (c == '"') quoted.push_back('"');
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  if (header_written_) {
+    throw std::logic_error("CsvWriter: header written twice");
+  }
+  if (columns.empty()) {
+    throw std::invalid_argument("CsvWriter: header must have >= 1 column");
+  }
+  width_ = columns.size();
+  header_written_ = true;
+  emit(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (!header_written_) {
+    throw std::logic_error("CsvWriter: row before header");
+  }
+  if (fields.size() != width_) {
+    throw std::invalid_argument("CsvWriter: ragged row (got " +
+                                std::to_string(fields.size()) + ", want " +
+                                std::to_string(width_) + ")");
+  }
+  emit(fields);
+  ++rows_;
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  char buf[64];
+  for (const double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    fields.emplace_back(buf);
+  }
+  row(fields);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& fields) {
+  bool first = true;
+  for (const auto& field : fields) {
+    if (!first) *out_ << ',';
+    first = false;
+    *out_ << escape(field);
+  }
+  *out_ << '\n';
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace protemp::util

@@ -1,0 +1,53 @@
+// CSV emission for bench harnesses and experiment logging.
+//
+// The writer escapes per RFC 4180 (quotes around fields containing commas,
+// quotes, or newlines; embedded quotes doubled) and enforces a fixed column
+// count once the header is written, so a bench cannot silently emit ragged
+// rows.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protemp::util {
+
+/// Streams rows of a fixed-width CSV table to an std::ostream.
+class CsvWriter {
+ public:
+  /// The writer does not own `out`; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes the header row and freezes the column count.
+  /// Precondition: no header has been written yet.
+  void header(const std::vector<std::string>& columns);
+
+  /// Writes one data row. Precondition: header() was called and
+  /// `fields.size()` matches the header width.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  void row_numeric(const std::vector<double>& values, int precision = 10);
+
+  std::size_t columns() const noexcept { return width_; }
+  std::size_t rows_written() const noexcept { return rows_; }
+
+  /// RFC 4180 escaping for a single field.
+  static std::string escape(std::string_view field);
+
+ private:
+  void emit(const std::vector<std::string>& fields);
+
+  std::ostream* out_;
+  std::size_t width_ = 0;
+  std::size_t rows_ = 0;
+  bool header_written_ = false;
+};
+
+/// Parses one CSV line into fields (handles quoted fields and doubled
+/// quotes). Used by trace (de)serialization and round-trip tests.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+}  // namespace protemp::util

@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace protemp::util {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::atomic<std::FILE*> g_sink{nullptr};
+std::mutex g_mutex;
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_sink(std::FILE* sink) noexcept {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, const char* module, const std::string& text) {
+  std::FILE* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = stderr;
+  const std::scoped_lock lock(g_mutex);
+  std::fprintf(sink, "[%s] %s: %s\n", to_string(level), module, text.c_str());
+  std::fflush(sink);
+}
+
+}  // namespace protemp::util

@@ -1,0 +1,55 @@
+// Minimal leveled logger used across the library.
+//
+// Intentionally tiny: a global level, a sink that defaults to stderr, and
+// printf-style convenience macros.  Library code logs sparingly (warnings on
+// numerical fallbacks, info on long-running phases); benches/examples may
+// raise the level to keep their stdout machine-readable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace protemp::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Global minimum level; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Redirect log output (defaults to stderr). Pass nullptr to restore stderr.
+void set_log_sink(std::FILE* sink) noexcept;
+
+/// Core logging call; prefer the PROTEMP_LOG_* macros below.
+void log_message(LogLevel level, const char* module, const std::string& text);
+
+const char* to_string(LogLevel level) noexcept;
+
+}  // namespace protemp::util
+
+#define PROTEMP_LOG_AT(level, module, ...)                                  \
+  do {                                                                      \
+    if (static_cast<int>(level) >=                                          \
+        static_cast<int>(::protemp::util::log_level())) {                   \
+      char protemp_log_buf_[512];                                           \
+      std::snprintf(protemp_log_buf_, sizeof(protemp_log_buf_),             \
+                    __VA_ARGS__);                                           \
+      ::protemp::util::log_message(level, module, protemp_log_buf_);        \
+    }                                                                       \
+  } while (false)
+
+#define PROTEMP_LOG_DEBUG(module, ...) \
+  PROTEMP_LOG_AT(::protemp::util::LogLevel::kDebug, module, __VA_ARGS__)
+#define PROTEMP_LOG_INFO(module, ...) \
+  PROTEMP_LOG_AT(::protemp::util::LogLevel::kInfo, module, __VA_ARGS__)
+#define PROTEMP_LOG_WARN(module, ...) \
+  PROTEMP_LOG_AT(::protemp::util::LogLevel::kWarn, module, __VA_ARGS__)
+#define PROTEMP_LOG_ERROR(module, ...) \
+  PROTEMP_LOG_AT(::protemp::util::LogLevel::kError, module, __VA_ARGS__)

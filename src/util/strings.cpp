@@ -1,0 +1,78 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace protemp::util {
+
+std::string format(const char* fmt, ...) {
+  char buf[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string out;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) out.append(separator);
+    first = false;
+    out.append(part);
+  }
+  return out;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == separator) {
+      parts.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+double parse_double(std::string_view text) {
+  const std::string owned{trim(text)};
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0') {
+    throw std::invalid_argument("parse_double: not a number: '" + owned + "'");
+  }
+  return value;
+}
+
+long long parse_int(std::string_view text) {
+  const std::string owned{trim(text)};
+  char* end = nullptr;
+  const long long value = std::strtoll(owned.c_str(), &end, 10);
+  if (end == owned.c_str() || *end != '\0') {
+    throw std::invalid_argument("parse_int: not an integer: '" + owned + "'");
+  }
+  return value;
+}
+
+}  // namespace protemp::util

@@ -1,0 +1,32 @@
+// Small string formatting helpers shared by benches and examples.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protemp::util {
+
+/// printf-style formatting into a std::string (max 1023 chars).
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Fixed-point formatting with `decimals` digits after the point.
+std::string format_fixed(double value, int decimals);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Parses a double, throwing std::invalid_argument with context on failure.
+double parse_double(std::string_view text);
+
+/// Parses a non-negative integer, throwing on failure.
+long long parse_int(std::string_view text);
+
+}  // namespace protemp::util

@@ -1,0 +1,63 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace protemp::util {
+
+AsciiTable::AsciiTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("AsciiTable: need at least one column");
+  }
+}
+
+void AsciiTable::add_row(std::vector<std::string> fields) {
+  if (fields.size() != columns_.size()) {
+    throw std::invalid_argument("AsciiTable: ragged row");
+  }
+  rows_.push_back(std::move(fields));
+}
+
+void AsciiTable::add_row_numeric(const std::string& label,
+                                 const std::vector<double>& values,
+                                 int decimals) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (const double v : values) fields.push_back(format_fixed(v, decimals));
+  add_row(std::move(fields));
+}
+
+void AsciiTable::render(std::ostream& out, const std::string& title) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& fields) {
+    out << "| ";
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      out << fields[c];
+      out << std::string(widths[c] - fields[c].size(), ' ');
+      out << (c + 1 < fields.size() ? " | " : " |");
+    }
+    out << '\n';
+  };
+
+  if (!title.empty()) out << "== " << title << " ==\n";
+  print_row(columns_);
+  out << "|";
+  for (const std::size_t w : widths) out << std::string(w + 2, '-') << "|";
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace protemp::util

@@ -1,0 +1,37 @@
+// ASCII table rendering for bench harness output.
+//
+// Benches print two artifacts: a machine-readable CSV block and a human-
+// readable aligned table mirroring the paper's figure/table. This class
+// renders the latter.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace protemp::util {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> columns);
+
+  /// Adds one row; must match the column count.
+  void add_row(std::vector<std::string> fields);
+
+  /// Convenience: converts doubles with the given number of decimals.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int decimals = 2);
+
+  /// Renders with column alignment, a header separator, and an optional
+  /// title line.
+  void render(std::ostream& out, const std::string& title = "") const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace protemp::util

@@ -1,0 +1,44 @@
+// Unit conventions and conversion helpers.
+//
+// The library stores physical quantities in SI base units as plain doubles:
+//   time        seconds      (s)
+//   frequency   hertz        (Hz)
+//   power       watts        (W)
+//   temperature degrees C    (degC; the thermal model is linear, so Celsius
+//                             and Kelvin differ only by the ambient offset)
+//   length      meters       (m)
+//   R_th        kelvin/watt  (K/W)
+//   C_th        joule/kelvin (J/K)
+//
+// These constexpr helpers make intent explicit at call sites
+// (e.g. `mhz(500)` instead of `500e6`) without the overhead of a full
+// strong-type system for what is ultimately a numerical code.
+#pragma once
+
+namespace protemp::util {
+
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+/// Frequency given in megahertz, in Hz.
+constexpr double mhz(double value) noexcept { return value * kMega; }
+/// Frequency given in gigahertz, in Hz.
+constexpr double ghz(double value) noexcept { return value * kGiga; }
+/// Hz expressed in MHz (for reporting).
+constexpr double to_mhz(double hertz) noexcept { return hertz / kMega; }
+
+/// Duration given in milliseconds, in seconds.
+constexpr double ms(double value) noexcept { return value * kMilli; }
+/// Duration given in microseconds, in seconds.
+constexpr double us(double value) noexcept { return value * kMicro; }
+/// Seconds expressed in milliseconds (for reporting).
+constexpr double to_ms(double seconds) noexcept { return seconds / kMilli; }
+
+/// Length given in millimeters, in meters.
+constexpr double mm(double value) noexcept { return value * kMilli; }
+/// Area given in square millimeters, in square meters.
+constexpr double mm2(double value) noexcept { return value * 1e-6; }
+
+}  // namespace protemp::util

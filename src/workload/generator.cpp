@@ -1,0 +1,107 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace protemp::workload {
+namespace {
+
+double sample_work(const BenchmarkProfile& profile, util::Rng& rng) {
+  const double raw = rng.normal(profile.mean_work, profile.stddev_work);
+  return std::clamp(raw, profile.min_work, profile.max_work);
+}
+
+/// Appends the arrivals of one profile's MMPP over [0, duration).
+void generate_profile(const BenchmarkProfile& profile, std::uint32_t index,
+                      const GeneratorConfig& config, util::Rng& rng,
+                      std::vector<Task>& out) {
+  const double cores = static_cast<double>(config.cores);
+  double now = 0.0;
+  // Start in the off state with probability proportional to its dwell share.
+  const double off_share = profile.mean_off_seconds /
+                           (profile.mean_on_seconds + profile.mean_off_seconds);
+  bool on = !rng.bernoulli(off_share);
+
+  while (now < config.duration) {
+    const double dwell_mean =
+        on ? profile.mean_on_seconds : profile.mean_off_seconds;
+    const double dwell =
+        dwell_mean > 0.0 ? rng.exponential(1.0 / dwell_mean) : 0.0;
+    const double state_end = std::min(config.duration, now + dwell);
+
+    const double offered =
+        on ? profile.burst_utilization : profile.idle_utilization;
+    // Work arrives at `offered * cores` seconds of fmax-work per second;
+    // divide by mean task size for the task arrival rate.
+    const double rate =
+        (offered > 0.0) ? offered * cores * profile.weight / profile.mean_work
+                        : 0.0;
+    if (rate > 0.0) {
+      double t = now + rng.exponential(rate);
+      while (t < state_end) {
+        out.push_back(Task{0, t, sample_work(profile, rng), index});
+        t += rng.exponential(rate);
+      }
+    }
+    now = state_end;
+    on = !on;
+  }
+}
+
+}  // namespace
+
+TaskTrace generate_trace(const std::vector<BenchmarkProfile>& profiles,
+                         const GeneratorConfig& config) {
+  if (profiles.empty()) {
+    throw std::invalid_argument("generate_trace: no profiles");
+  }
+  if (!(config.duration > 0.0)) {
+    throw std::invalid_argument("generate_trace: duration must be positive");
+  }
+  if (config.cores == 0) {
+    throw std::invalid_argument("generate_trace: cores must be >= 1");
+  }
+  for (const auto& p : profiles) p.validate();
+
+  util::Rng root(config.seed);
+  std::vector<Task> tasks;
+  std::string description;
+  for (std::uint32_t i = 0; i < profiles.size(); ++i) {
+    util::Rng stream = root.split();
+    generate_profile(profiles[i], i, config, stream, tasks);
+    if (i > 0) description += "+";
+    description += profiles[i].name;
+  }
+  return TaskTrace(std::move(tasks), std::move(description));
+}
+
+TaskTrace make_mixed_trace(double duration, std::uint64_t seed,
+                           std::size_t cores) {
+  GeneratorConfig config;
+  config.cores = cores;
+  config.duration = duration;
+  config.seed = seed;
+  return generate_trace(mixed_benchmark_profiles(), config);
+}
+
+TaskTrace make_compute_intensive_trace(double duration, std::uint64_t seed,
+                                       std::size_t cores) {
+  GeneratorConfig config;
+  config.cores = cores;
+  config.duration = duration;
+  config.seed = seed;
+  return generate_trace(compute_intensive_profiles(), config);
+}
+
+TaskTrace make_high_load_trace(double duration, std::uint64_t seed,
+                               std::size_t cores) {
+  GeneratorConfig config;
+  config.cores = cores;
+  config.duration = duration;
+  config.seed = seed;
+  return generate_trace(high_load_profiles(), config);
+}
+
+}  // namespace protemp::workload

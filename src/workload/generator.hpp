@@ -1,0 +1,37 @@
+// Synthetic trace generation from benchmark profiles.
+//
+// Each profile runs an independent two-state MMPP: dwell times in the
+// on/off states are exponential; while in a state, task arrivals are a
+// Poisson process whose rate delivers the state's offered utilization
+// (rate = utilization * cores / mean_work). Task sizes are clamped normals.
+// All randomness flows from one seed through split streams, so a
+// (profiles, cores, duration, seed) tuple is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/profiles.hpp"
+#include "workload/task.hpp"
+
+namespace protemp::workload {
+
+struct GeneratorConfig {
+  std::size_t cores = 8;     ///< chip width the utilization targets refer to
+  double duration = 120.0;   ///< [s]
+  std::uint64_t seed = 42;
+};
+
+/// Generates a trace by superposing one MMPP per profile.
+TaskTrace generate_trace(const std::vector<BenchmarkProfile>& profiles,
+                         const GeneratorConfig& config);
+
+/// Convenience wrappers for the workloads of the paper's evaluation.
+TaskTrace make_mixed_trace(double duration, std::uint64_t seed,
+                           std::size_t cores = 8);
+TaskTrace make_compute_intensive_trace(double duration, std::uint64_t seed,
+                                       std::size_t cores = 8);
+TaskTrace make_high_load_trace(double duration, std::uint64_t seed,
+                               std::size_t cores = 8);
+
+}  // namespace protemp::workload

@@ -1,0 +1,135 @@
+#include "workload/profiles.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace protemp::workload {
+
+double BenchmarkProfile::average_utilization() const noexcept {
+  const double cycle = mean_on_seconds + mean_off_seconds;
+  if (cycle <= 0.0) return 0.0;
+  return (burst_utilization * mean_on_seconds +
+          idle_utilization * mean_off_seconds) /
+         cycle;
+}
+
+void BenchmarkProfile::validate() const {
+  if (!(min_work > 0.0) || !(max_work >= min_work)) {
+    throw std::invalid_argument("BenchmarkProfile '" + name +
+                                "': bad work bounds");
+  }
+  if (mean_work < min_work || mean_work > max_work) {
+    throw std::invalid_argument("BenchmarkProfile '" + name +
+                                "': mean_work outside [min, max]");
+  }
+  if (stddev_work < 0.0) {
+    throw std::invalid_argument("BenchmarkProfile '" + name +
+                                "': negative stddev");
+  }
+  if (burst_utilization < 0.0 || idle_utilization < 0.0) {
+    throw std::invalid_argument("BenchmarkProfile '" + name +
+                                "': negative utilization");
+  }
+  if (!(mean_on_seconds > 0.0) || !(mean_off_seconds >= 0.0)) {
+    throw std::invalid_argument("BenchmarkProfile '" + name +
+                                "': bad dwell times");
+  }
+  if (weight <= 0.0) {
+    throw std::invalid_argument("BenchmarkProfile '" + name +
+                                "': weight must be positive");
+  }
+}
+
+std::vector<BenchmarkProfile> mixed_benchmark_profiles() {
+  // Combined offered utilization ~0.42 with oversubscribed coincident
+  // bursts — enough headroom to cool between bursts, enough pressure to
+  // overheat an uncontrolled chip (Figs. 1, 6a). Task counts land near the
+  // paper's ~60k for a 100 s run.
+  BenchmarkProfile web;
+  web.name = "web";
+  web.mean_work = 2.5e-3;
+  web.stddev_work = 0.8e-3;
+  web.min_work = 1.0e-3;
+  web.max_work = 5.0e-3;
+  web.burst_utilization = 0.5;
+  web.idle_utilization = 0.04;
+  web.mean_on_seconds = 1.0;
+  web.mean_off_seconds = 3.0;
+  web.weight = 1.0;
+
+  BenchmarkProfile multimedia;
+  multimedia.name = "multimedia";
+  multimedia.mean_work = 5.0e-3;
+  multimedia.stddev_work = 1.2e-3;
+  multimedia.min_work = 2.0e-3;
+  multimedia.max_work = 9.0e-3;
+  multimedia.burst_utilization = 0.7;
+  multimedia.idle_utilization = 0.08;
+  multimedia.mean_on_seconds = 3.0;
+  multimedia.mean_off_seconds = 5.0;
+  multimedia.weight = 0.6;
+
+  BenchmarkProfile database;
+  database.name = "database";
+  database.mean_work = 7.5e-3;
+  database.stddev_work = 1.5e-3;
+  database.min_work = 4.0e-3;
+  database.max_work = 10.0e-3;
+  database.burst_utilization = 0.8;
+  database.idle_utilization = 0.03;
+  database.mean_on_seconds = 2.0;
+  database.mean_off_seconds = 8.0;
+  database.weight = 0.4;
+
+  return {web, multimedia, database};
+}
+
+std::vector<BenchmarkProfile> compute_intensive_profiles() {
+  // Saturating: long over-subscribed bursts keep the demand-driven
+  // frequency pinned at fmax, so the heat sink ratchets up over tens of
+  // seconds and reactive DFS overshoots hard (Fig. 1 / Fig. 6b regime).
+  BenchmarkProfile compute;
+  compute.name = "compute";
+  compute.mean_work = 7.0e-3;
+  compute.stddev_work = 1.5e-3;
+  compute.min_work = 4.0e-3;
+  compute.max_work = 10.0e-3;
+  compute.burst_utilization = 1.3;  // over-subscribed: queue grows
+  compute.idle_utilization = 0.3;
+  compute.mean_on_seconds = 8.0;
+  compute.mean_off_seconds = 2.0;
+  compute.weight = 1.0;
+  return {compute};
+}
+
+std::vector<BenchmarkProfile> high_load_profiles() {
+  BenchmarkProfile heavy;
+  heavy.name = "high-load";
+  heavy.mean_work = 6.0e-3;
+  heavy.stddev_work = 1.5e-3;
+  heavy.min_work = 3.0e-3;
+  heavy.max_work = 10.0e-3;
+  heavy.burst_utilization = 0.95;
+  heavy.idle_utilization = 0.15;
+  heavy.mean_on_seconds = 4.0;
+  heavy.mean_off_seconds = 4.0;
+  heavy.weight = 1.0;
+  return {heavy};
+}
+
+std::vector<BenchmarkProfile> web_profiles() {
+  BenchmarkProfile web;
+  web.name = "web-light";
+  web.mean_work = 1.2e-3;
+  web.stddev_work = 0.3e-3;
+  web.min_work = 1.0e-3;
+  web.max_work = 2.5e-3;
+  web.burst_utilization = 0.5;
+  web.idle_utilization = 0.05;
+  web.mean_on_seconds = 0.8;
+  web.mean_off_seconds = 2.0;
+  web.weight = 1.0;
+  return {web};
+}
+
+}  // namespace protemp::workload

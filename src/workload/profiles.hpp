@@ -1,0 +1,62 @@
+// Benchmark profiles — synthetic stand-ins for the paper's task mixes.
+//
+// The paper (Sec. 5) uses "execution characteristics of tasks from a mix of
+// different benchmarks, ranging from web-accessing to playing multi-media
+// files [26]", with task lengths of 1-10 ms, ~60k tasks over several hundred
+// seconds, plus one "most computation intensive" benchmark. Those traces are
+// not public; each profile here is a two-state MMPP (bursty on/off arrival
+// process) with a bounded task-size distribution matching the published
+// moments. See DESIGN.md (substitution table).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace protemp::workload {
+
+/// Parameters of one benchmark's task population and arrival process.
+struct BenchmarkProfile {
+  std::string name;
+
+  // Task size: triangular-ish distribution via clamped normal.
+  double mean_work = 3e-3;  ///< [s at fmax]
+  double stddev_work = 1e-3;
+  double min_work = 1e-3;   ///< paper: tasks are 1 ms ...
+  double max_work = 10e-3;  ///< ... to 10 ms
+
+  // Two-state MMPP: exponentially distributed on/off dwell times; arrivals
+  // are Poisson at `burst_utilization * cores` worth of work per second
+  // while on, and at `idle_utilization` while off.
+  double burst_utilization = 0.9;  ///< offered load (fraction of chip) in on
+  double idle_utilization = 0.05;  ///< offered load in off state
+  double mean_on_seconds = 2.0;
+  double mean_off_seconds = 6.0;
+
+  /// Relative share of this profile when combined into a mix.
+  double weight = 1.0;
+
+  /// Long-run average offered utilization of this profile alone.
+  double average_utilization() const noexcept;
+
+  /// Throws std::invalid_argument on inconsistent parameters.
+  void validate() const;
+};
+
+/// The three-benchmark mix used for the "mix of tasks from different
+/// benchmarks" experiments (Figs. 1, 2, 6a, 8).
+std::vector<BenchmarkProfile> mixed_benchmark_profiles();
+
+/// The "most computation intensive benchmark" (Figs. 6b, 7): long
+/// saturating bursts with heavy tasks.
+std::vector<BenchmarkProfile> compute_intensive_profiles();
+
+/// High-but-unsaturated load (Fig. 11 / Sec. 5.4): heavy bursts with enough
+/// slack that the task-assignment policy actually has idle cores to choose
+/// between.
+std::vector<BenchmarkProfile> high_load_profiles();
+
+/// A light web-serving profile (short tasks, short frequent bursts); used
+/// by examples and ablations.
+std::vector<BenchmarkProfile> web_profiles();
+
+}  // namespace protemp::workload

@@ -1,0 +1,40 @@
+#include "workload/task.hpp"
+
+#include <algorithm>
+
+namespace protemp::workload {
+
+TaskTrace::TaskTrace(std::vector<Task> tasks, std::string description)
+    : tasks_(std::move(tasks)), description_(std::move(description)) {
+  std::stable_sort(tasks_.begin(), tasks_.end(),
+                   [](const Task& a, const Task& b) {
+                     return a.arrival_time < b.arrival_time;
+                   });
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    tasks_[i].id = i;
+  }
+}
+
+double TaskTrace::total_work() const noexcept {
+  double acc = 0.0;
+  for (const Task& t : tasks_) acc += t.work;
+  return acc;
+}
+
+double TaskTrace::horizon() const noexcept {
+  return tasks_.empty() ? 0.0 : tasks_.back().arrival_time;
+}
+
+double TaskTrace::offered_utilization(std::size_t cores) const noexcept {
+  const double h = horizon();
+  if (h <= 0.0 || cores == 0) return 0.0;
+  return total_work() / (h * static_cast<double>(cores));
+}
+
+double TaskTrace::max_work() const noexcept {
+  double best = 0.0;
+  for (const Task& t : tasks_) best = std::max(best, t.work);
+  return best;
+}
+
+}  // namespace protemp::workload

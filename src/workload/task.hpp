@@ -1,0 +1,52 @@
+// Tasks and task traces.
+//
+// A task's `work` is defined exactly as in the paper (Sec. 3.1): the time
+// required to run it at the maximum operating frequency. A core at
+// frequency f completes work at rate f / fmax.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace protemp::workload {
+
+struct Task {
+  std::uint64_t id = 0;
+  double arrival_time = 0.0;  ///< [s] since trace start
+  double work = 0.0;          ///< [s] of execution at fmax
+  std::uint32_t benchmark = 0;  ///< index into the generating profile list
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+/// A time-sorted sequence of tasks plus bookkeeping about its origin.
+class TaskTrace {
+ public:
+  TaskTrace() = default;
+  /// Takes ownership; sorts by arrival time (stable) and re-ids serially.
+  explicit TaskTrace(std::vector<Task> tasks, std::string description = "");
+
+  const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  std::size_t size() const noexcept { return tasks_.size(); }
+  bool empty() const noexcept { return tasks_.empty(); }
+  const Task& operator[](std::size_t i) const { return tasks_.at(i); }
+  const std::string& description() const noexcept { return description_; }
+
+  /// Total work content [s at fmax].
+  double total_work() const noexcept;
+  /// Time of the last arrival [s]; 0 for an empty trace.
+  double horizon() const noexcept;
+  /// Average offered utilization against `cores` cores running at fmax
+  /// over [0, horizon].
+  double offered_utilization(std::size_t cores) const noexcept;
+  /// Largest single-task work [s].
+  double max_work() const noexcept;
+
+ private:
+  std::vector<Task> tasks_;
+  std::string description_;
+};
+
+}  // namespace protemp::workload

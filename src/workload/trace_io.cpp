@@ -1,0 +1,63 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace protemp::workload {
+
+void save_trace(const TaskTrace& trace, std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.header({"id", "arrival_time", "work", "benchmark"});
+  for (const Task& t : trace.tasks()) {
+    csv.row({std::to_string(t.id), util::format("%.17g", t.arrival_time),
+             util::format("%.17g", t.work), std::to_string(t.benchmark)});
+  }
+}
+
+void save_trace_file(const TaskTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_trace_file: cannot open " + path);
+  }
+  save_trace(trace, out);
+}
+
+TaskTrace load_trace(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_trace: empty input");
+  }
+  const auto header = util::parse_csv_line(line);
+  if (header.size() != 4 || header[0] != "id") {
+    throw std::runtime_error("load_trace: bad header");
+  }
+  std::vector<Task> tasks;
+  while (std::getline(in, line)) {
+    if (util::trim(line).empty()) continue;
+    const auto fields = util::parse_csv_line(line);
+    if (fields.size() != 4) {
+      throw std::runtime_error("load_trace: bad row: " + line);
+    }
+    Task t;
+    t.id = static_cast<std::uint64_t>(util::parse_int(fields[0]));
+    t.arrival_time = util::parse_double(fields[1]);
+    t.work = util::parse_double(fields[2]);
+    t.benchmark = static_cast<std::uint32_t>(util::parse_int(fields[3]));
+    tasks.push_back(t);
+  }
+  return TaskTrace(std::move(tasks), "loaded");
+}
+
+TaskTrace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_trace_file: cannot open " + path);
+  }
+  return load_trace(in);
+}
+
+}  // namespace protemp::workload

@@ -1,0 +1,21 @@
+// Trace (de)serialization to CSV.
+//
+// Format: header `id,arrival_time,work,benchmark`, one row per task.
+// Round-trips exactly (times printed with 17 significant digits).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/task.hpp"
+
+namespace protemp::workload {
+
+void save_trace(const TaskTrace& trace, std::ostream& out);
+void save_trace_file(const TaskTrace& trace, const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+TaskTrace load_trace(std::istream& in);
+TaskTrace load_trace_file(const std::string& path);
+
+}  // namespace protemp::workload

@@ -1,0 +1,174 @@
+// Tests for the platform assembly and the Niagara-8 calibration targets.
+#include <gtest/gtest.h>
+
+#include "arch/niagara.hpp"
+#include "arch/platform.hpp"
+#include "thermal/model.hpp"
+
+namespace protemp::arch {
+namespace {
+
+using linalg::Vector;
+
+TEST(Platform, NiagaraBasicShape) {
+  const Platform platform = make_niagara_platform();
+  EXPECT_EQ(platform.name(), "niagara8");
+  EXPECT_EQ(platform.num_cores(), 8u);
+  EXPECT_EQ(platform.num_nodes(), platform.floorplan().size() + 2);
+  EXPECT_DOUBLE_EQ(platform.fmax(), 1e9);
+  EXPECT_DOUBLE_EQ(platform.core_pmax(), 4.0);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(platform.core_name(c), "P" + std::to_string(c + 1));
+  }
+}
+
+TEST(Platform, BackgroundPowerIsThirtyPercentOfCores) {
+  const Platform platform = make_niagara_platform();
+  double background = 0.0;
+  for (std::size_t i = 0; i < platform.background_power().size(); ++i) {
+    background += platform.background_power()[i];
+  }
+  EXPECT_NEAR(background, 0.3 * 8.0 * 4.0, 1e-9);
+  // Core nodes must carry no background power.
+  for (const std::size_t node : platform.core_nodes()) {
+    EXPECT_DOUBLE_EQ(platform.background_power()[node], 0.0);
+  }
+}
+
+TEST(Platform, FullPowerComposition) {
+  const Platform platform = make_niagara_platform();
+  Vector core(8);
+  for (std::size_t c = 0; c < 8; ++c) core[c] = static_cast<double>(c);
+  const Vector full = platform.full_power(core);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_DOUBLE_EQ(full[platform.core_nodes()[c]], static_cast<double>(c));
+  }
+  EXPECT_THROW(platform.full_power(Vector(3)), std::invalid_argument);
+}
+
+TEST(Platform, RejectsWrongBackgroundSize) {
+  thermal::Floorplan fp = make_niagara_floorplan();
+  EXPECT_THROW(Platform("bad", std::move(fp), make_niagara_package(),
+                        power::DvfsPowerModel(4.0, 1e9), Vector(3)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------ calibration targets --
+
+TEST(NiagaraCalibration, FullLoadSteadyStateInPaperRegime) {
+  // All cores pinned at fmax with no thermal control: the hottest core must
+  // sit well above tmax (Fig. 1 shows reactive DFS excursions to ~127 degC,
+  // and the uncontrolled No-TC case goes beyond that), but not absurdly so.
+  const Platform platform = make_niagara_platform();
+  const Vector full = platform.full_power(Vector(8, 4.0));
+  const Vector t = platform.network().steady_state(full);
+  double hottest_core = 0.0;
+  for (const std::size_t node : platform.core_nodes()) {
+    hottest_core = std::max(hottest_core, t[node]);
+  }
+  EXPECT_GT(hottest_core, 115.0);
+  EXPECT_LT(hottest_core, 175.0);
+}
+
+TEST(NiagaraCalibration, IdleSteadyStateIsCool) {
+  const Platform platform = make_niagara_platform();
+  const Vector t =
+      platform.network().steady_state(platform.background_power());
+  for (const std::size_t node : platform.core_nodes()) {
+    EXPECT_LT(t[node], 70.0);
+    EXPECT_GT(t[node], 45.0);
+  }
+}
+
+TEST(NiagaraCalibration, MiddleCoresHotterThanPeripheryAtFullLoad) {
+  // Section 5.3's asymmetry: P2/P3 (sandwiched) hotter than P1/P4 (next to
+  // caches) under uniform full power.
+  const Platform platform = make_niagara_platform();
+  const Vector full = platform.full_power(Vector(8, 4.0));
+  const Vector t = platform.network().steady_state(full);
+  const auto temp_of = [&](const std::string& name) {
+    return t[*platform.floorplan().find(name)];
+  };
+  EXPECT_GT(temp_of("P2"), temp_of("P1"));
+  EXPECT_GT(temp_of("P3"), temp_of("P4"));
+  EXPECT_GT(temp_of("P6"), temp_of("P5"));
+  EXPECT_GT(temp_of("P7"), temp_of("P8"));
+}
+
+TEST(NiagaraCalibration, PaperTimeStepIsStable) {
+  const Platform platform = make_niagara_platform();
+  const thermal::ThermalModel probe(platform.network(), 1e-6);
+  // The paper had to use 0.4 ms for numerical stability; our network must
+  // accept that step (and not by a huge margin, or the fast dynamics the
+  // reactive-DFS overshoot depends on would be missing).
+  EXPECT_GT(probe.max_stable_dt(), 0.4e-3);
+  EXPECT_LT(probe.max_stable_dt(), 0.4);
+}
+
+TEST(NiagaraCalibration, CoreHeatingIsFastEnoughToOvershootInOneWindow) {
+  // From a 90 degC all-node state, one core at full power must be able to
+  // cross 100 degC within a 100 ms DFS window — this is the overshoot that
+  // makes reactive DFS violate Tmax (Fig. 1).
+  const Platform platform = make_niagara_platform();
+  const thermal::ThermalModel model(platform.network(), 0.4e-3);
+  Vector t(platform.num_nodes(), 90.0);
+  Vector core(8);
+  for (auto& w : core) w = 4.0;
+  const Vector full = platform.full_power(core);
+  double hottest = 0.0;
+  for (int k = 0; k < 250; ++k) {  // 100 ms
+    t = model.step(t, full);
+    for (const std::size_t node : platform.core_nodes()) {
+      hottest = std::max(hottest, t[node]);
+    }
+  }
+  EXPECT_GT(hottest, 100.0);
+}
+
+TEST(NiagaraCalibration, ChipCoolsFromHotStartWhenShutDown) {
+  const Platform platform = make_niagara_platform();
+  const thermal::ThermalModel model(platform.network(), 0.4e-3);
+
+  // With zero total power the network is a pure contraction toward ambient:
+  // cores strictly decrease even within one 100 ms window.
+  {
+    Vector t(platform.num_nodes(), 97.0);
+    const Vector zero(platform.num_nodes());
+    for (int k = 0; k < 250; ++k) t = model.step(t, zero);
+    for (const std::size_t node : platform.core_nodes()) {
+      EXPECT_LT(t[node], 97.0);
+    }
+  }
+
+  // With cores off but the static background still burning, the powered
+  // cache blocks nudge the cores up transiently from a uniform hot start —
+  // by a bounded fraction of a kelvin — before the package drains the chip
+  // over a couple of seconds.
+  {
+    const Vector off = platform.full_power(Vector(8, 0.0), /*activity=*/0.0);
+    Vector t(platform.num_nodes(), 100.0);
+    double worst = 100.0;
+    for (int k = 0; k < 12500; ++k) {  // 5 s
+      t = model.step(t, off);
+      for (const std::size_t node : platform.core_nodes()) {
+        worst = std::max(worst, t[node]);
+      }
+    }
+    EXPECT_LT(worst, 101.5);  // bounded excursion
+    for (const std::size_t node : platform.core_nodes()) {
+      EXPECT_LT(t[node], 97.0);  // net cooling after 5 s
+    }
+  }
+}
+
+TEST(NiagaraConfig, CustomParametersPropagate) {
+  NiagaraConfig config;
+  config.fmax_hz = 1.4e9;  // the paper mentions 1-1.4 GHz variants
+  config.core_pmax_watts = 5.0;
+  const Platform platform = make_niagara_platform(config);
+  EXPECT_DOUBLE_EQ(platform.fmax(), 1.4e9);
+  EXPECT_DOUBLE_EQ(platform.core_pmax(), 5.0);
+}
+
+}  // namespace
+}  // namespace protemp::arch

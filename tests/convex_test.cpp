@@ -1,0 +1,348 @@
+// Tests for the convex solver stack: QP interior point, log-barrier solver,
+// phase-I feasibility, and KKT verification. Every optimum is checked
+// against analytic solutions or KKT residuals, not solver status alone.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "convex/barrier.hpp"
+#include "convex/functions.hpp"
+#include "convex/kkt.hpp"
+#include "convex/problem.hpp"
+#include "convex/qp.hpp"
+#include "util/rng.hpp"
+
+namespace protemp::convex {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// ---------------------------------------------------------------------- QP --
+
+TEST(Qp, UnconstrainedQuadratic) {
+  // min (x1-1)^2 + (x2+2)^2  ->  x = (1, -2).
+  QpProblem qp;
+  qp.p = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+  qp.q = Vector{-2.0, 4.0};
+  const Solution sol = solve_qp(qp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], -2.0, 1e-8);
+}
+
+TEST(Qp, EqualityConstrainedAnalytic) {
+  // min x1^2 + x2^2 s.t. x1 + x2 = 2  ->  x = (1, 1).
+  QpProblem qp;
+  qp.p = Matrix{{2.0, 0.0}, {0.0, 2.0}};
+  qp.q = Vector(2);
+  qp.a = Matrix{{1.0, 1.0}};
+  qp.b = Vector{2.0};
+  const Solution sol = solve_qp(qp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-8);
+}
+
+TEST(Qp, BoxConstrainedActiveBound) {
+  // min (x-3)^2 s.t. x <= 1  ->  x = 1, dual = 4... (gradient 2(x-3) + z = 0).
+  QpProblem qp;
+  qp.p = Matrix{{2.0}};
+  qp.q = Vector{-6.0};
+  qp.g = Matrix{{1.0}};
+  qp.h = Vector{1.0};
+  const Solution sol = solve_qp(qp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-7);
+  EXPECT_NEAR(sol.ineq_duals[0], 4.0, 1e-6);
+  const KktResiduals kkt = check_kkt(qp, sol.x, sol.ineq_duals, sol.eq_duals);
+  EXPECT_LT(kkt.worst(), 1e-6);
+}
+
+TEST(Qp, InactiveConstraintIgnored) {
+  // min (x-3)^2 s.t. x <= 10  ->  interior optimum x = 3.
+  QpProblem qp;
+  qp.p = Matrix{{2.0}};
+  qp.q = Vector{-6.0};
+  qp.g = Matrix{{1.0}};
+  qp.h = Vector{10.0};
+  const Solution sol = solve_qp(qp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-7);
+  EXPECT_NEAR(sol.ineq_duals[0], 0.0, 1e-6);
+}
+
+TEST(Qp, LinearProgramVertexSolution) {
+  // min -x1 - 2 x2 s.t. x1 + x2 <= 4, x1 <= 2, x >= 0.
+  // Optimum at the vertex (2, 2)?  -x1-2x2: prefer x2; x2 <= 4 - x1; best
+  // x1 = 0, x2 = 4 -> objective -8.
+  QpProblem qp;
+  qp.q = Vector{-1.0, -2.0};
+  qp.g = Matrix{{1.0, 1.0}, {1.0, 0.0}, {-1.0, 0.0}, {0.0, -1.0}};
+  qp.h = Vector{4.0, 2.0, 0.0, 0.0};
+  const Solution sol = solve_qp(qp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-6);
+  EXPECT_NEAR(sol.x[1], 4.0, 1e-6);
+  EXPECT_NEAR(sol.objective, -8.0, 1e-6);
+}
+
+TEST(Qp, DegenerateLpStillSolves) {
+  // Redundant constraints at the optimum.
+  QpProblem qp;
+  qp.q = Vector{1.0};
+  qp.g = Matrix{{-1.0}, {-1.0}, {-1.0}};
+  qp.h = Vector{0.0, 0.0, 0.0};
+  const Solution sol = solve_qp(qp);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-6);
+}
+
+TEST(Qp, ValidatesShapes) {
+  QpProblem qp;
+  qp.q = Vector{1.0, 2.0};
+  qp.g = Matrix{{1.0}};  // wrong column count
+  qp.h = Vector{1.0};
+  EXPECT_THROW(solve_qp(qp), std::invalid_argument);
+  QpProblem empty;
+  EXPECT_THROW(solve_qp(empty), std::invalid_argument);
+}
+
+TEST(Qp, RandomProblemsSatisfyKkt) {
+  util::Rng rng(314);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(5);
+    const std::size_t m = 2 + rng.uniform_index(8);
+    // Random PD P, random G; h chosen so x = 0 is strictly feasible.
+    Matrix root(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) root(i, j) = rng.normal();
+    }
+    QpProblem qp;
+    qp.p = root.transposed() * root;
+    for (std::size_t i = 0; i < n; ++i) qp.p(i, i) += 0.5;
+    qp.q = Vector(n);
+    for (auto& v : qp.q) v = rng.normal();
+    qp.g = Matrix(m, n);
+    qp.h = Vector(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) qp.g(i, j) = rng.normal();
+      qp.h[i] = rng.uniform(0.5, 2.0);
+    }
+    const Solution sol = solve_qp(qp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "trial " << trial;
+    const KktResiduals kkt =
+        check_kkt(qp, sol.x, sol.ineq_duals, sol.eq_duals);
+    EXPECT_LT(kkt.worst(), 1e-5) << "trial " << trial;
+  }
+}
+
+// ------------------------------------------------------------------ barrier --
+
+std::shared_ptr<AffineFunction> affine(Vector c, double d) {
+  return std::make_shared<AffineFunction>(std::move(c), d);
+}
+
+TEST(Barrier, MatchesQpOnBoxProblem) {
+  // min (x-3)^2 s.t. x <= 1 via both solvers.
+  BarrierProblem problem;
+  problem.objective = std::make_shared<QuadraticFunction>(
+      Matrix{{2.0}}, Vector{-6.0}, 0.0);
+  problem.linear = LinearConstraints{Matrix{{1.0}}, Vector{1.0}};
+  const Solution sol = solve_barrier(problem, Vector{0.0});
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-5);
+  const KktResiduals kkt = check_kkt(problem, sol.x, sol.ineq_duals);
+  EXPECT_LT(kkt.worst(), 1e-4);
+}
+
+TEST(Barrier, LinearObjectiveOverPolytope) {
+  // min -x1 - x2 over the unit box: optimum (1, 1).
+  BarrierProblem problem;
+  problem.objective = affine(Vector{-1.0, -1.0}, 0.0);
+  problem.linear = LinearConstraints{
+      Matrix{{1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}},
+      Vector{1.0, 1.0, 0.0, 0.0}};
+  const Solution sol =
+      solve_barrier(problem, Vector{0.5, 0.5});
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-5);
+}
+
+/// Nonlinear convex constraint: x1^2 + x2^2 - r^2 <= 0.
+class DiskConstraint final : public ScalarFunction {
+ public:
+  explicit DiskConstraint(double radius) : r2_(radius * radius) {}
+  std::size_t dimension() const noexcept override { return 2; }
+  double value(const Vector& x) const override {
+    return x[0] * x[0] + x[1] * x[1] - r2_;
+  }
+  Vector gradient(const Vector& x) const override {
+    return Vector{2.0 * x[0], 2.0 * x[1]};
+  }
+  Matrix hessian(const Vector&) const override {
+    return Matrix{{2.0, 0.0}, {0.0, 2.0}};
+  }
+
+ private:
+  double r2_;
+};
+
+TEST(Barrier, NonlinearDiskConstraint) {
+  // min -x1 - x2 s.t. x in disk of radius sqrt(2): optimum (1, 1).
+  BarrierProblem problem;
+  problem.objective = affine(Vector{-1.0, -1.0}, 0.0);
+  problem.constraints.push_back(
+      std::make_shared<DiskConstraint>(std::sqrt(2.0)));
+  const Solution sol = solve_barrier(problem, Vector{0.0, 0.0});
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-4);
+  const KktResiduals kkt = check_kkt(problem, sol.x, sol.ineq_duals);
+  EXPECT_LT(kkt.worst(), 1e-3);
+}
+
+TEST(Barrier, MixedLinearAndNonlinear) {
+  // min -x2 s.t. disk radius 2 and x2 <= 1: optimum x2 = 1 (on the line).
+  BarrierProblem problem;
+  problem.objective = affine(Vector{0.0, -1.0}, 0.0);
+  problem.constraints.push_back(std::make_shared<DiskConstraint>(2.0));
+  problem.linear =
+      LinearConstraints{Matrix{{0.0, 1.0}}, Vector{1.0}};
+  const Solution sol = solve_barrier(problem, Vector{0.0, 0.0});
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-5);
+}
+
+TEST(Barrier, RequiresStrictlyFeasibleStart) {
+  BarrierProblem problem;
+  problem.objective = affine(Vector{1.0}, 0.0);
+  problem.linear = LinearConstraints{Matrix{{1.0}}, Vector{1.0}};
+  EXPECT_THROW(solve_barrier(problem, Vector{2.0}), std::invalid_argument);
+}
+
+TEST(Barrier, UnconstrainedNewton) {
+  BarrierProblem problem;
+  problem.objective = std::make_shared<QuadraticFunction>(
+      Matrix{{2.0, 0.0}, {0.0, 4.0}}, Vector{-2.0, -8.0}, 0.0);
+  const Solution sol = solve_barrier(problem, Vector{0.0, 0.0});
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-8);
+}
+
+TEST(Barrier, ProblemValidation) {
+  BarrierProblem problem;
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+  problem.objective = affine(Vector{1.0, 2.0}, 0.0);
+  problem.constraints.push_back(std::make_shared<DiskConstraint>(1.0));
+  EXPECT_NO_THROW(problem.validate());
+  problem.linear = LinearConstraints{Matrix{{1.0}}, Vector{1.0}};
+  EXPECT_THROW(problem.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ phase I --
+
+TEST(PhaseI, FindsInteriorPoint) {
+  // Feasible region: 0.5 <= x <= 1. Start far outside.
+  BarrierProblem problem;
+  problem.objective = affine(Vector{0.0}, 0.0);
+  problem.linear = LinearConstraints{Matrix{{1.0}, {-1.0}},
+                                     Vector{1.0, -0.5}};
+  const auto x = find_strictly_feasible(problem, Vector{100.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_TRUE(problem.strictly_feasible(*x));
+}
+
+TEST(PhaseI, DetectsInfeasible) {
+  // x <= 0 and x >= 1 simultaneously: empty.
+  BarrierProblem problem;
+  problem.objective = affine(Vector{0.0}, 0.0);
+  problem.linear = LinearConstraints{Matrix{{1.0}, {-1.0}},
+                                     Vector{0.0, -1.0}};
+  EXPECT_FALSE(find_strictly_feasible(problem, Vector{0.5}).has_value());
+}
+
+TEST(PhaseI, AlreadyFeasiblePassesThrough) {
+  BarrierProblem problem;
+  problem.objective = affine(Vector{0.0}, 0.0);
+  problem.linear = LinearConstraints{Matrix{{1.0}}, Vector{1.0}};
+  const auto x = find_strictly_feasible(problem, Vector{0.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_DOUBLE_EQ((*x)[0], 0.0);
+}
+
+TEST(PhaseI, NonlinearConstraints) {
+  BarrierProblem problem;
+  problem.objective = affine(Vector{0.0, 0.0}, 0.0);
+  problem.constraints.push_back(std::make_shared<DiskConstraint>(1.0));
+  const auto x = find_strictly_feasible(problem, Vector{5.0, 5.0});
+  ASSERT_TRUE(x.has_value());
+  EXPECT_LT((*x)[0] * (*x)[0] + (*x)[1] * (*x)[1], 1.0);
+}
+
+// -------------------------------------------------------------------- KKT --
+
+TEST(Kkt, FlagsPrimalyInfeasiblePoint) {
+  QpProblem qp;
+  qp.p = Matrix{{2.0}};
+  qp.q = Vector{0.0};
+  qp.g = Matrix{{1.0}};
+  qp.h = Vector{1.0};
+  const KktResiduals kkt = check_kkt(qp, Vector{2.0}, Vector{0.0}, Vector{});
+  EXPECT_GT(kkt.primal_infeasibility, 0.9);
+  EXPECT_FALSE(kkt.within(1e-6));
+}
+
+TEST(Kkt, FlagsNonStationaryPoint) {
+  QpProblem qp;
+  qp.p = Matrix{{2.0}};
+  qp.q = Vector{-6.0};
+  const KktResiduals kkt = check_kkt(qp, Vector{0.0}, Vector{}, Vector{});
+  EXPECT_GT(kkt.stationarity, 5.0);
+}
+
+// ------------------------------------------------------ consistency sweep --
+
+class SolverAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverAgreement, BarrierAndQpAgreeOnRandomQp) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 2 + rng.uniform_index(4);
+  const std::size_t m = n + 2;
+  Matrix root(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) root(i, j) = rng.normal();
+  }
+  Matrix p = root.transposed() * root;
+  for (std::size_t i = 0; i < n; ++i) p(i, i) += 1.0;
+  Vector q(n);
+  for (auto& v : q) v = rng.normal();
+  Matrix g(m, n);
+  Vector h(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+    h[i] = rng.uniform(0.5, 2.0);  // x = 0 strictly feasible
+  }
+
+  QpProblem qp{p, q, g, h, {}, {}};
+  const Solution ipm = solve_qp(qp);
+  ASSERT_EQ(ipm.status, SolveStatus::kOptimal);
+
+  BarrierProblem barrier;
+  barrier.objective = std::make_shared<QuadraticFunction>(p, q, 0.0);
+  barrier.linear = LinearConstraints{g, h};
+  const Solution log_barrier = solve_barrier(barrier, Vector(n));
+  ASSERT_EQ(log_barrier.status, SolveStatus::kOptimal);
+
+  EXPECT_NEAR(ipm.objective, log_barrier.objective,
+              1e-4 * (1.0 + std::abs(ipm.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SolverAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace protemp::convex

@@ -1,0 +1,220 @@
+// End-to-end tests: the full Phase-1 (offline table) + Phase-2 (online
+// control) pipeline against the simulator, reproducing the paper's headline
+// claims on short traces:
+//   * Pro-Temp never exceeds tmax (Figs. 2, 6),
+//   * Basic-DFS and No-TC do exceed it under hot workloads (Figs. 1, 6),
+//   * Pro-Temp serves tasks with lower waiting times than Basic-DFS on
+//     compute-intensive load (Fig. 7).
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "arch/niagara.hpp"
+#include "core/frequency_table.hpp"
+#include "core/optimizer.hpp"
+#include "core/policies.hpp"
+#include "sim/assignment.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+#include "workload/generator.hpp"
+
+namespace protemp {
+namespace {
+
+using util::mhz;
+
+struct Pipeline {
+  arch::Platform platform = arch::make_niagara_platform();
+  sim::SimConfig sim_config;
+  core::ProTempConfig opt_config;
+
+  Pipeline() {
+    // Paper parameters, but a coarser optimizer grid for test speed.
+    sim_config.dt = 0.4e-3;
+    sim_config.dfs_period = 0.1;
+    sim_config.tmax = 100.0;
+    opt_config.dt = 0.4e-3;
+    opt_config.dfs_period = 0.1;
+    opt_config.tmax = 100.0;
+    opt_config.minimize_gradient = false;  // faster; gradient tested in core
+  }
+
+  /// Table building is the expensive part; share one across all tests in
+  /// this binary (the config is identical).
+  const core::FrequencyTable& build_table() const {
+    static const core::FrequencyTable table = [this] {
+      const core::ProTempOptimizer optimizer(platform, opt_config);
+      return core::FrequencyTable::build(
+          optimizer, {50.0, 60.0, 70.0, 80.0, 85.0, 90.0, 95.0, 100.0},
+          {mhz(100), mhz(200), mhz(300), mhz(400), mhz(500), mhz(600),
+           mhz(700), mhz(800), mhz(900), mhz(1000)});
+    }();
+    return table;
+  }
+};
+
+TEST(Integration, ProTempNeverViolatesOnComputeIntensiveLoad) {
+  Pipeline pipeline;
+  const core::FrequencyTable table = pipeline.build_table();
+  core::ProTempPolicy protemp(table);
+  sim::FirstIdleAssignment assign;
+  sim::MulticoreSimulator simulator(pipeline.platform, pipeline.sim_config);
+  const workload::TaskTrace trace =
+      workload::make_compute_intensive_trace(20.0, 2008);
+  const sim::SimResult result =
+      simulator.run(trace, protemp, assign, 20.0);
+  // The paper's guarantee: zero time above tmax (tiny slack for the
+  // optimizer's constraint_slack epsilon).
+  EXPECT_LE(result.metrics.max_temp_seen(), 100.0 + 1e-3);
+  EXPECT_DOUBLE_EQ(result.metrics.band_fractions().back(), 0.0);
+  // And it actually does useful work.
+  EXPECT_GT(result.tasks_completed, trace.size() / 2);
+}
+
+TEST(Integration, BaselinesViolateOnComputeIntensiveLoad) {
+  // Long enough for the heat sink (tens-of-seconds time constant) to warm
+  // up; that is when the reactive scheme's window-scale overshoot crosses
+  // tmax (Fig. 1).
+  Pipeline pipeline;
+  sim::FirstIdleAssignment assign;
+  sim::MulticoreSimulator simulator(pipeline.platform, pipeline.sim_config);
+  const workload::TaskTrace trace =
+      workload::make_compute_intensive_trace(60.0, 2008);
+
+  core::NoTcPolicy no_tc;
+  const sim::SimResult no_tc_result =
+      simulator.run(trace, no_tc, assign, 60.0);
+  EXPECT_GT(no_tc_result.metrics.max_temp_seen(), 100.0);
+  EXPECT_GT(no_tc_result.metrics.violation_fraction(), 0.0);
+
+  core::BasicDfsPolicy basic({90.0, false});
+  const sim::SimResult basic_result =
+      simulator.run(trace, basic, assign, 60.0);
+  EXPECT_GT(basic_result.metrics.max_temp_seen(), 100.0);
+  EXPECT_GT(basic_result.metrics.violation_fraction(), 0.0);
+}
+
+TEST(Integration, ProTempImprovesWaitingTimeOverBasicDfs) {
+  Pipeline pipeline;
+  const core::FrequencyTable& table = pipeline.build_table();
+  sim::FirstIdleAssignment assign;
+  sim::MulticoreSimulator simulator(pipeline.platform, pipeline.sim_config);
+  const workload::TaskTrace trace =
+      workload::make_compute_intensive_trace(60.0, 77);
+
+  core::ProTempPolicy protemp(table);
+  core::BasicDfsPolicy basic({90.0, false});
+  const sim::SimResult pt = simulator.run(trace, protemp, assign, 60.0);
+  const sim::SimResult bd = simulator.run(trace, basic, assign, 60.0);
+
+  // Fig. 7's direction: Pro-Temp cuts the average waiting time (the paper
+  // reports ~60 %; we only require a strict improvement here and leave the
+  // magnitude to the bench).
+  EXPECT_LT(pt.metrics.mean_waiting_time(), bd.metrics.mean_waiting_time());
+}
+
+TEST(Integration, TemperatureAwareAssignmentReducesBasicDfsViolations) {
+  // Section 5.4 / Fig. 11: with the Coskun-style assignment the time above
+  // tmax shrinks but does not vanish.
+  Pipeline pipeline;
+  sim::MulticoreSimulator simulator(pipeline.platform, pipeline.sim_config);
+  const workload::TaskTrace trace =
+      workload::make_compute_intensive_trace(20.0, 4242);
+
+  core::BasicDfsPolicy basic_a({90.0, false});
+  core::BasicDfsPolicy basic_b({90.0, false});
+  sim::FirstIdleAssignment first_idle;
+  sim::CoolestFirstAssignment coolest;
+  const sim::SimResult plain =
+      simulator.run(trace, basic_a, first_idle, 20.0);
+  const sim::SimResult aware =
+      simulator.run(trace, basic_b, coolest, 20.0);
+  EXPECT_LE(aware.metrics.violation_fraction(),
+            plain.metrics.violation_fraction());
+}
+
+TEST(Integration, TableRoundTripPreservesPolicyBehaviour) {
+  Pipeline pipeline;
+  const core::FrequencyTable table = pipeline.build_table();
+  std::stringstream buffer;
+  table.save(buffer);
+  const core::FrequencyTable loaded = core::FrequencyTable::load(buffer);
+
+  sim::FirstIdleAssignment assign;
+  sim::MulticoreSimulator simulator(pipeline.platform, pipeline.sim_config);
+  const workload::TaskTrace trace = workload::make_mixed_trace(5.0, 5);
+
+  core::ProTempPolicy original(table);
+  core::ProTempPolicy reloaded(loaded);
+  const sim::SimResult a = simulator.run(trace, original, assign, 5.0);
+  const sim::SimResult b = simulator.run(trace, reloaded, assign, 5.0);
+  EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+  EXPECT_NEAR(a.metrics.max_temp_seen(), b.metrics.max_temp_seen(), 1e-9);
+}
+
+TEST(Integration, OnlineMpcPolicyIsSafeAndAtLeastAsFastAsTable) {
+  // The online (solve-per-window) controller must keep the guarantee and,
+  // knowing the exact state, never do worse than the worst-case table.
+  Pipeline pipeline;
+  core::ProTempConfig online_config = pipeline.opt_config;
+  // Coarser horizon keeps the per-window solve cheap in tests.
+  online_config.dt = 2e-3;
+  const auto optimizer = std::make_shared<const core::ProTempOptimizer>(
+      pipeline.platform, online_config);
+  core::OnlineProTempPolicy online(optimizer);
+  sim::FirstIdleAssignment assign;
+  sim::MulticoreSimulator simulator(pipeline.platform, pipeline.sim_config);
+  const workload::TaskTrace trace =
+      workload::make_compute_intensive_trace(8.0, 13);
+  const sim::SimResult result = simulator.run(trace, online, assign, 8.0);
+  EXPECT_LE(result.metrics.max_temp_seen(), 100.0 + 1e-3);
+  EXPECT_GT(result.tasks_completed, 0u);
+  EXPECT_EQ(online.stats().windows, 80u);
+
+  core::ProTempPolicy table_policy(pipeline.build_table());
+  const sim::SimResult table_result =
+      simulator.run(trace, table_policy, assign, 8.0);
+  EXPECT_GE(result.mean_frequency, table_result.mean_frequency * 0.95);
+}
+
+TEST(Integration, SensorNoiseWithMarginStaysSafe) {
+  // Robustness extension: with noisy sensors, the plain table can be fooled
+  // into a hotter row (safe) or a cooler row (potentially unsafe by up to
+  // the noise amplitude); building the table against a reduced tmax
+  // restores the guarantee.
+  Pipeline pipeline;
+  core::ProTempConfig margin_config = pipeline.opt_config;
+  margin_config.tmax = 97.0;  // 3 degC margin vs 1 degC noise
+  const core::ProTempOptimizer optimizer(pipeline.platform, margin_config);
+  const core::FrequencyTable table = core::FrequencyTable::build(
+      optimizer, {50.0, 60.0, 70.0, 80.0, 85.0, 90.0, 95.0, 97.0},
+      {mhz(200), mhz(400), mhz(600), mhz(800), mhz(1000)});
+
+  sim::SimConfig noisy = pipeline.sim_config;
+  noisy.sensor_noise_stddev = 1.0;
+  sim::MulticoreSimulator simulator(pipeline.platform, noisy);
+  core::ProTempPolicy policy(table);
+  sim::FirstIdleAssignment assign;
+  const workload::TaskTrace trace =
+      workload::make_compute_intensive_trace(15.0, 31);
+  const sim::SimResult result = simulator.run(trace, policy, assign, 15.0);
+  EXPECT_LE(result.metrics.max_temp_seen(), 100.0 + 1e-3);
+}
+
+TEST(Integration, MixedLoadKeepsProTempBusyAndSafe) {
+  Pipeline pipeline;
+  const core::FrequencyTable table = pipeline.build_table();
+  core::ProTempPolicy protemp(table);
+  sim::FirstIdleAssignment assign;
+  sim::MulticoreSimulator simulator(pipeline.platform, pipeline.sim_config);
+  const workload::TaskTrace trace = workload::make_mixed_trace(15.0, 99);
+  const sim::SimResult result = simulator.run(trace, protemp, assign, 15.0);
+  EXPECT_LE(result.metrics.max_temp_seen(), 100.0 + 1e-3);
+  EXPECT_GT(result.tasks_completed, 0u);
+  EXPECT_EQ(result.tasks_completed + result.tasks_left_queued +
+                result.tasks_in_flight,
+            result.tasks_admitted);
+}
+
+}  // namespace
+}  // namespace protemp

@@ -1,0 +1,71 @@
+// Tests for the DVFS power law (paper Eq. 2) and the leakage extension.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.hpp"
+
+namespace protemp::power {
+namespace {
+
+TEST(DvfsPowerModel, QuadraticLawMatchesEq2) {
+  const DvfsPowerModel model(4.0, 1e9);  // paper: 4 W at 1 GHz
+  EXPECT_DOUBLE_EQ(model.dynamic_power(1e9), 4.0);
+  EXPECT_DOUBLE_EQ(model.dynamic_power(0.5e9), 1.0);   // (1/2)^2 * 4
+  EXPECT_DOUBLE_EQ(model.dynamic_power(0.25e9), 0.25);  // (1/4)^2 * 4
+  EXPECT_DOUBLE_EQ(model.dynamic_power(0.0), 0.0);
+}
+
+TEST(DvfsPowerModel, ClampsAboveFmax) {
+  const DvfsPowerModel model(4.0, 1e9);
+  EXPECT_DOUBLE_EQ(model.dynamic_power(2e9), 4.0);
+  EXPECT_DOUBLE_EQ(model.dynamic_power(-1.0), 0.0);
+}
+
+TEST(DvfsPowerModel, BusyVsIdleVsOff) {
+  const DvfsPowerModel model(4.0, 1e9, 2.0, 0.1);
+  EXPECT_DOUBLE_EQ(model.power(1e9, true), 4.0);
+  EXPECT_DOUBLE_EQ(model.power(1e9, false), 0.4);
+  EXPECT_DOUBLE_EQ(model.power(0.0, true), 0.0);  // shut down draws nothing
+}
+
+TEST(DvfsPowerModel, CubicExponentSupported) {
+  const DvfsPowerModel model(8.0, 1e9, 3.0);
+  EXPECT_DOUBLE_EQ(model.dynamic_power(0.5e9), 1.0);  // (1/2)^3 * 8
+}
+
+TEST(DvfsPowerModel, FrequencyForPowerInvertsLaw) {
+  const DvfsPowerModel model(4.0, 1e9);
+  for (const double f : {0.1e9, 0.33e9, 0.7e9, 1.0e9}) {
+    EXPECT_NEAR(model.frequency_for_power(model.dynamic_power(f)), f, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(model.frequency_for_power(100.0), 1e9);  // clamp high
+  EXPECT_DOUBLE_EQ(model.frequency_for_power(-1.0), 0.0);   // clamp low
+}
+
+TEST(DvfsPowerModel, Validation) {
+  EXPECT_THROW(DvfsPowerModel(0.0, 1e9), std::invalid_argument);
+  EXPECT_THROW(DvfsPowerModel(4.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(DvfsPowerModel(4.0, 1e9, 0.5), std::invalid_argument);
+  EXPECT_THROW(DvfsPowerModel(4.0, 1e9, 2.0, 1.5), std::invalid_argument);
+}
+
+TEST(LeakagePowerModel, ExponentialGrowth) {
+  const LeakagePowerModel leak(0.5, 0.02, 45.0);
+  EXPECT_DOUBLE_EQ(leak.power(45.0), 0.5);
+  EXPECT_NEAR(leak.power(80.0), 0.5 * std::exp(0.02 * 35.0), 1e-12);
+  EXPECT_GT(leak.power(100.0), leak.power(60.0));
+}
+
+TEST(LeakagePowerModel, CapPreventsRunaway) {
+  const LeakagePowerModel leak(1.0, 0.1, 45.0);
+  EXPECT_LE(leak.power(10000.0), 10.0 + 1e-12);
+}
+
+TEST(LeakagePowerModel, Validation) {
+  EXPECT_THROW(LeakagePowerModel(-1.0, 0.01, 45.0), std::invalid_argument);
+  EXPECT_THROW(LeakagePowerModel(1.0, -0.01, 45.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protemp::power

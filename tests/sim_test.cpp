@@ -1,0 +1,433 @@
+// Tests for the multi-core simulator: work conservation, metrics, policy
+// hooks, and assignment behaviour.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/niagara.hpp"
+#include "sim/assignment.hpp"
+#include "sim/metrics.hpp"
+#include "sim/policies.hpp"
+#include "sim/simulator.hpp"
+#include "workload/generator.hpp"
+
+namespace protemp::sim {
+namespace {
+
+using linalg::Vector;
+
+/// Policy pinning all cores to a fixed frequency.
+class FixedFrequencyPolicy final : public DfsPolicy {
+ public:
+  explicit FixedFrequencyPolicy(double hz) : hz_(hz) {}
+  std::string name() const override { return "fixed"; }
+  Vector on_window(const ControllerView& view) override {
+    return Vector(view.num_cores, hz_);
+  }
+
+ private:
+  double hz_;
+};
+
+SimConfig fast_config() {
+  SimConfig config;
+  config.dt = 0.4e-3;
+  config.dfs_period = 0.1;
+  return config;
+}
+
+workload::TaskTrace tiny_trace() {
+  std::vector<workload::Task> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back({0, 0.01 * i, 5e-3, 0});
+  }
+  return workload::TaskTrace(std::move(tasks), "tiny");
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Metrics, BandAccounting) {
+  Metrics metrics(2, {80.0, 90.0, 100.0}, 100.0);
+  EXPECT_EQ(metrics.num_bands(), 4u);
+  metrics.record_step(1.0, Vector{70.0, 85.0}, 10.0);
+  metrics.record_step(1.0, Vector{95.0, 105.0}, 10.0);
+  const auto fractions = metrics.band_fractions();
+  ASSERT_EQ(fractions.size(), 4u);
+  EXPECT_DOUBLE_EQ(fractions[0], 0.25);  // one core-second of 4 below 80
+  EXPECT_DOUBLE_EQ(fractions[1], 0.25);  // 85
+  EXPECT_DOUBLE_EQ(fractions[2], 0.25);  // 95
+  EXPECT_DOUBLE_EQ(fractions[3], 0.25);  // 105
+  double total = 0.0;
+  for (const double f : fractions) total += f;
+  EXPECT_DOUBLE_EQ(total, 1.0);
+}
+
+TEST(Metrics, ViolationTracking) {
+  Metrics metrics(2, {80.0}, 100.0);
+  metrics.record_step(1.0, Vector{101.0, 50.0}, 0.0);
+  metrics.record_step(1.0, Vector{99.0, 50.0}, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.violation_fraction(), 0.25);
+  EXPECT_DOUBLE_EQ(metrics.any_violation_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.max_temp_seen(), 101.0);
+  EXPECT_DOUBLE_EQ(metrics.max_temp_seen(0), 101.0);
+  EXPECT_DOUBLE_EQ(metrics.max_temp_seen(1), 50.0);
+}
+
+TEST(Metrics, GradientAndEnergy) {
+  Metrics metrics(2, {80.0}, 100.0);
+  metrics.record_step(2.0, Vector{60.0, 50.0}, 5.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_spatial_gradient(), 10.0);
+  EXPECT_DOUBLE_EQ(metrics.max_spatial_gradient(), 10.0);
+  EXPECT_DOUBLE_EQ(metrics.total_energy_joules(), 10.0);
+  EXPECT_DOUBLE_EQ(metrics.elapsed(), 2.0);
+}
+
+TEST(Metrics, TaskTimings) {
+  Metrics metrics(1, {80.0}, 100.0);
+  metrics.record_task_start(0.5);
+  metrics.record_task_start(1.5);
+  metrics.record_task_completion(2.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_waiting_time(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.max_waiting_time(), 1.5);
+  EXPECT_DOUBLE_EQ(metrics.mean_response_time(), 2.0);
+  EXPECT_EQ(metrics.tasks_started(), 2u);
+  EXPECT_EQ(metrics.tasks_completed(), 1u);
+}
+
+TEST(Metrics, Validation) {
+  EXPECT_THROW(Metrics(0, {80.0}, 100.0), std::invalid_argument);
+  EXPECT_THROW(Metrics(1, {90.0, 80.0}, 100.0), std::invalid_argument);
+  EXPECT_THROW(Metrics(1, {80.0, 80.0}, 100.0), std::invalid_argument);
+  Metrics m(1, {80.0}, 100.0);
+  EXPECT_THROW(m.record_step(1.0, Vector{1.0, 2.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.band_fraction(5, 0), std::out_of_range);
+}
+
+// ------------------------------------------------------------- assignment --
+
+TEST(Assignment, FirstIdlePicksLowestIndex) {
+  FirstIdleAssignment policy;
+  AssignmentContext ctx;
+  ctx.idle_cores = {3, 1, 5};
+  ctx.core_temps = Vector(8, 50.0);
+  EXPECT_EQ(policy.pick(ctx), 1u);
+}
+
+TEST(Assignment, CoolestFirstPicksColdest) {
+  CoolestFirstAssignment policy;
+  AssignmentContext ctx;
+  ctx.idle_cores = {0, 2, 4};
+  ctx.core_temps = Vector{90.0, 50.0, 60.0, 50.0, 55.0, 50.0, 50.0, 50.0};
+  EXPECT_EQ(policy.pick(ctx), 4u);
+}
+
+TEST(Assignment, RoundRobinCycles) {
+  RoundRobinAssignment policy;
+  policy.reset();
+  AssignmentContext ctx;
+  ctx.idle_cores = {0, 1, 2};
+  ctx.core_temps = Vector(3, 50.0);
+  EXPECT_EQ(policy.pick(ctx), 0u);
+  EXPECT_EQ(policy.pick(ctx), 1u);
+  EXPECT_EQ(policy.pick(ctx), 2u);
+  EXPECT_EQ(policy.pick(ctx), 0u);
+}
+
+TEST(Assignment, RandomIsDeterministicAfterReset) {
+  RandomAssignment policy(77);
+  AssignmentContext ctx;
+  ctx.idle_cores = {0, 1, 2, 3};
+  ctx.core_temps = Vector(4, 50.0);
+  std::vector<std::size_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(policy.pick(ctx));
+  policy.reset();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(policy.pick(ctx), first[i]);
+}
+
+TEST(Assignment, AdaptiveRandomPrefersCoolHistory) {
+  AdaptiveRandomAssignment policy(/*seed=*/5, /*history_decay=*/0.5,
+                                  /*sharpness=*/4.0);
+  policy.reset();
+  AssignmentContext ctx;
+  ctx.idle_cores = {0, 1};
+  // Core 0 consistently hot, core 1 consistently cool.
+  ctx.core_temps = Vector{95.0, 50.0};
+  int cool_picks = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (policy.pick(ctx) == 1u) ++cool_picks;
+  }
+  // Strong (not absolute) preference for the cool-history core.
+  EXPECT_GT(cool_picks, 400);
+  EXPECT_LT(policy.history(1), policy.history(0));
+}
+
+TEST(Assignment, AdaptiveRandomRemembersPastHeat) {
+  // A core that *was* hot keeps a warm history even after it cools — the
+  // essence of [26]'s policy versus plain coolest-first.
+  AdaptiveRandomAssignment policy(/*seed=*/6, /*history_decay=*/0.99,
+                                  /*sharpness=*/2.0);
+  policy.reset();
+  AssignmentContext ctx;
+  ctx.idle_cores = {0, 1};
+  ctx.core_temps = Vector{95.0, 60.0};
+  for (int i = 0; i < 50; ++i) (void)policy.pick(ctx);
+  // Core 0 transiently reads cooler than core 1 now.
+  ctx.core_temps = Vector{55.0, 60.0};
+  (void)policy.pick(ctx);
+  EXPECT_GT(policy.history(0), policy.history(1));
+}
+
+TEST(Assignment, AdaptiveRandomValidation) {
+  EXPECT_THROW(AdaptiveRandomAssignment(1, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AdaptiveRandomAssignment(1, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(AdaptiveRandomAssignment(1, 0.9, 0.0), std::invalid_argument);
+  AdaptiveRandomAssignment ok(1);
+  EXPECT_TRUE(std::isnan(ok.history(0)));  // no picks yet
+}
+
+TEST(Assignment, EmptyIdleListThrows) {
+  FirstIdleAssignment policy;
+  AssignmentContext ctx;
+  ctx.core_temps = Vector(2, 50.0);
+  EXPECT_THROW(policy.pick(ctx), std::invalid_argument);
+}
+
+// ---------------------------------------------------- required frequency --
+
+TEST(RequiredFrequency, ScalesWithBacklog) {
+  ControllerView view;
+  view.num_cores = 8;
+  view.dfs_period = 0.1;
+  view.fmax = 1e9;
+  view.core_temps = Vector(8, 50.0);
+  view.backlog_work = 0.4;  // = half of the 0.8 s capacity at fmax
+  EXPECT_DOUBLE_EQ(required_average_frequency(view), 0.5e9);
+  view.backlog_work = 10.0;  // saturates
+  EXPECT_DOUBLE_EQ(required_average_frequency(view), 1e9);
+  view.backlog_work = 0.0;
+  EXPECT_DOUBLE_EQ(required_average_frequency(view), 0.0);
+}
+
+TEST(RequiredFrequency, IncludesArrivalForecast) {
+  ControllerView view;
+  view.num_cores = 8;
+  view.dfs_period = 0.1;
+  view.fmax = 1e9;
+  view.backlog_work = 0.2;
+  view.arrived_work_last_window = 0.2;
+  EXPECT_DOUBLE_EQ(required_average_frequency(view), 0.5e9);
+}
+
+// ---------------------------------------------------------------- simulator --
+
+TEST(Simulator, CompletesAllWorkAtFullSpeed) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  MulticoreSimulator sim(platform, fast_config());
+  FixedFrequencyPolicy dfs(1e9);
+  FirstIdleAssignment assign;
+  const workload::TaskTrace trace = tiny_trace();
+  const SimResult result = sim.run(trace, dfs, assign, 2.0);
+  EXPECT_EQ(result.tasks_admitted, trace.size());
+  EXPECT_EQ(result.tasks_completed, trace.size());
+  EXPECT_EQ(result.tasks_left_queued, 0u);
+  EXPECT_EQ(result.tasks_in_flight, 0u);
+}
+
+TEST(Simulator, NoWorkProceedsAtZeroFrequency) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  MulticoreSimulator sim(platform, fast_config());
+  FixedFrequencyPolicy dfs(0.0);
+  FirstIdleAssignment assign;
+  const SimResult result = sim.run(tiny_trace(), dfs, assign, 1.0);
+  EXPECT_EQ(result.tasks_completed, 0u);
+  // All tasks admitted sit in the queue or on a stalled core.
+  EXPECT_EQ(result.tasks_left_queued + result.tasks_in_flight,
+            result.tasks_admitted);
+}
+
+TEST(Simulator, WorkConservation) {
+  // completed + queued + in-flight == admitted, across a bursty trace.
+  const arch::Platform platform = arch::make_niagara_platform();
+  MulticoreSimulator sim(platform, fast_config());
+  FixedFrequencyPolicy dfs(0.6e9);
+  FirstIdleAssignment assign;
+  const workload::TaskTrace trace = workload::make_mixed_trace(5.0, 42);
+  const SimResult result = sim.run(trace, dfs, assign, 5.0);
+  EXPECT_EQ(result.tasks_completed + result.tasks_left_queued +
+                result.tasks_in_flight,
+            result.tasks_admitted);
+  EXPECT_GT(result.tasks_completed, 0u);
+}
+
+TEST(Simulator, HalfSpeedHalvesThroughputOnSaturatedLoad) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  // Saturating load: back-to-back tasks on every core.
+  std::vector<workload::Task> tasks;
+  for (int i = 0; i < 4000; ++i) tasks.push_back({0, 0.0, 5e-3, 0});
+  const workload::TaskTrace trace(std::move(tasks), "saturate");
+
+  MulticoreSimulator sim(platform, fast_config());
+  FirstIdleAssignment assign;
+  FixedFrequencyPolicy full(1e9);
+  FixedFrequencyPolicy half(0.5e9);
+  const SimResult at_full = sim.run(trace, full, assign, 1.0);
+  const SimResult at_half = sim.run(trace, half, assign, 1.0);
+  ASSERT_GT(at_full.tasks_completed, 100u);
+  const double ratio = static_cast<double>(at_half.tasks_completed) /
+                       static_cast<double>(at_full.tasks_completed);
+  EXPECT_NEAR(ratio, 0.5, 0.05);
+}
+
+TEST(Simulator, TemperatureRisesUnderLoad) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  SimConfig config = fast_config();
+  config.initial_temperature = 45.0;
+  MulticoreSimulator sim(platform, config);
+  std::vector<workload::Task> tasks;
+  for (int i = 0; i < 20000; ++i) tasks.push_back({0, 0.0, 5e-3, 0});
+  FixedFrequencyPolicy dfs(1e9);
+  FirstIdleAssignment assign;
+  const SimResult result =
+      sim.run(workload::TaskTrace(std::move(tasks), "hot"), dfs, assign, 3.0);
+  EXPECT_GT(result.metrics.max_temp_seen(), 60.0);
+}
+
+TEST(Simulator, TraceRecordingHasExpectedShape) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  SimConfig config = fast_config();
+  config.trace_sample_period = 0.1;
+  MulticoreSimulator sim(platform, config);
+  FixedFrequencyPolicy dfs(0.5e9);
+  FirstIdleAssignment assign;
+  const SimResult result = sim.run(tiny_trace(), dfs, assign, 1.0);
+  EXPECT_EQ(result.temperature_trace.size(), 10u);
+  for (const auto& sample : result.temperature_trace) {
+    EXPECT_EQ(sample.core_temps.size(), platform.num_cores());
+  }
+}
+
+TEST(Simulator, FrequencyQuantizationFloors) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  SimConfig config = fast_config();
+  config.frequency_quantum = 100e6;
+  MulticoreSimulator sim(platform, config);
+  FixedFrequencyPolicy dfs(0.55e9);  // floors to 0.5 GHz
+  FirstIdleAssignment assign;
+  const SimResult result = sim.run(tiny_trace(), dfs, assign, 0.5);
+  EXPECT_NEAR(result.mean_frequency, 0.5e9, 1e6);
+}
+
+TEST(Simulator, MeanWaitingTimeGrowsWhenSlower) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  MulticoreSimulator sim(platform, fast_config());
+  FirstIdleAssignment assign;
+  const workload::TaskTrace trace = workload::make_compute_intensive_trace(4.0, 9);
+  FixedFrequencyPolicy fast_policy(1e9);
+  FixedFrequencyPolicy slow_policy(0.3e9);
+  const SimResult fast_run = sim.run(trace, fast_policy, assign, 4.0);
+  const SimResult slow_run = sim.run(trace, slow_policy, assign, 4.0);
+  EXPECT_GT(slow_run.metrics.mean_waiting_time(),
+            fast_run.metrics.mean_waiting_time());
+}
+
+TEST(Simulator, LeakageIncreasesEnergy) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  SimConfig base = fast_config();
+  SimConfig leaky = fast_config();
+  leaky.core_leakage = power::LeakagePowerModel(0.5, 0.02, 45.0);
+  FixedFrequencyPolicy dfs(1e9);
+  FirstIdleAssignment assign;
+  const workload::TaskTrace trace = tiny_trace();
+  MulticoreSimulator sim_base(platform, base);
+  MulticoreSimulator sim_leaky(platform, leaky);
+  const SimResult a = sim_base.run(trace, dfs, assign, 1.0);
+  const SimResult b = sim_leaky.run(trace, dfs, assign, 1.0);
+  EXPECT_GT(b.metrics.total_energy_joules(),
+            a.metrics.total_energy_joules());
+}
+
+namespace {
+
+/// Captures what the policy saw, for sensor-model tests.
+class SpyPolicy final : public DfsPolicy {
+ public:
+  std::string name() const override { return "spy"; }
+  Vector on_window(const ControllerView& view) override {
+    last_core_temps = view.core_temps;
+    last_sensor_temps = view.sensor_temps;
+    ++windows;
+    return Vector(view.num_cores, 0.5e9);
+  }
+  Vector last_core_temps;
+  Vector last_sensor_temps;
+  std::size_t windows = 0;
+};
+
+}  // namespace
+
+TEST(Simulator, SensorNoiseReachesPoliciesNotMetrics) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  SimConfig quiet = fast_config();
+  quiet.initial_temperature = 45.0;
+  SimConfig noisy = quiet;
+  noisy.sensor_noise_stddev = 2.0;
+
+  SpyPolicy spy_quiet, spy_noisy;
+  FirstIdleAssignment assign;
+  MulticoreSimulator sim_quiet(platform, quiet);
+  MulticoreSimulator sim_noisy(platform, noisy);
+  const workload::TaskTrace trace = tiny_trace();
+  const SimResult a = sim_quiet.run(trace, spy_quiet, assign, 0.5);
+  const SimResult b = sim_noisy.run(trace, spy_noisy, assign, 0.5);
+
+  // The policies observed different readings...
+  ASSERT_EQ(spy_quiet.last_core_temps.size(), spy_noisy.last_core_temps.size());
+  EXPECT_FALSE(
+      spy_quiet.last_core_temps.approx_equal(spy_noisy.last_core_temps, 1e-6));
+  // ...but with a temperature-blind policy the physical outcome (metrics)
+  // is identical: noise perturbs sensing, not the plant.
+  EXPECT_NEAR(a.metrics.max_temp_seen(), b.metrics.max_temp_seen(), 1e-12);
+  EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+}
+
+TEST(Simulator, SensorNoiseIsDeterministicPerSeed) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  SimConfig config = fast_config();
+  config.sensor_noise_stddev = 1.5;
+  config.sensor_noise_seed = 424242;
+  SpyPolicy spy_a, spy_b;
+  FirstIdleAssignment assign;
+  MulticoreSimulator sim(platform, config);
+  (void)sim.run(tiny_trace(), spy_a, assign, 0.3);
+  (void)sim.run(tiny_trace(), spy_b, assign, 0.3);
+  EXPECT_TRUE(spy_a.last_core_temps.approx_equal(spy_b.last_core_temps, 0.0));
+}
+
+TEST(Simulator, SensorViewCoversAllBlocks) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  SpyPolicy spy;
+  FirstIdleAssignment assign;
+  MulticoreSimulator sim(platform, fast_config());
+  (void)sim.run(tiny_trace(), spy, assign, 0.2);
+  EXPECT_EQ(spy.last_sensor_temps.size(), platform.floorplan().size());
+  EXPECT_EQ(spy.last_core_temps.size(), platform.num_cores());
+  EXPECT_GE(spy.windows, 2u);
+}
+
+TEST(Simulator, ConfigValidation) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  SimConfig bad = fast_config();
+  bad.dt = -1.0;
+  EXPECT_THROW(MulticoreSimulator(platform, bad), std::invalid_argument);
+  SimConfig bad2 = fast_config();
+  bad2.dfs_period = 1e-5;  // < dt
+  EXPECT_THROW(MulticoreSimulator(platform, bad2), std::invalid_argument);
+  MulticoreSimulator ok(platform, fast_config());
+  FixedFrequencyPolicy dfs(1e9);
+  FirstIdleAssignment assign;
+  EXPECT_THROW(ok.run(tiny_trace(), dfs, assign, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protemp::sim

@@ -1,0 +1,478 @@
+// Tests for floorplan geometry, RC network assembly, the Eq. (1)
+// discretization, horizon affine maps, and transient simulator agreement.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "arch/niagara.hpp"
+#include "thermal/floorplan.hpp"
+#include "thermal/model.hpp"
+#include "thermal/rc_network.hpp"
+#include "thermal/transient.hpp"
+#include "util/units.hpp"
+
+namespace protemp::thermal {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using util::mm;
+
+Floorplan two_block_plan() {
+  Floorplan fp;
+  fp.add_block({"left", BlockKind::kCore, 0.0, 0.0, mm(2.0), mm(2.0)});
+  fp.add_block({"right", BlockKind::kCore, mm(2.0), 0.0, mm(2.0), mm(2.0)});
+  return fp;
+}
+
+PackageParams small_package() {
+  PackageParams pkg;
+  pkg.ambient_celsius = 40.0;
+  return pkg;
+}
+
+// ---------------------------------------------------------------- floorplan --
+
+TEST(Floorplan, AddAndFind) {
+  Floorplan fp = two_block_plan();
+  EXPECT_EQ(fp.size(), 2u);
+  EXPECT_TRUE(fp.find("left").has_value());
+  EXPECT_EQ(*fp.find("right"), 1u);
+  EXPECT_FALSE(fp.find("nope").has_value());
+  EXPECT_EQ(fp.blocks_of_kind(BlockKind::kCore).size(), 2u);
+  EXPECT_DOUBLE_EQ(fp.total_area(), mm(2.0) * mm(2.0) * 2.0);
+}
+
+TEST(Floorplan, RejectsBadBlocks) {
+  Floorplan fp;
+  EXPECT_THROW(fp.add_block({"zero", BlockKind::kCore, 0, 0, 0.0, 1.0}),
+               std::invalid_argument);
+  fp.add_block({"a", BlockKind::kCore, 0, 0, 1.0, 1.0});
+  EXPECT_THROW(fp.add_block({"a", BlockKind::kCore, 2, 0, 1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Floorplan, OverlapDetection) {
+  Floorplan fp;
+  fp.add_block({"a", BlockKind::kCore, 0.0, 0.0, 2.0, 2.0});
+  fp.add_block({"b", BlockKind::kCore, 1.0, 1.0, 2.0, 2.0});  // overlaps a
+  EXPECT_THROW(fp.validate_no_overlap(), std::invalid_argument);
+  // Abutting blocks are fine.
+  Floorplan ok = two_block_plan();
+  EXPECT_NO_THROW(ok.validate_no_overlap());
+}
+
+TEST(Floorplan, AdjacencySharedEdge) {
+  const Floorplan fp = two_block_plan();
+  const auto adj = fp.adjacency();
+  ASSERT_EQ(adj.size(), 1u);
+  EXPECT_DOUBLE_EQ(adj[0].shared_length, mm(2.0));
+}
+
+TEST(Floorplan, NonTouchingBlocksNotAdjacent) {
+  Floorplan fp;
+  fp.add_block({"a", BlockKind::kCore, 0.0, 0.0, 1.0, 1.0});
+  fp.add_block({"b", BlockKind::kCore, 2.0, 0.0, 1.0, 1.0});  // 1 m gap
+  EXPECT_TRUE(fp.adjacency().empty());
+}
+
+TEST(Floorplan, DiagonalCornerContactNotAdjacent) {
+  Floorplan fp;
+  fp.add_block({"a", BlockKind::kCore, 0.0, 0.0, 1.0, 1.0});
+  fp.add_block({"b", BlockKind::kCore, 1.0, 1.0, 1.0, 1.0});  // corner touch
+  EXPECT_TRUE(fp.adjacency().empty());
+}
+
+TEST(Floorplan, NiagaraLayoutMatchesPaper) {
+  const Floorplan fp = arch::make_niagara_floorplan();
+  EXPECT_EQ(fp.blocks_of_kind(BlockKind::kCore).size(), 8u);
+  EXPECT_NO_THROW(fp.validate_no_overlap());
+
+  // P1 must touch the south-west cache; P2 must not touch any cache.
+  const auto adj = fp.adjacency();
+  const auto touches = [&](const std::string& a, const std::string& b) {
+    const std::size_t ia = *fp.find(a);
+    const std::size_t ib = *fp.find(b);
+    for (const auto& e : adj) {
+      if ((e.a == ia && e.b == ib) || (e.a == ib && e.b == ia)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(touches("P1", "l2_sw"));
+  EXPECT_TRUE(touches("P4", "l2_se"));
+  EXPECT_TRUE(touches("P5", "l2_nw"));
+  EXPECT_TRUE(touches("P8", "l2_ne"));
+  EXPECT_TRUE(touches("P1", "P2"));
+  EXPECT_FALSE(touches("P2", "l2_sw"));
+  EXPECT_FALSE(touches("P2", "l2_se"));
+  // Cores touch the xbar strip (row-to-row coupling runs through it).
+  EXPECT_TRUE(touches("P2", "xbar"));
+  EXPECT_TRUE(touches("P6", "xbar"));
+}
+
+// --------------------------------------------------------------- RC network --
+
+TEST(RcNetwork, LaplacianStructure) {
+  const RcNetwork net(two_block_plan(), small_package());
+  EXPECT_EQ(net.num_nodes(), 4u);  // 2 blocks + spreader + sink
+  const Matrix& g = net.conductance();
+  EXPECT_TRUE(g.symmetric(1e-15));
+  // Row sums equal the ambient conductance (Laplacian + ambient leak).
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < net.num_nodes(); ++j) row_sum += g(i, j);
+    EXPECT_NEAR(row_sum, net.ambient_conductance()[i], 1e-12);
+  }
+  // Off-diagonals non-positive, diagonals positive, capacitances positive.
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    EXPECT_GT(g(i, i), 0.0);
+    EXPECT_GT(net.capacitance()[i], 0.0);
+    for (std::size_t j = 0; j < net.num_nodes(); ++j) {
+      if (i != j) EXPECT_LE(g(i, j), 0.0);
+    }
+  }
+}
+
+TEST(RcNetwork, ZeroPowerSteadyStateIsAmbient) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const Vector t = net.steady_state(Vector(net.num_nodes()));
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(t[i], net.ambient_celsius(), 1e-9);
+  }
+}
+
+TEST(RcNetwork, SteadyStateEnergyBalance) {
+  // Total power in equals total heat flow to ambient:
+  // sum_i g_amb_i (T_i - T_amb) = sum_i p_i.
+  const RcNetwork net(two_block_plan(), small_package());
+  Vector p(net.num_nodes());
+  p[0] = 3.0;
+  p[1] = 1.0;
+  const Vector t = net.steady_state(p);
+  double outflow = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    outflow += net.ambient_conductance()[i] * (t[i] - net.ambient_celsius());
+  }
+  EXPECT_NEAR(outflow, 4.0, 1e-9);
+}
+
+TEST(RcNetwork, HotterBlockIsTheHeatedOne) {
+  const RcNetwork net(two_block_plan(), small_package());
+  Vector p(net.num_nodes());
+  p[0] = 5.0;
+  const Vector t = net.steady_state(p);
+  EXPECT_GT(t[0], t[1]);          // powered block hotter than its neighbour
+  EXPECT_GT(t[1], t[net.sink_node()]);  // silicon hotter than the sink
+  EXPECT_GT(t[net.sink_node()], net.ambient_celsius());
+}
+
+TEST(RcNetwork, SymmetricBlocksHeatSymmetrically) {
+  const RcNetwork net(two_block_plan(), small_package());
+  Vector p(net.num_nodes());
+  p[0] = 2.0;
+  p[1] = 2.0;
+  const Vector t = net.steady_state(p);
+  EXPECT_NEAR(t[0], t[1], 1e-9);
+}
+
+TEST(RcNetwork, ValidatesParams) {
+  PackageParams bad = small_package();
+  bad.sink_capacitance = -1.0;
+  EXPECT_THROW(RcNetwork(two_block_plan(), bad), std::invalid_argument);
+  EXPECT_THROW(RcNetwork(Floorplan{}, small_package()), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ thermal model --
+
+TEST(ThermalModel, EulerCoefficientsMatchEq1) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const double dt = 0.4e-3;
+  const ThermalModel model(net, dt);
+  // a_ij = dt * g_ij / C_i for the adjacent pair.
+  const double g01 = -net.conductance()(0, 1);
+  EXPECT_GT(g01, 0.0);
+  EXPECT_NEAR(model.coeff_a(0, 1), dt * g01 / net.capacitance()[0], 1e-15);
+  EXPECT_NEAR(model.coeff_b(0), dt / net.capacitance()[0], 1e-15);
+  EXPECT_THROW(model.coeff_a(0, 0), std::invalid_argument);
+}
+
+TEST(ThermalModel, StepMatchesManualEq1) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const double dt = 0.4e-3;
+  const ThermalModel model(net, dt);
+  const std::size_t n = net.num_nodes();
+  Vector t(n, 50.0);
+  t[0] = 80.0;
+  Vector p(n);
+  p[0] = 4.0;
+
+  // Manual Eq. (1): t'_i = t_i + sum_j a_ij (t_j - t_i) + a_amb (T_amb - t_i)
+  //                 + b_i p_i.
+  Vector expected(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = t[i];
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      acc += model.coeff_a(i, j) * (t[j] - t[i]);
+    }
+    const double a_amb =
+        dt * net.ambient_conductance()[i] / net.capacitance()[i];
+    acc += a_amb * (net.ambient_celsius() - t[i]);
+    acc += model.coeff_b(i) * p[i];
+    expected[i] = acc;
+  }
+  EXPECT_TRUE(model.step(t, p).approx_equal(expected, 1e-10));
+}
+
+TEST(ThermalModel, RejectsUnstableDt) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const ThermalModel probe(net, 1e-6);
+  EXPECT_THROW(ThermalModel(net, probe.max_stable_dt() * 1.5),
+               std::invalid_argument);
+}
+
+TEST(ThermalModel, DiscreteMatrixIsNonNegativeAtStableDt) {
+  // Positivity (monotonicity) is what makes the Pro-Temp worst-case-start
+  // argument rigorous; verify elementwise non-negativity of A_d and B_d.
+  const arch::Platform platform = arch::make_niagara_platform();
+  const ThermalModel model(platform.network(), 0.4e-3);
+  const Matrix& a = model.a_discrete();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_GE(a(i, j), 0.0) << "A_d(" << i << "," << j << ")";
+    }
+    EXPECT_GT(model.b_discrete()[i], 0.0);
+  }
+}
+
+TEST(ThermalModel, ConvergesToSteadyState) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const ThermalModel model(net, 1e-3);
+  Vector p(net.num_nodes());
+  p[0] = 3.0;
+  p[1] = 2.0;
+  const Vector expected = net.steady_state(p);
+  Vector t(net.num_nodes(), net.ambient_celsius());
+  for (int k = 0; k < 2'000'000; ++k) t = model.step(t, p);
+  EXPECT_TRUE(t.approx_equal(expected, 1e-6));
+}
+
+TEST(ThermalModel, ExactDiscretizationFixedPointIsSteadyState) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const ThermalModel model(net, 1e-3);
+  const auto disc = model.exact_discretization(0.05);
+  Vector p(net.num_nodes());
+  p[0] = 3.0;
+  const Vector ss = net.steady_state(p);
+  // ss must be a fixed point: A ss + B p + c = ss.
+  Vector next = disc.a * ss;
+  next += disc.b * p;
+  next += disc.c;
+  EXPECT_TRUE(next.approx_equal(ss, 1e-8));
+}
+
+// -------------------------------------------------------------- horizon map --
+
+TEST(HorizonMap, MatchesStepByStepSimulation) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  const ThermalModel model(platform.network(), 0.4e-3);
+  const std::size_t steps = 50;
+  const auto map = build_horizon_map(model, steps, platform.core_nodes(),
+                                     platform.core_nodes(),
+                                     platform.background_power());
+
+  const double tstart = 65.0;
+  Vector p_core(platform.num_cores());
+  for (std::size_t c = 0; c < p_core.size(); ++c) {
+    p_core[c] = 0.5 * static_cast<double>(c);
+  }
+
+  // Direct simulation from all-nodes-at-tstart.
+  Vector t(platform.num_nodes(), tstart);
+  const Vector full = platform.full_power(p_core);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    t = model.step(t, full);
+    const Vector predicted = map.evaluate(k, p_core, tstart);
+    for (std::size_t r = 0; r < platform.num_cores(); ++r) {
+      EXPECT_NEAR(predicted[r], t[platform.core_nodes()[r]], 1e-9)
+          << "k=" << k << " core=" << r;
+    }
+  }
+}
+
+TEST(HorizonMap, MonotoneInPowerAndTstart) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  const ThermalModel model(platform.network(), 0.4e-3);
+  const auto map = build_horizon_map(model, 100, platform.core_nodes(),
+                                     platform.core_nodes(),
+                                     platform.background_power());
+  const Vector p_lo(platform.num_cores(), 1.0);
+  const Vector p_hi(platform.num_cores(), 3.0);
+  for (const std::size_t k : {1u, 50u, 100u}) {
+    const Vector t_lo = map.evaluate(k, p_lo, 60.0);
+    const Vector t_hi = map.evaluate(k, p_hi, 60.0);
+    const Vector t_hot_start = map.evaluate(k, p_lo, 80.0);
+    for (std::size_t r = 0; r < t_lo.size(); ++r) {
+      EXPECT_GE(t_hi[r], t_lo[r]);
+      EXPECT_GE(t_hot_start[r], t_lo[r]);
+    }
+  }
+}
+
+TEST(HorizonMap, StateRowsMatchNonUniformSimulation) {
+  // evaluate_state must reproduce the step-by-step trajectory from an
+  // arbitrary (non-uniform) initial state — this is the contract the
+  // online MPC controller relies on.
+  const arch::Platform platform = arch::make_niagara_platform();
+  const ThermalModel model(platform.network(), 0.4e-3);
+  const std::size_t steps = 40;
+  const auto map = build_horizon_map(model, steps, platform.core_nodes(),
+                                     platform.core_nodes(),
+                                     platform.background_power());
+
+  Vector t0(platform.num_nodes());
+  for (std::size_t i = 0; i < t0.size(); ++i) {
+    t0[i] = 50.0 + 3.0 * static_cast<double>(i % 5);
+  }
+  Vector p_core(platform.num_cores(), 1.7);
+
+  Vector t = t0;
+  const Vector full = platform.full_power(p_core);
+  for (std::size_t k = 1; k <= steps; ++k) {
+    t = model.step(t, full);
+    const Vector predicted = map.evaluate_state(k, p_core, t0);
+    for (std::size_t r = 0; r < platform.num_cores(); ++r) {
+      EXPECT_NEAR(predicted[r], t[platform.core_nodes()[r]], 1e-9)
+          << "k=" << k << " core=" << r;
+    }
+  }
+}
+
+TEST(HorizonMap, UniformStateReducesToScalarForm) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  const ThermalModel model(platform.network(), 1e-3);
+  const auto map = build_horizon_map(model, 20, platform.core_nodes(),
+                                     platform.core_nodes(),
+                                     platform.background_power());
+  const Vector p(platform.num_cores(), 2.0);
+  const double tstart = 71.5;
+  const Vector uniform(platform.num_nodes(), tstart);
+  for (const std::size_t k : {1u, 10u, 20u}) {
+    EXPECT_TRUE(map.evaluate(k, p, tstart)
+                    .approx_equal(map.evaluate_state(k, p, uniform), 1e-10));
+  }
+  // And u is the row sum of the state-response rows by construction.
+  for (std::size_t k = 0; k < map.steps(); ++k) {
+    for (std::size_t r = 0; r < map.monitored.size(); ++r) {
+      double row_sum = 0.0;
+      for (std::size_t j = 0; j < platform.num_nodes(); ++j) {
+        row_sum += map.s[k](r, j);
+      }
+      EXPECT_NEAR(row_sum, map.u[k][r], 1e-12);
+    }
+  }
+}
+
+TEST(HorizonMap, ValidatesArguments) {
+  const arch::Platform platform = arch::make_niagara_platform();
+  const ThermalModel model(platform.network(), 0.4e-3);
+  EXPECT_THROW(build_horizon_map(model, 0, {0}, {0},
+                                 platform.background_power()),
+               std::invalid_argument);
+  EXPECT_THROW(build_horizon_map(model, 5, {999}, {0},
+                                 platform.background_power()),
+               std::out_of_range);
+  EXPECT_THROW(
+      build_horizon_map(model, 5, {0}, {0}, Vector(3)),
+      std::invalid_argument);
+}
+
+// --------------------------------------------------------------- transients --
+
+TEST(Transient, EulerMatchesExactAtSmallStep) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const EulerSimulator euler(net, 0.1e-3);
+  const ExactSimulator exact(net, 0.1e-3);
+  Vector p(net.num_nodes());
+  p[0] = 4.0;
+  Vector t_euler(net.num_nodes(), 45.0);
+  Vector t_exact = t_euler;
+  for (int k = 0; k < 5000; ++k) {
+    t_euler = euler.step(t_euler, p);
+    t_exact = exact.step(t_exact, p);
+  }
+  // 0.5 s of transient; Euler at 0.1 ms should track the exact solution
+  // to well under 0.1 K.
+  EXPECT_TRUE(t_euler.approx_equal(t_exact, 0.05));
+}
+
+TEST(Transient, Rk4MatchesExactTightly) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const Rk4Simulator rk4(net, 1e-3);
+  const ExactSimulator exact(net, 1e-3);
+  Vector p(net.num_nodes());
+  p[0] = 4.0;
+  Vector t_rk4(net.num_nodes(), 45.0);
+  Vector t_exact = t_rk4;
+  for (int k = 0; k < 1000; ++k) {
+    t_rk4 = rk4.step(t_rk4, p);
+    t_exact = exact.step(t_exact, p);
+  }
+  EXPECT_TRUE(t_rk4.approx_equal(t_exact, 1e-6));
+}
+
+TEST(Transient, EulerSubstepsWhenStepTooLarge) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const ThermalModel probe(net, 1e-6);
+  const double big_dt = probe.max_stable_dt() * 10.0;
+  const EulerSimulator euler(net, big_dt);
+  EXPECT_GE(euler.substeps(), 10u);
+  // And it still tracks the exact solution.
+  const ExactSimulator exact(net, big_dt);
+  Vector p(net.num_nodes());
+  p[0] = 2.0;
+  Vector a(net.num_nodes(), 45.0), b(net.num_nodes(), 45.0);
+  for (int k = 0; k < 50; ++k) {
+    a = euler.step(a, p);
+    b = exact.step(b, p);
+  }
+  EXPECT_TRUE(a.approx_equal(b, 0.5));
+}
+
+TEST(Transient, RunHelperAccumulatesSteps) {
+  const RcNetwork net(two_block_plan(), small_package());
+  const ExactSimulator exact(net, 1e-3);
+  const Vector p(net.num_nodes());
+  Vector t0(net.num_nodes(), 90.0);
+  const Vector direct = exact.step(exact.step(t0, p), p);
+  const Vector via_run = exact.run(t0, p, 2);
+  EXPECT_TRUE(direct.approx_equal(via_run, 1e-12));
+}
+
+class EulerErrorSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EulerErrorSweep, ErrorShrinksWithStep) {
+  // First-order convergence: halving dt roughly halves the error.
+  const RcNetwork net(two_block_plan(), small_package());
+  Vector p(net.num_nodes());
+  p[0] = 4.0;
+  const double horizon = 0.2;
+  const double dt = GetParam();
+  const ExactSimulator exact(net, horizon);
+  Vector ref(net.num_nodes(), 45.0);
+  ref = exact.step(ref, p);
+
+  const EulerSimulator euler(net, dt);
+  Vector t(net.num_nodes(), 45.0);
+  const auto steps = static_cast<std::size_t>(std::llround(horizon / dt));
+  t = euler.run(t, p, steps);
+  const double err = (t - ref).norm_inf();
+  // Loose linear-in-dt bound (constant measured empirically with margin).
+  EXPECT_LT(err, 2000.0 * dt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, EulerErrorSweep,
+                         ::testing::Values(4e-3, 2e-3, 1e-3, 0.5e-3, 0.25e-3));
+
+}  // namespace
+}  // namespace protemp::thermal

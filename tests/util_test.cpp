@@ -1,0 +1,257 @@
+// Tests for logging, RNG, CSV, CLI, strings, units and table rendering.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace protemp::util {
+namespace {
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  Rng parent(99);
+  Rng child = parent.split();
+  // The child stream must not replay the parent stream.
+  Rng parent2(99);
+  (void)parent2.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent2()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIndexUnbiasedish) {
+  Rng rng(6);
+  std::vector<int> counts(5, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(5)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, draws / 5, draws / 50);  // within 10 % relative
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(7);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(4.0);
+  EXPECT_NEAR(acc / n, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(8);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+// ------------------------------------------------------------------- CSV --
+
+TEST(Csv, EscapingRoundTrip) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  const auto fields = parse_csv_line("a,\"b,c\",\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(Csv, WriterEnforcesShape) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  EXPECT_THROW(csv.row({"too", "early"}), std::logic_error);
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.header({"again"}), std::logic_error);
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+  csv.row({"1", "2"});
+  EXPECT_EQ(csv.rows_written(), 1u);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Csv, NumericRowFormatting) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"x", "y"});
+  csv.row_numeric({1.5, 2.25});
+  EXPECT_EQ(out.str(), "x,y\n1.5,2.25\n");
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const auto fields = parse_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+// ------------------------------------------------------------------- CLI --
+
+TEST(Cli, ParsesAllFlagStyles) {
+  const char* argv[] = {"prog", "--alpha=1.5", "--name=test", "--verbose",
+                        "pos1"};
+  CliArgs args(5, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 1.5);
+  EXPECT_EQ(args.get_string("name", ""), "test");
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_NO_THROW(args.check_unknown());
+}
+
+TEST(Cli, UnknownFlagDetected) {
+  const char* argv[] = {"prog", "--oops=1"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.check_unknown(), std::invalid_argument);
+}
+
+TEST(Cli, BadBooleanThrows) {
+  const char* argv[] = {"prog", "--flag=maybe"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.get_bool("flag", false), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- strings --
+
+TEST(Strings, FormatAndJoin) {
+  EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+TEST(Strings, TrimAndSplit) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  const auto parts = split("a:b::c", ':');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, ParseNumbers) {
+  EXPECT_DOUBLE_EQ(parse_double(" 2.5 "), 2.5);
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_THROW(parse_double("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_int("1.5"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ units --
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mhz(500.0), 5e8);
+  EXPECT_DOUBLE_EQ(ghz(1.0), 1e9);
+  EXPECT_DOUBLE_EQ(to_mhz(5e8), 500.0);
+  EXPECT_DOUBLE_EQ(ms(100.0), 0.1);
+  EXPECT_DOUBLE_EQ(to_ms(0.1), 100.0);
+  EXPECT_DOUBLE_EQ(mm(12.0), 0.012);
+  EXPECT_DOUBLE_EQ(mm2(1.0), 1e-6);
+}
+
+// ------------------------------------------------------------------ table --
+
+TEST(Table, RendersAligned) {
+  AsciiTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row_numeric("pi", {3.14159}, 2);
+  std::ostringstream out;
+  table.render(out, "demo");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  AsciiTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only"}), std::invalid_argument);
+  EXPECT_THROW(AsciiTable({}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- logging --
+
+TEST(Logging, LevelFilteringAndSink) {
+  // Capture into a temp file sink.
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  set_log_sink(tmp);
+  const LogLevel old_level = log_level();
+  set_log_level(LogLevel::kWarn);
+
+  PROTEMP_LOG_DEBUG("test", "dropped %d", 1);
+  PROTEMP_LOG_WARN("test", "kept %d", 2);
+
+  std::rewind(tmp);
+  char buf[256] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, tmp);
+  const std::string captured(buf, n);
+  EXPECT_EQ(captured.find("dropped"), std::string::npos);
+  EXPECT_NE(captured.find("kept 2"), std::string::npos);
+  EXPECT_NE(captured.find("[WARN]"), std::string::npos);
+
+  set_log_sink(nullptr);
+  set_log_level(old_level);
+  std::fclose(tmp);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace protemp::util

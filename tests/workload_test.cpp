@@ -1,0 +1,191 @@
+// Tests for tasks, benchmark profiles, the MMPP generator, and trace IO.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+#include "workload/task.hpp"
+#include "workload/trace_io.hpp"
+
+namespace protemp::workload {
+namespace {
+
+TEST(TaskTrace, SortsAndReIds) {
+  std::vector<Task> tasks = {
+      {99, 2.0, 1e-3, 0}, {5, 1.0, 2e-3, 1}, {7, 3.0, 3e-3, 0}};
+  const TaskTrace trace(std::move(tasks), "test");
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_DOUBLE_EQ(trace[0].arrival_time, 1.0);
+  EXPECT_EQ(trace[0].id, 0u);
+  EXPECT_EQ(trace[2].id, 2u);
+  EXPECT_DOUBLE_EQ(trace.total_work(), 6e-3);
+  EXPECT_DOUBLE_EQ(trace.horizon(), 3.0);
+  EXPECT_DOUBLE_EQ(trace.max_work(), 3e-3);
+}
+
+TEST(TaskTrace, EmptyTraceDefaults) {
+  const TaskTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.horizon(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.offered_utilization(8), 0.0);
+}
+
+TEST(Profiles, StandardProfilesValidate) {
+  for (const auto& profiles : {mixed_benchmark_profiles(),
+                               compute_intensive_profiles(), web_profiles()}) {
+    for (const auto& p : profiles) EXPECT_NO_THROW(p.validate());
+  }
+}
+
+TEST(Profiles, TaskLengthsMatchPaperRange) {
+  // Paper: task workloads are 1-10 ms.
+  for (const auto& profiles : {mixed_benchmark_profiles(),
+                               compute_intensive_profiles()}) {
+    for (const auto& p : profiles) {
+      EXPECT_GE(p.min_work, 1e-3);
+      EXPECT_LE(p.max_work, 10e-3);
+    }
+  }
+}
+
+TEST(Profiles, AverageUtilizationFormula) {
+  BenchmarkProfile p;
+  p.burst_utilization = 1.0;
+  p.idle_utilization = 0.0;
+  p.mean_on_seconds = 1.0;
+  p.mean_off_seconds = 3.0;
+  EXPECT_DOUBLE_EQ(p.average_utilization(), 0.25);
+}
+
+TEST(Profiles, ValidationCatchesBadInput) {
+  BenchmarkProfile p;
+  p.name = "bad";
+  p.min_work = 2e-3;
+  p.max_work = 1e-3;  // inverted
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  BenchmarkProfile q;
+  q.name = "bad2";
+  q.weight = 0.0;
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const TaskTrace a = make_mixed_trace(30.0, 7);
+  const TaskTrace b = make_mixed_trace(30.0, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const TaskTrace a = make_mixed_trace(30.0, 1);
+  const TaskTrace b = make_mixed_trace(30.0, 2);
+  EXPECT_NE(a.size(), b.size());  // Poisson counts differ w.h.p.
+}
+
+TEST(Generator, TaskBoundsRespected) {
+  const TaskTrace trace = make_mixed_trace(60.0, 3);
+  for (const Task& t : trace.tasks()) {
+    EXPECT_GE(t.work, 1e-3);
+    EXPECT_LE(t.work, 10e-3);
+    EXPECT_GE(t.arrival_time, 0.0);
+    EXPECT_LT(t.arrival_time, 60.0);
+  }
+}
+
+TEST(Generator, ArrivalsSorted) {
+  const TaskTrace trace = make_compute_intensive_trace(60.0, 4);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].arrival_time, trace[i - 1].arrival_time);
+  }
+}
+
+TEST(Generator, OfferedUtilizationNearProfileAverage) {
+  // Long trace: empirical utilization within ~25 % of the analytic value.
+  const auto profiles = mixed_benchmark_profiles();
+  double expected = 0.0;
+  for (const auto& p : profiles) expected += p.average_utilization() * p.weight;
+  GeneratorConfig config;
+  config.duration = 600.0;
+  config.seed = 11;
+  const TaskTrace trace = generate_trace(profiles, config);
+  const double measured = trace.offered_utilization(config.cores);
+  EXPECT_NEAR(measured, expected, 0.25 * expected);
+}
+
+TEST(Generator, ComputeTraceIsHeavierThanMixed) {
+  const TaskTrace mixed = make_mixed_trace(120.0, 5);
+  const TaskTrace compute = make_compute_intensive_trace(120.0, 5);
+  EXPECT_GT(compute.offered_utilization(8), mixed.offered_utilization(8));
+}
+
+TEST(Generator, PaperScaleTraceSizeIsTensOfThousands) {
+  // Paper: ~60k tasks over (several) hundred seconds; match the order of
+  // magnitude at 100 s.
+  const TaskTrace trace = make_mixed_trace(100.0, 6);
+  EXPECT_GT(trace.size(), 30'000u);
+  EXPECT_LT(trace.size(), 200'000u);
+}
+
+TEST(Generator, HighLoadSitsBetweenMixedAndCompute) {
+  const TaskTrace mixed = make_mixed_trace(120.0, 8);
+  const TaskTrace high = make_high_load_trace(120.0, 8);
+  const TaskTrace compute = make_compute_intensive_trace(120.0, 8);
+  EXPECT_GT(high.offered_utilization(8), mixed.offered_utilization(8));
+  EXPECT_LT(high.offered_utilization(8), compute.offered_utilization(8));
+  // High load must stay below saturation so assignment policies have
+  // idle-core choices (Fig. 11's regime).
+  EXPECT_LT(high.offered_utilization(8), 1.0);
+}
+
+TEST(Generator, Validation) {
+  GeneratorConfig config;
+  config.duration = -1.0;
+  EXPECT_THROW(generate_trace(mixed_benchmark_profiles(), config),
+               std::invalid_argument);
+  config.duration = 1.0;
+  EXPECT_THROW(generate_trace({}, config), std::invalid_argument);
+  config.cores = 0;
+  EXPECT_THROW(generate_trace(mixed_benchmark_profiles(), config),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, RoundTripExact) {
+  const TaskTrace trace = make_mixed_trace(10.0, 12);
+  std::stringstream buffer;
+  save_trace(trace, buffer);
+  const TaskTrace loaded = load_trace(buffer);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i], trace[i]) << "task " << i;
+  }
+}
+
+TEST(TraceIo, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(load_trace(empty), std::runtime_error);
+  std::stringstream bad_header("x,y\n");
+  EXPECT_THROW(load_trace(bad_header), std::runtime_error);
+  std::stringstream bad_row("id,arrival_time,work,benchmark\n1,2\n");
+  EXPECT_THROW(load_trace(bad_row), std::runtime_error);
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, GeneratorInvariantsHoldAcrossSeeds) {
+  const TaskTrace trace = make_compute_intensive_trace(45.0, GetParam());
+  EXPECT_FALSE(trace.empty());
+  double prev = 0.0;
+  for (const Task& t : trace.tasks()) {
+    EXPECT_GE(t.arrival_time, prev);
+    prev = t.arrival_time;
+    EXPECT_GE(t.work, 1e-3);
+    EXPECT_LE(t.work, 10e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 17u, 99u, 2024u, 31337u));
+
+}  // namespace
+}  // namespace protemp::workload
