@@ -35,20 +35,21 @@ int main(int argc, char** argv) {
     // (the paper's "high workload benchmark" leaves slack too).
     const workload::TaskTrace trace = high_load_trace(duration, seed);
 
-    sim::FirstIdleAssignment first_idle;
-    sim::CoolestFirstAssignment coolest;
-    sim::AdaptiveRandomAssignment adaptive(seed);
+    const auto first_idle = make_paper_assignment("first-idle");
+    const auto coolest = make_paper_assignment("coolest-first");
+    const auto adaptive = make_paper_assignment(
+        "adaptive-random", api::Options().set("seed", std::to_string(seed)));
 
     // (1) Basic-DFS with and without the temperature-aware assignments.
-    core::BasicDfsPolicy basic_plain({90.0, false});
-    core::BasicDfsPolicy basic_aware({90.0, false});
-    core::BasicDfsPolicy basic_adaptive({90.0, false});
+    const auto basic_plain = make_paper_dfs("basic-dfs");
+    const auto basic_aware = make_paper_dfs("basic-dfs");
+    const auto basic_adaptive = make_paper_dfs("basic-dfs");
     const sim::SimResult plain =
-        run_policy(basic_plain, first_idle, trace, duration, config);
+        run_policy(*basic_plain, *first_idle, trace, duration, config);
     const sim::SimResult aware =
-        run_policy(basic_aware, coolest, trace, duration, config);
+        run_policy(*basic_aware, *coolest, trace, duration, config);
     const sim::SimResult adapt =
-        run_policy(basic_adaptive, adaptive, trace, duration, config);
+        run_policy(*basic_adaptive, *adaptive, trace, duration, config);
 
     util::AsciiTable fig({"configuration", "time > Tmax [%]",
                           "max temp [degC]", "mean gradient [K]"});
@@ -69,9 +70,9 @@ int main(int argc, char** argv) {
     core::ProTempPolicy protemp_aware(paper_table(/*gradient=*/true));
     const workload::TaskTrace mixed = mixed_trace(duration, seed);
     const sim::SimResult pt_plain =
-        run_policy(protemp_plain, first_idle, mixed, duration, config);
+        run_policy(protemp_plain, *first_idle, mixed, duration, config);
     const sim::SimResult pt_aware =
-        run_policy(protemp_aware, coolest, mixed, duration, config);
+        run_policy(protemp_aware, *coolest, mixed, duration, config);
 
     const double grad_plain = pt_plain.metrics.mean_spatial_gradient();
     const double grad_aware = pt_aware.metrics.mean_spatial_gradient();

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     args.check_unknown();
 
     const sim::SimConfig config = paper_sim_config();
-    sim::FirstIdleAssignment assignment;
+    const auto assignment = make_paper_assignment("first-idle");
 
     const char* band_names[] = {"<80", "80-90", "90-100", ">100"};
 
@@ -44,15 +44,15 @@ int main(int argc, char** argv) {
                   : mixed_trace(duration, seed);
       const char* workload_name = compute ? "compute" : "mixed";
 
-      core::NoTcPolicy no_tc;
-      core::BasicDfsPolicy basic({90.0, false});
+      const auto no_tc = make_paper_dfs("no-tc");
+      const auto basic = make_paper_dfs("basic-dfs");
       core::ProTempPolicy protemp(paper_table(/*gradient=*/true));
-      sim::DfsPolicy* policies[] = {&no_tc, &basic, &protemp};
+      sim::DfsPolicy* policies[] = {no_tc.get(), basic.get(), &protemp};
 
       util::AsciiTable fig({"policy", "<80", "80-90", "90-100", ">100"});
       for (sim::DfsPolicy* policy : policies) {
         const sim::SimResult result =
-            run_policy(*policy, assignment, trace, duration, config);
+            run_policy(*policy, *assignment, trace, duration, config);
         const auto bands = result.metrics.band_fractions();
         std::vector<std::string> row = {policy->name()};
         for (std::size_t b = 0; b < bands.size(); ++b) {
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
         if (policy == &protemp) {
           protemp_over_limit = std::max(protemp_over_limit, bands.back());
         }
-        if (policy == &basic && compute) {
+        if (policy == basic.get() && compute) {
           basic_over_limit_compute = bands.back();
         }
       }

@@ -27,16 +27,16 @@ int main(int argc, char** argv) {
     args.check_unknown();
 
     const sim::SimConfig config = paper_sim_config();
-    sim::FirstIdleAssignment assignment;
+    const auto assignment = make_paper_assignment("first-idle");
     const workload::TaskTrace trace = compute_trace(duration, seed);
 
-    core::BasicDfsPolicy basic({90.0, false});
+    const auto basic = make_paper_dfs("basic-dfs");
     const sim::SimResult basic_result =
-        run_policy(basic, assignment, trace, duration, config);
+        run_policy(*basic, *assignment, trace, duration, config);
 
     core::ProTempPolicy protemp(paper_table(/*gradient=*/true));
     const sim::SimResult protemp_result =
-        run_policy(protemp, assignment, trace, duration, config);
+        run_policy(protemp, *assignment, trace, duration, config);
 
     const double base = basic_result.metrics.mean_waiting_time();
     const double ours = protemp_result.metrics.mean_waiting_time();

@@ -1,11 +1,29 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "util/units.hpp"
 
 namespace protemp::bench {
+
+namespace {
+
+/// Benches are experiment scripts: a registry failure is a harness bug, so
+/// surface the Status and abort rather than threading errors through every
+/// figure harness.
+template <typename T>
+T unwrap_or_die(api::StatusOr<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench %s: %s\n", what,
+                 result.status().to_string().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
 
 std::vector<double> paper_tstart_grid() {
   std::vector<double> grid;
@@ -22,7 +40,8 @@ std::vector<double> paper_ftarget_grid() {
 }
 
 const arch::Platform& platform() {
-  static const arch::Platform instance = arch::make_niagara_platform();
+  static const arch::Platform instance =
+      unwrap_or_die(api::make_platform("niagara8"), "platform");
   return instance;
 }
 
@@ -60,6 +79,27 @@ const core::FrequencyTable& paper_table(bool gradient) {
       optimizer, paper_tstart_grid(), paper_ftarget_grid());
   table.save_file(path);
   return cache.emplace(gradient, std::move(table)).first->second;
+}
+
+api::PolicyContext paper_context(bool gradient) {
+  static api::TableCache cache;
+  api::PolicyContext context;
+  context.platform = &platform();
+  context.optimizer = paper_optimizer_config(gradient);
+  context.table_cache = &cache;
+  return context;
+}
+
+std::unique_ptr<sim::DfsPolicy> make_paper_dfs(const std::string& name,
+                                               const api::Options& options) {
+  return unwrap_or_die(
+      api::make_dfs_policy(name, paper_context(), options), "dfs policy");
+}
+
+std::unique_ptr<sim::AssignmentPolicy> make_paper_assignment(
+    const std::string& name, const api::Options& options) {
+  return unwrap_or_die(api::make_assignment_policy(name, options),
+                       "assignment policy");
 }
 
 sim::SimConfig paper_sim_config(const PaperSetup& setup) {

@@ -9,16 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "arch/niagara.hpp"
-#include "core/frequency_table.hpp"
-#include "core/optimizer.hpp"
+#include "api/protemp.hpp"
 #include "core/policies.hpp"
 #include "sim/assignment.hpp"
-#include "sim/simulator.hpp"
-#include "workload/generator.hpp"
 
 namespace protemp::bench {
 
@@ -36,11 +33,24 @@ struct PaperSetup {
 std::vector<double> paper_tstart_grid();
 std::vector<double> paper_ftarget_grid();
 
-/// Platform shared by all benches (built once per process).
+/// Platform shared by all benches (resolved once per process through the
+/// api registry).
 const arch::Platform& platform();
 
 /// Phase-1 optimizer config at the paper's parameters.
 core::ProTempConfig paper_optimizer_config(bool gradient = true);
+
+/// Policy context at the paper's parameters (shared platform + per-process
+/// TableCache), for registry-based policy construction in benches.
+api::PolicyContext paper_context(bool gradient = true);
+
+/// Creates a policy by registry name at the paper's parameters. Benches
+/// treat a bad name/option as fatal, so failures abort with the Status
+/// message instead of returning it.
+std::unique_ptr<sim::DfsPolicy> make_paper_dfs(
+    const std::string& name, const api::Options& options = {});
+std::unique_ptr<sim::AssignmentPolicy> make_paper_assignment(
+    const std::string& name, const api::Options& options = {});
 
 /// Builds (and memoizes per-process) the Phase-1 table at the paper grid.
 /// `gradient` selects whether the Eq. (4)-(5) term is active.

@@ -1,107 +1,106 @@
-// Custom platform: the library is not Niagara-specific. Build a little
+// Custom platform: the facade is not Niagara-specific. Build a little
 // 4-core embedded SoC from scratch — floorplan, package, power model —
-// then run the whole Pro-Temp pipeline on it: feasibility sweep, Phase-1
-// table, and a closed-loop simulation with the guarantee checked.
+// register it with the platform registry under its own name, and run the
+// whole Pro-Temp pipeline on it declaratively: policies by name, scenario
+// through ScenarioRunner, guarantee checked.
 //
-//   ./custom_platform [--tmax=85] [--duration=20]
+//   ./custom_platform [--tmax=85] [--duration=20] [--list-policies]
 #include <cstdio>
 #include <iostream>
 
-#include "arch/platform.hpp"
-#include "core/frequency_table.hpp"
-#include "core/optimizer.hpp"
-#include "core/policies.hpp"
-#include "sim/assignment.hpp"
-#include "sim/simulator.hpp"
-#include "util/cli.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-#include "workload/generator.hpp"
+#include "api/protemp.hpp"
+
+namespace {
+
+using namespace protemp;
+
+/// A 6 x 6 mm passively-cooled quad-core SoC; `ambient` comes through the
+/// registry's Options path like any built-in platform parameter.
+api::StatusOr<arch::Platform> make_quad_soc(const api::Options& options) {
+  using thermal::BlockKind;
+  using util::mm;
+
+  api::OptionReader reader(options);
+  const double ambient = reader.get_double("ambient", 35.0);
+  if (api::Status s = reader.finish(); !s.ok()) return s;
+
+  thermal::Floorplan fp;
+  fp.add_block({"gpu", BlockKind::kOther, 0.0, 0.0, mm(6.0), mm(2.0)});
+  fp.add_block({"C0", BlockKind::kCore, 0.0, mm(2.0), mm(1.5), mm(2.0)});
+  fp.add_block({"C1", BlockKind::kCore, mm(1.5), mm(2.0), mm(1.5), mm(2.0)});
+  fp.add_block({"C2", BlockKind::kCore, mm(3.0), mm(2.0), mm(1.5), mm(2.0)});
+  fp.add_block({"C3", BlockKind::kCore, mm(4.5), mm(2.0), mm(1.5), mm(2.0)});
+  fp.add_block({"sram", BlockKind::kCache, 0.0, mm(4.0), mm(6.0), mm(2.0)});
+
+  thermal::PackageParams pkg;  // passively cooled: weak convection
+  pkg.convection_resistance = 5.0;
+  pkg.sink_capacitance = 10.0;
+  pkg.tim_resistance_per_area = 1.2e-4;
+  pkg.ambient_celsius = ambient;
+
+  // 2 GHz cores at 1.5 W, cubic-ish law left quadratic for the optimizer.
+  const power::DvfsPowerModel core_power(1.5, 2e9, 2.0, 0.05);
+
+  linalg::Vector background(fp.size() + 2);
+  background[*fp.find("gpu")] = 0.8;
+  background[*fp.find("sram")] = 0.4;
+
+  return arch::Platform("quad-soc", std::move(fp), pkg, core_power,
+                        std::move(background), 0.5);
+}
+
+// One line makes the SoC addressable from every facade entry point —
+// scenario specs, --list-policies, the runner.
+PROTEMP_REGISTER_PLATFORM("quad-soc", make_quad_soc);
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace protemp;
-  using thermal::Block;
-  using thermal::BlockKind;
-  using util::mhz;
-  using util::mm;
   try {
     util::CliArgs args(argc, argv);
+    if (args.list_policies_requested()) {
+      api::print_registered_policies(std::cout);
+      return 0;
+    }
     const double tmax = args.get_double("tmax", 85.0);  // embedded limit
     const double duration = args.get_double("duration", 20.0);
     args.check_unknown();
 
-    // -- a 6 x 6 mm quad-core SoC ----------------------------------------
-    thermal::Floorplan fp;
-    fp.add_block({"gpu", BlockKind::kOther, 0.0, 0.0, mm(6.0), mm(2.0)});
-    fp.add_block({"C0", BlockKind::kCore, 0.0, mm(2.0), mm(1.5), mm(2.0)});
-    fp.add_block({"C1", BlockKind::kCore, mm(1.5), mm(2.0), mm(1.5), mm(2.0)});
-    fp.add_block({"C2", BlockKind::kCore, mm(3.0), mm(2.0), mm(1.5), mm(2.0)});
-    fp.add_block({"C3", BlockKind::kCore, mm(4.5), mm(2.0), mm(1.5), mm(2.0)});
-    fp.add_block({"sram", BlockKind::kCache, 0.0, mm(4.0), mm(6.0), mm(2.0)});
+    api::ScenarioSpec spec;
+    spec.name = "quad-soc-soak";
+    spec.platform = "quad-soc";
+    spec.workload = "compute";
+    spec.duration = duration;
+    spec.seed = 99;
+    spec.sim.tmax = tmax;
+    spec.sim.band_edges = {tmax - 20.0, tmax - 10.0, tmax};
+    spec.optimizer.tmax = tmax;
+    spec.optimizer.minimize_gradient = true;
+    spec.dfs_policy = "pro-temp";
+    // Grid bounds in options, exactly as a config file would set them.
+    spec.dfs_options.set("tstart-min", 45.0)
+        .set("tstart-step", 10.0)
+        .set("ftarget-min-mhz", 250.0)
+        .set("ftarget-step-mhz", 250.0);
+    spec.assignment_policy = "coolest-first";
 
-    thermal::PackageParams pkg;  // passively cooled: weak convection
-    pkg.convection_resistance = 5.0;
-    pkg.sink_capacitance = 10.0;
-    pkg.tim_resistance_per_area = 1.2e-4;
-    pkg.ambient_celsius = 35.0;
+    std::printf("platform 'quad-soc' registered; running scenario '%s' "
+                "(tmax %.0f degC, %.0f s)...\n",
+                spec.name.c_str(), tmax, duration);
 
-    // 2 GHz cores at 1.5 W, cubic-ish law left quadratic for the optimizer.
-    const power::DvfsPowerModel core_power(1.5, 2e9, 2.0, 0.05);
-
-    linalg::Vector background(fp.size() + 2);
-    background[*fp.find("gpu")] = 0.8;
-    background[*fp.find("sram")] = 0.4;
-
-    const arch::Platform soc("quad-soc", std::move(fp), pkg, core_power,
-                             std::move(background), 0.5);
-    std::printf("platform: %s, %zu cores, fmax %.1f GHz, tmax %.0f degC\n",
-                soc.name().c_str(), soc.num_cores(), soc.fmax() / 1e9, tmax);
-
-    // -- feasibility sweep -------------------------------------------------
-    core::ProTempConfig config;
-    config.tmax = tmax;
-    config.minimize_gradient = true;
-    const core::ProTempOptimizer optimizer(soc, config);
-    util::AsciiTable sweep({"tstart [degC]", "max avg freq [MHz]"});
-    std::vector<double> tgrid;
-    for (double t = 45.0; t <= tmax + 1e-9; t += 10.0) {
-      const auto best = optimizer.max_supported_frequency(t);
-      sweep.add_row({util::format_fixed(t, 0),
-                     best ? util::format_fixed(
-                                util::to_mhz(best->average_frequency), 0)
-                          : "-"});
-      tgrid.push_back(t);
+    const api::ScenarioRunner runner;
+    const api::StatusOr<api::ScenarioReport> report = runner.run(spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().to_string().c_str());
+      return 1;
     }
-    sweep.render(std::cout, "feasibility sweep");
 
-    // -- Phase 1 + Phase 2 --------------------------------------------------
-    std::vector<double> fgrid;
-    for (double f = 250.0; f <= 2000.0; f += 250.0) fgrid.push_back(mhz(f));
-    const core::FrequencyTable table =
-        core::FrequencyTable::build(optimizer, tgrid, fgrid);
-    std::printf("\ntable: %zu/%zu cells feasible\n", table.feasible_cells(),
-                table.rows() * table.cols());
-
-    sim::SimConfig sim_config;
-    sim_config.tmax = tmax;
-    sim_config.band_edges = {tmax - 20.0, tmax - 10.0, tmax};
-    sim::MulticoreSimulator simulator(soc, sim_config);
-    core::ProTempPolicy policy(table);
-    sim::CoolestFirstAssignment assignment;
-    workload::GeneratorConfig gen;
-    gen.cores = soc.num_cores();
-    gen.duration = duration;
-    gen.seed = 99;
-    const workload::TaskTrace trace =
-        workload::generate_trace(workload::compute_intensive_profiles(), gen);
-
-    const sim::SimResult result =
-        simulator.run(trace, policy, assignment, duration);
-    std::printf("simulated %.0f s: max temp %.2f degC (limit %.0f), "
+    const sim::SimResult& result = report->result;
+    std::printf("simulated %.0f s on %s: max temp %.2f degC (limit %.0f), "
                 "%zu/%zu tasks done, mean wait %.1f ms\n",
-                duration, result.metrics.max_temp_seen(), tmax,
-                result.tasks_completed, result.tasks_admitted,
+                duration, report->platform_name.c_str(),
+                result.metrics.max_temp_seen(), tmax, result.tasks_completed,
+                result.tasks_admitted,
                 util::to_ms(result.metrics.mean_waiting_time()));
     const bool safe = result.metrics.max_temp_seen() <= tmax + 1e-3;
     std::printf("guarantee check: %s\n", safe ? "PASS" : "FAIL");

@@ -1,83 +1,94 @@
-// Datacenter soak: the full Pro-Temp deployment pipeline end to end —
-// generate a long mixed workload, build the Phase-1 table offline, persist
-// it to disk (the artifact a real thermal management unit would ship with),
-// reload it, and run Phase-2 for minutes of simulated time while checking
-// the guarantee continuously.
+// Datacenter soak: the declarative deployment pipeline end to end — a
+// scenario spec in the text format an operator would keep in a config
+// repository, parsed with line-anchored diagnostics, run for minutes of
+// simulated time, with the thermal guarantee checked continuously and the
+// canonical spec persisted next to the results for reproducibility.
 //
-//   ./datacenter_soak [--minutes=2] [--seed=7] [--table-out=protemp_table.csv]
+//   ./datacenter_soak [--minutes=2] [--seed=7] [--spec=ops/soak.spec]
+//                     [--spec-out=soak_resolved.spec] [--list-policies]
 #include <cstdio>
 #include <iostream>
 
-#include "arch/niagara.hpp"
-#include "core/frequency_table.hpp"
-#include "core/optimizer.hpp"
-#include "core/policies.hpp"
-#include "sim/assignment.hpp"
-#include "sim/simulator.hpp"
-#include "util/cli.hpp"
-#include "util/units.hpp"
-#include "workload/generator.hpp"
-#include "workload/trace_io.hpp"
+#include "api/protemp.hpp"
+
+namespace {
+
+/// The ops-style scenario config this example ships with. `--spec=<path>`
+/// swaps in an external file instead.
+constexpr const char* kDefaultSpec = R"(# protemp soak scenario
+name = datacenter-soak
+platform = niagara8
+workload = mixed
+
+# Phase 2 pairing of Sec. 5.4: Pro-Temp DFS + coolest-first assignment.
+dfs = pro-temp
+assignment = coolest-first
+
+sim.tmax = 100
+opt.tmax = 100
+opt.minimize_gradient = true
+)";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace protemp;
-  using util::mhz;
   try {
     util::CliArgs args(argc, argv);
+    if (args.list_policies_requested()) {
+      api::print_registered_policies(std::cout);
+      return 0;
+    }
     const double minutes = args.get_double("minutes", 2.0);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
-    const std::string table_path =
-        args.get_string("table-out", "protemp_table.csv");
+    const std::string spec_path = args.get_string("spec", "");
+    const std::string spec_out =
+        args.get_string("spec-out", "soak_resolved.spec");
     args.check_unknown();
 
-    const double duration = minutes * 60.0;
-    const arch::Platform platform = arch::make_niagara_platform();
+    // -- declarative scenario ---------------------------------------------
+    api::StatusOr<api::ScenarioSpec> parsed =
+        spec_path.empty() ? api::ScenarioSpec::parse(kDefaultSpec)
+                          : api::ScenarioSpec::load_file(spec_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "spec error: %s\n",
+                   parsed.status().to_string().c_str());
+      return 1;
+    }
+    api::ScenarioSpec spec = std::move(parsed).value();
+    // CLI flags override the file only when actually passed; the embedded
+    // default spec always takes the documented 2-minute default.
+    if (spec_path.empty() || args.has("minutes")) spec.duration = minutes * 60.0;
+    if (spec_path.empty() || args.has("seed")) spec.seed = seed;
 
-    // -- workload ---------------------------------------------------------
-    const workload::TaskTrace trace =
-        workload::make_mixed_trace(duration, seed);
-    std::printf("workload: %zu tasks over %.0f s (util %.2f)\n", trace.size(),
-                duration, trace.offered_utilization(platform.num_cores()));
+    // Persist the fully-resolved canonical spec: the artifact that makes
+    // this run bit-reproducible anywhere (parse -> serialize -> parse is
+    // idempotent).
+    if (api::Status s = spec.save_file(spec_out); !s.ok()) {
+      std::fprintf(stderr, "warning: %s\n", s.to_string().c_str());
+    } else {
+      std::printf("resolved spec persisted to %s\n", spec_out.c_str());
+    }
 
-    // -- Phase 1: offline table build and persistence ----------------------
-    core::ProTempConfig opt_config;  // paper defaults, gradient term on
-    const core::ProTempOptimizer optimizer(platform, opt_config);
-    std::vector<double> tgrid;
-    for (double t = 50.0; t <= 100.0; t += 5.0) tgrid.push_back(t);
-    std::vector<double> fgrid;
-    for (double f = 100.0; f <= 1000.0; f += 100.0) fgrid.push_back(mhz(f));
+    // -- run ----------------------------------------------------------------
+    std::printf("running '%s': %s + %s on %s, %.0f s of '%s' load...\n",
+                spec.name.c_str(), spec.dfs_policy.c_str(),
+                spec.assignment_policy.c_str(), spec.platform.c_str(),
+                spec.duration, spec.workload.c_str());
+    const api::ScenarioRunner runner;
+    const api::StatusOr<api::ScenarioReport> report = runner.run(spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().to_string().c_str());
+      return 1;
+    }
 
-    std::printf("Phase 1: solving %zu grid points...\n",
-                tgrid.size() * fgrid.size());
-    double solve_time = 0.0;
-    const core::FrequencyTable table = core::FrequencyTable::build(
-        optimizer, tgrid, fgrid,
-        [&](std::size_t, std::size_t, const core::FrequencyAssignment& a) {
-          solve_time += a.solve_seconds;
-        });
-    std::printf("Phase 1 done: %zu/%zu cells feasible, %.1f s of solver "
-                "time\n",
-                table.feasible_cells(), table.rows() * table.cols(),
-                solve_time);
-    table.save_file(table_path);
-    std::printf("table persisted to %s\n", table_path.c_str());
-
-    // -- Phase 2: online control from the persisted artifact ---------------
-    const core::FrequencyTable reloaded =
-        core::FrequencyTable::load_file(table_path);
-    core::ProTempPolicy policy(reloaded);
-    sim::CoolestFirstAssignment assignment;  // Sec. 5.4 pairing
-    sim::SimConfig sim_config;
-    sim::MulticoreSimulator simulator(platform, sim_config);
-
-    std::printf("Phase 2: simulating %.0f s...\n", duration);
-    const sim::SimResult result =
-        simulator.run(trace, policy, assignment, duration);
-
+    const sim::SimResult& result = report->result;
     const auto bands = result.metrics.band_fractions();
     std::printf("\n== soak report ==\n");
+    std::printf("workload:                %zu tasks (util %.2f)\n",
+                report->trace_tasks, report->offered_utilization);
     std::printf("max temperature seen:    %.2f degC (tmax %.0f)\n",
-                result.metrics.max_temp_seen(), sim_config.tmax);
+                result.metrics.max_temp_seen(), spec.sim.tmax);
     std::printf("time above tmax:         %.4f %%\n",
                 100.0 * result.metrics.violation_fraction());
     std::printf("band residency:          <80: %.1f%%  80-90: %.1f%%  "
@@ -92,12 +103,10 @@ int main(int argc, char** argv) {
                 result.metrics.mean_spatial_gradient());
     std::printf("energy:                  %.0f J\n",
                 result.metrics.total_energy_joules());
-    std::printf("controller stats:        %zu windows, %zu emergencies, "
-                "%zu downgrades\n",
-                policy.stats().windows, policy.stats().emergencies,
-                policy.stats().downgrades);
+    std::printf("host time:               %.1f s\n", report->wall_seconds);
 
-    const bool safe = result.metrics.max_temp_seen() <= sim_config.tmax + 1e-3;
+    const bool safe =
+        result.metrics.max_temp_seen() <= spec.sim.tmax + 1e-3;
     std::printf("\nguarantee check: %s\n",
                 safe ? "PASS (never above tmax)" : "FAIL");
     return safe ? 0 : 1;

@@ -1,82 +1,87 @@
-// Policy face-off: run No-TC, Basic-DFS and Pro-Temp on the same trace and
-// print the paper's headline metrics side by side (Figs. 1, 2, 6, 7 in
-// miniature).
+// Policy face-off: run No-TC, Basic-DFS, Pro-Temp (and optionally the
+// online MPC variant) on the same workload and print the paper's headline
+// metrics side by side (Figs. 1, 2, 6, 7 in miniature).
+//
+// The scenarios differ only in the DFS policy name, so this is the batched
+// facade in its element: one spec per policy, fanned across a thread pool
+// by ScenarioRunner::run_all. Results are identical to running each spec
+// sequentially — every scenario owns its seed.
 //
 //   ./policy_faceoff [--duration=30] [--seed=2008] [--workload=compute|mixed]
+//                    [--threads=4] [--online] [--list-policies]
 #include <cstdio>
 #include <iostream>
-#include <memory>
+#include <vector>
 
-#include "arch/niagara.hpp"
-#include "core/frequency_table.hpp"
-#include "core/optimizer.hpp"
-#include "core/policies.hpp"
-#include "sim/assignment.hpp"
-#include "sim/simulator.hpp"
-#include "util/cli.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-#include "workload/generator.hpp"
+#include "api/protemp.hpp"
 
 int main(int argc, char** argv) {
   using namespace protemp;
-  using util::mhz;
   try {
     util::CliArgs args(argc, argv);
+    if (args.list_policies_requested()) {
+      api::print_registered_policies(std::cout);
+      return 0;
+    }
     const double duration = args.get_double("duration", 30.0);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2008));
-    const std::string workload_kind =
-        args.get_string("workload", "compute");
+    const std::string workload = args.get_string("workload", "compute");
+    const auto threads =
+        static_cast<std::size_t>(args.get_int("threads", 4));
+    const bool online = args.get_bool("online", false);
     args.check_unknown();
 
-    const arch::Platform platform = arch::make_niagara_platform();
-    const workload::TaskTrace trace =
-        workload_kind == "mixed"
-            ? workload::make_mixed_trace(duration, seed)
-            : workload::make_compute_intensive_trace(duration, seed);
-    std::printf("trace: %zu tasks, offered utilization %.2f\n", trace.size(),
-                trace.offered_utilization(platform.num_cores()));
+    std::vector<std::string> policies = {"no-tc", "basic-dfs", "pro-temp"};
+    if (online) policies.push_back("pro-temp-online");
 
-    // Phase 1: build the Pro-Temp table (coarse grid for example speed).
-    core::ProTempConfig opt_config;
-    opt_config.minimize_gradient = false;
-    const core::ProTempOptimizer optimizer(platform, opt_config);
-    std::printf("building Pro-Temp table...\n");
-    const core::FrequencyTable table = core::FrequencyTable::build(
-        optimizer, {50.0, 60.0, 70.0, 80.0, 85.0, 90.0, 95.0, 100.0},
-        {mhz(100), mhz(200), mhz(300), mhz(400), mhz(500), mhz(600),
-         mhz(700), mhz(800), mhz(900), mhz(1000)});
-    std::printf("table: %zu/%zu cells feasible\n", table.feasible_cells(),
-                table.rows() * table.cols());
+    // One spec per policy; everything else identical. The Pro-Temp table
+    // uses a coarse temperature grid for example speed — the TableCache
+    // still shares it across any specs with the same grid.
+    std::vector<api::ScenarioSpec> specs;
+    for (const std::string& policy : policies) {
+      api::ScenarioSpec spec;
+      spec.name = policy;
+      spec.workload = workload;
+      spec.duration = duration;
+      spec.seed = seed;
+      spec.optimizer.minimize_gradient = false;
+      spec.dfs_policy = policy;
+      if (policy == "pro-temp") {
+        spec.dfs_options.set("tstart-step", 10.0);
+      }
+      specs.push_back(std::move(spec));
+    }
 
-    sim::SimConfig sim_config;
-    sim::MulticoreSimulator simulator(platform, sim_config);
-    sim::FirstIdleAssignment assignment;
-
-    core::NoTcPolicy no_tc;
-    core::BasicDfsPolicy basic({90.0, false});
-    core::ProTempPolicy protemp(table);
+    std::printf("running %zu scenarios on %zu threads (%s workload, %.0f s "
+                "each)...\n",
+                specs.size(), threads, workload.c_str(), duration);
+    const api::ScenarioRunner runner;
+    const api::StatusOr<std::vector<api::ScenarioReport>> reports =
+        runner.run_all(specs, threads);
+    if (!reports.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   reports.status().to_string().c_str());
+      return 1;
+    }
 
     util::AsciiTable report(
         {"policy", "max T [degC]", "time >100C [%]", "mean wait [ms]",
          "tasks done", "energy [J]", "mean grad [K]"});
-    sim::DfsPolicy* policies[] = {&no_tc, &basic, &protemp};
-    for (sim::DfsPolicy* policy : policies) {
-      const sim::SimResult r =
-          simulator.run(trace, *policy, assignment, duration);
-      report.add_row({policy->name(),
-                      util::format_fixed(r.metrics.max_temp_seen(), 2),
+    for (const api::ScenarioReport& r : *reports) {
+      report.add_row({r.dfs_policy,
+                      util::format_fixed(r.result.metrics.max_temp_seen(), 2),
                       util::format_fixed(
-                          100.0 * r.metrics.violation_fraction(), 2),
+                          100.0 * r.result.metrics.violation_fraction(), 2),
                       util::format_fixed(
-                          util::to_ms(r.metrics.mean_waiting_time()), 2),
-                      std::to_string(r.tasks_completed),
-                      util::format_fixed(r.metrics.total_energy_joules(), 0),
+                          util::to_ms(r.result.metrics.mean_waiting_time()),
+                          2),
+                      std::to_string(r.result.tasks_completed),
                       util::format_fixed(
-                          r.metrics.mean_spatial_gradient(), 2)});
+                          r.result.metrics.total_energy_joules(), 0),
+                      util::format_fixed(
+                          r.result.metrics.mean_spatial_gradient(), 2)});
     }
-    report.render(std::cout, "policy face-off (" + workload_kind + ")");
+    report.render(std::cout, "policy face-off (" + workload + ")");
     std::printf("\nPro-Temp guarantee: max temperature above must be <= "
                 "100 degC; the baselines overshoot.\n");
     return 0;

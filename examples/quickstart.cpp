@@ -1,63 +1,75 @@
-// Quickstart: build the Niagara-8 platform, solve one Pro-Temp point, and
-// print the optimal frequency assignment.
+// Quickstart: the 10-line protemp::api facade flow — declare a scenario,
+// run it, read the report. Everything (platform, policies, workload) is
+// resolved by name through the registry; all errors arrive as one Status.
 //
-//   ./quickstart [--tstart=85] [--ftarget-mhz=500]
+//   ./quickstart [--policy=pro-temp] [--workload=compute] [--duration=10]
+//                [--seed=2008] [--list-policies]
 #include <cstdio>
 #include <iostream>
 
-#include "arch/niagara.hpp"
-#include "core/optimizer.hpp"
-#include "util/cli.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
+#include "api/protemp.hpp"
 
 int main(int argc, char** argv) {
   using namespace protemp;
   try {
     util::CliArgs args(argc, argv);
-    const double tstart = args.get_double("tstart", 85.0);
-    const double ftarget = util::mhz(args.get_double("ftarget-mhz", 500.0));
-    args.check_unknown();
-
-    // 1. The platform: floorplan, RC thermal network, power model.
-    const arch::Platform platform = arch::make_niagara_platform();
-    std::printf("platform: %s (%zu cores, %zu thermal nodes)\n",
-                platform.name().c_str(), platform.num_cores(),
-                platform.num_nodes());
-
-    // 2. The Pro-Temp Phase-1 optimizer at the paper's parameters.
-    core::ProTempConfig config;  // tmax=100degC, 100ms window, 0.4ms step
-    const core::ProTempOptimizer optimizer(platform, config);
-    std::printf("horizon: %zu steps, %zu constraint rows\n",
-                optimizer.horizon_steps(), optimizer.num_linear_rows());
-
-    // 3. Solve one (tstart, ftarget) point.
-    const core::FrequencyAssignment result =
-        optimizer.solve(tstart, ftarget);
-    std::printf("\nsolve(tstart=%.1f degC, ftarget=%.0f MHz): %s in %.0f ms "
-                "(%zu Newton steps)\n",
-                tstart, util::to_mhz(ftarget),
-                result.feasible ? "FEASIBLE" : "infeasible",
-                result.solve_seconds * 1e3, result.newton_iterations);
-    if (!result.feasible) {
-      std::printf("no frequency assignment can hold the cores below "
-                  "%.0f degC from this start; try a lower ftarget.\n",
-                  config.tmax);
+    if (args.list_policies_requested()) {
+      api::print_registered_policies(std::cout);
       return 0;
     }
 
-    util::AsciiTable table({"core", "frequency [MHz]", "power [W]"});
-    for (std::size_t c = 0; c < platform.num_cores(); ++c) {
-      const double f = result.frequencies[c];
-      table.add_row_numeric(
-          platform.core_name(c),
-          {util::to_mhz(f), platform.core_power().dynamic_power(f)}, 1);
+    api::ScenarioSpec spec;
+    spec.name = "quickstart";
+    spec.dfs_policy = args.get_string("policy", "pro-temp");
+    spec.workload = args.get_string("workload", "compute");
+    spec.duration = args.get_double("duration", 10.0);
+    spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 2008));
+    args.check_unknown();
+
+    std::printf("running scenario '%s' (%s on %s, %.0f s of %s load)...\n",
+                spec.name.c_str(), spec.dfs_policy.c_str(),
+                spec.platform.c_str(), spec.duration, spec.workload.c_str());
+
+    const api::ScenarioRunner runner;
+    const api::StatusOr<api::ScenarioReport> report = runner.run(spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "error: %s\n", report.status().to_string().c_str());
+      return 1;
     }
-    table.render(std::cout, "optimal assignment");
-    std::printf("\naverage frequency: %.1f MHz   total power: %.2f W   "
-                "max gradient bound: %.2f K\n",
-                util::to_mhz(result.average_frequency), result.total_power,
-                result.tgrad);
+
+    const sim::SimResult& r = report->result;
+    util::AsciiTable table({"metric", "value"});
+    table.add_row({"tasks completed",
+                   std::to_string(r.tasks_completed) + " / " +
+                       std::to_string(r.tasks_admitted)});
+    table.add_row({"max temperature [degC]",
+                   util::format_fixed(r.metrics.max_temp_seen(), 2)});
+    table.add_row({"time above tmax [%]",
+                   util::format_fixed(100.0 * r.metrics.violation_fraction(),
+                                      3)});
+    table.add_row({"mean waiting time [ms]",
+                   util::format_fixed(
+                       util::to_ms(r.metrics.mean_waiting_time()), 2)});
+    table.add_row({"mean frequency [MHz]",
+                   util::format_fixed(util::to_mhz(r.mean_frequency), 0)});
+    table.add_row({"energy [J]",
+                   util::format_fixed(r.metrics.total_energy_joules(), 0)});
+    table.add_row({"mean spatial gradient [K]",
+                   util::format_fixed(r.metrics.mean_spatial_gradient(), 2)});
+    table.render(std::cout, "scenario report (" + report->dfs_policy + " + " +
+                                report->assignment_policy + ")");
+
+    std::printf("\n%zu tasks offered (utilization %.2f), simulated in "
+                "%.1f s of host time\n",
+                report->trace_tasks, report->offered_utilization,
+                report->wall_seconds);
+    if (spec.dfs_policy.rfind("pro-temp", 0) == 0) {
+      std::printf("Pro-Temp guarantee: max temperature stays <= %.0f degC.\n",
+                  spec.sim.tmax);
+    } else {
+      std::printf("note: '%s' carries no thermal guarantee; compare with "
+                  "--policy=pro-temp.\n", spec.dfs_policy.c_str());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

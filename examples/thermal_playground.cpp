@@ -4,16 +4,11 @@
 // the Pro-Temp machinery.
 //
 //   ./thermal_playground [--watts=6] [--heat-ms=500] [--cool-ms=500]
+//                        [--list-policies]
 #include <cstdio>
 #include <iostream>
 
-#include "thermal/floorplan.hpp"
-#include "thermal/rc_network.hpp"
-#include "thermal/transient.hpp"
-#include "util/cli.hpp"
-#include "util/strings.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
+#include "api/protemp.hpp"
 
 int main(int argc, char** argv) {
   using namespace protemp;
@@ -21,6 +16,10 @@ int main(int argc, char** argv) {
   using thermal::BlockKind;
   try {
     util::CliArgs args(argc, argv);
+    if (args.list_policies_requested()) {
+      api::print_registered_policies(std::cout);
+      return 0;
+    }
     const double watts = args.get_double("watts", 6.0);
     const double heat_ms = args.get_double("heat-ms", 500.0);
     const double cool_ms = args.get_double("cool-ms", 500.0);

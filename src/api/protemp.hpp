@@ -1,0 +1,45 @@
+// Umbrella header of the protemp::api facade — the single supported entry
+// point for examples, benches, tools and embedders.
+//
+//   #include "api/protemp.hpp"
+//
+//   protemp::api::ScenarioSpec spec;        // declarative scenario
+//   spec.workload = "compute";
+//   spec.dfs_policy = "pro-temp";           // policies by registry name
+//   protemp::api::ScenarioRunner runner;
+//   auto report = runner.run(spec);         // StatusOr<ScenarioReport>
+//   if (!report.ok()) { /* one error model */ }
+//
+// The facade layers:
+//   * status.hpp   — Status / StatusOr<T>, the unified error model;
+//   * registry.hpp — policies and platforms by string name + Options map;
+//   * scenario.hpp — ScenarioSpec, parse/serialize/validate;
+//   * runner.hpp   — ScenarioRunner::run / run_all (thread-pooled batches).
+//
+// It also re-exports the supporting vocabulary types a facade user touches
+// (Platform, SimConfig/SimResult/Metrics, workload generation, the thermal
+// substrate, and the util helpers used by every example) so that a typical
+// program needs exactly one include.
+#pragma once
+
+#include "api/registry.hpp"   // IWYU pragma: export
+#include "api/runner.hpp"     // IWYU pragma: export
+#include "api/scenario.hpp"   // IWYU pragma: export
+#include "api/status.hpp"     // IWYU pragma: export
+
+#include "arch/platform.hpp"        // IWYU pragma: export
+#include "core/frequency_table.hpp" // IWYU pragma: export
+#include "power/power_model.hpp"    // IWYU pragma: export
+#include "sim/metrics.hpp"          // IWYU pragma: export
+#include "sim/simulator.hpp"        // IWYU pragma: export
+#include "thermal/floorplan.hpp"    // IWYU pragma: export
+#include "thermal/rc_network.hpp"   // IWYU pragma: export
+#include "thermal/transient.hpp"    // IWYU pragma: export
+#include "workload/generator.hpp"   // IWYU pragma: export
+#include "workload/profiles.hpp"    // IWYU pragma: export
+#include "workload/task.hpp"        // IWYU pragma: export
+
+#include "util/cli.hpp"      // IWYU pragma: export
+#include "util/strings.hpp"  // IWYU pragma: export
+#include "util/table.hpp"    // IWYU pragma: export
+#include "util/units.hpp"    // IWYU pragma: export

@@ -1,0 +1,526 @@
+#include "api/registry.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <ostream>
+#include <stdexcept>
+
+#include "arch/niagara.hpp"
+#include "core/policies.hpp"
+#include "sim/assignment.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+namespace protemp::api {
+
+// ---------------------------------------------------------------- Options --
+
+Options& Options::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+  return *this;
+}
+
+Options& Options::set(const std::string& key, const char* value) {
+  return set(key, std::string(value));
+}
+
+Options& Options::set(const std::string& key, double value) {
+  return set(key, util::format("%.17g", value));
+}
+
+Options& Options::set(const std::string& key, bool value) {
+  return set(key, std::string(value ? "true" : "false"));
+}
+
+bool Options::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+// ----------------------------------------------------------- OptionReader --
+
+OptionReader::OptionReader(const Options& options) : options_(options) {}
+
+std::string OptionReader::get_string(const std::string& key,
+                                     std::string default_value) {
+  consumed_[key] = true;
+  const auto it = options_.entries().find(key);
+  return it == options_.entries().end() ? std::move(default_value)
+                                        : it->second;
+}
+
+double OptionReader::get_double(const std::string& key, double default_value) {
+  consumed_[key] = true;
+  const auto it = options_.entries().find(key);
+  if (it == options_.entries().end()) return default_value;
+  try {
+    return util::parse_double(it->second);
+  } catch (const std::exception&) {
+    if (first_error_.ok()) {
+      first_error_ = Status::invalid_argument(
+          "option '" + key + "': expected a number, got '" + it->second + "'");
+    }
+    return default_value;
+  }
+}
+
+long long OptionReader::get_int(const std::string& key,
+                                long long default_value) {
+  consumed_[key] = true;
+  const auto it = options_.entries().find(key);
+  if (it == options_.entries().end()) return default_value;
+  try {
+    return util::parse_int(it->second);
+  } catch (const std::exception&) {
+    if (first_error_.ok()) {
+      first_error_ = Status::invalid_argument(
+          "option '" + key + "': expected an integer, got '" + it->second +
+          "'");
+    }
+    return default_value;
+  }
+}
+
+bool OptionReader::get_bool(const std::string& key, bool default_value) {
+  consumed_[key] = true;
+  const auto it = options_.entries().find(key);
+  if (it == options_.entries().end()) return default_value;
+  if (const auto value = util::parse_bool(it->second)) return *value;
+  if (first_error_.ok()) {
+    first_error_ = Status::invalid_argument(
+        "option '" + key + "': expected a boolean, got '" + it->second + "'");
+  }
+  return default_value;
+}
+
+std::uint64_t OptionReader::get_seed(const std::string& key,
+                                     std::uint64_t default_value) {
+  consumed_[key] = true;
+  const auto it = options_.entries().find(key);
+  if (it == options_.entries().end()) return default_value;
+  // Full uint64 range, unlike get_int.
+  if (const auto value = util::parse_uint64(it->second)) return *value;
+  if (first_error_.ok()) {
+    first_error_ = Status::invalid_argument(
+        "option '" + key + "': expected a non-negative integer seed, got '" +
+        it->second + "'");
+  }
+  return default_value;
+}
+
+Status OptionReader::finish() const {
+  if (!first_error_.ok()) return first_error_;
+  for (const auto& [key, value] : options_.entries()) {
+    (void)value;
+    if (!consumed_.count(key)) {
+      return Status::invalid_argument("unknown option '" + key + "'");
+    }
+  }
+  return Status();
+}
+
+// ------------------------------------------------------------- TableCache --
+
+std::shared_ptr<const core::FrequencyTable> TableCache::get_or_build(
+    const std::string& key, const Builder& builder) {
+  std::promise<std::shared_ptr<const core::FrequencyTable>> promise;
+  Future future;
+  bool build_here = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      future = promise.get_future().share();
+      cache_.emplace(key, future);
+      build_here = true;
+    } else {
+      future = it->second;
+    }
+  }
+  if (build_here) {
+    try {
+      promise.set_value(
+          std::make_shared<const core::FrequencyTable>(builder()));
+    } catch (...) {
+      // Drop the poisoned entry so a later request can retry (a transient
+      // failure must not disable this key for the process lifetime);
+      // waiters already holding the future still see the exception.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        cache_.erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
+  return future.get();  // rethrows the builder's exception for every waiter
+}
+
+// ----------------------------------------------------------- registration --
+
+namespace internal {
+Registrar::Registrar(Status status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "protemp registry: %s\n", status.to_string().c_str());
+    std::abort();  // duplicate registration is a programming error
+  }
+}
+}  // namespace internal
+
+PolicyRegistry& PolicyRegistry::instance() {
+  static PolicyRegistry registry;
+  return registry;
+}
+
+Status PolicyRegistry::register_dfs(const std::string& name,
+                                    DfsPolicyFactory factory) {
+  if (!factory) {
+    return Status::invalid_argument("dfs policy '" + name + "': null factory");
+  }
+  if (!dfs_.emplace(name, std::move(factory)).second) {
+    return Status::already_exists("dfs policy '" + name +
+                                  "' registered twice");
+  }
+  return Status();
+}
+
+Status PolicyRegistry::register_assignment(const std::string& name,
+                                           AssignmentPolicyFactory factory) {
+  if (!factory) {
+    return Status::invalid_argument("assignment policy '" + name +
+                                    "': null factory");
+  }
+  if (!assignment_.emplace(name, std::move(factory)).second) {
+    return Status::already_exists("assignment policy '" + name +
+                                  "' registered twice");
+  }
+  return Status();
+}
+
+Status PolicyRegistry::register_platform(const std::string& name,
+                                         PlatformFactory factory) {
+  if (!factory) {
+    return Status::invalid_argument("platform '" + name + "': null factory");
+  }
+  if (!platforms_.emplace(name, std::move(factory)).second) {
+    return Status::already_exists("platform '" + name + "' registered twice");
+  }
+  return Status();
+}
+
+namespace {
+
+std::string known_names(const std::vector<std::string>& names) {
+  return util::join(names, ", ");
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<sim::DfsPolicy>> PolicyRegistry::make_dfs(
+    const std::string& name, const PolicyContext& context,
+    const Options& options) const {
+  const auto it = dfs_.find(name);
+  if (it == dfs_.end()) {
+    return Status::not_found("unknown dfs policy '" + name + "' (known: " +
+                             known_names(dfs_names()) + ")");
+  }
+  if (context.platform == nullptr) {
+    return Status::failed_precondition("dfs policy '" + name +
+                                       "': PolicyContext has no platform");
+  }
+  try {
+    return it->second(context, options);
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument("dfs policy '" + name + "': " + e.what());
+  } catch (const std::exception& e) {
+    return Status::internal("dfs policy '" + name + "': " + e.what());
+  }
+}
+
+StatusOr<std::unique_ptr<sim::AssignmentPolicy>>
+PolicyRegistry::make_assignment(const std::string& name,
+                                const Options& options) const {
+  const auto it = assignment_.find(name);
+  if (it == assignment_.end()) {
+    return Status::not_found("unknown assignment policy '" + name +
+                             "' (known: " + known_names(assignment_names()) +
+                             ")");
+  }
+  try {
+    return it->second(options);
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument("assignment policy '" + name +
+                                    "': " + e.what());
+  } catch (const std::exception& e) {
+    return Status::internal("assignment policy '" + name + "': " + e.what());
+  }
+}
+
+StatusOr<arch::Platform> PolicyRegistry::make_platform(
+    const std::string& name, const Options& options) const {
+  const auto it = platforms_.find(name);
+  if (it == platforms_.end()) {
+    return Status::not_found("unknown platform '" + name + "' (known: " +
+                             known_names(platform_names()) + ")");
+  }
+  try {
+    return it->second(options);
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument("platform '" + name + "': " + e.what());
+  } catch (const std::exception& e) {
+    return Status::internal("platform '" + name + "': " + e.what());
+  }
+}
+
+bool PolicyRegistry::has_dfs(const std::string& name) const {
+  return dfs_.count(name) != 0;
+}
+bool PolicyRegistry::has_assignment(const std::string& name) const {
+  return assignment_.count(name) != 0;
+}
+bool PolicyRegistry::has_platform(const std::string& name) const {
+  return platforms_.count(name) != 0;
+}
+
+namespace {
+template <typename Map>
+std::vector<std::string> keys_of(const Map& map) {
+  std::vector<std::string> names;
+  names.reserve(map.size());
+  for (const auto& [key, value] : map) {
+    (void)value;
+    names.push_back(key);
+  }
+  return names;  // std::map iterates sorted
+}
+}  // namespace
+
+std::vector<std::string> PolicyRegistry::dfs_names() const {
+  return keys_of(dfs_);
+}
+std::vector<std::string> PolicyRegistry::assignment_names() const {
+  return keys_of(assignment_);
+}
+std::vector<std::string> PolicyRegistry::platform_names() const {
+  return keys_of(platforms_);
+}
+
+StatusOr<std::unique_ptr<sim::DfsPolicy>> make_dfs_policy(
+    const std::string& name, const PolicyContext& context,
+    const Options& options) {
+  return PolicyRegistry::instance().make_dfs(name, context, options);
+}
+
+StatusOr<std::unique_ptr<sim::AssignmentPolicy>> make_assignment_policy(
+    const std::string& name, const Options& options) {
+  return PolicyRegistry::instance().make_assignment(name, options);
+}
+
+StatusOr<arch::Platform> make_platform(const std::string& name,
+                                       const Options& options) {
+  return PolicyRegistry::instance().make_platform(name, options);
+}
+
+void print_registered_policies(std::ostream& out) {
+  const PolicyRegistry& registry = PolicyRegistry::instance();
+  out << "dfs policies:\n";
+  for (const std::string& name : registry.dfs_names()) {
+    out << "  " << name << "\n";
+  }
+  out << "assignment policies:\n";
+  for (const std::string& name : registry.assignment_names()) {
+    out << "  " << name << "\n";
+  }
+  out << "platforms:\n";
+  for (const std::string& name : registry.platform_names()) {
+    out << "  " << name << "\n";
+  }
+}
+
+// ------------------------------------------------- built-in registrations --
+//
+// These live here (not next to the policy classes) so that linking any user
+// of the api layer always pulls them in, even from a static library where
+// unreferenced translation units are dropped.
+
+namespace {
+
+/// Builds the Phase-1 grid for the "pro-temp" table from options, and a
+/// cache key that uniquely identifies the resulting table.
+struct TableGrid {
+  std::vector<double> tstart;
+  std::vector<double> ftarget;
+};
+
+StatusOr<TableGrid> table_grid_from(OptionReader& reader,
+                                    const PolicyContext& context) {
+  const double tstart_min = reader.get_double("tstart-min", 50.0);
+  const double tstart_max =
+      reader.get_double("tstart-max", context.optimizer.tmax);
+  const double tstart_step = reader.get_double("tstart-step", 5.0);
+  const double f_min = reader.get_double("ftarget-min-mhz", 100.0);
+  const double f_max = reader.get_double(
+      "ftarget-max-mhz", util::to_mhz(context.platform->fmax()));
+  const double f_step = reader.get_double("ftarget-step-mhz", 100.0);
+  if (tstart_step <= 0.0 || f_step <= 0.0) {
+    return Status::invalid_argument("grid steps must be positive");
+  }
+  if (tstart_max < tstart_min || f_max < f_min) {
+    return Status::invalid_argument("grid max must be >= grid min");
+  }
+  TableGrid grid;
+  for (double t = tstart_min; t <= tstart_max + 1e-9; t += tstart_step) {
+    grid.tstart.push_back(t);
+  }
+  for (double f = f_min; f <= f_max + 1e-9; f += f_step) {
+    grid.ftarget.push_back(util::mhz(f));
+  }
+  return grid;
+}
+
+std::string table_cache_key(const PolicyContext& context,
+                            const TableGrid& grid) {
+  const core::ProTempConfig& c = context.optimizer;
+  std::string key = context.platform_key.empty() ? context.platform->name()
+                                                 : context.platform_key;
+  key += util::format(
+      "|tmax=%.17g|win=%.17g|dt=%.17g|uni=%d|grad=%d|gw=%.17g|stride=%zu"
+      "|slack=%.17g|floor=%.17g|budget=%.17g",
+      c.tmax, c.dfs_period, c.dt, c.uniform_frequency ? 1 : 0,
+      c.minimize_gradient ? 1 : 0, c.gradient_weight, c.gradient_step_stride,
+      c.constraint_slack, c.sigma_floor,
+      c.power_budget_watts.value_or(-1.0));
+  for (const double t : grid.tstart) key += util::format("|t%.17g", t);
+  for (const double f : grid.ftarget) key += util::format("|f%.17g", f);
+  return key;
+}
+
+PROTEMP_REGISTER_DFS_POLICY(
+    "no-tc", [](const PolicyContext&, const Options& options)
+                 -> StatusOr<std::unique_ptr<sim::DfsPolicy>> {
+      OptionReader reader(options);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return std::unique_ptr<sim::DfsPolicy>(new core::NoTcPolicy());
+    });
+
+PROTEMP_REGISTER_DFS_POLICY(
+    "basic-dfs", [](const PolicyContext&, const Options& options)
+                     -> StatusOr<std::unique_ptr<sim::DfsPolicy>> {
+      OptionReader reader(options);
+      core::BasicDfsPolicy::Options opts;
+      opts.trip_celsius = reader.get_double("trip", opts.trip_celsius);
+      opts.continuous_trip =
+          reader.get_bool("continuous-trip", opts.continuous_trip);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return std::unique_ptr<sim::DfsPolicy>(new core::BasicDfsPolicy(opts));
+    });
+
+PROTEMP_REGISTER_DFS_POLICY(
+    "pro-temp", [](const PolicyContext& context, const Options& options)
+                    -> StatusOr<std::unique_ptr<sim::DfsPolicy>> {
+      OptionReader reader(options);
+      StatusOr<TableGrid> grid = table_grid_from(reader, context);
+      if (!grid.ok()) return grid.status();
+      if (Status s = reader.finish(); !s.ok()) return s;
+
+      const auto build = [&]() {
+        const core::ProTempOptimizer optimizer(*context.platform,
+                                               context.optimizer);
+        return core::FrequencyTable::build(optimizer, grid->tstart,
+                                           grid->ftarget);
+      };
+      core::FrequencyTable table =
+          context.table_cache
+              ? *context.table_cache->get_or_build(
+                    table_cache_key(context, *grid), build)
+              : build();
+      return std::unique_ptr<sim::DfsPolicy>(
+          new core::ProTempPolicy(std::move(table)));
+    });
+
+PROTEMP_REGISTER_DFS_POLICY(
+    "pro-temp-online", [](const PolicyContext& context, const Options& options)
+                           -> StatusOr<std::unique_ptr<sim::DfsPolicy>> {
+      OptionReader reader(options);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      auto optimizer = std::make_shared<const core::ProTempOptimizer>(
+          *context.platform, context.optimizer);
+      return std::unique_ptr<sim::DfsPolicy>(
+          new core::OnlineProTempPolicy(std::move(optimizer)));
+    });
+
+PROTEMP_REGISTER_ASSIGNMENT_POLICY(
+    "first-idle", [](const Options& options)
+                      -> StatusOr<std::unique_ptr<sim::AssignmentPolicy>> {
+      OptionReader reader(options);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return std::unique_ptr<sim::AssignmentPolicy>(
+          new sim::FirstIdleAssignment());
+    });
+
+PROTEMP_REGISTER_ASSIGNMENT_POLICY(
+    "coolest-first", [](const Options& options)
+                         -> StatusOr<std::unique_ptr<sim::AssignmentPolicy>> {
+      OptionReader reader(options);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return std::unique_ptr<sim::AssignmentPolicy>(
+          new sim::CoolestFirstAssignment());
+    });
+
+PROTEMP_REGISTER_ASSIGNMENT_POLICY(
+    "round-robin", [](const Options& options)
+                       -> StatusOr<std::unique_ptr<sim::AssignmentPolicy>> {
+      OptionReader reader(options);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return std::unique_ptr<sim::AssignmentPolicy>(
+          new sim::RoundRobinAssignment());
+    });
+
+PROTEMP_REGISTER_ASSIGNMENT_POLICY(
+    "random", [](const Options& options)
+                  -> StatusOr<std::unique_ptr<sim::AssignmentPolicy>> {
+      OptionReader reader(options);
+      const std::uint64_t seed = reader.get_seed("seed", 1234);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return std::unique_ptr<sim::AssignmentPolicy>(
+          new sim::RandomAssignment(seed));
+    });
+
+PROTEMP_REGISTER_ASSIGNMENT_POLICY(
+    "adaptive-random", [](const Options& options)
+                           -> StatusOr<std::unique_ptr<sim::AssignmentPolicy>> {
+      OptionReader reader(options);
+      const std::uint64_t seed = reader.get_seed("seed", 1234);
+      const double decay = reader.get_double("history-decay", 0.98);
+      const double sharpness = reader.get_double("sharpness", 2.0);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return std::unique_ptr<sim::AssignmentPolicy>(
+          new sim::AdaptiveRandomAssignment(seed, decay, sharpness));
+    });
+
+PROTEMP_REGISTER_PLATFORM(
+    "niagara8",
+    [](const Options& options) -> StatusOr<arch::Platform> {
+      OptionReader reader(options);
+      arch::NiagaraConfig config;
+      config.fmax_hz = util::mhz(
+          reader.get_double("fmax-mhz", util::to_mhz(config.fmax_hz)));
+      config.core_pmax_watts =
+          reader.get_double("core-pmax", config.core_pmax_watts);
+      config.other_power_fraction = reader.get_double(
+          "other-power-fraction", config.other_power_fraction);
+      config.background_activity_fraction = reader.get_double(
+          "background-activity-fraction", config.background_activity_fraction);
+      config.power_exponent =
+          reader.get_double("power-exponent", config.power_exponent);
+      config.idle_fraction =
+          reader.get_double("idle-fraction", config.idle_fraction);
+      config.ambient_celsius =
+          reader.get_double("ambient", config.ambient_celsius);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return arch::make_niagara_platform(config);
+    });
+
+}  // namespace
+
+}  // namespace protemp::api

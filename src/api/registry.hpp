@@ -1,0 +1,201 @@
+// String-keyed factories for policies and platforms.
+//
+// Examples, benches and scenario specs never name concrete classes: they ask
+// the registry for "pro-temp" / "basic-dfs" / "coolest-first" / "niagara8"
+// and pass a flat key/value Options map. Unknown names and malformed or
+// unrecognized options surface as api::Status, never as crashes.
+//
+// Adding a policy is one line in a .cpp file:
+//
+//   PROTEMP_REGISTER_ASSIGNMENT_POLICY("my-policy", [](const Options& o)
+//       -> StatusOr<std::unique_ptr<sim::AssignmentPolicy>> { ... });
+//
+// The built-in registrations live in registry.cpp (so they are always linked
+// in, even from a static library); out-of-tree policies can self-register
+// from any translation unit that is linked into the final binary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "arch/platform.hpp"
+#include "core/frequency_table.hpp"
+#include "core/optimizer.hpp"
+#include "sim/policies.hpp"
+
+namespace protemp::api {
+
+/// Flat string→string option map. Numeric and boolean values are stored in
+/// their text form and parsed by the consuming factory via OptionReader, so
+/// options round-trip losslessly through scenario-spec files.
+class Options {
+ public:
+  Options() = default;
+
+  Options& set(const std::string& key, std::string value);
+  Options& set(const std::string& key, const char* value);
+  Options& set(const std::string& key, double value);
+  Options& set(const std::string& key, bool value);
+
+  bool contains(const std::string& key) const;
+  bool empty() const noexcept { return values_.empty(); }
+  std::size_t size() const noexcept { return values_.size(); }
+  const std::map<std::string, std::string>& entries() const noexcept {
+    return values_;
+  }
+
+  friend bool operator==(const Options&, const Options&) = default;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Typed, consuming view over an Options map, mirroring util::CliArgs: each
+/// get_* declares the key as known; finish() reports the first parse error
+/// or any keys the factory never asked about (catches option typos).
+class OptionReader {
+ public:
+  explicit OptionReader(const Options& options);
+
+  std::string get_string(const std::string& key, std::string default_value);
+  double get_double(const std::string& key, double default_value);
+  long long get_int(const std::string& key, long long default_value);
+  bool get_bool(const std::string& key, bool default_value);
+  std::uint64_t get_seed(const std::string& key, std::uint64_t default_value);
+
+  /// Ok iff every provided key was consumed and every value parsed.
+  Status finish() const;
+
+ private:
+  const Options& options_;
+  std::map<std::string, bool> consumed_;
+  Status first_error_;
+};
+
+/// Shares Phase-1 frequency tables between scenarios: building one is a
+/// full grid of barrier solves, so ScenarioRunner keys tables on (platform,
+/// optimizer config, grid) and builds each distinct table exactly once even
+/// when many worker threads request it concurrently. Builder exceptions
+/// propagate to every waiter of that key.
+class TableCache {
+ public:
+  using Builder = std::function<core::FrequencyTable()>;
+
+  std::shared_ptr<const core::FrequencyTable> get_or_build(
+      const std::string& key, const Builder& builder);
+
+ private:
+  using Future = std::shared_future<std::shared_ptr<const core::FrequencyTable>>;
+  std::mutex mu_;
+  std::map<std::string, Future> cache_;
+};
+
+/// Everything a DfsPolicy factory may need beyond its options: the platform
+/// being simulated and the Phase-1 optimizer configuration. `table_cache`
+/// (optional) lets ScenarioRunner share identical Phase-1 tables across
+/// scenarios instead of re-solving the grid per run.
+struct PolicyContext {
+  const arch::Platform* platform = nullptr;
+  core::ProTempConfig optimizer;
+  TableCache* table_cache = nullptr;
+  /// Cache-key identity of `platform`. Must differ whenever the platform's
+  /// physics differ — ScenarioRunner sets it to the registry name plus every
+  /// factory option, so e.g. two niagara8 platforms with different ambients
+  /// never share a Phase-1 table. Empty falls back to platform->name().
+  std::string platform_key;
+};
+
+using DfsPolicyFactory =
+    std::function<StatusOr<std::unique_ptr<sim::DfsPolicy>>(
+        const PolicyContext&, const Options&)>;
+using AssignmentPolicyFactory =
+    std::function<StatusOr<std::unique_ptr<sim::AssignmentPolicy>>(
+        const Options&)>;
+using PlatformFactory =
+    std::function<StatusOr<arch::Platform>(const Options&)>;
+
+class PolicyRegistry {
+ public:
+  /// Process-wide registry instance (built-ins registered on first use).
+  static PolicyRegistry& instance();
+
+  Status register_dfs(const std::string& name, DfsPolicyFactory factory);
+  Status register_assignment(const std::string& name,
+                             AssignmentPolicyFactory factory);
+  Status register_platform(const std::string& name, PlatformFactory factory);
+
+  StatusOr<std::unique_ptr<sim::DfsPolicy>> make_dfs(
+      const std::string& name, const PolicyContext& context,
+      const Options& options = {}) const;
+  StatusOr<std::unique_ptr<sim::AssignmentPolicy>> make_assignment(
+      const std::string& name, const Options& options = {}) const;
+  StatusOr<arch::Platform> make_platform(const std::string& name,
+                                         const Options& options = {}) const;
+
+  bool has_dfs(const std::string& name) const;
+  bool has_assignment(const std::string& name) const;
+  bool has_platform(const std::string& name) const;
+
+  /// Sorted names, for --list-policies and error messages.
+  std::vector<std::string> dfs_names() const;
+  std::vector<std::string> assignment_names() const;
+  std::vector<std::string> platform_names() const;
+
+ private:
+  PolicyRegistry() = default;
+
+  std::map<std::string, DfsPolicyFactory> dfs_;
+  std::map<std::string, AssignmentPolicyFactory> assignment_;
+  std::map<std::string, PlatformFactory> platforms_;
+};
+
+/// Convenience wrappers over PolicyRegistry::instance().
+StatusOr<std::unique_ptr<sim::DfsPolicy>> make_dfs_policy(
+    const std::string& name, const PolicyContext& context,
+    const Options& options = {});
+StatusOr<std::unique_ptr<sim::AssignmentPolicy>> make_assignment_policy(
+    const std::string& name, const Options& options = {});
+StatusOr<arch::Platform> make_platform(const std::string& name,
+                                       const Options& options = {});
+
+/// Prints every registered policy and platform name (one block per kind);
+/// examples expose this behind `--list-policies`.
+void print_registered_policies(std::ostream& out);
+
+namespace internal {
+/// Runs a registration at static-initialization time; aborts the process on
+/// a duplicate name (a programming error, not a runtime condition).
+struct Registrar {
+  explicit Registrar(Status status);
+};
+}  // namespace internal
+
+#define PROTEMP_REGISTRY_CONCAT_INNER(a, b) a##b
+#define PROTEMP_REGISTRY_CONCAT(a, b) PROTEMP_REGISTRY_CONCAT_INNER(a, b)
+
+/// Self-registration macros: one line per policy, at namespace scope.
+#define PROTEMP_REGISTER_DFS_POLICY(name, factory)                        \
+  static const ::protemp::api::internal::Registrar                        \
+      PROTEMP_REGISTRY_CONCAT(protemp_dfs_registrar_, __COUNTER__)(       \
+          ::protemp::api::PolicyRegistry::instance().register_dfs(        \
+              name, factory))
+#define PROTEMP_REGISTER_ASSIGNMENT_POLICY(name, factory)                 \
+  static const ::protemp::api::internal::Registrar                        \
+      PROTEMP_REGISTRY_CONCAT(protemp_assign_registrar_, __COUNTER__)(    \
+          ::protemp::api::PolicyRegistry::instance().register_assignment( \
+              name, factory))
+#define PROTEMP_REGISTER_PLATFORM(name, factory)                          \
+  static const ::protemp::api::internal::Registrar                        \
+      PROTEMP_REGISTRY_CONCAT(protemp_platform_registrar_, __COUNTER__)(  \
+          ::protemp::api::PolicyRegistry::instance().register_platform(   \
+              name, factory))
+
+}  // namespace protemp::api

@@ -1,0 +1,138 @@
+#include "api/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <thread>
+
+#include "workload/generator.hpp"
+#include "workload/profiles.hpp"
+
+namespace protemp::api {
+
+namespace {
+
+StatusOr<workload::TaskTrace> make_trace(const ScenarioSpec& spec,
+                                         std::size_t cores) {
+  StatusOr<std::vector<workload::BenchmarkProfile>> profiles =
+      workload_profiles(spec.workload);
+  if (!profiles.ok()) return profiles.status();
+  workload::GeneratorConfig config;
+  config.cores = cores;
+  config.duration = spec.duration;
+  config.seed = spec.seed;
+  return workload::generate_trace(*profiles, config);
+}
+
+}  // namespace
+
+StatusOr<ScenarioReport> ScenarioRunner::run(const ScenarioSpec& spec) const {
+  const auto start = std::chrono::steady_clock::now();
+  if (Status s = spec.validate(); !s.ok()) return s;
+
+  StatusOr<arch::Platform> platform =
+      make_platform(spec.platform, spec.platform_options);
+  if (!platform.ok()) {
+    return platform.status().with_context("scenario '" + spec.name + "'");
+  }
+
+  PolicyContext context;
+  context.platform = &*platform;
+  context.optimizer = spec.optimizer;
+  context.table_cache = &table_cache_;
+  // Distinct platform options must never share a Phase-1 table, even when
+  // the factory gives both platforms the same display name.
+  context.platform_key = spec.platform;
+  for (const auto& [key, value] : spec.platform_options.entries()) {
+    context.platform_key += "|" + key + "=" + value;
+  }
+
+  StatusOr<std::unique_ptr<sim::DfsPolicy>> dfs =
+      make_dfs_policy(spec.dfs_policy, context, spec.dfs_options);
+  if (!dfs.ok()) {
+    return dfs.status().with_context("scenario '" + spec.name + "'");
+  }
+  StatusOr<std::unique_ptr<sim::AssignmentPolicy>> assignment =
+      make_assignment_policy(spec.assignment_policy, spec.assignment_options);
+  if (!assignment.ok()) {
+    return assignment.status().with_context("scenario '" + spec.name + "'");
+  }
+
+  try {
+    StatusOr<workload::TaskTrace> trace =
+        make_trace(spec, platform->num_cores());
+    if (!trace.ok()) {
+      return trace.status().with_context("scenario '" + spec.name + "'");
+    }
+
+    sim::MulticoreSimulator simulator(*platform, spec.sim);
+    sim::SimResult result =
+        simulator.run(*trace, **dfs, **assignment, spec.duration);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return ScenarioReport{
+        spec,
+        platform->name(),
+        (*dfs)->name(),
+        (*assignment)->name(),
+        trace->size(),
+        trace->offered_utilization(platform->num_cores()),
+        std::move(result),
+        wall,
+    };
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument("scenario '" + spec.name +
+                                    "': " + e.what());
+  } catch (const std::exception& e) {
+    return Status::internal("scenario '" + spec.name + "': " + e.what());
+  }
+}
+
+StatusOr<std::vector<ScenarioReport>> ScenarioRunner::run_all(
+    const std::vector<ScenarioSpec>& specs, std::size_t num_threads) const {
+  if (specs.empty()) return std::vector<ScenarioReport>{};
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min(num_threads, specs.size());
+
+  // Workers pull the next unclaimed spec index; scenario results are fully
+  // determined by their spec, so claim order does not affect the output.
+  std::vector<std::optional<StatusOr<ScenarioReport>>> slots(specs.size());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    while (true) {
+      const std::size_t index = next.fetch_add(1);
+      if (index >= specs.size()) return;
+      slots[index] = run(specs[index]);
+    }
+  };
+
+  if (num_threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      threads.emplace_back(worker);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  std::vector<ScenarioReport> reports;
+  reports.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    StatusOr<ScenarioReport>& slot = *slots[i];
+    if (!slot.ok()) {
+      return slot.status().with_context("scenario " + std::to_string(i) +
+                                        " of " + std::to_string(specs.size()));
+    }
+    reports.push_back(std::move(slot).value());
+  }
+  return reports;
+}
+
+}  // namespace protemp::api

@@ -1,0 +1,62 @@
+// Batched scenario execution — the scale substrate of the facade.
+//
+// ScenarioRunner turns a declarative ScenarioSpec into one closed-loop
+// simulation: platform from the registry, policies from the registry,
+// workload from the generator, then MulticoreSimulator::run. run_all() fans
+// independent scenarios across a std::thread pool; because every scenario
+// owns its RNG seed and shares no mutable state, a batch produces results
+// identical to running each spec sequentially, regardless of thread count
+// or scheduling order.
+//
+// Phase-1 tables (the expensive offline artifact of "pro-temp" policies)
+// are memoized in a TableCache keyed on (platform, optimizer config, grid),
+// so a parameter sweep that varies only the workload or the seed builds the
+// table once, not once per scenario.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/scenario.hpp"
+#include "api/status.hpp"
+#include "sim/simulator.hpp"
+
+namespace protemp::api {
+
+struct ScenarioReport {
+  ScenarioSpec spec;             ///< the spec that produced this report
+  std::string platform_name;     ///< resolved platform display name
+  std::string dfs_policy;        ///< resolved policy display names
+  std::string assignment_policy;
+  std::size_t trace_tasks = 0;   ///< generated workload size
+  double offered_utilization = 0.0;
+  sim::SimResult result;
+  double wall_seconds = 0.0;     ///< host time spent on this scenario
+};
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner() = default;
+
+  /// Runs one scenario start to finish. All failures (bad spec, unknown
+  /// names, bad options, inner-layer throws) come back as a Status.
+  StatusOr<ScenarioReport> run(const ScenarioSpec& spec) const;
+
+  /// Runs every spec and returns the reports in spec order. `num_threads`
+  /// of 0 picks std::thread::hardware_concurrency(). On any failure the
+  /// whole batch reports the first failing spec's Status (anchored with its
+  /// index and name); the remaining scenarios still run to completion.
+  StatusOr<std::vector<ScenarioReport>> run_all(
+      const std::vector<ScenarioSpec>& specs,
+      std::size_t num_threads = 0) const;
+
+  /// The shared Phase-1 table cache (exposed for diagnostics/tests).
+  TableCache& table_cache() const noexcept { return table_cache_; }
+
+ private:
+  mutable TableCache table_cache_;
+};
+
+}  // namespace protemp::api

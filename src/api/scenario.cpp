@@ -1,0 +1,403 @@
+#include "api/scenario.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace protemp::api {
+
+namespace {
+
+using ProfileFactory = std::vector<workload::BenchmarkProfile> (*)();
+
+/// Name → profile-set table; keep sorted by name.
+constexpr std::pair<const char*, ProfileFactory> kWorkloads[] = {
+    {"compute", workload::compute_intensive_profiles},
+    {"high-load", workload::high_load_profiles},
+    {"mixed", workload::mixed_benchmark_profiles},
+    {"web", workload::web_profiles},
+};
+
+}  // namespace
+
+StatusOr<std::vector<workload::BenchmarkProfile>> workload_profiles(
+    const std::string& name) {
+  for (const auto& [key, factory] : kWorkloads) {
+    if (name == key) return factory();
+  }
+  return Status::not_found("unknown workload '" + name + "' (known: " +
+                           util::join(workload_names(), ", ") + ")");
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> names;
+  for (const auto& [key, factory] : kWorkloads) {
+    (void)factory;
+    names.emplace_back(key);
+  }
+  return names;
+}
+
+namespace {
+
+/// Shortest decimal form that parses back to exactly the same double, so
+/// serialize() -> parse() is lossless without %.17g noise.
+std::string format_double(double value) {
+  char buffer[64];
+  const auto [ptr, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return ec == std::errc() ? std::string(buffer, ptr)
+                           : util::format("%.17g", value);
+}
+
+Status line_error(std::size_t line, const std::string& message) {
+  return Status::invalid_argument("line " + std::to_string(line) + ": " +
+                                  message);
+}
+
+/// One parsed `key = value` assignment with its source line (for
+/// diagnostics).
+struct Assignment {
+  std::size_t line = 0;
+  std::string key;
+  std::string value;
+};
+
+class SpecParser {
+ public:
+  explicit SpecParser(ScenarioSpec& spec) : spec_(spec) {}
+
+  Status apply(const Assignment& a) {
+    const std::string& key = a.key;
+    if (key == "name") return set_string(a, spec_.name);
+    if (key == "platform") return set_string(a, spec_.platform);
+    if (key == "workload") return set_string(a, spec_.workload);
+    if (key == "duration") return set_double(a, spec_.duration);
+    if (key == "seed") return set_seed(a, spec_.seed);
+    if (key == "dfs") return set_string(a, spec_.dfs_policy);
+    if (key == "assignment") return set_string(a, spec_.assignment_policy);
+
+    if (key == "sim.dt") return set_double(a, spec_.sim.dt);
+    if (key == "sim.dfs_period") return set_double(a, spec_.sim.dfs_period);
+    if (key == "sim.tmax") return set_double(a, spec_.sim.tmax);
+    if (key == "sim.band_edges") return set_band_edges(a);
+    if (key == "sim.initial_temperature") {
+      return set_optional_double(a, spec_.sim.initial_temperature);
+    }
+    if (key == "sim.frequency_quantum") {
+      return set_double(a, spec_.sim.frequency_quantum);
+    }
+    if (key == "sim.trace_sample_period") {
+      return set_double(a, spec_.sim.trace_sample_period);
+    }
+    if (key == "sim.sensor_noise_stddev") {
+      return set_double(a, spec_.sim.sensor_noise_stddev);
+    }
+    if (key == "sim.sensor_noise_seed") {
+      return set_seed(a, spec_.sim.sensor_noise_seed);
+    }
+
+    if (key == "opt.tmax") return set_double(a, spec_.optimizer.tmax);
+    if (key == "opt.dfs_period") {
+      return set_double(a, spec_.optimizer.dfs_period);
+    }
+    if (key == "opt.dt") return set_double(a, spec_.optimizer.dt);
+    if (key == "opt.uniform_frequency") {
+      return set_bool(a, spec_.optimizer.uniform_frequency);
+    }
+    if (key == "opt.minimize_gradient") {
+      return set_bool(a, spec_.optimizer.minimize_gradient);
+    }
+    if (key == "opt.gradient_weight") {
+      return set_double(a, spec_.optimizer.gradient_weight);
+    }
+    if (key == "opt.gradient_step_stride") {
+      return set_size(a, spec_.optimizer.gradient_step_stride);
+    }
+    if (key == "opt.constraint_slack") {
+      return set_double(a, spec_.optimizer.constraint_slack);
+    }
+    if (key == "opt.sigma_floor") {
+      return set_double(a, spec_.optimizer.sigma_floor);
+    }
+    if (key == "opt.power_budget_watts") {
+      return set_optional_double(a, spec_.optimizer.power_budget_watts);
+    }
+
+    if (key.rfind("platform.", 0) == 0) {
+      spec_.platform_options.set(key.substr(9), a.value);
+      return Status();
+    }
+    if (key.rfind("dfs.", 0) == 0) {
+      spec_.dfs_options.set(key.substr(4), a.value);
+      return Status();
+    }
+    if (key.rfind("assignment.", 0) == 0) {
+      spec_.assignment_options.set(key.substr(11), a.value);
+      return Status();
+    }
+    return line_error(a.line, "unknown key '" + key + "'");
+  }
+
+ private:
+  Status set_string(const Assignment& a, std::string& out) {
+    if (a.value.empty()) {
+      return line_error(a.line, "key '" + a.key + "': empty value");
+    }
+    out = a.value;
+    return Status();
+  }
+
+  Status set_double(const Assignment& a, double& out) {
+    try {
+      out = util::parse_double(a.value);
+    } catch (const std::exception&) {
+      return line_error(a.line, "key '" + a.key +
+                                    "': expected a number, got '" + a.value +
+                                    "'");
+    }
+    return Status();
+  }
+
+  Status set_optional_double(const Assignment& a, std::optional<double>& out) {
+    double value = 0.0;
+    if (Status s = set_double(a, value); !s.ok()) return s;
+    out = value;
+    return Status();
+  }
+
+  Status set_bool(const Assignment& a, bool& out) {
+    const std::optional<bool> value = util::parse_bool(a.value);
+    if (!value) {
+      return line_error(a.line, "key '" + a.key +
+                                    "': expected a boolean, got '" + a.value +
+                                    "'");
+    }
+    out = *value;
+    return Status();
+  }
+
+  // Full std::uint64_t range (std::to_string of any seed must re-parse, or
+  // serialize() -> parse() would not round-trip).
+  Status set_seed(const Assignment& a, std::uint64_t& out) {
+    const std::optional<std::uint64_t> value = util::parse_uint64(a.value);
+    if (!value) {
+      return line_error(a.line, "key '" + a.key +
+                                    "': expected a non-negative integer, "
+                                    "got '" + a.value + "'");
+    }
+    out = *value;
+    return Status();
+  }
+
+  Status set_size(const Assignment& a, std::size_t& out) {
+    std::uint64_t value = 0;
+    if (Status s = set_seed(a, value); !s.ok()) return s;
+    out = static_cast<std::size_t>(value);
+    return Status();
+  }
+
+  Status set_band_edges(const Assignment& a) {
+    std::vector<double> edges;
+    for (const std::string& part : util::split(a.value, ',')) {
+      try {
+        edges.push_back(util::parse_double(util::trim(part)));
+      } catch (const std::exception&) {
+        return line_error(a.line, "key 'sim.band_edges': expected a "
+                                  "comma-separated list of numbers, got '" +
+                                      a.value + "'");
+      }
+    }
+    if (edges.empty()) {
+      return line_error(a.line, "key 'sim.band_edges': empty list");
+    }
+    spec_.sim.band_edges = std::move(edges);
+    return Status();
+  }
+
+  ScenarioSpec& spec_;
+};
+
+}  // namespace
+
+StatusOr<ScenarioSpec> ScenarioSpec::parse(std::string_view text) {
+  ScenarioSpec spec;
+  SpecParser parser(spec);
+  std::set<std::string> seen;
+  std::size_t line_number = 0;
+  for (const std::string& raw : util::split(std::string(text), '\n')) {
+    ++line_number;
+    std::string_view line = util::trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return line_error(line_number,
+                        "expected 'key = value', got '" + std::string(line) +
+                            "'");
+    }
+    Assignment a;
+    a.line = line_number;
+    a.key = std::string(util::trim(line.substr(0, eq)));
+    a.value = std::string(util::trim(line.substr(eq + 1)));
+    if (a.key.empty()) return line_error(line_number, "empty key");
+    if (!seen.insert(a.key).second) {
+      return line_error(line_number, "duplicate key '" + a.key + "'");
+    }
+    if (Status s = parser.apply(a); !s.ok()) return s;
+  }
+  if (Status s = spec.validate(); !s.ok()) return s;
+  return spec;
+}
+
+Status ScenarioSpec::validate() const {
+  const auto fail = [this](const std::string& message) {
+    return Status::invalid_argument("scenario '" + name + "': " + message);
+  };
+  // The text format is line-oriented, so embedded newlines in any string
+  // field would break the serialize() -> parse() round-trip; reject them
+  // here rather than emitting an unparseable file.
+  const auto line_safe = [](const std::string& text) {
+    return text.find('\n') == std::string::npos &&
+           text.find('\r') == std::string::npos;
+  };
+  const auto options_line_safe = [&line_safe](const Options& options) {
+    for (const auto& [key, value] : options.entries()) {
+      if (!line_safe(key) || !line_safe(value)) return false;
+    }
+    return true;
+  };
+  if (!line_safe(name) || !line_safe(platform) || !line_safe(workload) ||
+      !line_safe(dfs_policy) || !line_safe(assignment_policy) ||
+      !options_line_safe(platform_options) ||
+      !options_line_safe(dfs_options) ||
+      !options_line_safe(assignment_options)) {
+    return Status::invalid_argument(
+        "scenario: string fields must not contain newlines");
+  }
+  if (duration <= 0.0) return fail("duration must be positive");
+  if (sim.dt <= 0.0) return fail("sim.dt must be positive");
+  if (sim.dfs_period < sim.dt) return fail("sim.dfs_period must be >= sim.dt");
+  if (optimizer.dt <= 0.0) return fail("opt.dt must be positive");
+  if (optimizer.dfs_period < optimizer.dt) {
+    return fail("opt.dfs_period must be >= opt.dt");
+  }
+  if (optimizer.gradient_step_stride < 1) {
+    return fail("opt.gradient_step_stride must be >= 1");
+  }
+  for (std::size_t i = 1; i < sim.band_edges.size(); ++i) {
+    if (sim.band_edges[i] <= sim.band_edges[i - 1]) {
+      return fail("sim.band_edges must be strictly increasing");
+    }
+  }
+  if (const auto profiles = workload_profiles(workload); !profiles.ok()) {
+    return profiles.status().with_context("scenario '" + name + "'");
+  }
+  const PolicyRegistry& registry = PolicyRegistry::instance();
+  if (!registry.has_platform(platform)) {
+    return Status::not_found(
+        "scenario '" + name + "': unknown platform '" + platform +
+        "' (known: " + util::join(registry.platform_names(), ", ") + ")");
+  }
+  if (!registry.has_dfs(dfs_policy)) {
+    return Status::not_found(
+        "scenario '" + name + "': unknown dfs policy '" + dfs_policy +
+        "' (known: " + util::join(registry.dfs_names(), ", ") + ")");
+  }
+  if (!registry.has_assignment(assignment_policy)) {
+    return Status::not_found(
+        "scenario '" + name + "': unknown assignment policy '" +
+        assignment_policy + "' (known: " +
+        util::join(registry.assignment_names(), ", ") + ")");
+  }
+  return Status();
+}
+
+std::string ScenarioSpec::serialize() const {
+  std::ostringstream out;
+  const auto emit = [&out](const std::string& key, const std::string& value) {
+    out << key << " = " << value << "\n";
+  };
+  const auto emit_options = [&emit](const std::string& prefix,
+                                    const Options& options) {
+    for (const auto& [key, value] : options.entries()) {
+      emit(prefix + "." + key, value);
+    }
+  };
+
+  emit("name", name);
+  emit("platform", platform);
+  emit_options("platform", platform_options);
+  emit("workload", workload);
+  emit("duration", format_double(duration));
+  emit("seed", std::to_string(seed));
+
+  emit("sim.dt", format_double(sim.dt));
+  emit("sim.dfs_period", format_double(sim.dfs_period));
+  emit("sim.tmax", format_double(sim.tmax));
+  std::vector<std::string> edges;
+  edges.reserve(sim.band_edges.size());
+  for (const double e : sim.band_edges) edges.push_back(format_double(e));
+  emit("sim.band_edges", util::join(edges, ","));
+  if (sim.initial_temperature) {
+    emit("sim.initial_temperature", format_double(*sim.initial_temperature));
+  }
+  emit("sim.frequency_quantum", format_double(sim.frequency_quantum));
+  emit("sim.trace_sample_period", format_double(sim.trace_sample_period));
+  emit("sim.sensor_noise_stddev", format_double(sim.sensor_noise_stddev));
+  emit("sim.sensor_noise_seed", std::to_string(sim.sensor_noise_seed));
+
+  emit("opt.tmax", format_double(optimizer.tmax));
+  emit("opt.dfs_period", format_double(optimizer.dfs_period));
+  emit("opt.dt", format_double(optimizer.dt));
+  emit("opt.uniform_frequency", optimizer.uniform_frequency ? "true" : "false");
+  emit("opt.minimize_gradient",
+       optimizer.minimize_gradient ? "true" : "false");
+  emit("opt.gradient_weight", format_double(optimizer.gradient_weight));
+  emit("opt.gradient_step_stride",
+       std::to_string(optimizer.gradient_step_stride));
+  emit("opt.constraint_slack", format_double(optimizer.constraint_slack));
+  emit("opt.sigma_floor", format_double(optimizer.sigma_floor));
+  if (optimizer.power_budget_watts) {
+    emit("opt.power_budget_watts",
+         format_double(*optimizer.power_budget_watts));
+  }
+
+  emit("dfs", dfs_policy);
+  emit_options("dfs", dfs_options);
+  emit("assignment", assignment_policy);
+  emit_options("assignment", assignment_options);
+  return out.str();
+}
+
+StatusOr<ScenarioSpec> ScenarioSpec::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::not_found("cannot open scenario file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  StatusOr<ScenarioSpec> spec = parse(buffer.str());
+  if (!spec.ok()) return spec.status().with_context(path);
+  return spec;
+}
+
+Status ScenarioSpec::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::invalid_argument("cannot open '" + path + "' for writing");
+  }
+  out << serialize();
+  out.flush();
+  if (!out) {
+    return Status::internal("failed writing scenario file '" + path + "'");
+  }
+  return Status();
+}
+
+}  // namespace protemp::api

@@ -1,0 +1,78 @@
+// Declarative scenarios: everything needed to reproduce one closed-loop run
+// as a value type, parseable from (and serializable to) a simple
+// `key = value` text format.
+//
+// A ScenarioSpec bundles the platform choice, the simulator and optimizer
+// configurations, the workload-generator parameters, the policy names and
+// their options, the duration and the RNG seed. Because a spec fully owns
+// its randomness, two runs of the same spec are bit-identical no matter
+// where or on which thread they execute — the property ScenarioRunner's
+// batching relies on.
+//
+// Text format: one `key = value` per line; lines whose first non-space
+// character is `#` are comments (inline `# ...` after a value is NOT
+// supported — values may contain `#`); blank lines ignored. Policy and
+// platform options use dotted keys (`dfs.trip = 92`). Parse errors and
+// unknown keys are reported with the offending line number. See DESIGN.md
+// for the full key list.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/registry.hpp"
+#include "api/status.hpp"
+#include "core/optimizer.hpp"
+#include "sim/simulator.hpp"
+#include "workload/profiles.hpp"
+
+namespace protemp::api {
+
+/// Profile set for a workload name; kNotFound (listing the known names)
+/// otherwise. The single source of truth shared by ScenarioSpec::validate
+/// and ScenarioRunner, so the two can never drift apart.
+StatusOr<std::vector<workload::BenchmarkProfile>> workload_profiles(
+    const std::string& name);
+/// Sorted names accepted by workload_profiles().
+std::vector<std::string> workload_names();
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+
+  /// Registry name of the platform plus its factory options.
+  std::string platform = "niagara8";
+  Options platform_options;
+
+  /// Workload-generator selection: "mixed", "compute", "high-load" or
+  /// "web" (the profile sets of workload/profiles.hpp). The generator runs
+  /// at `duration` seconds with `seed`, sized to the platform's core count.
+  std::string workload = "mixed";
+  double duration = 30.0;
+  std::uint64_t seed = 2008;
+
+  sim::SimConfig sim;
+  core::ProTempConfig optimizer;
+
+  std::string dfs_policy = "pro-temp";
+  Options dfs_options;
+  std::string assignment_policy = "first-idle";
+  Options assignment_options;
+
+  /// Semantic checks (positive durations, known registry names, known
+  /// workload, increasing band edges, ...). Parse() already enforces
+  /// syntactic validity; run() calls validate() before doing any work.
+  Status validate() const;
+
+  /// Canonical text form; parse(serialize()) reproduces the spec exactly
+  /// (doubles are emitted with round-trip precision). Note: the two
+  /// non-declarative SimConfig extensions (core_leakage) are not
+  /// representable in text form and are left at their defaults.
+  std::string serialize() const;
+
+  static StatusOr<ScenarioSpec> parse(std::string_view text);
+  static StatusOr<ScenarioSpec> load_file(const std::string& path);
+  Status save_file(const std::string& path) const;
+};
+
+}  // namespace protemp::api

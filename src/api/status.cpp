@@ -1,0 +1,41 @@
+#include "api/status.hpp"
+
+namespace protemp::api {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::with_context(std::string_view context) const {
+  if (ok()) return *this;
+  std::string message(context);
+  message += ": ";
+  message += message_;
+  return Status(code_, std::move(message));
+}
+
+}  // namespace protemp::api

@@ -1,0 +1,114 @@
+// Unified error model of the protemp::api facade.
+//
+// The inner layers keep their established idioms (constructors throw,
+// throughput queries return std::optional, solve results carry a `feasible`
+// flag); the api layer wraps all of them at the boundary so callers see one
+// vocabulary: every fallible facade entry point returns a Status or a
+// StatusOr<T>. Inspired by absl::Status, but dependency-free and small.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace protemp::api {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< malformed input (bad option value, parse error)
+  kNotFound,            ///< unknown registry name, missing file
+  kAlreadyExists,       ///< duplicate registration
+  kFailedPrecondition,  ///< valid input, unusable state (e.g. empty grid)
+  kInternal,            ///< an inner layer threw something unexpected
+};
+
+/// Human-readable name of a code ("ok", "invalid-argument", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+class [[nodiscard]] Status {
+ public:
+  /// Default is success.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status invalid_argument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status not_found(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status already_exists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status failed_precondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "<code-name>: <message>", or "ok".
+  std::string to_string() const;
+
+  /// Returns a copy with `context + ": "` prepended to the message; no-op
+  /// on an ok status. Lets callers build "scenario 3: dfs policy: ..."
+  /// chains without losing the code.
+  Status with_context(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a non-ok Status. `value()` must only be called when
+/// `ok()`; this is asserted in debug builds. T need not be
+/// default-constructible (the value lives in a std::optional).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from an ok Status");
+    if (status_.ok()) {
+      status_ = Status::internal("StatusOr constructed from an ok Status");
+    }
+  }
+
+  bool ok() const noexcept { return status_.ok(); }
+  const Status& status() const noexcept { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace protemp::api

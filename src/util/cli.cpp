@@ -53,10 +53,13 @@ long long CliArgs::get_int(const std::string& name, long long default_value) {
 bool CliArgs::get_bool(const std::string& name, bool default_value) {
   const auto v = lookup(name);
   if (!v) return default_value;
-  if (*v == "true" || *v == "1" || *v == "yes") return true;
-  if (*v == "false" || *v == "0" || *v == "no") return false;
+  if (const auto value = parse_bool(*v)) return *value;
   throw std::invalid_argument("CliArgs: flag --" + name +
                               " expects a boolean, got '" + *v + "'");
+}
+
+bool CliArgs::list_policies_requested() {
+  return get_bool("list-policies", false);
 }
 
 bool CliArgs::has(const std::string& name) const {

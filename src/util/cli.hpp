@@ -28,6 +28,12 @@ class CliArgs {
   /// True if the user supplied the flag explicitly.
   bool has(const std::string& name) const;
 
+  /// Declares the standard `--list-policies` discovery flag and returns
+  /// whether the user passed it. Examples pair this with
+  /// api::print_registered_policies(std::cout) and exit before doing any
+  /// work, so discovering registry names never requires reading headers.
+  bool list_policies_requested();
+
   const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }

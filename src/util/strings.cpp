@@ -1,5 +1,6 @@
 #include "util/strings.hpp"
 
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +73,24 @@ long long parse_int(std::string_view text) {
   if (end == owned.c_str() || *end != '\0') {
     throw std::invalid_argument("parse_int: not an integer: '" + owned + "'");
   }
+  return value;
+}
+
+std::optional<bool> parse_bool(std::string_view text) noexcept {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    return false;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> parse_uint64(std::string_view text) noexcept {
+  std::uint64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
   return value;
 }
 

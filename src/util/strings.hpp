@@ -1,6 +1,8 @@
 // Small string formatting helpers shared by benches and examples.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -28,5 +30,12 @@ double parse_double(std::string_view text);
 
 /// Parses a non-negative integer, throwing on failure.
 long long parse_int(std::string_view text);
+
+/// Parses "true/false/1/0/yes/no/on/off" (the one truth table shared by
+/// CLI flags, api Options and scenario specs); nullopt otherwise.
+std::optional<bool> parse_bool(std::string_view text) noexcept;
+
+/// Parses a full-range std::uint64_t (seeds); nullopt on any non-digit.
+std::optional<std::uint64_t> parse_uint64(std::string_view text) noexcept;
 
 }  // namespace protemp::util

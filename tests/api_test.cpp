@@ -1,0 +1,503 @@
+// Tests for the protemp::api facade: Status/StatusOr, the policy/platform
+// registry (round-trips, unknown names, bad options), ScenarioSpec
+// parse/serialize idempotence with line-anchored diagnostics, TableCache
+// build-once semantics, and ScenarioRunner batching determinism
+// (4 threads == sequential, exactly).
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/protemp.hpp"
+#include "core/policies.hpp"
+
+namespace protemp::api {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::not_found("no such thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.to_string(), "not-found: no such thing");
+}
+
+TEST(Status, WithContextPrepends) {
+  const Status s =
+      Status::invalid_argument("bad value").with_context("scenario 'x'");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "scenario 'x': bad value");
+  EXPECT_TRUE(Status().with_context("ignored").ok());
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  StatusOr<int> bad(Status::invalid_argument("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, WorksWithMoveOnlyAndNonDefaultConstructible) {
+  StatusOr<arch::Platform> platform = make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  EXPECT_EQ(platform->num_cores(), 8u);
+}
+
+// -------------------------------------------------------------- Options ---
+
+TEST(Options, TypedReadsAndUnknownKeyDetection) {
+  Options options;
+  options.set("trip", 92.5).set("continuous-trip", true).set("name", "x");
+  OptionReader reader(options);
+  EXPECT_DOUBLE_EQ(reader.get_double("trip", 90.0), 92.5);
+  EXPECT_TRUE(reader.get_bool("continuous-trip", false));
+  EXPECT_EQ(reader.get_string("name", ""), "x");
+  EXPECT_TRUE(reader.finish().ok());
+
+  OptionReader partial(options);
+  partial.get_double("trip", 90.0);
+  const Status s = partial.finish();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unknown option"), std::string::npos);
+}
+
+TEST(Options, BadValuesReportKeyAndValue) {
+  Options options;
+  options.set("trip", "toasty");
+  OptionReader reader(options);
+  reader.get_double("trip", 90.0);
+  const Status s = reader.finish();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("trip"), std::string::npos);
+  EXPECT_NE(s.message().find("toasty"), std::string::npos);
+}
+
+// -------------------------------------------------------------- registry --
+
+/// Coarse Phase-1 grid so "pro-temp" factories stay fast under test.
+Options fast_protemp_options() {
+  Options options;
+  options.set("tstart-step", 25.0).set("ftarget-step-mhz", 450.0);
+  return options;
+}
+
+PolicyContext test_context(const arch::Platform& platform,
+                           TableCache* cache = nullptr) {
+  PolicyContext context;
+  context.platform = &platform;
+  context.optimizer.minimize_gradient = false;
+  context.table_cache = cache;
+  return context;
+}
+
+TEST(Registry, EveryDfsPolicyNameRoundTrips) {
+  const StatusOr<arch::Platform> platform = make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  const PolicyContext context = test_context(*platform);
+  const std::vector<std::string> names =
+      PolicyRegistry::instance().dfs_names();
+  ASSERT_GE(names.size(), 4u);
+  for (const std::string& name : names) {
+    const Options options =
+        name == "pro-temp" ? fast_protemp_options() : Options{};
+    StatusOr<std::unique_ptr<sim::DfsPolicy>> policy =
+        make_dfs_policy(name, context, options);
+    ASSERT_TRUE(policy.ok()) << name << ": " << policy.status().to_string();
+    EXPECT_EQ((*policy)->name(), name);
+  }
+}
+
+TEST(Registry, EveryAssignmentPolicyNameRoundTrips) {
+  const std::vector<std::string> names =
+      PolicyRegistry::instance().assignment_names();
+  ASSERT_GE(names.size(), 5u);
+  for (const std::string& name : names) {
+    StatusOr<std::unique_ptr<sim::AssignmentPolicy>> policy =
+        make_assignment_policy(name);
+    ASSERT_TRUE(policy.ok()) << name << ": " << policy.status().to_string();
+    EXPECT_EQ((*policy)->name(), name);
+  }
+}
+
+TEST(Registry, EveryPlatformNameRoundTrips) {
+  for (const std::string& name : PolicyRegistry::instance().platform_names()) {
+    StatusOr<arch::Platform> platform = make_platform(name);
+    ASSERT_TRUE(platform.ok()) << name << ": "
+                               << platform.status().to_string();
+    EXPECT_GT(platform->num_cores(), 0u);
+  }
+}
+
+TEST(Registry, UnknownNamesSurfaceAsNotFound) {
+  const StatusOr<arch::Platform> platform = make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+
+  const auto dfs =
+      make_dfs_policy("definitely-not-a-policy", test_context(*platform));
+  ASSERT_FALSE(dfs.ok());
+  EXPECT_EQ(dfs.status().code(), StatusCode::kNotFound);
+  // The error names the known policies, for discoverability.
+  EXPECT_NE(dfs.status().message().find("pro-temp"), std::string::npos);
+
+  const auto assignment = make_assignment_policy("nope");
+  ASSERT_FALSE(assignment.ok());
+  EXPECT_EQ(assignment.status().code(), StatusCode::kNotFound);
+
+  const auto bad_platform = make_platform("niagara9000");
+  ASSERT_FALSE(bad_platform.ok());
+  EXPECT_EQ(bad_platform.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Registry, BadOptionsSurfaceAsInvalidArgumentNotCrashes) {
+  const StatusOr<arch::Platform> platform = make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  const PolicyContext context = test_context(*platform);
+
+  Options bad_value;
+  bad_value.set("trip", "very hot");
+  const auto a = make_dfs_policy("basic-dfs", context, bad_value);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+
+  Options unknown_key;
+  unknown_key.set("tripp", 90.0);
+  const auto b = make_dfs_policy("basic-dfs", context, unknown_key);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(b.status().message().find("tripp"), std::string::npos);
+
+  Options bad_grid;
+  bad_grid.set("tstart-step", -5.0);
+  const auto c = make_dfs_policy("pro-temp", context, bad_grid);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+
+  Options bad_seed;
+  bad_seed.set("seed", -3.0);
+  const auto d = make_assignment_policy("random", bad_seed);
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Registry, NullPlatformContextIsFailedPrecondition) {
+  const auto policy = make_dfs_policy("no-tc", PolicyContext{});
+  ASSERT_FALSE(policy.ok());
+  EXPECT_EQ(policy.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Registry, DuplicateRegistrationIsAlreadyExists) {
+  const Status s = PolicyRegistry::instance().register_dfs(
+      "no-tc", [](const PolicyContext&, const Options&)
+                   -> StatusOr<std::unique_ptr<sim::DfsPolicy>> {
+        return Status::internal("unreachable");
+      });
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(Registry, PhaseOneTablesDoNotLeakAcrossPlatformOptions) {
+  // Same platform name, different physics: a shared TableCache must key on
+  // the platform options, not just the display name.
+  Options cool_opts, hot_opts;
+  cool_opts.set("ambient", 45.0);
+  hot_opts.set("ambient", 80.0);
+  const StatusOr<arch::Platform> cool = make_platform("niagara8", cool_opts);
+  const StatusOr<arch::Platform> hot = make_platform("niagara8", hot_opts);
+  ASSERT_TRUE(cool.ok());
+  ASSERT_TRUE(hot.ok());
+
+  TableCache cache;
+  PolicyContext cool_context = test_context(*cool, &cache);
+  cool_context.platform_key = "niagara8|ambient=45";
+  PolicyContext hot_context = test_context(*hot, &cache);
+  hot_context.platform_key = "niagara8|ambient=80";
+
+  const auto table_of = [](const StatusOr<std::unique_ptr<sim::DfsPolicy>>&
+                               policy) {
+    std::ostringstream out;
+    dynamic_cast<const core::ProTempPolicy&>(**policy).table().save(out);
+    return out.str();
+  };
+  const auto a =
+      make_dfs_policy("pro-temp", cool_context, fast_protemp_options());
+  ASSERT_TRUE(a.ok()) << a.status().to_string();
+  const auto b =
+      make_dfs_policy("pro-temp", hot_context, fast_protemp_options());
+  ASSERT_TRUE(b.ok()) << b.status().to_string();
+  EXPECT_NE(table_of(a), table_of(b));
+}
+
+// ------------------------------------------------------------ TableCache --
+
+TEST(TableCache, BuildsEachKeyExactlyOnceAcrossThreads) {
+  const StatusOr<arch::Platform> platform = make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  core::ProTempConfig config;
+  config.minimize_gradient = false;
+  const core::ProTempOptimizer optimizer(*platform, config);
+
+  TableCache cache;
+  std::atomic<int> builds{0};
+  const auto builder = [&]() {
+    ++builds;
+    return core::FrequencyTable::build(optimizer, {80.0}, {2e8});
+  };
+
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const core::FrequencyTable>> tables(4);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back(
+        [&, i]() { tables[i] = cache.get_or_build("k", builder); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(builds.load(), 1);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(tables[i], tables[0]);
+}
+
+// ---------------------------------------------------------- ScenarioSpec --
+
+TEST(ScenarioSpec, ParseSerializeParseIsIdempotent) {
+  const char* text = R"(# soak config
+name = roundtrip
+platform = niagara8
+platform.ambient = 40
+workload = web
+duration = 2.5
+seed = 31337
+
+sim.tmax = 95
+sim.band_edges = 75, 85, 95
+sim.initial_temperature = 55.25
+sim.sensor_noise_stddev = 1.5
+
+opt.tmax = 95
+opt.minimize_gradient = false
+opt.gradient_step_stride = 20
+opt.power_budget_watts = 24.5
+
+dfs = basic-dfs
+dfs.trip = 87.5
+dfs.continuous-trip = true
+assignment = random
+assignment.seed = 77
+)";
+  StatusOr<ScenarioSpec> first = ScenarioSpec::parse(text);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_EQ(first->name, "roundtrip");
+  EXPECT_EQ(first->workload, "web");
+  EXPECT_EQ(first->seed, 31337u);
+  EXPECT_DOUBLE_EQ(first->duration, 2.5);
+  EXPECT_DOUBLE_EQ(first->sim.tmax, 95.0);
+  ASSERT_TRUE(first->sim.initial_temperature.has_value());
+  EXPECT_DOUBLE_EQ(*first->sim.initial_temperature, 55.25);
+  ASSERT_EQ(first->sim.band_edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(first->sim.band_edges[1], 85.0);
+  EXPECT_FALSE(first->optimizer.minimize_gradient);
+  EXPECT_EQ(first->optimizer.gradient_step_stride, 20u);
+  ASSERT_TRUE(first->optimizer.power_budget_watts.has_value());
+  EXPECT_DOUBLE_EQ(*first->optimizer.power_budget_watts, 24.5);
+  EXPECT_EQ(first->dfs_policy, "basic-dfs");
+  EXPECT_TRUE(first->dfs_options.contains("trip"));
+  EXPECT_EQ(first->assignment_policy, "random");
+
+  const std::string canonical = first->serialize();
+  StatusOr<ScenarioSpec> second = ScenarioSpec::parse(canonical);
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_EQ(second->serialize(), canonical);
+}
+
+TEST(ScenarioSpec, DefaultSpecSerializesAndValidates) {
+  const ScenarioSpec spec;
+  EXPECT_TRUE(spec.validate().ok());
+  StatusOr<ScenarioSpec> reparsed = ScenarioSpec::parse(spec.serialize());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed->serialize(), spec.serialize());
+}
+
+TEST(ScenarioSpec, FullRangeSeedsRoundTrip) {
+  ScenarioSpec spec;
+  spec.seed = 18446744073709551615ull;  // UINT64_MAX
+  spec.sim.sensor_noise_seed = 1ull << 63;
+  StatusOr<ScenarioSpec> reparsed = ScenarioSpec::parse(spec.serialize());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed->seed, spec.seed);
+  EXPECT_EQ(reparsed->sim.sensor_noise_seed, spec.sim.sensor_noise_seed);
+}
+
+TEST(ScenarioSpec, DiagnosticsAreLineAnchored) {
+  const auto unknown = ScenarioSpec::parse("name = x\n\nsim.dtt = 1\n");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unknown.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(unknown.status().message().find("sim.dtt"), std::string::npos);
+
+  const auto bad_number = ScenarioSpec::parse("duration = soon\n");
+  ASSERT_FALSE(bad_number.ok());
+  EXPECT_NE(bad_number.status().message().find("line 1"), std::string::npos);
+
+  const auto no_equals = ScenarioSpec::parse("name = x\njust some words\n");
+  ASSERT_FALSE(no_equals.ok());
+  EXPECT_NE(no_equals.status().message().find("line 2"), std::string::npos);
+
+  const auto duplicate = ScenarioSpec::parse("seed = 1\nseed = 2\n");
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_NE(duplicate.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(duplicate.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(ScenarioSpec, ValidateCatchesSemanticErrors) {
+  ScenarioSpec bad_duration;
+  bad_duration.duration = 0.0;
+  EXPECT_EQ(bad_duration.validate().code(), StatusCode::kInvalidArgument);
+
+  ScenarioSpec bad_workload;
+  bad_workload.workload = "cryptomining";
+  EXPECT_EQ(bad_workload.validate().code(), StatusCode::kNotFound);
+
+  ScenarioSpec bad_policy;
+  bad_policy.dfs_policy = "does-not-exist";
+  EXPECT_EQ(bad_policy.validate().code(), StatusCode::kNotFound);
+
+  ScenarioSpec bad_bands;
+  bad_bands.sim.band_edges = {90.0, 80.0};
+  EXPECT_EQ(bad_bands.validate().code(), StatusCode::kInvalidArgument);
+
+  // Embedded newlines would emit an unparseable serialized form.
+  ScenarioSpec bad_name;
+  bad_name.name = "two\nlines";
+  EXPECT_EQ(bad_name.validate().code(), StatusCode::kInvalidArgument);
+}
+
+// -------------------------------------------------------- ScenarioRunner --
+
+/// Four quick scenarios exercising different policies, workloads and seeds.
+/// basic-dfs/no-tc need no Phase-1 table; the pro-temp one uses a coarse
+/// grid, shared through the runner's TableCache.
+std::vector<ScenarioSpec> batch_specs() {
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    ScenarioSpec spec;
+    spec.name = "batch-" + std::to_string(i);
+    spec.workload = (i % 2 == 0) ? "web" : "mixed";
+    spec.duration = 1.5;
+    spec.seed = 1000 + static_cast<std::uint64_t>(i);
+    spec.optimizer.minimize_gradient = false;
+    switch (i) {
+      case 0:
+        spec.dfs_policy = "basic-dfs";
+        spec.dfs_options.set("trip", 88.0);
+        break;
+      case 1:
+        spec.dfs_policy = "no-tc";
+        spec.assignment_policy = "coolest-first";
+        break;
+      case 2:
+        spec.dfs_policy = "pro-temp";
+        spec.dfs_options = fast_protemp_options();
+        spec.assignment_policy = "random";
+        spec.assignment_options.set("seed", 5.0);
+        break;
+      default:
+        spec.dfs_policy = "basic-dfs";
+        spec.dfs_options.set("continuous-trip", true);
+        spec.assignment_policy = "round-robin";
+        break;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// Exact (bitwise) equality of everything metric-bearing in a report.
+void expect_identical(const ScenarioReport& a, const ScenarioReport& b) {
+  EXPECT_EQ(a.spec.name, b.spec.name);
+  EXPECT_EQ(a.trace_tasks, b.trace_tasks);
+  EXPECT_EQ(a.result.tasks_admitted, b.result.tasks_admitted);
+  EXPECT_EQ(a.result.tasks_completed, b.result.tasks_completed);
+  EXPECT_EQ(a.result.tasks_left_queued, b.result.tasks_left_queued);
+  EXPECT_EQ(a.result.tasks_in_flight, b.result.tasks_in_flight);
+  EXPECT_EQ(a.result.sim_time, b.result.sim_time);
+  EXPECT_EQ(a.result.mean_frequency, b.result.mean_frequency);
+  const sim::Metrics& ma = a.result.metrics;
+  const sim::Metrics& mb = b.result.metrics;
+  EXPECT_EQ(ma.max_temp_seen(), mb.max_temp_seen());
+  EXPECT_EQ(ma.violation_fraction(), mb.violation_fraction());
+  EXPECT_EQ(ma.any_violation_fraction(), mb.any_violation_fraction());
+  EXPECT_EQ(ma.mean_spatial_gradient(), mb.mean_spatial_gradient());
+  EXPECT_EQ(ma.max_spatial_gradient(), mb.max_spatial_gradient());
+  EXPECT_EQ(ma.total_energy_joules(), mb.total_energy_joules());
+  EXPECT_EQ(ma.mean_waiting_time(), mb.mean_waiting_time());
+  EXPECT_EQ(ma.mean_response_time(), mb.mean_response_time());
+  EXPECT_EQ(ma.band_fractions(), mb.band_fractions());
+}
+
+TEST(ScenarioRunner, RunAllFourThreadsMatchesSequentialExactly) {
+  const std::vector<ScenarioSpec> specs = batch_specs();
+  const ScenarioRunner runner;
+
+  StatusOr<std::vector<ScenarioReport>> sequential =
+      runner.run_all(specs, 1);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().to_string();
+  StatusOr<std::vector<ScenarioReport>> threaded = runner.run_all(specs, 4);
+  ASSERT_TRUE(threaded.ok()) << threaded.status().to_string();
+
+  ASSERT_EQ(sequential->size(), specs.size());
+  ASSERT_EQ(threaded->size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    expect_identical((*sequential)[i], (*threaded)[i]);
+  }
+}
+
+TEST(ScenarioRunner, ReportsCarryResolvedNames) {
+  ScenarioSpec spec;
+  spec.name = "names";
+  spec.workload = "web";
+  spec.duration = 1.0;
+  spec.dfs_policy = "basic-dfs";
+  spec.assignment_policy = "coolest-first";
+  const ScenarioRunner runner;
+  StatusOr<ScenarioReport> report = runner.run(spec);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report->dfs_policy, "basic-dfs");
+  EXPECT_EQ(report->assignment_policy, "coolest-first");
+  EXPECT_GT(report->trace_tasks, 0u);
+  EXPECT_GT(report->result.sim_time, 0.0);
+}
+
+TEST(ScenarioRunner, BadSpecFailsTheBatchWithAnchoredStatus) {
+  std::vector<ScenarioSpec> specs = batch_specs();
+  specs[2].dfs_options.set("no-such-option", 1.0);
+  const ScenarioRunner runner;
+  StatusOr<std::vector<ScenarioReport>> reports = runner.run_all(specs, 4);
+  ASSERT_FALSE(reports.ok());
+  EXPECT_EQ(reports.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(reports.status().message().find("scenario 2"), std::string::npos);
+  EXPECT_NE(reports.status().message().find("no-such-option"),
+            std::string::npos);
+}
+
+TEST(ScenarioRunner, EmptyBatchIsOk) {
+  const ScenarioRunner runner;
+  StatusOr<std::vector<ScenarioReport>> reports = runner.run_all({}, 4);
+  ASSERT_TRUE(reports.ok());
+  EXPECT_TRUE(reports->empty());
+}
+
+}  // namespace
+}  // namespace protemp::api
