@@ -1,0 +1,230 @@
+// Warm-start A/B: the workspace-seeded solver hot path versus cold starts,
+// on the two sweeps that dominate Pro-Temp runtime.
+//
+//   (a) Phase-1 LUT build at the paper grid (Table 4; the same table the
+//       fig6 band and fig7 waiting-time sweeps consume) — every cell
+//       warm-starts from its ftarget-descending neighbour;
+//   (b) online MPC window sweep (solve_from_state along a heating
+//       trajectory) — every window warm-starts from the previous one.
+//
+// Both paths must agree: the bench cross-checks the warm and cold tables
+// cell by cell before timing is trusted.
+//
+//   ./bench_warm_start [--repeats=2] [--windows=120]
+//
+// Exit status: 0 iff the warm LUT build is >= 1.5x faster than cold (the
+// acceptance bar) and the tables agree.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <chrono>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace protemp;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct BuildRun {
+  double seconds = 0.0;
+  std::size_t newton = 0;
+  convex::SolverWorkspace::Stats stats;
+  core::FrequencyTable table{{50.0}, {1e8}, 1};
+};
+
+BuildRun build_table(bool warm, std::size_t repeats) {
+  core::ProTempConfig config = bench::paper_optimizer_config(true);
+  config.warm_start = warm;
+  const core::ProTempOptimizer optimizer(bench::platform(), config);
+
+  BuildRun best;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    convex::SolverWorkspace workspace(warm);
+    std::size_t newton = 0;
+    const auto observer = [&](std::size_t, std::size_t,
+                              const core::FrequencyAssignment& a) {
+      newton += a.newton_iterations;
+    };
+    const double start = now_seconds();
+    core::FrequencyTable table = core::FrequencyTable::build(
+        optimizer, bench::paper_tstart_grid(), bench::paper_ftarget_grid(),
+        observer, &workspace);
+    const double elapsed = now_seconds() - start;
+    if (rep == 0 || elapsed < best.seconds) {
+      best.seconds = elapsed;
+      best.newton = newton;
+      best.stats = workspace.stats();
+      best.table = std::move(table);
+    }
+  }
+  return best;
+}
+
+/// Warm/cold table agreement. The active workload constraint pins each
+/// cell's *average* frequency essentially exactly; the per-core split can
+/// wander by ~1e-3 along the near-flat power-vs-tgrad trade-off face at the
+/// solver's late-stage float resolution (same for cold restarts; see
+/// DESIGN.md), so it gets a looser bar. Feasibility patterns must be equal.
+struct TableAgreement {
+  bool same_pattern = true;
+  double percore_dev = 0.0;  ///< max per-core frequency deviation [Hz]
+  double average_dev = 0.0;  ///< max relative average-frequency deviation
+};
+
+TableAgreement table_agreement(const core::FrequencyTable& a,
+                               const core::FrequencyTable& b) {
+  TableAgreement out;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const auto& ca = a.cell(r, c);
+      const auto& cb = b.cell(r, c);
+      if (ca.has_value() != cb.has_value()) {
+        out.same_pattern = false;
+        continue;
+      }
+      if (!ca) continue;
+      out.average_dev = std::max(
+          out.average_dev,
+          std::abs(ca->average_frequency - cb->average_frequency) /
+              std::max(1e6, std::abs(cb->average_frequency)));
+      for (std::size_t k = 0; k < ca->frequencies.size(); ++k) {
+        out.percore_dev = std::max(
+            out.percore_dev,
+            std::abs(ca->frequencies[k] - cb->frequencies[k]));
+      }
+    }
+  }
+  return out;
+}
+
+struct MpcRun {
+  double seconds = 0.0;
+  std::size_t newton = 0;
+  std::size_t warm_started = 0;
+  double checksum = 0.0;  ///< sum of average frequencies (path equality)
+};
+
+/// Replays the same heating trajectory through solve_from_state: each
+/// window's assignment drives one DFS period of thermal simulation, as the
+/// online policy would.
+MpcRun run_mpc_sweep(bool warm, std::size_t windows) {
+  core::ProTempConfig config = bench::paper_optimizer_config(true);
+  config.warm_start = warm;
+  const arch::Platform& platform = bench::platform();
+  const core::ProTempOptimizer optimizer(platform, config);
+  // Sub-stepped Euler: dfs_period is far above the raw Euler limit.
+  const thermal::EulerSimulator model(platform.network(), config.dfs_period);
+
+  convex::SolverWorkspace workspace(warm);
+  MpcRun out;
+  linalg::Vector temps = platform.network().steady_state(
+      platform.background_power_at(0.0));
+  linalg::Vector power(platform.num_nodes());
+  linalg::Vector temps_next;
+  const double ftarget = util::mhz(700.0);
+
+  const double start = now_seconds();
+  for (std::size_t w = 0; w < windows; ++w) {
+    const core::FrequencyAssignment a =
+        optimizer.solve_from_state(temps, ftarget, &workspace);
+    out.newton += a.newton_iterations;
+    if (a.warm_started) ++out.warm_started;
+    out.checksum += a.feasible ? a.average_frequency : 0.0;
+
+    power.set_zero();
+    const auto& cores = platform.core_nodes();
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      const double f = a.feasible ? a.frequencies[c] : 0.0;
+      const double s = (f / platform.fmax()) * (f / platform.fmax());
+      power[cores[c]] = platform.core_pmax() * s;
+    }
+    model.step_into(temps, power, temps_next);
+    std::swap(temps, temps_next);
+  }
+  out.seconds = now_seconds() - start;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  try {
+    util::CliArgs args(argc, argv);
+    const auto repeats = static_cast<std::size_t>(args.get_int("repeats", 2));
+    const auto windows = static_cast<std::size_t>(args.get_int("windows", 120));
+    args.check_unknown();
+
+    std::printf("# Phase-1 LUT build, paper grid (%zux%zu cells)...\n",
+                bench::paper_tstart_grid().size(),
+                bench::paper_ftarget_grid().size());
+    const BuildRun cold = build_table(/*warm=*/false, repeats);
+    const BuildRun warm = build_table(/*warm=*/true, repeats);
+    const TableAgreement agreement = table_agreement(warm.table, cold.table);
+    const double build_speedup = cold.seconds / warm.seconds;
+
+    std::printf("# online MPC sweep, %zu windows...\n", windows);
+    const MpcRun mpc_cold = run_mpc_sweep(/*warm=*/false, windows);
+    const MpcRun mpc_warm = run_mpc_sweep(/*warm=*/true, windows);
+    const double mpc_speedup = mpc_cold.seconds / mpc_warm.seconds;
+    const double mpc_drift =
+        std::abs(mpc_cold.checksum - mpc_warm.checksum) /
+        std::max(1.0, std::abs(mpc_cold.checksum));
+
+    util::AsciiTable table({"sweep", "cold [s]", "warm [s]", "speedup",
+                            "newton cold", "newton warm", "warm hits"});
+    table.add_row({"table4-lut", util::format_fixed(cold.seconds, 3),
+                   util::format_fixed(warm.seconds, 3),
+                   util::format_fixed(build_speedup, 2),
+                   std::to_string(cold.newton), std::to_string(warm.newton),
+                   std::to_string(warm.stats.warm_started)});
+    table.add_row({"mpc-windows", util::format_fixed(mpc_cold.seconds, 3),
+                   util::format_fixed(mpc_warm.seconds, 3),
+                   util::format_fixed(mpc_speedup, 2),
+                   std::to_string(mpc_cold.newton),
+                   std::to_string(mpc_warm.newton),
+                   std::to_string(mpc_warm.warm_started)});
+    table.render(std::cout, "warm-started solver hot path vs cold starts");
+
+    bench::begin_csv("warm_start");
+    util::CsvWriter csv(std::cout);
+    csv.header({"sweep", "cold_seconds", "warm_seconds", "speedup",
+                "agreement"});
+    csv.row({"table4-lut", util::format("%.6f", cold.seconds),
+             util::format("%.6f", warm.seconds),
+             util::format("%.3f", build_speedup),
+             util::format("%.3e", agreement.percore_dev)});
+    csv.row({"mpc-windows", util::format("%.6f", mpc_cold.seconds),
+             util::format("%.6f", mpc_warm.seconds),
+             util::format("%.3f", mpc_speedup),
+             util::format("%.3e", mpc_drift)});
+    bench::end_csv();
+
+    const bool agree = agreement.same_pattern &&
+                       agreement.average_dev < 1e-6 &&
+                       agreement.percore_dev < 2e6 && mpc_drift < 1e-6;
+    const bool fast = build_speedup >= 1.5;
+    std::printf("table agreement (pattern %s, avg dev %.2e, per-core dev "
+                "%.3f MHz, mpc drift %.2e): %s\n",
+                agreement.same_pattern ? "equal" : "DIFFERS",
+                agreement.average_dev, agreement.percore_dev / 1e6, mpc_drift,
+                agree ? "PASS" : "FAIL");
+    std::printf("LUT build speedup %.2fx (bar: 1.50x): %s\n", build_speedup,
+                fast ? "PASS" : "FAIL");
+    return (agree && fast) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

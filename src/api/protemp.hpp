@@ -28,6 +28,7 @@
 #include "api/status.hpp"     // IWYU pragma: export
 
 #include "arch/platform.hpp"        // IWYU pragma: export
+#include "convex/workspace.hpp"     // IWYU pragma: export
 #include "core/frequency_table.hpp" // IWYU pragma: export
 #include "power/power_model.hpp"    // IWYU pragma: export
 #include "sim/metrics.hpp"          // IWYU pragma: export

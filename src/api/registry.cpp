@@ -383,13 +383,15 @@ std::string table_cache_key(const PolicyContext& context,
   const core::ProTempConfig& c = context.optimizer;
   std::string key = context.platform_key.empty() ? context.platform->name()
                                                  : context.platform_key;
+  // warm_start is part of the key: warm and cold builds agree only to the
+  // solver tolerance, and table identity must be exact per configuration.
   key += util::format(
       "|tmax=%.17g|win=%.17g|dt=%.17g|uni=%d|grad=%d|gw=%.17g|stride=%zu"
-      "|slack=%.17g|floor=%.17g|budget=%.17g",
+      "|slack=%.17g|floor=%.17g|budget=%.17g|warm=%d",
       c.tmax, c.dfs_period, c.dt, c.uniform_frequency ? 1 : 0,
       c.minimize_gradient ? 1 : 0, c.gradient_weight, c.gradient_step_stride,
       c.constraint_slack, c.sigma_floor,
-      c.power_budget_watts.value_or(-1.0));
+      c.power_budget_watts.value_or(-1.0), c.warm_start ? 1 : 0);
   for (const double t : grid.tstart) key += util::format("|t%.17g", t);
   for (const double f : grid.ftarget) key += util::format("|f%.17g", f);
   return key;

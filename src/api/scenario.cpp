@@ -129,6 +129,9 @@ class SpecParser {
     if (key == "opt.power_budget_watts") {
       return set_optional_double(a, spec_.optimizer.power_budget_watts);
     }
+    if (key == "opt.warm_start") {
+      return set_bool(a, spec_.optimizer.warm_start);
+    }
 
     if (key.rfind("platform.", 0) == 0) {
       spec_.platform_options.set(key.substr(9), a.value);
@@ -367,6 +370,7 @@ std::string ScenarioSpec::serialize() const {
     emit("opt.power_budget_watts",
          format_double(*optimizer.power_budget_watts));
   }
+  emit("opt.warm_start", optimizer.warm_start ? "true" : "false");
 
   emit("dfs", dfs_policy);
   emit_options("dfs", dfs_options);

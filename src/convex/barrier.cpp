@@ -14,25 +14,25 @@ namespace {
 constexpr const char* kModule = "convex.barrier";
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
-/// Barrier value, gradient and Hessian at x for parameter t, or +inf value
-/// if x is not strictly feasible (gradient/Hessian then unset).
+/// Barrier value at x for parameter t; gradient/Hessian land in the
+/// workspace buffers when requested. `feasible` is false (value +inf,
+/// buffers unspecified) if x is not strictly feasible.
 struct BarrierEval {
   double value = kInfinity;
-  linalg::Vector gradient;
-  linalg::Matrix hessian;
   bool feasible = false;
 };
 
 BarrierEval evaluate(const BarrierProblem& prob, const linalg::Vector& x,
-                     double t, bool with_derivatives) {
+                     double t, bool with_derivatives,
+                     SolverWorkspace::BarrierBuffers& buf) {
   BarrierEval out;
   const std::size_t n = x.size();
   double value = t * prob.objective->value(x);
-  linalg::Vector grad;
-  linalg::Matrix hess;
   if (with_derivatives) {
-    grad = prob.objective->gradient(x) * t;
-    hess = prob.objective->hessian(x) * t;
+    buf.gradient = prob.objective->gradient(x);
+    buf.gradient *= t;
+    buf.hessian = prob.objective->hessian(x);
+    buf.hessian *= t;
   }
 
   for (const auto& f : prob.constraints) {
@@ -43,40 +43,42 @@ BarrierEval evaluate(const BarrierProblem& prob, const linalg::Vector& x,
       const linalg::Vector gi = f->gradient(x);
       // -log(-f): grad = g / (-f), hess = H/(-f) + g g^T / f^2.
       const double inv = 1.0 / (-fi);
-      grad.axpy(inv, gi);
-      hess += f->hessian(x) * inv;
+      buf.gradient.axpy(inv, gi);
+      buf.hessian += f->hessian(x) * inv;
       const double inv2 = inv * inv;
       for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t j = 0; j < n; ++j) {
-          hess(i, j) += inv2 * gi[i] * gi[j];
+          buf.hessian(i, j) += inv2 * gi[i] * gi[j];
         }
       }
     }
   }
 
   if (prob.linear) {
-    const linalg::Vector r = prob.linear->residuals(x);  // feasible iff < 0
-    linalg::Vector inv_d(r.size());
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      if (!(r[i] < 0.0)) return out;
-      const double d = -r[i];
-      value -= std::log(d);
-      inv_d[i] = 1.0 / d;
+    // r = G x - h, computed into the workspace (feasible iff r < 0).
+    prob.linear->g.multiply_into(x, buf.residual);
+    buf.residual -= prob.linear->h;
+    const std::size_t m = buf.residual.size();
+    buf.inv_slack.resize(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double ri = buf.residual[i];
+      if (!(ri < 0.0)) return out;
+      value -= std::log(-ri);
+      buf.inv_slack[i] = -1.0 / ri;
     }
     if (with_derivatives) {
-      grad += prob.linear->g.multiply_transposed(inv_d);
-      linalg::Vector inv_d2(r.size());
-      for (std::size_t i = 0; i < r.size(); ++i) inv_d2[i] = inv_d[i] * inv_d[i];
-      hess += prob.linear->g.gram_weighted(inv_d2);
+      prob.linear->g.multiply_transposed_add_into(buf.inv_slack, buf.gradient);
+      buf.inv_slack2.resize(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        buf.inv_slack2[i] = buf.inv_slack[i] * buf.inv_slack[i];
+      }
+      prob.linear->g.gram_weighted_into(buf.inv_slack2, buf.gram);
+      buf.hessian += buf.gram;
     }
   }
 
   out.value = value;
   out.feasible = true;
-  if (with_derivatives) {
-    out.gradient = std::move(grad);
-    out.hessian = std::move(hess);
-  }
   return out;
 }
 
@@ -88,10 +90,12 @@ struct CenterResult {
 };
 
 CenterResult center(const BarrierProblem& prob, linalg::Vector& x, double t,
-                    const BarrierOptions& opt) {
+                    const BarrierOptions& opt,
+                    SolverWorkspace::BarrierBuffers& buf) {
   CenterResult result;
   for (std::size_t step = 0; step < opt.max_newton_per_stage; ++step) {
-    BarrierEval eval = evaluate(prob, x, t, /*with_derivatives=*/true);
+    const BarrierEval eval = evaluate(prob, x, t, /*with_derivatives=*/true,
+                                      buf);
     if (!eval.feasible) return result;  // should not happen from feasible x
 
     // Newton direction with ridge escalation on factorization failure. The
@@ -99,22 +103,23 @@ CenterResult center(const BarrierProblem& prob, linalg::Vector& x, double t,
     // barrier terms near the boundary inflate the conditioning.
     double diag_scale = 1.0;
     for (std::size_t i = 0; i < x.size(); ++i) {
-      diag_scale = std::max(diag_scale, std::abs(eval.hessian(i, i)));
+      diag_scale = std::max(diag_scale, std::abs(buf.hessian(i, i)));
     }
     if (!std::isfinite(diag_scale)) return result;
-    linalg::Vector direction;
+    buf.neg_grad = buf.gradient;
+    buf.neg_grad *= -1.0;
     double ridge = opt.ridge * diag_scale;
-    for (int attempt = 0;; ++attempt, ridge *= 100.0) {
-      const auto chol =
-          linalg::Cholesky::factor_regularized(eval.hessian, ridge);
-      if (chol) {
-        direction = chol->solve(-eval.gradient);
+    bool factored = false;
+    for (int attempt = 0; attempt < 9; ++attempt, ridge *= 100.0) {
+      if (buf.factor.refactor(buf.hessian, ridge)) {
+        buf.factor.solve_into(buf.neg_grad, buf.direction);
+        factored = true;
         break;
       }
-      if (attempt >= 8) return result;
     }
+    if (!factored) return result;
 
-    const double decrement2 = -eval.gradient.dot(direction);  // lambda^2
+    const double decrement2 = -buf.gradient.dot(buf.direction);  // lambda^2
     result.newton_steps = step + 1;
     if (!std::isfinite(decrement2)) return result;  // barrier overflow
     if (decrement2 / 2.0 <= opt.newton_tolerance) {
@@ -124,16 +129,16 @@ CenterResult center(const BarrierProblem& prob, linalg::Vector& x, double t,
 
     // Backtracking line search (rejects steps that leave the domain).
     double step_size = 1.0;
-    const double slope = eval.gradient.dot(direction);  // negative
+    const double slope = buf.gradient.dot(buf.direction);  // negative
     bool moved = false;
     for (int ls = 0; ls < 60; ++ls) {
-      linalg::Vector candidate = x;
-      candidate.axpy(step_size, direction);
+      buf.candidate = x;
+      buf.candidate.axpy(step_size, buf.direction);
       const BarrierEval trial =
-          evaluate(prob, candidate, t, /*with_derivatives=*/false);
+          evaluate(prob, buf.candidate, t, /*with_derivatives=*/false, buf);
       if (trial.feasible &&
           trial.value <= eval.value + opt.line_search_alpha * step_size * slope) {
-        x = std::move(candidate);
+        x = buf.candidate;
         moved = true;
         break;
       }
@@ -193,7 +198,8 @@ double BarrierProblem::max_violation(const linalg::Vector& x) const {
 }
 
 Solution solve_barrier(const BarrierProblem& problem, const linalg::Vector& x0,
-                       const BarrierOptions& options) {
+                       const BarrierOptions& options,
+                       SolverWorkspace* workspace) {
   problem.validate();
   if (x0.size() != problem.num_variables()) {
     throw std::invalid_argument("solve_barrier: x0 dimension mismatch");
@@ -203,6 +209,11 @@ Solution solve_barrier(const BarrierProblem& problem, const linalg::Vector& x0,
         "solve_barrier: x0 must be strictly feasible (use "
         "find_strictly_feasible for phase-I)");
   }
+
+  SolverWorkspace scratch_workspace;
+  SolverWorkspace& ws = workspace ? *workspace : scratch_workspace;
+  SolverWorkspace::BarrierBuffers& buf = ws.barrier();
+  ++ws.stats().solves;
 
   Solution result;
   linalg::Vector x = x0;
@@ -216,8 +227,9 @@ Solution solve_barrier(const BarrierProblem& problem, const linalg::Vector& x0,
   double certified_gap = kInfinity;
 
   for (std::size_t stage = 0; stage < options.max_stages; ++stage) {
-    const CenterResult centered = center(problem, x, t, options);
+    const CenterResult centered = center(problem, x, t, options, buf);
     total_newton += centered.newton_steps;
+    ws.stats().newton_steps += centered.newton_steps;
     if (!centered.ok) {
       // Late-stage numerical trouble (barrier Hessian overflow near the
       // boundary). If an earlier stage already certified a decent gap, the
@@ -320,7 +332,7 @@ class LiftedConstraint final : public ScalarFunction {
 
 std::optional<linalg::Vector> find_strictly_feasible(
     const BarrierProblem& problem, const linalg::Vector& x0, double margin,
-    const BarrierOptions& options) {
+    const BarrierOptions& options, SolverWorkspace* workspace) {
   problem.validate();
   const std::size_t n = problem.num_variables();
   if (x0.size() != n) {
@@ -367,7 +379,7 @@ std::optional<linalg::Vector> find_strictly_feasible(
   // We only need tau < -margin, not an exact minimum; loosen the gap target.
   BarrierOptions phase1 = options;
   phase1.tolerance = std::max(options.tolerance, margin * 0.5);
-  const Solution sol = solve_barrier(lifted, xt, phase1);
+  const Solution sol = solve_barrier(lifted, xt, phase1, workspace);
 
   linalg::Vector x(n);
   for (std::size_t i = 0; i < n; ++i) x[i] = sol.x[i];

@@ -20,6 +20,7 @@
 
 #include "convex/functions.hpp"
 #include "convex/problem.hpp"
+#include "convex/workspace.hpp"
 
 namespace protemp::convex {
 
@@ -57,8 +58,14 @@ struct BarrierOptions {
 /// problem.strictly_feasible(x0) — throws std::invalid_argument otherwise.
 /// On success, Solution::ineq_duals holds the barrier estimates of the KKT
 /// multipliers, ordered nonlinear constraints first, then linear rows.
+///
+/// `workspace` (optional) supplies the centering loop's buffers so repeated
+/// solves allocate nothing; warm-start *seeding* stays with the caller — to
+/// warm-start, pass the previous optimum (checked strictly feasible) as x0.
+/// A null workspace uses a throwaway one (one allocation set per solve).
 Solution solve_barrier(const BarrierProblem& problem, const linalg::Vector& x0,
-                       const BarrierOptions& options = {});
+                       const BarrierOptions& options = {},
+                       SolverWorkspace* workspace = nullptr);
 
 /// Phase-I: finds a strictly feasible point by minimizing the worst
 /// violation. `x0` only needs to lie in the domain of every constraint
@@ -67,6 +74,7 @@ Solution solve_barrier(const BarrierProblem& problem, const linalg::Vector& x0,
 /// infeasible to that margin).
 std::optional<linalg::Vector> find_strictly_feasible(
     const BarrierProblem& problem, const linalg::Vector& x0,
-    double margin = 1e-9, const BarrierOptions& options = {});
+    double margin = 1e-9, const BarrierOptions& options = {},
+    SolverWorkspace* workspace = nullptr);
 
 }  // namespace protemp::convex

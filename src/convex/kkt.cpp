@@ -39,7 +39,7 @@ KktResiduals check_kkt(const BarrierProblem& problem, const linalg::Vector& x,
       out.complementarity =
           std::max(out.complementarity, std::abs(z[i] * r[i]));
     }
-    stat += problem.linear->g.multiply_transposed(z);
+    problem.linear->g.multiply_transposed_add_into(z, stat);
   }
   out.stationarity = stat.norm_inf();
   out.primal_infeasibility = std::max(0.0, out.primal_infeasibility);
@@ -55,12 +55,12 @@ KktResiduals check_kkt(const QpProblem& problem, const linalg::Vector& x,
   KktResiduals out;
 
   linalg::Vector stat = problem.q;
-  if (problem.p.rows() == n) stat += problem.p * x;
+  if (problem.p.rows() == n) problem.p.multiply_add_into(x, stat);
   if (problem.num_inequalities() > 0) {
     if (ineq_duals.size() != problem.num_inequalities()) {
       throw std::invalid_argument("check_kkt: ineq dual size mismatch");
     }
-    stat += problem.g.multiply_transposed(ineq_duals);
+    problem.g.multiply_transposed_add_into(ineq_duals, stat);
     const linalg::Vector r = problem.g * x - problem.h;
     for (std::size_t i = 0; i < r.size(); ++i) {
       out.primal_infeasibility = std::max(out.primal_infeasibility, r[i]);
@@ -74,7 +74,7 @@ KktResiduals check_kkt(const QpProblem& problem, const linalg::Vector& x,
     if (eq_duals.size() != problem.num_equalities()) {
       throw std::invalid_argument("check_kkt: eq dual size mismatch");
     }
-    stat += problem.a.multiply_transposed(eq_duals);
+    problem.a.multiply_transposed_add_into(eq_duals, stat);
     const linalg::Vector r = problem.a * x - problem.b;
     out.primal_infeasibility =
         std::max(out.primal_infeasibility, r.norm_inf());

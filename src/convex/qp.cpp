@@ -32,29 +32,35 @@ struct KktSolver {
   //   [ P + G^T W G   A^T ] [dx]   [r1]
   //   [ A             0   ] [dy] = [r2]
   // with W = diag(z/s). Uses Cholesky when there are no equalities, LDLT
-  // otherwise. Retries with growing ridge on factorization failure.
+  // otherwise. Retries with growing ridge on factorization failure. The
+  // condensed matrix and Cholesky factor live in the workspace, so repeated
+  // factorize() calls (per IPM iteration and across solves) reuse storage.
   const QpProblem& qp;
   double base_ridge;
-  linalg::Matrix h_mat;           // P + G^T W G (n x n)
-  std::optional<linalg::Cholesky> chol;
+  linalg::Matrix& h_mat;     // P + G^T W G (n x n), workspace-owned
+  linalg::Cholesky& chol;    // its factor storage, workspace-owned
   std::optional<linalg::Ldlt> ldlt;
   std::size_t n = 0, p = 0;
 
-  explicit KktSolver(const QpProblem& problem, double ridge)
-      : qp(problem), base_ridge(ridge) {}
+  KktSolver(const QpProblem& problem, double ridge,
+            SolverWorkspace::QpBuffers& buffers)
+      : qp(problem), base_ridge(ridge), h_mat(buffers.h_mat),
+        chol(buffers.factor) {}
 
   bool factorize(const linalg::Vector& w) {
     n = qp.num_variables();
     p = qp.num_equalities();
-    h_mat = (qp.num_inequalities() > 0) ? qp.g.gram_weighted(w)
-                                        : linalg::Matrix(n, n);
+    if (qp.num_inequalities() > 0) {
+      qp.g.gram_weighted_into(w, h_mat);
+    } else {
+      h_mat.resize(n, n);
+    }
     if (qp.p.rows() == n) h_mat += qp.p;
 
     double ridge = base_ridge;
     for (int attempt = 0; attempt < 8; ++attempt, ridge *= 100.0) {
       if (p == 0) {
-        chol = linalg::Cholesky::factor_regularized(h_mat, ridge);
-        if (chol) return true;
+        if (chol.refactor(h_mat, ridge)) return true;
       } else {
         linalg::Matrix kkt(n + p, n + p);
         for (std::size_t i = 0; i < n; ++i) {
@@ -79,7 +85,7 @@ struct KktSolver {
   std::pair<linalg::Vector, linalg::Vector> solve(
       const linalg::Vector& r1, const linalg::Vector& r2) const {
     if (p == 0) {
-      return {chol->solve(r1), linalg::Vector{}};
+      return {chol.solve(r1), linalg::Vector{}};
     }
     linalg::Vector rhs(n + p);
     for (std::size_t i = 0; i < n; ++i) rhs[i] = r1[i];
@@ -108,11 +114,15 @@ void QpProblem::validate() const {
   if (n == 0) throw std::invalid_argument("QpProblem: no variables");
 }
 
-Solution solve_qp(const QpProblem& qp, const QpOptions& options) {
+Solution solve_qp(const QpProblem& qp, const QpOptions& options,
+                  SolverWorkspace* workspace) {
   qp.validate();
   const std::size_t n = qp.num_variables();
   const std::size_t m = qp.num_inequalities();
   const std::size_t p = qp.num_equalities();
+
+  SolverWorkspace scratch_workspace;
+  SolverWorkspace& ws = workspace ? *workspace : scratch_workspace;
 
   const auto objective = [&](const linalg::Vector& x) {
     double obj = qp.q.dot(x);
@@ -124,7 +134,7 @@ Solution solve_qp(const QpProblem& qp, const QpOptions& options) {
 
   // No inequalities: the KKT system is linear; solve it directly.
   if (m == 0) {
-    KktSolver kkt(qp, options.ridge);
+    KktSolver kkt(qp, options.ridge, ws.qp());
     if (!kkt.factorize(linalg::Vector{})) {
       result.status = SolveStatus::kNumericalFailure;
       return result;
@@ -154,15 +164,25 @@ Solution solve_qp(const QpProblem& qp, const QpOptions& options) {
       1.0 + std::max({qp.q.norm_inf(), qp.h.size() ? qp.h.norm_inf() : 0.0,
                       qp.b.size() ? qp.b.norm_inf() : 0.0});
 
+  // Iteration-loop state hoisted so the residual recomputation per
+  // iteration reuses storage; the factorization buffers live in `ws`.
+  KktSolver kkt(qp, options.ridge, ws.qp());
+  linalg::Vector r_dual, r_pri, r_eq, w(m);
+
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Residuals.
-    linalg::Vector r_dual = qp.q;  // P x + q + G^T z + A^T y
-    if (qp.p.rows() == n) r_dual += qp.p * x;
-    r_dual += qp.g.multiply_transposed(z);
-    if (p > 0) r_dual += qp.a.multiply_transposed(y);
+    r_dual = qp.q;  // P x + q + G^T z + A^T y
+    if (qp.p.rows() == n) qp.p.multiply_add_into(x, r_dual);
+    qp.g.multiply_transposed_add_into(z, r_dual);
+    if (p > 0) qp.a.multiply_transposed_add_into(y, r_dual);
 
-    linalg::Vector r_pri = qp.g * x + s - qp.h;              // = 0 at opt
-    linalg::Vector r_eq = (p > 0) ? qp.a * x - qp.b : linalg::Vector{};
+    qp.g.multiply_into(x, r_pri);  // G x + s - h = 0 at opt
+    r_pri += s;
+    r_pri -= qp.h;
+    if (p > 0) {
+      qp.a.multiply_into(x, r_eq);
+      r_eq -= qp.b;
+    }
 
     const double mu = s.dot(z) / static_cast<double>(m);
     const double res_d = r_dual.norm_inf();
@@ -198,9 +218,7 @@ Solution solve_qp(const QpProblem& qp, const QpOptions& options) {
     }
 
     // Factor the condensed KKT matrix with W = diag(z / s).
-    linalg::Vector w(m);
     for (std::size_t i = 0; i < m; ++i) w[i] = z[i] / s[i];
-    KktSolver kkt(qp, options.ridge);
     if (!kkt.factorize(w)) {
       result.status = SolveStatus::kNumericalFailure;
       result.x = x;

@@ -19,6 +19,7 @@
 #include <optional>
 
 #include "convex/problem.hpp"
+#include "convex/workspace.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
@@ -52,6 +53,11 @@ struct QpProblem {
 /// Solves the QP. Infeasibility is reported as kInfeasible when the iterates
 /// diverge with growing primal residual (heuristic certificate; exact Farkas
 /// certificates are out of scope for this dense solver).
-Solution solve_qp(const QpProblem& problem, const QpOptions& options = {});
+///
+/// `workspace` (optional) keeps the condensed normal-equations matrix and
+/// its Cholesky factor storage alive across iterations *and* across solves
+/// of same-shaped problems; a null workspace uses a throwaway one.
+Solution solve_qp(const QpProblem& problem, const QpOptions& options = {},
+                  SolverWorkspace* workspace = nullptr);
 
 }  // namespace protemp::convex

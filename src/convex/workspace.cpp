@@ -1,0 +1,20 @@
+#include "convex/workspace.hpp"
+
+namespace protemp::convex {
+
+const linalg::Vector* SolverWorkspace::hint(Slot slot) const noexcept {
+  if (!warm_start_ || slot >= kNumSlots || !has_hint_[slot]) return nullptr;
+  return &hints_[slot];
+}
+
+void SolverWorkspace::remember(Slot slot, const linalg::Vector& x) {
+  if (slot >= kNumSlots) return;
+  hints_[slot] = x;
+  has_hint_[slot] = true;
+}
+
+void SolverWorkspace::forget() noexcept {
+  has_hint_.fill(false);
+}
+
+}  // namespace protemp::convex

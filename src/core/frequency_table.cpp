@@ -42,13 +42,18 @@ FrequencyTable::FrequencyTable(std::vector<double> tstart_grid,
 FrequencyTable FrequencyTable::build(const ProTempOptimizer& optimizer,
                                      std::vector<double> tstart_grid,
                                      std::vector<double> ftarget_grid,
-                                     const BuildObserver& observer) {
+                                     const BuildObserver& observer,
+                                     convex::SolverWorkspace* workspace) {
   FrequencyTable table(std::move(tstart_grid), std::move(ftarget_grid),
                        optimizer.num_cores());
+  convex::SolverWorkspace local_workspace(optimizer.config().warm_start);
+  convex::SolverWorkspace& ws = workspace ? *workspace : local_workspace;
   for (std::size_t r = 0; r < table.rows(); ++r) {
-    for (std::size_t c = 0; c < table.cols(); ++c) {
+    // Descending ftarget: each optimum stays strictly feasible at the next
+    // (smaller) target, making it a reliable warm seed.
+    for (std::size_t c = table.cols(); c-- > 0;) {
       const FrequencyAssignment result = optimizer.solve(
-          table.tstart_grid_[r], table.ftarget_grid_[c]);
+          table.tstart_grid_[r], table.ftarget_grid_[c], &ws);
       if (observer) observer(r, c, result);
       if (result.feasible) {
         table.set_cell(r, c,

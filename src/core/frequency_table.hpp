@@ -39,10 +39,18 @@ class FrequencyTable {
                  std::vector<double> ftarget_grid, std::size_t num_cores);
 
   /// Runs the optimizer over the full grid. Infeasible cells stay empty.
+  ///
+  /// Cells are solved row-major with the ftarget axis swept *descending*:
+  /// lowering the target only relaxes the workload constraint, so each
+  /// optimum is a strictly feasible warm seed for the next cell. `workspace`
+  /// carries those seeds (plus all solver buffers) between cells; when null,
+  /// build owns a private workspace honouring optimizer.config().warm_start.
+  /// Cells are independent, so the sweep order never changes the table.
   static FrequencyTable build(const ProTempOptimizer& optimizer,
                               std::vector<double> tstart_grid,
                               std::vector<double> ftarget_grid,
-                              const BuildObserver& observer = nullptr);
+                              const BuildObserver& observer = nullptr,
+                              convex::SolverWorkspace* workspace = nullptr);
 
   std::size_t rows() const noexcept { return tstart_grid_.size(); }
   std::size_t cols() const noexcept { return ftarget_grid_.size(); }

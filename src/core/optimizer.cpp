@@ -215,7 +215,8 @@ linalg::Vector ProTempOptimizer::rhs_for_state(
 }
 
 std::optional<linalg::Vector> ProTempOptimizer::feasible_start(
-    const convex::LinearConstraints& lin) const {
+    const convex::LinearConstraints& lin,
+    convex::SolverWorkspace* workspace) const {
   // Near-zero sigma is strictly feasible for the thermal rows whenever the
   // point is feasible at all (temperatures are monotone in power); tgrad
   // starts above the largest zero-power pairwise gap.
@@ -247,21 +248,70 @@ std::optional<linalg::Vector> ProTempOptimizer::feasible_start(
   linalg::Vector c(num_vars_);
   probe.objective = std::make_shared<convex::AffineFunction>(c, 0.0);
   probe.linear = lin;
-  return convex::find_strictly_feasible(probe, x, 1e-12, config_.solver);
+  return convex::find_strictly_feasible(probe, x, 1e-12, config_.solver,
+                                        workspace);
 }
 
-FrequencyAssignment ProTempOptimizer::solve(double tstart_celsius,
-                                            double ftarget_hz) const {
-  return solve_with_rhs(rhs_for(tstart_celsius), ftarget_hz);
+bool ProTempOptimizer::try_warm_start(const convex::BarrierProblem& problem,
+                                      convex::SolverWorkspace* workspace,
+                                      convex::SolverWorkspace::Slot slot,
+                                      linalg::Vector& x0) const {
+  if (workspace == nullptr || !workspace->warm_start_enabled() ||
+      !config_.warm_start) {
+    return false;
+  }
+  const linalg::Vector* hint = workspace->hint(slot);
+  if (hint == nullptr || hint->size() != num_vars_) return false;
+
+  // The raw hint sits on the boundary of its own problem; a shifted rhs can
+  // leave it slightly infeasible. Blending toward a deep-interior sigma
+  // (with tgrad nudged *up*, which only relaxes the gradient rows) restores
+  // a margin while staying near the old optimum.
+  linalg::Vector interior(num_vars_);
+  for (std::size_t v = 0; v < num_sigma_; ++v) {
+    interior[v] = std::max(config_.sigma_floor * 4.0, 1e-8);
+  }
+  if (has_tgrad_) {
+    interior[num_sigma_] = (*hint)[num_sigma_] * 1.05 + 0.1;
+  }
+  for (const double lambda : {0.0, 0.05, 0.25}) {
+    linalg::Vector candidate = *hint;
+    candidate *= 1.0 - lambda;
+    candidate.axpy(lambda, interior);
+    if (problem.strictly_feasible(candidate)) {
+      x0 = std::move(candidate);
+      ++workspace->stats().warm_started;
+      return true;
+    }
+  }
+  ++workspace->stats().warm_rejected;
+  return false;
+}
+
+convex::BarrierOptions ProTempOptimizer::warm_options() const {
+  // The warm seed is near-optimal, so skip the early wide-gap stages: start
+  // the outer loop where the certified gap is already ~1e-3 instead of ~m.
+  convex::BarrierOptions options = config_.solver;
+  const double m = static_cast<double>(g_.rows() + 1);
+  options.t_initial = std::max(options.t_initial, m * 1e3);
+  return options;
+}
+
+FrequencyAssignment ProTempOptimizer::solve(
+    double tstart_celsius, double ftarget_hz,
+    convex::SolverWorkspace* workspace) const {
+  return solve_with_rhs(rhs_for(tstart_celsius), ftarget_hz, workspace);
 }
 
 FrequencyAssignment ProTempOptimizer::solve_from_state(
-    const linalg::Vector& node_temps, double ftarget_hz) const {
-  return solve_with_rhs(rhs_for_state(node_temps), ftarget_hz);
+    const linalg::Vector& node_temps, double ftarget_hz,
+    convex::SolverWorkspace* workspace) const {
+  return solve_with_rhs(rhs_for_state(node_temps), ftarget_hz, workspace);
 }
 
-FrequencyAssignment ProTempOptimizer::solve_with_rhs(linalg::Vector rhs,
-                                                     double ftarget_hz) const {
+FrequencyAssignment ProTempOptimizer::solve_with_rhs(
+    linalg::Vector rhs, double ftarget_hz,
+    convex::SolverWorkspace* workspace) const {
   const auto t0 = std::chrono::steady_clock::now();
   FrequencyAssignment out;
 
@@ -301,37 +351,83 @@ FrequencyAssignment ProTempOptimizer::solve_with_rhs(linalg::Vector rhs,
     return out;
   };
 
-  // Strictly feasible start for the thermal rows...
-  const auto start = feasible_start(lin);
-  if (!start) return finish(convex::SolveStatus::kInfeasible);
+  // Warm path: seed from the previous optimum, skipping both the
+  // feasible-start search and the throughput lift solve below.
+  linalg::Vector x0;
+  out.warm_started = try_warm_start(
+      problem, workspace, convex::SolverWorkspace::kMain, x0);
 
-  linalg::Vector x0 = *start;
-  if (phi > 0.0 && !problem.strictly_feasible(x0)) {
-    // ...then lift it over the workload constraint: push sigma up along the
-    // max-throughput direction. Maximize sum sqrt(sigma) subject to the
-    // thermal rows; its optimizer is strictly feasible for them, and if even
-    // it cannot meet the workload the point is infeasible.
-    convex::BarrierProblem throughput;
-    throughput.objective =
-        std::make_shared<NegSqrtSum>(num_vars_, num_sigma_, 0.0, ws_scale);
-    throughput.linear = lin;
-    const convex::Solution sol =
-        convex::solve_barrier(throughput, x0, config_.solver);
-    out.newton_iterations += sol.iterations;
-    if (sol.status != convex::SolveStatus::kOptimal) {
-      return finish(sol.status);
+  if (!out.warm_started) {
+    // Strictly feasible start for the thermal rows...
+    const auto start = feasible_start(lin, workspace);
+    if (!start) return finish(convex::SolveStatus::kInfeasible);
+
+    x0 = *start;
+    if (phi > 0.0 && !problem.strictly_feasible(x0)) {
+      // ...then lift it over the workload constraint: push sigma up along
+      // the max-throughput direction. Maximize sum sqrt(sigma) subject to
+      // the thermal rows; its optimizer is strictly feasible for them, and
+      // if even it cannot meet the workload the point is infeasible.
+      convex::BarrierProblem throughput;
+      throughput.objective =
+          std::make_shared<NegSqrtSum>(num_vars_, num_sigma_, 0.0, ws_scale);
+      throughput.linear = lin;
+      linalg::Vector lift_x0;
+      const bool lift_warm = try_warm_start(
+          throughput, workspace, convex::SolverWorkspace::kThroughput,
+          lift_x0);
+      if (!lift_warm) lift_x0 = x0;
+      const convex::Solution sol = convex::solve_barrier(
+          throughput, lift_x0, lift_warm ? warm_options() : config_.solver,
+          workspace);
+      out.newton_iterations += sol.iterations;
+      if (sol.status != convex::SolveStatus::kOptimal) {
+        if (lift_warm) {
+          // Stale throughput seed: drop hints, retry fully cold (the
+          // recursion terminates — no hints survive forget()).
+          workspace->forget();
+          const double wasted =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0).count();
+          FrequencyAssignment retry =
+              solve_with_rhs(std::move(lin.h), ftarget_hz, workspace);
+          retry.newton_iterations += out.newton_iterations;
+          retry.solve_seconds += wasted;
+          return retry;
+        }
+        return finish(sol.status);
+      }
+      if (!problem.strictly_feasible(sol.x)) {
+        return finish(convex::SolveStatus::kInfeasible);
+      }
+      if (workspace) {
+        workspace->remember(convex::SolverWorkspace::kThroughput, sol.x);
+      }
+      x0 = sol.x;
     }
-    if (!problem.strictly_feasible(sol.x)) {
-      return finish(convex::SolveStatus::kInfeasible);
-    }
-    x0 = sol.x;
   }
 
-  const convex::Solution sol = convex::solve_barrier(problem, x0, config_.solver);
+  const convex::Solution sol = convex::solve_barrier(
+      problem, x0, out.warm_started ? warm_options() : config_.solver,
+      workspace);
   out.newton_iterations += sol.iterations;
   if (sol.status != convex::SolveStatus::kOptimal) {
+    // A stale warm seed must never turn a solvable point into a failure:
+    // drop the hint and retry once from the cold path before reporting.
+    if (out.warm_started) {
+      if (workspace) workspace->forget();
+      const double wasted =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      FrequencyAssignment retry =
+          solve_with_rhs(std::move(lin.h), ftarget_hz, workspace);
+      retry.newton_iterations += out.newton_iterations;
+      retry.solve_seconds += wasted;
+      return retry;
+    }
     return finish(sol.status);
   }
+  if (workspace) workspace->remember(convex::SolverWorkspace::kMain, sol.x);
 
   out.feasible = true;
   out.frequencies = linalg::Vector(num_cores_);
@@ -356,21 +452,22 @@ FrequencyAssignment ProTempOptimizer::solve_with_rhs(linalg::Vector rhs,
 }
 
 std::optional<ProTempOptimizer::ThroughputResult>
-ProTempOptimizer::max_supported_frequency(double tstart_celsius) const {
-  return max_throughput_with_rhs(rhs_for(tstart_celsius));
+ProTempOptimizer::max_supported_frequency(
+    double tstart_celsius, convex::SolverWorkspace* workspace) const {
+  return max_throughput_with_rhs(rhs_for(tstart_celsius), workspace);
 }
 
 std::optional<ProTempOptimizer::ThroughputResult>
 ProTempOptimizer::max_supported_frequency_from_state(
-    const linalg::Vector& node_temps) const {
-  return max_throughput_with_rhs(rhs_for_state(node_temps));
+    const linalg::Vector& node_temps,
+    convex::SolverWorkspace* workspace) const {
+  return max_throughput_with_rhs(rhs_for_state(node_temps), workspace);
 }
 
 std::optional<ProTempOptimizer::ThroughputResult>
-ProTempOptimizer::max_throughput_with_rhs(linalg::Vector rhs) const {
+ProTempOptimizer::max_throughput_with_rhs(
+    linalg::Vector rhs, convex::SolverWorkspace* workspace) const {
   convex::LinearConstraints lin{g_, std::move(rhs)};
-  const auto start = feasible_start(lin);
-  if (!start) return std::nullopt;
 
   const double ws_scale =
       config_.uniform_frequency ? static_cast<double>(num_cores_) : 1.0;
@@ -378,9 +475,29 @@ ProTempOptimizer::max_throughput_with_rhs(linalg::Vector rhs) const {
   throughput.objective =
       std::make_shared<NegSqrtSum>(num_vars_, num_sigma_, 0.0, ws_scale);
   throughput.linear = lin;
-  const convex::Solution sol =
-      convex::solve_barrier(throughput, *start, config_.solver);
+
+  linalg::Vector x0;
+  const bool warm = try_warm_start(
+      throughput, workspace, convex::SolverWorkspace::kThroughput, x0);
+  if (!warm) {
+    const auto start = feasible_start(lin, workspace);
+    if (!start) return std::nullopt;
+    x0 = *start;
+  }
+  convex::Solution sol = convex::solve_barrier(
+      throughput, x0, warm ? warm_options() : config_.solver, workspace);
+  if (warm && sol.status != convex::SolveStatus::kOptimal) {
+    // Stale warm seed: drop it and retry cold (see solve_with_rhs).
+    if (workspace) workspace->forget();
+    const auto start = feasible_start(lin, workspace);
+    if (!start) return std::nullopt;
+    sol = convex::solve_barrier(throughput, *start, config_.solver,
+                                workspace);
+  }
   if (sol.status != convex::SolveStatus::kOptimal) return std::nullopt;
+  if (workspace) {
+    workspace->remember(convex::SolverWorkspace::kThroughput, sol.x);
+  }
 
   ThroughputResult out;
   out.frequencies = linalg::Vector(num_cores_);

@@ -57,6 +57,12 @@ struct ProTempConfig {
   /// row sum_i p_i <= budget to the program.
   std::optional<double> power_budget_watts;
 
+  /// Seed successive solves from the previous optimum when the caller
+  /// supplies a SolverWorkspace (table sweep points, simulation steps).
+  /// Warm and cold paths converge to the same optimum (within the solver
+  /// tolerance); the golden-trace and property tests pin both.
+  bool warm_start = true;
+
   convex::BarrierOptions solver;
 };
 
@@ -70,6 +76,7 @@ struct FrequencyAssignment {
   double tgrad = 0.0;              ///< achieved gradient bound [K] (if on)
   std::size_t newton_iterations = 0;
   double solve_seconds = 0.0;
+  bool warm_started = false;       ///< seeded from a workspace hint
 };
 
 class ProTempOptimizer {
@@ -80,16 +87,24 @@ class ProTempOptimizer {
 
   /// Solves the program for one (tstart, ftarget) point — every thermal
   /// node assumed to start at `tstart` (worst case; Phase-1 table entries).
-  FrequencyAssignment solve(double tstart_celsius,
-                            double ftarget_hz) const;
+  ///
+  /// `workspace` (optional, all solve entry points): reusable buffers plus
+  /// warm-start memory for a *sequence* of related solves. The optimizer
+  /// itself stays immutable and thread-safe; all mutable solve state lives
+  /// in the caller-owned workspace, so concurrent callers simply keep one
+  /// workspace each (never share one across threads).
+  FrequencyAssignment solve(double tstart_celsius, double ftarget_hz,
+                            convex::SolverWorkspace* workspace = nullptr)
+      const;
 
   /// Online (MPC-style) variant: solves from an arbitrary measured initial
   /// state (one temperature per thermal node, spreader/sink included).
   /// Strictly less conservative than solve() keyed on max(t0): the affine
   /// horizon maps propagate the true non-uniform state. Extension beyond
   /// the paper's table-lookup Phase 2; see OnlineProTempPolicy.
-  FrequencyAssignment solve_from_state(const linalg::Vector& node_temps,
-                                       double ftarget_hz) const;
+  FrequencyAssignment solve_from_state(
+      const linalg::Vector& node_temps, double ftarget_hz,
+      convex::SolverWorkspace* workspace = nullptr) const;
 
   /// Highest supportable average frequency [Hz] from `tstart` (Fig. 9), or
   /// std::nullopt if even near-zero frequencies violate the constraints.
@@ -99,10 +114,12 @@ class ProTempOptimizer {
     linalg::Vector frequencies;
   };
   std::optional<ThroughputResult> max_supported_frequency(
-      double tstart_celsius) const;
+      double tstart_celsius,
+      convex::SolverWorkspace* workspace = nullptr) const;
   /// Same, from an arbitrary measured initial state.
   std::optional<ThroughputResult> max_supported_frequency_from_state(
-      const linalg::Vector& node_temps) const;
+      const linalg::Vector& node_temps,
+      convex::SolverWorkspace* workspace = nullptr) const;
 
   const ProTempConfig& config() const noexcept { return config_; }
   std::size_t horizon_steps() const noexcept { return steps_; }
@@ -121,12 +138,24 @@ class ProTempOptimizer {
   /// A strictly feasible starting sigma (+ tgrad) for the thermal rows, or
   /// nullopt if none exists.
   std::optional<linalg::Vector> feasible_start(
-      const convex::LinearConstraints& lin) const;
+      const convex::LinearConstraints& lin,
+      convex::SolverWorkspace* workspace) const;
+  /// Seeds `x0` from the workspace hint in `slot` if one exists and is
+  /// strictly feasible for `problem` (blending slightly toward the interior
+  /// when the raw hint has lost its margin to the rhs shift). Updates the
+  /// workspace warm-start counters.
+  bool try_warm_start(const convex::BarrierProblem& problem,
+                      convex::SolverWorkspace* workspace,
+                      convex::SolverWorkspace::Slot slot,
+                      linalg::Vector& x0) const;
+  /// Barrier options for a warm-started solve: the seed is near-optimal, so
+  /// the outer loop starts at a sharper barrier parameter.
+  convex::BarrierOptions warm_options() const;
   /// Shared solve paths once the rhs is fixed.
-  FrequencyAssignment solve_with_rhs(linalg::Vector rhs,
-                                     double ftarget_hz) const;
+  FrequencyAssignment solve_with_rhs(linalg::Vector rhs, double ftarget_hz,
+                                     convex::SolverWorkspace* workspace) const;
   std::optional<ThroughputResult> max_throughput_with_rhs(
-      linalg::Vector rhs) const;
+      linalg::Vector rhs, convex::SolverWorkspace* workspace) const;
 
   const arch::Platform& platform_;
   ProTempConfig config_;

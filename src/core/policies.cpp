@@ -10,6 +10,15 @@ OnlineProTempPolicy::OnlineProTempPolicy(
   if (!optimizer_) {
     throw std::invalid_argument("OnlineProTempPolicy: null optimizer");
   }
+  workspace_.set_warm_start(optimizer_->config().warm_start);
+}
+
+void OnlineProTempPolicy::reset() {
+  stats_ = {};
+  // A new run is a new trajectory: stale seeds from the previous run must
+  // not leak into its first window.
+  workspace_.forget();
+  workspace_.stats() = {};
 }
 
 linalg::Vector OnlineProTempPolicy::on_window(
@@ -29,14 +38,16 @@ linalg::Vector OnlineProTempPolicy::on_window(
 
   const double required = sim::required_average_frequency(view);
   const FrequencyAssignment result =
-      optimizer_->solve_from_state(t0, required);
+      optimizer_->solve_from_state(t0, required, &workspace_);
   stats_.solve_seconds += result.solve_seconds;
+  if (result.warm_started) ++stats_.warm_started;
   if (result.feasible) return result.frequencies;
 
   // Demand exceeds what this state can safely serve: run the highest safe
   // throughput instead (the online analog of the table's column fallback).
   ++stats_.infeasible;
-  const auto best = optimizer_->max_supported_frequency_from_state(t0);
+  const auto best =
+      optimizer_->max_supported_frequency_from_state(t0, &workspace_);
   if (best) return best->frequencies;
   return linalg::Vector(view.num_cores, 0.0);
 }

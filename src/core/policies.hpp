@@ -63,21 +63,29 @@ class OnlineProTempPolicy final : public sim::DfsPolicy {
  public:
   struct Stats {
     std::size_t windows = 0;
-    std::size_t infeasible = 0;  ///< fell back to all-cores-off
-    double solve_seconds = 0.0;  ///< cumulative optimizer time
+    std::size_t infeasible = 0;    ///< fell back to all-cores-off
+    std::size_t warm_started = 0;  ///< windows seeded from the previous one
+    double solve_seconds = 0.0;    ///< cumulative optimizer time
   };
 
   /// The optimizer's platform must match the simulated platform.
   explicit OnlineProTempPolicy(std::shared_ptr<const ProTempOptimizer> opt);
 
   std::string name() const override { return "pro-temp-online"; }
-  void reset() override { stats_ = {}; }
+  void reset() override;
   linalg::Vector on_window(const sim::ControllerView& view) override;
 
   const Stats& stats() const noexcept { return stats_; }
+  /// The per-instance solver workspace (successive windows warm-start each
+  /// other). Policy instances are never shared across threads, so neither
+  /// is this.
+  const convex::SolverWorkspace& workspace() const noexcept {
+    return workspace_;
+  }
 
  private:
   std::shared_ptr<const ProTempOptimizer> optimizer_;
+  convex::SolverWorkspace workspace_;
   Stats stats_;
 };
 

@@ -5,56 +5,89 @@
 namespace protemp::linalg {
 
 std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
-  if (!a.square()) {
-    throw std::invalid_argument("Cholesky: matrix must be square");
-  }
-  const std::size_t n = a.rows();
-  Matrix l(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
-    const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
-      const double* li = l.row_data(i);
-      const double* lj = l.row_data(j);
-      for (std::size_t k = 0; k < j; ++k) acc -= li[k] * lj[k];
-      l(i, j) = acc / ljj;
-    }
-  }
-  return Cholesky(std::move(l));
+  Cholesky out{Matrix{}};
+  if (!out.refactor(a, 0.0)) return std::nullopt;
+  return out;
 }
 
 std::optional<Cholesky> Cholesky::factor_regularized(const Matrix& a,
                                                      double ridge) {
-  Matrix reg = a;
-  for (std::size_t i = 0; i < reg.rows(); ++i) reg(i, i) += ridge;
-  return factor(reg);
+  Cholesky out{Matrix{}};
+  if (!out.refactor(a, ridge)) return std::nullopt;
+  return out;
+}
+
+bool Cholesky::refactor(const Matrix& a, double ridge) {
+  if (!a.square()) {
+    throw std::invalid_argument("Cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  l_.resize(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + ridge;
+    const double* lj = l_.row_data(j);
+    for (std::size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      const double* li = l_.row_data(i);
+      for (std::size_t k = 0; k < j; ++k) acc -= li[k] * lj[k];
+      l_(i, j) = acc / ljj;
+    }
+  }
+  return true;
 }
 
 Vector Cholesky::solve(const Vector& b) const {
+  Vector x;
+  solve_into(b, x);
+  return x;
+}
+
+void Cholesky::solve_into(const Vector& b, Vector& x) const {
   const std::size_t n = l_.rows();
   if (b.size() != n) {
     throw std::invalid_argument("Cholesky::solve: dimension mismatch");
   }
-  // Forward substitution: L y = b.
-  Vector y(n);
+  // Forward substitution L y = b, with y living in x's storage.
+  x.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
     const double* li = l_.row_data(i);
-    for (std::size_t k = 0; k < i; ++k) acc -= li[k] * y[k];
-    y[i] = acc / li[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= li[k] * x[k];
+    x[i] = acc / li[i];
   }
-  // Back substitution: L^T x = y.
-  Vector x(n);
+  // Back substitution L^T x = y, overwriting top-down-safe entries.
   for (std::size_t ii = n; ii-- > 0;) {
-    double acc = y[ii];
+    double acc = x[ii];
     for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
     x[ii] = acc / l_(ii, ii);
   }
-  return x;
+}
+
+void Cholesky::rank_one_update(const Vector& v, Vector& scratch) {
+  const std::size_t n = l_.rows();
+  if (v.size() != n) {
+    throw std::invalid_argument("Cholesky::rank_one_update: size mismatch");
+  }
+  scratch.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = v[i];
+  // Classic hyperbolic-rotation sweep (Golub & Van Loan sec. 6.5.4): after
+  // column k the trailing factor is exact for the updated matrix.
+  for (std::size_t k = 0; k < n; ++k) {
+    const double lkk = l_(k, k);
+    const double wk = scratch[k];
+    const double r = std::sqrt(lkk * lkk + wk * wk);
+    const double c = r / lkk;
+    const double s = wk / lkk;
+    l_(k, k) = r;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      l_(i, k) = (l_(i, k) + s * scratch[i]) / c;
+      scratch[i] = c * scratch[i] - s * l_(i, k);
+    }
+  }
 }
 
 Matrix Cholesky::solve(const Matrix& b) const {

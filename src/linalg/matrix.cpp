@@ -94,36 +94,64 @@ Matrix& Matrix::operator*=(double scale) noexcept {
   return *this;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+void Matrix::set_zero() noexcept {
+  std::fill(data_.begin(), data_.end(), 0.0);
+}
+
 Vector Matrix::multiply(const Vector& x) const {
-  if (x.size() != cols_) {
+  Vector y;
+  multiply_into(x, y);
+  return y;
+}
+
+void Matrix::multiply_into(const Vector& x, Vector& out) const {
+  out.resize(rows_);
+  multiply_add_into(x, out);
+}
+
+void Matrix::multiply_add_into(const Vector& x, Vector& out) const {
+  if (x.size() != cols_ || out.size() != rows_) {
     throw std::invalid_argument("Matrix*Vector: shape mismatch " +
                                 shape_string() + " vs vector of size " +
                                 std::to_string(x.size()));
   }
-  Vector y(rows_);
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* r = row_data(i);
     double acc = 0.0;
     for (std::size_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
-    y[i] = acc;
+    out[i] += acc;
   }
-  return y;
 }
 
 Vector Matrix::multiply_transposed(const Vector& x) const {
-  if (x.size() != rows_) {
+  Vector y;
+  multiply_transposed_into(x, y);
+  return y;
+}
+
+void Matrix::multiply_transposed_into(const Vector& x, Vector& out) const {
+  out.resize(cols_);
+  multiply_transposed_add_into(x, out);
+}
+
+void Matrix::multiply_transposed_add_into(const Vector& x, Vector& out) const {
+  if (x.size() != rows_ || out.size() != cols_) {
     throw std::invalid_argument("Matrix^T*Vector: shape mismatch " +
                                 shape_string() + " vs vector of size " +
                                 std::to_string(x.size()));
   }
-  Vector y(cols_);
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* r = row_data(i);
     const double xi = x[i];
     if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < cols_; ++j) y[j] += r[j] * xi;
+    for (std::size_t j = 0; j < cols_; ++j) out[j] += r[j] * xi;
   }
-  return y;
 }
 
 Matrix Matrix::multiply(const Matrix& rhs) const {
@@ -156,12 +184,18 @@ Matrix Matrix::transposed() const {
 }
 
 Matrix Matrix::gram_weighted(const Vector& d) const {
+  Matrix out;
+  gram_weighted_into(d, out);
+  return out;
+}
+
+void Matrix::gram_weighted_into(const Vector& d, Matrix& out) const {
   if (d.size() != rows_) {
     throw std::invalid_argument("Matrix::gram_weighted: weight size " +
                                 std::to_string(d.size()) + " != rows " +
                                 std::to_string(rows_));
   }
-  Matrix out(cols_, cols_);
+  out.resize(cols_, cols_);
   for (std::size_t k = 0; k < rows_; ++k) {
     const double* r = row_data(k);
     const double w = d[k];
@@ -177,7 +211,6 @@ Matrix Matrix::gram_weighted(const Vector& d) const {
   for (std::size_t i = 0; i < cols_; ++i) {
     for (std::size_t j = i + 1; j < cols_; ++j) out(j, i) = out(i, j);
   }
-  return out;
 }
 
 double Matrix::norm_fro() const noexcept {

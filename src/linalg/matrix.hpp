@@ -66,10 +66,24 @@ class Matrix {
   friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
   friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
 
+  /// Re-shapes to rows x cols with every entry zeroed, reusing the existing
+  /// allocation when capacity suffices (see Vector::resize).
+  void resize(std::size_t rows, std::size_t cols);
+  /// Zeroes every entry, keeping the shape.
+  void set_zero() noexcept;
+
   /// Matrix-vector product (this * x).
   Vector multiply(const Vector& x) const;
   /// Transposed matrix-vector product (this^T * x).
   Vector multiply_transposed(const Vector& x) const;
+
+  // In-place product variants for allocation-free solver loops. `out` is
+  // resized to the result shape; the *_add_into forms accumulate into an
+  // already correctly sized `out`. `out` must not alias `x`.
+  void multiply_into(const Vector& x, Vector& out) const;
+  void multiply_add_into(const Vector& x, Vector& out) const;
+  void multiply_transposed_into(const Vector& x, Vector& out) const;
+  void multiply_transposed_add_into(const Vector& x, Vector& out) const;
   /// Matrix-matrix product (this * rhs).
   Matrix multiply(const Matrix& rhs) const;
   friend Vector operator*(const Matrix& m, const Vector& x) {
@@ -84,6 +98,8 @@ class Matrix {
   /// this^T * D * this for diagonal D given as a vector (Gram-type product
   /// used to fold inequality constraints into IPM normal equations).
   Matrix gram_weighted(const Vector& d) const;
+  /// In-place form: resizes `out` to cols x cols and overwrites it.
+  void gram_weighted_into(const Vector& d, Matrix& out) const;
 
   // -- reductions / predicates ------------------------------------------
   double norm_fro() const noexcept;   ///< Frobenius norm

@@ -5,6 +5,7 @@
 // bugs surface at the call site instead of as silent NaN propagation.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <initializer_list>
 #include <stdexcept>
@@ -44,6 +45,14 @@ class Vector {
   auto end() const noexcept { return data_.end(); }
 
   const std::vector<double>& raw() const noexcept { return data_; }
+
+  /// Re-shapes to dimension n with every entry zeroed, reusing the existing
+  /// allocation when capacity suffices. The workhorse of allocation-free
+  /// solver loops: workspace vectors are resize()d once per problem shape
+  /// and then written in place.
+  void resize(std::size_t n) { data_.assign(n, 0.0); }
+  /// Zeroes every entry, keeping the dimension.
+  void set_zero() noexcept { std::fill(data_.begin(), data_.end(), 0.0); }
 
   // -- arithmetic ------------------------------------------------------
   Vector& operator+=(const Vector& rhs);

@@ -54,8 +54,9 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
   dfs.reset();
   assignment.reset();
 
-  // Initial thermal state.
+  // Initial thermal state (temps_next double-buffers the thermal step).
   linalg::Vector temps(n_nodes);
+  linalg::Vector temps_next(n_nodes);
   if (config_.initial_temperature) {
     temps = linalg::Vector(n_nodes, *config_.initial_temperature);
   } else {
@@ -257,7 +258,8 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
     for (std::size_t i = 0; i < full_power.size(); ++i) {
       total_power += full_power[i];
     }
-    temps = model_.step(temps, full_power);
+    model_.step_into(temps, full_power, temps_next);
+    std::swap(temps, temps_next);
 
     // 7. Metrics and optional trace (post-step temperatures).
     const linalg::Vector post_temps = core_temps_of(temps);

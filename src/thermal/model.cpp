@@ -56,14 +56,20 @@ double ThermalModel::coeff_b(std::size_t i) const {
 
 linalg::Vector ThermalModel::step(const linalg::Vector& t,
                                   const linalg::Vector& p) const {
+  linalg::Vector next;
+  step_into(t, p, next);
+  return next;
+}
+
+void ThermalModel::step_into(const linalg::Vector& t, const linalg::Vector& p,
+                             linalg::Vector& out) const {
   if (t.size() != num_nodes() || p.size() != num_nodes()) {
     throw std::invalid_argument("ThermalModel::step: dimension mismatch");
   }
-  linalg::Vector next = a_ * t;
-  for (std::size_t i = 0; i < next.size(); ++i) {
-    next[i] += b_[i] * p[i] + c_[i];
+  a_.multiply_into(t, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] += b_[i] * p[i] + c_[i];
   }
-  return next;
 }
 
 ThermalModel::Discretization ThermalModel::exact_discretization(

@@ -51,6 +51,10 @@ class ThermalModel {
 
   /// One Euler step: t_{k+1} = A_d t_k + B_d p + c.
   linalg::Vector step(const linalg::Vector& t, const linalg::Vector& p) const;
+  /// In-place form for step loops: writes t_{k+1} into `out` (resized;
+  /// must not alias `t`).
+  void step_into(const linalg::Vector& t, const linalg::Vector& p,
+                 linalg::Vector& out) const;
 
   /// Steady-state temperatures for constant power.
   linalg::Vector steady_state(const linalg::Vector& power) const {

@@ -8,7 +8,11 @@ namespace protemp::thermal {
 linalg::Vector TransientSimulator::run(linalg::Vector t,
                                        const linalg::Vector& p,
                                        std::size_t steps) const {
-  for (std::size_t k = 0; k < steps; ++k) t = step(t, p);
+  linalg::Vector next;
+  for (std::size_t k = 0; k < steps; ++k) {
+    step_into(t, p, next);
+    std::swap(t, next);
+  }
   return t;
 }
 
@@ -30,9 +34,29 @@ EulerSimulator::EulerSimulator(const RcNetwork& network, double dt)
 
 linalg::Vector EulerSimulator::step(const linalg::Vector& t,
                                     const linalg::Vector& p) const {
-  linalg::Vector state = t;
-  for (std::size_t s = 0; s < substeps_; ++s) state = model_->step(state, p);
+  linalg::Vector state;
+  step_into(t, p, state);
   return state;
+}
+
+void EulerSimulator::step_into(const linalg::Vector& t,
+                               const linalg::Vector& p,
+                               linalg::Vector& out) const {
+  // The common case (dt within the stability limit, e.g. the simulator's
+  // 0.4 ms step) needs no intermediate state and stays allocation-free.
+  if (substeps_ == 1) {
+    model_->step_into(t, p, out);
+    return;
+  }
+  // Multi-substep steps double-buffer through one scratch vector (a single
+  // small allocation per step; these are the coarse dfs-period-sized steps,
+  // where each step already amortizes a policy solve).
+  linalg::Vector scratch = t;
+  model_->step_into(scratch, p, out);
+  for (std::size_t s = 1; s < substeps_; ++s) {
+    std::swap(scratch, out);
+    model_->step_into(scratch, p, out);
+  }
 }
 
 Rk4Simulator::Rk4Simulator(RcNetwork network, double dt)
@@ -89,13 +113,20 @@ ExactSimulator::ExactSimulator(const RcNetwork& network, double dt)
 
 linalg::Vector ExactSimulator::step(const linalg::Vector& t,
                                     const linalg::Vector& p) const {
+  linalg::Vector out;
+  step_into(t, p, out);
+  return out;
+}
+
+void ExactSimulator::step_into(const linalg::Vector& t,
+                               const linalg::Vector& p,
+                               linalg::Vector& out) const {
   if (t.size() != num_nodes() || p.size() != num_nodes()) {
     throw std::invalid_argument("ExactSimulator::step: dimension mismatch");
   }
-  linalg::Vector out = disc_.a * t;
-  out += disc_.b * p;
+  disc_.a.multiply_into(t, out);
+  disc_.b.multiply_add_into(p, out);
   out += disc_.c;
-  return out;
 }
 
 }  // namespace protemp::thermal

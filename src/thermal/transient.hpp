@@ -29,7 +29,16 @@ class TransientSimulator {
   virtual linalg::Vector step(const linalg::Vector& t,
                               const linalg::Vector& p) const = 0;
 
+  /// In-place form for step loops: writes t(t0 + dt) into `out` (resized;
+  /// must not alias `t`). Subclasses override to avoid per-step allocation.
+  virtual void step_into(const linalg::Vector& t, const linalg::Vector& p,
+                         linalg::Vector& out) const {
+    out = step(t, p);
+  }
+
   /// Convenience: integrates over `steps` steps, returning the final state.
+  /// Double-buffers through step_into, so the loop itself allocates nothing
+  /// beyond what a subclass's step_into needs.
   linalg::Vector run(linalg::Vector t, const linalg::Vector& p,
                      std::size_t steps) const;
 };
@@ -47,6 +56,8 @@ class EulerSimulator final : public TransientSimulator {
   }
   linalg::Vector step(const linalg::Vector& t,
                       const linalg::Vector& p) const override;
+  void step_into(const linalg::Vector& t, const linalg::Vector& p,
+                 linalg::Vector& out) const override;
 
   std::size_t substeps() const noexcept { return substeps_; }
   const ThermalModel& model() const noexcept { return *model_; }
@@ -88,6 +99,8 @@ class ExactSimulator final : public TransientSimulator {
   }
   linalg::Vector step(const linalg::Vector& t,
                       const linalg::Vector& p) const override;
+  void step_into(const linalg::Vector& t, const linalg::Vector& p,
+                 linalg::Vector& out) const override;
 
  private:
   double dt_;

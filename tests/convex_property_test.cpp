@@ -1,0 +1,271 @@
+// Property tests for the solver stack: randomized feasible programs must
+// satisfy the KKT conditions at the reported optimum, stay primal feasible,
+// and produce the same answer warm-started as cold-started. Also pins the
+// allocation-free linalg variants (multiply/solve/rank-one update) against
+// their allocating counterparts, since the barrier hot loop now runs
+// entirely on the in-place forms.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "convex/barrier.hpp"
+#include "convex/functions.hpp"
+#include "convex/kkt.hpp"
+#include "convex/qp.hpp"
+#include "convex/workspace.hpp"
+#include "linalg/cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace protemp::convex {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// ------------------------------------------------------------- generators --
+
+/// Random symmetric positive definite matrix A A^T / n + I.
+Matrix random_spd(util::Rng& rng, std::size_t n) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix spd = a.multiply(a.transposed());
+  spd *= 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  return spd;
+}
+
+Vector random_vector(util::Rng& rng, std::size_t n, double lo, double hi) {
+  Vector v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.uniform(lo, hi);
+  return v;
+}
+
+/// Random QP with a guaranteed strictly feasible point: h = G x_feas + slack.
+QpProblem random_feasible_qp(util::Rng& rng, std::size_t n, std::size_t m) {
+  QpProblem qp;
+  qp.p = random_spd(rng, n);
+  qp.q = random_vector(rng, n, -2.0, 2.0);
+  qp.g = Matrix(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) qp.g(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  const Vector x_feas = random_vector(rng, n, -1.0, 1.0);
+  qp.h = qp.g * x_feas;
+  for (std::size_t i = 0; i < m; ++i) qp.h[i] += rng.uniform(0.1, 1.0);
+  return qp;
+}
+
+/// The same QP as a barrier program (strictly convex objective, linear
+/// inequality block), plus a strictly feasible interior point.
+struct BarrierCase {
+  BarrierProblem problem;
+  Vector interior;
+};
+
+BarrierCase barrier_case_of(const QpProblem& qp, const Vector& x_feas) {
+  BarrierCase out;
+  out.problem.objective =
+      std::make_shared<QuadraticFunction>(qp.p, qp.q, 0.0);
+  out.problem.linear = LinearConstraints{qp.g, qp.h};
+  out.interior = x_feas;
+  return out;
+}
+
+// ------------------------------------------------------ QP: KKT + primal --
+
+TEST(QpProperty, RandomFeasibleQpsSatisfyKkt) {
+  util::Rng rng(0xA11CE);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + trial % 6;
+    const std::size_t m = 4 + (trial * 7) % 20;
+    const QpProblem qp = random_feasible_qp(rng, n, m);
+    const Solution sol = solve_qp(qp);
+    ASSERT_EQ(sol.status, SolveStatus::kOptimal) << "trial " << trial;
+    const KktResiduals kkt =
+        check_kkt(qp, sol.x, sol.ineq_duals, sol.eq_duals);
+    EXPECT_LT(kkt.worst(), 1e-6) << "trial " << trial;
+    // Primal feasibility, explicitly.
+    const Vector r = qp.g * sol.x - qp.h;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      EXPECT_LE(r[i], 1e-7) << "trial " << trial << " row " << i;
+    }
+  }
+}
+
+TEST(QpProperty, WorkspaceReuseMatchesFreshSolves) {
+  util::Rng rng(0xBEEF);
+  SolverWorkspace workspace;
+  for (int trial = 0; trial < 10; ++trial) {
+    const QpProblem qp = random_feasible_qp(rng, 4, 12);
+    const Solution fresh = solve_qp(qp);
+    const Solution reused = solve_qp(qp, {}, &workspace);
+    ASSERT_EQ(fresh.status, SolveStatus::kOptimal);
+    ASSERT_EQ(reused.status, SolveStatus::kOptimal);
+    // Same deterministic iteration either way: bitwise-equal iterates.
+    for (std::size_t i = 0; i < fresh.x.size(); ++i) {
+      EXPECT_EQ(fresh.x[i], reused.x[i]) << "trial " << trial;
+    }
+  }
+}
+
+// -------------------------------------------------- barrier: warm == cold --
+
+TEST(BarrierProperty, WarmStartMatchesColdStart) {
+  util::Rng rng(0xC01D);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 2 + trial % 5;
+    const std::size_t m = 6 + (trial * 5) % 18;
+    QpProblem qp = random_feasible_qp(rng, n, m);
+    const Vector x_feas = random_vector(rng, n, -0.2, 0.2);
+    // Re-anchor h so x_feas is strictly interior.
+    qp.h = qp.g * x_feas;
+    for (std::size_t i = 0; i < m; ++i) qp.h[i] += rng.uniform(0.2, 1.5);
+    const BarrierCase c = barrier_case_of(qp, x_feas);
+
+    SolverWorkspace workspace(/*warm_start=*/true);
+    const Solution cold = solve_barrier(c.problem, c.interior, {}, &workspace);
+    ASSERT_EQ(cold.status, SolveStatus::kOptimal) << "trial " << trial;
+
+    // Warm start: seed from the cold optimum pulled epsilon into the
+    // interior (the strictly feasible warm point a sweep would supply).
+    Vector seed = cold.x;
+    seed *= 0.999;
+    seed.axpy(0.001, c.interior);
+    ASSERT_TRUE(c.problem.strictly_feasible(seed));
+    const Solution warm = solve_barrier(c.problem, seed, {}, &workspace);
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal) << "trial " << trial;
+
+    // Strictly convex objective: the optimum is unique, so the two paths
+    // must agree to solver tolerance.
+    for (std::size_t i = 0; i < cold.x.size(); ++i) {
+      EXPECT_NEAR(cold.x[i], warm.x[i], 1e-8)
+          << "trial " << trial << " component " << i;
+    }
+    EXPECT_NEAR(cold.objective, warm.objective, 1e-8);
+
+    // And both must satisfy the KKT conditions. The barrier's dual
+    // estimates are exact only in the t -> inf limit, so stationarity
+    // carries an O(gap * constraint-scale) residual.
+    const KktResiduals kkt = check_kkt(c.problem, warm.x, warm.ineq_duals);
+    EXPECT_LT(kkt.stationarity, 1e-3) << "trial " << trial;
+    EXPECT_LE(kkt.primal_infeasibility, 0.0) << "trial " << trial;
+  }
+}
+
+TEST(BarrierProperty, WorkspaceStatsCountSolves) {
+  util::Rng rng(0x57A7);
+  const QpProblem qp = random_feasible_qp(rng, 3, 8);
+  const Vector x_feas(3);
+  QpProblem anchored = qp;
+  anchored.h = anchored.g * x_feas;
+  for (std::size_t i = 0; i < anchored.h.size(); ++i) anchored.h[i] += 1.0;
+  const BarrierCase c = barrier_case_of(anchored, x_feas);
+
+  SolverWorkspace workspace;
+  EXPECT_EQ(workspace.stats().solves, 0u);
+  (void)solve_barrier(c.problem, c.interior, {}, &workspace);
+  (void)solve_barrier(c.problem, c.interior, {}, &workspace);
+  EXPECT_EQ(workspace.stats().solves, 2u);
+  EXPECT_GT(workspace.stats().newton_steps, 0u);
+}
+
+TEST(BarrierProperty, HintSlotsAreIndependent) {
+  SolverWorkspace workspace(/*warm_start=*/true);
+  EXPECT_EQ(workspace.hint(SolverWorkspace::kMain), nullptr);
+  workspace.remember(SolverWorkspace::kMain, Vector{1.0, 2.0});
+  ASSERT_NE(workspace.hint(SolverWorkspace::kMain), nullptr);
+  EXPECT_EQ(workspace.hint(SolverWorkspace::kThroughput), nullptr);
+  workspace.forget();
+  EXPECT_EQ(workspace.hint(SolverWorkspace::kMain), nullptr);
+
+  // Disabled warm start never serves hints.
+  SolverWorkspace off(/*warm_start=*/false);
+  off.remember(SolverWorkspace::kMain, Vector{1.0});
+  EXPECT_EQ(off.hint(SolverWorkspace::kMain), nullptr);
+}
+
+// ------------------------------------------------- in-place linalg parity --
+
+TEST(InPlaceLinalg, MultiplyIntoMatchesMultiply) {
+  util::Rng rng(0x11AC);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t rows = 1 + trial, cols = 1 + (trial * 3) % 7;
+    Matrix a(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) a(i, j) = rng.uniform(-3.0, 3.0);
+    }
+    const Vector x = random_vector(rng, cols, -2.0, 2.0);
+    const Vector y = random_vector(rng, rows, -2.0, 2.0);
+
+    Vector out;  // deliberately wrong-sized: *_into must resize
+    a.multiply_into(x, out);
+    EXPECT_TRUE(out.approx_equal(a * x, 0.0));
+
+    a.multiply_transposed_into(y, out);
+    EXPECT_TRUE(out.approx_equal(a.multiply_transposed(y), 0.0));
+
+    // Accumulating forms add exactly one product.
+    Vector acc(rows, 1.0);
+    a.multiply_add_into(x, acc);
+    Vector expected = a * x;
+    for (std::size_t i = 0; i < rows; ++i) expected[i] += 1.0;
+    EXPECT_TRUE(acc.approx_equal(expected, 1e-15));
+
+    const Vector d = random_vector(rng, rows, 0.1, 2.0);
+    Matrix gram;
+    a.gram_weighted_into(d, gram);
+    EXPECT_TRUE(gram.approx_equal(a.gram_weighted(d), 0.0));
+  }
+}
+
+TEST(InPlaceLinalg, CholeskyRefactorAndSolveInto) {
+  util::Rng rng(0xFAC);
+  linalg::Cholesky chol;
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 2 + trial;
+    const Matrix a = random_spd(rng, n);
+    const Vector b = random_vector(rng, n, -1.0, 1.0);
+    ASSERT_TRUE(chol.refactor(a));  // reused across trials, shapes change
+    Vector x;
+    chol.solve_into(b, x);
+    const auto fresh = linalg::Cholesky::factor(a);
+    ASSERT_TRUE(fresh.has_value());
+    EXPECT_TRUE(x.approx_equal(fresh->solve(b), 1e-12));
+    // Residual check: A x == b.
+    EXPECT_TRUE((a * x).approx_equal(b, 1e-9));
+  }
+  // Refactor must report indefinite matrices without throwing.
+  Matrix indef = Matrix::identity(3);
+  indef(2, 2) = -1.0;
+  EXPECT_FALSE(chol.refactor(indef));
+}
+
+TEST(InPlaceLinalg, CholeskyRankOneUpdate) {
+  util::Rng rng(0x0E0);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 2 + trial;
+    const Matrix a = random_spd(rng, n);
+    const Vector v = random_vector(rng, n, -1.0, 1.0);
+
+    auto chol = linalg::Cholesky::factor(a);
+    ASSERT_TRUE(chol.has_value());
+    Vector scratch;
+    chol->rank_one_update(v, scratch);
+
+    // Compare against a fresh factorization of A + v v^T.
+    Matrix updated = a;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) updated(i, j) += v[i] * v[j];
+    }
+    const Vector b = random_vector(rng, n, -1.0, 1.0);
+    const auto direct = linalg::Cholesky::factor(updated);
+    ASSERT_TRUE(direct.has_value());
+    EXPECT_TRUE(chol->solve(b).approx_equal(direct->solve(b), 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace protemp::convex

@@ -1,0 +1,319 @@
+// Golden-trace regression suite (XIOSim-style): canonical ScenarioSpecs run
+// end-to-end and their headline numbers — peak temperatures, per-core
+// values, task accounting, energy — are pinned against checked-in golden
+// files with explicit tolerances. The warm-started and cold-started solver
+// paths must BOTH match the same goldens, so the solver internals can be
+// rebuilt freely without silently moving the physics.
+//
+// Regenerate after an intentional behavior change:
+//   PROTEMP_GOLDEN_REGEN=1 ./golden_test
+// then commit the rewritten tests/golden/*.txt. On mismatch the suite also
+// appends a machine-readable report to golden_diff.txt in the working
+// directory (CI uploads it as an artifact).
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/protemp.hpp"
+#include "core/optimizer.hpp"
+#include "util/strings.hpp"
+
+namespace protemp {
+namespace {
+
+#ifndef PROTEMP_GOLDEN_DIR
+#error "PROTEMP_GOLDEN_DIR must point at tests/golden"
+#endif
+
+bool regen_mode() {
+  const char* env = std::getenv("PROTEMP_GOLDEN_REGEN");
+  return env != nullptr && std::string(env) != "0";
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(PROTEMP_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+// ------------------------------------------------------- golden key/value --
+
+using GoldenMap = std::map<std::string, double>;
+
+GoldenMap load_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in.good()) << "missing golden file " << golden_path(name)
+                         << " (run with PROTEMP_GOLDEN_REGEN=1 to create)";
+  GoldenMap out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      ADD_FAILURE() << "bad golden line: " << line;
+      continue;
+    }
+    out[std::string(util::trim(trimmed.substr(0, eq)))] =
+        util::parse_double(util::trim(trimmed.substr(eq + 1)));
+  }
+  return out;
+}
+
+void save_golden(const std::string& name, const GoldenMap& values) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(name);
+  out << "# golden trace '" << name
+      << "' — regenerate with PROTEMP_GOLDEN_REGEN=1 ./golden_test\n";
+  for (const auto& [key, value] : values) {
+    out << key << " = " << util::format("%.17g", value) << "\n";
+  }
+}
+
+/// Per-key absolute tolerance. Temperatures carry the warm/cold solver band
+/// (~1 MHz per-core frequency wander on degenerate table cells; see
+/// DESIGN.md "Warm-started solves") plus FP-order slack; counts may flip by
+/// one task at a window boundary.
+double tolerance_for(const std::string& key, double golden_value) {
+  if (key.find("temp") != std::string::npos) return 0.05;          // degC
+  if (key.find("gradient") != std::string::npos) return 0.05;      // degC
+  if (key.find("frequency") != std::string::npos) return 2e6;      // Hz
+  if (key.find("tasks") != std::string::npos) return 1.0;          // count
+  if (key.find("fraction") != std::string::npos) return 2e-3;
+  if (key.find("waiting") != std::string::npos ||
+      key.find("response") != std::string::npos) {
+    return 0.05;                                                   // seconds
+  }
+  if (key.find("energy") != std::string::npos) {
+    return 1e-3 * std::max(1.0, std::abs(golden_value));
+  }
+  return 1e-6 * std::max(1.0, std::abs(golden_value));
+}
+
+void compare_to_golden(const std::string& name, const GoldenMap& actual,
+                       const std::string& variant) {
+  GoldenMap golden = load_golden(name);
+  if (::testing::Test::HasFailure()) return;
+  std::vector<std::string> diffs;
+  for (const auto& [key, value] : golden) {
+    const auto it = actual.find(key);
+    if (it == actual.end()) {
+      diffs.push_back(key + ": missing from run");
+      continue;
+    }
+    const double tol = tolerance_for(key, value);
+    if (!(std::abs(it->second - value) <= tol)) {
+      diffs.push_back(key + ": golden " + util::format("%.9g", value) +
+                      " actual " + util::format("%.9g", it->second) +
+                      " (tol " + util::format("%.3g", tol) + ")");
+    }
+  }
+  for (const auto& [key, value] : actual) {
+    (void)value;
+    if (!golden.count(key)) diffs.push_back(key + ": not in golden file");
+  }
+  if (!diffs.empty()) {
+    // Truncate on the first mismatch of this process so the report never
+    // accumulates stale sections from earlier runs.
+    static bool fresh_report = true;
+    std::ofstream report("golden_diff.txt",
+                         fresh_report ? std::ios::trunc : std::ios::app);
+    fresh_report = false;
+    report << "=== " << name << " [" << variant << "] ===\n";
+    for (const std::string& d : diffs) report << d << "\n";
+  }
+  for (const std::string& d : diffs) {
+    ADD_FAILURE() << name << " [" << variant << "] " << d;
+  }
+}
+
+// ------------------------------------------------------ scenario goldens --
+
+api::ScenarioSpec base_spec(const std::string& name) {
+  api::ScenarioSpec spec;
+  spec.name = name;
+  spec.duration = 2.0;
+  spec.seed = 2008;
+  return spec;
+}
+
+/// Coarse Phase-1 grid and a halved optimizer horizon (opt.dt 0.8 ms, half
+/// the thermal rows) so solver-heavy scenarios stay fast in Debug builds —
+/// goldens pin behavior for whatever configuration they declare.
+void coarse_solver(api::ScenarioSpec& spec) {
+  spec.dfs_options.set("tstart-step", 25.0);
+  spec.dfs_options.set("ftarget-min-mhz", 400.0);
+  spec.dfs_options.set("ftarget-step-mhz", 300.0);
+  spec.optimizer.dt = 0.8e-3;
+  spec.optimizer.gradient_step_stride = 20;
+}
+
+std::vector<api::ScenarioSpec> canonical_scenarios() {
+  std::vector<api::ScenarioSpec> specs;
+
+  api::ScenarioSpec basic = base_spec("golden-basic-dfs-mixed");
+  basic.dfs_policy = "basic-dfs";
+  basic.workload = "mixed";
+  specs.push_back(basic);
+
+  api::ScenarioSpec notc = base_spec("golden-no-tc-compute");
+  notc.dfs_policy = "no-tc";
+  notc.workload = "compute";
+  specs.push_back(notc);
+
+  api::ScenarioSpec protemp = base_spec("golden-pro-temp-mixed");
+  protemp.dfs_policy = "pro-temp";
+  protemp.workload = "mixed";
+  coarse_solver(protemp);
+  specs.push_back(protemp);
+
+  api::ScenarioSpec uniform = base_spec("golden-pro-temp-uniform-web");
+  uniform.dfs_policy = "pro-temp";
+  uniform.workload = "web";
+  uniform.optimizer.uniform_frequency = true;
+  coarse_solver(uniform);
+  specs.push_back(uniform);
+
+  api::ScenarioSpec online = base_spec("golden-online-high-load");
+  online.dfs_policy = "pro-temp-online";
+  online.workload = "high-load";
+  online.duration = 0.8;
+  online.optimizer.dt = 0.8e-3;
+  online.optimizer.gradient_step_stride = 20;
+  specs.push_back(online);
+
+  return specs;
+}
+
+GoldenMap metrics_of(const api::ScenarioReport& report) {
+  GoldenMap out;
+  const sim::SimResult& r = report.result;
+  out["peak_temp"] = r.metrics.max_temp_seen();
+  for (std::size_t c = 0; c < 8; ++c) {
+    out["core" + std::to_string(c) + "_peak_temp"] =
+        r.metrics.max_temp_seen(c);
+  }
+  out["mean_frequency"] = r.mean_frequency;
+  out["tasks_admitted"] = static_cast<double>(r.tasks_admitted);
+  out["tasks_completed"] = static_cast<double>(r.tasks_completed);
+  out["violation_fraction"] = r.metrics.violation_fraction();
+  out["any_violation_fraction"] = r.metrics.any_violation_fraction();
+  out["mean_waiting"] = r.metrics.mean_waiting_time();
+  out["mean_response"] = r.metrics.mean_response_time();
+  out["energy"] = r.metrics.total_energy_joules();
+  out["mean_spatial_gradient"] = r.metrics.mean_spatial_gradient();
+  return out;
+}
+
+TEST(GoldenTrace, CanonicalScenariosMatchWarmAndCold) {
+  for (api::ScenarioSpec spec : canonical_scenarios()) {
+    // Warm path (the default) generates/regenerates the goldens; the cold
+    // path must land inside the same tolerances.
+    for (const bool warm : {true, false}) {
+      spec.optimizer.warm_start = warm;
+      api::ScenarioRunner runner;
+      const api::StatusOr<api::ScenarioReport> report = runner.run(spec);
+      ASSERT_TRUE(report.ok())
+          << spec.name << ": " << report.status().to_string();
+      const GoldenMap actual = metrics_of(*report);
+      if (warm && regen_mode()) {
+        save_golden(spec.name, actual);
+        continue;
+      }
+      compare_to_golden(spec.name, actual, warm ? "warm" : "cold");
+    }
+  }
+}
+
+// Phase-1 per-core frequencies, pinned directly (the table artifact the
+// whole Phase-2 lookup rests on).
+TEST(GoldenTrace, Phase1FrequenciesMatchWarmAndCold) {
+  const api::StatusOr<arch::Platform> platform = api::make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  for (const bool warm : {true, false}) {
+    core::ProTempConfig config;
+    config.warm_start = warm;
+    // Paper horizon (0.4 ms), thinned gradient rows to stay in the Debug
+    // CI time budget.
+    config.gradient_step_stride = 25;
+    const core::ProTempOptimizer optimizer(*platform, config);
+    convex::SolverWorkspace workspace(warm);
+    GoldenMap actual;
+    // A small ftarget-descending sweep at tstart 70 (warm-seeds itself),
+    // goldening the per-core frequency vector of each point.
+    for (const double mhz : {600.0, 300.0}) {
+      const core::FrequencyAssignment a =
+          optimizer.solve(70.0, mhz * 1e6, &workspace);
+      ASSERT_TRUE(a.feasible) << mhz << " MHz";
+      const std::string prefix = "f" + std::to_string(int(mhz)) + "_core";
+      for (std::size_t c = 0; c < a.frequencies.size(); ++c) {
+        actual[prefix + std::to_string(c) + "_frequency"] = a.frequencies[c];
+      }
+      actual["f" + std::to_string(int(mhz)) + "_total_power_energy"] =
+          a.total_power;  // key named so tolerance_for treats it as energy
+    }
+    if (warm && regen_mode()) {
+      save_golden("golden-phase1-frequencies", actual);
+      continue;
+    }
+    compare_to_golden("golden-phase1-frequencies", actual,
+                      warm ? "warm" : "cold");
+  }
+}
+
+// ------------------------------------------- thread-safety stress (4-way) --
+//
+// The table cache and the per-policy workspaces must never share mutable
+// solver state across threads: a 4-thread batch has to reproduce the
+// sequential run bitwise. (The TSan CI job runs this same suite under
+// -fsanitize=thread.)
+TEST(GoldenTrace, FourThreadBatchMatchesSequentialBitwise) {
+  std::vector<api::ScenarioSpec> specs;
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    api::ScenarioSpec spec = base_spec("stress-table-" + std::to_string(seed));
+    spec.dfs_policy = "pro-temp";
+    spec.workload = "mixed";
+    spec.duration = 0.6;
+    spec.seed = seed;
+    spec.optimizer.dt = 0.8e-3;
+    spec.optimizer.gradient_step_stride = 20;
+    spec.dfs_options.set("tstart-step", 50.0);
+    spec.dfs_options.set("ftarget-step-mhz", 450.0);
+    specs.push_back(spec);
+
+    api::ScenarioSpec online = base_spec("stress-online-" +
+                                         std::to_string(seed));
+    online.dfs_policy = "pro-temp-online";
+    online.workload = "high-load";
+    online.duration = 0.4;
+    online.seed = seed;
+    online.optimizer.dt = 0.8e-3;
+    online.optimizer.gradient_step_stride = 20;
+    specs.push_back(online);
+  }
+
+  api::ScenarioRunner sequential_runner;
+  api::ScenarioRunner threaded_runner;
+  const auto sequential = sequential_runner.run_all(specs, 1);
+  const auto threaded = threaded_runner.run_all(specs, 4);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().to_string();
+  ASSERT_TRUE(threaded.ok()) << threaded.status().to_string();
+  ASSERT_EQ(sequential->size(), threaded->size());
+  for (std::size_t i = 0; i < sequential->size(); ++i) {
+    const sim::SimResult& a = (*sequential)[i].result;
+    const sim::SimResult& b = (*threaded)[i].result;
+    EXPECT_EQ(a.mean_frequency, b.mean_frequency) << specs[i].name;
+    EXPECT_EQ(a.metrics.max_temp_seen(), b.metrics.max_temp_seen())
+        << specs[i].name;
+    EXPECT_EQ(a.tasks_completed, b.tasks_completed) << specs[i].name;
+    EXPECT_EQ(a.metrics.total_energy_joules(),
+              b.metrics.total_energy_joules()) << specs[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace protemp

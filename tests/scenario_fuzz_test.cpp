@@ -1,0 +1,132 @@
+// Fuzz-ish ScenarioSpec parser table: every malformed input must come back
+// as a clean api::Status anchored at the offending line — never a crash,
+// never a silently defaulted spec. The table deliberately spreads the bad
+// line across positions (first, middle, after comments/blanks) so the line
+// accounting itself is under test.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/scenario.hpp"
+
+namespace protemp::api {
+namespace {
+
+struct MalformedCase {
+  const char* label;
+  const char* text;
+  std::size_t expected_line;  ///< 1-based line the diagnostic must name
+};
+
+const MalformedCase kMalformed[] = {
+    // -- shape errors -----------------------------------------------------
+    {"no equals sign", "duration\n", 1},
+    {"bare word", "hello world\n", 1},
+    {"empty key", "= 5\n", 1},
+    {"equals only", "=\n", 1},
+    {"no equals on later line", "duration = 5\nworkload compute\n", 2},
+    {"bad line after comment", "# header\n\nduration = 5\n???\n", 4},
+    {"bad line between good ones",
+     "name = a\nduration = 5\nbogus line\nseed = 3\n", 3},
+    // -- unknown keys -----------------------------------------------------
+    {"unknown key", "durations = 5\n", 1},
+    {"unknown dotted key", "sim.dts = 1\n", 1},
+    {"unknown opt key", "duration = 5\nopt.warmstart = true\n", 2},
+    {"misspelled section", "simulation.dt = 1\n", 1},
+    {"trailing garbage key", "duration = 5\nseed = 1\nxyz = 1\n", 3},
+    // -- duplicate keys ---------------------------------------------------
+    {"duplicate key", "duration = 5\nduration = 6\n", 2},
+    {"duplicate after gap", "seed = 1\n\n# c\nseed = 2\n", 4},
+    {"duplicate dotted key", "dfs.trip = 90\ndfs.trip = 91\n", 2},
+    // -- numeric parse errors ---------------------------------------------
+    {"duration not a number", "duration = fast\n", 1},
+    {"duration empty value", "duration =\n", 1},
+    {"sim.dt not a number", "sim.dt = 0.4ms\n", 1},
+    {"sim.tmax junk", "sim.tmax = 100C\n", 1},
+    {"nan-adjacent garbage", "opt.tmax = 1e\n", 1},
+    {"double with embedded space", "opt.dt = 1 2\n", 1},
+    {"band edges not numeric", "sim.band_edges = 80,hot,100\n", 1},
+    {"band edges empty", "sim.band_edges =\n", 1},
+    {"frequency quantum junk", "sim.frequency_quantum = -1x\n", 1},
+    // -- integer / seed parse errors --------------------------------------
+    {"seed negative", "seed = -1\n", 1},
+    {"seed fractional", "seed = 1.5\n", 1},
+    {"seed junk on line 3", "name = x\nduration = 2\nseed = 0x10\n", 3},
+    {"stride not integer", "opt.gradient_step_stride = two\n", 1},
+    {"noise seed junk", "sim.sensor_noise_seed = 12 cats\n", 1},
+    // -- boolean parse errors ---------------------------------------------
+    {"bool junk", "opt.uniform_frequency = maybe\n", 1},
+    {"bool numeric junk", "opt.minimize_gradient = 2\n", 1},
+    {"warm start junk", "opt.warm_start = lukewarm\n", 1},
+    // -- empty string values ----------------------------------------------
+    {"empty name", "name =\n", 1},
+    {"empty platform on line 2", "duration = 1\nplatform =\n", 2},
+    {"empty workload", "workload =\n", 1},
+};
+
+TEST(ScenarioFuzz, MalformedInputsFailWithLineNumber) {
+  for (const MalformedCase& c : kMalformed) {
+    const StatusOr<ScenarioSpec> parsed = ScenarioSpec::parse(c.text);
+    ASSERT_FALSE(parsed.ok()) << c.label << ": parsed successfully";
+    const std::string message = parsed.status().to_string();
+    const std::string anchor = "line " + std::to_string(c.expected_line);
+    EXPECT_NE(message.find(anchor), std::string::npos)
+        << c.label << ": diagnostic '" << message << "' does not name "
+        << anchor;
+  }
+}
+
+TEST(ScenarioFuzz, SemanticErrorsAreStatusesNotCrashes) {
+  // Syntactically fine, semantically broken: validate() rejects these with
+  // a Status naming the scenario (no line anchor to check — they are not
+  // line-local defects).
+  const char* cases[] = {
+      "duration = -1\n",
+      "duration = 0\n",
+      "sim.dt = -0.1\n",
+      "sim.dt = 0.5\nsim.dfs_period = 0.1\n",
+      "opt.dt = 0\n",
+      "opt.gradient_step_stride = 0\n",
+      "sim.band_edges = 90,80\n",
+      "workload = juggling\n",
+      "platform = cray1\n",
+      "dfs = warp-speed\n",
+      "assignment = alphabetical\n",
+  };
+  for (const char* text : cases) {
+    const StatusOr<ScenarioSpec> parsed = ScenarioSpec::parse(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ScenarioFuzz, StressInputsNeverCrash) {
+  // Torture inputs: the parser must return (ok or not) without crashing.
+  std::string long_line(64 * 1024, 'a');
+  std::string many_lines;
+  for (int i = 0; i < 2000; ++i) many_lines += "# filler\n";
+  many_lines += "duration = nope\n";
+
+  const std::string inputs[] = {
+      "",
+      "\n\n\n",
+      "# only comments\n# more\n",
+      std::string("name = ") + long_line + "\n",
+      long_line + "\n",
+      "= = = =\n",
+      "a=b=c\n",
+      "\t duration \t=\t 5 \t\n",
+      many_lines,
+  };
+  for (const std::string& text : inputs) {
+    (void)ScenarioSpec::parse(text);  // must not crash or throw
+  }
+
+  // The many-lines case still anchors correctly at line 2001.
+  const auto parsed = ScenarioSpec::parse(many_lines);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().to_string().find("line 2001"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protemp::api
