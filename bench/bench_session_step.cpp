@@ -1,0 +1,214 @@
+// Per-step latency of ControlSession::step — the online hot path.
+//
+// Drives a pro-temp-online session (warm-started MPC, niagara8) open loop
+// along a heating trajectory: one boundary frame per DFS window followed by
+// the window's remaining sensor samples, with an Euler plant advancing the
+// temperatures between windows. Times the warm path against a cold-started
+// twin, plus the between-window (non-boundary) step cost, so the streaming
+// API gets a tracked number exactly like the LUT build did.
+//
+//   ./bench_session_step [--windows=60] [--repeats=2]
+//
+// Exit status: 0 iff the warm session replays >= 1.3x faster than cold and
+// both paths command the same frequencies (checksum drift < 1e-6).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace protemp;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SessionRun {
+  double seconds = 0.0;          ///< full replay wall time (best of repeats)
+  double window_seconds = 0.0;   ///< time spent in boundary steps
+  double steady_seconds = 0.0;   ///< time spent in non-boundary steps
+  std::size_t windows = 0;
+  std::size_t steady_steps = 0;
+  std::size_t warm_started = 0;
+  double checksum = 0.0;         ///< sum of per-window mean frequencies
+};
+
+/// One open-loop replay: plant (Euler, one dfs_period per window) -> frames
+/// -> session. The plant consumes the session's own commands, so warm and
+/// cold runs follow their own closed trajectories; the checksum comparison
+/// below is meaningful because both start identically and the paths must
+/// agree to solver tolerance throughout.
+SessionRun run_session(bool warm, std::size_t windows, std::size_t repeats) {
+  api::ScenarioSpec spec;
+  spec.name = warm ? "bench-session-warm" : "bench-session-cold";
+  spec.dfs_policy = "pro-temp-online";
+  spec.optimizer = bench::paper_optimizer_config(true);
+  spec.optimizer.warm_start = warm;
+  spec.sim = bench::paper_sim_config();
+
+  SessionRun best;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    api::StatusOr<std::unique_ptr<api::ControlSession>> session =
+        api::ControlSession::create(spec);
+    if (!session.ok()) {
+      std::fprintf(stderr, "session: %s\n",
+                   session.status().to_string().c_str());
+      std::exit(1);
+    }
+    const arch::Platform& platform = (*session)->platform();
+    const std::size_t n_cores = platform.num_cores();
+    const std::size_t steps_per_window = static_cast<std::size_t>(
+        std::llround(spec.sim.dfs_period / spec.sim.dt));
+    const thermal::EulerSimulator plant(platform.network(),
+                                        spec.sim.dfs_period);
+
+    linalg::Vector temps = platform.network().steady_state(
+        platform.background_power_at(0.0));
+    linalg::Vector power(platform.num_nodes());
+    linalg::Vector temps_next;
+
+    SessionRun run;
+    sim::TelemetryFrame frame;
+    const double start = now_seconds();
+    for (std::size_t w = 0; w < windows; ++w) {
+      // Boundary frame: full telemetry (block sensors + workload state).
+      frame.time = static_cast<double>(w) * spec.sim.dfs_period;
+      frame.core_temps = linalg::Vector(n_cores);
+      const auto& core_nodes = platform.core_nodes();
+      for (std::size_t c = 0; c < n_cores; ++c) {
+        frame.core_temps[c] = temps[core_nodes[c]];
+      }
+      frame.sensor_temps = linalg::Vector(platform.floorplan().size());
+      for (std::size_t b = 0; b < platform.floorplan().size(); ++b) {
+        frame.sensor_temps[b] = temps[b];
+      }
+      frame.queue_length = 6;
+      frame.backlog_work = 0.45;
+      frame.arrived_work_last_window = 0.25;
+
+      const double window_start = now_seconds();
+      api::StatusOr<api::ActuationCommand> command = (*session)->step(frame);
+      run.window_seconds += now_seconds() - window_start;
+      if (!command.ok()) {
+        std::fprintf(stderr, "step: %s\n",
+                     command.status().to_string().c_str());
+        std::exit(1);
+      }
+      ++run.windows;
+      double mean = 0.0;
+      for (std::size_t c = 0; c < n_cores; ++c) {
+        mean += command->frequencies[c];
+      }
+      run.checksum += mean / static_cast<double>(n_cores);
+
+      // The window's remaining sensor samples (no decision, no workload).
+      frame.sensor_temps = linalg::Vector();
+      const double steady_start = now_seconds();
+      for (std::size_t s = 1; s < steps_per_window; ++s) {
+        frame.time += spec.sim.dt;
+        const api::StatusOr<api::ActuationCommand> steady =
+            (*session)->step(frame);
+        if (!steady.ok()) {
+          std::fprintf(stderr, "steady step: %s\n",
+                       steady.status().to_string().c_str());
+          std::exit(1);
+        }
+        ++run.steady_steps;
+      }
+      run.steady_seconds += now_seconds() - steady_start;
+
+      // Advance the plant one DFS period under the commanded frequencies.
+      power.set_zero();
+      for (std::size_t c = 0; c < n_cores; ++c) {
+        const double f = command->frequencies[c];
+        const double s = (f / platform.fmax()) * (f / platform.fmax());
+        power[core_nodes[c]] = platform.core_pmax() * s;
+      }
+      plant.step_into(temps, power, temps_next);
+      std::swap(temps, temps_next);
+    }
+    run.seconds = now_seconds() - start;
+    // Workspace-level count: covers both the power-minimization and the
+    // throughput-fallback slots (the policy-level stat only counts the
+    // former).
+    const auto& policy = dynamic_cast<const core::OnlineProTempPolicy&>(
+        (*session)->dfs_policy());
+    run.warm_started = policy.workspace().stats().warm_started;
+    if (rep == 0 || run.seconds < best.seconds) best = run;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  try {
+    util::CliArgs args(argc, argv);
+    const auto windows = static_cast<std::size_t>(args.get_int("windows", 60));
+    const auto repeats = static_cast<std::size_t>(args.get_int("repeats", 2));
+    args.check_unknown();
+
+    std::printf("# ControlSession::step open-loop replay, %zu windows "
+                "(niagara8, pro-temp-online)...\n", windows);
+    const SessionRun cold = run_session(/*warm=*/false, windows, repeats);
+    const SessionRun warm = run_session(/*warm=*/true, windows, repeats);
+
+    const double speedup = cold.seconds / warm.seconds;
+    const double drift = std::abs(cold.checksum - warm.checksum) /
+                         std::max(1.0, std::abs(cold.checksum));
+    const auto per_window_us = [](const SessionRun& r) {
+      return 1e6 * r.window_seconds / static_cast<double>(r.windows);
+    };
+    const auto per_steady_ns = [](const SessionRun& r) {
+      return 1e9 * r.steady_seconds / static_cast<double>(r.steady_steps);
+    };
+
+    util::AsciiTable table({"path", "replay [s]", "window step [us]",
+                            "steady step [ns]", "warm hits"});
+    table.add_row({"cold", util::format_fixed(cold.seconds, 3),
+                   util::format_fixed(per_window_us(cold), 1),
+                   util::format_fixed(per_steady_ns(cold), 0),
+                   std::to_string(cold.warm_started)});
+    table.add_row({"warm", util::format_fixed(warm.seconds, 3),
+                   util::format_fixed(per_window_us(warm), 1),
+                   util::format_fixed(per_steady_ns(warm), 0),
+                   std::to_string(warm.warm_started)});
+    table.render(std::cout, "session step latency (open-loop MPC hot path)");
+
+    bench::begin_csv("session_step");
+    util::CsvWriter csv(std::cout);
+    csv.header({"path", "replay_seconds", "window_step_us", "steady_step_ns",
+                "speedup", "checksum_drift"});
+    csv.row({"cold", util::format("%.6f", cold.seconds),
+             util::format("%.3f", per_window_us(cold)),
+             util::format("%.1f", per_steady_ns(cold)), "1.000",
+             "0.000e+00"});
+    csv.row({"warm", util::format("%.6f", warm.seconds),
+             util::format("%.3f", per_window_us(warm)),
+             util::format("%.1f", per_steady_ns(warm)),
+             util::format("%.3f", speedup), util::format("%.3e", drift)});
+    bench::end_csv();
+
+    const bool agree = drift < 1e-6;
+    const bool fast = speedup >= 1.3;
+    std::printf("command agreement (checksum drift %.2e): %s\n", drift,
+                agree ? "PASS" : "FAIL");
+    std::printf("warm session speedup %.2fx (bar: 1.30x): %s\n", speedup,
+                fast ? "PASS" : "FAIL");
+    return (agree && fast) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

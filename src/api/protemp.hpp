@@ -14,7 +14,10 @@
 //   * status.hpp   — Status / StatusOr<T>, the unified error model;
 //   * registry.hpp — policies and platforms by string name + Options map;
 //   * scenario.hpp — ScenarioSpec, parse/serialize/validate;
-//   * runner.hpp   — ScenarioRunner::run / run_all (thread-pooled batches).
+//   * session.hpp  — ControlSession: streaming telemetry-in/actuation-out
+//                    online control, observers, snapshot/restore, replay;
+//   * runner.hpp   — ScenarioRunner::run / run_all (thread-pooled batches,
+//                    each scenario a simulator-driven session).
 //
 // It also re-exports the supporting vocabulary types a facade user touches
 // (Platform, SimConfig/SimResult/Metrics, workload generation, the thermal
@@ -25,12 +28,14 @@
 #include "api/registry.hpp"   // IWYU pragma: export
 #include "api/runner.hpp"     // IWYU pragma: export
 #include "api/scenario.hpp"   // IWYU pragma: export
+#include "api/session.hpp"    // IWYU pragma: export
 #include "api/status.hpp"     // IWYU pragma: export
 
 #include "arch/platform.hpp"        // IWYU pragma: export
 #include "convex/workspace.hpp"     // IWYU pragma: export
 #include "core/frequency_table.hpp" // IWYU pragma: export
 #include "power/power_model.hpp"    // IWYU pragma: export
+#include "sim/control_loop.hpp"     // IWYU pragma: export
 #include "sim/metrics.hpp"          // IWYU pragma: export
 #include "sim/simulator.hpp"        // IWYU pragma: export
 #include "thermal/floorplan.hpp"    // IWYU pragma: export
@@ -39,6 +44,7 @@
 #include "workload/generator.hpp"   // IWYU pragma: export
 #include "workload/profiles.hpp"    // IWYU pragma: export
 #include "workload/task.hpp"        // IWYU pragma: export
+#include "workload/trace_io.hpp"    // IWYU pragma: export
 
 #include "util/cli.hpp"      // IWYU pragma: export
 #include "util/strings.hpp"  // IWYU pragma: export

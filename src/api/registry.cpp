@@ -1,6 +1,7 @@
 #include "api/registry.hpp"
 
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -425,17 +426,30 @@ PROTEMP_REGISTER_DFS_POLICY(
       if (!grid.ok()) return grid.status();
       if (Status s = reader.finish(); !s.ok()) return s;
 
+      const std::string key = table_cache_key(context, *grid);
+      // The builder only runs on a cache miss, so on_table_build reports
+      // builds that actually happened, never cache hits.
       const auto build = [&]() {
+        const auto start = std::chrono::steady_clock::now();
         const core::ProTempOptimizer optimizer(*context.platform,
                                                context.optimizer);
-        return core::FrequencyTable::build(optimizer, grid->tstart,
-                                           grid->ftarget);
+        core::FrequencyTable table = core::FrequencyTable::build(
+            optimizer, grid->tstart, grid->ftarget);
+        if (context.on_table_build) {
+          TableBuildInfo info;
+          info.cache_key = key;
+          info.wall_seconds = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+          info.rows = table.rows();
+          info.cols = table.cols();
+          context.on_table_build(info);
+        }
+        return table;
       };
       core::FrequencyTable table =
-          context.table_cache
-              ? *context.table_cache->get_or_build(
-                    table_cache_key(context, *grid), build)
-              : build();
+          context.table_cache ? *context.table_cache->get_or_build(key, build)
+                              : build();
       return std::unique_ptr<sim::DfsPolicy>(
           new core::ProTempPolicy(std::move(table)));
     });

@@ -98,6 +98,15 @@ class TableCache {
   std::map<std::string, Future> cache_;
 };
 
+/// Describes one Phase-1 table build that actually ran (cache misses only;
+/// a cache hit never re-builds and never reports).
+struct TableBuildInfo {
+  std::string cache_key;      ///< full identity of the built table
+  double wall_seconds = 0.0;  ///< host time spent in the grid of solves
+  std::size_t rows = 0;       ///< tstart grid points
+  std::size_t cols = 0;       ///< ftarget grid points
+};
+
 /// Everything a DfsPolicy factory may need beyond its options: the platform
 /// being simulated and the Phase-1 optimizer configuration. `table_cache`
 /// (optional) lets ScenarioRunner share identical Phase-1 tables across
@@ -111,6 +120,10 @@ struct PolicyContext {
   /// factory option, so e.g. two niagara8 platforms with different ambients
   /// never share a Phase-1 table. Empty falls back to platform->name().
   std::string platform_key;
+  /// Optional observer invoked (on the calling thread) after each Phase-1
+  /// table build this construction triggered. ControlSession routes it to
+  /// SessionObserver::on_table_build.
+  std::function<void(const TableBuildInfo&)> on_table_build;
 };
 
 using DfsPolicyFactory =

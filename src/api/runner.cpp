@@ -7,6 +7,8 @@
 #include <optional>
 #include <thread>
 
+#include "api/session.hpp"
+#include "util/strings.hpp"
 #include "workload/generator.hpp"
 #include "workload/profiles.hpp"
 
@@ -32,54 +34,37 @@ StatusOr<ScenarioReport> ScenarioRunner::run(const ScenarioSpec& spec) const {
   const auto start = std::chrono::steady_clock::now();
   if (Status s = spec.validate(); !s.ok()) return s;
 
-  StatusOr<arch::Platform> platform =
-      make_platform(spec.platform, spec.platform_options);
-  if (!platform.ok()) {
-    return platform.status().with_context("scenario '" + spec.name + "'");
-  }
-
-  PolicyContext context;
-  context.platform = &*platform;
-  context.optimizer = spec.optimizer;
-  context.table_cache = &table_cache_;
-  // Distinct platform options must never share a Phase-1 table, even when
-  // the factory gives both platforms the same display name.
-  context.platform_key = spec.platform;
-  for (const auto& [key, value] : spec.platform_options.entries()) {
-    context.platform_key += "|" + key + "=" + value;
-  }
-
-  StatusOr<std::unique_ptr<sim::DfsPolicy>> dfs =
-      make_dfs_policy(spec.dfs_policy, context, spec.dfs_options);
-  if (!dfs.ok()) {
-    return dfs.status().with_context("scenario '" + spec.name + "'");
-  }
-  StatusOr<std::unique_ptr<sim::AssignmentPolicy>> assignment =
-      make_assignment_policy(spec.assignment_policy, spec.assignment_options);
-  if (!assignment.ok()) {
-    return assignment.status().with_context("scenario '" + spec.name + "'");
+  // One session per scenario: it owns the platform, both policies and the
+  // warm-start workspace. The simulator below is merely its closed-loop
+  // driver — external telemetry drives the very same object via step().
+  SessionConfig session_config;
+  session_config.table_cache = &table_cache_;
+  StatusOr<std::unique_ptr<ControlSession>> session =
+      ControlSession::create(spec, session_config);
+  if (!session.ok()) {
+    return session.status().with_context("scenario '" + spec.name + "'");
   }
 
   try {
     StatusOr<workload::TaskTrace> trace =
-        make_trace(spec, platform->num_cores());
+        make_trace(spec, (*session)->num_cores());
     if (!trace.ok()) {
       return trace.status().with_context("scenario '" + spec.name + "'");
     }
 
-    sim::MulticoreSimulator simulator(*platform, spec.sim);
+    sim::MulticoreSimulator simulator((*session)->platform(), spec.sim);
     sim::SimResult result =
-        simulator.run(*trace, **dfs, **assignment, spec.duration);
+        simulator.run(*trace, **session, spec.duration);
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
     return ScenarioReport{
         spec,
-        platform->name(),
-        (*dfs)->name(),
-        (*assignment)->name(),
+        (*session)->platform().name(),
+        (*session)->dfs_policy().name(),
+        (*session)->assignment_policy().name(),
         trace->size(),
-        trace->offered_utilization(platform->num_cores()),
+        trace->offered_utilization((*session)->num_cores()),
         std::move(result),
         wall,
     };
@@ -122,15 +107,30 @@ StatusOr<std::vector<ScenarioReport>> ScenarioRunner::run_all(
     for (std::thread& t : threads) t.join();
   }
 
+  // Aggregate EVERY failure (every scenario ran to completion above): batch
+  // users get the full damage report in one Status, not just the first hit.
+  std::vector<std::string> failures;
+  Status first_failure;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const StatusOr<ScenarioReport>& slot = *slots[i];
+    if (slot.ok()) continue;
+    if (first_failure.ok()) first_failure = slot.status();
+    failures.push_back("scenario " + std::to_string(i) + " of " +
+                       std::to_string(specs.size()) + " ('" + specs[i].name +
+                       "'): " + slot.status().to_string());
+  }
+  if (!failures.empty()) {
+    std::string message =
+        std::to_string(failures.size()) + " of " +
+        std::to_string(specs.size()) + " scenarios failed: " +
+        util::join(failures, "; ");
+    return Status(first_failure.code(), std::move(message));
+  }
+
   std::vector<ScenarioReport> reports;
   reports.reserve(specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    StatusOr<ScenarioReport>& slot = *slots[i];
-    if (!slot.ok()) {
-      return slot.status().with_context("scenario " + std::to_string(i) +
-                                        " of " + std::to_string(specs.size()));
-    }
-    reports.push_back(std::move(slot).value());
+    reports.push_back(std::move(*slots[i]).value());
   }
   return reports;
 }

@@ -1,12 +1,15 @@
 // Batched scenario execution — the scale substrate of the facade.
 //
 // ScenarioRunner turns a declarative ScenarioSpec into one closed-loop
-// simulation: platform from the registry, policies from the registry,
-// workload from the generator, then MulticoreSimulator::run. run_all() fans
-// independent scenarios across a std::thread pool; because every scenario
-// owns its RNG seed and shares no mutable state, a batch produces results
-// identical to running each spec sequentially, regardless of thread count
-// or scheduling order.
+// simulation: a ControlSession built from the spec (platform + policies
+// from the registry), a workload from the generator, and a
+// MulticoreSimulator driving the session as its controller — the batch
+// runner is just one driver of the same session that open-loop telemetry
+// callers step directly (see session.hpp). run_all() fans independent
+// scenarios across a std::thread pool; because every scenario owns its RNG
+// seed and shares no mutable state, a batch produces results identical to
+// running each spec sequentially, regardless of thread count or scheduling
+// order.
 //
 // Phase-1 tables (the expensive offline artifact of "pro-temp" policies)
 // are memoized in a TableCache keyed on (platform, optimizer config, grid),
@@ -45,9 +48,11 @@ class ScenarioRunner {
   StatusOr<ScenarioReport> run(const ScenarioSpec& spec) const;
 
   /// Runs every spec and returns the reports in spec order. `num_threads`
-  /// of 0 picks std::thread::hardware_concurrency(). On any failure the
-  /// whole batch reports the first failing spec's Status (anchored with its
-  /// index and name); the remaining scenarios still run to completion.
+  /// of 0 picks std::thread::hardware_concurrency(). Every scenario runs to
+  /// completion regardless of other failures; on failure the returned
+  /// Status carries the first failure's code and aggregates EVERY failing
+  /// spec's (index, name, status) in its message, so batch users see all
+  /// failures at once.
   StatusOr<std::vector<ScenarioReport>> run_all(
       const std::vector<ScenarioSpec>& specs,
       std::size_t num_threads = 0) const;

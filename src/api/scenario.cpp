@@ -340,6 +340,17 @@ std::string ScenarioSpec::serialize() const {
   emit("duration", format_double(duration));
   emit("seed", std::to_string(seed));
 
+  if (sim.core_leakage) {
+    // The leakage model is a non-declarative SimConfig extension with no
+    // text form: parse() of this file yields a spec with core_leakage
+    // unset. Say so in the artifact instead of silently dropping it.
+    out << "# WARNING: this spec had the 'core_leakage' SimConfig extension "
+           "enabled;\n"
+           "# it has no text form and is NOT round-tripped — parsing this "
+           "file yields\n"
+           "# a spec without core leakage (see DESIGN.md, scenario key "
+           "reference).\n";
+  }
   emit("sim.dt", format_double(sim.dt));
   emit("sim.dfs_period", format_double(sim.dfs_period));
   emit("sim.tmax", format_double(sim.tmax));

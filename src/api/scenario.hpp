@@ -65,9 +65,11 @@ struct ScenarioSpec {
   Status validate() const;
 
   /// Canonical text form; parse(serialize()) reproduces the spec exactly
-  /// (doubles are emitted with round-trip precision). Note: the two
-  /// non-declarative SimConfig extensions (core_leakage) are not
-  /// representable in text form and are left at their defaults.
+  /// (doubles are emitted with round-trip precision) — with one documented
+  /// hole: the non-declarative SimConfig extension `core_leakage` has no
+  /// text form. When it is set, serialize() emits a `# WARNING: ...`
+  /// comment block naming the loss, and the parsed-back spec has
+  /// core_leakage unset (see DESIGN.md, scenario key reference).
   std::string serialize() const;
 
   static StatusOr<ScenarioSpec> parse(std::string_view text);

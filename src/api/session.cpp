@@ -1,0 +1,335 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace protemp::api {
+
+// ---------------------------------------------------------- construction --
+
+ControlSession::ControlSession(std::unique_ptr<arch::Platform> platform,
+                               std::unique_ptr<sim::DfsPolicy> dfs,
+                               std::unique_ptr<sim::AssignmentPolicy> assignment,
+                               sim::SimConfig sim_config,
+                               std::vector<SessionObserver*> observers)
+    : platform_(std::move(platform)),
+      sim_config_(std::move(sim_config)),
+      dfs_(std::move(dfs)),
+      assignment_(std::move(assignment)),
+      observers_(std::move(observers)) {
+  sim::ControlLoop::Config loop_config;
+  loop_config.dt = sim_config_.dt;
+  loop_config.dfs_period = sim_config_.dfs_period;
+  loop_config.frequency_quantum = sim_config_.frequency_quantum;
+  loop_config.fmax = platform_->fmax();
+  loop_config.num_cores = platform_->num_cores();
+  loop_ = std::make_unique<sim::ControlLoop>(*dfs_, *assignment_, loop_config);
+  last_command_.frequencies = linalg::Vector(platform_->num_cores());
+}
+
+StatusOr<std::unique_ptr<ControlSession>> ControlSession::create(
+    const ScenarioSpec& spec, const SessionConfig& config) {
+  if (Status s = spec.validate(); !s.ok()) return s;
+
+  StatusOr<arch::Platform> platform =
+      make_platform(spec.platform, spec.platform_options);
+  if (!platform.ok()) return platform.status();
+  // Heap-owned before policy construction: ProTempOptimizer (and therefore
+  // the online policy) keeps a reference to the platform, so its address
+  // must be the one the session will own.
+  auto owned_platform =
+      std::make_unique<arch::Platform>(std::move(platform).value());
+
+  PolicyContext context;
+  context.platform = owned_platform.get();
+  context.optimizer = spec.optimizer;
+  context.table_cache = config.table_cache;
+  // Distinct platform options must never share a Phase-1 table, even when
+  // the factory gives both platforms the same display name.
+  context.platform_key = spec.platform;
+  for (const auto& [key, value] : spec.platform_options.entries()) {
+    context.platform_key += "|" + key + "=" + value;
+  }
+  const std::vector<SessionObserver*>& observers = config.observers;
+  context.on_table_build = [&observers](const TableBuildInfo& info) {
+    for (SessionObserver* observer : observers) {
+      observer->on_table_build(info);
+    }
+  };
+
+  StatusOr<std::unique_ptr<sim::DfsPolicy>> dfs =
+      make_dfs_policy(spec.dfs_policy, context, spec.dfs_options);
+  if (!dfs.ok()) return dfs.status();
+  StatusOr<std::unique_ptr<sim::AssignmentPolicy>> assignment =
+      make_assignment_policy(spec.assignment_policy, spec.assignment_options);
+  if (!assignment.ok()) return assignment.status();
+
+  try {
+    return std::unique_ptr<ControlSession>(new ControlSession(
+        std::move(owned_platform), std::move(dfs).value(),
+        std::move(assignment).value(), spec.sim, config.observers));
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(e.what());
+  }
+}
+
+StatusOr<std::unique_ptr<ControlSession>> ControlSession::create(
+    arch::Platform platform, std::unique_ptr<sim::DfsPolicy> dfs,
+    std::unique_ptr<sim::AssignmentPolicy> assignment,
+    sim::SimConfig sim_config, const SessionConfig& config) {
+  if (dfs == nullptr || assignment == nullptr) {
+    return Status::invalid_argument("ControlSession: null policy");
+  }
+  try {
+    return std::unique_ptr<ControlSession>(new ControlSession(
+        std::make_unique<arch::Platform>(std::move(platform)), std::move(dfs),
+        std::move(assignment), std::move(sim_config), config.observers));
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(e.what());
+  }
+}
+
+// ----------------------------------------------- Controller (closed loop) --
+
+void ControlSession::reset() {
+  loop_->reset();
+  last_command_ = ActuationCommand{};
+  last_command_.frequencies = linalg::Vector(platform_->num_cores());
+  last_time_ = 0.0;
+  any_step_ = false;
+}
+
+const linalg::Vector& ControlSession::on_telemetry(
+    const sim::TelemetryFrame& frame) {
+  const linalg::Vector& frequencies = loop_->on_telemetry(frame);
+  last_command_.frequencies = frequencies;
+  last_command_.window_boundary = loop_->last_step_was_window();
+  last_command_.intervened = loop_->last_step_intervened();
+  last_command_.step = loop_->steps() - 1;
+  last_command_.time = frame.time;
+  last_time_ = frame.time;
+  any_step_ = true;
+  for (SessionObserver* observer : observers_) {
+    observer->on_step(frame, last_command_);
+  }
+  if (last_command_.intervened) {
+    for (SessionObserver* observer : observers_) {
+      observer->on_trip(frame, last_command_);
+    }
+  }
+  return frequencies;
+}
+
+std::size_t ControlSession::pick_core(const sim::AssignmentContext& ctx) {
+  return loop_->pick_core(ctx);
+}
+
+// ------------------------------------------------- streaming (open loop) --
+
+Status ControlSession::validate_frame(const sim::TelemetryFrame& frame) const {
+  if (!std::isfinite(frame.time)) {
+    return Status::invalid_argument("telemetry frame: non-finite time");
+  }
+  if (any_step_ && frame.time < last_time_) {
+    return Status::invalid_argument(
+        "telemetry frame: time went backwards (" +
+        std::to_string(frame.time) + " after " + std::to_string(last_time_) +
+        ")");
+  }
+  if (frame.core_temps.size() != platform_->num_cores()) {
+    return Status::invalid_argument(
+        "telemetry frame: expected " +
+        std::to_string(platform_->num_cores()) + " core temperatures, got " +
+        std::to_string(frame.core_temps.size()));
+  }
+  if (!frame.sensor_temps.empty() &&
+      frame.sensor_temps.size() > platform_->num_nodes()) {
+    return Status::invalid_argument(
+        "telemetry frame: more sensor readings (" +
+        std::to_string(frame.sensor_temps.size()) + ") than platform nodes (" +
+        std::to_string(platform_->num_nodes()) + ")");
+  }
+  return Status();
+}
+
+StatusOr<ActuationCommand> ControlSession::step(
+    const sim::TelemetryFrame& frame) {
+  if (Status s = validate_frame(frame); !s.ok()) return s;
+  try {
+    on_telemetry(frame);
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(e.what());
+  }
+  return last_command_;
+}
+
+StatusOr<std::size_t> ControlSession::assign(
+    const sim::AssignmentContext& ctx) {
+  if (ctx.idle_cores.empty()) {
+    return Status::invalid_argument("assignment query: no idle cores");
+  }
+  for (const std::size_t c : ctx.idle_cores) {
+    if (c >= platform_->num_cores()) {
+      return Status::invalid_argument(
+          "assignment query: idle core " + std::to_string(c) +
+          " out of range (platform has " +
+          std::to_string(platform_->num_cores()) + " cores)");
+    }
+  }
+  try {
+    return pick_core(ctx);
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(e.what());
+  }
+}
+
+// ---------------------------------------------------------- checkpointing --
+
+SessionSnapshot ControlSession::snapshot() const {
+  SessionSnapshot out;
+  out.checkpoint = loop_->checkpoint();
+  out.num_cores = platform_->num_cores();
+  return out;
+}
+
+Status ControlSession::restore(const SessionSnapshot& snapshot) {
+  if (snapshot.num_cores != platform_->num_cores()) {
+    return Status::invalid_argument(
+        "session restore: snapshot is for " +
+        std::to_string(snapshot.num_cores) + " cores, session has " +
+        std::to_string(platform_->num_cores()));
+  }
+  try {
+    loop_->restore(snapshot.checkpoint);
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(std::string("session restore: ") +
+                                    e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("session restore: ") + e.what());
+  }
+  // The restored command/time mirror the checkpointed loop state; a replay
+  // from here continues as the original run did.
+  last_command_ = ActuationCommand{};
+  last_command_.frequencies = loop_->frequencies();
+  last_command_.window_boundary = loop_->last_step_was_window();
+  last_command_.intervened = loop_->last_step_intervened();
+  last_command_.step = loop_->steps() == 0 ? 0 : loop_->steps() - 1;
+  any_step_ = loop_->steps() > 0;
+  // Time monotonicity cannot be reconstructed from the checkpoint; accept
+  // whatever the replayed telemetry supplies next.
+  last_time_ = 0.0;
+  return Status();
+}
+
+// -------------------------------------------------------------- observers --
+
+void ControlSession::add_observer(SessionObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(observers_.begin(), observers_.end(), observer) ==
+      observers_.end()) {
+    observers_.push_back(observer);
+  }
+}
+
+void ControlSession::remove_observer(SessionObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+// ------------------------------------------------------- telemetry replay --
+
+StatusOr<ReplayReport> replay_telemetry(
+    ControlSession& session, const workload::TelemetryTrace& trace) {
+  ReplayReport report;
+  report.final_frequencies = linalg::Vector(session.num_cores());
+  double freq_sum = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const workload::TelemetryRecord& record = trace[i];
+    sim::TelemetryFrame frame;
+    frame.time = record.time;
+    frame.core_temps = linalg::Vector(record.core_temps.size());
+    for (std::size_t c = 0; c < record.core_temps.size(); ++c) {
+      frame.core_temps[c] = record.core_temps[c];
+    }
+    frame.queue_length = record.queue_length;
+    frame.backlog_work = record.backlog_work;
+    frame.arrived_work_last_window = record.arrived_work_last_window;
+
+    StatusOr<ActuationCommand> command = session.step(frame);
+    if (!command.ok()) {
+      return command.status().with_context("telemetry frame " +
+                                           std::to_string(i));
+    }
+    ++report.frames;
+    if (command->window_boundary) ++report.windows;
+    if (command->intervened) ++report.interventions;
+    double mean = 0.0;
+    for (std::size_t c = 0; c < command->frequencies.size(); ++c) {
+      mean += command->frequencies[c];
+    }
+    mean /= static_cast<double>(command->frequencies.size());
+    freq_sum += mean;
+    if (!frame.core_temps.empty()) {
+      report.max_core_temp =
+          std::max(report.max_core_temp, frame.core_temps.max());
+    }
+    report.final_frequencies = std::move(command).value().frequencies;
+  }
+  if (report.frames > 0) {
+    report.mean_frequency = freq_sum / static_cast<double>(report.frames);
+  }
+  return report;
+}
+
+// ------------------------------------------------------------ MetricsSink --
+
+MetricsSink::MetricsSink(std::size_t num_cores,
+                         std::vector<double> band_edges, double tmax,
+                         double dt)
+    : metrics_(num_cores, std::move(band_edges), tmax), dt_(dt) {}
+
+MetricsSink::MetricsSink(const ControlSession& session)
+    : MetricsSink(session.num_cores(), session.sim_config().band_edges,
+                  session.sim_config().tmax, session.sim_config().dt) {}
+
+void MetricsSink::on_step(const sim::TelemetryFrame& frame,
+                          const ActuationCommand& command) {
+  ++steps_;
+  if (command.window_boundary) ++windows_;
+  // Power is unknown in open loop; energy stays zero.
+  metrics_.record_step(dt_, frame.core_temps, 0.0);
+  double mean = 0.0;
+  for (std::size_t c = 0; c < command.frequencies.size(); ++c) {
+    mean += command.frequencies[c];
+  }
+  if (command.frequencies.size() > 0) {
+    mean /= static_cast<double>(command.frequencies.size());
+  }
+  freq_integral_ += mean * dt_;
+}
+
+void MetricsSink::on_trip(const sim::TelemetryFrame& frame,
+                          const ActuationCommand& command) {
+  (void)frame;
+  (void)command;
+  ++trips_;
+}
+
+double MetricsSink::mean_frequency() const {
+  const double elapsed = static_cast<double>(steps_) * dt_;
+  return elapsed > 0.0 ? freq_integral_ / elapsed : 0.0;
+}
+
+}  // namespace protemp::api

@@ -1,0 +1,245 @@
+// Streaming ControlSession: telemetry-in / actuation-out online control.
+//
+// The paper's Phase-2 controller is an *online* loop — sensor temperatures
+// in, per-core frequencies out, every DFS period. A ControlSession is that
+// loop as a facade object: construct it from a ScenarioSpec (or from a
+// platform + policies directly), then call step(TelemetryFrame) once per
+// sensor sample and read back an ActuationCommand. The session owns the
+// platform, both policies, and — through them — the per-instance
+// warm-start SolverWorkspace, so successive steps reuse the PR-2 fast path
+// exactly as the batch runner does.
+//
+// Who owns the loop is the caller's choice:
+//   * closed loop — MulticoreSimulator drives the session through the
+//     sim::Controller interface it implements (ScenarioRunner::run is
+//     exactly this, and is bitwise-identical to the historical monolithic
+//     simulator loop);
+//   * open loop — an external telemetry source (live sensors, a replayed
+//     trace) calls step()/assign() itself; no simulator is involved.
+//
+// snapshot()/restore() checkpoint the full control state (loop cadence,
+// policy internals, warm-start memory): restoring and replaying the same
+// telemetry reproduces the original actuation stream exactly.
+//
+// Observer reentrancy rule: SessionObserver callbacks run synchronously
+// inside step()/on_telemetry() and must not call back into the session.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/scenario.hpp"
+#include "api/status.hpp"
+#include "arch/platform.hpp"
+#include "sim/control_loop.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace protemp::api {
+
+/// The controller's decision for one telemetry frame.
+struct ActuationCommand {
+  linalg::Vector frequencies;    ///< per-core [Hz], quantized
+  bool window_boundary = false;  ///< a DFS-window decision was taken
+  bool intervened = false;       ///< sample hook modified frequencies (trip)
+  std::size_t step = 0;          ///< 0-based index of the consumed frame
+  double time = 0.0;             ///< echo of the frame's timestamp [s]
+};
+
+/// Hooks into a session's control flow. All callbacks run synchronously on
+/// the stepping thread; implementations must be cheap and must not call
+/// back into the session (no reentrancy). Default: ignore everything.
+class SessionObserver {
+ public:
+  virtual ~SessionObserver() = default;
+
+  /// After every consumed frame (window boundaries included).
+  virtual void on_step(const sim::TelemetryFrame& frame,
+                       const ActuationCommand& command) {
+    (void)frame;
+    (void)command;
+  }
+
+  /// After a frame in which the policy's sample-granularity hook modified
+  /// the frequencies between windows — a thermal trip.
+  virtual void on_trip(const sim::TelemetryFrame& frame,
+                       const ActuationCommand& command) {
+    (void)frame;
+    (void)command;
+  }
+
+  /// After a Phase-1 table build triggered by session construction (cache
+  /// misses only; fired during create(), so the observer must be
+  /// registered through SessionConfig to see it).
+  virtual void on_table_build(const TableBuildInfo& info) { (void)info; }
+};
+
+/// Construction-time wiring of a session.
+struct SessionConfig {
+  /// Optional shared Phase-1 table cache (ScenarioRunner passes its own, so
+  /// sessions built from the same runner share tables).
+  TableCache* table_cache = nullptr;
+  /// Observers active from the first moment of construction — the only way
+  /// to see on_table_build. Not owned; must outlive the session (or be
+  /// removed first).
+  std::vector<SessionObserver*> observers;
+};
+
+/// Opaque checkpoint of a session's full control state. Treat the contents
+/// as private; they are only meaningful to ControlSession::restore on a
+/// session with the same platform and policy types.
+struct SessionSnapshot {
+  sim::ControlLoop::Checkpoint checkpoint;
+  std::size_t num_cores = 0;
+};
+
+class ControlSession final : public sim::Controller {
+ public:
+  /// Builds platform and policies from the spec's registry names, exactly
+  /// as ScenarioRunner does (spec.duration/workload/seed are ignored — the
+  /// session has no workload; telemetry is the caller's).
+  static StatusOr<std::unique_ptr<ControlSession>> create(
+      const ScenarioSpec& spec, const SessionConfig& config = {});
+
+  /// Direct construction from already-built parts. The session takes
+  /// ownership of all three; `sim_config` supplies the control cadence
+  /// (dt, dfs_period), the frequency quantum and tmax.
+  static StatusOr<std::unique_ptr<ControlSession>> create(
+      arch::Platform platform, std::unique_ptr<sim::DfsPolicy> dfs,
+      std::unique_ptr<sim::AssignmentPolicy> assignment,
+      sim::SimConfig sim_config, const SessionConfig& config = {});
+
+  // -- streaming (open-loop) interface ------------------------------------
+
+  /// Consumes one telemetry frame — call once per sensor sample, in time
+  /// order (frame.time must be non-decreasing). The frame's workload and
+  /// block-sensor fields are only read when next_step_is_window_boundary()
+  /// is true. All failures (bad frame shape, policy throws) come back as a
+  /// Status; the session state is unchanged on a rejected frame.
+  StatusOr<ActuationCommand> step(const sim::TelemetryFrame& frame);
+
+  /// Task-placement query: picks one of ctx.idle_cores. The open-loop twin
+  /// of the simulator's assignment path.
+  StatusOr<std::size_t> assign(const sim::AssignmentContext& ctx);
+
+  // -- checkpointing ------------------------------------------------------
+
+  SessionSnapshot snapshot() const;
+  /// Restores a snapshot taken from this session (or one with identical
+  /// platform and policy types). On failure the session is unchanged.
+  Status restore(const SessionSnapshot& snapshot);
+
+  // -- observers ----------------------------------------------------------
+
+  void add_observer(SessionObserver* observer);
+  void remove_observer(SessionObserver* observer);
+
+  // -- introspection ------------------------------------------------------
+
+  std::size_t steps() const noexcept { return loop_->steps(); }
+  std::size_t windows() const noexcept { return loop_->windows(); }
+  /// Whether the next step() consumes the frame's workload/block-sensor
+  /// fields (i.e. falls on a DFS-window boundary).
+  bool next_step_is_window_boundary() const noexcept {
+    return loop_->next_step_is_window_boundary();
+  }
+  std::size_t num_cores() const noexcept { return platform_->num_cores(); }
+  const arch::Platform& platform() const noexcept { return *platform_; }
+  const sim::SimConfig& sim_config() const noexcept { return sim_config_; }
+  const sim::DfsPolicy& dfs_policy() const noexcept { return *dfs_; }
+  sim::DfsPolicy& dfs_policy() noexcept { return *dfs_; }
+  const sim::AssignmentPolicy& assignment_policy() const noexcept {
+    return *assignment_;
+  }
+  /// The command produced by the most recent step (zeros before the first).
+  const ActuationCommand& last_command() const noexcept {
+    return last_command_;
+  }
+
+  // -- sim::Controller — the closed-loop driver interface -----------------
+  //
+  // MulticoreSimulator::run(trace, session, duration) drives these; they
+  // are the exception-based core that step()/assign() wrap with Status.
+  // Observers fire here, so closed-loop runs get the same hooks.
+
+  void reset() override;
+  const linalg::Vector& on_telemetry(const sim::TelemetryFrame& frame) override;
+  std::size_t pick_core(const sim::AssignmentContext& ctx) override;
+
+ private:
+  ControlSession(std::unique_ptr<arch::Platform> platform,
+                 std::unique_ptr<sim::DfsPolicy> dfs,
+                 std::unique_ptr<sim::AssignmentPolicy> assignment,
+                 sim::SimConfig sim_config,
+                 std::vector<SessionObserver*> observers);
+
+  Status validate_frame(const sim::TelemetryFrame& frame) const;
+
+  std::unique_ptr<arch::Platform> platform_;  ///< stable address (optimizer refs)
+  sim::SimConfig sim_config_;
+  std::unique_ptr<sim::DfsPolicy> dfs_;
+  std::unique_ptr<sim::AssignmentPolicy> assignment_;
+  std::unique_ptr<sim::ControlLoop> loop_;
+  std::vector<SessionObserver*> observers_;
+  ActuationCommand last_command_;
+  double last_time_ = 0.0;
+  bool any_step_ = false;
+};
+
+// ------------------------------------------------------ telemetry replay --
+
+/// Summary of one open-loop replay.
+struct ReplayReport {
+  std::size_t frames = 0;
+  std::size_t windows = 0;
+  std::size_t interventions = 0;  ///< frames with a thermal trip
+  double mean_frequency = 0.0;    ///< frame-average of the per-core mean [Hz]
+  double max_core_temp = 0.0;     ///< hottest telemetry reading seen [degC]
+  linalg::Vector final_frequencies;
+};
+
+/// Drives `session` from a recorded telemetry trace (workload::trace_io
+/// CSV format) with no simulator in the loop: one step() per record, in
+/// order. Stops at the first rejected frame, anchored with its index.
+StatusOr<ReplayReport> replay_telemetry(
+    ControlSession& session, const workload::TelemetryTrace& trace);
+
+/// Structured metrics accumulation over a session's step stream — the
+/// observer replacement for ad-hoc result bookkeeping in open-loop mode.
+/// Temperatures come from telemetry (there is no ground truth in open
+/// loop) and power is unknown, so energy stays zero; everything else of
+/// sim::Metrics (band residency, violation fractions, spatial gradient,
+/// peaks) is filled per step.
+class MetricsSink final : public SessionObserver {
+ public:
+  /// `dt` is the telemetry cadence used to weight each step.
+  MetricsSink(std::size_t num_cores, std::vector<double> band_edges,
+              double tmax, double dt);
+  /// Convenience: cadence, band edges and tmax from the session's config.
+  explicit MetricsSink(const ControlSession& session);
+
+  void on_step(const sim::TelemetryFrame& frame,
+               const ActuationCommand& command) override;
+  void on_trip(const sim::TelemetryFrame& frame,
+               const ActuationCommand& command) override;
+
+  const sim::Metrics& metrics() const noexcept { return metrics_; }
+  std::size_t steps() const noexcept { return steps_; }
+  std::size_t windows() const noexcept { return windows_; }
+  std::size_t trips() const noexcept { return trips_; }
+  /// Time-average of the per-core mean commanded frequency [Hz].
+  double mean_frequency() const;
+
+ private:
+  sim::Metrics metrics_;
+  double dt_;
+  std::size_t steps_ = 0;
+  std::size_t windows_ = 0;
+  std::size_t trips_ = 0;
+  double freq_integral_ = 0.0;  ///< sum over steps of per-core mean * dt
+};
+
+}  // namespace protemp::api

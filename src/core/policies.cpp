@@ -52,6 +52,17 @@ linalg::Vector OnlineProTempPolicy::on_window(
   return linalg::Vector(view.num_cores, 0.0);
 }
 
+std::any OnlineProTempPolicy::save_state() const {
+  return Snapshot{stats_, workspace_};
+}
+
+void OnlineProTempPolicy::load_state(const std::any& state) {
+  const Snapshot& snapshot =
+      sim::policy_state_as<Snapshot>(state, "OnlineProTempPolicy");
+  stats_ = snapshot.stats;
+  workspace_ = snapshot.workspace;
+}
+
 linalg::Vector NoTcPolicy::on_window(const sim::ControllerView& view) {
   const double f = sim::required_average_frequency(view);
   return linalg::Vector(view.num_cores, f);
@@ -88,6 +99,23 @@ bool BasicDfsPolicy::on_sample(double time, const linalg::Vector& core_temps,
     }
   }
   return changed;
+}
+
+std::any BasicDfsPolicy::save_state() const {
+  return Snapshot{tripped_, trips_};
+}
+
+void BasicDfsPolicy::load_state(const std::any& state) {
+  const Snapshot& snapshot =
+      sim::policy_state_as<Snapshot>(state, "BasicDfsPolicy");
+  tripped_ = snapshot.tripped;
+  trips_ = snapshot.trips;
+}
+
+std::any ProTempPolicy::save_state() const { return stats_; }
+
+void ProTempPolicy::load_state(const std::any& state) {
+  stats_ = sim::policy_state_as<Stats>(state, "ProTempPolicy");
 }
 
 linalg::Vector ProTempPolicy::on_window(const sim::ControllerView& view) {

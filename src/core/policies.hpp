@@ -41,12 +41,19 @@ class BasicDfsPolicy final : public sim::DfsPolicy {
   linalg::Vector on_window(const sim::ControllerView& view) override;
   bool on_sample(double time, const linalg::Vector& core_temps,
                  linalg::Vector& frequencies) override;
+  std::any save_state() const override;
+  void load_state(const std::any& state) override;
 
   const Options& options() const noexcept { return options_; }
   /// Number of core-shutdown decisions taken so far.
   std::size_t trips() const noexcept { return trips_; }
 
  private:
+  struct Snapshot {
+    std::vector<bool> tripped;
+    std::size_t trips = 0;
+  };
+
   Options options_;
   std::vector<bool> tripped_;  ///< latched shutdowns for the current window
   std::size_t trips_ = 0;
@@ -74,6 +81,10 @@ class OnlineProTempPolicy final : public sim::DfsPolicy {
   std::string name() const override { return "pro-temp-online"; }
   void reset() override;
   linalg::Vector on_window(const sim::ControllerView& view) override;
+  /// The checkpoint covers the solver workspace (warm-start hints), so a
+  /// restored session replays with identical warm-started solves.
+  std::any save_state() const override;
+  void load_state(const std::any& state) override;
 
   const Stats& stats() const noexcept { return stats_; }
   /// The per-instance solver workspace (successive windows warm-start each
@@ -84,6 +95,11 @@ class OnlineProTempPolicy final : public sim::DfsPolicy {
   }
 
  private:
+  struct Snapshot {
+    Stats stats;
+    convex::SolverWorkspace workspace;
+  };
+
   std::shared_ptr<const ProTempOptimizer> optimizer_;
   convex::SolverWorkspace workspace_;
   Stats stats_;
@@ -102,6 +118,8 @@ class ProTempPolicy final : public sim::DfsPolicy {
   std::string name() const override { return "pro-temp"; }
   void reset() override { stats_ = {}; }
   linalg::Vector on_window(const sim::ControllerView& view) override;
+  std::any save_state() const override;
+  void load_state(const std::any& state) override;
 
   const Stats& stats() const noexcept { return stats_; }
   const FrequencyTable& table() const noexcept { return table_; }

@@ -48,9 +48,21 @@ std::size_t RoundRobinAssignment::pick(const AssignmentContext& ctx) {
   return ctx.idle_cores.front();  // unreachable if idle_cores is consistent
 }
 
+std::any RoundRobinAssignment::save_state() const { return next_; }
+
+void RoundRobinAssignment::load_state(const std::any& state) {
+  next_ = policy_state_as<std::size_t>(state, "RoundRobinAssignment");
+}
+
 std::size_t RandomAssignment::pick(const AssignmentContext& ctx) {
   check_not_empty(ctx, "RandomAssignment");
   return ctx.idle_cores[rng_.uniform_index(ctx.idle_cores.size())];
+}
+
+std::any RandomAssignment::save_state() const { return rng_; }
+
+void RandomAssignment::load_state(const std::any& state) {
+  rng_ = policy_state_as<util::Rng>(state, "RandomAssignment");
 }
 
 AdaptiveRandomAssignment::AdaptiveRandomAssignment(std::uint64_t seed,
@@ -70,6 +82,17 @@ AdaptiveRandomAssignment::AdaptiveRandomAssignment(std::uint64_t seed,
 void AdaptiveRandomAssignment::reset() {
   rng_ = util::Rng(seed_);
   history_.clear();
+}
+
+std::any AdaptiveRandomAssignment::save_state() const {
+  return Snapshot{rng_, history_};
+}
+
+void AdaptiveRandomAssignment::load_state(const std::any& state) {
+  const Snapshot& snapshot =
+      policy_state_as<Snapshot>(state, "AdaptiveRandomAssignment");
+  rng_ = snapshot.rng;
+  history_ = snapshot.history;
 }
 
 double AdaptiveRandomAssignment::history(std::size_t core) const {

@@ -32,6 +32,8 @@ class RoundRobinAssignment final : public AssignmentPolicy {
   std::string name() const override { return "round-robin"; }
   void reset() override { next_ = 0; }
   std::size_t pick(const AssignmentContext& ctx) override;
+  std::any save_state() const override;
+  void load_state(const std::any& state) override;
 
  private:
   std::size_t next_ = 0;
@@ -43,6 +45,8 @@ class RandomAssignment final : public AssignmentPolicy {
   std::string name() const override { return "random"; }
   void reset() override { rng_ = util::Rng(seed_); }
   std::size_t pick(const AssignmentContext& ctx) override;
+  std::any save_state() const override;
+  void load_state(const std::any& state) override;
 
  private:
   util::Rng rng_;
@@ -66,12 +70,19 @@ class AdaptiveRandomAssignment final : public AssignmentPolicy {
   std::string name() const override { return "adaptive-random"; }
   void reset() override;
   std::size_t pick(const AssignmentContext& ctx) override;
+  std::any save_state() const override;
+  void load_state(const std::any& state) override;
 
   /// Current thermal-history estimate for a core (for tests/diagnostics);
   /// NaN until the first pick.
   double history(std::size_t core) const;
 
  private:
+  struct Snapshot {
+    util::Rng rng;
+    std::vector<double> history;
+  };
+
   util::Rng rng_;
   std::uint64_t seed_;
   double decay_;

@@ -1,0 +1,140 @@
+#include "sim/control_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace protemp::sim {
+
+ControlLoop::ControlLoop(DfsPolicy& dfs, AssignmentPolicy& assignment,
+                         Config config)
+    : dfs_(&dfs), assignment_(&assignment), config_(config) {
+  if (!(config_.dt > 0.0) || !(config_.dfs_period > 0.0)) {
+    throw std::invalid_argument(
+        "ControlLoop: dt and dfs_period must be positive");
+  }
+  if (config_.dfs_period < config_.dt) {
+    throw std::invalid_argument("ControlLoop: dfs_period must be >= dt");
+  }
+  if (config_.frequency_quantum < 0.0) {
+    throw std::invalid_argument("ControlLoop: frequency_quantum must be >= 0");
+  }
+  if (config_.num_cores == 0) {
+    throw std::invalid_argument("ControlLoop: num_cores must be > 0");
+  }
+  steps_per_window_ = static_cast<std::size_t>(
+      std::llround(config_.dfs_period / config_.dt));
+  if (steps_per_window_ == 0) {
+    throw std::invalid_argument("ControlLoop: dfs_period shorter than dt");
+  }
+  frequencies_ = linalg::Vector(config_.num_cores);
+}
+
+void ControlLoop::reset() {
+  dfs_->reset();
+  assignment_->reset();
+  step_ = 0;
+  windows_ = 0;
+  frequencies_ = linalg::Vector(config_.num_cores);
+  window_boundary_ = false;
+  intervened_ = false;
+}
+
+double ControlLoop::quantize(double f) const noexcept {
+  if (config_.frequency_quantum <= 0.0) {
+    return std::clamp(f, 0.0, config_.fmax);
+  }
+  const double q = config_.frequency_quantum;
+  return std::clamp(std::floor(f / q) * q, 0.0, config_.fmax);
+}
+
+const linalg::Vector& ControlLoop::on_telemetry(const TelemetryFrame& frame) {
+  // DFS boundary: ask the policy for the next window's frequencies.
+  if (step_ % steps_per_window_ == 0) {
+    ControllerView view;
+    view.time = frame.time;
+    view.dfs_period = config_.dfs_period;
+    view.core_temps = frame.core_temps;
+    view.sensor_temps =
+        frame.sensor_temps.empty() ? frame.core_temps : frame.sensor_temps;
+    view.queue_length = frame.queue_length;
+    view.num_cores = config_.num_cores;
+    view.fmax = config_.fmax;
+    view.backlog_work = frame.backlog_work;
+    view.arrived_work_last_window = frame.arrived_work_last_window;
+    linalg::Vector next = dfs_->on_window(view);
+    if (next.size() != config_.num_cores) {
+      // Validate before touching frequencies_: a rejected frame must leave
+      // the in-force vector (and any checkpoint of it) intact.
+      throw std::logic_error("DfsPolicy returned wrong frequency count");
+    }
+    for (std::size_t c = 0; c < config_.num_cores; ++c) {
+      next[c] = quantize(next[c]);
+    }
+    frequencies_ = std::move(next);
+    ++windows_;
+    window_boundary_ = true;
+  } else {
+    window_boundary_ = false;
+  }
+
+  // Sensor-granularity policy hook (e.g. continuous thermal trip).
+  intervened_ = dfs_->on_sample(frame.time, frame.core_temps, frequencies_);
+  if (intervened_) {
+    for (std::size_t c = 0; c < config_.num_cores; ++c) {
+      frequencies_[c] = quantize(frequencies_[c]);
+    }
+  }
+
+  ++step_;
+  return frequencies_;
+}
+
+std::size_t ControlLoop::pick_core(const AssignmentContext& ctx) {
+  const std::size_t chosen = assignment_->pick(ctx);
+  // Equivalent to the simulator's historical non-idle check: the idle list
+  // is exactly the set of legal answers.
+  if (std::find(ctx.idle_cores.begin(), ctx.idle_cores.end(), chosen) ==
+      ctx.idle_cores.end()) {
+    throw std::logic_error("AssignmentPolicy picked a non-idle core");
+  }
+  return chosen;
+}
+
+ControlLoop::Checkpoint ControlLoop::checkpoint() const {
+  Checkpoint out;
+  out.step = step_;
+  out.windows = windows_;
+  out.frequencies = frequencies_;
+  out.window_boundary = window_boundary_;
+  out.intervened = intervened_;
+  out.dfs_state = dfs_->save_state();
+  out.assignment_state = assignment_->save_state();
+  return out;
+}
+
+void ControlLoop::restore(const Checkpoint& checkpoint) {
+  if (checkpoint.frequencies.size() != config_.num_cores) {
+    throw std::invalid_argument(
+        "ControlLoop::restore: checkpoint core count does not match");
+  }
+  // Policies first: their load_state throws on a type mismatch, and the
+  // loop's own state must not be half-updated in that case. If the second
+  // load fails the first is rolled back, so a failed restore never leaves
+  // one policy carrying the foreign snapshot's state.
+  const std::any dfs_backup = dfs_->save_state();
+  dfs_->load_state(checkpoint.dfs_state);
+  try {
+    assignment_->load_state(checkpoint.assignment_state);
+  } catch (...) {
+    dfs_->load_state(dfs_backup);
+    throw;
+  }
+  step_ = checkpoint.step;
+  windows_ = checkpoint.windows;
+  frequencies_ = checkpoint.frequencies;
+  window_boundary_ = checkpoint.window_boundary;
+  intervened_ = checkpoint.intervened;
+}
+
+}  // namespace protemp::sim

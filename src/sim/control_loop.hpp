@@ -1,0 +1,142 @@
+// The control side of the thermal-management loop, extracted from the
+// simulator so that *who owns the loop* is a choice, not an architecture.
+//
+// A Controller consumes one TelemetryFrame per sensor sample (the paper's
+// 0.4 ms cadence) and keeps the per-core frequency vector that is in force
+// for the step beginning at that frame; it also answers task-to-core
+// assignment queries. MulticoreSimulator drives a Controller in closed loop
+// (simulated telemetry in, simulated plant response out); the api layer's
+// ControlSession exposes the same object to external telemetry sources
+// (open loop) with a Status-based interface on top.
+//
+// ControlLoop is the concrete controller the paper describes: a DfsPolicy
+// queried at every DFS-window boundary plus its optional sample-granularity
+// intervention hook, with frequency quantization applied to every output,
+// and an AssignmentPolicy answering placement queries. It owns nothing but
+// cadence state — policies are borrowed, so the same policy instances can
+// be inspected (stats, tables) after a run, exactly as before the
+// extraction.
+#pragma once
+
+#include <any>
+#include <cstddef>
+
+#include "linalg/vector.hpp"
+#include "sim/policies.hpp"
+
+namespace protemp::sim {
+
+/// One telemetry frame, delivered once per sensor sample. The workload
+/// fields (`queue_length`, `backlog_work`, `arrived_work_last_window`) and
+/// `sensor_temps` are only read at DFS-window boundaries; drivers may leave
+/// them empty/zero on other frames (the simulator does, and
+/// ControlSession::next_step_is_window_boundary() tells external drivers
+/// when a full frame is needed).
+struct TelemetryFrame {
+  double time = 0.0;           ///< [s]
+  linalg::Vector core_temps;   ///< per-core sensor readings [degC]
+  /// Per-block sensor readings (cores, caches, interconnect) in floorplan
+  /// order. May be left empty: the controller then treats the core
+  /// readings as the only measured blocks (safe — unmeasured nodes are
+  /// filled conservatively by the policies, see OnlineProTempPolicy).
+  linalg::Vector sensor_temps;
+  std::size_t queue_length = 0;
+  double backlog_work = 0.0;   ///< queued + in-flight work [s at fmax]
+  double arrived_work_last_window = 0.0;  ///< [s at fmax]
+};
+
+/// Telemetry-in / actuation-out interface of the thermal management unit.
+/// Implementations keep internal cadence state: on_telemetry must be called
+/// exactly once per sensor sample, in time order.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Resets all loop and policy state for a fresh run.
+  virtual void reset() = 0;
+
+  /// Consumes one telemetry frame and returns the per-core frequency
+  /// vector [Hz] in force for the step that begins at `frame.time`. The
+  /// reference stays valid until the next on_telemetry/reset call.
+  virtual const linalg::Vector& on_telemetry(const TelemetryFrame& frame) = 0;
+
+  /// Picks one of ctx.idle_cores for the task at the head of the queue.
+  virtual std::size_t pick_core(const AssignmentContext& ctx) = 0;
+};
+
+/// The paper's thermal management unit as a stepwise controller.
+class ControlLoop final : public Controller {
+ public:
+  struct Config {
+    double dt = 0.4e-3;        ///< telemetry cadence [s]
+    double dfs_period = 0.1;   ///< DFS window [s]; must be >= dt
+    /// Frequency quantum [Hz]; outputs are floored to a multiple of it
+    /// (0 = continuous), mirroring SimConfig::frequency_quantum.
+    double frequency_quantum = 0.0;
+    double fmax = 0.0;         ///< [Hz]
+    std::size_t num_cores = 0;
+  };
+
+  /// Borrows both policies; the caller keeps them alive and unshared for
+  /// the loop's lifetime. Throws std::invalid_argument on a bad config.
+  ControlLoop(DfsPolicy& dfs, AssignmentPolicy& assignment, Config config);
+
+  void reset() override;
+  const linalg::Vector& on_telemetry(const TelemetryFrame& frame) override;
+  std::size_t pick_core(const AssignmentContext& ctx) override;
+
+  const Config& config() const noexcept { return config_; }
+  std::size_t steps_per_window() const noexcept { return steps_per_window_; }
+
+  /// Frames consumed since the last reset/restore.
+  std::size_t steps() const noexcept { return step_; }
+  /// DFS-window decisions taken since the last reset/restore.
+  std::size_t windows() const noexcept { return windows_; }
+  /// Whether the *next* on_telemetry call falls on a DFS-window boundary
+  /// (and therefore reads the frame's workload and block-sensor fields).
+  bool next_step_is_window_boundary() const noexcept {
+    return step_ % steps_per_window_ == 0;
+  }
+  /// Whether the last consumed frame was a window boundary / triggered a
+  /// sample-granularity intervention (thermal trip).
+  bool last_step_was_window() const noexcept { return window_boundary_; }
+  bool last_step_intervened() const noexcept { return intervened_; }
+
+  /// The frequency vector currently in force (zeros before the first frame).
+  const linalg::Vector& frequencies() const noexcept { return frequencies_; }
+
+  /// Complete checkpoint of the loop *and* its borrowed policies. A
+  /// checkpoint may only be restored into a loop over the same policy
+  /// instances (or same-typed, same-configured ones); restore throws
+  /// std::invalid_argument on a shape or type mismatch. Restoring and
+  /// replaying the same telemetry reproduces the original outputs exactly,
+  /// including warm-start behavior (policy state covers the solver
+  /// workspace).
+  struct Checkpoint {
+    std::size_t step = 0;
+    std::size_t windows = 0;
+    linalg::Vector frequencies;
+    bool window_boundary = false;
+    bool intervened = false;
+    std::any dfs_state;
+    std::any assignment_state;
+  };
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& checkpoint);
+
+ private:
+  double quantize(double f) const noexcept;
+
+  DfsPolicy* dfs_;
+  AssignmentPolicy* assignment_;
+  Config config_;
+  std::size_t steps_per_window_ = 0;
+
+  std::size_t step_ = 0;
+  std::size_t windows_ = 0;
+  linalg::Vector frequencies_;
+  bool window_boundary_ = false;
+  bool intervened_ = false;
+};
+
+}  // namespace protemp::sim

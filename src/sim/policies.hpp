@@ -8,7 +8,9 @@
 // AssignmentPolicy implementations (src/sim/assignment.hpp).
 #pragma once
 
+#include <any>
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,16 @@ class DfsPolicy {
     (void)frequencies;
     return false;
   }
+
+  /// Opaque checkpoint of the policy's mutable state, for session
+  /// snapshot/restore (restoring and replaying the same inputs must
+  /// reproduce the original outputs exactly — including warm-start
+  /// behavior, so stateful policies cover their solver workspaces).
+  /// Stateless policies use these defaults. load_state must only receive a
+  /// value produced by save_state on the same policy type; implementations
+  /// throw std::invalid_argument on a foreign value.
+  virtual std::any save_state() const { return {}; }
+  virtual void load_state(const std::any& state) { (void)state; }
 };
 
 /// Context for one task-to-core assignment decision.
@@ -76,6 +88,19 @@ struct AssignmentContext {
   linalg::Vector core_temps;            ///< all cores [degC]
 };
 
+/// any_cast with a policy-anchored diagnostic, for load_state
+/// implementations: rejects a foreign state value with the
+/// std::invalid_argument the save_state/load_state contract requires.
+template <typename T>
+const T& policy_state_as(const std::any& state, const char* who) {
+  const T* value = std::any_cast<T>(&state);
+  if (value == nullptr) {
+    throw std::invalid_argument(std::string(who) +
+                                ": state was not produced by this policy");
+  }
+  return *value;
+}
+
 class AssignmentPolicy {
  public:
   virtual ~AssignmentPolicy() = default;
@@ -83,6 +108,11 @@ class AssignmentPolicy {
   virtual void reset() {}
   /// Picks one of ctx.idle_cores for the task at the head of the queue.
   virtual std::size_t pick(const AssignmentContext& ctx) = 0;
+
+  /// Checkpoint hooks with the same contract as DfsPolicy::save_state /
+  /// load_state; stateless policies use these defaults.
+  virtual std::any save_state() const { return {}; }
+  virtual void load_state(const std::any& state) { (void)state; }
 };
 
 }  // namespace protemp::sim

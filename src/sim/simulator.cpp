@@ -42,6 +42,18 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
                                   DfsPolicy& dfs,
                                   AssignmentPolicy& assignment,
                                   double duration) {
+  ControlLoop::Config loop_config;
+  loop_config.dt = config_.dt;
+  loop_config.dfs_period = config_.dfs_period;
+  loop_config.frequency_quantum = config_.frequency_quantum;
+  loop_config.fmax = platform_.fmax();
+  loop_config.num_cores = platform_.num_cores();
+  ControlLoop loop(dfs, assignment, loop_config);
+  return run(trace, loop, duration);
+}
+
+SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
+                                  Controller& controller, double duration) {
   if (!(duration > 0.0)) {
     throw std::invalid_argument("MulticoreSimulator::run: duration must be > 0");
   }
@@ -51,8 +63,7 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
   const auto& core_nodes = platform_.core_nodes();
   const power::DvfsPowerModel& pm = platform_.core_power();
 
-  dfs.reset();
-  assignment.reset();
+  controller.reset();
 
   // Initial thermal state (temps_next double-buffers the thermal step).
   linalg::Vector temps(n_nodes);
@@ -87,7 +98,6 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
           : 0;
 
   std::size_t next_arrival = 0;
-  linalg::Vector frequencies(n_cores);
   double arrived_work_window = 0.0;
   double arrived_work_prev_window = 0.0;
   double freq_integral = 0.0;
@@ -100,8 +110,8 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
     return out;
   };
 
-  // Sensor model: policies see true temperatures plus optional Gaussian
-  // noise; the metrics always see the truth.
+  // Sensor model: the controller sees true temperatures plus optional
+  // Gaussian noise; the metrics always see the truth.
   util::Rng sensor_rng(config_.sensor_noise_seed);
   const auto sense = [&](const linalg::Vector& truth) {
     if (config_.sensor_noise_stddev <= 0.0) return truth;
@@ -110,12 +120,6 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
       noisy[i] += sensor_rng.normal(0.0, config_.sensor_noise_stddev);
     }
     return noisy;
-  };
-
-  const auto quantize = [&](double f) {
-    if (config_.frequency_quantum <= 0.0) return std::clamp(f, 0.0, fmax);
-    const double q = config_.frequency_quantum;
-    return std::clamp(std::floor(f / q) * q, 0.0, fmax);
   };
 
   const auto assign_from_queue = [&](double now,
@@ -129,10 +133,7 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
         if (!cores[c].task) ctx.idle_cores.push_back(c);
       }
       if (ctx.idle_cores.empty()) return;
-      const std::size_t chosen = assignment.pick(ctx);
-      if (chosen >= n_cores || cores[chosen].task) {
-        throw std::logic_error("AssignmentPolicy picked a non-idle core");
-      }
+      const std::size_t chosen = controller.pick_core(ctx);
       workload::Task task = queue.front();
       queue.pop_front();
       result.metrics.record_task_start(now - task.arrival_time);
@@ -142,10 +143,13 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
     }
   };
 
+  TelemetryFrame frame;
   for (std::size_t step = 0; step < total_steps; ++step) {
     const double now = static_cast<double>(step) * config_.dt;
     const linalg::Vector true_core_temps = core_temps_of(temps);
-    const linalg::Vector core_temps = sense(true_core_temps);
+    frame = TelemetryFrame{};
+    frame.time = now;
+    frame.core_temps = sense(true_core_temps);
 
     // 1. Admit arrivals up to `now`.
     while (next_arrival < trace.size() &&
@@ -156,45 +160,33 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
       ++next_arrival;
     }
 
-    // 2. Assign queued tasks to idle cores.
-    assign_from_queue(now, core_temps);
+    // 2. Assign queued tasks to idle cores (controller decides placement).
+    assign_from_queue(now, frame.core_temps);
 
-    // 3. DFS boundary: ask the policy for the next window's frequencies.
+    // 3. Fill the window-boundary telemetry (workload accounting and block
+    //    sensors are only read by the controller at DFS boundaries).
     if (step % steps_per_window == 0) {
-      ControllerView view;
-      view.time = now;
-      view.dfs_period = config_.dfs_period;
-      view.core_temps = core_temps;
+      frame.queue_length = queue.size();
+      double backlog = 0.0;
+      for (const auto& t : queue) backlog += t.work;
+      for (const auto& c : cores) backlog += c.remaining;
+      frame.backlog_work = backlog;
+      frame.arrived_work_last_window =
+          (step == 0) ? arrived_work_window : arrived_work_prev_window;
       linalg::Vector block_temps(platform_.floorplan().size());
       for (std::size_t b = 0; b < platform_.floorplan().size(); ++b) {
         block_temps[b] = temps[b];
       }
-      view.sensor_temps = sense(block_temps);
-      view.queue_length = queue.size();
-      view.num_cores = n_cores;
-      view.fmax = fmax;
-      double backlog = 0.0;
-      for (const auto& t : queue) backlog += t.work;
-      for (const auto& c : cores) backlog += c.remaining;
-      view.backlog_work = backlog;
-      view.arrived_work_last_window =
-          (step == 0) ? arrived_work_window : arrived_work_prev_window;
-      frequencies = dfs.on_window(view);
-      if (frequencies.size() != n_cores) {
-        throw std::logic_error("DfsPolicy returned wrong frequency count");
-      }
-      for (std::size_t c = 0; c < n_cores; ++c) {
-        frequencies[c] = quantize(frequencies[c]);
-      }
+      frame.sensor_temps = sense(block_temps);
       arrived_work_prev_window = arrived_work_window;
       arrived_work_window = 0.0;
     }
 
-    // 4. Sensor-granularity policy hook (e.g. continuous thermal trip).
-    if (dfs.on_sample(now, core_temps, frequencies)) {
-      for (std::size_t c = 0; c < n_cores; ++c) {
-        frequencies[c] = quantize(frequencies[c]);
-      }
+    // 4. Hand the frame to the controller: window decision (at boundaries)
+    //    plus the sensor-granularity hook, quantized — see ControlLoop.
+    const linalg::Vector& frequencies = controller.on_telemetry(frame);
+    if (frequencies.size() != n_cores) {
+      throw std::logic_error("Controller returned wrong frequency count");
     }
 
     // 5. Execute this step; cores that finish pull the next queued task

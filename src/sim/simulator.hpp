@@ -6,6 +6,14 @@
 // fixed steps of `dt` (the paper's 0.4 ms); tasks complete mid-step with
 // exact sub-step accounting, and a core that finishes pulls the next queued
 // task immediately so no capacity is lost to step granularity.
+//
+// The simulator owns only the *plant*: task execution, power, thermals,
+// sensors and metrics. All control decisions flow through a sim::Controller
+// (see control_loop.hpp) that the simulator drives with one TelemetryFrame
+// per step — the simulator is one driver of a control loop, external
+// telemetry (api::ControlSession open-loop mode) is another. The
+// policy-pair overload below wraps the policies in a ControlLoop, which
+// reproduces the historical monolithic behavior exactly.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,7 @@
 
 #include "arch/platform.hpp"
 #include "power/power_model.hpp"
+#include "sim/control_loop.hpp"
 #include "sim/metrics.hpp"
 #include "sim/policies.hpp"
 #include "thermal/model.hpp"
@@ -71,8 +80,19 @@ class MulticoreSimulator {
  public:
   MulticoreSimulator(const arch::Platform& platform, SimConfig config);
 
-  /// Runs `trace` under the given policies for `duration` seconds of
-  /// simulated time. Both policies are reset() first.
+  /// Runs `trace` in closed loop against `controller` for `duration`
+  /// seconds of simulated time. The controller is reset() first (a run is
+  /// one complete episode); it then receives one TelemetryFrame per `dt`
+  /// step and answers every assignment query. The controller's cadence
+  /// (ControlLoop::Config dt/dfs_period) must match this simulator's
+  /// SimConfig, or window accounting will disagree.
+  SimResult run(const workload::TaskTrace& trace, Controller& controller,
+                double duration);
+
+  /// Historical entry point: wraps the policies in a ControlLoop built from
+  /// this simulator's config and runs it — behavior is identical to the
+  /// pre-extraction monolithic loop, bit for bit. Both policies are
+  /// reset() first.
   SimResult run(const workload::TaskTrace& trace, DfsPolicy& dfs,
                 AssignmentPolicy& assignment, double duration);
 

@@ -60,4 +60,95 @@ TaskTrace load_trace_file(const std::string& path) {
   return load_trace(in);
 }
 
+// ------------------------------------------------------- telemetry traces --
+
+namespace {
+
+constexpr std::size_t kTelemetryFixedColumns = 4;  // before temp0..temp{n-1}
+
+}  // namespace
+
+void save_telemetry(const TelemetryTrace& trace, std::ostream& out) {
+  if (trace.empty()) {
+    throw std::invalid_argument("save_telemetry: empty trace");
+  }
+  const std::size_t cores = trace.front().core_temps.size();
+  if (cores == 0) {
+    throw std::invalid_argument("save_telemetry: records have no cores");
+  }
+  util::CsvWriter csv(out);
+  std::vector<std::string> header = {"time", "queue_length", "backlog_work",
+                                     "arrived_work"};
+  for (std::size_t c = 0; c < cores; ++c) {
+    header.push_back("temp" + std::to_string(c));
+  }
+  csv.header(header);
+  std::vector<std::string> fields;
+  for (const TelemetryRecord& r : trace) {
+    if (r.core_temps.size() != cores) {
+      throw std::invalid_argument(
+          "save_telemetry: inconsistent core count across records");
+    }
+    fields.clear();
+    fields.push_back(util::format("%.17g", r.time));
+    fields.push_back(std::to_string(r.queue_length));
+    fields.push_back(util::format("%.17g", r.backlog_work));
+    fields.push_back(util::format("%.17g", r.arrived_work_last_window));
+    for (const double t : r.core_temps) {
+      fields.push_back(util::format("%.17g", t));
+    }
+    csv.row(fields);
+  }
+}
+
+void save_telemetry_file(const TelemetryTrace& trace,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_telemetry_file: cannot open " + path);
+  }
+  save_telemetry(trace, out);
+}
+
+TelemetryTrace load_telemetry(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_telemetry: empty input");
+  }
+  const auto header = util::parse_csv_line(line);
+  if (header.size() <= kTelemetryFixedColumns || header[0] != "time" ||
+      header[kTelemetryFixedColumns] != "temp0") {
+    throw std::runtime_error("load_telemetry: bad header");
+  }
+  const std::size_t cores = header.size() - kTelemetryFixedColumns;
+  TelemetryTrace trace;
+  while (std::getline(in, line)) {
+    if (util::trim(line).empty()) continue;
+    const auto fields = util::parse_csv_line(line);
+    if (fields.size() != header.size()) {
+      throw std::runtime_error("load_telemetry: bad row: " + line);
+    }
+    TelemetryRecord r;
+    r.time = util::parse_double(fields[0]);
+    r.queue_length = static_cast<std::size_t>(util::parse_int(fields[1]));
+    r.backlog_work = util::parse_double(fields[2]);
+    r.arrived_work_last_window = util::parse_double(fields[3]);
+    r.core_temps.reserve(cores);
+    for (std::size_t c = 0; c < cores; ++c) {
+      r.core_temps.push_back(
+          util::parse_double(fields[kTelemetryFixedColumns + c]));
+    }
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+TelemetryTrace load_telemetry_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_telemetry_file: cannot open " + path);
+  }
+  return load_telemetry(in);
+}
+
 }  // namespace protemp::workload

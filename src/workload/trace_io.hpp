@@ -1,11 +1,17 @@
 // Trace (de)serialization to CSV.
 //
-// Format: header `id,arrival_time,work,benchmark`, one row per task.
-// Round-trips exactly (times printed with 17 significant digits).
+// Task traces — format: header `id,arrival_time,work,benchmark`, one row
+// per task. Telemetry traces (externally captured sensor/load streams, the
+// open-loop input of api::ControlSession) — format: header
+// `time,queue_length,backlog_work,arrived_work,temp0,...,temp{n-1}`, one
+// row per sensor sample; the core count is taken from the header. Both
+// round-trip exactly (doubles printed with 17 significant digits).
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "workload/task.hpp"
 
@@ -17,5 +23,28 @@ void save_trace_file(const TaskTrace& trace, const std::string& path);
 /// Throws std::runtime_error on malformed input.
 TaskTrace load_trace(std::istream& in);
 TaskTrace load_trace_file(const std::string& path);
+
+/// One sensor sample of an externally captured telemetry stream. The
+/// workload fields mirror sim::TelemetryFrame and are only consumed at
+/// DFS-window boundaries; rows between boundaries may leave them zero.
+struct TelemetryRecord {
+  double time = 0.0;                      ///< [s]
+  std::vector<double> core_temps;         ///< per-core readings [degC]
+  std::size_t queue_length = 0;
+  double backlog_work = 0.0;              ///< [s at fmax]
+  double arrived_work_last_window = 0.0;  ///< [s at fmax]
+};
+
+using TelemetryTrace = std::vector<TelemetryRecord>;
+
+/// All records must have the same (non-zero) core count; throws
+/// std::invalid_argument otherwise.
+void save_telemetry(const TelemetryTrace& trace, std::ostream& out);
+void save_telemetry_file(const TelemetryTrace& trace,
+                         const std::string& path);
+
+/// Throws std::runtime_error on malformed input.
+TelemetryTrace load_telemetry(std::istream& in);
+TelemetryTrace load_telemetry_file(const std::string& path);
 
 }  // namespace protemp::workload

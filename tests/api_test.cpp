@@ -499,5 +499,47 @@ TEST(ScenarioRunner, EmptyBatchIsOk) {
   EXPECT_TRUE(reports->empty());
 }
 
+// Every failing spec must surface, not just the first: the aggregated
+// Status names each (index, name, status) and keeps the first failure's
+// code.
+TEST(ScenarioRunner, RunAllAggregatesEveryFailure) {
+  std::vector<ScenarioSpec> specs = batch_specs();
+  specs[1].dfs_options.set("bogus-knob", 1.0);
+  specs[3].workload = "no-such-workload";
+  const ScenarioRunner runner;
+  StatusOr<std::vector<ScenarioReport>> reports = runner.run_all(specs, 4);
+  ASSERT_FALSE(reports.ok());
+  EXPECT_EQ(reports.status().code(), StatusCode::kInvalidArgument);
+  const std::string& message = reports.status().message();
+  EXPECT_NE(message.find("2 of 4 scenarios failed"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("scenario 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("'batch-1'"), std::string::npos) << message;
+  EXPECT_NE(message.find("bogus-knob"), std::string::npos) << message;
+  EXPECT_NE(message.find("scenario 3"), std::string::npos) << message;
+  EXPECT_NE(message.find("no-such-workload"), std::string::npos) << message;
+}
+
+// ----------------------------------------------- serialize round-trip hole --
+
+TEST(ScenarioSpecSerialize, WarnsWhenCoreLeakageCannotRoundTrip) {
+  ScenarioSpec spec;
+  spec.name = "leaky";
+  const std::string clean = spec.serialize();
+  EXPECT_EQ(clean.find("WARNING"), std::string::npos);
+
+  spec.sim.core_leakage = power::LeakagePowerModel(2.0, 0.02, 80.0);
+  const std::string text = spec.serialize();
+  EXPECT_NE(text.find("# WARNING"), std::string::npos) << text;
+  EXPECT_NE(text.find("core_leakage"), std::string::npos) << text;
+
+  // The warning is a comment: the file still parses, and the parsed-back
+  // spec has the documented hole (no leakage model).
+  StatusOr<ScenarioSpec> parsed = ScenarioSpec::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_FALSE(parsed->sim.core_leakage.has_value());
+  EXPECT_EQ(parsed->name, "leaky");
+}
+
 }  // namespace
 }  // namespace protemp::api

@@ -1,0 +1,575 @@
+// ControlSession suite: the streaming telemetry-in / actuation-out facade.
+//
+//   * closed-loop equivalence — ScenarioRunner::run (a session driven by
+//     MulticoreSimulator) must be bitwise-identical to the historical
+//     monolithic policy-pair simulator entry point, warm and cold, on the
+//     five canonical golden-scenario shapes;
+//   * snapshot()/restore() determinism — restore mid-run, replay the same
+//     telemetry, get an identical tail (including warm-start behavior);
+//   * open-loop mechanics — frame validation, observer hooks, MetricsSink,
+//     telemetry-trace CSV round-trip and replay_telemetry.
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/protemp.hpp"
+#include "core/policies.hpp"
+
+namespace protemp {
+namespace {
+
+using api::ActuationCommand;
+using api::ControlSession;
+using api::ScenarioSpec;
+using api::SessionConfig;
+using api::SessionSnapshot;
+using api::StatusOr;
+
+// ------------------------------------------------------ canonical shapes --
+
+ScenarioSpec base_spec(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.duration = 0.7;
+  spec.seed = 2008;
+  return spec;
+}
+
+/// Coarse Phase-1 grid and a thinned optimizer so solver-heavy scenarios
+/// stay fast in Debug builds (mirrors the golden suite's coarse_solver).
+void coarse_solver(ScenarioSpec& spec) {
+  spec.dfs_options.set("tstart-step", 25.0);
+  spec.dfs_options.set("ftarget-min-mhz", 400.0);
+  spec.dfs_options.set("ftarget-step-mhz", 300.0);
+  spec.optimizer.dt = 0.8e-3;
+  spec.optimizer.gradient_step_stride = 20;
+}
+
+/// The five canonical scenario shapes of the golden suite, shortened.
+std::vector<ScenarioSpec> canonical_scenarios() {
+  std::vector<ScenarioSpec> specs;
+
+  ScenarioSpec basic = base_spec("session-basic-dfs-mixed");
+  basic.dfs_policy = "basic-dfs";
+  basic.workload = "mixed";
+  specs.push_back(basic);
+
+  ScenarioSpec notc = base_spec("session-no-tc-compute");
+  notc.dfs_policy = "no-tc";
+  notc.workload = "compute";
+  specs.push_back(notc);
+
+  ScenarioSpec protemp = base_spec("session-pro-temp-mixed");
+  protemp.dfs_policy = "pro-temp";
+  protemp.workload = "mixed";
+  protemp.duration = 0.6;
+  coarse_solver(protemp);
+  specs.push_back(protemp);
+
+  ScenarioSpec uniform = base_spec("session-pro-temp-uniform-web");
+  uniform.dfs_policy = "pro-temp";
+  uniform.workload = "web";
+  uniform.duration = 0.6;
+  uniform.optimizer.uniform_frequency = true;
+  coarse_solver(uniform);
+  specs.push_back(uniform);
+
+  ScenarioSpec online = base_spec("session-online-high-load");
+  online.dfs_policy = "pro-temp-online";
+  online.workload = "high-load";
+  online.duration = 0.3;
+  online.optimizer.dt = 0.8e-3;
+  online.optimizer.gradient_step_stride = 20;
+  specs.push_back(online);
+
+  return specs;
+}
+
+workload::TaskTrace make_trace(const ScenarioSpec& spec, std::size_t cores) {
+  StatusOr<std::vector<workload::BenchmarkProfile>> profiles =
+      api::workload_profiles(spec.workload);
+  EXPECT_TRUE(profiles.ok());
+  workload::GeneratorConfig config;
+  config.cores = cores;
+  config.duration = spec.duration;
+  config.seed = spec.seed;
+  return workload::generate_trace(*profiles, config);
+}
+
+void expect_bitwise_equal(const sim::SimResult& a, const sim::SimResult& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.mean_frequency, b.mean_frequency) << label;
+  EXPECT_EQ(a.tasks_admitted, b.tasks_admitted) << label;
+  EXPECT_EQ(a.tasks_completed, b.tasks_completed) << label;
+  EXPECT_EQ(a.tasks_left_queued, b.tasks_left_queued) << label;
+  EXPECT_EQ(a.metrics.max_temp_seen(), b.metrics.max_temp_seen()) << label;
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(a.metrics.max_temp_seen(c), b.metrics.max_temp_seen(c))
+        << label << " core " << c;
+  }
+  EXPECT_EQ(a.metrics.total_energy_joules(), b.metrics.total_energy_joules())
+      << label;
+  EXPECT_EQ(a.metrics.violation_fraction(), b.metrics.violation_fraction())
+      << label;
+  EXPECT_EQ(a.metrics.mean_spatial_gradient(),
+            b.metrics.mean_spatial_gradient())
+      << label;
+  EXPECT_EQ(a.metrics.mean_waiting_time(), b.metrics.mean_waiting_time())
+      << label;
+  EXPECT_EQ(a.metrics.band_fractions(), b.metrics.band_fractions()) << label;
+}
+
+// ScenarioRunner::run is now session + simulated-telemetry driver; it must
+// reproduce the historical monolithic policy-pair loop bit for bit, and a
+// hand-driven session must match both.
+TEST(SessionClosedLoop, MatchesMonolithicRunBitwiseWarmAndCold) {
+  for (ScenarioSpec spec : canonical_scenarios()) {
+    for (const bool warm : {true, false}) {
+      spec.optimizer.warm_start = warm;
+      const std::string label =
+          spec.name + (warm ? " [warm]" : " [cold]");
+
+      // Path A: the facade (session driven by the simulator inside run()).
+      api::ScenarioRunner runner;
+      const StatusOr<api::ScenarioReport> report = runner.run(spec);
+      ASSERT_TRUE(report.ok()) << label << ": " << report.status().to_string();
+
+      // Path B: the historical monolithic shape — policies straight into
+      // the policy-pair overload, no session.
+      StatusOr<arch::Platform> platform = api::make_platform(spec.platform);
+      ASSERT_TRUE(platform.ok());
+      api::TableCache cache;
+      api::PolicyContext context;
+      context.platform = &*platform;
+      context.optimizer = spec.optimizer;
+      context.table_cache = &cache;
+      context.platform_key = spec.platform;
+      StatusOr<std::unique_ptr<sim::DfsPolicy>> dfs =
+          api::make_dfs_policy(spec.dfs_policy, context, spec.dfs_options);
+      ASSERT_TRUE(dfs.ok()) << dfs.status().to_string();
+      StatusOr<std::unique_ptr<sim::AssignmentPolicy>> assignment =
+          api::make_assignment_policy(spec.assignment_policy,
+                                      spec.assignment_options);
+      ASSERT_TRUE(assignment.ok());
+      const workload::TaskTrace trace =
+          make_trace(spec, platform->num_cores());
+      sim::MulticoreSimulator monolithic(*platform, spec.sim);
+      const sim::SimResult direct =
+          monolithic.run(trace, **dfs, **assignment, spec.duration);
+      expect_bitwise_equal(report->result, direct, label + " runner-vs-monolithic");
+
+      // Path C (warm only, to stay in the Debug CI budget): an explicitly
+      // created session, driven by hand through the simulator.
+      if (warm) {
+        StatusOr<std::unique_ptr<ControlSession>> session =
+            ControlSession::create(spec);
+        ASSERT_TRUE(session.ok()) << session.status().to_string();
+        sim::MulticoreSimulator driver((*session)->platform(), spec.sim);
+        const sim::SimResult driven =
+            driver.run(trace, **session, spec.duration);
+        expect_bitwise_equal(report->result, driven,
+                             label + " runner-vs-session");
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ open-loop helpers --
+
+/// Spec with a coarse cadence (5 telemetry samples per DFS window) so
+/// open-loop tests stay small.
+ScenarioSpec open_loop_spec(const std::string& dfs_policy) {
+  ScenarioSpec spec = base_spec("open-loop-" + dfs_policy);
+  spec.dfs_policy = dfs_policy;
+  spec.sim.dt = 0.01;
+  spec.sim.dfs_period = 0.05;
+  spec.optimizer.dfs_period = 0.05;
+  spec.optimizer.dt = 2e-3;
+  spec.optimizer.gradient_step_stride = 10;
+  return spec;
+}
+
+/// Deterministic synthetic telemetry: a heating ramp with a spatial wave
+/// and a periodic load pattern. Window-boundary fields are filled on every
+/// frame (harmless; they are only read at boundaries).
+workload::TelemetryTrace ramp_telemetry(std::size_t cores,
+                                        std::size_t frames, double dt) {
+  workload::TelemetryTrace trace;
+  trace.reserve(frames);
+  for (std::size_t i = 0; i < frames; ++i) {
+    workload::TelemetryRecord r;
+    r.time = static_cast<double>(i) * dt;
+    const double ramp =
+        45.0 + 45.0 * static_cast<double>(i) / static_cast<double>(frames);
+    for (std::size_t c = 0; c < cores; ++c) {
+      r.core_temps.push_back(ramp + 2.0 * std::sin(0.13 * double(i) +
+                                                   0.7 * double(c)));
+    }
+    r.queue_length = 3 + (i % 5);
+    r.backlog_work = 0.25 + 0.1 * std::sin(0.21 * double(i));
+    r.arrived_work_last_window = 0.15 + 0.05 * std::cos(0.17 * double(i));
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+sim::TelemetryFrame frame_of(const workload::TelemetryRecord& r) {
+  sim::TelemetryFrame frame;
+  frame.time = r.time;
+  frame.core_temps = linalg::Vector(r.core_temps.size());
+  for (std::size_t c = 0; c < r.core_temps.size(); ++c) {
+    frame.core_temps[c] = r.core_temps[c];
+  }
+  frame.queue_length = r.queue_length;
+  frame.backlog_work = r.backlog_work;
+  frame.arrived_work_last_window = r.arrived_work_last_window;
+  return frame;
+}
+
+std::vector<linalg::Vector> step_all(ControlSession& session,
+                                     const workload::TelemetryTrace& trace,
+                                     std::size_t begin = 0) {
+  std::vector<linalg::Vector> out;
+  for (std::size_t i = begin; i < trace.size(); ++i) {
+    StatusOr<ActuationCommand> command = session.step(frame_of(trace[i]));
+    EXPECT_TRUE(command.ok()) << "frame " << i << ": "
+                              << command.status().to_string();
+    if (!command.ok()) break;
+    out.push_back(command->frequencies);
+  }
+  return out;
+}
+
+void expect_same_commands(const std::vector<linalg::Vector>& a,
+                          const std::vector<linalg::Vector>& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << label << " frame " << i;
+    for (std::size_t c = 0; c < a[i].size(); ++c) {
+      EXPECT_EQ(a[i][c], b[i][c]) << label << " frame " << i << " core " << c;
+    }
+  }
+}
+
+// ---------------------------------------------------- snapshot / restore --
+
+// Restore mid-run + replay must reproduce the original tail bitwise, for a
+// stateful trip policy and for the warm-started online MPC policy (whose
+// checkpoint covers the solver workspace hints).
+TEST(SessionSnapshot, RestoreMidRunReplaysIdenticalTail) {
+  for (const std::string policy : {"basic-dfs", "pro-temp-online"}) {
+    ScenarioSpec spec = open_loop_spec(policy);
+    if (policy == "basic-dfs") {
+      spec.dfs_options.set("continuous-trip", true);
+      spec.dfs_options.set("trip", 80.0);
+    }
+    StatusOr<std::unique_ptr<ControlSession>> reference =
+        ControlSession::create(spec);
+    ASSERT_TRUE(reference.ok()) << reference.status().to_string();
+    const std::size_t frames = 40;
+    const workload::TelemetryTrace trace =
+        ramp_telemetry((*reference)->num_cores(), frames, spec.sim.dt);
+    const std::vector<linalg::Vector> full = step_all(**reference, trace);
+    ASSERT_EQ(full.size(), frames);
+
+    StatusOr<std::unique_ptr<ControlSession>> session =
+        ControlSession::create(spec);
+    ASSERT_TRUE(session.ok());
+    const std::size_t cut = 17;  // mid-window on purpose (5 steps/window)
+    for (std::size_t i = 0; i < cut; ++i) {
+      ASSERT_TRUE((*session)->step(frame_of(trace[i])).ok());
+    }
+    const SessionSnapshot snapshot = (*session)->snapshot();
+    EXPECT_EQ((*session)->steps(), cut);
+
+    const std::vector<linalg::Vector> tail_one =
+        step_all(**session, trace, cut);
+    ASSERT_TRUE((*session)->restore(snapshot).ok());
+    EXPECT_EQ((*session)->steps(), cut);
+    const std::vector<linalg::Vector> tail_two =
+        step_all(**session, trace, cut);
+
+    expect_same_commands(tail_one, tail_two, policy + " tail replay");
+    const std::vector<linalg::Vector> reference_tail(full.begin() + cut,
+                                                     full.end());
+    expect_same_commands(tail_one, reference_tail,
+                         policy + " tail vs uninterrupted run");
+  }
+}
+
+TEST(SessionSnapshot, AssignmentStateRestores) {
+  ScenarioSpec spec = open_loop_spec("no-tc");
+  spec.assignment_policy = "random";
+  StatusOr<std::unique_ptr<ControlSession>> session =
+      ControlSession::create(spec);
+  ASSERT_TRUE(session.ok());
+
+  sim::AssignmentContext ctx;
+  ctx.core_temps = linalg::Vector((*session)->num_cores(), 60.0);
+  for (std::size_t c = 0; c < (*session)->num_cores(); ++c) {
+    ctx.idle_cores.push_back(c);
+  }
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE((*session)->assign(ctx).ok());
+
+  const SessionSnapshot snapshot = (*session)->snapshot();
+  std::vector<std::size_t> first, second;
+  for (int i = 0; i < 10; ++i) {
+    StatusOr<std::size_t> pick = (*session)->assign(ctx);
+    ASSERT_TRUE(pick.ok());
+    first.push_back(*pick);
+  }
+  ASSERT_TRUE((*session)->restore(snapshot).ok());
+  for (int i = 0; i < 10; ++i) {
+    StatusOr<std::size_t> pick = (*session)->assign(ctx);
+    ASSERT_TRUE(pick.ok());
+    second.push_back(*pick);
+  }
+  EXPECT_EQ(first, second);
+}
+
+// When the DFS state loads but the assignment state is foreign, the DFS
+// policy must be rolled back: a failed restore leaves the session exactly
+// as it was (same tail as an uninterrupted run).
+TEST(SessionSnapshot, FailedRestoreRollsBackCompletely) {
+  ScenarioSpec donor_spec = open_loop_spec("basic-dfs");
+  donor_spec.dfs_options.set("continuous-trip", true);
+  donor_spec.dfs_options.set("trip", 80.0);
+  donor_spec.assignment_policy = "round-robin";
+  ScenarioSpec spec = donor_spec;
+  spec.assignment_policy = "random";  // same dfs type, different assignment
+
+  StatusOr<std::unique_ptr<ControlSession>> donor =
+      ControlSession::create(donor_spec);
+  StatusOr<std::unique_ptr<ControlSession>> session =
+      ControlSession::create(spec);
+  StatusOr<std::unique_ptr<ControlSession>> reference =
+      ControlSession::create(spec);
+  ASSERT_TRUE(donor.ok());
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(reference.ok());
+
+  const std::size_t frames = 30;
+  const workload::TelemetryTrace trace =
+      ramp_telemetry((*session)->num_cores(), frames, spec.sim.dt);
+  const std::size_t cut = 12;
+  for (std::size_t i = 0; i < cut; ++i) {
+    ASSERT_TRUE((*donor)->step(frame_of(trace[i])).ok());
+    ASSERT_TRUE((*session)->step(frame_of(trace[i])).ok());
+    ASSERT_TRUE((*reference)->step(frame_of(trace[i])).ok());
+  }
+
+  const api::Status status = (*session)->restore((*donor)->snapshot());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), api::StatusCode::kInvalidArgument);
+
+  const std::vector<linalg::Vector> tail = step_all(**session, trace, cut);
+  const std::vector<linalg::Vector> expected =
+      step_all(**reference, trace, cut);
+  expect_same_commands(tail, expected, "post-failed-restore tail");
+}
+
+TEST(SessionSnapshot, RestoreRejectsForeignPolicyState) {
+  StatusOr<std::unique_ptr<ControlSession>> online =
+      ControlSession::create(open_loop_spec("pro-temp-online"));
+  StatusOr<std::unique_ptr<ControlSession>> basic =
+      ControlSession::create(open_loop_spec("basic-dfs"));
+  ASSERT_TRUE(online.ok());
+  ASSERT_TRUE(basic.ok());
+  const api::Status status = (*basic)->restore((*online)->snapshot());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), api::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("not produced by this policy"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------- frame validation --
+
+TEST(SessionStep, RejectsMalformedFrames) {
+  StatusOr<std::unique_ptr<ControlSession>> session =
+      ControlSession::create(open_loop_spec("no-tc"));
+  ASSERT_TRUE(session.ok());
+
+  sim::TelemetryFrame wrong_size;
+  wrong_size.time = 0.0;
+  wrong_size.core_temps = linalg::Vector(3, 50.0);
+  const StatusOr<ActuationCommand> bad = (*session)->step(wrong_size);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), api::StatusCode::kInvalidArgument);
+  EXPECT_EQ((*session)->steps(), 0u);  // rejected frame consumed nothing
+
+  sim::TelemetryFrame good;
+  good.time = 1.0;
+  good.core_temps = linalg::Vector((*session)->num_cores(), 50.0);
+  ASSERT_TRUE((*session)->step(good).ok());
+
+  sim::TelemetryFrame backwards = good;
+  backwards.time = 0.5;
+  const StatusOr<ActuationCommand> stale = (*session)->step(backwards);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_NE(stale.status().message().find("backwards"), std::string::npos);
+  EXPECT_EQ((*session)->steps(), 1u);
+}
+
+// ------------------------------------------------------- observers / sink --
+
+struct CountingObserver final : api::SessionObserver {
+  std::size_t steps = 0;
+  std::size_t windows = 0;
+  std::size_t trips = 0;
+  std::size_t table_builds = 0;
+  void on_step(const sim::TelemetryFrame&,
+               const ActuationCommand& command) override {
+    ++steps;
+    if (command.window_boundary) ++windows;
+  }
+  void on_trip(const sim::TelemetryFrame&, const ActuationCommand&) override {
+    ++trips;
+  }
+  void on_table_build(const api::TableBuildInfo&) override { ++table_builds; }
+};
+
+TEST(SessionObservers, StepTripAndSinkFire) {
+  ScenarioSpec spec = open_loop_spec("basic-dfs");
+  spec.dfs_options.set("continuous-trip", true);
+  spec.dfs_options.set("trip", 70.0);  // the ramp crosses this mid-window
+  StatusOr<std::unique_ptr<ControlSession>> session =
+      ControlSession::create(spec);
+  ASSERT_TRUE(session.ok());
+
+  CountingObserver counter;
+  (*session)->add_observer(&counter);
+  api::MetricsSink sink(**session);
+  (*session)->add_observer(&sink);
+
+  const std::size_t frames = 40;
+  const workload::TelemetryTrace trace =
+      ramp_telemetry((*session)->num_cores(), frames, spec.sim.dt);
+  step_all(**session, trace);
+
+  EXPECT_EQ(counter.steps, frames);
+  EXPECT_EQ(counter.windows, frames / 5);  // 5 telemetry samples per window
+  EXPECT_GT(counter.trips, 0u);
+  EXPECT_EQ(sink.steps(), frames);
+  EXPECT_EQ(sink.windows(), counter.windows);
+  EXPECT_EQ(sink.trips(), counter.trips);
+  EXPECT_GT(sink.metrics().max_temp_seen(), 85.0);
+  EXPECT_GE(sink.mean_frequency(), 0.0);
+
+  (*session)->remove_observer(&counter);
+  ASSERT_TRUE((*session)->step(frame_of(ramp_telemetry(
+                  (*session)->num_cores(), frames + 1, spec.sim.dt)
+                  .back())).ok());
+  EXPECT_EQ(counter.steps, frames);  // removed observers stay silent
+}
+
+TEST(SessionObservers, TableBuildFiresOnCacheMissOnly) {
+  ScenarioSpec spec = base_spec("table-build-observer");
+  spec.dfs_policy = "pro-temp";
+  coarse_solver(spec);
+
+  CountingObserver counter;
+  api::TableCache cache;
+  SessionConfig config;
+  config.table_cache = &cache;
+  config.observers.push_back(&counter);
+
+  ASSERT_TRUE(ControlSession::create(spec, config).ok());
+  EXPECT_EQ(counter.table_builds, 1u);
+  ASSERT_TRUE(ControlSession::create(spec, config).ok());
+  EXPECT_EQ(counter.table_builds, 1u);  // cache hit: no rebuild, no event
+}
+
+// ------------------------------------------------- telemetry trace replay --
+
+TEST(TelemetryTraceIo, RoundTripsExactly) {
+  const workload::TelemetryTrace trace = ramp_telemetry(8, 23, 0.01);
+  std::stringstream stream;
+  workload::save_telemetry(trace, stream);
+  const workload::TelemetryTrace loaded = workload::load_telemetry(stream);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].time, trace[i].time);
+    EXPECT_EQ(loaded[i].queue_length, trace[i].queue_length);
+    EXPECT_EQ(loaded[i].backlog_work, trace[i].backlog_work);
+    EXPECT_EQ(loaded[i].arrived_work_last_window,
+              trace[i].arrived_work_last_window);
+    EXPECT_EQ(loaded[i].core_temps, trace[i].core_temps);
+  }
+}
+
+TEST(TelemetryTraceIo, RejectsMalformedInput) {
+  std::stringstream missing_temps("time,queue_length,backlog_work,arrived_work\n");
+  EXPECT_THROW(workload::load_telemetry(missing_temps), std::runtime_error);
+  std::stringstream ragged(
+      "time,queue_length,backlog_work,arrived_work,temp0\n1,2,3\n");
+  EXPECT_THROW(workload::load_telemetry(ragged), std::runtime_error);
+}
+
+TEST(TelemetryReplay, DrivesSessionWithNoSimulatorInTheLoop) {
+  ScenarioSpec spec = open_loop_spec("basic-dfs");
+  StatusOr<std::unique_ptr<ControlSession>> session =
+      ControlSession::create(spec);
+  ASSERT_TRUE(session.ok());
+
+  const std::size_t frames = 35;
+  const workload::TelemetryTrace trace =
+      ramp_telemetry((*session)->num_cores(), frames, spec.sim.dt);
+  const StatusOr<api::ReplayReport> report =
+      api::replay_telemetry(**session, trace);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report->frames, frames);
+  EXPECT_EQ(report->windows, (frames + 4) / 5);  // ceil: boundary at step 0
+  EXPECT_EQ(report->final_frequencies.size(), (*session)->num_cores());
+  EXPECT_GT(report->max_core_temp, 85.0);
+  EXPECT_EQ((*session)->steps(), frames);
+
+  // A replay against a session of the wrong width fails with the frame
+  // index anchored.
+  workload::TelemetryTrace narrow = trace;
+  narrow[3].core_temps.pop_back();
+  StatusOr<std::unique_ptr<ControlSession>> fresh =
+      ControlSession::create(spec);
+  ASSERT_TRUE(fresh.ok());
+  const StatusOr<api::ReplayReport> rejected =
+      api::replay_telemetry(**fresh, narrow);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("telemetry frame 3"),
+            std::string::npos);
+}
+
+// The open-loop session serves an online policy with the same per-instance
+// warm-start workspace the batch runner uses: successive windows warm-start
+// each other across step() calls.
+TEST(SessionWarmStart, OnlineSessionWarmStartsAcrossWindows) {
+  ScenarioSpec spec = open_loop_spec("pro-temp-online");
+  StatusOr<std::unique_ptr<ControlSession>> session =
+      ControlSession::create(spec);
+  ASSERT_TRUE(session.ok());
+  // A slowly cooling chip: the feasible set grows window over window, so
+  // each previous optimum stays strictly feasible and seeds the next solve
+  // (a heating ramp would shrink the set and reject every hint).
+  workload::TelemetryTrace trace;
+  for (std::size_t i = 0; i < 25; ++i) {
+    workload::TelemetryRecord r;
+    r.time = static_cast<double>(i) * spec.sim.dt;
+    for (std::size_t c = 0; c < (*session)->num_cores(); ++c) {
+      r.core_temps.push_back(72.0 - 0.2 * double(i) + 0.5 * double(c % 3));
+    }
+    r.queue_length = 4;
+    r.backlog_work = 0.2;
+    r.arrived_work_last_window = 0.1;
+    trace.push_back(std::move(r));
+  }
+  step_all(**session, trace);
+  const auto& policy =
+      dynamic_cast<const core::OnlineProTempPolicy&>((*session)->dfs_policy());
+  EXPECT_EQ(policy.stats().windows, 5u);
+  EXPECT_GE(policy.stats().warm_started, 3u);  // all but the first window(s)
+}
+
+}  // namespace
+}  // namespace protemp
