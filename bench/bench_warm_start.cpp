@@ -215,6 +215,18 @@ int main(int argc, char** argv) {
                        agreement.average_dev < 1e-6 &&
                        agreement.percore_dev < 2e6 && mpc_drift < 1e-6;
     const bool fast = build_speedup >= 1.5;
+
+    bench::JsonReporter json("warm_start");
+    json.add_metric("lut_build_cold", cold.seconds, "s");
+    json.add_metric("lut_build_warm", warm.seconds, "s");
+    json.add_metric("mpc_sweep_cold", mpc_cold.seconds, "s");
+    json.add_metric("mpc_sweep_warm", mpc_warm.seconds, "s");
+    json.add_metric("mpc_speedup", mpc_speedup, "x");
+    json.add_gated_metric("lut_build_speedup", build_speedup, "x", ">= 1.5x",
+                          fast);
+    json.add_gated_metric("table_agreement", agreement.percore_dev, "Hz",
+                          "< 2e6 Hz per-core", agree);
+    json.write();
     std::printf("table agreement (pattern %s, avg dev %.2e, per-core dev "
                 "%.3f MHz, mpc drift %.2e): %s\n",
                 agreement.same_pattern ? "equal" : "DIFFERS",

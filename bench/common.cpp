@@ -140,4 +140,75 @@ void begin_csv(const std::string& name) {
 
 void end_csv() { std::printf("END-CSV\n"); }
 
+namespace {
+
+/// Minimal JSON string escaping (bench metric names are ASCII, but a
+/// malformed artifact is worse than three lines of escaping).
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonReporter::JsonReporter(std::string name) : name_(std::move(name)) {}
+
+void JsonReporter::add_metric(const std::string& metric, double value,
+                              const std::string& unit) {
+  entries_.push_back(Entry{metric, value, unit, "", true});
+}
+
+void JsonReporter::add_gated_metric(const std::string& metric, double value,
+                                    const std::string& unit,
+                                    const std::string& gate, bool pass) {
+  entries_.push_back(Entry{metric, value, unit, gate, pass});
+}
+
+bool JsonReporter::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [",
+               json_escape(name_).c_str());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    std::fprintf(f, "%s\n    {\"metric\": \"%s\", \"value\": %.17g, "
+                 "\"unit\": \"%s\"",
+                 i == 0 ? "" : ",", json_escape(e.metric).c_str(), e.value,
+                 json_escape(e.unit).c_str());
+    if (!e.gate.empty()) {
+      std::fprintf(f, ", \"gate\": \"%s\", \"pass\": %s",
+                   json_escape(e.gate).c_str(), e.pass ? "true" : "false");
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  const bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
+  std::fclose(f);
+  if (ok) std::printf("# bench metrics written to %s\n", path.c_str());
+  return ok;
+}
+
 }  // namespace protemp::bench

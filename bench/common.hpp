@@ -74,4 +74,41 @@ sim::SimResult run_policy(sim::DfsPolicy& policy,
 void begin_csv(const std::string& name);
 void end_csv();
 
+/// Machine-readable bench results: every harness records its headline
+/// metrics (and gate verdicts) here and writes `BENCH_<name>.json` into the
+/// working directory on destruction-free `write()`, so CI can upload one
+/// artifact per bench and the perf trajectory is trackable across PRs.
+///
+/// Schema: {"bench": "<name>", "metrics": [{"metric": "...", "value": x,
+/// "unit": "...", "gate": "...", "pass": true}, ...]} — `gate`/`pass` are
+/// present only for gated metrics.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string name);
+
+  /// Plain tracked metric.
+  void add_metric(const std::string& metric, double value,
+                  const std::string& unit);
+  /// Gated metric: `gate` is the human-readable bar (e.g. ">= 5x"), `pass`
+  /// the verdict the bench exits on.
+  void add_gated_metric(const std::string& metric, double value,
+                        const std::string& unit, const std::string& gate,
+                        bool pass);
+
+  /// Writes BENCH_<name>.json (overwriting); prints the path on success.
+  /// Returns false (with a message on stderr) on I/O failure.
+  bool write() const;
+
+ private:
+  struct Entry {
+    std::string metric;
+    double value = 0.0;
+    std::string unit;
+    std::string gate;  ///< empty = ungated
+    bool pass = true;
+  };
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
 }  // namespace protemp::bench

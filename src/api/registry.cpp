@@ -1,5 +1,6 @@
 #include "api/registry.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "arch/mesh.hpp"
 #include "arch/niagara.hpp"
 #include "core/policies.hpp"
 #include "sim/assignment.hpp"
@@ -209,6 +211,28 @@ Status PolicyRegistry::register_platform(const std::string& name,
   return Status();
 }
 
+Status PolicyRegistry::register_platform_family(const std::string& prefix,
+                                                std::string name_template,
+                                                PlatformFamilyFactory factory) {
+  if (!factory) {
+    return Status::invalid_argument("platform family '" + prefix +
+                                    "': null factory");
+  }
+  if (prefix.empty() || prefix.find(':') != std::string::npos) {
+    return Status::invalid_argument("platform family prefix '" + prefix +
+                                    "' must be non-empty and ':'-free");
+  }
+  if (!platform_families_
+           .emplace(prefix,
+                    PlatformFamily{std::move(name_template),
+                                   std::move(factory)})
+           .second) {
+    return Status::already_exists("platform family '" + prefix +
+                                  "' registered twice");
+  }
+  return Status();
+}
+
 namespace {
 
 std::string known_names(const std::vector<std::string>& names) {
@@ -261,8 +285,23 @@ StatusOr<arch::Platform> PolicyRegistry::make_platform(
     const std::string& name, const Options& options) const {
   const auto it = platforms_.find(name);
   if (it == platforms_.end()) {
-    return Status::not_found("unknown platform '" + name + "' (known: " +
-                             known_names(platform_names()) + ")");
+    // "<prefix>:<params>" dispatches to the prefix's family, which parses
+    // the parameter suffix itself.
+    const std::size_t colon = name.find(':');
+    const auto family = colon == std::string::npos
+                            ? platform_families_.end()
+                            : platform_families_.find(name.substr(0, colon));
+    if (family == platform_families_.end()) {
+      return Status::not_found("unknown platform '" + name + "' (known: " +
+                               known_names(platform_names()) + ")");
+    }
+    try {
+      return family->second.factory(name, options);
+    } catch (const std::invalid_argument& e) {
+      return Status::invalid_argument("platform '" + name + "': " + e.what());
+    } catch (const std::exception& e) {
+      return Status::internal("platform '" + name + "': " + e.what());
+    }
   }
   try {
     return it->second(options);
@@ -280,7 +319,10 @@ bool PolicyRegistry::has_assignment(const std::string& name) const {
   return assignment_.count(name) != 0;
 }
 bool PolicyRegistry::has_platform(const std::string& name) const {
-  return platforms_.count(name) != 0;
+  if (platforms_.count(name) != 0) return true;
+  const std::size_t colon = name.find(':');
+  return colon != std::string::npos &&
+         platform_families_.count(name.substr(0, colon)) != 0;
 }
 
 namespace {
@@ -303,7 +345,13 @@ std::vector<std::string> PolicyRegistry::assignment_names() const {
   return keys_of(assignment_);
 }
 std::vector<std::string> PolicyRegistry::platform_names() const {
-  return keys_of(platforms_);
+  std::vector<std::string> names = keys_of(platforms_);
+  for (const auto& [prefix, family] : platform_families_) {
+    (void)prefix;
+    names.push_back(family.name_template);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
 }
 
 StatusOr<std::unique_ptr<sim::DfsPolicy>> make_dfs_policy(
@@ -386,13 +434,17 @@ std::string table_cache_key(const PolicyContext& context,
                                                  : context.platform_key;
   // warm_start is part of the key: warm and cold builds agree only to the
   // solver tolerance, and table identity must be exact per configuration.
+  // The linalg backend is keyed too — its kernels are bitwise-identical by
+  // design, but table identity must be exact per *configuration*, not per
+  // proof about the configuration.
   key += util::format(
       "|tmax=%.17g|win=%.17g|dt=%.17g|uni=%d|grad=%d|gw=%.17g|stride=%zu"
-      "|slack=%.17g|floor=%.17g|budget=%.17g|warm=%d",
+      "|slack=%.17g|floor=%.17g|budget=%.17g|warm=%d|be=%s",
       c.tmax, c.dfs_period, c.dt, c.uniform_frequency ? 1 : 0,
       c.minimize_gradient ? 1 : 0, c.gradient_weight, c.gradient_step_stride,
       c.constraint_slack, c.sigma_floor,
-      c.power_budget_watts.value_or(-1.0), c.warm_start ? 1 : 0);
+      c.power_budget_watts.value_or(-1.0), c.warm_start ? 1 : 0,
+      linalg::to_string(c.backend));
   for (const double t : grid.tstart) key += util::format("|t%.17g", t);
   for (const double f : grid.ftarget) key += util::format("|f%.17g", f);
   return key;
@@ -512,6 +564,40 @@ PROTEMP_REGISTER_ASSIGNMENT_POLICY(
       if (Status s = reader.finish(); !s.ok()) return s;
       return std::unique_ptr<sim::AssignmentPolicy>(
           new sim::AdaptiveRandomAssignment(seed, decay, sharpness));
+    });
+
+PROTEMP_REGISTER_PLATFORM_FAMILY(
+    "mesh", "mesh:<rows>x<cols>",
+    [](const std::string& name,
+       const Options& options) -> StatusOr<arch::Platform> {
+      const auto dims = arch::parse_mesh_dims(name);
+      if (!dims) {
+        return Status::invalid_argument(
+            "platform '" + name +
+            "': expected mesh:<rows>x<cols> with dimensions in [1, 64]");
+      }
+      OptionReader reader(options);
+      arch::MeshConfig config;
+      config.rows = dims->first;
+      config.cols = dims->second;
+      config.core_edge_mm =
+          reader.get_double("core-edge-mm", config.core_edge_mm);
+      config.fmax_hz = util::mhz(
+          reader.get_double("fmax-mhz", util::to_mhz(config.fmax_hz)));
+      config.core_pmax_watts =
+          reader.get_double("core-pmax", config.core_pmax_watts);
+      config.other_power_fraction = reader.get_double(
+          "other-power-fraction", config.other_power_fraction);
+      config.background_activity_fraction = reader.get_double(
+          "background-activity-fraction", config.background_activity_fraction);
+      config.power_exponent =
+          reader.get_double("power-exponent", config.power_exponent);
+      config.idle_fraction =
+          reader.get_double("idle-fraction", config.idle_fraction);
+      config.ambient_celsius =
+          reader.get_double("ambient", config.ambient_celsius);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return arch::make_mesh_platform(config);
     });
 
 PROTEMP_REGISTER_PLATFORM(

@@ -134,6 +134,11 @@ using AssignmentPolicyFactory =
         const Options&)>;
 using PlatformFactory =
     std::function<StatusOr<arch::Platform>(const Options&)>;
+/// Factory of a *parametric* platform family: receives the full requested
+/// name (e.g. "mesh:8x8") and parses its parameters from the suffix.
+using PlatformFamilyFactory =
+    std::function<StatusOr<arch::Platform>(const std::string& name,
+                                           const Options&)>;
 
 class PolicyRegistry {
  public:
@@ -144,6 +149,15 @@ class PolicyRegistry {
   Status register_assignment(const std::string& name,
                              AssignmentPolicyFactory factory);
   Status register_platform(const std::string& name, PlatformFactory factory);
+  /// Registers a parametric family resolved by prefix: any requested name
+  /// of the form "<prefix>:<params>" without an exact-name registration
+  /// dispatches to `factory` with the full name. `name_template` is the
+  /// human-facing placeholder listed next to the concrete platforms (e.g.
+  /// "mesh:<rows>x<cols>"), so --list-policies and not-found messages
+  /// advertise the family.
+  Status register_platform_family(const std::string& prefix,
+                                  std::string name_template,
+                                  PlatformFamilyFactory factory);
 
   StatusOr<std::unique_ptr<sim::DfsPolicy>> make_dfs(
       const std::string& name, const PolicyContext& context,
@@ -155,19 +169,29 @@ class PolicyRegistry {
 
   bool has_dfs(const std::string& name) const;
   bool has_assignment(const std::string& name) const;
+  /// True for exact platform names and for "<prefix>:<...>" names whose
+  /// prefix is a registered family (parameter validation happens at
+  /// make_platform time, with a line-of-sight Status).
   bool has_platform(const std::string& name) const;
 
-  /// Sorted names, for --list-policies and error messages.
+  /// Sorted names, for --list-policies and error messages. Platform names
+  /// include each family's `name_template` placeholder.
   std::vector<std::string> dfs_names() const;
   std::vector<std::string> assignment_names() const;
   std::vector<std::string> platform_names() const;
 
  private:
+  struct PlatformFamily {
+    std::string name_template;
+    PlatformFamilyFactory factory;
+  };
+
   PolicyRegistry() = default;
 
   std::map<std::string, DfsPolicyFactory> dfs_;
   std::map<std::string, AssignmentPolicyFactory> assignment_;
   std::map<std::string, PlatformFactory> platforms_;
+  std::map<std::string, PlatformFamily> platform_families_;  ///< by prefix
 };
 
 /// Convenience wrappers over PolicyRegistry::instance().
@@ -210,5 +234,11 @@ struct Registrar {
       PROTEMP_REGISTRY_CONCAT(protemp_platform_registrar_, __COUNTER__)(  \
           ::protemp::api::PolicyRegistry::instance().register_platform(   \
               name, factory))
+#define PROTEMP_REGISTER_PLATFORM_FAMILY(prefix, name_template, factory)  \
+  static const ::protemp::api::internal::Registrar                        \
+      PROTEMP_REGISTRY_CONCAT(protemp_platform_family_registrar_,         \
+                              __COUNTER__)(                               \
+          ::protemp::api::PolicyRegistry::instance()                      \
+              .register_platform_family(prefix, name_template, factory))
 
 }  // namespace protemp::api

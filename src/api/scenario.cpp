@@ -102,6 +102,21 @@ class SpecParser {
     if (key == "sim.sensor_noise_seed") {
       return set_seed(a, spec_.sim.sensor_noise_seed);
     }
+    if (key == "sim.thermal_backend") {
+      return set_backend(a, spec_.sim.thermal_backend);
+    }
+    // Temperature-dependent leakage (paper extension). The three keys stage
+    // into plain doubles; finish() assembles the LeakagePowerModel once the
+    // whole spec is parsed (nominal is the enabling key).
+    if (key == "sim.core_leakage.nominal") {
+      return set_staged_double(a, leakage_nominal_);
+    }
+    if (key == "sim.core_leakage.sensitivity") {
+      return set_staged_double(a, leakage_sensitivity_);
+    }
+    if (key == "sim.core_leakage.ref_celsius") {
+      return set_staged_double(a, leakage_ref_);
+    }
 
     if (key == "opt.tmax") return set_double(a, spec_.optimizer.tmax);
     if (key == "opt.dfs_period") {
@@ -132,6 +147,9 @@ class SpecParser {
     if (key == "opt.warm_start") {
       return set_bool(a, spec_.optimizer.warm_start);
     }
+    if (key == "opt.backend") {
+      return set_backend(a, spec_.optimizer.backend);
+    }
 
     if (key.rfind("platform.", 0) == 0) {
       spec_.platform_options.set(key.substr(9), a.value);
@@ -146,6 +164,28 @@ class SpecParser {
       return Status();
     }
     return line_error(a.line, "unknown key '" + key + "'");
+  }
+
+  /// Completes multi-key staged fields once every line is consumed:
+  /// assembles sim.core_leakage from its three keys (sensitivity and
+  /// reference default to deep-submicron-typical values when omitted).
+  Status finish() {
+    if (!leakage_nominal_ && (leakage_sensitivity_ || leakage_ref_)) {
+      return line_error(leakage_line_,
+                        "sim.core_leakage.* requires "
+                        "sim.core_leakage.nominal");
+    }
+    if (leakage_nominal_) {
+      try {
+        spec_.sim.core_leakage = power::LeakagePowerModel(
+            *leakage_nominal_, leakage_sensitivity_.value_or(0.02),
+            leakage_ref_.value_or(80.0));
+      } catch (const std::exception& e) {
+        return line_error(leakage_line_,
+                          std::string("sim.core_leakage: ") + e.what());
+      }
+    }
+    return Status();
   }
 
  private:
@@ -206,6 +246,22 @@ class SpecParser {
     return Status();
   }
 
+  Status set_backend(const Assignment& a, linalg::MatrixBackend& out) {
+    const auto value = linalg::parse_backend(a.value);
+    if (!value) {
+      return line_error(a.line, "key '" + a.key +
+                                    "': expected auto|dense|sparse, got '" +
+                                    a.value + "'");
+    }
+    out = *value;
+    return Status();
+  }
+
+  Status set_staged_double(const Assignment& a, std::optional<double>& out) {
+    if (leakage_line_ == 0) leakage_line_ = a.line;
+    return set_optional_double(a, out);
+  }
+
   Status set_band_edges(const Assignment& a) {
     std::vector<double> edges;
     for (const std::string& part : util::split(a.value, ',')) {
@@ -225,6 +281,10 @@ class SpecParser {
   }
 
   ScenarioSpec& spec_;
+  std::optional<double> leakage_nominal_;
+  std::optional<double> leakage_sensitivity_;
+  std::optional<double> leakage_ref_;
+  std::size_t leakage_line_ = 0;  ///< first sim.core_leakage.* line seen
 };
 
 }  // namespace
@@ -254,6 +314,7 @@ StatusOr<ScenarioSpec> ScenarioSpec::parse(std::string_view text) {
     }
     if (Status s = parser.apply(a); !s.ok()) return s;
   }
+  if (Status s = parser.finish(); !s.ok()) return s;
   if (Status s = spec.validate(); !s.ok()) return s;
   return spec;
 }
@@ -341,15 +402,11 @@ std::string ScenarioSpec::serialize() const {
   emit("seed", std::to_string(seed));
 
   if (sim.core_leakage) {
-    // The leakage model is a non-declarative SimConfig extension with no
-    // text form: parse() of this file yields a spec with core_leakage
-    // unset. Say so in the artifact instead of silently dropping it.
-    out << "# WARNING: this spec had the 'core_leakage' SimConfig extension "
-           "enabled;\n"
-           "# it has no text form and is NOT round-tripped — parsing this "
-           "file yields\n"
-           "# a spec without core leakage (see DESIGN.md, scenario key "
-           "reference).\n";
+    emit("sim.core_leakage.nominal", format_double(sim.core_leakage->nominal()));
+    emit("sim.core_leakage.sensitivity",
+         format_double(sim.core_leakage->sensitivity()));
+    emit("sim.core_leakage.ref_celsius",
+         format_double(sim.core_leakage->ref_celsius()));
   }
   emit("sim.dt", format_double(sim.dt));
   emit("sim.dfs_period", format_double(sim.dfs_period));
@@ -365,6 +422,7 @@ std::string ScenarioSpec::serialize() const {
   emit("sim.trace_sample_period", format_double(sim.trace_sample_period));
   emit("sim.sensor_noise_stddev", format_double(sim.sensor_noise_stddev));
   emit("sim.sensor_noise_seed", std::to_string(sim.sensor_noise_seed));
+  emit("sim.thermal_backend", linalg::to_string(sim.thermal_backend));
 
   emit("opt.tmax", format_double(optimizer.tmax));
   emit("opt.dfs_period", format_double(optimizer.dfs_period));
@@ -382,6 +440,7 @@ std::string ScenarioSpec::serialize() const {
          format_double(*optimizer.power_budget_watts));
   }
   emit("opt.warm_start", optimizer.warm_start ? "true" : "false");
+  emit("opt.backend", linalg::to_string(optimizer.backend));
 
   emit("dfs", dfs_policy);
   emit_options("dfs", dfs_options);

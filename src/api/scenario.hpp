@@ -65,11 +65,9 @@ struct ScenarioSpec {
   Status validate() const;
 
   /// Canonical text form; parse(serialize()) reproduces the spec exactly
-  /// (doubles are emitted with round-trip precision) — with one documented
-  /// hole: the non-declarative SimConfig extension `core_leakage` has no
-  /// text form. When it is set, serialize() emits a `# WARNING: ...`
-  /// comment block naming the loss, and the parsed-back spec has
-  /// core_leakage unset (see DESIGN.md, scenario key reference).
+  /// (doubles are emitted with round-trip precision). Every field has a
+  /// text form, including the `core_leakage` extension
+  /// (`sim.core_leakage.{nominal,sensitivity,ref_celsius}`).
   std::string serialize() const;
 
   static StatusOr<ScenarioSpec> parse(std::string_view text);

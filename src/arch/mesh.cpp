@@ -1,0 +1,151 @@
+#include "arch/mesh.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace protemp::arch {
+
+using thermal::Block;
+using thermal::BlockKind;
+using thermal::Floorplan;
+using util::mm;
+
+namespace {
+
+/// Niagara die area [m^2] (12 mm x 10.5 mm): the reference point of the
+/// package calibration (see arch/niagara.hpp).
+constexpr double kReferenceDieAreaM2 = 12.0e-3 * 10.5e-3;
+constexpr std::size_t kMaxMeshDim = 64;
+
+void validate_config(const MeshConfig& config) {
+  if (config.rows == 0 || config.cols == 0 || config.rows > kMaxMeshDim ||
+      config.cols > kMaxMeshDim) {
+    throw std::invalid_argument(
+        "MeshConfig: rows and cols must be in [1, " +
+        std::to_string(kMaxMeshDim) + "], got " + std::to_string(config.rows) +
+        "x" + std::to_string(config.cols));
+  }
+  if (!(config.core_edge_mm > 0.0)) {
+    throw std::invalid_argument("MeshConfig: core edge must be positive");
+  }
+}
+
+double die_area_m2(const MeshConfig& config) {
+  const double edge = mm(config.core_edge_mm);
+  const double width = static_cast<double>(config.cols) * edge;
+  const double height = (static_cast<double>(config.rows) + 2.0) * edge;
+  return width * height;  // core grid + the two cache strips
+}
+
+}  // namespace
+
+std::optional<std::pair<std::size_t, std::size_t>> parse_mesh_dims(
+    std::string_view name) noexcept {
+  if (name.rfind("mesh:", 0) == 0) name.remove_prefix(5);
+  const std::size_t x = name.find('x');
+  if (x == std::string_view::npos || x == 0 || x + 1 >= name.size()) {
+    return std::nullopt;
+  }
+  const auto parse_dim =
+      [](std::string_view text) -> std::optional<std::size_t> {
+    if (text.empty() || text.size() > 2) return std::nullopt;  // <= 64 fits
+    std::size_t value = 0;
+    for (const char c : text) {
+      if (c < '0' || c > '9') return std::nullopt;
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    return value;
+  };
+  const auto rows = parse_dim(name.substr(0, x));
+  const auto cols = parse_dim(name.substr(x + 1));
+  if (!rows || !cols || *rows == 0 || *cols == 0 || *rows > kMaxMeshDim ||
+      *cols > kMaxMeshDim) {
+    return std::nullopt;
+  }
+  return std::make_pair(*rows, *cols);
+}
+
+Floorplan make_mesh_floorplan(const MeshConfig& config) {
+  validate_config(config);
+  const double edge = mm(config.core_edge_mm);
+  const double die_w = static_cast<double>(config.cols) * edge;
+  Floorplan fp;
+
+  // South strip, core rows bottom-to-top, north strip.
+  fp.add_block({"l2_s", BlockKind::kCache, 0.0, 0.0, die_w, edge});
+  for (std::size_t r = 0; r < config.rows; ++r) {
+    const double y = (static_cast<double>(r) + 1.0) * edge;
+    for (std::size_t c = 0; c < config.cols; ++c) {
+      fp.add_block({"c" + std::to_string(r) + "_" + std::to_string(c),
+                    BlockKind::kCore, static_cast<double>(c) * edge, y, edge,
+                    edge});
+    }
+  }
+  const double north_y = (static_cast<double>(config.rows) + 1.0) * edge;
+  fp.add_block({"l2_n", BlockKind::kCache, 0.0, north_y, die_w, edge});
+
+  fp.validate_no_overlap();
+  return fp;
+}
+
+thermal::PackageParams make_mesh_package(const MeshConfig& config) {
+  validate_config(config);
+  // Niagara-calibrated die and TIM parameters (arch/niagara.cpp), with the
+  // package-level cooling scaled to die area: a bigger chip ships with a
+  // proportionally bigger spreader/sink, so thermal resistance to ambient
+  // scales ~1/area and thermal mass ~area. That keeps power density — and
+  // with it the sawtooth dynamics the controller is designed around — in
+  // the calibrated regime from 2 cores to 4096.
+  const double area_scale = die_area_m2(config) / kReferenceDieAreaM2;
+  thermal::PackageParams pkg;
+  pkg.die_thickness = 0.35e-3;
+  pkg.silicon_conductivity = 100.0;
+  pkg.silicon_volumetric_heat = 1.75e6;
+  pkg.block_capacitance_factor = 1.0;
+  pkg.tim_resistance_per_area = 8.0e-5;  // per-area: scales by itself
+  pkg.spreader_capacitance = 4.0 * area_scale;
+  pkg.spreader_to_sink_resistance = 0.35 / area_scale;
+  pkg.sink_capacitance = 24.0 * area_scale;
+  pkg.convection_resistance = 0.9 / area_scale;
+  pkg.ambient_celsius = config.ambient_celsius;
+  return pkg;
+}
+
+Platform make_mesh_platform(const MeshConfig& config) {
+  Floorplan fp = make_mesh_floorplan(config);
+  const thermal::PackageParams pkg = make_mesh_package(config);
+
+  const power::DvfsPowerModel core_model(config.core_pmax_watts,
+                                         config.fmax_hz,
+                                         config.power_exponent,
+                                         config.idle_fraction);
+
+  // Background power: other_power_fraction of the total core pmax, spread
+  // over the cache strips proportionally to area (both strips are equal
+  // here, but mirror the Niagara logic for robustness).
+  const auto cores = fp.blocks_of_kind(BlockKind::kCore);
+  const double background_total = config.other_power_fraction *
+                                  config.core_pmax_watts *
+                                  static_cast<double>(cores.size());
+  double non_core_area = 0.0;
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    if (fp.block(i).kind != BlockKind::kCore) {
+      non_core_area += fp.block(i).area();
+    }
+  }
+  linalg::Vector background(fp.size() + 2);  // + spreader + sink
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    if (fp.block(i).kind != BlockKind::kCore) {
+      background[i] = background_total * fp.block(i).area() / non_core_area;
+    }
+  }
+
+  const std::string name = "mesh:" + std::to_string(config.rows) + "x" +
+                           std::to_string(config.cols);
+  return Platform(name, std::move(fp), pkg, core_model, std::move(background),
+                  config.background_activity_fraction);
+}
+
+}  // namespace protemp::arch

@@ -1,0 +1,58 @@
+// Parametric mesh many-core platform family ("mesh:<rows>x<cols>").
+//
+// A rows x cols grid of identical square cores flanked by an L2 cache strip
+// above and below — the canonical many-core tile layout (cf. the many-core
+// HPC thermal-management line of work in PAPERS.md). Core count is a
+// *scenario parameter*: "mesh:2x4" is an 8-core chip in the Niagara class,
+// "mesh:16x16" is a 256-core part. Per-block R/C values are derived from
+// block geometry by the HotSpot-style RcNetwork builder exactly as for the
+// Niagara floorplan; the package (spreader/sink/convection) is scaled with
+// die area so power *density* — the quantity the thermal problem actually
+// feels — stays in the calibrated Niagara regime at every size, and forward
+// Euler at the paper's 0.4 ms step remains stable.
+//
+// The resulting conductance Laplacian has ~5 nonzeros per row (4-neighbor
+// grid plus the vertical path), which is what the sparse backend exploits;
+// a mesh platform large enough to matter auto-selects it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "arch/platform.hpp"
+
+namespace protemp::arch {
+
+struct MeshConfig {
+  std::size_t rows = 8;            ///< core-grid rows
+  std::size_t cols = 8;            ///< core-grid columns
+  double core_edge_mm = 1.5;       ///< square core edge [mm]
+  double fmax_hz = 1e9;            ///< max core frequency [Hz]
+  double core_pmax_watts = 0.8;    ///< per-core power at fmax [W]
+  double other_power_fraction = 0.25;  ///< non-core power / total core pmax
+  double background_activity_fraction = 0.75;
+  double power_exponent = 2.0;     ///< paper Eq. (2): quadratic
+  double idle_fraction = 0.05;     ///< idle dynamic power fraction
+  double ambient_celsius = 45.0;
+};
+
+/// Parses the dimension suffix of a mesh platform name: accepts
+/// "mesh:<rows>x<cols>" or bare "<rows>x<cols>" with both dimensions in
+/// [1, 64]; nullopt on anything else.
+std::optional<std::pair<std::size_t, std::size_t>> parse_mesh_dims(
+    std::string_view name) noexcept;
+
+/// Core grid plus north/south L2 strips; blocks are named c<row>_<col>,
+/// l2_n and l2_s.
+thermal::Floorplan make_mesh_floorplan(const MeshConfig& config);
+
+/// Niagara-calibrated package with the area-proportional cooling scaling
+/// described in the header comment.
+thermal::PackageParams make_mesh_package(const MeshConfig& config);
+
+/// Assembles the full platform, named "mesh:<rows>x<cols>".
+Platform make_mesh_platform(const MeshConfig& config = {});
+
+}  // namespace protemp::arch

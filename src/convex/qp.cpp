@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "convex/kkt.hpp"
 #include "linalg/cholesky.hpp"
 #include "util/logging.hpp"
 
@@ -56,6 +57,17 @@ struct KktSolver {
       h_mat.resize(n, n);
     }
     if (qp.p.rows() == n) h_mat += qp.p;
+    if (qp.p_sparse) {
+      // Scatter the sparse quadratic term into the (dense) condensed
+      // matrix; with inequalities present the Gram block has already
+      // filled it, so densifying here loses nothing.
+      const linalg::SparseMatrix& ps = *qp.p_sparse;
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t k = ps.row_ptr()[i]; k < ps.row_ptr()[i + 1]; ++k) {
+          h_mat(i, ps.col_index()[k]) += ps.values()[k];
+        }
+      }
+    }
 
     double ridge = base_ridge;
     for (int attempt = 0; attempt < 8; ++attempt, ridge *= 100.0) {
@@ -100,10 +112,25 @@ struct KktSolver {
 
 }  // namespace
 
+void QpProblem::quadratic_multiply_add(const linalg::Vector& x,
+                                       linalg::Vector& out) const {
+  if (p.rows() == q.size()) p.multiply_add_into(x, out);
+  if (p_sparse) p_sparse->multiply_add_into(x, out);
+}
+
 void QpProblem::validate() const {
   const std::size_t n = q.size();
   if (p.rows() != 0 && (p.rows() != n || p.cols() != n)) {
     throw std::invalid_argument("QpProblem: P must be n x n or empty");
+  }
+  if (p_sparse) {
+    if (p_sparse->rows() != n || p_sparse->cols() != n) {
+      throw std::invalid_argument("QpProblem: sparse P must be n x n");
+    }
+    if (p.rows() != 0) {
+      throw std::invalid_argument(
+          "QpProblem: dense and sparse P are mutually exclusive");
+    }
   }
   if (h.size() != g.rows() || (g.rows() > 0 && g.cols() != n)) {
     throw std::invalid_argument("QpProblem: G/h shape mismatch");
@@ -126,14 +153,35 @@ Solution solve_qp(const QpProblem& qp, const QpOptions& options,
 
   const auto objective = [&](const linalg::Vector& x) {
     double obj = qp.q.dot(x);
-    if (qp.p.rows() == n) obj += 0.5 * x.dot(qp.p * x);
+    linalg::Vector px(n);
+    qp.quadratic_multiply_add(x, px);
+    obj += 0.5 * x.dot(px);
     return obj;
   };
 
   Solution result;
 
-  // No inequalities: the KKT system is linear; solve it directly.
+  // No inequalities: the KKT system is linear; solve it directly. A sparse
+  // quadratic term routes through the structured (banded-Cholesky + Schur)
+  // solver — the O(cores)-aware path for RC-network-shaped Hessians; the
+  // dense term keeps the historical dense factorization.
   if (m == 0) {
+    if (qp.p_sparse) {
+      StructuredKktSolver kkt(ws.structured_kkt());
+      if (!kkt.factorize(*qp.p_sparse, p > 0 ? &qp.a : nullptr,
+                         options.ridge)) {
+        result.status = SolveStatus::kNumericalFailure;
+        return result;
+      }
+      linalg::Vector x, y;
+      kkt.solve_into(-qp.q, qp.b, x, y);
+      result.status = SolveStatus::kOptimal;
+      result.x = std::move(x);
+      result.eq_duals = std::move(y);
+      result.objective = objective(result.x);
+      result.iterations = 1;
+      return result;
+    }
     KktSolver kkt(qp, options.ridge, ws.qp());
     if (!kkt.factorize(linalg::Vector{})) {
       result.status = SolveStatus::kNumericalFailure;
@@ -172,7 +220,7 @@ Solution solve_qp(const QpProblem& qp, const QpOptions& options,
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Residuals.
     r_dual = qp.q;  // P x + q + G^T z + A^T y
-    if (qp.p.rows() == n) qp.p.multiply_add_into(x, r_dual);
+    qp.quadratic_multiply_add(x, r_dual);
     qp.g.multiply_transposed_add_into(z, r_dual);
     if (p > 0) qp.a.multiply_transposed_add_into(y, r_dual);
 

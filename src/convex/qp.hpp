@@ -21,6 +21,7 @@
 #include "convex/problem.hpp"
 #include "convex/workspace.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "linalg/vector.hpp"
 
 namespace protemp::convex {
@@ -41,10 +42,23 @@ struct QpProblem {
   linalg::Vector h;  ///< m
   linalg::Matrix a;  ///< p x n (may be empty)
   linalg::Vector b;  ///< p
+  /// Sparse alternative to `p` for RC-network-structured quadratic terms
+  /// (mutually exclusive with a non-empty dense `p`; last member so the
+  /// historical brace-init sites stay valid). With no inequalities the KKT
+  /// system is then solved by the banded sparse Cholesky through
+  /// StructuredKktSolver (O(n b^2) instead of O(n^3)); with inequalities
+  /// the condensed normal equations G^T W G are dense anyway, and the
+  /// sparse term is simply scattered into them.
+  std::optional<linalg::SparseMatrix> p_sparse;
 
   std::size_t num_variables() const noexcept { return q.size(); }
   std::size_t num_inequalities() const noexcept { return h.size(); }
   std::size_t num_equalities() const noexcept { return b.size(); }
+
+  /// y += P x under whichever representation the problem carries (no-op
+  /// for an LP).
+  void quadratic_multiply_add(const linalg::Vector& x,
+                              linalg::Vector& out) const;
 
   /// Throws std::invalid_argument if the shapes are inconsistent.
   void validate() const;

@@ -21,6 +21,7 @@
 
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "linalg/vector.hpp"
 
 namespace protemp::convex {
@@ -67,6 +68,12 @@ class SolverWorkspace {
     linalg::Vector inv_slack;   ///< m: 1 / (h - G x)
     linalg::Vector inv_slack2;  ///< m: squared inverse slacks
     linalg::Cholesky factor;    ///< n x n Newton-system factor storage
+    /// Sparse Newton path (large mostly-empty barrier Hessians): the CSR
+    /// snapshot of the Hessian and its banded factor. Unused (empty) when
+    /// every centering step stays dense.
+    linalg::SparseMatrix hessian_sparse;
+    linalg::SparseCholesky sparse_factor;
+    linalg::Vector sparse_scratch;
   };
   BarrierBuffers& barrier() noexcept { return barrier_; }
 
@@ -78,6 +85,22 @@ class SolverWorkspace {
   };
   QpBuffers& qp() noexcept { return qp_; }
 
+  /// Buffers of the structured (sparse-Hessian) KKT solver in convex/kkt:
+  /// the banded factor of H plus the dense Schur complement machinery of
+  /// the equality block. Sized on first use per problem shape.
+  struct StructuredKktBuffers {
+    linalg::SparseCholesky h_factor;  ///< banded factor of the sparse H
+    linalg::Matrix w_rows;            ///< p x n: rows are H^{-1} a_i
+    linalg::Matrix schur;             ///< p x p: A H^{-1} A^T
+    linalg::Cholesky schur_factor;    ///< its dense factor (p is small)
+    linalg::Vector t;                 ///< n: H^{-1} r1
+    linalg::Vector rhs_y;             ///< p: A t - r2
+    linalg::Vector dy;                ///< p: Schur solve output
+    linalg::Vector row;               ///< n: one A row / solve scratch
+    linalg::Vector scratch;           ///< n: permuted-solve scratch
+  };
+  StructuredKktBuffers& structured_kkt() noexcept { return structured_kkt_; }
+
  private:
   bool warm_start_ = true;
   std::array<linalg::Vector, kNumSlots> hints_;
@@ -85,6 +108,7 @@ class SolverWorkspace {
   Stats stats_;
   BarrierBuffers barrier_;
   QpBuffers qp_;
+  StructuredKktBuffers structured_kkt_;
 };
 
 }  // namespace protemp::convex

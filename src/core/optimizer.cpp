@@ -79,7 +79,8 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
   has_tgrad_ = config_.minimize_gradient && !config_.uniform_frequency;
   num_vars_ = num_sigma_ + (has_tgrad_ ? 1 : 0);
 
-  const thermal::ThermalModel model(platform_.network(), config_.dt);
+  const thermal::ThermalModel model(platform_.network(), config_.dt,
+                                    config_.backend);
   // Two horizon maps: one with the static background (cores idle), one with
   // the peak background. Their difference d_k is the thermal response to
   // the activity-coupled share of the background power, which scales with
@@ -96,7 +97,7 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
   const std::size_t nc = num_cores_;
   // d_k[r]: extra temperature at (k, r) per unit of mean core activity.
   const auto activity_coeff = [&](std::size_t k, std::size_t r) {
-    return map_peak.w[k - 1][r] - map.w[k - 1][r];
+    return map_peak.w_at(k, r) - map.w_at(k, r);
   };
 
   // Row layout:
@@ -125,22 +126,29 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
   std::size_t row = 0;
   // Temperature rows: for each step k and monitored core r,
   //   sum_v M_k(r, v) * pmax * sigma_v <= tmax + slack - u_k[r]*tstart - w_k[r].
+  // (Raw row pointers throughout the assembly: at 250 steps x 256 cores
+  // these loops stream tens of millions of entries, and per-element
+  // bounds-checked access was the dominant build cost after the sparse
+  // horizon recursions removed the matmul one.)
   for (std::size_t k = 1; k <= steps_; ++k) {
-    const linalg::Matrix& mk = map.m[k - 1];
     for (std::size_t r = 0; r < nc; ++r) {
       const double d = activity_coeff(k, r);
+      const double* mk_row = map.m_row(k, r);
+      double* g_row = g_.row_data(row);
       if (config_.uniform_frequency) {
         double acc = 0.0;
-        for (std::size_t v = 0; v < nc; ++v) acc += mk(r, v);
-        g_(row, 0) = acc * pmax + d;  // mean(sigma) == sigma in uniform mode
+        for (std::size_t v = 0; v < nc; ++v) acc += mk_row[v];
+        g_row[0] = acc * pmax + d;  // mean(sigma) == sigma in uniform mode
       } else {
         for (std::size_t v = 0; v < nc; ++v) {
-          g_(row, v) = mk(r, v) * pmax + d / static_cast<double>(nc);
+          g_row[v] = mk_row[v] * pmax + d / static_cast<double>(nc);
         }
       }
-      h0_[row] = config_.tmax + config_.constraint_slack - map.w[k - 1][r];
+      h0_[row] = config_.tmax + config_.constraint_slack - map.w_at(k, r);
+      const double* s_row = map.s_row(k, r);
+      double* gain_row = state_gain_.row_data(row);
       for (std::size_t j = 0; j < n_nodes; ++j) {
-        state_gain_(row, j) = -map.s[k - 1](r, j);
+        gain_row[j] = -s_row[j];
       }
       ++row;
     }
@@ -170,20 +178,25 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
     ++row;
     // Gradient rows: T_k[r] - T_k[q] <= tgrad for ordered pairs r != q.
     for (std::size_t k = 1; k <= steps_; k += config_.gradient_step_stride) {
-      const linalg::Matrix& mk = map.m[k - 1];
       for (std::size_t r = 0; r < nc; ++r) {
         for (std::size_t q = 0; q < nc; ++q) {
           if (r == q) continue;
           const double dd =
               (activity_coeff(k, r) - activity_coeff(k, q)) /
               static_cast<double>(nc);
+          const double* mk_r = map.m_row(k, r);
+          const double* mk_q = map.m_row(k, q);
+          double* g_row = g_.row_data(row);
           for (std::size_t v = 0; v < nc; ++v) {
-            g_(row, v) = (mk(r, v) - mk(q, v)) * pmax + dd;
+            g_row[v] = (mk_r[v] - mk_q[v]) * pmax + dd;
           }
-          g_(row, num_sigma_) = -1.0;
-          h0_[row] = map.w[k - 1][q] - map.w[k - 1][r];
+          g_row[num_sigma_] = -1.0;
+          h0_[row] = map.w_at(k, q) - map.w_at(k, r);
+          const double* s_r = map.s_row(k, r);
+          const double* s_q = map.s_row(k, q);
+          double* gain_row = state_gain_.row_data(row);
           for (std::size_t j = 0; j < n_nodes; ++j) {
-            state_gain_(row, j) = map.s[k - 1](q, j) - map.s[k - 1](r, j);
+            gain_row[j] = s_q[j] - s_r[j];
           }
           ++row;
         }

@@ -63,6 +63,12 @@ struct ProTempConfig {
   /// tolerance); the golden-trace and property tests pin both.
   bool warm_start = true;
 
+  /// Linalg backend for the horizon-map build (scenario key `opt.backend`).
+  /// kAuto resolves by platform size: Niagara-class chips stay dense,
+  /// many-core meshes go sparse. Either choice yields bitwise-identical
+  /// horizon coefficients (see ThermalModel); only build time differs.
+  linalg::MatrixBackend backend = linalg::MatrixBackend::kAuto;
+
   convex::BarrierOptions solver;
 };
 

@@ -161,17 +161,37 @@ Matrix Matrix::multiply(const Matrix& rhs) const {
   }
   Matrix out(rows_, rhs.cols_);
   // i-k-j loop order: unit-stride access on both rhs row and output row.
+  // Deliberately branch-free: this is the *dense* kernel, predictable for
+  // truly dense operands. (It used to skip a_ik == 0.0 entries, which made
+  // its cost silently input-dependent; that implicit-sparsity hack is now
+  // the explicit SparseMatrix backend. Skipping an exact zero only removes
+  // exact-zero addends, so results are bitwise-unchanged either way.)
   for (std::size_t i = 0; i < rows_; ++i) {
     const double* a = row_data(i);
     double* o = out.row_data(i);
     for (std::size_t k = 0; k < cols_; ++k) {
       const double aik = a[k];
-      if (aik == 0.0) continue;
       const double* b = rhs.row_data(k);
       for (std::size_t j = 0; j < rhs.cols_; ++j) o[j] += aik * b[j];
     }
   }
   return out;
+}
+
+void Matrix::multiply_raw(const double* b, std::size_t cols,
+                          double* out) const {
+  // Same i-k-j kernel (and therefore bitwise-identical results) as
+  // multiply(); only the storage is caller-provided.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row_data(i);
+    double* o = out + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) o[j] = 0.0;
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      const double* br = b + k * cols;
+      for (std::size_t j = 0; j < cols; ++j) o[j] += aik * br[j];
+    }
+  }
 }
 
 Matrix Matrix::transposed() const {

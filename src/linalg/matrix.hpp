@@ -86,6 +86,12 @@ class Matrix {
   void multiply_transposed_add_into(const Vector& x, Vector& out) const;
   /// Matrix-matrix product (this * rhs).
   Matrix multiply(const Matrix& rhs) const;
+  /// Raw-block product C = this * B over row-major storage: `b` points at
+  /// B's row 0 (cols() rows of `cols` doubles each), `out` at C's row 0
+  /// (rows() rows, overwritten). Lets recursions write directly into a
+  /// slice of a larger flat matrix (horizon-map blocks) with no
+  /// temporaries. `out` must not alias `b` or this matrix's storage.
+  void multiply_raw(const double* b, std::size_t cols, double* out) const;
   friend Vector operator*(const Matrix& m, const Vector& x) {
     return m.multiply(x);
   }

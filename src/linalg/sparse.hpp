@@ -1,0 +1,202 @@
+// Structure-aware linear algebra: CSR sparse matrices and a banded sparse
+// Cholesky with fill-reducing (reverse Cuthill-McKee) ordering.
+//
+// RC thermal networks couple only geometrically adjacent blocks, so their
+// conductance Laplacians carry O(nodes) nonzeros; on a mesh of hundreds of
+// cores the dense O(n^2) step and O(n^3) factorization kernels are pure
+// waste. This header provides the sparse counterparts with the same
+// workspace-friendly API shape as the dense path (`multiply_into`,
+// `refactor`/`solve_into`), plus the `MatrixBackend` selector the thermal
+// and solver layers dispatch on.
+//
+// Bitwise contract with the dense kernels: SpMV and SpMM visit the stored
+// entries of each row in ascending column order — exactly the order the
+// dense kernels visit the same nonzeros (`Matrix::multiply_add_into`
+// accumulates columns left to right and adding an exact 0.0 contribution
+// is a no-op; `Matrix::multiply` is i-k-j and already skips zero a_ik). A
+// sparse product therefore reproduces its dense counterpart bit for bit,
+// which is what keeps the Niagara goldens pinned regardless of backend.
+// Only *factorizations* (Cholesky vs LU, different elimination orders)
+// differ, and those agree to ~1e-12 relative (tested at 1e-10).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/vector.hpp"
+
+namespace protemp::linalg {
+
+/// Which kernel family a consumer should run. kAuto resolves per problem:
+/// dense below the crossover (small dense kernels beat sparse bookkeeping,
+/// and Niagara-class chips stay on the historical bitwise path), sparse for
+/// large mostly-empty operators.
+enum class MatrixBackend { kAuto, kDense, kSparse };
+
+const char* to_string(MatrixBackend backend) noexcept;
+/// Parses "auto" / "dense" / "sparse" (scenario-spec form); nullopt
+/// otherwise.
+std::optional<MatrixBackend> parse_backend(std::string_view text) noexcept;
+
+/// Dimension at which kAuto starts considering the sparse path.
+inline constexpr std::size_t kSparseBackendMinDimension = 32;
+
+/// Resolves kAuto to kDense or kSparse for an operator of the given
+/// dimension with `nnz` stored entries: sparse iff the dimension reaches
+/// kSparseBackendMinDimension and the matrix is at most quarter-full.
+/// kDense/kSparse pass through unchanged.
+MatrixBackend resolve_backend(MatrixBackend requested, std::size_t dimension,
+                              std::size_t nnz) noexcept;
+
+/// Compressed-sparse-row real matrix. Immutable once built (assemble via
+/// SparseBuilder or from_dense); within each row, entries are stored in
+/// ascending column order.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Captures every entry of `dense` with |value| > drop_tol (default:
+  /// exact zeros dropped).
+  static SparseMatrix from_dense(const Matrix& dense, double drop_tol = 0.0);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nnz() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  /// Entry lookup by binary search within the row; 0.0 if not stored.
+  double at(std::size_t i, std::size_t j) const;
+
+  Matrix to_dense() const;
+
+  /// y = A x (resizes `out`; must not alias `x`).
+  void multiply_into(const Vector& x, Vector& out) const;
+  /// y += A x (out must already have size rows()).
+  void multiply_add_into(const Vector& x, Vector& out) const;
+  Vector multiply(const Vector& x) const;
+  friend Vector operator*(const SparseMatrix& a, const Vector& x) {
+    return a.multiply(x);
+  }
+
+  /// C = A * B for dense B (SpMM; resizes `out`, which must not alias `b`).
+  /// Same i-k-j order as Matrix::multiply, so bitwise-equal on shared
+  /// nonzeros.
+  void multiply_dense_into(const Matrix& b, Matrix& out) const;
+  /// Raw-block SpMM mirroring Matrix::multiply_raw: `b` points at B's row
+  /// 0 (cols() rows x `cols`), `out` at C's row 0 (rows() rows,
+  /// overwritten; must not alias `b`). Bitwise-equal to the dense kernel.
+  void multiply_raw(const double* b, std::size_t cols, double* out) const;
+
+  /// True if the stored pattern and values are symmetric within `tol`.
+  bool symmetric(double tol = 0.0) const noexcept;
+
+  // Raw CSR access for factorization and assembly code.
+  const std::vector<std::size_t>& row_ptr() const noexcept { return row_ptr_; }
+  const std::vector<std::size_t>& col_index() const noexcept { return col_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  friend class SparseBuilder;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;  ///< rows()+1 offsets into col_/values_
+  std::vector<std::size_t> col_;
+  std::vector<double> values_;
+};
+
+/// Accumulating triplet assembler. add() sums duplicate coordinates into a
+/// per-entry running total in call order — the same sequence of additions a
+/// dense `m(i, j) += v` assembly performs, so a builder-assembled matrix is
+/// bitwise identical to its dense-assembled twin.
+class SparseBuilder {
+ public:
+  SparseBuilder(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  /// entry(i, j) += value. Throws std::out_of_range on bad coordinates.
+  void add(std::size_t i, std::size_t j, double value);
+
+  /// Builds the CSR form; entries that accumulated to exactly 0.0 are kept
+  /// (dropping them would still be bitwise-safe, but a stored structural
+  /// zero preserves the pattern for refactorization).
+  SparseMatrix build() const;
+  /// Builds the dense form with identical values.
+  Matrix build_dense() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::map<std::pair<std::size_t, std::size_t>, double> entries_;
+};
+
+/// Sparse Cholesky for symmetric positive definite matrices, specialized to
+/// the narrow-profile systems RC networks produce: a reverse Cuthill-McKee
+/// ordering compresses the profile, then the factor is computed and stored
+/// in banded form (half-bandwidth b), giving O(n b^2) factorization and
+/// O(n b) solves against the dense path's O(n^3)/O(n^2). For a rows x cols
+/// mesh, b ~ min(rows, cols); for arbitrary sparsity the band is whatever
+/// RCM achieves — correct regardless, fast when the profile is genuinely
+/// narrow (see DESIGN.md "when dense wins").
+///
+/// API mirrors linalg::Cholesky: factor()/refactor() + solve_into(), so
+/// solver workspaces can hold either interchangeably.
+class SparseCholesky {
+ public:
+  /// An empty factor, only useful as the target of refactor().
+  SparseCholesky() = default;
+
+  /// Factorizes A (+ ridge*I) = L L^T. Returns std::nullopt if A is not
+  /// numerically positive definite. A must be square and structurally
+  /// symmetric; values are read from the lower triangle (and mirrored).
+  static std::optional<SparseCholesky> factor(const SparseMatrix& a,
+                                              double ridge = 0.0);
+
+  /// Re-factorizes in place, reusing ordering and band storage when the
+  /// shape matches (no allocation in steady state for a fixed pattern).
+  /// Returns false on numerical failure; the factor is then unusable.
+  bool refactor(const SparseMatrix& a, double ridge = 0.0);
+
+  /// Solves A x = b. `scratch` is overwritten working storage (the permuted
+  /// intermediate); the 2-argument form allocates one internally.
+  void solve_into(const Vector& b, Vector& x, Vector& scratch) const;
+  void solve_into(const Vector& b, Vector& x) const;
+  Vector solve(const Vector& b) const;
+
+  std::size_t dimension() const noexcept { return n_; }
+  /// Half-bandwidth of the permuted factor (0 = diagonal).
+  std::size_t bandwidth() const noexcept { return band_; }
+  /// log(det A) = 2 sum_i log L_ii.
+  double log_det() const noexcept;
+
+ private:
+  double& l_at(std::size_t i, std::size_t j) noexcept {
+    return l_[i * (band_ + 1) + (j + band_ - i)];
+  }
+  double l_at(std::size_t i, std::size_t j) const noexcept {
+    return l_[i * (band_ + 1) + (j + band_ - i)];
+  }
+
+  std::size_t n_ = 0;
+  std::size_t band_ = 0;
+  std::vector<std::size_t> perm_;   ///< factor index -> original index
+  std::vector<std::size_t> iperm_;  ///< original index -> factor index
+  /// Banded lower factor, row-major: row i holds L(i, j) for
+  /// j in [i - band_, i] at offset j + band_ - i.
+  std::vector<double> l_;
+  std::vector<double> band_a_;      ///< scratch: permuted A in band layout
+};
+
+/// Reverse Cuthill-McKee ordering of a structurally symmetric pattern:
+/// returns perm with perm[new_index] = old_index. Exposed for tests and
+/// diagnostics.
+std::vector<std::size_t> reverse_cuthill_mckee(const SparseMatrix& a);
+
+}  // namespace protemp::linalg

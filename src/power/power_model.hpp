@@ -57,6 +57,8 @@ class LeakagePowerModel {
   double power(double celsius) const noexcept;
 
   double nominal() const noexcept { return nominal_; }
+  double sensitivity() const noexcept { return sensitivity_; }
+  double ref_celsius() const noexcept { return ref_celsius_; }
 
  private:
   double nominal_;

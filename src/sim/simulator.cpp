@@ -26,7 +26,7 @@ MulticoreSimulator::MulticoreSimulator(const arch::Platform& platform,
                                        SimConfig config)
     : platform_(platform),
       config_(std::move(config)),
-      model_(platform.network(), config_.dt) {
+      model_(platform.network(), config_.dt, config_.thermal_backend) {
   if (!(config_.dt > 0.0) || !(config_.dfs_period > 0.0)) {
     throw std::invalid_argument("SimConfig: dt and dfs_period must be positive");
   }
@@ -72,8 +72,7 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
     temps = linalg::Vector(n_nodes, *config_.initial_temperature);
   } else {
     // Idle chip: cores off, background at its static (zero-activity) level.
-    temps = platform_.network().steady_state(
-        platform_.background_power_at(0.0));
+    temps = model_.steady_state(platform_.background_power_at(0.0));
   }
 
   std::vector<CoreState> cores(n_cores);

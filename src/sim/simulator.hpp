@@ -57,6 +57,13 @@ struct SimConfig {
   /// robustness ablation; real thermal sensors are 1-3 degC accurate).
   double sensor_noise_stddev = 0.0;
   std::uint64_t sensor_noise_seed = 7777;
+
+  /// Linalg backend of the plant's thermal stepping (scenario key
+  /// `sim.thermal_backend`). kAuto resolves by platform size; steps are
+  /// bitwise identical across backends (only the steady-state *initial*
+  /// temperature solve differs, to ~1e-12 relative, when
+  /// `initial_temperature` is unset).
+  linalg::MatrixBackend thermal_backend = linalg::MatrixBackend::kAuto;
 };
 
 /// One row of the recorded temperature trace.

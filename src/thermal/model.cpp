@@ -3,19 +3,23 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "linalg/expm.hpp"
 
 namespace protemp::thermal {
 
-ThermalModel::ThermalModel(RcNetwork network, double dt)
+ThermalModel::ThermalModel(RcNetwork network, double dt,
+                           linalg::MatrixBackend backend)
     : network_(std::move(network)), dt_(dt) {
   if (!(dt > 0.0) || !std::isfinite(dt)) {
     throw std::invalid_argument("ThermalModel: dt must be positive");
   }
   const std::size_t n = network_.num_nodes();
   const linalg::Matrix& g = network_.conductance();
+  const linalg::SparseMatrix& g_sparse = network_.conductance_sparse();
   const linalg::Vector& c = network_.capacitance();
+  backend_ = linalg::resolve_backend(backend, n, g_sparse.nnz());
 
   max_stable_dt_ = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < n; ++i) {
@@ -29,17 +33,56 @@ ThermalModel::ThermalModel(RcNetwork network, double dt)
         std::to_string(max_stable_dt_) + " s)");
   }
 
-  a_ = linalg::Matrix(n, n);
   b_ = linalg::Vector(n);
   c_ = linalg::Vector(n);
   for (std::size_t i = 0; i < n; ++i) {
     b_[i] = dt_ / c[i];
-    for (std::size_t j = 0; j < n; ++j) {
-      a_(i, j) = (i == j ? 1.0 : 0.0) - dt_ * g(i, j) / c[i];
-    }
     c_[i] = dt_ * network_.ambient_conductance()[i] *
             network_.ambient_celsius() / c[i];
   }
+  if (backend_ == linalg::MatrixBackend::kSparse) {
+    // A_d = I - dt C^{-1} G shares G's pattern plus the full diagonal,
+    // and only the ~O(n) stored entries are materialized — no O(n^2)
+    // dense mirror in sparse mode (at thousands of nodes that mirror is
+    // hundreds of megabytes of anti-scaling). Each entry evaluates the
+    // same expression on the same values as the dense build, so the two
+    // kernels stream bitwise-equal coefficients.
+    linalg::SparseBuilder builder(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bool diag_seen = false;
+      for (std::size_t k = g_sparse.row_ptr()[i];
+           k < g_sparse.row_ptr()[i + 1]; ++k) {
+        const std::size_t j = g_sparse.col_index()[k];
+        const double gij = g_sparse.values()[k];
+        builder.add(i, j, (i == j ? 1.0 : 0.0) - dt_ * gij / c[i]);
+        diag_seen = diag_seen || j == i;
+      }
+      if (!diag_seen) builder.add(i, i, 1.0);  // isolated node: a_ii = 1
+    }
+    a_sparse_ = builder.build();
+  } else {
+    a_ = linalg::Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        a_(i, j) = (i == j ? 1.0 : 0.0) - dt_ * g(i, j) / c[i];
+      }
+    }
+  }
+}
+
+const linalg::Matrix& ThermalModel::a_discrete() const {
+  if (backend_ != linalg::MatrixBackend::kDense) {
+    throw std::logic_error(
+        "ThermalModel::a_discrete: model runs sparse (use a_sparse())");
+  }
+  return a_;
+}
+
+const linalg::SparseMatrix& ThermalModel::a_sparse() const {
+  if (backend_ != linalg::MatrixBackend::kSparse) {
+    throw std::logic_error("ThermalModel::a_sparse: model runs dense");
+  }
+  return a_sparse_;
 }
 
 double ThermalModel::coeff_a(std::size_t i, std::size_t j) const {
@@ -66,7 +109,11 @@ void ThermalModel::step_into(const linalg::Vector& t, const linalg::Vector& p,
   if (t.size() != num_nodes() || p.size() != num_nodes()) {
     throw std::invalid_argument("ThermalModel::step: dimension mismatch");
   }
-  a_.multiply_into(t, out);
+  if (backend_ == linalg::MatrixBackend::kSparse) {
+    a_sparse_.multiply_into(t, out);  // bitwise-equal to the dense product
+  } else {
+    a_.multiply_into(t, out);
+  }
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] += b_[i] * p[i] + c_[i];
   }
@@ -113,9 +160,16 @@ linalg::Vector HorizonAffineMap::evaluate(std::size_t k,
   if (k == 0 || k > steps()) {
     throw std::out_of_range("HorizonAffineMap::evaluate: k out of range");
   }
-  linalg::Vector t = m[k - 1] * p_var;
-  t.axpy(tstart, u[k - 1]);
-  t += w[k - 1];
+  if (p_var.size() != variables.size()) {
+    throw std::invalid_argument("HorizonAffineMap::evaluate: p_var size");
+  }
+  linalg::Vector t(monitored.size());
+  for (std::size_t r = 0; r < monitored.size(); ++r) {
+    const double* mr = m_row(k, r);
+    double acc = 0.0;
+    for (std::size_t v = 0; v < p_var.size(); ++v) acc += mr[v] * p_var[v];
+    t[r] = acc + tstart * u_at(k, r) + w_at(k, r);
+  }
   return t;
 }
 
@@ -125,9 +179,19 @@ linalg::Vector HorizonAffineMap::evaluate_state(std::size_t k,
   if (k == 0 || k > steps()) {
     throw std::out_of_range("HorizonAffineMap::evaluate_state: k out of range");
   }
-  linalg::Vector t = m[k - 1] * p_var;
-  t += s[k - 1] * t0;
-  t += w[k - 1];
+  if (p_var.size() != variables.size() || t0.size() != s.cols()) {
+    throw std::invalid_argument("HorizonAffineMap::evaluate_state: size");
+  }
+  linalg::Vector t(monitored.size());
+  for (std::size_t r = 0; r < monitored.size(); ++r) {
+    const double* mr = m_row(k, r);
+    const double* sr = s_row(k, r);
+    double acc = 0.0;
+    for (std::size_t v = 0; v < p_var.size(); ++v) acc += mr[v] * p_var[v];
+    double state = 0.0;
+    for (std::size_t j = 0; j < t0.size(); ++j) state += sr[j] * t0[j];
+    t[r] = acc + state + w_at(k, r);
+  }
   return t;
 }
 
@@ -150,7 +214,6 @@ HorizonAffineMap build_horizon_map(const ThermalModel& model,
     if (i >= n) throw std::out_of_range("build_horizon_map: variable index");
   }
 
-  const linalg::Matrix& a = model.a_discrete();
   const linalg::Vector& b = model.b_discrete();
   const std::size_t nv = variables.size();
 
@@ -165,48 +228,61 @@ HorizonAffineMap build_horizon_map(const ThermalModel& model,
   HorizonAffineMap out;
   out.monitored = monitored;
   out.variables = variables;
-  out.m.reserve(steps);
-  out.u.reserve(steps);
-  out.w.reserve(steps);
+  out.num_nodes = n;
+  const std::size_t blocks = steps + 1;
+  out.m.resize(blocks * n, nv);
+  out.s.resize(blocks * n, n);
+  out.u.resize(blocks * n);
+  out.w.resize(blocks * n);
 
-  // Full-state recursions:
-  //   P_{k+1} = A P_k + B E,  Z_{k+1} = A Z_k,  w_{k+1} = A w_k + inject,
-  // with P_0 = 0, Z_0 = I, w_0 = 0; u_k = Z_k 1.
-  linalg::Matrix p_full(n, nv);
-  linalg::Matrix z_full = linalg::Matrix::identity(n);
-  linalg::Vector w_full(n);
+  // Full-state recursions, computed block-to-block in the flat storage:
+  //   P_k = A P_{k-1} + B E,  Z_k = A Z_{k-1},  w_k = A w_{k-1} + inject,
+  // with P_0 = 0, Z_0 = I, w_0 = 0; u_k = Z_k 1. Each step reads block
+  // k-1 and writes block k directly -- the products ARE the stores, so
+  // the build streams exactly one pass over its output (no per-step
+  // temporaries, no extraction copies; those used to dominate the build
+  // once the products went sparse).
+  //
+  // The products are the build's entire cost: O(steps * n^2 * (n + nv))
+  // dense. In sparse mode the same recursions run over A's ~O(n) stored
+  // entries (O(steps * n * (n + nv))), and the sparse kernel visits
+  // exactly the nonzeros the dense i-k-j kernel does, in the same order,
+  // so both backends produce bitwise-identical coefficients.
+  const bool sparse = model.backend() == linalg::MatrixBackend::kSparse;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.s(i, i) = 1.0;  // Z_0 = I
+    out.u[i] = 1.0;     // its row sums
+  }
 
   for (std::size_t k = 1; k <= steps; ++k) {
-    linalg::Matrix p_next = a * p_full;
+    const double* s_prev = out.s.row_data((k - 1) * n);
+    const double* m_prev = out.m.row_data((k - 1) * n);
+    const double* w_prev = out.w.data() + (k - 1) * n;
+    double* s_cur = out.s.row_data(k * n);
+    double* m_cur = out.m.row_data(k * n);
+    double* w_cur = out.w.data() + k * n;
+    if (sparse) {
+      const linalg::SparseMatrix& a_sp = model.a_sparse();
+      a_sp.multiply_raw(s_prev, n, s_cur);
+      a_sp.multiply_raw(m_prev, nv, m_cur);
+      a_sp.multiply_raw(w_prev, 1, w_cur);
+    } else {
+      const linalg::Matrix& a = model.a_discrete();
+      a.multiply_raw(s_prev, n, s_cur);
+      a.multiply_raw(m_prev, nv, m_cur);
+      a.multiply_raw(w_prev, 1, w_cur);
+    }
     for (std::size_t v = 0; v < nv; ++v) {
-      p_next(variables[v], v) += b[variables[v]];
+      m_cur[variables[v] * nv + v] += b[variables[v]];
     }
-    p_full = std::move(p_next);
-    z_full = a * z_full;
-    linalg::Vector w_next = a * w_full;
-    w_next += inject;
-    w_full = std::move(w_next);
-
-    linalg::Matrix m_row(monitored.size(), nv);
-    linalg::Matrix s_row(monitored.size(), n);
-    linalg::Vector u_row(monitored.size());
-    linalg::Vector w_row(monitored.size());
-    for (std::size_t r = 0; r < monitored.size(); ++r) {
+    double* u_cur = out.u.data() + k * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      w_cur[i] += inject[i];
+      const double* s_row = s_cur + i * n;
       double row_sum = 0.0;
-      for (std::size_t v = 0; v < nv; ++v) {
-        m_row(r, v) = p_full(monitored[r], v);
-      }
-      for (std::size_t j = 0; j < n; ++j) {
-        s_row(r, j) = z_full(monitored[r], j);
-        row_sum += z_full(monitored[r], j);
-      }
-      u_row[r] = row_sum;
-      w_row[r] = w_full[monitored[r]];
+      for (std::size_t j = 0; j < n; ++j) row_sum += s_row[j];
+      u_cur[i] = row_sum;
     }
-    out.m.push_back(std::move(m_row));
-    out.s.push_back(std::move(s_row));
-    out.u.push_back(std::move(u_row));
-    out.w.push_back(std::move(w_row));
   }
   return out;
 }

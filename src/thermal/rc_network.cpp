@@ -37,7 +37,12 @@ RcNetwork::RcNetwork(const Floorplan& floorplan, const PackageParams& params) {
 
   num_blocks_ = floorplan.size();
   const std::size_t n = num_blocks_ + 2;  // + spreader + sink
-  conductance_ = linalg::Matrix(n, n);
+  // G is assembled into a sparse accumulator (the network couples only
+  // adjacent blocks, so it holds ~O(n) nonzeros) and emitted in both CSR
+  // and dense form. The accumulator sums duplicate contributions in call
+  // order, so the dense view is bitwise identical to the historical
+  // dense-+= assembly.
+  linalg::SparseBuilder builder(n, n);
   capacitance_ = linalg::Vector(n);
   g_ambient_ = linalg::Vector(n);
   ambient_celsius_ = params.ambient_celsius;
@@ -77,7 +82,7 @@ RcNetwork::RcNetwork(const Floorplan& floorplan, const PackageParams& params) {
     const double db = vertical_edge ? b.width : b.height;
     const double resistance =
         (da / 2.0 + db / 2.0) / (k * adj.shared_length * t);
-    add_conductance(adj.a, adj.b, 1.0 / resistance);
+    add_conductance(builder, adj.a, adj.b, 1.0 / resistance);
   }
 
   // Vertical conductances block -> spreader: bulk silicon (half thickness as
@@ -87,24 +92,29 @@ RcNetwork::RcNetwork(const Floorplan& floorplan, const PackageParams& params) {
     const double area = floorplan.block(i).area();
     const double r_bulk = (t / 2.0) / (k * area);
     const double r_tim = params.tim_resistance_per_area / area;
-    add_conductance(i, spreader_node(), 1.0 / (r_bulk + r_tim));
+    add_conductance(builder, i, spreader_node(), 1.0 / (r_bulk + r_tim));
   }
 
   // Spreader -> sink and sink -> ambient.
-  add_conductance(spreader_node(), sink_node(),
+  add_conductance(builder, spreader_node(), sink_node(),
                   1.0 / params.spreader_to_sink_resistance);
   g_ambient_[sink_node()] = 1.0 / params.convection_resistance;
-  conductance_(sink_node(), sink_node()) += g_ambient_[sink_node()];
+  builder.add(sink_node(), sink_node(), g_ambient_[sink_node()]);
+
+  conductance_ = builder.build_dense();
+  conductance_sparse_ = builder.build();
 }
 
-void RcNetwork::add_conductance(std::size_t a, std::size_t b, double g) {
-  conductance_(a, a) += g;
-  conductance_(b, b) += g;
-  conductance_(a, b) -= g;
-  conductance_(b, a) -= g;
+void RcNetwork::add_conductance(linalg::SparseBuilder& builder, std::size_t a,
+                                std::size_t b, double g) {
+  builder.add(a, a, g);
+  builder.add(b, b, g);
+  builder.add(a, b, -g);
+  builder.add(b, a, -g);
 }
 
-linalg::Vector RcNetwork::steady_state(const linalg::Vector& power) const {
+linalg::Vector RcNetwork::steady_state(const linalg::Vector& power,
+                                       linalg::MatrixBackend backend) const {
   if (power.size() != num_nodes()) {
     throw std::invalid_argument("RcNetwork::steady_state: power size mismatch");
   }
@@ -112,6 +122,16 @@ linalg::Vector RcNetwork::steady_state(const linalg::Vector& power) const {
   linalg::Vector rhs = power;
   for (std::size_t i = 0; i < rhs.size(); ++i) {
     rhs[i] += g_ambient_[i] * ambient_celsius_;
+  }
+  const linalg::MatrixBackend resolved = linalg::resolve_backend(
+      backend, num_nodes(), conductance_sparse_.nnz());
+  if (resolved == linalg::MatrixBackend::kSparse) {
+    // G is PD (Laplacian plus the ambient leak on the sink diagonal), so
+    // the banded sparse Cholesky applies; fall back to dense LU on the
+    // numerically pathological packages a caller might construct.
+    if (const auto chol = linalg::SparseCholesky::factor(conductance_sparse_)) {
+      return chol->solve(rhs);
+    }
   }
   return linalg::solve_linear(conductance_, rhs);
 }

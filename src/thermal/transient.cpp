@@ -1,6 +1,8 @@
 #include "thermal/transient.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace protemp::thermal {
@@ -16,20 +18,26 @@ linalg::Vector TransientSimulator::run(linalg::Vector t,
   return t;
 }
 
-EulerSimulator::EulerSimulator(const RcNetwork& network, double dt)
+EulerSimulator::EulerSimulator(const RcNetwork& network, double dt,
+                               linalg::MatrixBackend backend)
     : dt_(dt) {
   if (!(dt > 0.0)) {
     throw std::invalid_argument("EulerSimulator: dt must be positive");
   }
-  // Probe the stability limit, then build the model at a stable substep.
-  // (ThermalModel computes the limit; we construct a scratch model at a
-  // conservative tiny dt just to read it.)
-  const ThermalModel probe(network, 1e-9);
-  const double limit = probe.max_stable_dt();
+  // Probe the stability limit (min_i C_i / G_ii, same formula ThermalModel
+  // enforces) straight off the network's diagonals, then build the model
+  // at a stable substep — no throwaway probe model.
+  double limit = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < network.num_nodes(); ++i) {
+    const double gii = network.conductance()(i, i);
+    if (gii > 0.0) {
+      limit = std::min(limit, network.capacitance()[i] / gii);
+    }
+  }
   substeps_ = static_cast<std::size_t>(std::ceil(dt / limit));
   if (substeps_ == 0) substeps_ = 1;
-  model_ = std::make_unique<ThermalModel>(network,
-                                          dt / static_cast<double>(substeps_));
+  model_ = std::make_unique<ThermalModel>(
+      network, dt / static_cast<double>(substeps_), backend);
 }
 
 linalg::Vector EulerSimulator::step(const linalg::Vector& t,
@@ -59,17 +67,22 @@ void EulerSimulator::step_into(const linalg::Vector& t,
   }
 }
 
-Rk4Simulator::Rk4Simulator(RcNetwork network, double dt)
+Rk4Simulator::Rk4Simulator(RcNetwork network, double dt,
+                           linalg::MatrixBackend backend)
     : network_(std::move(network)), dt_(dt) {
   if (!(dt > 0.0)) {
     throw std::invalid_argument("Rk4Simulator: dt must be positive");
   }
+  backend_ = linalg::resolve_backend(backend, network_.num_nodes(),
+                                     network_.conductance_sparse().nnz());
 }
 
 linalg::Vector Rk4Simulator::derivative(const linalg::Vector& t,
                                         const linalg::Vector& p) const {
   // dT/dt = C^{-1} (-G T + g_amb T_amb + p)
-  linalg::Vector d = network_.conductance() * t;
+  linalg::Vector d = backend_ == linalg::MatrixBackend::kSparse
+                         ? network_.conductance_sparse() * t
+                         : network_.conductance() * t;
   const linalg::Vector& g_amb = network_.ambient_conductance();
   const linalg::Vector& cap = network_.capacitance();
   for (std::size_t i = 0; i < d.size(); ++i) {
@@ -107,7 +120,7 @@ ExactSimulator::ExactSimulator(const RcNetwork& network, double dt)
   if (!(dt > 0.0)) {
     throw std::invalid_argument("ExactSimulator: dt must be positive");
   }
-  const ThermalModel probe(network, 1e-9);
+  const ThermalModel probe(network, 1e-9, linalg::MatrixBackend::kDense);
   disc_ = probe.exact_discretization(dt);
 }
 

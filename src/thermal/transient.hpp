@@ -48,7 +48,10 @@ class TransientSimulator {
 /// number of equal substeps that restores stability.
 class EulerSimulator final : public TransientSimulator {
  public:
-  EulerSimulator(const RcNetwork& network, double dt);
+  /// `backend` selects the stepping kernel (see ThermalModel); steps are
+  /// bitwise identical across backends, sparse is O(nodes) per step.
+  EulerSimulator(const RcNetwork& network, double dt,
+                 linalg::MatrixBackend backend = linalg::MatrixBackend::kAuto);
 
   double dt() const noexcept override { return dt_; }
   std::size_t num_nodes() const noexcept override {
@@ -71,7 +74,8 @@ class EulerSimulator final : public TransientSimulator {
 /// Classic RK4 on C dT/dt = -G T + g_amb T_amb + p.
 class Rk4Simulator final : public TransientSimulator {
  public:
-  Rk4Simulator(RcNetwork network, double dt);
+  Rk4Simulator(RcNetwork network, double dt,
+               linalg::MatrixBackend backend = linalg::MatrixBackend::kAuto);
 
   double dt() const noexcept override { return dt_; }
   std::size_t num_nodes() const noexcept override {
@@ -86,9 +90,13 @@ class Rk4Simulator final : public TransientSimulator {
 
   RcNetwork network_;
   double dt_;
+  linalg::MatrixBackend backend_;
 };
 
 /// Exact zero-order-hold discretization (matrix exponential, precomputed).
+/// Inherently dense: e^{A dt} of a connected network has no zeros to
+/// exploit, so there is no backend knob here — use Euler (sparse) for
+/// many-core networks and reserve this one for validation at small n.
 class ExactSimulator final : public TransientSimulator {
  public:
   ExactSimulator(const RcNetwork& network, double dt);

@@ -3,6 +3,7 @@
 // parse/serialize idempotence with line-anchored diagnostics, TableCache
 // build-once semantics, and ScenarioRunner batching determinism
 // (4 threads == sequential, exactly).
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <sstream>
@@ -135,12 +136,58 @@ TEST(Registry, EveryAssignmentPolicyNameRoundTrips) {
 }
 
 TEST(Registry, EveryPlatformNameRoundTrips) {
-  for (const std::string& name : PolicyRegistry::instance().platform_names()) {
+  for (std::string name : PolicyRegistry::instance().platform_names()) {
+    // Parametric families list a placeholder template ("mesh:<rows>x<cols>");
+    // instantiate a small concrete member instead.
+    if (name.find('<') != std::string::npos) {
+      name = name.substr(0, name.find(':')) + ":2x2";
+    }
     StatusOr<arch::Platform> platform = make_platform(name);
     ASSERT_TRUE(platform.ok()) << name << ": "
                                << platform.status().to_string();
     EXPECT_GT(platform->num_cores(), 0u);
   }
+}
+
+TEST(Registry, MeshPlatformFamilyResolvesByName) {
+  const StatusOr<arch::Platform> mesh = make_platform("mesh:2x3");
+  ASSERT_TRUE(mesh.ok()) << mesh.status().to_string();
+  EXPECT_EQ(mesh->num_cores(), 6u);
+  EXPECT_EQ(mesh->num_nodes(), 6u + 2u + 2u);  // + 2 L2 strips + pkg
+  EXPECT_EQ(mesh->name(), "mesh:2x3");
+
+  // Family names validate like exact names...
+  EXPECT_TRUE(PolicyRegistry::instance().has_platform("mesh:16x16"));
+  // ...and the placeholder is advertised for --list discoverability.
+  const std::vector<std::string> names =
+      PolicyRegistry::instance().platform_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "mesh:<rows>x<cols>"),
+            names.end());
+
+  // Malformed parameters are invalid-argument (not not-found: the family
+  // exists), with an actionable message.
+  const StatusOr<arch::Platform> bad = make_platform("mesh:0x4");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("mesh:<rows>x<cols>"),
+            std::string::npos);
+  EXPECT_FALSE(make_platform("mesh:axb").ok());
+  EXPECT_FALSE(make_platform("mesh:8").ok());
+
+  // Unknown prefixes stay not-found.
+  const StatusOr<arch::Platform> unknown = make_platform("torus:4x4");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  // Mesh factory options flow through the family.
+  Options options;
+  options.set("core-pmax", 1.5);
+  const StatusOr<arch::Platform> tuned = make_platform("mesh:2x2", options);
+  ASSERT_TRUE(tuned.ok()) << tuned.status().to_string();
+  EXPECT_DOUBLE_EQ(tuned->core_pmax(), 1.5);
+  Options bad_options;
+  bad_options.set("not-an-option", 1.0);
+  EXPECT_FALSE(make_platform("mesh:2x2", bad_options).ok());
 }
 
 TEST(Registry, UnknownNamesSurfaceAsNotFound) {
@@ -522,23 +569,84 @@ TEST(ScenarioRunner, RunAllAggregatesEveryFailure) {
 
 // ----------------------------------------------- serialize round-trip hole --
 
-TEST(ScenarioSpecSerialize, WarnsWhenCoreLeakageCannotRoundTrip) {
+TEST(ScenarioSpecSerialize, CoreLeakageRoundTrips) {
   ScenarioSpec spec;
   spec.name = "leaky";
   const std::string clean = spec.serialize();
-  EXPECT_EQ(clean.find("WARNING"), std::string::npos);
+  EXPECT_EQ(clean.find("core_leakage"), std::string::npos);
 
-  spec.sim.core_leakage = power::LeakagePowerModel(2.0, 0.02, 80.0);
+  spec.sim.core_leakage = power::LeakagePowerModel(2.25, 0.031, 77.5);
   const std::string text = spec.serialize();
-  EXPECT_NE(text.find("# WARNING"), std::string::npos) << text;
-  EXPECT_NE(text.find("core_leakage"), std::string::npos) << text;
+  EXPECT_EQ(text.find("WARNING"), std::string::npos) << text;
 
-  // The warning is a comment: the file still parses, and the parsed-back
-  // spec has the documented hole (no leakage model).
   StatusOr<ScenarioSpec> parsed = ScenarioSpec::parse(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
-  EXPECT_FALSE(parsed->sim.core_leakage.has_value());
-  EXPECT_EQ(parsed->name, "leaky");
+  ASSERT_TRUE(parsed->sim.core_leakage.has_value());
+  EXPECT_EQ(parsed->sim.core_leakage->nominal(), 2.25);
+  EXPECT_EQ(parsed->sim.core_leakage->sensitivity(), 0.031);
+  EXPECT_EQ(parsed->sim.core_leakage->ref_celsius(), 77.5);
+  // Behavioral identity, not just field identity.
+  EXPECT_EQ(parsed->sim.core_leakage->power(95.0),
+            spec.sim.core_leakage->power(95.0));
+  // Idempotent text form.
+  EXPECT_EQ(parsed->serialize(), text);
+}
+
+TEST(ScenarioSpecParse, CoreLeakageGrammar) {
+  // Nominal alone enables leakage with documented defaults.
+  StatusOr<ScenarioSpec> minimal =
+      ScenarioSpec::parse("sim.core_leakage.nominal = 1.5\n");
+  ASSERT_TRUE(minimal.ok()) << minimal.status().to_string();
+  ASSERT_TRUE(minimal->sim.core_leakage.has_value());
+  EXPECT_EQ(minimal->sim.core_leakage->nominal(), 1.5);
+  EXPECT_EQ(minimal->sim.core_leakage->sensitivity(), 0.02);
+  EXPECT_EQ(minimal->sim.core_leakage->ref_celsius(), 80.0);
+
+  // Sensitivity/ref without nominal is a line-anchored error.
+  const StatusOr<ScenarioSpec> orphan =
+      ScenarioSpec::parse("sim.core_leakage.sensitivity = 0.02\n");
+  ASSERT_FALSE(orphan.ok());
+  EXPECT_NE(orphan.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(orphan.status().message().find("nominal"), std::string::npos);
+
+  // Invalid parameters surface the model's validation, line-anchored.
+  const StatusOr<ScenarioSpec> negative =
+      ScenarioSpec::parse("sim.core_leakage.nominal = -1\n");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_NE(negative.status().message().find("core_leakage"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpecSerialize, BackendKeysRoundTrip) {
+  ScenarioSpec spec;
+  spec.sim.thermal_backend = linalg::MatrixBackend::kSparse;
+  spec.optimizer.backend = linalg::MatrixBackend::kDense;
+  StatusOr<ScenarioSpec> parsed = ScenarioSpec::parse(spec.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->sim.thermal_backend, linalg::MatrixBackend::kSparse);
+  EXPECT_EQ(parsed->optimizer.backend, linalg::MatrixBackend::kDense);
+
+  const StatusOr<ScenarioSpec> bad =
+      ScenarioSpec::parse("sim.thermal_backend = banded\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("auto|dense|sparse"),
+            std::string::npos);
+}
+
+TEST(ScenarioSpec, MeshPlatformValidatesAndRuns) {
+  ScenarioSpec spec;
+  spec.name = "mesh-smoke";
+  spec.platform = "mesh:2x2";
+  spec.dfs_policy = "basic-dfs";
+  spec.duration = 0.3;
+  ASSERT_TRUE(spec.validate().ok()) << spec.validate().to_string();
+
+  ScenarioRunner runner;
+  const StatusOr<ScenarioReport> report = runner.run(spec);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report->platform_name, "mesh:2x2");
+  EXPECT_GT(report->result.sim_time, 0.0);
+  EXPECT_GT(report->result.metrics.max_temp_seen(), 45.0);
 }
 
 }  // namespace

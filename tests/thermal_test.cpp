@@ -362,13 +362,14 @@ TEST(HorizonMap, UniformStateReducesToScalarForm) {
                     .approx_equal(map.evaluate_state(k, p, uniform), 1e-10));
   }
   // And u is the row sum of the state-response rows by construction.
-  for (std::size_t k = 0; k < map.steps(); ++k) {
+  for (std::size_t k = 1; k <= map.steps(); ++k) {
     for (std::size_t r = 0; r < map.monitored.size(); ++r) {
       double row_sum = 0.0;
+      const double* s_row = map.s_row(k, r);
       for (std::size_t j = 0; j < platform.num_nodes(); ++j) {
-        row_sum += map.s[k](r, j);
+        row_sum += s_row[j];
       }
-      EXPECT_NEAR(row_sum, map.u[k][r], 1e-12);
+      EXPECT_NEAR(row_sum, map.u_at(k, r), 1e-12);
     }
   }
 }
