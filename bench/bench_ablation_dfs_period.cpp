@@ -39,7 +39,10 @@ int main(int argc, char** argv) {
                 "basic_violation", "basic_max_temp"});
 
     bool protemp_always_safe = true;
-    for (const double period_ms : {25.0, 50.0, 100.0, 200.0}) {
+    // Periods must be integer multiples of the 0.4 ms telemetry step now
+    // that fractional window/step ratios are rejected (25 ms / 0.4 ms was
+    // 62.5 steps — exactly the silent cadence drift the check catches).
+    for (const double period_ms : {40.0, 50.0, 100.0, 200.0}) {
       const double period = util::ms(period_ms);
 
       core::ProTempConfig opt_config = paper_optimizer_config(false);

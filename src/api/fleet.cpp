@@ -1,0 +1,116 @@
+#include "api/fleet.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/strings.hpp"
+
+namespace protemp::api {
+
+SessionFleet::SessionFleet(FleetConfig config)
+    : config_(config), pool_(config.build_threads) {}
+
+StatusOr<std::unique_ptr<SessionFleet>> SessionFleet::create(
+    const std::vector<ScenarioSpec>& specs, FleetConfig config) {
+  auto fleet = std::make_unique<SessionFleet>(config);
+  std::vector<std::string> failures;
+  Status first_failure;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    StatusOr<std::size_t> added = fleet->add(specs[i]);
+    if (added.ok()) continue;
+    if (first_failure.ok()) first_failure = added.status();
+    failures.push_back("session " + std::to_string(i) + " of " +
+                       std::to_string(specs.size()) + " ('" + specs[i].name +
+                       "'): " + added.status().to_string());
+  }
+  if (!failures.empty()) {
+    return Status(first_failure.code(),
+                  std::to_string(failures.size()) + " of " +
+                      std::to_string(specs.size()) +
+                      " sessions failed to build: " +
+                      util::join(failures, "; "));
+  }
+  return fleet;
+}
+
+StatusOr<std::size_t> SessionFleet::add(const ScenarioSpec& spec) {
+  SessionConfig session_config;
+  session_config.table_cache = &cache_;
+  if (config_.async_builds) {
+    session_config.build_pool = &pool_;
+    session_config.async_fallback = config_.fallback;
+  }
+  StatusOr<std::unique_ptr<ControlSession>> session =
+      ControlSession::create(spec, session_config);
+  if (!session.ok()) return session.status();
+  return adopt(std::move(session).value());
+}
+
+std::size_t SessionFleet::adopt(std::unique_ptr<ControlSession> session) {
+  Entry entry;
+  entry.session = std::move(session);
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+std::vector<StatusOr<ActuationCommand>> SessionFleet::step_all(
+    const std::vector<sim::TelemetryFrame>& frames) {
+  std::vector<StatusOr<ActuationCommand>> results;
+  results.reserve(entries_.size());
+  if (frames.size() != entries_.size()) {
+    const Status mismatch = Status::invalid_argument(
+        "step_all: " + std::to_string(frames.size()) + " frames for " +
+        std::to_string(entries_.size()) + " sessions");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      results.push_back(mismatch);
+    }
+    return results;
+  }
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    if (!entry.status.ok()) {
+      // Latched: a failed session is isolated, not retried — its siblings
+      // (and its slot's diagnostics) are what matter now.
+      results.push_back(entry.status);
+      continue;
+    }
+    StatusOr<ActuationCommand> command = entry.session->step(frames[i]);
+    if (!command.ok()) {
+      entry.status = command.status().with_context(
+          "fleet session " + std::to_string(i));
+      results.push_back(entry.status);
+      continue;
+    }
+    if (command->intervened) ++entry.trips;
+    results.push_back(std::move(command));
+  }
+  return results;
+}
+
+bool SessionFleet::any_build_pending() const {
+  for (const Entry& entry : entries_) {
+    if (entry.status.ok() && entry.session->table_build_pending()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FleetMetrics SessionFleet::metrics() const {
+  FleetMetrics out;
+  out.sessions = entries_.size();
+  out.builds_completed = cache_.builds_completed();
+  for (const Entry& entry : entries_) {
+    if (!entry.status.ok()) ++out.failed;
+    if (entry.status.ok() && entry.session->table_build_pending()) {
+      ++out.builds_pending;
+    }
+    out.steps += entry.session->steps();
+    out.windows += entry.session->windows();
+    out.fallback_windows += entry.session->fallback_windows();
+    out.trips += entry.trips;
+  }
+  return out;
+}
+
+}  // namespace protemp::api

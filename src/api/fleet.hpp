@@ -1,0 +1,113 @@
+// Multi-session serving: N ControlSessions behind one cache and one pool.
+//
+// The ROADMAP north-star is serving many concurrent control sessions at
+// hardware speed. A SessionFleet owns the two process-wide resources that
+// make that cheap — a TableCache (so identical configurations share one
+// Phase-1 build) and a util::ThreadPool (so those builds never run on a
+// control thread) — plus the per-session state. Sessions are created in
+// async mode by default: bringing a new session up costs microseconds, it
+// serves the AsyncFallback until its table lands, and eight sessions with
+// the same configuration trigger exactly one build between them
+// (bench_fleet gates the resulting >= 4x aggregate throughput).
+//
+// Failure isolation: a session whose step() fails (bad frame, policy
+// throw, failed table build) is latched as failed — its slot in every
+// later step_all() reports the latched Status and its siblings keep
+// serving. bench_fleet and tests/fleet_test.cpp cover the concurrency;
+// the TSan CI job runs the latter.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/scenario.hpp"
+#include "api/session.hpp"
+#include "api/status.hpp"
+#include "util/thread_pool.hpp"
+
+namespace protemp::api {
+
+struct FleetConfig {
+  /// Worker threads for Phase-1 builds (0 = hardware concurrency).
+  std::size_t build_threads = 0;
+  /// Create sessions in non-blocking mode (the fleet's reason to exist);
+  /// false builds every table synchronously inside add().
+  bool async_builds = true;
+  /// Served while a session's build is in flight (async mode).
+  AsyncFallback fallback;
+};
+
+/// Point-in-time aggregate over every session in the fleet.
+struct FleetMetrics {
+  std::size_t sessions = 0;
+  std::size_t failed = 0;            ///< latched-failed sessions
+  std::size_t builds_pending = 0;    ///< sessions still serving fallback
+  std::size_t builds_completed = 0;  ///< Phase-1 builds the cache ran
+  std::size_t steps = 0;             ///< total frames consumed
+  std::size_t windows = 0;           ///< total DFS-window decisions
+  std::size_t fallback_windows = 0;  ///< windows served by fallbacks
+  std::size_t trips = 0;             ///< frames with a thermal intervention
+};
+
+class SessionFleet {
+ public:
+  explicit SessionFleet(FleetConfig config = {});
+
+  /// Builds one session per spec (all sharing the fleet cache/pool). Every
+  /// spec is attempted; on any failure returns one Status aggregating
+  /// every failing (index, name, status), mirroring ScenarioRunner.
+  static StatusOr<std::unique_ptr<SessionFleet>> create(
+      const std::vector<ScenarioSpec>& specs, FleetConfig config = {});
+
+  /// Adds a session built from `spec`; returns its fleet index.
+  StatusOr<std::size_t> add(const ScenarioSpec& spec);
+
+  /// Adopts an externally built session (tests, custom policies); it
+  /// should share this fleet's cache/pool if it builds asynchronously.
+  std::size_t adopt(std::unique_ptr<ControlSession> session);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  ControlSession& session(std::size_t index) {
+    return *entries_.at(index).session;
+  }
+  const ControlSession& session(std::size_t index) const {
+    return *entries_.at(index).session;
+  }
+  /// Ok while the session is healthy; the latched first failure after.
+  const Status& session_status(std::size_t index) const {
+    return entries_.at(index).status;
+  }
+
+  /// Steps every healthy session with its frame (frames[i] -> session i;
+  /// sizes must match). Slot i of the result is the session's command, its
+  /// fresh failure, or its previously latched failure — a failed session
+  /// is never stepped again and never stalls its siblings.
+  std::vector<StatusOr<ActuationCommand>> step_all(
+      const std::vector<sim::TelemetryFrame>& frames);
+
+  /// True while any healthy session's Phase-1 build is still in flight.
+  bool any_build_pending() const;
+
+  FleetMetrics metrics() const;
+
+  TableCache& table_cache() noexcept { return cache_; }
+  util::ThreadPool& build_pool() noexcept { return pool_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<ControlSession> session;
+    Status status;            ///< latched first failure
+    std::size_t trips = 0;    ///< frames with intervened commands
+  };
+
+  FleetConfig config_;
+  // Declaration order is load-bearing: pool jobs (async builds) touch the
+  // cache, so the pool must be destroyed (draining them) before the cache.
+  TableCache cache_;
+  util::ThreadPool pool_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace protemp::api

@@ -16,6 +16,10 @@
 //   * scenario.hpp — ScenarioSpec, parse/serialize/validate;
 //   * session.hpp  — ControlSession: streaming telemetry-in/actuation-out
 //                    online control, observers, snapshot/restore, replay;
+//   * async.hpp    — AsyncTablePolicy: non-blocking Phase-1 acquisition
+//                    (fallback serving + window-boundary hot swap);
+//   * fleet.hpp    — SessionFleet: N sessions behind one table cache and
+//                    build pool, batched step_all, failure isolation;
 //   * runner.hpp   — ScenarioRunner::run / run_all (thread-pooled batches,
 //                    each scenario a simulator-driven session).
 //
@@ -25,6 +29,8 @@
 // program needs exactly one include.
 #pragma once
 
+#include "api/async.hpp"      // IWYU pragma: export
+#include "api/fleet.hpp"      // IWYU pragma: export
 #include "api/registry.hpp"   // IWYU pragma: export
 #include "api/runner.hpp"     // IWYU pragma: export
 #include "api/scenario.hpp"   // IWYU pragma: export
@@ -46,7 +52,8 @@
 #include "workload/task.hpp"        // IWYU pragma: export
 #include "workload/trace_io.hpp"    // IWYU pragma: export
 
-#include "util/cli.hpp"      // IWYU pragma: export
-#include "util/strings.hpp"  // IWYU pragma: export
-#include "util/table.hpp"    // IWYU pragma: export
-#include "util/units.hpp"    // IWYU pragma: export
+#include "util/cli.hpp"          // IWYU pragma: export
+#include "util/strings.hpp"      // IWYU pragma: export
+#include "util/table.hpp"        // IWYU pragma: export
+#include "util/thread_pool.hpp"  // IWYU pragma: export
+#include "util/units.hpp"        // IWYU pragma: export

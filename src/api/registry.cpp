@@ -9,6 +9,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "api/async.hpp"
 #include "arch/mesh.hpp"
 #include "arch/niagara.hpp"
 #include "core/policies.hpp"
@@ -145,6 +146,8 @@ std::shared_ptr<const core::FrequencyTable> TableCache::get_or_build(
     try {
       promise.set_value(
           std::make_shared<const core::FrequencyTable>(builder()));
+      std::lock_guard<std::mutex> lock(mu_);
+      ++builds_completed_;
     } catch (...) {
       // Drop the poisoned entry so a later request can retry (a transient
       // failure must not disable this key for the process lifetime);
@@ -157,6 +160,59 @@ std::shared_ptr<const core::FrequencyTable> TableCache::get_or_build(
     }
   }
   return future.get();  // rethrows the builder's exception for every waiter
+}
+
+TableCache::Future TableCache::get_async(const std::string& key,
+                                         Builder builder,
+                                         util::ThreadPool& pool,
+                                         bool* dispatched) {
+  if (dispatched != nullptr) *dispatched = false;
+  auto promise = std::make_shared<
+      std::promise<std::shared_ptr<const core::FrequencyTable>>>();
+  Future future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    future = promise->get_future().share();
+    cache_.emplace(key, future);
+  }
+  if (dispatched != nullptr) *dispatched = true;
+  // The job owns the builder and promise; `this` must outlive the pool
+  // (documented on get_async). Same failure contract as the sync path:
+  // waiters see the exception, the key becomes retryable.
+  try {
+    pool.post([this, key, builder = std::move(builder), promise]() {
+      try {
+        promise->set_value(
+            std::make_shared<const core::FrequencyTable>(builder()));
+        std::lock_guard<std::mutex> lock(mu_);
+        ++builds_completed_;
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          cache_.erase(key);
+        }
+        promise->set_exception(std::current_exception());
+      }
+    });
+  } catch (...) {
+    // post() itself failed (pool shutting down, allocation): without the
+    // job, the promise would die unset and latch broken_promise into the
+    // cached future for the process lifetime. Drop the entry so the key
+    // stays retryable, then let the caller see the failure.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cache_.erase(key);
+    }
+    throw;
+  }
+  return future;
+}
+
+std::size_t TableCache::builds_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builds_completed_;
 }
 
 // ----------------------------------------------------------- registration --
@@ -479,6 +535,62 @@ PROTEMP_REGISTER_DFS_POLICY(
       if (Status s = reader.finish(); !s.ok()) return s;
 
       const std::string key = table_cache_key(context, *grid);
+
+      if (context.build_pool != nullptr && context.table_cache != nullptr) {
+        // Async serving path: never build on the calling thread. The
+        // builder captures everything by value (including a copy of the
+        // platform — cheap next to a grid of barrier solves) because it
+        // outlives this factory call, and possibly the session that
+        // dispatched it.
+        const AsyncFallback& fallback = context.async_fallback;
+        if (fallback.mode == AsyncFallback::Mode::kPreviousTable) {
+          if (fallback.previous == nullptr) {
+            return Status::invalid_argument(
+                "pro-temp async: previous-table fallback requires a table");
+          }
+          if (fallback.previous->num_cores() !=
+              context.platform->num_cores()) {
+            return Status::invalid_argument(util::format(
+                "pro-temp async: previous table has %zu cores, platform "
+                "has %zu",
+                fallback.previous->num_cores(),
+                context.platform->num_cores()));
+          }
+        }
+        const double trip =
+            fallback.trip_celsius.value_or(context.optimizer.tmax);
+        auto info = std::make_shared<TableBuildInfo>();
+        auto platform = std::make_shared<const arch::Platform>(
+            *context.platform);
+        bool dispatched = false;
+        TableCache::Future future = context.table_cache->get_async(
+            key,
+            [info, platform, optimizer_config = context.optimizer,
+             tstart = grid->tstart, ftarget = grid->ftarget, key]() {
+              const auto start = std::chrono::steady_clock::now();
+              const core::ProTempOptimizer optimizer(*platform,
+                                                     optimizer_config);
+              core::FrequencyTable table =
+                  core::FrequencyTable::build(optimizer, tstart, ftarget);
+              // Filled before the promise is satisfied, so the swapping
+              // thread reads it ordered-after this write.
+              info->cache_key = key;
+              info->wall_seconds = std::chrono::duration<double>(
+                                       std::chrono::steady_clock::now() -
+                                       start)
+                                       .count();
+              info->rows = table.rows();
+              info->cols = table.cols();
+              return table;
+            },
+            *context.build_pool, &dispatched);
+        // Only the dispatching session reports the build (deferred to the
+        // hot-swap, on the stepping thread); cache hits never report.
+        return std::unique_ptr<sim::DfsPolicy>(new AsyncTablePolicy(
+            std::move(future), fallback, trip,
+            dispatched ? std::move(info) : nullptr));
+      }
+
       // The builder only runs on a cache miss, so on_table_build reports
       // builds that actually happened, never cache hits.
       const auto build = [&]() {

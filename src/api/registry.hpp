@@ -15,6 +15,7 @@
 // from any translation unit that is linked into the final binary.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -22,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "core/frequency_table.hpp"
 #include "core/optimizer.hpp"
 #include "sim/policies.hpp"
+#include "util/thread_pool.hpp"
 
 namespace protemp::api {
 
@@ -84,18 +87,40 @@ class OptionReader {
 /// full grid of barrier solves, so ScenarioRunner keys tables on (platform,
 /// optimizer config, grid) and builds each distinct table exactly once even
 /// when many worker threads request it concurrently. Builder exceptions
-/// propagate to every waiter of that key.
+/// propagate to every waiter of that key; the failed entry is dropped so a
+/// later request can retry.
 class TableCache {
  public:
   using Builder = std::function<core::FrequencyTable()>;
+  using Future =
+      std::shared_future<std::shared_ptr<const core::FrequencyTable>>;
 
+  /// Blocking path (the default everywhere): a miss builds on the calling
+  /// thread; concurrent requests for the same key wait for that one build.
   std::shared_ptr<const core::FrequencyTable> get_or_build(
       const std::string& key, const Builder& builder);
 
+  /// Non-blocking path: a miss dispatches `builder` to `pool` and returns
+  /// the in-flight future immediately (`*dispatched = true` only for the
+  /// caller that scheduled the build); a hit returns the existing —
+  /// possibly already ready — future. `ready()` tells a control loop
+  /// whether get() would block. The cache must outlive every pool job it
+  /// dispatched: drain or destroy the pool before the cache.
+  Future get_async(const std::string& key, Builder builder,
+                   util::ThreadPool& pool, bool* dispatched = nullptr);
+  static bool ready(const Future& future) {
+    return future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  /// Completed builds this cache ran (sync or async; failed builds
+  /// excluded).
+  std::size_t builds_completed() const;
+
  private:
-  using Future = std::shared_future<std::shared_ptr<const core::FrequencyTable>>;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::map<std::string, Future> cache_;
+  std::size_t builds_completed_ = 0;
 };
 
 /// Describes one Phase-1 table build that actually ran (cache misses only;
@@ -105,6 +130,29 @@ struct TableBuildInfo {
   double wall_seconds = 0.0;  ///< host time spent in the grid of solves
   std::size_t rows = 0;       ///< tstart grid points
   std::size_t cols = 0;       ///< ftarget grid points
+};
+
+/// What a non-blocking "pro-temp" session serves while its Phase-1 table
+/// build is still in flight (the fallback contract of DESIGN.md §6c). Both
+/// modes are thermally safe; neither is workload-optimal — the point is
+/// that the control loop never waits on the optimizer.
+struct AsyncFallback {
+  enum class Mode {
+    /// Every core runs at fmax; a core observed at/above `trip_celsius`
+    /// is dropped to the platform floor (0 Hz unless sim.fmin raises it)
+    /// and latched there until the next window boundary re-reads it — the
+    /// Basic-DFS continuous-trip semantics, as a reactive governor.
+    kTripAtFmax,
+    /// Serve lookups from `previous` (e.g. the table of a superseded
+    /// configuration) until the fresh build lands.
+    kPreviousTable,
+  };
+  Mode mode = Mode::kTripAtFmax;
+  /// Trip threshold [degC] for kTripAtFmax; unset -> ProTempConfig::tmax.
+  std::optional<double> trip_celsius;
+  /// The stale table served in kPreviousTable mode (required there; its
+  /// core count must match the platform).
+  std::shared_ptr<const core::FrequencyTable> previous;
 };
 
 /// Everything a DfsPolicy factory may need beyond its options: the platform
@@ -122,8 +170,18 @@ struct PolicyContext {
   std::string platform_key;
   /// Optional observer invoked (on the calling thread) after each Phase-1
   /// table build this construction triggered. ControlSession routes it to
-  /// SessionObserver::on_table_build.
+  /// SessionObserver::on_table_build. In async mode (build_pool set) the
+  /// report is deferred to the table hot-swap instead, so it still fires on
+  /// the stepping thread — see api::AsyncTablePolicy.
   std::function<void(const TableBuildInfo&)> on_table_build;
+  /// Non-null (together with table_cache) makes "pro-temp" construction
+  /// non-blocking: a cache miss dispatches the Phase-1 build to this pool
+  /// and the factory returns an api::AsyncTablePolicy that serves
+  /// `async_fallback` until the table lands at a window boundary. Null (the
+  /// default) keeps the synchronous build-in-ctor path, byte-identical to
+  /// prior behavior.
+  util::ThreadPool* build_pool = nullptr;
+  AsyncFallback async_fallback;
 };
 
 using DfsPolicyFactory =

@@ -1,14 +1,15 @@
 #include "api/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <exception>
+#include <future>
 #include <optional>
 #include <thread>
 
 #include "api/session.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 #include "workload/generator.hpp"
 #include "workload/profiles.hpp"
 
@@ -84,27 +85,20 @@ StatusOr<std::vector<ScenarioReport>> ScenarioRunner::run_all(
   }
   num_threads = std::min(num_threads, specs.size());
 
-  // Workers pull the next unclaimed spec index; scenario results are fully
-  // determined by their spec, so claim order does not affect the output.
+  // One pool job per spec; scenario results are fully determined by their
+  // spec, so scheduling order does not affect the output. The pool is the
+  // same util::ThreadPool the serving layer uses for async table builds —
+  // run_all owns a private one sized to the request.
   std::vector<std::optional<StatusOr<ScenarioReport>>> slots(specs.size());
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&]() {
-    while (true) {
-      const std::size_t index = next.fetch_add(1);
-      if (index >= specs.size()) return;
-      slots[index] = run(specs[index]);
+  {
+    util::ThreadPool pool(num_threads);
+    std::vector<std::future<void>> done;
+    done.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      done.push_back(
+          pool.submit([this, &specs, &slots, i]() { slots[i] = run(specs[i]); }));
     }
-  };
-
-  if (num_threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (std::size_t i = 0; i < num_threads; ++i) {
-      threads.emplace_back(worker);
-    }
-    for (std::thread& t : threads) t.join();
+    for (std::future<void>& f : done) f.get();
   }
 
   // Aggregate EVERY failure (every scenario ran to completion above): batch

@@ -6,10 +6,11 @@
 // MulticoreSimulator driving the session as its controller — the batch
 // runner is just one driver of the same session that open-loop telemetry
 // callers step directly (see session.hpp). run_all() fans independent
-// scenarios across a std::thread pool; because every scenario owns its RNG
-// seed and shares no mutable state, a batch produces results identical to
-// running each spec sequentially, regardless of thread count or scheduling
-// order.
+// scenarios across a util::ThreadPool (the same pool primitive the serving
+// layer uses for async table builds, see fleet.hpp); because every
+// scenario owns its RNG seed and shares no mutable state, a batch produces
+// results identical to running each spec sequentially, regardless of
+// thread count or scheduling order.
 //
 // Phase-1 tables (the expensive offline artifact of "pro-temp" policies)
 // are memoized in a TableCache keyed on (platform, optimizer config, grid),

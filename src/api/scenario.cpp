@@ -1,6 +1,7 @@
 #include "api/scenario.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <optional>
 #include <set>
@@ -93,6 +94,7 @@ class SpecParser {
     if (key == "sim.frequency_quantum") {
       return set_double(a, spec_.sim.frequency_quantum);
     }
+    if (key == "sim.fmin") return set_double(a, spec_.sim.fmin);
     if (key == "sim.trace_sample_period") {
       return set_double(a, spec_.sim.trace_sample_period);
     }
@@ -347,9 +349,38 @@ Status ScenarioSpec::validate() const {
   if (duration <= 0.0) return fail("duration must be positive");
   if (sim.dt <= 0.0) return fail("sim.dt must be positive");
   if (sim.dfs_period < sim.dt) return fail("sim.dfs_period must be >= sim.dt");
+  // Mirrors the ControlLoop/SimConfig constructors, so a drifting cadence
+  // is rejected at the spec layer, before any simulation object exists.
+  const double window_ratio = sim.dfs_period / sim.dt;
+  if (std::abs(window_ratio - std::llround(window_ratio)) > 1e-9) {
+    return fail("sim.dfs_period must be an integer multiple of sim.dt "
+                "(ratio " + std::to_string(window_ratio) +
+                " would drift the actuation cadence)");
+  }
+  if (sim.frequency_quantum < 0.0) {
+    return fail("sim.frequency_quantum must be >= 0");
+  }
+  if (sim.fmin < 0.0) return fail("sim.fmin must be >= 0");
+  // The recorded trace's nominal period must be realizable: a fractional
+  // period/dt ratio silently rounds to a different effective cadence.
+  if (sim.trace_sample_period > 0.0) {
+    const double trace_ratio = sim.trace_sample_period / sim.dt;
+    if (std::abs(trace_ratio - std::llround(trace_ratio)) > 1e-9 ||
+        trace_ratio < 0.5) {
+      return fail("sim.trace_sample_period must be an integer multiple of "
+                  "sim.dt (ratio " + std::to_string(trace_ratio) + ")");
+    }
+  }
   if (optimizer.dt <= 0.0) return fail("opt.dt must be positive");
   if (optimizer.dfs_period < optimizer.dt) {
     return fail("opt.dfs_period must be >= opt.dt");
+  }
+  // Same integrality rule on the optimizer's horizon: Phase 1 must certify
+  // exactly the window the control loop actuates, not a rounded one.
+  const double horizon_ratio = optimizer.dfs_period / optimizer.dt;
+  if (std::abs(horizon_ratio - std::llround(horizon_ratio)) > 1e-9) {
+    return fail("opt.dfs_period must be an integer multiple of opt.dt "
+                "(ratio " + std::to_string(horizon_ratio) + ")");
   }
   if (optimizer.gradient_step_stride < 1) {
     return fail("opt.gradient_step_stride must be >= 1");
@@ -419,6 +450,7 @@ std::string ScenarioSpec::serialize() const {
     emit("sim.initial_temperature", format_double(*sim.initial_temperature));
   }
   emit("sim.frequency_quantum", format_double(sim.frequency_quantum));
+  emit("sim.fmin", format_double(sim.fmin));
   emit("sim.trace_sample_period", format_double(sim.trace_sample_period));
   emit("sim.sensor_noise_stddev", format_double(sim.sensor_noise_stddev));
   emit("sim.sensor_noise_seed", std::to_string(sim.sensor_noise_seed));

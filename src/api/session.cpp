@@ -24,6 +24,7 @@ ControlSession::ControlSession(std::unique_ptr<arch::Platform> platform,
   loop_config.dt = sim_config_.dt;
   loop_config.dfs_period = sim_config_.dfs_period;
   loop_config.frequency_quantum = sim_config_.frequency_quantum;
+  loop_config.fmin = sim_config_.fmin;
   loop_config.fmax = platform_->fmax();
   loop_config.num_cores = platform_->num_cores();
   loop_ = std::make_unique<sim::ControlLoop>(*dfs_, *assignment_, loop_config);
@@ -47,6 +48,8 @@ StatusOr<std::unique_ptr<ControlSession>> ControlSession::create(
   context.platform = owned_platform.get();
   context.optimizer = spec.optimizer;
   context.table_cache = config.table_cache;
+  context.build_pool = config.build_pool;
+  context.async_fallback = config.async_fallback;
   // Distinct platform options must never share a Phase-1 table, even when
   // the factory gives both platforms the same display name.
   context.platform_key = spec.platform;
@@ -68,9 +71,11 @@ StatusOr<std::unique_ptr<ControlSession>> ControlSession::create(
   if (!assignment.ok()) return assignment.status();
 
   try {
-    return std::unique_ptr<ControlSession>(new ControlSession(
+    std::unique_ptr<ControlSession> session(new ControlSession(
         std::move(owned_platform), std::move(dfs).value(),
         std::move(assignment).value(), spec.sim, config.observers));
+    session->wire_async_policy();
+    return session;
   } catch (const std::invalid_argument& e) {
     return Status::invalid_argument(e.what());
   } catch (const std::exception& e) {
@@ -86,14 +91,36 @@ StatusOr<std::unique_ptr<ControlSession>> ControlSession::create(
     return Status::invalid_argument("ControlSession: null policy");
   }
   try {
-    return std::unique_ptr<ControlSession>(new ControlSession(
+    std::unique_ptr<ControlSession> session(new ControlSession(
         std::make_unique<arch::Platform>(std::move(platform)), std::move(dfs),
         std::move(assignment), std::move(sim_config), config.observers));
+    session->wire_async_policy();
+    return session;
   } catch (const std::invalid_argument& e) {
     return Status::invalid_argument(e.what());
   } catch (const std::exception& e) {
     return Status::internal(e.what());
   }
+}
+
+void ControlSession::wire_async_policy() {
+  async_policy_ = dynamic_cast<AsyncTablePolicy*>(dfs_.get());
+  if (async_policy_ == nullptr) return;
+  // `this` outlives the policy it owns, and the callback fires inside
+  // on_window on the stepping thread — the normal observer context.
+  async_policy_->set_swap_callback([this](const TableBuildInfo& info) {
+    for (SessionObserver* observer : observers_) {
+      observer->on_table_build(info);
+    }
+  });
+}
+
+bool ControlSession::table_build_pending() const noexcept {
+  return async_policy_ != nullptr && async_policy_->pending();
+}
+
+std::size_t ControlSession::fallback_windows() const noexcept {
+  return async_policy_ == nullptr ? 0 : async_policy_->fallback_windows();
 }
 
 // ----------------------------------------------- Controller (closed loop) --

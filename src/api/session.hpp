@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "api/async.hpp"
 #include "api/registry.hpp"
 #include "api/scenario.hpp"
 #include "api/status.hpp"
@@ -82,6 +83,14 @@ struct SessionConfig {
   /// Optional shared Phase-1 table cache (ScenarioRunner passes its own, so
   /// sessions built from the same runner share tables).
   TableCache* table_cache = nullptr;
+  /// Non-null (together with table_cache) makes table-backed policy
+  /// construction non-blocking: create() returns immediately, the Phase-1
+  /// build runs on this pool, and step() serves `async_fallback` until the
+  /// table hot-swaps in at a window boundary (DESIGN.md §6c). Not owned;
+  /// pool and cache must outlive the session.
+  util::ThreadPool* build_pool = nullptr;
+  /// What to serve while an async build is in flight.
+  AsyncFallback async_fallback;
   /// Observers active from the first moment of construction — the only way
   /// to see on_table_build. Not owned; must outlive the session (or be
   /// removed first).
@@ -141,6 +150,12 @@ class ControlSession final : public sim::Controller {
 
   std::size_t steps() const noexcept { return loop_->steps(); }
   std::size_t windows() const noexcept { return loop_->windows(); }
+  /// Whether this session's Phase-1 table build is still in flight (async
+  /// mode only; always false for synchronously built sessions). While
+  /// true, window decisions come from the configured AsyncFallback.
+  bool table_build_pending() const noexcept;
+  /// DFS windows served by the fallback so far (0 in sync mode).
+  std::size_t fallback_windows() const noexcept;
   /// Whether the next step() consumes the frame's workload/block-sensor
   /// fields (i.e. falls on a DFS-window boundary).
   bool next_step_is_window_boundary() const noexcept {
@@ -177,12 +192,16 @@ class ControlSession final : public sim::Controller {
                  std::vector<SessionObserver*> observers);
 
   Status validate_frame(const sim::TelemetryFrame& frame) const;
+  /// Points an AsyncTablePolicy's swap callback at this session's observer
+  /// list, so deferred on_table_build fires on the stepping thread.
+  void wire_async_policy();
 
   std::unique_ptr<arch::Platform> platform_;  ///< stable address (optimizer refs)
   sim::SimConfig sim_config_;
   std::unique_ptr<sim::DfsPolicy> dfs_;
   std::unique_ptr<sim::AssignmentPolicy> assignment_;
   std::unique_ptr<sim::ControlLoop> loop_;
+  AsyncTablePolicy* async_policy_ = nullptr;  ///< dfs_, when async-built
   std::vector<SessionObserver*> observers_;
   ActuationCommand last_command_;
   double last_time_ = 0.0;

@@ -176,10 +176,10 @@ FrequencyTable FrequencyTable::load(std::istream& in) {
     throw std::runtime_error("FrequencyTable::load: empty input");
   }
   const auto header = util::parse_csv_line(line);
-  if (header.size() < 6 || header[0] != "tstart") {
+  if (!header || header->size() < 6 || (*header)[0] != "tstart") {
     throw std::runtime_error("FrequencyTable::load: bad header");
   }
-  const std::size_t num_cores = header.size() - 5;
+  const std::size_t num_cores = header->size() - 5;
 
   struct Row {
     double tstart, ftarget;
@@ -190,8 +190,13 @@ FrequencyTable FrequencyTable::load(std::istream& in) {
   std::vector<double> tgrid, fgrid;
   while (std::getline(in, line)) {
     if (util::trim(line).empty()) continue;
-    const auto fields = util::parse_csv_line(line);
-    if (fields.size() != header.size()) {
+    const auto parsed_fields = util::parse_csv_line(line);
+    if (!parsed_fields) {
+      throw std::runtime_error(
+          "FrequencyTable::load: unterminated quoted field");
+    }
+    const auto& fields = *parsed_fields;
+    if (fields.size() != header->size()) {
       throw std::runtime_error("FrequencyTable::load: ragged row");
     }
     Row row;

@@ -64,6 +64,15 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
       config_.dfs_period < config_.dt) {
     throw std::invalid_argument("ProTempConfig: need dfs_period >= dt > 0");
   }
+  // Mirrors ControlLoop: a fractional ratio would silently round the
+  // horizon, making Phase 1 certify a different window than the control
+  // loop actuates.
+  const double ratio = config_.dfs_period / config_.dt;
+  if (std::abs(ratio - std::llround(ratio)) > 1e-9) {
+    throw std::invalid_argument(
+        "ProTempConfig: dfs_period must be an integer multiple of dt "
+        "(ratio " + std::to_string(ratio) + ")");
+  }
   if (config_.gradient_step_stride == 0) {
     throw std::invalid_argument("ProTempConfig: gradient_step_stride >= 1");
   }

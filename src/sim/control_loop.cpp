@@ -19,11 +19,27 @@ ControlLoop::ControlLoop(DfsPolicy& dfs, AssignmentPolicy& assignment,
   if (config_.frequency_quantum < 0.0) {
     throw std::invalid_argument("ControlLoop: frequency_quantum must be >= 0");
   }
+  if (!std::isfinite(config_.fmin) || config_.fmin < 0.0) {
+    throw std::invalid_argument("ControlLoop: fmin must be finite and >= 0");
+  }
+  if (config_.fmin > config_.fmax) {
+    throw std::invalid_argument("ControlLoop: fmin must be <= fmax");
+  }
   if (config_.num_cores == 0) {
     throw std::invalid_argument("ControlLoop: num_cores must be > 0");
   }
-  steps_per_window_ = static_cast<std::size_t>(
-      std::llround(config_.dfs_period / config_.dt));
+  // A fractional window/step ratio would be silently rounded here, and the
+  // actuation cadence would drift against wall time (0.25 s windows over
+  // 0.1 s steps actuate every 0.2-0.3 s instead). Reject anything further
+  // than 1e-9 from an integer; honest fp error in dfs_period / dt is
+  // orders of magnitude below that.
+  const double ratio = config_.dfs_period / config_.dt;
+  if (std::abs(ratio - std::llround(ratio)) > 1e-9) {
+    throw std::invalid_argument(
+        "ControlLoop: dfs_period must be an integer multiple of dt (ratio " +
+        std::to_string(ratio) + ")");
+  }
+  steps_per_window_ = static_cast<std::size_t>(std::llround(ratio));
   if (steps_per_window_ == 0) {
     throw std::invalid_argument("ControlLoop: dfs_period shorter than dt");
   }
@@ -41,11 +57,12 @@ void ControlLoop::reset() {
 }
 
 double ControlLoop::quantize(double f) const noexcept {
-  if (config_.frequency_quantum <= 0.0) {
-    return std::clamp(f, 0.0, config_.fmax);
-  }
   const double q = config_.frequency_quantum;
-  return std::clamp(std::floor(f / q) * q, 0.0, config_.fmax);
+  const double floored = q <= 0.0 ? f : std::floor(f / q) * q;
+  // The fmin rail is applied after flooring: a request in (0, quantum)
+  // floors to 0 and then lands on the rail, never on a phantom 0 Hz state
+  // the platform does not have.
+  return std::clamp(floored, config_.fmin, config_.fmax);
 }
 
 const linalg::Vector& ControlLoop::on_telemetry(const TelemetryFrame& frame) {

@@ -69,10 +69,20 @@ class ControlLoop final : public Controller {
  public:
   struct Config {
     double dt = 0.4e-3;        ///< telemetry cadence [s]
-    double dfs_period = 0.1;   ///< DFS window [s]; must be >= dt
+    /// DFS window [s]; must be >= dt and an integer multiple of it (within
+    /// 1e-9): a fractional ratio would silently round, drifting the
+    /// actuation cadence against wall time.
+    double dfs_period = 0.1;
     /// Frequency quantum [Hz]; outputs are floored to a multiple of it
     /// (0 = continuous), mirroring SimConfig::frequency_quantum.
     double frequency_quantum = 0.0;
+    /// Lower frequency rail [Hz]; every output is clamped to
+    /// [fmin, fmax]. The rail wins over the quantum — a request inside
+    /// (0, quantum) must not floor to a 0 Hz stall when the platform has a
+    /// real minimum DVS state. Default 0 preserves historical behavior
+    /// (quantization may shut a core down); with fmin > 0, thermal trips
+    /// idle at the rail instead of power-gating.
+    double fmin = 0.0;
     double fmax = 0.0;         ///< [Hz]
     std::size_t num_cores = 0;
   };

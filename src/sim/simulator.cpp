@@ -33,8 +33,32 @@ MulticoreSimulator::MulticoreSimulator(const arch::Platform& platform,
   if (config_.dfs_period < config_.dt) {
     throw std::invalid_argument("SimConfig: dfs_period must be >= dt");
   }
+  // Mirrors ControlLoop: a fractional window/step ratio silently rounds
+  // and the actuation cadence drifts against wall time.
+  const double ratio = config_.dfs_period / config_.dt;
+  if (std::abs(ratio - std::llround(ratio)) > 1e-9) {
+    throw std::invalid_argument(
+        "SimConfig: dfs_period must be an integer multiple of dt (ratio " +
+        std::to_string(ratio) + ")");
+  }
   if (config_.frequency_quantum < 0.0) {
     throw std::invalid_argument("SimConfig: frequency_quantum must be >= 0");
+  }
+  if (!std::isfinite(config_.fmin) || config_.fmin < 0.0) {
+    throw std::invalid_argument("SimConfig: fmin must be finite and >= 0");
+  }
+  // The recorded trace's nominal period must be realizable as a whole
+  // number of steps, or the effective cadence silently differs from the
+  // configured one (the ratio-0.5 floor catches ratios that would round
+  // all the way to zero).
+  if (config_.trace_sample_period > 0.0) {
+    const double trace_ratio = config_.trace_sample_period / config_.dt;
+    if (std::abs(trace_ratio - std::llround(trace_ratio)) > 1e-9 ||
+        trace_ratio < 0.5) {
+      throw std::invalid_argument(
+          "SimConfig: trace_sample_period must be an integer multiple of dt "
+          "(ratio " + std::to_string(trace_ratio) + ")");
+    }
   }
 }
 
@@ -46,6 +70,7 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
   loop_config.dt = config_.dt;
   loop_config.dfs_period = config_.dfs_period;
   loop_config.frequency_quantum = config_.frequency_quantum;
+  loop_config.fmin = config_.fmin;
   loop_config.fmax = platform_.fmax();
   loop_config.num_cores = platform_.num_cores();
   ControlLoop loop(dfs, assignment, loop_config);

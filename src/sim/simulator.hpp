@@ -44,6 +44,15 @@ struct SimConfig {
   /// Pro-Temp guarantee.
   double frequency_quantum = 0.0;
 
+  /// Lower frequency rail [Hz] (scenario key `sim.fmin`): every commanded
+  /// frequency is clamped to [fmin, platform fmax], and the rail wins over
+  /// the quantum — without it, any request inside (0, quantum) floors to a
+  /// 0 Hz state most platforms do not have. Default 0 preserves historical
+  /// behavior exactly; with fmin > 0, thermal trips idle at the rail
+  /// instead of power-gating (raising, not lowering, power — so a nonzero
+  /// rail slightly weakens the trip, which is the hardware's reality).
+  double fmin = 0.0;
+
   /// Optional temperature-dependent core leakage added on top of dynamic
   /// power (extension; off by default to match the paper).
   std::optional<power::LeakagePowerModel> core_leakage;

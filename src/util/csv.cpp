@@ -66,7 +66,8 @@ void CsvWriter::emit(const std::vector<std::string>& fields) {
   *out_ << '\n';
 }
 
-std::vector<std::string> parse_csv_line(std::string_view line) {
+std::optional<std::vector<std::string>> parse_csv_line(
+    std::string_view line) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
@@ -92,6 +93,10 @@ std::vector<std::string> parse_csv_line(std::string_view line) {
       current.push_back(c);
     }
   }
+  // A quote still open at end-of-line means the input was truncated (or
+  // never valid CSV); the old behavior of returning the mangled tail as
+  // one field silently corrupted loaded telemetry traces.
+  if (in_quotes) return std::nullopt;
   fields.push_back(std::move(current));
   return fields;
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -47,7 +48,9 @@ class CsvWriter {
 };
 
 /// Parses one CSV line into fields (handles quoted fields and doubled
-/// quotes). Used by trace (de)serialization and round-trip tests.
-std::vector<std::string> parse_csv_line(std::string_view line);
+/// quotes). Returns nullopt for a malformed line — an unterminated quoted
+/// field, the signature of a truncated file. Used by trace
+/// (de)serialization and round-trip tests.
+std::optional<std::vector<std::string>> parse_csv_line(std::string_view line);
 
 }  // namespace protemp::util

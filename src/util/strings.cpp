@@ -1,6 +1,7 @@
 #include "util/strings.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +63,15 @@ double parse_double(std::string_view text) {
   const double value = std::strtod(owned.c_str(), &end);
   if (end == owned.c_str() || *end != '\0') {
     throw std::invalid_argument("parse_double: not a number: '" + owned + "'");
+  }
+  // strtod happily accepts "inf"/"nan" (and overflow rounds to inf); every
+  // consumer here is a physical quantity, where a non-finite value poisons
+  // everything downstream (a `sim.dt = nan` spec line silently breaks the
+  // thermal model). Reject at the parse so the error is anchored to its
+  // source.
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("parse_double: non-finite value: '" + owned +
+                                "'");
   }
   return value;
 }

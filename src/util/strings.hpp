@@ -25,7 +25,9 @@ std::string_view trim(std::string_view text) noexcept;
 /// Splits on a single character; keeps empty fields.
 std::vector<std::string> split(std::string_view text, char separator);
 
-/// Parses a double, throwing std::invalid_argument with context on failure.
+/// Parses a finite double, throwing std::invalid_argument with context on
+/// failure. "inf"/"nan" (and overflowing literals) are rejected: every
+/// caller is a physical quantity for which a non-finite value is poison.
 double parse_double(std::string_view text);
 
 /// Parses a non-negative integer, throwing on failure.

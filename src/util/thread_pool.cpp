@@ -1,0 +1,82 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace protemp::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::post(std::function<void()> job) {
+  if (!job) throw std::invalid_argument("ThreadPool::post: null job");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      throw std::logic_error("ThreadPool::post: pool is shutting down");
+    }
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + active_;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      // Drain-before-exit: stop_ alone is not enough to leave — every
+      // posted job runs, so callers can rely on posted work completing.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    // submit() routes exceptions to the caller via packaged_task; for a
+    // bare post() job nobody is waiting, and one bad job must not
+    // std::terminate a pool other work depends on.
+    try {
+      job();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "protemp thread pool: job threw: %s\n", e.what());
+    } catch (...) {
+      std::fprintf(stderr, "protemp thread pool: job threw\n");
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace protemp::util

@@ -1,0 +1,78 @@
+// Fixed-size worker pool shared by the facade's batch and serving layers.
+//
+// Extracted from ScenarioRunner so the same pool can also carry TableCache
+// async Phase-1 builds (api::TableCache::get_async) and any other
+// fire-and-forget work the serving layer dispatches. Jobs run FIFO on a
+// fixed set of workers; the destructor drains every queued job before
+// joining, so a posted job is never silently dropped — anything a job
+// captures by reference must therefore outlive the pool, not the post()
+// call.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace protemp::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = std::thread::hardware_concurrency,
+  /// at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains the queue (every already-posted job runs) and joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a fire-and-forget job. Throws std::logic_error if called
+  /// during/after destruction (a programming error, not a race the pool
+  /// can resolve). A job that throws is logged and swallowed (nobody is
+  /// waiting on it; one bad job must not take the pool down) — use
+  /// submit() when the caller wants the exception back.
+  void post(std::function<void()> job);
+
+  /// Enqueues a job and returns a future for its result; exceptions thrown
+  /// by `f` surface at future.get().
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    post([task]() { (*task)(); });
+    return future;
+  }
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Jobs queued or currently running (diagnostics; racy by nature).
+  std::size_t pending() const;
+
+  /// Blocks until the queue is empty and every worker is idle. Only jobs
+  /// posted before the call are guaranteed done; jobs posted concurrently
+  /// may or may not be.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< wakes workers
+  std::condition_variable idle_cv_;   ///< wakes wait_idle
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  ///< jobs currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace protemp::util

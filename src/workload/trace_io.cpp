@@ -26,28 +26,59 @@ void save_trace_file(const TaskTrace& trace, const std::string& path) {
   save_trace(trace, out);
 }
 
+namespace {
+
+/// "<who>: line <n>: <what>" — every malformed-input error out of the trace
+/// loaders names its line, so a truncated or hand-edited file is fixable
+/// without bisecting it.
+[[noreturn]] void malformed(const std::string& who, std::size_t line_number,
+                            const std::string& what) {
+  throw std::runtime_error(who + ": line " + std::to_string(line_number) +
+                           ": " + what);
+}
+
+std::vector<std::string> parse_row(const std::string& who,
+                                   std::size_t line_number,
+                                   const std::string& line) {
+  auto fields = util::parse_csv_line(line);
+  if (!fields) {
+    malformed(who, line_number,
+              "unterminated quoted field (truncated file?)");
+  }
+  return *std::move(fields);
+}
+
+}  // namespace
+
 TaskTrace load_trace(std::istream& in) {
   std::string line;
   if (!std::getline(in, line)) {
     throw std::runtime_error("load_trace: empty input");
   }
-  const auto header = util::parse_csv_line(line);
+  std::size_t line_number = 1;
+  const auto header = parse_row("load_trace", line_number, line);
   if (header.size() != 4 || header[0] != "id") {
     throw std::runtime_error("load_trace: bad header");
   }
   std::vector<Task> tasks;
   while (std::getline(in, line)) {
+    ++line_number;
     if (util::trim(line).empty()) continue;
-    const auto fields = util::parse_csv_line(line);
+    const auto fields = parse_row("load_trace", line_number, line);
     if (fields.size() != 4) {
-      throw std::runtime_error("load_trace: bad row: " + line);
+      malformed("load_trace", line_number,
+                "expected 4 fields, got " + std::to_string(fields.size()));
     }
-    Task t;
-    t.id = static_cast<std::uint64_t>(util::parse_int(fields[0]));
-    t.arrival_time = util::parse_double(fields[1]);
-    t.work = util::parse_double(fields[2]);
-    t.benchmark = static_cast<std::uint32_t>(util::parse_int(fields[3]));
-    tasks.push_back(t);
+    try {
+      Task t;
+      t.id = static_cast<std::uint64_t>(util::parse_int(fields[0]));
+      t.arrival_time = util::parse_double(fields[1]);
+      t.work = util::parse_double(fields[2]);
+      t.benchmark = static_cast<std::uint32_t>(util::parse_int(fields[3]));
+      tasks.push_back(t);
+    } catch (const std::exception& e) {
+      malformed("load_trace", line_number, e.what());
+    }
   }
   return TaskTrace(std::move(tasks), "loaded");
 }
@@ -115,7 +146,8 @@ TelemetryTrace load_telemetry(std::istream& in) {
   if (!std::getline(in, line)) {
     throw std::runtime_error("load_telemetry: empty input");
   }
-  const auto header = util::parse_csv_line(line);
+  std::size_t line_number = 1;
+  const auto header = parse_row("load_telemetry", line_number, line);
   if (header.size() <= kTelemetryFixedColumns || header[0] != "time" ||
       header[kTelemetryFixedColumns] != "temp0") {
     throw std::runtime_error("load_telemetry: bad header");
@@ -123,22 +155,29 @@ TelemetryTrace load_telemetry(std::istream& in) {
   const std::size_t cores = header.size() - kTelemetryFixedColumns;
   TelemetryTrace trace;
   while (std::getline(in, line)) {
+    ++line_number;
     if (util::trim(line).empty()) continue;
-    const auto fields = util::parse_csv_line(line);
+    const auto fields = parse_row("load_telemetry", line_number, line);
     if (fields.size() != header.size()) {
-      throw std::runtime_error("load_telemetry: bad row: " + line);
+      malformed("load_telemetry", line_number,
+                "expected " + std::to_string(header.size()) +
+                    " fields, got " + std::to_string(fields.size()));
     }
-    TelemetryRecord r;
-    r.time = util::parse_double(fields[0]);
-    r.queue_length = static_cast<std::size_t>(util::parse_int(fields[1]));
-    r.backlog_work = util::parse_double(fields[2]);
-    r.arrived_work_last_window = util::parse_double(fields[3]);
-    r.core_temps.reserve(cores);
-    for (std::size_t c = 0; c < cores; ++c) {
-      r.core_temps.push_back(
-          util::parse_double(fields[kTelemetryFixedColumns + c]));
+    try {
+      TelemetryRecord r;
+      r.time = util::parse_double(fields[0]);
+      r.queue_length = static_cast<std::size_t>(util::parse_int(fields[1]));
+      r.backlog_work = util::parse_double(fields[2]);
+      r.arrived_work_last_window = util::parse_double(fields[3]);
+      r.core_temps.reserve(cores);
+      for (std::size_t c = 0; c < cores; ++c) {
+        r.core_temps.push_back(
+            util::parse_double(fields[kTelemetryFixedColumns + c]));
+      }
+      trace.push_back(std::move(r));
+    } catch (const std::exception& e) {
+      malformed("load_telemetry", line_number, e.what());
     }
-    trace.push_back(std::move(r));
   }
   return trace;
 }

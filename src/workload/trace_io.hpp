@@ -20,7 +20,9 @@ namespace protemp::workload {
 void save_trace(const TaskTrace& trace, std::ostream& out);
 void save_trace_file(const TaskTrace& trace, const std::string& path);
 
-/// Throws std::runtime_error on malformed input.
+/// Throws std::runtime_error on malformed input, naming the offending
+/// line ("load_trace: line 7: ..."); an unterminated quoted field — the
+/// signature of a truncated file — is rejected, not loaded mangled.
 TaskTrace load_trace(std::istream& in);
 TaskTrace load_trace_file(const std::string& path);
 
@@ -43,7 +45,8 @@ void save_telemetry(const TelemetryTrace& trace, std::ostream& out);
 void save_telemetry_file(const TelemetryTrace& trace,
                          const std::string& path);
 
-/// Throws std::runtime_error on malformed input.
+/// Throws std::runtime_error on malformed input, naming the offending
+/// line (see load_trace).
 TelemetryTrace load_telemetry(std::istream& in);
 TelemetryTrace load_telemetry_file(const std::string& path);
 

@@ -49,6 +49,18 @@ const MalformedCase kMalformed[] = {
     {"band edges not numeric", "sim.band_edges = 80,hot,100\n", 1},
     {"band edges empty", "sim.band_edges =\n", 1},
     {"frequency quantum junk", "sim.frequency_quantum = -1x\n", 1},
+    {"fmin junk", "sim.fmin = slow\n", 1},
+    // -- non-finite numbers (strtod accepts these; the spec must not) ------
+    {"dt nan", "sim.dt = nan\n", 1},
+    {"dt nan with payload", "sim.dt = nan(0x1)\n", 1},
+    {"duration inf", "duration = inf\n", 1},
+    {"duration inf uppercase", "duration = INF\n", 1},
+    {"tmax negative inf", "opt.tmax = -inf\n", 1},
+    {"tmax infinity word", "sim.tmax = infinity\n", 1},
+    {"overflow rounds to inf", "opt.gradient_weight = 1e999\n", 1},
+    {"band edge nan", "sim.band_edges = 80,nan,100\n", 1},
+    {"initial temperature nan on line 2",
+     "duration = 1\nsim.initial_temperature = nan\n", 2},
     // -- integer / seed parse errors --------------------------------------
     {"seed negative", "seed = -1\n", 1},
     {"seed fractional", "seed = 1.5\n", 1},
@@ -86,6 +98,15 @@ TEST(ScenarioFuzz, SemanticErrorsAreStatusesNotCrashes) {
       "duration = 0\n",
       "sim.dt = -0.1\n",
       "sim.dt = 0.5\nsim.dfs_period = 0.1\n",
+      // Fractional window/step ratios drift the actuation cadence; the
+      // spec layer rejects them before any simulation object exists — on
+      // the control loop, the optimizer horizon and the trace sampler.
+      "sim.dt = 0.03\nsim.dfs_period = 0.1\n",
+      "sim.dfs_period = 0.25001\n",
+      "opt.dt = 0.03\n",
+      "sim.trace_sample_period = 0.001\nsim.dt = 0.0004\n"
+      "sim.dfs_period = 0.1\n",
+      "sim.fmin = -1\n",
       "opt.dt = 0\n",
       "opt.gradient_step_stride = 0\n",
       "sim.band_edges = 90,80\n",

@@ -429,5 +429,44 @@ TEST(Simulator, ConfigValidation) {
   EXPECT_THROW(ok.run(tiny_trace(), dfs, assign, 0.0), std::invalid_argument);
 }
 
+TEST(Simulator, RejectsFractionalWindowStepRatio) {
+  // 25 ms windows over 0.4 ms steps = 62.5 steps/window: the old code
+  // silently rounded and the actuation cadence drifted vs wall time.
+  const arch::Platform platform = arch::make_niagara_platform();
+  SimConfig bad = fast_config();
+  bad.dfs_period = 0.025;
+  EXPECT_THROW(MulticoreSimulator(platform, bad), std::invalid_argument);
+  // Honest fp error in an integer ratio (0.1 / 0.0004 = 250.0000...3)
+  // must keep passing.
+  MulticoreSimulator ok(platform, fast_config());
+}
+
+TEST(ControlLoop, FminRailWinsOverQuantum) {
+  FixedFrequencyPolicy dfs(60e6);  // inside (0, quantum)
+  FirstIdleAssignment assign;
+  ControlLoop::Config config;
+  config.dt = 0.01;
+  config.dfs_period = 0.01;
+  config.frequency_quantum = 100e6;
+  config.fmax = 1e9;
+  config.num_cores = 2;
+
+  // Historical behavior (fmin = 0): 60 MHz floors to a 0 Hz stall.
+  ControlLoop unrailed(dfs, assign, config);
+  TelemetryFrame frame;
+  frame.core_temps = Vector(2, 50.0);
+  EXPECT_DOUBLE_EQ(unrailed.on_telemetry(frame)[0], 0.0);
+
+  // With a real lower rail the same request lands on the rail.
+  config.fmin = 50e6;
+  ControlLoop railed(dfs, assign, config);
+  EXPECT_DOUBLE_EQ(railed.on_telemetry(frame)[0], 50e6);
+
+  config.fmin = -1.0;
+  EXPECT_THROW(ControlLoop(dfs, assign, config), std::invalid_argument);
+  config.fmin = 2e9;  // > fmax
+  EXPECT_THROW(ControlLoop(dfs, assign, config), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace protemp::sim

@@ -1,6 +1,9 @@
-// Tests for logging, RNG, CSV, CLI, strings, units and table rendering.
+// Tests for logging, RNG, CSV, CLI, strings, units, the thread pool and
+// table rendering.
+#include <atomic>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +13,7 @@
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "util/units.hpp"
 
 namespace protemp::util {
@@ -106,9 +110,20 @@ TEST(Csv, EscapingRoundTrip) {
   EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
   EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
   const auto fields = parse_csv_line("a,\"b,c\",\"say \"\"hi\"\"\"");
-  ASSERT_EQ(fields.size(), 3u);
-  EXPECT_EQ(fields[1], "b,c");
-  EXPECT_EQ(fields[2], "say \"hi\"");
+  ASSERT_TRUE(fields.has_value());
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[1], "b,c");
+  EXPECT_EQ((*fields)[2], "say \"hi\"");
+}
+
+TEST(Csv, ParseRejectsUnterminatedQuote) {
+  // The signature of a truncated file: a quote opened but never closed
+  // must be a detectable error, not one silently mangled field.
+  EXPECT_FALSE(parse_csv_line("a,\"unterminated").has_value());
+  EXPECT_FALSE(parse_csv_line("\"").has_value());
+  EXPECT_FALSE(parse_csv_line("x,\"say \"\"hi\"\" and then").has_value());
+  // A doubled quote at end-of-line keeps the field open — still malformed.
+  EXPECT_FALSE(parse_csv_line("a,\"b\"\"").has_value());
 }
 
 TEST(Csv, WriterEnforcesShape) {
@@ -133,9 +148,10 @@ TEST(Csv, NumericRowFormatting) {
 
 TEST(Csv, ParseEmptyFields) {
   const auto fields = parse_csv_line("a,,c,");
-  ASSERT_EQ(fields.size(), 4u);
-  EXPECT_EQ(fields[1], "");
-  EXPECT_EQ(fields[3], "");
+  ASSERT_TRUE(fields.has_value());
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ((*fields)[1], "");
+  EXPECT_EQ((*fields)[3], "");
 }
 
 // ------------------------------------------------------------------- CLI --
@@ -187,6 +203,19 @@ TEST(Strings, ParseNumbers) {
   EXPECT_EQ(parse_int("42"), 42);
   EXPECT_THROW(parse_double("abc"), std::invalid_argument);
   EXPECT_THROW(parse_int("1.5"), std::invalid_argument);
+}
+
+TEST(Strings, ParseDoubleRejectsNonFinite) {
+  // strtod accepts all of these; every consumer is a physical quantity
+  // that a non-finite value poisons, so the parser rejects them.
+  EXPECT_THROW(parse_double("nan"), std::invalid_argument);
+  EXPECT_THROW(parse_double("NaN"), std::invalid_argument);
+  EXPECT_THROW(parse_double("nan(0x1)"), std::invalid_argument);
+  EXPECT_THROW(parse_double("inf"), std::invalid_argument);
+  EXPECT_THROW(parse_double("-inf"), std::invalid_argument);
+  EXPECT_THROW(parse_double("INFINITY"), std::invalid_argument);
+  EXPECT_THROW(parse_double("1e999"), std::invalid_argument);  // overflow
+  EXPECT_DOUBLE_EQ(parse_double("-1e308"), -1e308);  // large but finite
 }
 
 // ------------------------------------------------------------------ units --
@@ -251,6 +280,40 @@ TEST(Logging, LevelFilteringAndSink) {
 TEST(Logging, LevelNames) {
   EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
   EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPool, RunsEveryPostedJob) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.num_threads(), 3u);
+    for (int i = 0; i < 100; ++i) {
+      pool.post([&ran]() { ++ran; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(ran.load(), 100);
+    // Jobs posted right before destruction still drain.
+    for (int i = 0; i < 10; ++i) {
+      pool.post([&ran]() { ++ran; });
+    }
+  }
+  EXPECT_EQ(ran.load(), 110);
+}
+
+TEST(ThreadPool, SubmitReturnsResultsAndExceptions) {
+  ThreadPool pool(2);
+  std::future<int> ok = pool.submit([]() { return 41 + 1; });
+  std::future<int> bad = pool.submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_EQ(ok.get(), 42);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RejectsNullJob) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.post(nullptr), std::invalid_argument);
 }
 
 }  // namespace

@@ -170,6 +170,49 @@ TEST(TraceIo, RejectsGarbage) {
   EXPECT_THROW(load_trace(bad_row), std::runtime_error);
 }
 
+/// What the loader said about a malformed input, for line-anchor checks.
+template <typename Load>
+std::string load_error(Load&& load, const std::string& text) {
+  std::stringstream in(text);
+  try {
+    load(in);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(TraceIo, MalformedLinesAreAnchored) {
+  // A truncated quoted field used to load as one mangled field; now the
+  // error names the loader and the 1-based line.
+  const std::string truncated =
+      "id,arrival_time,work,benchmark\n"
+      "1,0.5,0.002,0\n"
+      "2,\"0.7,0.003,1\n";
+  EXPECT_NE(load_error([](std::istream& in) { return load_trace(in); },
+                       truncated)
+                .find("load_trace: line 3: unterminated quoted field"),
+            std::string::npos);
+
+  const std::string short_row =
+      "id,arrival_time,work,benchmark\n\n1,2\n";
+  EXPECT_NE(load_error([](std::istream& in) { return load_trace(in); },
+                       short_row)
+                .find("line 3: expected 4 fields, got 2"),
+            std::string::npos);
+
+  // Non-numeric (and, since the hardening pass, non-finite) values are
+  // anchored too.
+  const std::string nan_temp =
+      "time,queue_length,backlog_work,arrived_work,temp0\n"
+      "0,0,0,0,55\n"
+      "0.1,0,0,0,nan\n";
+  EXPECT_NE(load_error([](std::istream& in) { return load_telemetry(in); },
+                       nan_temp)
+                .find("load_telemetry: line 3:"),
+            std::string::npos);
+}
+
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SeedSweep, GeneratorInvariantsHoldAcrossSeeds) {
