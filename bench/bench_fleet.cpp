@@ -25,7 +25,6 @@
 //
 // Exit status: 0 iff both gates pass (plus the one-build sanity check).
 // Writes BENCH_fleet.json for the CI artifact trail.
-#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -35,6 +34,7 @@
 #include "common.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/histogram.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -70,14 +70,6 @@ sim::TelemetryFrame make_frame(std::size_t cores) {
   return frame;
 }
 
-double percentile(std::vector<double>& samples, double p) {
-  const std::size_t index = std::min(
-      samples.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(samples.size())));
-  std::nth_element(samples.begin(), samples.begin() + index, samples.end());
-  return samples[index];
-}
-
 struct LatencyResult {
   std::size_t during_steps = 0;   ///< steps served while the build ran
   double p99_during = 0.0;        ///< [s]
@@ -104,18 +96,17 @@ LatencyResult measure_step_latency(const api::ScenarioSpec& spec) {
   sim::TelemetryFrame frame = make_frame(cores);
 
   LatencyResult result;
-  // Enough for a solid p99 without an unbounded buffer (the build can
-  // outlast the cap; unrecorded serving continues below).
+  // The log-bucketed histogram makes the sample cap moot for memory, but
+  // keep it so a pathologically slow build still terminates the loop.
   constexpr std::size_t kMaxDuring = 4'000'000;
-  std::vector<double> during;
-  during.reserve(1 << 20);
+  util::Histogram during;
   const double build_start = now_seconds();
 
   // Serve while the build is in flight. One timestamp per step: sample i
   // is t[i+1] - t[i], so loop overhead is charged identically here and in
   // the steady baseline below.
   double last = now_seconds();
-  while ((*session)->table_build_pending() && during.size() < kMaxDuring) {
+  while ((*session)->table_build_pending() && during.count() < kMaxDuring) {
     frame.time += spec.sim.dt;
     const api::StatusOr<api::ActuationCommand> command =
         (*session)->step(frame);
@@ -124,7 +115,7 @@ LatencyResult measure_step_latency(const api::ScenarioSpec& spec) {
       std::exit(1);
     }
     const double now = now_seconds();
-    during.push_back(now - last);
+    during.record(now - last);
     last = now;
   }
   // If the sample cap hit first, keep serving (unrecorded) until the build
@@ -137,15 +128,14 @@ LatencyResult measure_step_latency(const api::ScenarioSpec& spec) {
     }
   }
   result.build_seconds = now_seconds() - build_start;
-  result.during_steps = during.size();
+  result.during_steps = during.count();
   result.fallback_windows = (*session)->fallback_windows();
 
   // Post-swap steady baseline: non-window steps only.
-  std::vector<double> steady;
-  steady.reserve(1 << 18);
+  util::Histogram steady;
   const std::size_t steady_target = 200'000;
   last = now_seconds();
-  while (steady.size() < steady_target) {
+  while (steady.count() < steady_target) {
     frame.time += spec.sim.dt;
     const bool boundary = (*session)->next_step_is_window_boundary();
     const api::StatusOr<api::ActuationCommand> command =
@@ -156,12 +146,12 @@ LatencyResult measure_step_latency(const api::ScenarioSpec& spec) {
       std::exit(1);
     }
     const double now = now_seconds();
-    if (!boundary) steady.push_back(now - last);
+    if (!boundary) steady.record(now - last);
     last = now;
   }
 
-  if (!during.empty()) result.p99_during = percentile(during, 0.99);
-  result.steady_median = percentile(steady, 0.5);
+  result.p99_during = during.p99();
+  result.steady_median = steady.p50();
   return result;
 }
 

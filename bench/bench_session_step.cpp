@@ -21,6 +21,7 @@
 #include "common.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/histogram.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -42,6 +43,8 @@ struct SessionRun {
   std::size_t steady_steps = 0;
   std::size_t warm_started = 0;
   double checksum = 0.0;         ///< sum of per-window mean frequencies
+  util::Histogram window_hist;   ///< per-boundary-step latency [s]
+  util::Histogram steady_hist;   ///< per-non-boundary-step latency [s]
 };
 
 /// One open-loop replay: plant (Euler, one dfs_period per window) -> frames
@@ -99,7 +102,9 @@ SessionRun run_session(bool warm, std::size_t windows, std::size_t repeats) {
 
       const double window_start = now_seconds();
       api::StatusOr<api::ActuationCommand> command = (*session)->step(frame);
-      run.window_seconds += now_seconds() - window_start;
+      const double window_elapsed = now_seconds() - window_start;
+      run.window_seconds += window_elapsed;
+      run.window_hist.record(window_elapsed);
       if (!command.ok()) {
         std::fprintf(stderr, "step: %s\n",
                      command.status().to_string().c_str());
@@ -117,8 +122,10 @@ SessionRun run_session(bool warm, std::size_t windows, std::size_t repeats) {
       const double steady_start = now_seconds();
       for (std::size_t s = 1; s < steps_per_window; ++s) {
         frame.time += spec.sim.dt;
+        const double step_start = now_seconds();
         const api::StatusOr<api::ActuationCommand> steady =
             (*session)->step(frame);
+        run.steady_hist.record(now_seconds() - step_start);
         if (!steady.ok()) {
           std::fprintf(stderr, "steady step: %s\n",
                        steady.status().to_string().c_str());
@@ -188,6 +195,19 @@ int main(int argc, char** argv) {
                    std::to_string(warm.warm_started)});
     table.render(std::cout, "session step latency (open-loop MPC hot path)");
 
+    // Tail view of the warm replay: the mean hides MPC warm-up and cache
+    // effects, so report log-bucketed percentiles alongside it.
+    util::AsciiTable tails({"warm path", "p50", "p90", "p99", "unit"});
+    tails.add_row({"window step",
+                   util::format_fixed(1e6 * warm.window_hist.p50(), 1),
+                   util::format_fixed(1e6 * warm.window_hist.p90(), 1),
+                   util::format_fixed(1e6 * warm.window_hist.p99(), 1), "us"});
+    tails.add_row({"steady step",
+                   util::format_fixed(1e9 * warm.steady_hist.p50(), 0),
+                   util::format_fixed(1e9 * warm.steady_hist.p90(), 0),
+                   util::format_fixed(1e9 * warm.steady_hist.p99(), 0), "ns"});
+    tails.render(std::cout, "warm step latency percentiles");
+
     bench::begin_csv("session_step");
     util::CsvWriter csv(std::cout);
     csv.header({"path", "replay_seconds", "window_step_us", "steady_step_ns",
@@ -210,6 +230,10 @@ int main(int argc, char** argv) {
     json.add_metric("warm_replay", warm.seconds, "s");
     json.add_metric("warm_window_step", per_window_us(warm), "us");
     json.add_metric("warm_steady_step", per_steady_ns(warm), "ns");
+    json.add_metric("warm_window_step_p99", 1e6 * warm.window_hist.p99(),
+                    "us");
+    json.add_metric("warm_steady_step_p99", 1e9 * warm.steady_hist.p99(),
+                    "ns");
     json.add_gated_metric("warm_speedup", speedup, "x",
                           util::format(">= %.2fx", gate), fast);
     json.add_gated_metric("checksum_drift", drift, "rel", "< 1e-6", agree);

@@ -33,6 +33,12 @@ void AsyncTablePolicy::reset() {
   if (previous_) previous_->reset();
 }
 
+void AsyncTablePolicy::wait_ready_and_swap() {
+  if (live_ != nullptr) return;
+  future_.wait();
+  try_swap();  // rethrows the builder's exception on a failed build
+}
+
 void AsyncTablePolicy::try_swap() {
   if (!TableCache::ready(future_)) return;
   // get() rethrows the builder's exception; the caller's step() turns it

@@ -70,6 +70,14 @@ class AsyncTablePolicy final : public sim::DfsPolicy {
     swap_callback_ = std::move(callback);
   }
 
+  /// Blocks until the build future resolves, then swaps the table in.
+  /// Rethrows the builder's exception if the build failed. Must be called
+  /// on the stepping thread (the swap callback fires here, like it would
+  /// from on_window). Intended for bring-up and migration, where the
+  /// caller needs the policy live *now* rather than at the next window
+  /// boundary — e.g. restoring a live-phase snapshot into a fresh session.
+  void wait_ready_and_swap();
+
  private:
   /// Swaps the built table in if the future is ready; rethrows the
   /// builder's exception if the build failed.

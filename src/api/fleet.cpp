@@ -1,5 +1,6 @@
 #include "api/fleet.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -16,7 +17,7 @@ StatusOr<std::unique_ptr<SessionFleet>> SessionFleet::create(
   std::vector<std::string> failures;
   Status first_failure;
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    StatusOr<std::size_t> added = fleet->add(specs[i]);
+    StatusOr<std::size_t> added = fleet->add_session(specs[i]);
     if (added.ok()) continue;
     if (first_failure.ok()) first_failure = added.status();
     failures.push_back("session " + std::to_string(i) + " of " +
@@ -33,7 +34,7 @@ StatusOr<std::unique_ptr<SessionFleet>> SessionFleet::create(
   return fleet;
 }
 
-StatusOr<std::size_t> SessionFleet::add(const ScenarioSpec& spec) {
+StatusOr<std::size_t> SessionFleet::add_session(const ScenarioSpec& spec) {
   SessionConfig session_config;
   session_config.table_cache = &cache_;
   if (config_.async_builds) {
@@ -46,11 +47,60 @@ StatusOr<std::size_t> SessionFleet::add(const ScenarioSpec& spec) {
   return adopt(std::move(session).value());
 }
 
-std::size_t SessionFleet::adopt(std::unique_ptr<ControlSession> session) {
-  Entry entry;
-  entry.session = std::move(session);
-  entries_.push_back(std::move(entry));
+std::size_t SessionFleet::claim_slot() {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].session == nullptr) return i;
+  }
+  entries_.emplace_back();
   return entries_.size() - 1;
+}
+
+std::size_t SessionFleet::adopt(std::unique_ptr<ControlSession> session) {
+  const std::size_t slot = claim_slot();
+  Entry& entry = entries_[slot];
+  entry.session = std::move(session);
+  entry.status = Status();  // a reused slot starts with a clean latch
+  entry.trips = 0;
+  return slot;
+}
+
+Status SessionFleet::remove_session(std::size_t index) {
+  if (index >= entries_.size() || entries_[index].session == nullptr) {
+    return Status::not_found("fleet slot " + std::to_string(index) +
+                             " is empty");
+  }
+  entries_[index] = Entry{};
+  return Status();
+}
+
+std::size_t SessionFleet::sessions() const noexcept {
+  std::size_t occupied = 0;
+  for (const Entry& entry : entries_) {
+    if (entry.session != nullptr) ++occupied;
+  }
+  return occupied;
+}
+
+StatusOr<ActuationCommand> SessionFleet::step_one(
+    std::size_t index, const sim::TelemetryFrame& frame) {
+  if (index >= entries_.size() || entries_[index].session == nullptr) {
+    return Status::not_found("fleet slot " + std::to_string(index) +
+                             " is empty");
+  }
+  Entry& entry = entries_[index];
+  if (!entry.status.ok()) {
+    // Latched: a failed session is isolated, not retried — its siblings
+    // (and its slot's diagnostics) are what matter now.
+    return entry.status;
+  }
+  StatusOr<ActuationCommand> command = entry.session->step(frame);
+  if (!command.ok()) {
+    entry.status =
+        command.status().with_context("fleet session " + std::to_string(index));
+    return entry.status;
+  }
+  if (command->intervened) ++entry.trips;
+  return command;
 }
 
 std::vector<StatusOr<ActuationCommand>> SessionFleet::step_all(
@@ -60,36 +110,22 @@ std::vector<StatusOr<ActuationCommand>> SessionFleet::step_all(
   if (frames.size() != entries_.size()) {
     const Status mismatch = Status::invalid_argument(
         "step_all: " + std::to_string(frames.size()) + " frames for " +
-        std::to_string(entries_.size()) + " sessions");
+        std::to_string(entries_.size()) + " slots");
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       results.push_back(mismatch);
     }
     return results;
   }
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    Entry& entry = entries_[i];
-    if (!entry.status.ok()) {
-      // Latched: a failed session is isolated, not retried — its siblings
-      // (and its slot's diagnostics) are what matter now.
-      results.push_back(entry.status);
-      continue;
-    }
-    StatusOr<ActuationCommand> command = entry.session->step(frames[i]);
-    if (!command.ok()) {
-      entry.status = command.status().with_context(
-          "fleet session " + std::to_string(i));
-      results.push_back(entry.status);
-      continue;
-    }
-    if (command->intervened) ++entry.trips;
-    results.push_back(std::move(command));
+    results.push_back(step_one(i, frames[i]));
   }
   return results;
 }
 
 bool SessionFleet::any_build_pending() const {
   for (const Entry& entry : entries_) {
-    if (entry.status.ok() && entry.session->table_build_pending()) {
+    if (entry.session != nullptr && entry.status.ok() &&
+        entry.session->table_build_pending()) {
       return true;
     }
   }
@@ -98,9 +134,10 @@ bool SessionFleet::any_build_pending() const {
 
 FleetMetrics SessionFleet::metrics() const {
   FleetMetrics out;
-  out.sessions = entries_.size();
   out.builds_completed = cache_.builds_completed();
   for (const Entry& entry : entries_) {
+    if (entry.session == nullptr) continue;
+    ++out.sessions;
     if (!entry.status.ok()) ++out.failed;
     if (entry.status.ok() && entry.session->table_build_pending()) {
       ++out.builds_pending;
@@ -109,6 +146,315 @@ FleetMetrics SessionFleet::metrics() const {
     out.windows += entry.session->windows();
     out.fallback_windows += entry.session->fallback_windows();
     out.trips += entry.trips;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------ ShardedFleet --
+
+ShardedFleet::ShardedFleet(ShardedFleetConfig config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  FleetConfig fleet_config;
+  fleet_config.build_threads = std::max<std::size_t>(
+      config_.build_threads_per_shard, 1);
+  fleet_config.async_builds = config_.async_builds;
+  fleet_config.fallback = config_.fallback;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(fleet_config));
+  }
+}
+
+StatusOr<SessionId> ShardedFleet::add(const ScenarioSpec& spec) {
+  // fnv1a64 (not std::hash) so a session's home shard is stable across
+  // runs and standard libraries — placement is part of reproducibility.
+  return add_on(spec, util::fnv1a64(spec.name) % shards_.size());
+}
+
+StatusOr<SessionId> ShardedFleet::add(const ScenarioSpec& spec,
+                                      std::size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::invalid_argument(
+        "add: shard " + std::to_string(shard) + " out of range (" +
+        std::to_string(shards_.size()) + " shards)");
+  }
+  return add_on(spec, shard);
+}
+
+StatusOr<SessionId> ShardedFleet::add_on(const ScenarioSpec& spec,
+                                         std::size_t shard) {
+  // Id allocation and placement happen before the shard does any work, so
+  // the lock order (placement -> shard) holds; on failure the placement
+  // entry is rolled back.
+  SessionId id = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(placement_mu_);
+    id = next_id_++;
+    placement_.emplace(id, shard);
+  }
+  Shard& target = *shards_[shard];
+  Status failure;
+  {
+    std::lock_guard<std::mutex> lock(target.mu);
+    StatusOr<std::size_t> slot = target.fleet.add_session(spec);
+    if (slot.ok()) {
+      target.slots.emplace(id, slot.value());
+      target.specs.emplace(id, spec);
+      return id;
+    }
+    failure = slot.status();
+  }
+  std::unique_lock<std::shared_mutex> lock(placement_mu_);
+  placement_.erase(id);
+  return failure;
+}
+
+StatusOr<std::size_t> ShardedFleet::placement_of(SessionId id) const {
+  std::shared_lock<std::shared_mutex> lock(placement_mu_);
+  auto it = placement_.find(id);
+  if (it == placement_.end()) {
+    return Status::not_found("session id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+StatusOr<std::size_t> ShardedFleet::shard_of(SessionId id) const {
+  return placement_of(id);
+}
+
+Status ShardedFleet::remove(SessionId id) {
+  // Exclusive placement lock for the whole removal: nothing can re-route
+  // the id mid-removal, and the (placement -> shard) lock order holds.
+  std::unique_lock<std::shared_mutex> lock(placement_mu_);
+  auto it = placement_.find(id);
+  if (it == placement_.end()) {
+    return Status::not_found("session id " + std::to_string(id));
+  }
+  Shard& shard = *shards_[it->second];
+  {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    auto slot = shard.slots.find(id);
+    if (slot != shard.slots.end()) {
+      (void)shard.fleet.remove_session(slot->second);
+      shard.slots.erase(slot);
+      shard.specs.erase(id);
+    }
+  }
+  placement_.erase(it);
+  return Status();
+}
+
+StatusOr<ActuationCommand> ShardedFleet::step(SessionId id,
+                                              const sim::TelemetryFrame& frame) {
+  // Two-phase lookup: placement under the shared lock, then the shard.
+  // Between the two the session may migrate away; one retry covers that
+  // (the no-step-while-migrating contract makes even the retry a
+  // belt-and-braces measure).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    StatusOr<std::size_t> shard_index = placement_of(id);
+    if (!shard_index.ok()) return shard_index.status();
+    Shard& shard = *shards_[shard_index.value()];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto slot = shard.slots.find(id);
+    if (slot == shard.slots.end()) continue;  // moved between the locks
+    return shard.fleet.step_one(slot->second, frame);
+  }
+  return Status::not_found("session id " + std::to_string(id) +
+                           " (moved or removed)");
+}
+
+std::vector<StatusOr<ActuationCommand>> ShardedFleet::step_shard(
+    std::size_t shard_index,
+    const std::vector<std::pair<SessionId, sim::TelemetryFrame>>& batch) {
+  std::vector<StatusOr<ActuationCommand>> results;
+  results.reserve(batch.size());
+  if (shard_index >= shards_.size()) {
+    const Status bad = Status::invalid_argument(
+        "step_shard: shard " + std::to_string(shard_index) + " out of range");
+    for (std::size_t i = 0; i < batch.size(); ++i) results.push_back(bad);
+    return results;
+  }
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  for (const auto& [id, frame] : batch) {
+    auto slot = shard.slots.find(id);
+    if (slot == shard.slots.end()) {
+      results.push_back(Status::failed_precondition(
+          "session id " + std::to_string(id) + " is not on shard " +
+          std::to_string(shard_index)));
+      continue;
+    }
+    results.push_back(shard.fleet.step_one(slot->second, frame));
+  }
+  return results;
+}
+
+StatusOr<SessionSnapshot> ShardedFleet::snapshot(SessionId id) const {
+  StatusOr<std::size_t> shard_index = placement_of(id);
+  if (!shard_index.ok()) return shard_index.status();
+  const Shard& shard = *shards_[shard_index.value()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto slot = shard.slots.find(id);
+  if (slot == shard.slots.end()) {
+    return Status::not_found("session id " + std::to_string(id));
+  }
+  return shard.fleet.session(slot->second).snapshot();
+}
+
+Status ShardedFleet::restore(SessionId id, const SessionSnapshot& snapshot) {
+  StatusOr<std::size_t> shard_index = placement_of(id);
+  if (!shard_index.ok()) return shard_index.status();
+  Shard& shard = *shards_[shard_index.value()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto slot = shard.slots.find(id);
+  if (slot == shard.slots.end()) {
+    return Status::not_found("session id " + std::to_string(id));
+  }
+  return shard.fleet.session(slot->second).restore(snapshot);
+}
+
+Status ShardedFleet::migrate(SessionId id, std::size_t target_shard) {
+  if (target_shard >= shards_.size()) {
+    return Status::invalid_argument(
+        "migrate: shard " + std::to_string(target_shard) + " out of range (" +
+        std::to_string(shards_.size()) + " shards)");
+  }
+  StatusOr<std::size_t> source_index = placement_of(id);
+  if (!source_index.ok()) return source_index.status();
+  if (source_index.value() == target_shard) return Status();  // already there
+
+  Shard& source = *shards_[source_index.value()];
+  Shard& target = *shards_[target_shard];
+
+  // Phase 1 — read the source (spec, snapshot, async phase) under its
+  // lock. The caller's no-concurrent-step contract makes this state final
+  // until commit; at most one shard lock is held at any point below.
+  ScenarioSpec spec;
+  SessionSnapshot state;
+  bool source_live = false;
+  std::size_t source_slot = 0;
+  {
+    std::lock_guard<std::mutex> lock(source.mu);
+    auto slot = source.slots.find(id);
+    if (slot == source.slots.end()) {
+      return Status::not_found("session id " + std::to_string(id));
+    }
+    const Status& latched = source.fleet.session_status(slot->second);
+    if (!latched.ok()) {
+      return Status::failed_precondition(
+          "migrate: session id " + std::to_string(id) +
+          " is latched failed: " + latched.to_string());
+    }
+    source_slot = slot->second;
+    spec = source.specs.at(id);
+    const ControlSession& session = source.fleet.session(source_slot);
+    source_live = !session.table_build_pending();
+    state = session.snapshot();
+  }
+
+  // Phase 2 — build the twin on the target shard. Until commit the id is
+  // not placed there, so the new slot is unreachable from step/remove and
+  // can safely be brought up outside the shard lock.
+  std::size_t target_slot = 0;
+  ControlSession* twin = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(target.mu);
+    StatusOr<std::size_t> added = target.fleet.add_session(spec);
+    if (!added.ok()) {
+      return added.status().with_context("migrate: target build");
+    }
+    target_slot = added.value();
+    twin = &target.fleet.session(target_slot);
+  }
+  const auto roll_back = [&] {
+    std::lock_guard<std::mutex> lock(target.mu);
+    (void)target.fleet.remove_session(target_slot);
+  };
+
+  // Phase 3 — match async phases, then restore. A live source snapshot has
+  // table state the twin can only accept once its own build landed
+  // (per-shard caches don't share tables); a pending source restores into
+  // the pending twin directly.
+  if (source_live) {
+    if (Status s = twin->wait_table_ready(); !s.ok()) {
+      roll_back();
+      return s.with_context("migrate: target table");
+    }
+  }
+  if (Status s = twin->restore(state); !s.ok()) {
+    roll_back();
+    return s.with_context("migrate: restore");
+  }
+
+  // Phase 4 — commit: re-point placement, then free the source slot. Lock
+  // order is placement -> shard throughout.
+  {
+    std::unique_lock<std::shared_mutex> placement_lock(placement_mu_);
+    placement_[id] = target_shard;
+    {
+      std::lock_guard<std::mutex> lock(target.mu);
+      target.slots[id] = target_slot;
+      target.specs[id] = spec;
+      ++target.migrations_in;
+    }
+    {
+      std::lock_guard<std::mutex> lock(source.mu);
+      (void)source.fleet.remove_session(source_slot);
+      source.slots.erase(id);
+      source.specs.erase(id);
+      ++source.migrations_out;
+    }
+  }
+  return Status();
+}
+
+std::size_t ShardedFleet::sessions_on(std::size_t shard) const {
+  if (shard >= shards_.size()) return 0;
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->fleet.sessions();
+}
+
+std::size_t ShardedFleet::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->fleet.sessions();
+  }
+  return total;
+}
+
+std::size_t ShardedFleet::migrations() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->migrations_in;
+  }
+  return total;
+}
+
+ShardMetrics ShardedFleet::shard_metrics(std::size_t shard) const {
+  ShardMetrics out;
+  if (shard >= shards_.size()) return out;
+  const Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  out.fleet = s.fleet.metrics();
+  out.migrations_in = s.migrations_in;
+  out.migrations_out = s.migrations_out;
+  return out;
+}
+
+FleetMetrics ShardedFleet::metrics() const {
+  FleetMetrics out;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const FleetMetrics shard = shard_metrics(i).fleet;
+    out.sessions += shard.sessions;
+    out.failed += shard.failed;
+    out.builds_pending += shard.builds_pending;
+    out.builds_completed += shard.builds_completed;
+    out.steps += shard.steps;
+    out.windows += shard.windows;
+    out.fallback_windows += shard.fallback_windows;
+    out.trips += shard.trips;
   }
   return out;
 }

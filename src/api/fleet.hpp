@@ -10,15 +10,31 @@
 // the same configuration trigger exactly one build between them
 // (bench_fleet gates the resulting >= 4x aggregate throughput).
 //
-// Failure isolation: a session whose step() fails (bad frame, policy
-// throw, failed table build) is latched as failed — its slot in every
-// later step_all() reports the latched Status and its siblings keep
-// serving. bench_fleet and tests/fleet_test.cpp cover the concurrency;
-// the TSan CI job runs the latter.
+// Membership is dynamic: add_session/remove_session give the fleet
+// slot-based churn (a removed session frees its slot; the next add reuses
+// the lowest free slot, so long-lived fleets don't grow without bound).
+// An empty slot steps as NotFound and drops out of the aggregates.
+//
+// Failure isolation: a session whose step fails (bad frame, policy throw,
+// failed table build) is latched as failed — its slot in every later
+// step reports the latched Status and its siblings keep serving.
+// Removing a failed session and reusing the slot clears the latch.
+//
+// SessionFleet is single-threaded (external synchronization is the
+// caller's). ShardedFleet below is the thread-safe composition: N shards,
+// each its own SessionFleet + cache + build pool behind one mutex, with
+// hash-based placement and explicit migration. bench_fleet,
+// bench_fleetsim and tests/{fleet,sharded_fleet}_test.cpp cover the
+// concurrency; the TSan CI job runs the tests.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "api/registry.hpp"
@@ -41,7 +57,7 @@ struct FleetConfig {
 
 /// Point-in-time aggregate over every session in the fleet.
 struct FleetMetrics {
-  std::size_t sessions = 0;
+  std::size_t sessions = 0;          ///< occupied slots
   std::size_t failed = 0;            ///< latched-failed sessions
   std::size_t builds_pending = 0;    ///< sessions still serving fallback
   std::size_t builds_completed = 0;  ///< Phase-1 builds the cache ran
@@ -61,14 +77,35 @@ class SessionFleet {
   static StatusOr<std::unique_ptr<SessionFleet>> create(
       const std::vector<ScenarioSpec>& specs, FleetConfig config = {});
 
-  /// Adds a session built from `spec`; returns its fleet index.
-  StatusOr<std::size_t> add(const ScenarioSpec& spec);
+  /// Adds a session built from `spec`; returns its slot index. Reuses the
+  /// lowest free slot (clearing any latched failure it held) before
+  /// growing the fleet.
+  StatusOr<std::size_t> add_session(const ScenarioSpec& spec);
+  /// Historical alias for add_session.
+  StatusOr<std::size_t> add(const ScenarioSpec& spec) {
+    return add_session(spec);
+  }
 
   /// Adopts an externally built session (tests, custom policies); it
   /// should share this fleet's cache/pool if it builds asynchronously.
+  /// Same slot-reuse rule as add_session.
   std::size_t adopt(std::unique_ptr<ControlSession> session);
 
+  /// Frees a slot: the session is destroyed, its latched status cleared,
+  /// and the slot becomes reusable. NotFound if `index` is out of range
+  /// or already empty.
+  Status remove_session(std::size_t index);
+
+  /// Number of slots ever allocated (free slots included); valid step /
+  /// session indices are [0, size()). Occupied count is sessions().
   std::size_t size() const noexcept { return entries_.size(); }
+  /// Number of occupied slots.
+  std::size_t sessions() const noexcept;
+  bool occupied(std::size_t index) const {
+    return index < entries_.size() && entries_[index].session != nullptr;
+  }
+  /// Caller must check occupied(index) first — an empty slot has no
+  /// session to return.
   ControlSession& session(std::size_t index) {
     return *entries_.at(index).session;
   }
@@ -80,10 +117,16 @@ class SessionFleet {
     return entries_.at(index).status;
   }
 
-  /// Steps every healthy session with its frame (frames[i] -> session i;
-  /// sizes must match). Slot i of the result is the session's command, its
-  /// fresh failure, or its previously latched failure — a failed session
-  /// is never stepped again and never stalls its siblings.
+  /// Steps one slot with latching: a failed session reports its latched
+  /// Status on every later call and is never stepped again. NotFound for
+  /// an empty or out-of-range slot.
+  StatusOr<ActuationCommand> step_one(std::size_t index,
+                                      const sim::TelemetryFrame& frame);
+
+  /// Steps every slot with its frame (frames[i] -> slot i; sizes must
+  /// match, empty slots included). Slot i of the result is the session's
+  /// command, its (fresh or latched) failure, or NotFound for an empty
+  /// slot — a failed session never stalls its siblings.
   std::vector<StatusOr<ActuationCommand>> step_all(
       const std::vector<sim::TelemetryFrame>& frames);
 
@@ -97,10 +140,13 @@ class SessionFleet {
 
  private:
   struct Entry {
-    std::unique_ptr<ControlSession> session;
+    std::unique_ptr<ControlSession> session;  ///< nullptr = free slot
     Status status;            ///< latched first failure
     std::size_t trips = 0;    ///< frames with intervened commands
   };
+
+  /// Lowest free slot, or entries_.size() if none (append).
+  std::size_t claim_slot();
 
   FleetConfig config_;
   // Declaration order is load-bearing: pool jobs (async builds) touch the
@@ -108,6 +154,119 @@ class SessionFleet {
   TableCache cache_;
   util::ThreadPool pool_;
   std::vector<Entry> entries_;
+};
+
+// ------------------------------------------------------------ ShardedFleet --
+
+/// Stable handle to a session in a ShardedFleet; survives migration.
+using SessionId = std::uint64_t;
+
+struct ShardedFleetConfig {
+  std::size_t shards = 4;
+  /// Phase-1 build workers per shard (sized for one build at a time; the
+  /// per-shard cache still dedups identical specs within the shard).
+  std::size_t build_threads_per_shard = 1;
+  bool async_builds = true;
+  AsyncFallback fallback;
+};
+
+/// Per-shard aggregate: the shard fleet's metrics plus migration traffic.
+struct ShardMetrics {
+  FleetMetrics fleet;
+  std::size_t migrations_in = 0;
+  std::size_t migrations_out = 0;
+};
+
+/// N SessionFleets behind one id space — the serving-side scale-out unit.
+///
+/// Each shard owns its SessionFleet (cache + build pool) behind one mutex,
+/// so shards never contend with each other: aggregate throughput scales
+/// with the shard count up to the hardware (bench_fleetsim gates this).
+/// Sessions are addressed by SessionId; placement (id -> shard) is hashed
+/// from the spec name by default (util::fnv1a64, stable across runs) and
+/// changed only by explicit migrate().
+///
+/// Thread safety: every public method is safe to call concurrently, with
+/// one contract — the caller must not step, snapshot, restore or remove a
+/// session concurrently with migrating that same session (fleetsim's
+/// per-tenant actors guarantee this by construction). Lock ordering:
+/// placement lock before shard lock, never the reverse; at most one shard
+/// lock is held at a time.
+///
+/// Migration contract (DESIGN.md §6d): the target session is rebuilt from
+/// the source's ScenarioSpec, so spec-identical platform/policy types are
+/// guaranteed; if the source's table is live, the target blocks until its
+/// own build lands (per-shard caches don't share tables) before the
+/// snapshot is restored, keeping the async phase matched.
+class ShardedFleet {
+ public:
+  explicit ShardedFleet(ShardedFleetConfig config = {});
+
+  /// Adds a session on the shard hashed from spec.name.
+  StatusOr<SessionId> add(const ScenarioSpec& spec);
+  /// Adds a session on an explicit shard.
+  StatusOr<SessionId> add(const ScenarioSpec& spec, std::size_t shard);
+
+  /// Destroys the session and frees its slot. NotFound for unknown ids.
+  Status remove(SessionId id);
+
+  /// Current shard of `id`; NotFound for unknown ids.
+  StatusOr<std::size_t> shard_of(SessionId id) const;
+
+  /// Steps one session (locking only its shard). Latched-failure semantics
+  /// of SessionFleet::step_one apply.
+  StatusOr<ActuationCommand> step(SessionId id,
+                                  const sim::TelemetryFrame& frame);
+
+  /// Steps a batch of same-shard sessions under one shard lock — the bulk
+  /// path for a per-shard serving thread. Ids on a different shard report
+  /// FailedPrecondition in their slot.
+  std::vector<StatusOr<ActuationCommand>> step_shard(
+      std::size_t shard,
+      const std::vector<std::pair<SessionId, sim::TelemetryFrame>>& batch);
+
+  StatusOr<SessionSnapshot> snapshot(SessionId id) const;
+  Status restore(SessionId id, const SessionSnapshot& snapshot);
+
+  /// Moves a session to `target_shard`: rebuilds it there from its spec,
+  /// waits for the target's table when the source is live, restores the
+  /// source's snapshot, then atomically re-points placement and frees the
+  /// source slot. On failure the source is untouched. The caller must not
+  /// step this id concurrently (see class comment).
+  Status migrate(SessionId id, std::size_t target_shard);
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Occupied sessions on one shard.
+  std::size_t sessions_on(std::size_t shard) const;
+  /// Total sessions across all shards.
+  std::size_t size() const;
+  /// Completed migrations, fleet-wide.
+  std::size_t migrations() const;
+
+  ShardMetrics shard_metrics(std::size_t shard) const;
+  /// Aggregate over all shards.
+  FleetMetrics metrics() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const FleetConfig& config) : fleet(config) {}
+    mutable std::mutex mu;
+    SessionFleet fleet;
+    std::unordered_map<SessionId, std::size_t> slots;
+    std::unordered_map<SessionId, ScenarioSpec> specs;
+    std::size_t migrations_in = 0;
+    std::size_t migrations_out = 0;
+  };
+
+  StatusOr<SessionId> add_on(const ScenarioSpec& spec, std::size_t shard);
+  /// Looks up placement under the shared lock.
+  StatusOr<std::size_t> placement_of(SessionId id) const;
+
+  ShardedFleetConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::shared_mutex placement_mu_;
+  std::unordered_map<SessionId, std::size_t> placement_;
+  SessionId next_id_ = 1;
 };
 
 }  // namespace protemp::api

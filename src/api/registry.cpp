@@ -126,17 +126,29 @@ Status OptionReader::finish() const {
 
 // ------------------------------------------------------------- TableCache --
 
+TableCache::TableCache(std::size_t stripes) {
+  stripes_.reserve(std::max<std::size_t>(stripes, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(stripes, 1); ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+TableCache::Stripe& TableCache::stripe_of(const std::string& key) {
+  return *stripes_[std::hash<std::string>{}(key) % stripes_.size()];
+}
+
 std::shared_ptr<const core::FrequencyTable> TableCache::get_or_build(
     const std::string& key, const Builder& builder) {
+  Stripe& stripe = stripe_of(key);
   std::promise<std::shared_ptr<const core::FrequencyTable>> promise;
   Future future;
   bool build_here = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.cache.find(key);
+    if (it == stripe.cache.end()) {
       future = promise.get_future().share();
-      cache_.emplace(key, future);
+      stripe.cache.emplace(key, future);
       build_here = true;
     } else {
       future = it->second;
@@ -146,15 +158,15 @@ std::shared_ptr<const core::FrequencyTable> TableCache::get_or_build(
     try {
       promise.set_value(
           std::make_shared<const core::FrequencyTable>(builder()));
-      std::lock_guard<std::mutex> lock(mu_);
-      ++builds_completed_;
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      ++stripe.builds_completed;
     } catch (...) {
       // Drop the poisoned entry so a later request can retry (a transient
       // failure must not disable this key for the process lifetime);
       // waiters already holding the future still see the exception.
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        cache_.erase(key);
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        stripe.cache.erase(key);
       }
       promise.set_exception(std::current_exception());
     }
@@ -167,31 +179,34 @@ TableCache::Future TableCache::get_async(const std::string& key,
                                          util::ThreadPool& pool,
                                          bool* dispatched) {
   if (dispatched != nullptr) *dispatched = false;
+  Stripe& stripe = stripe_of(key);
   auto promise = std::make_shared<
       std::promise<std::shared_ptr<const core::FrequencyTable>>>();
   Future future;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.cache.find(key);
+    if (it != stripe.cache.end()) return it->second;
     future = promise->get_future().share();
-    cache_.emplace(key, future);
+    stripe.cache.emplace(key, future);
   }
   if (dispatched != nullptr) *dispatched = true;
   // The job owns the builder and promise; `this` must outlive the pool
   // (documented on get_async). Same failure contract as the sync path:
-  // waiters see the exception, the key becomes retryable.
+  // waiters see the exception, the key becomes retryable. The job may
+  // safely capture the stripe reference — stripes are fixed at
+  // construction and outlive every pool the cache is used with.
   try {
-    pool.post([this, key, builder = std::move(builder), promise]() {
+    pool.post([&stripe, key, builder = std::move(builder), promise]() {
       try {
         promise->set_value(
             std::make_shared<const core::FrequencyTable>(builder()));
-        std::lock_guard<std::mutex> lock(mu_);
-        ++builds_completed_;
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        ++stripe.builds_completed;
       } catch (...) {
         {
-          std::lock_guard<std::mutex> lock(mu_);
-          cache_.erase(key);
+          std::lock_guard<std::mutex> lock(stripe.mu);
+          stripe.cache.erase(key);
         }
         promise->set_exception(std::current_exception());
       }
@@ -202,8 +217,8 @@ TableCache::Future TableCache::get_async(const std::string& key,
     // cached future for the process lifetime. Drop the entry so the key
     // stays retryable, then let the caller see the failure.
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      cache_.erase(key);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      stripe.cache.erase(key);
     }
     throw;
   }
@@ -211,8 +226,12 @@ TableCache::Future TableCache::get_async(const std::string& key,
 }
 
 std::size_t TableCache::builds_completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return builds_completed_;
+  std::size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->builds_completed;
+  }
+  return total;
 }
 
 // ----------------------------------------------------------- registration --

@@ -89,11 +89,23 @@ class OptionReader {
 /// when many worker threads request it concurrently. Builder exceptions
 /// propagate to every waiter of that key; the failed entry is dropped so a
 /// later request can retry.
+///
+/// Internally the key space is striped: each key hashes to one of `stripes`
+/// independent (mutex, map) shards, so concurrent lookups of different keys
+/// — a ShardedFleet bringing up hundreds of sessions, a batch runner's
+/// worker threads — do not serialize on one cache-wide mutex. Requests for
+/// the SAME key still coordinate exactly as before (one build, shared
+/// future, poisoned entries dropped): striping changes contention, never
+/// semantics.
 class TableCache {
  public:
   using Builder = std::function<core::FrequencyTable()>;
   using Future =
       std::shared_future<std::shared_ptr<const core::FrequencyTable>>;
+
+  /// `stripes` fixes the lock granularity for the cache's lifetime (at
+  /// least 1; the default comfortably exceeds every in-tree shard count).
+  explicit TableCache(std::size_t stripes = 16);
 
   /// Blocking path (the default everywhere): a miss builds on the calling
   /// thread; concurrent requests for the same key wait for that one build.
@@ -118,9 +130,18 @@ class TableCache {
   std::size_t builds_completed() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, Future> cache_;
-  std::size_t builds_completed_ = 0;
+  /// One lock domain: every operation on a key touches exactly its
+  /// stripe, and the per-stripe build counter is only ever mutated under
+  /// that stripe's mutex (builds_completed() sums across stripes).
+  struct Stripe {
+    mutable std::mutex mu;
+    std::map<std::string, Future> cache;
+    std::size_t builds_completed = 0;
+  };
+
+  Stripe& stripe_of(const std::string& key);
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 /// Describes one Phase-1 table build that actually ran (cache misses only;

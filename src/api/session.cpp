@@ -123,6 +123,21 @@ std::size_t ControlSession::fallback_windows() const noexcept {
   return async_policy_ == nullptr ? 0 : async_policy_->fallback_windows();
 }
 
+Status ControlSession::wait_table_ready() {
+  if (async_policy_ == nullptr || !async_policy_->pending()) return Status();
+  try {
+    // The swap may fire the deferred on_table_build callback, which
+    // wire_async_policy routed to this session's observers — on this
+    // thread, exactly as the swapping window boundary would.
+    async_policy_->wait_ready_and_swap();
+  } catch (const std::invalid_argument& e) {
+    return Status::invalid_argument(std::string("table build: ") + e.what());
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("table build: ") + e.what());
+  }
+  return Status();
+}
+
 // ----------------------------------------------- Controller (closed loop) --
 
 void ControlSession::reset() {

@@ -141,6 +141,16 @@ class ControlSession final : public sim::Controller {
   /// platform and policy types). On failure the session is unchanged.
   Status restore(const SessionSnapshot& snapshot);
 
+  /// Blocks until this session's Phase-1 table build resolves and swaps it
+  /// in; no-op in sync mode or once the table is live. A failed build comes
+  /// back as a Status (and every later call returns it again — the future
+  /// is latched). Must be called on the stepping thread: a deferred
+  /// on_table_build observer callback fires here, exactly as it would at
+  /// the swapping window boundary. Used for migration — restoring a
+  /// live-phase snapshot requires the target's table live first
+  /// (DESIGN.md §6d).
+  Status wait_table_ready();
+
   // -- observers ----------------------------------------------------------
 
   void add_observer(SessionObserver* observer);

@@ -1,0 +1,84 @@
+#include "fleetsim/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace protemp::fleetsim {
+
+std::string to_string(ArrivalPattern pattern) {
+  switch (pattern) {
+    case ArrivalPattern::kSteady:
+      return "steady";
+    case ArrivalPattern::kDiurnal:
+      return "diurnal";
+    case ArrivalPattern::kBursty:
+      return "bursty";
+  }
+  return "?";
+}
+
+std::optional<ArrivalPattern> parse_arrival_pattern(std::string_view text) {
+  if (text == "steady") return ArrivalPattern::kSteady;
+  if (text == "diurnal") return ArrivalPattern::kDiurnal;
+  if (text == "bursty") return ArrivalPattern::kBursty;
+  return std::nullopt;
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig config, util::Rng rng)
+    : config_(config), rng_(rng) {
+  if (!(config_.mean_period > 0.0)) {
+    throw std::invalid_argument("ArrivalProcess: mean_period must be > 0");
+  }
+  if (config_.pattern == ArrivalPattern::kDiurnal) {
+    if (!(config_.diurnal_period > 0.0) || config_.diurnal_amplitude < 0.0 ||
+        config_.diurnal_amplitude >= 1.0) {
+      throw std::invalid_argument(
+          "ArrivalProcess: diurnal needs period > 0 and amplitude in [0, 1)");
+    }
+  }
+  if (config_.pattern == ArrivalPattern::kBursty &&
+      !(config_.burst_rate_multiplier > 0.0)) {
+    throw std::invalid_argument(
+        "ArrivalProcess: burst_rate_multiplier must be > 0");
+  }
+}
+
+double ArrivalProcess::diurnal_rate(double t) const noexcept {
+  const double phase = 2.0 * M_PI * t / config_.diurnal_period;
+  return rate() * (1.0 + config_.diurnal_amplitude * std::sin(phase));
+}
+
+double ArrivalProcess::next_after(double time) {
+  switch (config_.pattern) {
+    case ArrivalPattern::kSteady:
+      return time + config_.mean_period;
+
+    case ArrivalPattern::kDiurnal: {
+      // Lewis-Shedler thinning: propose from a homogeneous process at the
+      // peak rate, accept with probability rate(t)/peak. Amplitude < 1
+      // keeps the rate positive, so the loop terminates (the acceptance
+      // probability is bounded below by (1-a)/(1+a)).
+      const double peak = rate() * (1.0 + config_.diurnal_amplitude);
+      double t = time;
+      for (;;) {
+        t += rng_.exponential(peak);
+        if (rng_.uniform() * peak <= diurnal_rate(t)) return t;
+      }
+    }
+
+    case ArrivalPattern::kBursty: {
+      double event_rate = rate();
+      if (burst_remaining_ > 0) {
+        --burst_remaining_;
+        event_rate *= config_.burst_rate_multiplier;
+      } else if (rng_.bernoulli(config_.burst_probability)) {
+        burst_remaining_ = config_.burst_length;
+      }
+      return time + rng_.exponential(event_rate);
+    }
+  }
+  return time + config_.mean_period;  // unreachable
+}
+
+}  // namespace protemp::fleetsim

@@ -1,0 +1,68 @@
+// Tenant arrival processes for the fleet load harness.
+//
+// A tenant's activity on the fleet is a point process on the virtual
+// clock: each point is one burst of control-session work (steps, maybe a
+// snapshot or a migration). Three shapes cover the load profiles the
+// serving layer must survive:
+//   * steady  — fixed cadence; the calibration baseline.
+//   * diurnal — a nonhomogeneous Poisson process whose rate swings
+//     sinusoidally over a day, sampled by Lewis-Shedler thinning; the
+//     realistic multi-day soak profile.
+//   * bursty  — exponential inter-arrivals that occasionally collapse
+//     into a burst at a multiplied rate; the worst-case contention probe.
+//
+// Sampling consumes randomness only through the util::Rng handed in, so
+// a process's arrival sequence is a pure function of (config, seed) —
+// fleetsim's determinism guarantee starts here.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace protemp::fleetsim {
+
+enum class ArrivalPattern { kSteady, kDiurnal, kBursty };
+
+std::string to_string(ArrivalPattern pattern);
+/// Parses "steady" / "diurnal" / "bursty"; nullopt otherwise.
+std::optional<ArrivalPattern> parse_arrival_pattern(std::string_view text);
+
+struct ArrivalConfig {
+  ArrivalPattern pattern = ArrivalPattern::kSteady;
+  /// Mean seconds between a tenant's events (all patterns).
+  double mean_period = 60.0;
+  /// Diurnal cycle length [s]; the default is one virtual day.
+  double diurnal_period = 86400.0;
+  /// Relative swing of the diurnal rate in [0, 1): rate(t) spans
+  /// [1-a, 1+a] / mean_period across the cycle.
+  double diurnal_amplitude = 0.8;
+  /// Per-event chance a bursty tenant enters a burst.
+  double burst_probability = 0.05;
+  /// Rate multiplier while bursting.
+  double burst_rate_multiplier = 10.0;
+  /// Events per burst.
+  std::size_t burst_length = 8;
+};
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalConfig config, util::Rng rng);
+
+  /// The next event time strictly after `time`.
+  double next_after(double time);
+
+ private:
+  double rate() const noexcept { return 1.0 / config_.mean_period; }
+  /// Instantaneous diurnal rate at virtual time t.
+  double diurnal_rate(double t) const noexcept;
+
+  ArrivalConfig config_;
+  util::Rng rng_;
+  std::size_t burst_remaining_ = 0;  ///< bursty pattern state
+};
+
+}  // namespace protemp::fleetsim

@@ -1,0 +1,135 @@
+#include "fleetsim/event_queue.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace protemp::fleetsim {
+
+EventQueue::ActorId EventQueue::register_actor() {
+  std::lock_guard<std::mutex> lock(mu_);
+  actors_.push_back(std::make_unique<Actor>());
+  actors_.back()->active = true;
+  ++active_;
+  return actors_.size() - 1;
+}
+
+void EventQueue::deregister_actor(ActorId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Actor& actor = *actors_.at(id);
+  if (!actor.active) return;
+  actor.active = false;
+  if (actor.waiting) {
+    actor.waiting = false;
+    --waiting_;
+  }
+  --active_;
+  if (active_ == 0) {
+    done_cv_.notify_all();
+  } else {
+    // This actor may have been the quorum's last holdout.
+    advance_if_quorum();
+  }
+}
+
+bool EventQueue::wait_until(ActorId id, double time) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Actor& actor = *actors_.at(id);
+  if (stopped_) return false;
+  actor.time = std::max(time, clock_);  // the past is not available
+  actor.waiting = true;
+  actor.granted = false;
+  ++actor.seq;
+  heap_.push(HeapEntry{actor.time, id, actor.seq});
+  ++waiting_;
+  advance_if_quorum();
+  actor.cv.wait(lock, [&] { return actor.granted || stopped_; });
+  if (stopped_) {
+    if (actor.waiting) {
+      actor.waiting = false;
+      --waiting_;
+    }
+    return false;
+  }
+  actor.granted = false;
+  return true;
+}
+
+double EventQueue::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
+}
+
+void EventQueue::add_observer(double start, double period,
+                              ObserverCallback callback) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Observer observer;
+  observer.next = std::max(start, clock_);
+  observer.period = period;
+  observer.order = observers_registered_++;
+  observer.callback = std::move(callback);
+  observers_.push_back(std::move(observer));
+}
+
+void EventQueue::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  for (const auto& actor : actors_) actor->cv.notify_all();
+  done_cv_.notify_all();
+}
+
+void EventQueue::wait_done() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0 || stopped_; });
+}
+
+// Caller holds mu_.
+void EventQueue::advance_if_quorum() {
+  if (stopped_ || active_ == 0 || waiting_ < active_) return;
+
+  // Pop stale entries: an actor re-announcing bumps its seq, leaving its
+  // old heap entry to be skipped here (cheaper than heap removal).
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    const Actor& actor = *actors_[top.id];
+    if (actor.active && actor.waiting && actor.seq == top.seq) break;
+    heap_.pop();
+  }
+  if (heap_.empty()) return;  // all actors deregistered mid-wait
+
+  const HeapEntry next = heap_.top();
+  heap_.pop();
+
+  // Exclusive window: fire every observer due at or before the event
+  // time, in (scheduled time, registration order) — before the actor
+  // whose event shares the timestamp runs.
+  for (;;) {
+    Observer* due = nullptr;
+    for (Observer& observer : observers_) {
+      if (observer.next > next.time) continue;
+      if (due == nullptr || observer.next < due->next ||
+          (observer.next == due->next && observer.order < due->order)) {
+        due = &observer;
+      }
+    }
+    if (due == nullptr) break;
+    clock_ = std::max(clock_, due->next);
+    due->callback(due->next, clock_);
+    if (due->period > 0.0) {
+      due->next += due->period;
+    } else {
+      // One-shot: push beyond any representable event instead of erasing
+      // (erasure would invalidate `due` mid-scan and disturb `order`).
+      due->next = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  clock_ = std::max(clock_, next.time);
+  Actor& granted = *actors_[next.id];
+  granted.waiting = false;
+  --waiting_;
+  granted.granted = true;
+  granted.cv.notify_one();
+}
+
+}  // namespace protemp::fleetsim

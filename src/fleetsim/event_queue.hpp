@@ -1,0 +1,137 @@
+// Discrete-event core of the fleet load harness (DESIGN.md §6d).
+//
+// Real soak tests of a serving fleet take wall-clock days; a discrete-event
+// clock runs the same multi-day tenant churn in seconds by only ever
+// advancing to the next moment anything happens. The shape follows the
+// workload-simulation pattern from MongoDB's server tools: a central event
+// queue owns a virtual clock; actors (tenant threads) announce the time of
+// their next action and block; once *every* registered actor has reported,
+// the queue advances the clock to the earliest pending event and wakes
+// exactly that actor. Observers piggyback on the advance: callbacks that
+// fire at scheduled virtual times (periodic metric sampling) inside the
+// queue's exclusive window, before the granted actor runs.
+//
+// The serialized grant is what buys determinism: at any moment at most one
+// actor is running simulation logic, ties are broken by (time, actor id),
+// and observers at equal timestamps fire in registration order before the
+// actor. The whole event timeline is therefore a pure function of the
+// tenant scripts and their seeds — two runs with the same seed produce the
+// same sequence of grants, byte for byte (tests/fleetsim_test.cpp pins a
+// golden two-actor timeline). Throughput is not the goal here (a real
+// serving fleet steps shards concurrently; bench_fleetsim measures that
+// separately) — fidelity and reproducibility of the *schedule* are.
+//
+// Threading contract:
+//   * register_actor() must complete before the actor's thread first calls
+//     wait_until — an actor joining mid-run is registered by an
+//     already-granted actor (or pre-run by the driver), never by itself.
+//   * Observer callbacks run under the queue lock; they must not call back
+//     into the queue (no reentrancy) and must be cheap.
+//   * wait_until returning false means stop() was called: the actor must
+//     deregister and exit without touching the queue again.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace protemp::fleetsim {
+
+class EventQueue {
+ public:
+  using ActorId = std::size_t;
+  /// `scheduled` is the observer's nominal sample time; `clock` the queue
+  /// clock at the moment of firing (equal to `scheduled` — both are passed
+  /// so a callback never needs to re-enter the queue for now()).
+  using ObserverCallback =
+      std::function<void(double scheduled, double clock)>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Adds an actor to the quorum and returns its id. The clock will not
+  /// advance until this actor reports via wait_until, so registration and
+  /// the actor's first wait must not be separated by queue-blocking work.
+  ActorId register_actor();
+
+  /// Removes an actor from the quorum (normally called by the actor's own
+  /// thread as it exits). If the remaining actors are all waiting, the
+  /// clock advances immediately.
+  void deregister_actor(ActorId id);
+
+  /// Announces that actor `id`'s next event is at virtual `time` and
+  /// blocks until the queue grants it the clock (times earlier than the
+  /// current clock are clamped to it). Returns true when granted — the
+  /// clock now equals the granted time and the actor owns the simulation
+  /// until its next wait_until/deregister. Returns false if the queue was
+  /// stopped; the actor must then deregister and exit.
+  bool wait_until(ActorId id, double time);
+
+  /// Current virtual time.
+  double now() const;
+
+  /// Registers an observer firing at virtual `start`, then every `period`
+  /// (period <= 0: one-shot). Callbacks run in the queue's exclusive
+  /// window — after the clock reaches the scheduled time, before the
+  /// granted actor resumes; equal-time observers fire in registration
+  /// order. Register before the run starts for a deterministic schedule.
+  void add_observer(double start, double period, ObserverCallback callback);
+
+  /// Aborts the simulation: every blocked and future wait_until returns
+  /// false. Idempotent.
+  void stop();
+
+  /// Blocks until every registered actor has deregistered.
+  void wait_done();
+
+ private:
+  struct Actor {
+    bool active = false;
+    bool waiting = false;   ///< has announced a time and is blocked
+    bool granted = false;
+    double time = 0.0;
+    std::uint64_t seq = 0;  ///< invalidates stale heap entries
+    std::condition_variable cv;  ///< per-actor: a grant wakes one thread
+  };
+  struct HeapEntry {
+    double time = 0.0;
+    ActorId id = 0;
+    std::uint64_t seq = 0;
+    /// Min-heap on (time, id): ties go to the lower actor id.
+    bool operator>(const HeapEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+  struct Observer {
+    double next = 0.0;
+    double period = 0.0;
+    std::size_t order = 0;  ///< registration order, breaks time ties
+    ObserverCallback callback;
+  };
+
+  /// If every active actor is waiting, advance the clock to the earliest
+  /// pending (time, id), fire due observers, and grant that one actor.
+  void advance_if_quorum();
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::vector<Observer> observers_;
+  std::size_t observers_registered_ = 0;
+  double clock_ = 0.0;
+  std::size_t active_ = 0;
+  std::size_t waiting_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace protemp::fleetsim

@@ -1,0 +1,111 @@
+#include "fleetsim/metrics.hpp"
+
+#include <cstdint>
+
+#include "util/strings.hpp"
+
+namespace protemp::fleetsim {
+
+std::string to_string(TenantOp op) {
+  switch (op) {
+    case TenantOp::kCreate:
+      return "create";
+    case TenantOp::kStep:
+      return "step";
+    case TenantOp::kSnapshot:
+      return "snapshot";
+    case TenantOp::kMigrate:
+      return "migrate";
+    case TenantOp::kRecreate:
+      return "recreate";
+    case TenantOp::kDestroy:
+      return "destroy";
+  }
+  return "?";
+}
+
+MetricsRecorder::MetricsRecorder(std::size_t shards, bool deterministic,
+                                 bool record_timeline)
+    : deterministic_(deterministic),
+      record_timeline_(record_timeline),
+      digest_(util::fnv1a64("")),  // FNV offset basis
+      shards_(shards) {
+  csv_ =
+      "time,shard,sessions,steps,steps_per_s,windows,fallback_windows,"
+      "builds_in_flight,migrations_in,p50_ns,p90_ns,p99_ns\n";
+}
+
+void MetricsRecorder::record_op(double time, std::size_t tenant, TenantOp op,
+                                std::size_t shard) {
+  ++ops_;
+  // The digest hashes the exact bytes of every record field, so any
+  // reordering, retiming or re-routing of an op changes it.
+  digest_ = util::fnv1a64(&time, sizeof(time), digest_);
+  const auto tenant64 = static_cast<std::uint64_t>(tenant);
+  digest_ = util::fnv1a64(&tenant64, sizeof(tenant64), digest_);
+  const auto op64 = static_cast<std::uint64_t>(op);
+  digest_ = util::fnv1a64(&op64, sizeof(op64), digest_);
+  const auto shard64 = static_cast<std::uint64_t>(shard);
+  digest_ = util::fnv1a64(&shard64, sizeof(shard64), digest_);
+  if (record_timeline_) {
+    timeline_.push_back(TimelineRecord{time, tenant, op, shard});
+  }
+}
+
+void MetricsRecorder::record_step_latency(std::size_t shard, double seconds) {
+  if (shard >= shards_.size()) return;
+  shards_[shard].interval_latency.record(seconds);
+  shards_[shard].total_latency.record(seconds);
+}
+
+void MetricsRecorder::record_steps(std::size_t shard, std::size_t steps,
+                                   std::size_t windows) {
+  if (shard >= shards_.size()) return;
+  shards_[shard].steps += steps;
+  shards_[shard].windows += windows;
+}
+
+void MetricsRecorder::sample(double time, const api::ShardedFleet& fleet) {
+  const double interval = time - last_sample_time_;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    ShardSeries& series = shards_[s];
+    const api::ShardMetrics shard = fleet.shard_metrics(s);
+    const std::size_t interval_steps = series.steps - series.sampled_steps;
+    const double steps_per_s =
+        interval > 0.0 ? static_cast<double>(interval_steps) / interval : 0.0;
+    // Latency percentiles are wall-clock; deterministic runs zero them so
+    // the CSV is a pure function of the seed.
+    const auto percentile_ns = [&](double p) -> long long {
+      if (deterministic_) return 0;
+      return static_cast<long long>(series.interval_latency.percentile(p) *
+                                    1e9);
+    };
+    csv_ += util::format_fixed(time, 3) + "," + std::to_string(s) + "," +
+            std::to_string(shard.fleet.sessions) + "," +
+            std::to_string(series.steps) + "," +
+            util::format_fixed(steps_per_s, 3) + "," +
+            std::to_string(series.windows) + "," +
+            std::to_string(deterministic_ ? 0 : shard.fleet.fallback_windows) +
+            "," +
+            std::to_string(deterministic_ ? 0 : shard.fleet.builds_pending) +
+            "," + std::to_string(shard.migrations_in) + "," +
+            std::to_string(percentile_ns(0.5)) + "," +
+            std::to_string(percentile_ns(0.9)) + "," +
+            std::to_string(percentile_ns(0.99)) + "\n";
+    series.sampled_steps = series.steps;
+    series.interval_latency.clear();
+  }
+  last_sample_time_ = time;
+}
+
+util::Histogram MetricsRecorder::merged_latency() const {
+  util::Histogram merged;
+  for (const ShardSeries& series : shards_) {
+    merged.merge(series.total_latency);
+  }
+  return merged;
+}
+
+std::string MetricsRecorder::csv() const { return csv_; }
+
+}  // namespace protemp::fleetsim

@@ -1,0 +1,96 @@
+// Metrics capture for fleetsim runs: timeline, digests, time-series CSV.
+//
+// Everything here is deliberately lock-free: every mutating call happens
+// either from the one actor currently granted the clock or from an
+// observer callback inside the EventQueue's exclusive window, and the
+// queue's own mutex carries the happens-before edges between them. That
+// serialization is the fleetsim determinism contract; MetricsRecorder
+// leans on it instead of duplicating synchronization (the TSan CI job
+// keeps us honest).
+//
+// Two artifacts come out of a run:
+//   * the op timeline — one record per tenant lifecycle op, folded into a
+//     streaming FNV-1a digest (and optionally kept in full). The digest
+//     is the cheap equality check for "same seed, same schedule".
+//   * the metrics CSV — one row per (sample time, shard) from the
+//     periodic observer: occupancy, throughput, fallback windows, builds
+//     in flight, migration traffic, step-latency percentiles. Latency
+//     columns are wall-clock measurements; in deterministic mode they are
+//     written as zeros so the whole CSV is bitwise reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/fleet.hpp"
+#include "util/histogram.hpp"
+
+namespace protemp::fleetsim {
+
+enum class TenantOp { kCreate, kStep, kSnapshot, kMigrate, kRecreate, kDestroy };
+
+std::string to_string(TenantOp op);
+
+struct TimelineRecord {
+  double time = 0.0;      ///< virtual time of the op
+  std::size_t tenant = 0;
+  TenantOp op = TenantOp::kCreate;
+  std::size_t shard = 0;  ///< shard the op landed on
+};
+
+class MetricsRecorder {
+ public:
+  /// `deterministic` zeroes the wall-clock latency columns in the CSV.
+  MetricsRecorder(std::size_t shards, bool deterministic,
+                  bool record_timeline);
+
+  // -- called by the granted tenant actor ---------------------------------
+
+  void record_op(double time, std::size_t tenant, TenantOp op,
+                 std::size_t shard);
+  /// Wall-clock latency of one ControlSession step, in seconds.
+  void record_step_latency(std::size_t shard, double seconds);
+  void record_steps(std::size_t shard, std::size_t steps,
+                    std::size_t windows);
+
+  // -- called from the EventQueue observer window -------------------------
+
+  /// Emits one CSV row per shard for the interval since the last sample,
+  /// then starts a new interval.
+  void sample(double time, const api::ShardedFleet& fleet);
+
+  // -- results ------------------------------------------------------------
+
+  std::uint64_t timeline_digest() const noexcept { return digest_; }
+  std::size_t ops() const noexcept { return ops_; }
+  const std::vector<TimelineRecord>& timeline() const noexcept {
+    return timeline_;
+  }
+  /// Step latency over the whole run, merged across shards.
+  util::Histogram merged_latency() const;
+  /// Header + every sampled row.
+  std::string csv() const;
+
+ private:
+  struct ShardSeries {
+    std::size_t steps = 0;    ///< cumulative, owned here (fleet aggregates
+                              ///< shift across shards on migration)
+    std::size_t windows = 0;
+    std::size_t sampled_steps = 0;  ///< cumulative at last sample
+    util::Histogram interval_latency;
+    util::Histogram total_latency;
+  };
+
+  bool deterministic_;
+  bool record_timeline_;
+  std::uint64_t digest_;
+  std::size_t ops_ = 0;
+  std::vector<TimelineRecord> timeline_;
+  std::vector<ShardSeries> shards_;
+  double last_sample_time_ = 0.0;
+  std::string csv_;
+};
+
+}  // namespace protemp::fleetsim

@@ -1,0 +1,269 @@
+#include "fleetsim/tenant.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "fleetsim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace protemp::fleetsim {
+
+namespace {
+
+/// Everything the tenant threads share. Counters and the recorder are
+/// mutated only from the granted actor or the observer window (see
+/// MetricsRecorder's header); the fleet is internally synchronized.
+struct SharedState {
+  explicit SharedState(const FleetSimConfig& config)
+      : fleet(make_fleet_config(config)),
+        recorder(config.shards, config.deterministic,
+                 config.record_timeline) {}
+
+  static api::ShardedFleetConfig make_fleet_config(
+      const FleetSimConfig& config) {
+    api::ShardedFleetConfig out;
+    out.shards = config.shards;
+    out.build_threads_per_shard = config.build_threads_per_shard;
+    // Deterministic mode builds synchronously: no wall-clock-dependent
+    // fallback windows, every session's first step uses the real table.
+    out.async_builds = !config.deterministic;
+    return out;
+  }
+
+  EventQueue queue;
+  api::ShardedFleet fleet;
+  MetricsRecorder recorder;
+  std::size_t events = 0;
+  std::size_t steps = 0;
+  std::size_t windows = 0;
+  std::size_t snapshots = 0;
+  std::size_t migrations = 0;
+  std::size_t recreates = 0;
+  std::size_t failures = 0;
+};
+
+sim::TelemetryFrame make_frame(double time, std::size_t num_cores) {
+  sim::TelemetryFrame frame;
+  frame.time = time;
+  frame.core_temps = linalg::Vector(num_cores);
+  for (std::size_t c = 0; c < num_cores; ++c) frame.core_temps[c] = 70.0;
+  frame.queue_length = 4;
+  frame.backlog_work = 0.3;
+  frame.arrived_work_last_window = 0.2;
+  return frame;
+}
+
+/// One tenant's whole life on the fleet. Runs on its own thread; only
+/// touches shared state while holding the EventQueue grant.
+void tenant_main(SharedState& state, const FleetSimConfig& config,
+                 std::size_t index, EventQueue::ActorId actor,
+                 std::uint64_t seed, std::size_t num_cores) {
+  util::Rng rng(seed);
+  ArrivalProcess arrival(config.arrival, rng.split());
+
+  // Stagger creates uniformly over one mean period so the fleet does not
+  // see config.tenants simultaneous builds at t=0.
+  const double create_time = rng.uniform() * config.arrival.mean_period;
+  if (!state.queue.wait_until(actor, create_time)) {
+    state.queue.deregister_actor(actor);
+    return;
+  }
+
+  api::ScenarioSpec spec = config.session_spec;
+  spec.name = "tenant-" + std::to_string(index);
+  api::StatusOr<api::SessionId> created = state.fleet.add(spec);
+  if (!created.ok()) {
+    ++state.failures;
+    state.queue.deregister_actor(actor);
+    return;
+  }
+  api::SessionId id = created.value();
+  std::size_t shard = state.fleet.shard_of(id).value();
+  state.recorder.record_op(state.queue.now(), index, TenantOp::kCreate, shard);
+
+  double session_time = 0.0;
+  bool stopped = false;
+  for (;;) {
+    const double next = arrival.next_after(state.queue.now());
+    if (next >= config.duration) break;
+    if (!state.queue.wait_until(actor, next)) {
+      stopped = true;
+      break;
+    }
+    ++state.events;
+
+    // The step burst: the tenant's actual control work for this event.
+    std::size_t burst_steps = 0;
+    std::size_t burst_windows = 0;
+    bool failed = false;
+    for (std::size_t s = 0; s < config.steps_per_event; ++s) {
+      const sim::TelemetryFrame frame = make_frame(session_time, num_cores);
+      session_time += config.session_spec.sim.dt;
+      const auto begin = std::chrono::steady_clock::now();
+      api::StatusOr<api::ActuationCommand> command =
+          state.fleet.step(id, frame);
+      const auto end = std::chrono::steady_clock::now();
+      if (!command.ok()) {
+        ++state.failures;
+        failed = true;
+        break;
+      }
+      state.recorder.record_step_latency(
+          shard, std::chrono::duration<double>(end - begin).count());
+      ++burst_steps;
+      if (command->window_boundary) ++burst_windows;
+    }
+    state.steps += burst_steps;
+    state.windows += burst_windows;
+    state.recorder.record_steps(shard, burst_steps, burst_windows);
+    state.recorder.record_op(next, index, TenantOp::kStep, shard);
+    if (failed) break;  // a latched session has nothing left to serve
+
+    // Churn: at most one lifecycle op per event, by one uniform draw (a
+    // single draw keeps the consumed-randomness count — and therefore the
+    // timeline — stable across probability tweaks of the other branches).
+    const double draw = rng.uniform();
+    if (draw < config.snapshot_probability) {
+      api::StatusOr<api::SessionSnapshot> snapshot = state.fleet.snapshot(id);
+      if (snapshot.ok() &&
+          state.fleet.restore(id, snapshot.value()).ok()) {
+        ++state.snapshots;
+        state.recorder.record_op(next, index, TenantOp::kSnapshot, shard);
+      } else {
+        ++state.failures;
+      }
+    } else if (draw < config.snapshot_probability +
+                          config.migrate_probability &&
+               config.shards > 1) {
+      std::size_t target = rng.uniform_index(config.shards);
+      if (target == shard) target = (target + 1) % config.shards;
+      if (state.fleet.migrate(id, target).ok()) {
+        shard = target;
+        ++state.migrations;
+        state.recorder.record_op(next, index, TenantOp::kMigrate, shard);
+      } else {
+        ++state.failures;
+      }
+    } else if (draw < config.snapshot_probability +
+                          config.migrate_probability +
+                          config.recreate_probability) {
+      (void)state.fleet.remove(id);
+      api::StatusOr<api::SessionId> recreated = state.fleet.add(spec);
+      if (!recreated.ok()) {
+        ++state.failures;
+        state.queue.deregister_actor(actor);
+        return;  // the tenant has no session left to destroy
+      }
+      id = recreated.value();
+      shard = state.fleet.shard_of(id).value();
+      session_time = 0.0;  // a fresh session starts its own clock
+      ++state.recreates;
+      state.recorder.record_op(next, index, TenantOp::kRecreate, shard);
+    }
+  }
+
+  if (!stopped) {
+    // Still inside the exclusive window (the queue is waiting on this
+    // actor), so the destroy is part of the deterministic timeline.
+    (void)state.fleet.remove(id);
+    state.recorder.record_op(state.queue.now(), index, TenantOp::kDestroy,
+                             shard);
+  }
+  state.queue.deregister_actor(actor);
+}
+
+}  // namespace
+
+api::StatusOr<FleetSimReport> run_fleet_simulation(
+    const FleetSimConfig& config) {
+  using api::Status;
+  if (config.tenants == 0) {
+    return Status::invalid_argument("fleetsim: tenants must be > 0");
+  }
+  if (!(config.duration > 0.0)) {
+    return Status::invalid_argument("fleetsim: duration must be > 0");
+  }
+  if (!(config.sample_period > 0.0)) {
+    return Status::invalid_argument("fleetsim: sample_period must be > 0");
+  }
+  if (config.steps_per_event == 0) {
+    return Status::invalid_argument("fleetsim: steps_per_event must be > 0");
+  }
+  const double churn = config.snapshot_probability +
+                       config.migrate_probability +
+                       config.recreate_probability;
+  if (config.snapshot_probability < 0.0 || config.migrate_probability < 0.0 ||
+      config.recreate_probability < 0.0 || churn > 1.0) {
+    return Status::invalid_argument(
+        "fleetsim: churn probabilities must be >= 0 and sum to <= 1");
+  }
+  if (Status s = config.session_spec.validate(); !s.ok()) {
+    return s.with_context("fleetsim: session_spec");
+  }
+
+  // The frame shape every tenant will use; building the platform once here
+  // also front-loads "bad platform" errors before any thread spawns.
+  api::StatusOr<arch::Platform> platform = api::make_platform(
+      config.session_spec.platform, config.session_spec.platform_options);
+  if (!platform.ok()) {
+    return platform.status().with_context("fleetsim: session_spec platform");
+  }
+  const std::size_t num_cores = platform.value().num_cores();
+
+  SharedState state(config);
+  state.queue.add_observer(
+      config.sample_period, config.sample_period,
+      [&state](double scheduled, double) {
+        state.recorder.sample(scheduled, state.fleet);
+      });
+
+  // Per-tenant seeds from one SplitMix64 stream: the whole run keys off
+  // config.seed. Actors register before any thread spawns, in tenant
+  // order, so equal-time ties resolve by tenant index.
+  util::SplitMix64 seeder(config.seed);
+  std::vector<std::uint64_t> seeds(config.tenants);
+  for (auto& seed : seeds) seed = seeder.next();
+  std::vector<EventQueue::ActorId> actors(config.tenants);
+  for (std::size_t i = 0; i < config.tenants; ++i) {
+    actors[i] = state.queue.register_actor();
+  }
+
+  const auto wall_begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(config.tenants);
+  for (std::size_t i = 0; i < config.tenants; ++i) {
+    threads.emplace_back(tenant_main, std::ref(state), std::cref(config), i,
+                         actors[i], seeds[i], num_cores);
+  }
+  state.queue.wait_done();
+  for (std::thread& thread : threads) thread.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  // Tail sample: the periodic observer only fires while actors advance
+  // the clock, so the last partial interval is flushed here (the driver
+  // is single-threaded again — exclusivity is trivial).
+  state.recorder.sample(config.duration, state.fleet);
+
+  FleetSimReport report;
+  report.tenants = config.tenants;
+  report.events = state.events;
+  report.steps = state.steps;
+  report.windows = state.windows;
+  report.snapshots = state.snapshots;
+  report.migrations = state.migrations;
+  report.recreates = state.recreates;
+  report.failures = state.failures;
+  report.virtual_seconds = config.duration;
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_begin).count();
+  report.timeline_digest = state.recorder.timeline_digest();
+  report.step_latency = state.recorder.merged_latency();
+  report.timeline = state.recorder.timeline();
+  report.metrics_csv = state.recorder.csv();
+  report.fleet = state.fleet.metrics();
+  return report;
+}
+
+}  // namespace protemp::fleetsim

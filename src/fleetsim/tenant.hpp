@@ -1,0 +1,90 @@
+// Tenant driver: multi-day fleet soaks on a virtual clock.
+//
+// run_fleet_simulation spawns one actor thread per tenant, all marching to
+// one fleetsim::EventQueue. Each tenant lives a full serving lifecycle
+// against a real api::ShardedFleet — create its ControlSession, wake at
+// arrival-process events to step it (with occasional snapshot round-trips,
+// cross-shard migrations and destroy/recreate churn), destroy it at the
+// end of the run. Because the clock is virtual, a 24-hour diurnal soak of
+// 1000 tenants is minutes of wall time; because grants are serialized and
+// every random draw flows from one seed, the op timeline (and its FNV
+// digest) is bitwise reproducible.
+//
+// `deterministic` tightens that to the metrics CSV as well: builds run
+// synchronously (no wall-clock-dependent fallback windows or in-flight
+// builds) and latency columns are zeroed. Non-deterministic runs keep
+// async builds — the realistic serving configuration — and their latency
+// histograms are the numbers bench_fleetsim gates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/fleet.hpp"
+#include "api/scenario.hpp"
+#include "api/status.hpp"
+#include "fleetsim/arrival.hpp"
+#include "fleetsim/metrics.hpp"
+#include "util/histogram.hpp"
+
+namespace protemp::fleetsim {
+
+struct FleetSimConfig {
+  std::size_t tenants = 100;
+  /// Virtual length of the run [s].
+  double duration = 3600.0;
+  /// Observer cadence for metrics CSV rows [s].
+  double sample_period = 300.0;
+  ArrivalConfig arrival;
+  /// ControlSession steps per tenant event.
+  std::size_t steps_per_event = 10;
+  /// Per-event probabilities of the churn ops (mutually exclusive draws;
+  /// their sum must be <= 1).
+  double snapshot_probability = 0.05;
+  double migrate_probability = 0.02;
+  double recreate_probability = 0.01;
+  std::uint64_t seed = 2008;
+  /// Sync builds + zeroed latency columns: the whole run (timeline,
+  /// digest, CSV) becomes a pure function of this config.
+  bool deterministic = false;
+  /// Template for every tenant's session; `name` is overridden with
+  /// "tenant-<i>" (which also determines the tenant's home shard).
+  api::ScenarioSpec session_spec;
+  std::size_t shards = 4;
+  std::size_t build_threads_per_shard = 1;
+  /// Keep the full op timeline in the report (tests; large for big runs).
+  bool record_timeline = false;
+};
+
+struct FleetSimReport {
+  std::size_t tenants = 0;
+  std::size_t events = 0;       ///< arrival events served
+  std::size_t steps = 0;        ///< ControlSession steps driven
+  std::size_t windows = 0;      ///< DFS-window decisions among them
+  std::size_t snapshots = 0;    ///< snapshot round-trips
+  std::size_t migrations = 0;   ///< completed cross-shard migrations
+  std::size_t recreates = 0;    ///< destroy+create churn events
+  std::size_t failures = 0;     ///< failed fleet ops of any kind
+  double virtual_seconds = 0.0;
+  double wall_seconds = 0.0;
+  /// Streaming FNV-1a digest of the op timeline — the cheap same-schedule
+  /// equality check across runs.
+  std::uint64_t timeline_digest = 0;
+  /// Wall-clock step latency merged across shards [s].
+  util::Histogram step_latency;
+  /// Full timeline (empty unless config.record_timeline).
+  std::vector<TimelineRecord> timeline;
+  /// Time-series CSV (see MetricsRecorder for columns).
+  std::string metrics_csv;
+  /// Final fleet aggregate (before teardown).
+  api::FleetMetrics fleet;
+};
+
+/// Runs the simulation to completion. Returns a Status for configuration
+/// errors; per-tenant serving failures are counted in the report instead
+/// (a soak's job is to keep going and report, not to abort).
+api::StatusOr<FleetSimReport> run_fleet_simulation(const FleetSimConfig& config);
+
+}  // namespace protemp::fleetsim

@@ -1,0 +1,102 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace protemp::util {
+
+Histogram::Histogram(double floor, double ceiling,
+                     std::size_t buckets_per_octave)
+    : floor_(floor), ceiling_(ceiling), per_octave_(buckets_per_octave) {
+  if (!(floor > 0.0) || !(ceiling > floor) || buckets_per_octave == 0) {
+    throw std::invalid_argument(
+        "Histogram: requires 0 < floor < ceiling and buckets_per_octave > 0");
+  }
+  const double octaves = std::log2(ceiling_ / floor_);
+  const auto buckets = static_cast<std::size_t>(
+      std::ceil(octaves * static_cast<double>(per_octave_)));
+  counts_.assign(buckets + 1, 0);  // +1: the at/above-ceiling bucket
+}
+
+std::size_t Histogram::bucket_of(double value) const noexcept {
+  if (!(value > floor_)) return 0;  // includes NaN and negatives
+  const auto index = static_cast<std::size_t>(
+      std::log2(value / floor_) * static_cast<double>(per_octave_));
+  return std::min(index, counts_.size() - 1);
+}
+
+double Histogram::bucket_mid(std::size_t index) const noexcept {
+  const double exponent =
+      (static_cast<double>(index) + 0.5) / static_cast<double>(per_octave_);
+  return floor_ * std::exp2(exponent);
+}
+
+void Histogram::record(double value) {
+  if (!std::isfinite(value)) value = 0.0;
+  ++counts_[bucket_of(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the order statistic (0-based, nearest-rank style).
+  const auto rank = static_cast<std::size_t>(
+      std::min(p * static_cast<double>(count_),
+               static_cast<double>(count_ - 1)));
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative > rank) {
+      return std::clamp(bucket_mid(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (floor_ != other.floor_ || ceiling_ != other.ceiling_ ||
+      per_octave_ != other.per_octave_) {
+    throw std::invalid_argument(
+        "Histogram::merge: bucket geometries differ (" +
+        std::to_string(counts_.size()) + " vs " +
+        std::to_string(other.counts_.size()) + " buckets)");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+}  // namespace protemp::util

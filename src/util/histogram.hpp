@@ -1,0 +1,73 @@
+// Log-bucketed latency histogram shared by benches and fleetsim.
+//
+// Every latency gate in the repo needs the same three things: a percentile
+// that does not require storing (or sorting) millions of samples, a mean
+// from the exact running sum, and cheap merging across shards or threads.
+// A log-spaced bucket grid gives all three with a fixed relative error:
+// with the default 8 buckets per octave, any reported percentile is within
+// one bucket — about 9% — of the true order statistic, far inside the
+// margin of every gate that consumes it (the tightest compares against a
+// 10x bar).
+//
+// record() is O(1) (one log2 and an increment); percentile() walks the
+// cumulative counts and returns the geometric midpoint of the bucket the
+// rank lands in, clamped to the observed [min, max]. Not thread-safe:
+// record into one Histogram per thread/shard and merge().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace protemp::util {
+
+class Histogram {
+ public:
+  /// Buckets span [floor, ceiling) geometrically with `buckets_per_octave`
+  /// buckets per doubling; values below floor land in the first bucket,
+  /// values at/above ceiling in the last (their exact extremes are still
+  /// tracked via min()/max()). Defaults cover 1 ns .. ~137 s in seconds
+  /// with ~9% relative bucket width. Requires floor > 0, ceiling > floor.
+  explicit Histogram(double floor = 1e-9, double ceiling = 137.0,
+                     std::size_t buckets_per_octave = 8);
+
+  /// Records one sample. Non-finite and negative values are clamped into
+  /// the first bucket (they never throw off a latency percentile).
+  void record(double value);
+
+  std::size_t count() const noexcept { return count_; }
+  /// Exact mean of every recorded sample (not bucketed); 0 when empty.
+  double mean() const noexcept;
+  /// Smallest / largest recorded sample; 0 when empty.
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+  /// Value at quantile `p` in [0, 1]: the geometric midpoint of the bucket
+  /// containing the rank, clamped to [min(), max()]. 0 when empty.
+  double percentile(double p) const;
+  double p50() const { return percentile(0.50); }
+  double p90() const { return percentile(0.90); }
+  double p99() const { return percentile(0.99); }
+
+  /// Adds another histogram's samples. Throws std::invalid_argument if the
+  /// bucket geometries differ (merging those would silently misbucket).
+  void merge(const Histogram& other);
+
+  /// Forgets every sample; geometry is preserved.
+  void clear();
+
+ private:
+  std::size_t bucket_of(double value) const noexcept;
+  /// Geometric midpoint (bucket_floor * 2^(1/(2*per_octave))) of bucket i.
+  double bucket_mid(std::size_t index) const noexcept;
+
+  double floor_;
+  double ceiling_;
+  std::size_t per_octave_;
+  std::vector<std::size_t> counts_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace protemp::util

@@ -13,6 +13,42 @@
 
 namespace protemp::util {
 
+/// SplitMix64 (Steele, Lea & Flood's splittable generator, public domain):
+/// one 64-bit word of state, one additive step and a finalizing mix per
+/// draw. Two jobs here: the seed sequence behind Rng (every seed yields a
+/// full-entropy xoshiro state) and the cheap, stateless-feeling stream
+/// fleetsim uses to derive per-tenant seeds — `SplitMix64(seed)` drawn N
+/// times gives N decorrelated sub-seeds, reproducible from one `--seed`
+/// flag. Satisfies std::uniform_random_bit_generator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  result_type next() noexcept {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// xoshiro256++ PRNG. Satisfies std::uniform_random_bit_generator.
 class Rng {
  public:
@@ -21,8 +57,8 @@ class Rng {
   /// Seeds the four 64-bit words from `seed` via SplitMix64, which guarantees
   /// a non-zero state for every seed value.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
-    std::uint64_t x = seed;
-    for (auto& word : state_) word = splitmix64(x);
+    SplitMix64 seeder(seed);
+    for (auto& word : state_) word = seeder.next();
   }
 
   static constexpr result_type min() noexcept { return 0; }
@@ -45,8 +81,8 @@ class Rng {
   /// Derives an independent stream; the child is seeded from this stream's
   /// output mixed through SplitMix64, so parent and child sequences diverge.
   Rng split() noexcept {
-    std::uint64_t x = (*this)() ^ 0xd1b54a32d192ed03ull;
-    return Rng{splitmix64(x)};
+    const std::uint64_t x = (*this)() ^ 0xd1b54a32d192ed03ull;
+    return Rng{SplitMix64(x).next()};
   }
 
   /// Uniform double in [0, 1).
@@ -105,14 +141,6 @@ class Rng {
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
-  }
-
-  static std::uint64_t splitmix64(std::uint64_t& x) noexcept {
-    x += 0x9e3779b97f4a7c15ull;
-    std::uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
   }
 
   std::array<std::uint64_t, 4> state_{};

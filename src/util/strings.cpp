@@ -104,4 +104,18 @@ std::optional<std::uint64_t> parse_uint64(std::string_view text) noexcept {
   return value;
 }
 
+std::uint64_t fnv1a64(const void* bytes, std::size_t size,
+                      std::uint64_t hash) noexcept {
+  const auto* data = static_cast<const unsigned char*>(bytes);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;  // FNV-1a 64-bit prime
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  return fnv1a64(text.data(), text.size(), 0xcbf29ce484222325ull);
+}
+
 }  // namespace protemp::util

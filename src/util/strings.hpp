@@ -40,4 +40,13 @@ std::optional<bool> parse_bool(std::string_view text) noexcept;
 /// Parses a full-range std::uint64_t (seeds); nullopt on any non-digit.
 std::optional<std::uint64_t> parse_uint64(std::string_view text) noexcept;
 
+/// FNV-1a 64-bit hash. Unlike std::hash, the value is pinned by the
+/// algorithm, so anything derived from it (fleetsim shard placement, event
+/// timeline digests) is stable across runs, builds and standard libraries.
+std::uint64_t fnv1a64(std::string_view text) noexcept;
+/// Continues an FNV-1a stream: feeds `bytes` into state `hash`. Seed new
+/// streams with fnv1a64("") (the FNV offset basis).
+std::uint64_t fnv1a64(const void* bytes, std::size_t size,
+                      std::uint64_t hash) noexcept;
+
 }  // namespace protemp::util

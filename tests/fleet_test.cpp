@@ -473,5 +473,73 @@ TEST(SessionFleet, CreateAggregatesEveryBadSpec) {
   EXPECT_NE(message.find("cray1"), std::string::npos);
 }
 
+// ------------------------------------------------------ dynamic membership --
+
+TEST(SessionFleet, RemoveFreesTheSlotAndAddReusesIt) {
+  SessionFleet fleet;
+  const std::size_t a = fleet.add_session(fast_protemp_spec("a")).value();
+  const std::size_t b = fleet.add_session(fast_protemp_spec("b")).value();
+  const std::size_t c = fleet.add_session(fast_protemp_spec("c")).value();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(fleet.sessions(), 3u);
+
+  ASSERT_TRUE(fleet.remove_session(b).ok());
+  EXPECT_FALSE(fleet.occupied(b));
+  EXPECT_EQ(fleet.sessions(), 2u);
+  EXPECT_EQ(fleet.size(), 3u);  // the slot stays addressable
+  // Removing an empty or out-of-range slot is NotFound, not a crash.
+  EXPECT_FALSE(fleet.remove_session(b).ok());
+  EXPECT_FALSE(fleet.remove_session(99).ok());
+
+  // The next add reuses the lowest free slot instead of growing.
+  const std::size_t d = fleet.add_session(fast_protemp_spec("d")).value();
+  EXPECT_EQ(d, b);
+  EXPECT_EQ(fleet.size(), 3u);
+  EXPECT_EQ(fleet.sessions(), 3u);
+}
+
+TEST(SessionFleet, ReusedSlotStartsWithACleanFailureLatch) {
+  SessionFleet fleet;
+  const std::size_t slot = fleet.add_session(fast_protemp_spec("x")).value();
+  const std::size_t cores = fleet.session(slot).num_cores();
+
+  // Latch a failure: a time-travelling second frame is rejected.
+  ASSERT_TRUE(fleet.step_one(slot, frame_at(5, 0.01, cores, 60.0)).ok());
+  ASSERT_FALSE(fleet.step_one(slot, frame_at(1, 0.01, cores, 60.0)).ok());
+  EXPECT_FALSE(fleet.session_status(slot).ok());
+  // Latched: even a good frame keeps reporting the first failure.
+  EXPECT_FALSE(fleet.step_one(slot, frame_at(9, 0.01, cores, 60.0)).ok());
+  EXPECT_EQ(fleet.metrics().failed, 1u);
+
+  ASSERT_TRUE(fleet.remove_session(slot).ok());
+  const std::size_t reused = fleet.add_session(fast_protemp_spec("y")).value();
+  ASSERT_EQ(reused, slot);
+  EXPECT_TRUE(fleet.session_status(reused).ok());
+  EXPECT_TRUE(fleet.step_one(reused, frame_at(0, 0.01, cores, 60.0)).ok());
+  EXPECT_EQ(fleet.metrics().failed, 0u);
+}
+
+TEST(SessionFleet, StepAllReportsEmptySlotsAsNotFound) {
+  SessionFleet fleet;
+  (void)fleet.add_session(fast_protemp_spec("a")).value();
+  const std::size_t hole = fleet.add_session(fast_protemp_spec("b")).value();
+  (void)fleet.add_session(fast_protemp_spec("c")).value();
+  ASSERT_TRUE(fleet.remove_session(hole).ok());
+
+  const std::size_t cores = fleet.session(0).num_cores();
+  const auto results = fleet.step_all(std::vector<sim::TelemetryFrame>(
+      3, frame_at(0, 0.01, cores, 60.0)));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok()) << results[0].status().to_string();
+  EXPECT_FALSE(results[1].ok());  // the hole
+  EXPECT_TRUE(results[2].ok());
+  // The hole never latches anything: siblings and aggregates are clean.
+  EXPECT_EQ(fleet.metrics().failed, 0u);
+  EXPECT_EQ(fleet.metrics().sessions, 2u);
+  EXPECT_EQ(fleet.metrics().steps, 2u);
+}
+
 }  // namespace
 }  // namespace protemp

@@ -1,0 +1,393 @@
+// Discrete-event fleet simulation suite: EventQueue clock semantics and
+// determinism, arrival-process reproducibility, and whole-simulation runs
+// driving real ControlSessions through a ShardedFleet.
+//
+// The load-bearing guarantees pinned here:
+//   * the virtual clock is monotone and serialized — grants happen one at
+//     a time, ties break by (time, actor id), observers fire before the
+//     equal-time actor in registration order;
+//   * actors can join and leave mid-run without stalling the quorum;
+//   * the entire run — op timeline, FNV digest, metrics CSV — is a pure
+//     function of the seed in deterministic mode (two runs compare
+//     bitwise equal);
+//   * a simulated tenant population really exercises create / step /
+//     snapshot / migrate / recreate / destroy against live sessions, with
+//     zero failures.
+//
+// The TSan CI job runs this suite: the EventQueue grant protocol is the
+// only thing standing between the lock-free MetricsRecorder and a data
+// race.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/protemp.hpp"
+#include "fleetsim/arrival.hpp"
+#include "fleetsim/event_queue.hpp"
+#include "fleetsim/metrics.hpp"
+#include "fleetsim/tenant.hpp"
+#include "util/strings.hpp"
+
+namespace protemp::fleetsim {
+namespace {
+
+using api::Options;
+using api::ScenarioSpec;
+
+// ---------------------------------------------------------------- helpers --
+
+/// One-cell Phase-1 grid so real builds stay fast under test (and TSan).
+Options tiny_grid_options() {
+  Options options;
+  options.set("tstart-min", 80.0).set("tstart-max", 80.0);
+  options.set("ftarget-min-mhz", 200.0).set("ftarget-max-mhz", 200.0);
+  return options;
+}
+
+ScenarioSpec fast_protemp_spec(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.dfs_policy = "pro-temp";
+  spec.dfs_options = tiny_grid_options();
+  spec.optimizer.minimize_gradient = false;
+  spec.sim.dt = 0.01;
+  spec.sim.dfs_period = 0.05;
+  return spec;
+}
+
+/// Runs a scripted actor: waits for each time in turn, appending a tagged
+/// entry to `log` while granted. `log` is safe without a lock — only the
+/// granted actor (or an observer in the exclusive window) touches it.
+void run_script(EventQueue& queue, EventQueue::ActorId id,
+                const std::string& tag, const std::vector<double>& times,
+                std::vector<std::string>& log) {
+  for (const double t : times) {
+    if (!queue.wait_until(id, t)) break;
+    log.push_back(tag + "@" + util::format_fixed(queue.now(), 1));
+  }
+  queue.deregister_actor(id);
+}
+
+// --------------------------------------------------------------- EventQueue --
+
+TEST(EventQueue, ClockIsMonotoneAcrossActors) {
+  EventQueue queue;
+  std::vector<std::string> log;
+  std::vector<double> observed;
+  const auto a = queue.register_actor();
+  const auto b = queue.register_actor();
+  std::thread ta([&] {
+    for (const double t : {1.0, 4.0, 9.0}) {
+      if (!queue.wait_until(a, t)) break;
+      observed.push_back(queue.now());
+    }
+    queue.deregister_actor(a);
+  });
+  std::thread tb([&] {
+    for (const double t : {2.0, 3.0, 7.0}) {
+      if (!queue.wait_until(b, t)) break;
+      observed.push_back(queue.now());
+    }
+    queue.deregister_actor(b);
+  });
+  queue.wait_done();
+  ta.join();
+  tb.join();
+  ASSERT_EQ(observed.size(), 6u);
+  for (std::size_t i = 1; i < observed.size(); ++i) {
+    EXPECT_GE(observed[i], observed[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(observed.back(), 9.0);
+}
+
+TEST(EventQueue, TwoActorGoldenTimeline) {
+  // A@1, B@2, then a 3.0 tie broken by actor id (A registered first),
+  // A@5, B@10 — the golden order any conforming scheduler must produce.
+  EventQueue queue;
+  std::vector<std::string> log;
+  const auto a = queue.register_actor();
+  const auto b = queue.register_actor();
+  std::thread ta(run_script, std::ref(queue), a, "A",
+                 std::vector<double>{1.0, 3.0, 5.0}, std::ref(log));
+  std::thread tb(run_script, std::ref(queue), b, "B",
+                 std::vector<double>{2.0, 3.0, 10.0}, std::ref(log));
+  queue.wait_done();
+  ta.join();
+  tb.join();
+  const std::vector<std::string> expected = {"A@1.0", "B@2.0", "A@3.0",
+                                             "B@3.0", "A@5.0", "B@10.0"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(EventQueue, ObserversFireBeforeEqualTimeActorInRegistrationOrder) {
+  EventQueue queue;
+  std::vector<std::string> log;
+  // Two one-shot observers at t=2 (registration order), one periodic.
+  queue.add_observer(2.0, 0.0, [&](double scheduled, double clock) {
+    EXPECT_DOUBLE_EQ(scheduled, clock);
+    log.push_back("obs1@" + util::format_fixed(scheduled, 1));
+  });
+  queue.add_observer(2.0, 0.0, [&](double scheduled, double) {
+    log.push_back("obs2@" + util::format_fixed(scheduled, 1));
+  });
+  queue.add_observer(1.5, 2.0, [&](double scheduled, double) {
+    log.push_back("tick@" + util::format_fixed(scheduled, 1));
+  });
+  const auto a = queue.register_actor();
+  std::thread ta(run_script, std::ref(queue), a, "A",
+                 std::vector<double>{2.0, 4.0}, std::ref(log));
+  queue.wait_done();
+  ta.join();
+  const std::vector<std::string> expected = {
+      "tick@1.5", "obs1@2.0", "obs2@2.0", "A@2.0", "tick@3.5", "A@4.0"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(EventQueue, ActorJoinsMidRun) {
+  // A registers C during its granted window (before re-waiting), so the
+  // quorum grows without ever advancing past C's first event.
+  EventQueue queue;
+  std::vector<std::string> log;
+  const auto a = queue.register_actor();
+  std::thread child;
+  std::thread ta([&] {
+    ASSERT_TRUE(queue.wait_until(a, 1.0));
+    log.push_back("A@1.0");
+    const auto c = queue.register_actor();
+    child = std::thread(run_script, std::ref(queue), c, "C",
+                        std::vector<double>{2.0}, std::ref(log));
+    ASSERT_TRUE(queue.wait_until(a, 3.0));
+    log.push_back("A@3.0");
+    queue.deregister_actor(a);
+  });
+  queue.wait_done();
+  ta.join();
+  child.join();
+  const std::vector<std::string> expected = {"A@1.0", "C@2.0", "A@3.0"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(EventQueue, ActorLeavesMidRunWithoutStallingQuorum) {
+  EventQueue queue;
+  std::vector<std::string> log;
+  const auto a = queue.register_actor();
+  const auto b = queue.register_actor();
+  std::thread ta(run_script, std::ref(queue), a, "A",
+                 std::vector<double>{1.0}, std::ref(log));
+  std::thread tb(run_script, std::ref(queue), b, "B",
+                 std::vector<double>{2.0, 6.0}, std::ref(log));
+  queue.wait_done();
+  ta.join();
+  tb.join();
+  const std::vector<std::string> expected = {"A@1.0", "B@2.0", "B@6.0"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(EventQueue, PastTimesAreClampedToTheClock) {
+  EventQueue queue;
+  const auto a = queue.register_actor();
+  std::thread ta([&] {
+    ASSERT_TRUE(queue.wait_until(a, 5.0));
+    EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+    // Asking for the past is not an error — the clock never rewinds.
+    ASSERT_TRUE(queue.wait_until(a, 3.0));
+    EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+    queue.deregister_actor(a);
+  });
+  queue.wait_done();
+  ta.join();
+}
+
+TEST(EventQueue, StopUnblocksWaiters) {
+  EventQueue queue;
+  const auto a = queue.register_actor();
+  const auto b = queue.register_actor();
+  bool a_result = true;
+  std::thread ta([&] {
+    // Never granted: b never reports, so no quorum forms.
+    a_result = queue.wait_until(a, 1.0);
+    queue.deregister_actor(a);
+  });
+  std::thread tb([&] {
+    queue.stop();
+    queue.deregister_actor(b);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_FALSE(a_result);
+  EXPECT_FALSE(queue.wait_until(a, 2.0));  // stopped stays stopped
+}
+
+// ----------------------------------------------------------------- arrival --
+
+TEST(ArrivalProcess, SameSeedSameSequence) {
+  for (const ArrivalPattern pattern :
+       {ArrivalPattern::kSteady, ArrivalPattern::kDiurnal,
+        ArrivalPattern::kBursty}) {
+    ArrivalConfig config;
+    config.pattern = pattern;
+    config.mean_period = 10.0;
+    ArrivalProcess first(config, util::Rng(42));
+    ArrivalProcess second(config, util::Rng(42));
+    double t1 = 0.0, t2 = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      t1 = first.next_after(t1);
+      t2 = second.next_after(t2);
+      ASSERT_EQ(t1, t2) << to_string(pattern) << " event " << i;
+      ASSERT_GT(t1, 0.0);
+    }
+  }
+}
+
+TEST(ArrivalProcess, EventsAdvanceStrictly) {
+  ArrivalConfig config;
+  config.pattern = ArrivalPattern::kDiurnal;
+  config.mean_period = 30.0;
+  config.diurnal_period = 3600.0;
+  ArrivalProcess process(config, util::Rng(7));
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double next = process.next_after(t);
+    ASSERT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(ArrivalProcess, BurstsCompressInterArrivals) {
+  ArrivalConfig config;
+  config.pattern = ArrivalPattern::kBursty;
+  config.mean_period = 100.0;
+  config.burst_probability = 1.0;  // always bursting after the first event
+  config.burst_rate_multiplier = 50.0;
+  config.burst_length = 1000;
+  ArrivalProcess process(config, util::Rng(3));
+  double t = process.next_after(0.0);
+  double total = 0.0;
+  const int kEvents = 200;
+  for (int i = 0; i < kEvents; ++i) {
+    const double next = process.next_after(t);
+    total += next - t;
+    t = next;
+  }
+  // Mean inter-arrival in a burst is mean_period / multiplier = 2s; allow
+  // generous sampling noise.
+  EXPECT_LT(total / kEvents, 20.0);
+}
+
+TEST(ArrivalPatternParse, RoundTrips) {
+  for (const ArrivalPattern pattern :
+       {ArrivalPattern::kSteady, ArrivalPattern::kDiurnal,
+        ArrivalPattern::kBursty}) {
+    const auto parsed = parse_arrival_pattern(to_string(pattern));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, pattern);
+  }
+  EXPECT_FALSE(parse_arrival_pattern("weekly").has_value());
+}
+
+// -------------------------------------------------------- whole simulation --
+
+FleetSimConfig small_sim_config(std::uint64_t seed) {
+  FleetSimConfig config;
+  config.tenants = 6;
+  config.duration = 600.0;
+  config.sample_period = 100.0;
+  config.arrival.pattern = ArrivalPattern::kDiurnal;
+  config.arrival.mean_period = 30.0;
+  config.arrival.diurnal_period = 600.0;
+  config.steps_per_event = 5;
+  // Forced-high churn so a short run exercises every lifecycle op.
+  config.snapshot_probability = 0.3;
+  config.migrate_probability = 0.3;
+  config.recreate_probability = 0.1;
+  config.seed = seed;
+  config.deterministic = true;
+  config.session_spec = fast_protemp_spec("template");
+  config.shards = 2;
+  config.record_timeline = true;
+  return config;
+}
+
+TEST(FleetSimulation, DrivesRealSessionsThroughEveryLifecycleOp) {
+  const auto report = run_fleet_simulation(small_sim_config(2008));
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  EXPECT_EQ(report->tenants, 6u);
+  EXPECT_EQ(report->failures, 0u);
+  EXPECT_GT(report->events, 0u);
+  EXPECT_GT(report->steps, 0u);
+  EXPECT_GT(report->windows, 0u);
+  EXPECT_GT(report->snapshots, 0u);
+  EXPECT_GT(report->migrations, 0u);
+  EXPECT_GT(report->timeline.size(), 0u);
+  // Every tenant was destroyed at the end: the fleet drained.
+  EXPECT_EQ(report->fleet.sessions, 0u);
+  EXPECT_EQ(report->fleet.failed, 0u);
+}
+
+TEST(FleetSimulation, SameSeedIsBitwiseReproducible) {
+  const auto first = run_fleet_simulation(small_sim_config(2008));
+  const auto second = run_fleet_simulation(small_sim_config(2008));
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  ASSERT_TRUE(second.ok()) << second.status().to_string();
+  EXPECT_EQ(first->timeline_digest, second->timeline_digest);
+  EXPECT_EQ(first->events, second->events);
+  EXPECT_EQ(first->steps, second->steps);
+  EXPECT_EQ(first->migrations, second->migrations);
+  // The full op timeline matches record for record...
+  ASSERT_EQ(first->timeline.size(), second->timeline.size());
+  for (std::size_t i = 0; i < first->timeline.size(); ++i) {
+    EXPECT_EQ(first->timeline[i].time, second->timeline[i].time) << i;
+    EXPECT_EQ(first->timeline[i].tenant, second->timeline[i].tenant) << i;
+    EXPECT_EQ(first->timeline[i].op, second->timeline[i].op) << i;
+    EXPECT_EQ(first->timeline[i].shard, second->timeline[i].shard) << i;
+  }
+  // ...and in deterministic mode the metrics CSV is bitwise identical.
+  EXPECT_EQ(first->metrics_csv, second->metrics_csv);
+}
+
+TEST(FleetSimulation, DifferentSeedsDiverge) {
+  const auto first = run_fleet_simulation(small_sim_config(1));
+  const auto second = run_fleet_simulation(small_sim_config(2));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->timeline_digest, second->timeline_digest);
+}
+
+TEST(FleetSimulation, MetricsCsvIsWellFormed) {
+  const auto report = run_fleet_simulation(small_sim_config(2008));
+  ASSERT_TRUE(report.ok());
+  const std::vector<std::string> lines =
+      util::split(report->metrics_csv, '\n');
+  ASSERT_GE(lines.size(), 3u);  // header + rows + trailing empty
+  const std::vector<std::string> header = util::split(lines[0], ',');
+  ASSERT_EQ(header.size(), 12u);
+  EXPECT_EQ(header[0], "time");
+  EXPECT_EQ(header[1], "shard");
+  EXPECT_EQ(header.back(), "p99_ns");
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    EXPECT_EQ(util::split(lines[i], ',').size(), 12u) << "row " << i;
+    // Deterministic mode zeroes the wall-latency columns.
+    const auto fields = util::split(lines[i], ',');
+    EXPECT_EQ(fields[9], "0") << "row " << i;
+    EXPECT_EQ(fields[10], "0") << "row " << i;
+    EXPECT_EQ(fields[11], "0") << "row " << i;
+  }
+}
+
+TEST(FleetSimulation, RejectsBadConfigs) {
+  FleetSimConfig config = small_sim_config(1);
+  config.tenants = 0;
+  EXPECT_FALSE(run_fleet_simulation(config).ok());
+  config = small_sim_config(1);
+  config.snapshot_probability = 0.9;
+  config.migrate_probability = 0.9;
+  EXPECT_FALSE(run_fleet_simulation(config).ok());
+  config = small_sim_config(1);
+  config.steps_per_event = 0;
+  EXPECT_FALSE(run_fleet_simulation(config).ok());
+}
+
+}  // namespace
+}  // namespace protemp::fleetsim

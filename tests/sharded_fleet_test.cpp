@@ -1,0 +1,264 @@
+// ShardedFleet suite: hash placement stability, per-id serving, migration
+// state equivalence, shard metrics, and the striped TableCache under
+// concurrent multi-key load.
+//
+// The migration guarantee pinned here is the serving twin of session
+// snapshot/restore: a session migrated between shards mid-stream produces
+// bitwise the same actuation commands as an unmigrated session fed the
+// same telemetry. The TSan CI job runs this suite to guard the
+// placement-lock / shard-lock protocol.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/protemp.hpp"
+#include "core/policies.hpp"
+#include "util/strings.hpp"
+
+namespace protemp {
+namespace {
+
+using api::ActuationCommand;
+using api::ControlSession;
+using api::Options;
+using api::ScenarioSpec;
+using api::SessionId;
+using api::ShardedFleet;
+using api::ShardedFleetConfig;
+using api::StatusOr;
+using api::TableCache;
+
+// ---------------------------------------------------------------- helpers --
+
+/// One-cell Phase-1 grid so real builds stay fast under test (and TSan).
+Options tiny_grid_options() {
+  Options options;
+  options.set("tstart-min", 80.0).set("tstart-max", 80.0);
+  options.set("ftarget-min-mhz", 200.0).set("ftarget-max-mhz", 200.0);
+  return options;
+}
+
+ScenarioSpec fast_protemp_spec(const std::string& name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.dfs_policy = "pro-temp";
+  spec.dfs_options = tiny_grid_options();
+  spec.optimizer.minimize_gradient = false;
+  spec.sim.dt = 0.01;
+  spec.sim.dfs_period = 0.05;
+  return spec;
+}
+
+sim::TelemetryFrame frame_at(std::size_t step, double dt, std::size_t cores,
+                             double temp) {
+  sim::TelemetryFrame frame;
+  frame.time = static_cast<double>(step) * dt;
+  frame.core_temps = linalg::Vector(cores, temp);
+  return frame;
+}
+
+ShardedFleetConfig sync_config(std::size_t shards) {
+  ShardedFleetConfig config;
+  config.shards = shards;
+  config.async_builds = false;  // deterministic phase for twin comparisons
+  return config;
+}
+
+// ---------------------------------------------------------------- placement --
+
+TEST(ShardedFleet, PlacementIsStableAcrossFleets) {
+  ShardedFleet first{sync_config(4)};
+  ShardedFleet second{sync_config(4)};
+  for (int i = 0; i < 6; ++i) {
+    const ScenarioSpec spec =
+        fast_protemp_spec("tenant-" + std::to_string(i));
+    const StatusOr<SessionId> a = first.add(spec);
+    const StatusOr<SessionId> b = second.add(spec);
+    ASSERT_TRUE(a.ok()) << a.status().to_string();
+    ASSERT_TRUE(b.ok());
+    // Same spec name -> same home shard, in any fleet, in any run: the
+    // hash is pinned FNV-1a, not std::hash.
+    EXPECT_EQ(first.shard_of(a.value()).value(),
+              second.shard_of(b.value()).value());
+    EXPECT_EQ(first.shard_of(a.value()).value(),
+              util::fnv1a64(spec.name) % 4);
+  }
+}
+
+TEST(ShardedFleet, AddStepRemove) {
+  ShardedFleet fleet{sync_config(2)};
+  const StatusOr<SessionId> id = fleet.add(fast_protemp_spec("s"), 1);
+  ASSERT_TRUE(id.ok()) << id.status().to_string();
+  EXPECT_EQ(fleet.shard_of(id.value()).value(), 1u);
+  EXPECT_EQ(fleet.size(), 1u);
+  EXPECT_EQ(fleet.sessions_on(1), 1u);
+  EXPECT_EQ(fleet.sessions_on(0), 0u);
+
+  const std::size_t cores =
+      fleet.snapshot(id.value()).value().num_cores;
+  for (std::size_t s = 0; s < 10; ++s) {
+    const StatusOr<ActuationCommand> command =
+        fleet.step(id.value(), frame_at(s, 0.01, cores, 70.0));
+    ASSERT_TRUE(command.ok()) << command.status().to_string();
+    EXPECT_EQ(command->step, s);
+  }
+
+  ASSERT_TRUE(fleet.remove(id.value()).ok());
+  EXPECT_EQ(fleet.size(), 0u);
+  EXPECT_FALSE(fleet.step(id.value(), frame_at(0, 0.01, cores, 70.0)).ok());
+  EXPECT_FALSE(fleet.remove(id.value()).ok());  // NotFound, not a crash
+}
+
+TEST(ShardedFleet, StepShardBatchesUnderOneLock) {
+  ShardedFleet fleet{sync_config(2)};
+  const ScenarioSpec spec = fast_protemp_spec("batch");
+  const SessionId a = fleet.add(spec, 0).value();
+  const SessionId b = fleet.add(spec, 0).value();
+  const SessionId elsewhere = fleet.add(spec, 1).value();
+  const std::size_t cores = fleet.snapshot(a).value().num_cores;
+
+  std::vector<std::pair<SessionId, sim::TelemetryFrame>> batch;
+  batch.emplace_back(a, frame_at(0, 0.01, cores, 70.0));
+  batch.emplace_back(elsewhere, frame_at(0, 0.01, cores, 70.0));
+  batch.emplace_back(b, frame_at(0, 0.01, cores, 70.0));
+  const auto results = fleet.step_shard(0, batch);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());  // wrong shard -> FailedPrecondition
+  EXPECT_TRUE(results[2].ok());
+}
+
+// ---------------------------------------------------------------- migration --
+
+TEST(ShardedFleet, MigrationPreservesControlStateBitwise) {
+  const ScenarioSpec spec = fast_protemp_spec("twin");
+  ShardedFleet migrated{sync_config(2)};
+  ShardedFleet control{sync_config(2)};
+  const SessionId moving = migrated.add(spec, 0).value();
+  const SessionId fixed = control.add(spec, 0).value();
+  const std::size_t cores = control.snapshot(fixed).value().num_cores;
+
+  // Warm both across several DFS windows (5 steps each), then migrate one.
+  for (std::size_t s = 0; s < 12; ++s) {
+    const sim::TelemetryFrame frame = frame_at(s, 0.01, cores, 70.0 + s);
+    ASSERT_TRUE(migrated.step(moving, frame).ok());
+    ASSERT_TRUE(control.step(fixed, frame).ok());
+  }
+  ASSERT_TRUE(migrated.migrate(moving, 1).ok()) << "migrate failed";
+  EXPECT_EQ(migrated.shard_of(moving).value(), 1u);
+  EXPECT_EQ(migrated.migrations(), 1u);
+
+  // Post-migration, the moved session must be indistinguishable from the
+  // one that never moved — including mid-window cadence state.
+  for (std::size_t s = 12; s < 30; ++s) {
+    const sim::TelemetryFrame frame = frame_at(s, 0.01, cores, 70.0 + s);
+    const StatusOr<ActuationCommand> a = migrated.step(moving, frame);
+    const StatusOr<ActuationCommand> b = control.step(fixed, frame);
+    ASSERT_TRUE(a.ok()) << a.status().to_string();
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->frequencies.size(), b->frequencies.size());
+    for (std::size_t c = 0; c < a->frequencies.size(); ++c) {
+      EXPECT_EQ(a->frequencies[c], b->frequencies[c]) << "step " << s;
+    }
+    EXPECT_EQ(a->window_boundary, b->window_boundary) << "step " << s;
+    EXPECT_EQ(a->step, b->step);
+  }
+}
+
+TEST(ShardedFleet, MigrateAsyncSessionLandsLive) {
+  ShardedFleetConfig config;
+  config.shards = 2;
+  config.async_builds = true;
+  ShardedFleet fleet{config};
+  const SessionId id = fleet.add(fast_protemp_spec("async-mig"), 0).value();
+  const std::size_t cores = fleet.snapshot(id).value().num_cores;
+  // Let the source's build land (step until no fallback windows appear),
+  // then migrate: the target must come up live before the restore.
+  for (std::size_t s = 0; s < 200; ++s) {
+    ASSERT_TRUE(fleet.step(id, frame_at(s, 0.01, cores, 70.0)).ok());
+    if (fleet.metrics().builds_pending == 0) break;
+  }
+  ASSERT_TRUE(fleet.migrate(id, 1).ok());
+  EXPECT_EQ(fleet.shard_of(id).value(), 1u);
+  for (std::size_t s = 200; s < 210; ++s) {
+    ASSERT_TRUE(fleet.step(id, frame_at(s, 0.01, cores, 70.0)).ok());
+  }
+  EXPECT_EQ(fleet.metrics().failed, 0u);
+}
+
+TEST(ShardedFleet, MigrateToSameShardIsANoOp) {
+  ShardedFleet fleet{sync_config(2)};
+  const SessionId id = fleet.add(fast_protemp_spec("stay"), 0).value();
+  ASSERT_TRUE(fleet.migrate(id, 0).ok());
+  EXPECT_EQ(fleet.migrations(), 0u);
+  EXPECT_FALSE(fleet.migrate(id, 7).ok());  // out of range
+  EXPECT_FALSE(fleet.migrate(999, 1).ok());  // unknown id
+}
+
+// ------------------------------------------------------------ shard metrics --
+
+TEST(ShardedFleet, ShardMetricsTrackOccupancyAndMigrationTraffic) {
+  ShardedFleet fleet{sync_config(2)};
+  const ScenarioSpec spec = fast_protemp_spec("metrics");
+  const SessionId a = fleet.add(spec, 0).value();
+  const SessionId b = fleet.add(spec, 0).value();
+  (void)b;
+  const std::size_t cores = fleet.snapshot(a).value().num_cores;
+  for (std::size_t s = 0; s < 5; ++s) {
+    ASSERT_TRUE(fleet.step(a, frame_at(s, 0.01, cores, 70.0)).ok());
+  }
+  ASSERT_TRUE(fleet.migrate(a, 1).ok());
+
+  const api::ShardMetrics shard0 = fleet.shard_metrics(0);
+  const api::ShardMetrics shard1 = fleet.shard_metrics(1);
+  EXPECT_EQ(shard0.fleet.sessions, 1u);
+  EXPECT_EQ(shard1.fleet.sessions, 1u);
+  EXPECT_EQ(shard0.migrations_out, 1u);
+  EXPECT_EQ(shard1.migrations_in, 1u);
+  // The migrated session carried its step count to its new shard.
+  EXPECT_EQ(shard1.fleet.steps, 5u);
+  const api::FleetMetrics total = fleet.metrics();
+  EXPECT_EQ(total.sessions, 2u);
+  EXPECT_EQ(total.steps, 5u);
+  EXPECT_EQ(total.failed, 0u);
+}
+
+// ------------------------------------------------------- striped TableCache --
+
+TEST(StripedTableCache, ConcurrentDistinctKeysBuildOnce) {
+  const StatusOr<arch::Platform> platform = api::make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  core::ProTempConfig pro_config;
+  pro_config.minimize_gradient = false;
+  const core::ProTempOptimizer optimizer(platform.value(), pro_config);
+
+  TableCache cache(8);
+  constexpr int kKeys = 16;
+  constexpr int kThreads = 4;
+  std::atomic<int> builds{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int k = 0; k < kKeys; ++k) {
+        const auto table = cache.get_or_build(
+            "key-" + std::to_string(k), [&] {
+              ++builds;
+              return core::FrequencyTable::build(optimizer, {80.0}, {2e8});
+            });
+        EXPECT_NE(table, nullptr);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Striping must not change the dedup guarantee: one build per key, no
+  // matter how many threads raced on it.
+  EXPECT_EQ(builds.load(), kKeys);
+  EXPECT_EQ(cache.builds_completed(), static_cast<std::size_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace protemp

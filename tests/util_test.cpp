@@ -2,6 +2,8 @@
 // table rendering.
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,6 +11,7 @@
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/histogram.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -314,6 +317,131 @@ TEST(ThreadPool, SubmitReturnsResultsAndExceptions) {
 TEST(ThreadPool, RejectsNullJob) {
   ThreadPool pool(1);
   EXPECT_THROW(pool.post(nullptr), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- SplitMix64 --
+
+TEST(SplitMix64, GoldenSequence) {
+  // Reference outputs of the published splitmix64 algorithm for seed 0 —
+  // any change to the mixing constants breaks every Rng seed expansion
+  // and every fleetsim per-tenant seed derivation.
+  SplitMix64 stream(0);
+  EXPECT_EQ(stream.next(), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(stream.next(), 0x6e789e6aa1b965f4ull);
+  EXPECT_EQ(stream.next(), 0x06c45d188009454full);
+}
+
+TEST(SplitMix64, UniformStaysInUnitInterval) {
+  SplitMix64 stream(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = stream.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SeedExpansionIsPinned) {
+  // Bitwise pins of the xoshiro256++-over-SplitMix64 construction. These
+  // values anchor golden traces and fleetsim timelines; they must never
+  // change across refactors of rng.hpp.
+  Rng rng(42);
+  EXPECT_EQ(rng(), 15021278609987233951ull);
+  EXPECT_EQ(rng(), 5881210131331364753ull);
+  EXPECT_EQ(rng(), 18149643915985481100ull);
+  Rng paper_seed(2008);
+  (void)paper_seed.split();
+  EXPECT_EQ(paper_seed(), 10027678923441213292ull);
+  EXPECT_EQ(paper_seed(), 11799548141951418548ull);
+}
+
+// --------------------------------------------------------------- Histogram --
+
+TEST(Histogram, CountMeanMinMaxAreExact) {
+  Histogram histogram;
+  for (const double v : {1e-6, 2e-6, 3e-6, 4e-6}) histogram.record(v);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 2.5e-6);
+  EXPECT_DOUBLE_EQ(histogram.min(), 1e-6);
+  EXPECT_DOUBLE_EQ(histogram.max(), 4e-6);
+}
+
+TEST(Histogram, PercentilesWithinBucketResolution) {
+  Histogram histogram;
+  // 1000 samples spread over two decades.
+  for (int i = 1; i <= 1000; ++i) histogram.record(i * 1e-6);
+  // 8 buckets/octave => bucket edges ~9% apart; allow 10% relative error.
+  EXPECT_NEAR(histogram.percentile(0.5), 500e-6, 50e-6);
+  EXPECT_NEAR(histogram.percentile(0.9), 900e-6, 90e-6);
+  EXPECT_NEAR(histogram.percentile(0.99), 990e-6, 99e-6);
+  // Degenerate percentiles clamp to the observed range.
+  EXPECT_GE(histogram.percentile(0.0), 1e-6);
+  EXPECT_LE(histogram.percentile(1.0), 1000e-6 + 1e-12);
+}
+
+TEST(Histogram, SingleValuePercentilesCollapse) {
+  Histogram histogram;
+  histogram.record(3.3e-3);
+  EXPECT_DOUBLE_EQ(histogram.p50(), 3.3e-3);
+  EXPECT_DOUBLE_EQ(histogram.p99(), 3.3e-3);
+  EXPECT_EQ(Histogram().percentile(0.5), 0.0);  // empty -> 0
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  Histogram left, right, combined;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = i * 1e-5;
+    ((i % 2 == 0) ? left : right).record(v);
+    combined.record(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_DOUBLE_EQ(left.mean(), combined.mean());
+  EXPECT_DOUBLE_EQ(left.percentile(0.9), combined.percentile(0.9));
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+}
+
+TEST(Histogram, MergeRejectsMismatchedGeometry) {
+  Histogram fine(1e-9, 137.0, 8);
+  Histogram coarse(1e-9, 137.0, 4);
+  EXPECT_THROW(fine.merge(coarse), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 0.5, 8), std::invalid_argument);
+}
+
+TEST(Histogram, ClearResetsEverything) {
+  Histogram histogram;
+  histogram.record(1e-3);
+  histogram.record(2e-3);
+  histogram.clear();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(0.99), 0.0);
+}
+
+TEST(Histogram, NonFiniteSamplesLandInTheFloorBucket) {
+  Histogram histogram;
+  histogram.record(std::numeric_limits<double>::quiet_NaN());
+  histogram.record(-5.0);
+  EXPECT_EQ(histogram.count(), 2u);
+  EXPECT_LE(histogram.percentile(0.99), 1e-9 * 2.0);
+}
+
+// ----------------------------------------------------------------- fnv1a64 --
+
+TEST(Fnv1a64, PinnedReferenceValues) {
+  // Published FNV-1a 64-bit test vectors: the hash is an interchange
+  // format (shard placement, timeline digests), so it is pinned.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a64, StreamingMatchesOneShot) {
+  const std::string text = "tenant-42";
+  std::uint64_t streamed = fnv1a64("");
+  streamed = fnv1a64(text.data(), 6, streamed);
+  streamed = fnv1a64(text.data() + 6, text.size() - 6, streamed);
+  EXPECT_EQ(streamed, fnv1a64(text));
 }
 
 }  // namespace
