@@ -217,6 +217,7 @@ int main(int argc, char** argv) {
         args.get_int("frames", smoke ? 1000 : 2500));
     const double latency_gate = args.get_double("latency-gate", 10.0);
     const double throughput_gate = args.get_double("throughput-gate", 4.0);
+    const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
 
     const api::ScenarioSpec spec = mesh_spec(smoke);
@@ -289,6 +290,7 @@ int main(int argc, char** argv) {
         "throughput_scaling", scaling, "x",
         util::format(">= %.1fx over 1 session", throughput_gate), amortized);
     json.write();
+    if (!stats_out.empty()) json.write_stats(stats_out);
 
     std::printf("gate (a) non-blocking steps: p99 %.0f ns vs steady %.0f ns "
                 "= %.2fx (bar: <= %.1fx): %s\n",

@@ -251,6 +251,7 @@ int main(int argc, char** argv) {
     const double scaling_gate = args.get_double("scaling-gate", 3.0);
     const std::string csv_path =
         args.get_string("csv", "fleetsim_metrics.csv");
+    const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
 
     const api::ScenarioSpec spec = soak_spec(smoke);
@@ -439,6 +440,7 @@ int main(int argc, char** argv) {
     json.add_gated_metric("deterministic_replay", deterministic ? 1.0 : 0.0,
                           "bool", "== 1", deterministic);
     json.write();
+    if (!stats_out.empty()) json.write_stats(stats_out);
     std::printf("# time-series written to %s\n", csv_path.c_str());
 
     std::printf("gate (a) soak size: %zu sessions (bar: >= %s): %s\n",

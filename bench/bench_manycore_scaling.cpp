@@ -293,6 +293,7 @@ int main(int argc, char** argv) {
         args.get_int("step-iters", smoke ? 800 : 4000));
     const auto repeats =
         static_cast<std::size_t>(args.get_int("repeats", smoke ? 2 : 3));
+    const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
 
     struct SizeSpec {
@@ -443,6 +444,7 @@ int main(int argc, char** argv) {
     }
     bench::end_csv();
     json.write();
+    if (!stats_out.empty()) json.write_stats(stats_out);
 
     const bool step_gate = gate_step_speedup >= speedup_bar;
     const bool table_gate = gate_table_speedup >= speedup_bar;

@@ -166,6 +166,7 @@ int main(int argc, char** argv) {
     const auto windows = static_cast<std::size_t>(args.get_int("windows", 60));
     const auto repeats = static_cast<std::size_t>(args.get_int("repeats", 2));
     const double gate = args.get_double("gate", 1.3);
+    const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
 
     std::printf("# ControlSession::step open-loop replay, %zu windows "
@@ -238,6 +239,7 @@ int main(int argc, char** argv) {
                           util::format(">= %.2fx", gate), fast);
     json.add_gated_metric("checksum_drift", drift, "rel", "< 1e-6", agree);
     json.write();
+    if (!stats_out.empty()) json.write_stats(stats_out);
 
     std::printf("command agreement (checksum drift %.2e): %s\n", drift,
                 agree ? "PASS" : "FAIL");

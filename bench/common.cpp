@@ -184,10 +184,14 @@ void JsonReporter::add_gated_metric(const std::string& metric, double value,
 }
 
 bool JsonReporter::write() const {
+  // Write-to-temp + rename so a crash (or two racing benches in one
+  // directory) never leaves a truncated BENCH_*.json for CI to parse:
+  // readers see either the old complete file or the new complete file.
   const std::string path = "BENCH_" + name_ + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (f == nullptr) {
-    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    std::fprintf(stderr, "bench: cannot write %s\n", tmp.c_str());
     return false;
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": [",
@@ -205,10 +209,33 @@ bool JsonReporter::write() const {
     std::fprintf(f, "}");
   }
   std::fprintf(f, "\n  ]\n}\n");
-  const bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
-  std::fclose(f);
-  if (ok) std::printf("# bench metrics written to %s\n", path.c_str());
+  bool ok = std::fflush(f) == 0 && std::ferror(f) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (ok) {
+    std::printf("# bench metrics written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    std::remove(tmp.c_str());
+  }
   return ok;
+}
+
+void JsonReporter::write_stats(const std::string& path) const {
+  util::StatsWriter stats(path);
+  stats.add_text("bench", name_);
+  std::size_t gated = 0;
+  for (const Entry& e : entries_) {
+    // Metric names become stats keys directly (bench metric names use the
+    // same [A-Za-z0-9_.-] alphabet StatsWriter validates).
+    stats.add(e.metric, e.value);
+    if (!e.gate.empty()) {
+      stats.add_count(e.metric + ".pass", e.pass ? 1 : 0);
+      ++gated;
+    }
+  }
+  stats.add_count("gated_metrics", gated);
+  stats.commit();
 }
 
 }  // namespace protemp::bench

@@ -95,9 +95,15 @@ class JsonReporter {
                         const std::string& unit, const std::string& gate,
                         bool pass);
 
-  /// Writes BENCH_<name>.json (overwriting); prints the path on success.
+  /// Writes BENCH_<name>.json atomically (temp file + rename, so readers
+  /// never observe a truncated artifact); prints the path on success.
   /// Returns false (with a message on stderr) on I/O failure.
   bool write() const;
+
+  /// Writes the same entries as a util::StatsWriter `key = value` file for
+  /// the e2e harness: one `<metric> = <value>` line per metric, plus
+  /// `<metric>.pass` (0/1) for gated ones. Throws on I/O failure.
+  void write_stats(const std::string& path) const;
 
  private:
   struct Entry {

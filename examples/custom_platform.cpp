@@ -4,9 +4,11 @@
 // whole Pro-Temp pipeline on it declaratively: policies by name, scenario
 // through ScenarioRunner, guarantee checked.
 //
-//   ./custom_platform [--tmax=85] [--duration=20] [--list-policies]
+//   ./custom_platform [--tmax=85] [--duration=20]
+//                     [--stats-out=stats.txt] [--list-policies]
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "api/protemp.hpp"
 
@@ -64,7 +66,12 @@ int main(int argc, char** argv) {
     }
     const double tmax = args.get_double("tmax", 85.0);  // embedded limit
     const double duration = args.get_double("duration", 20.0);
+    const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
+
+    // Fail fast on an unwritable stats path, before any table build.
+    std::optional<util::StatsWriter> stats;
+    if (!stats_out.empty()) stats.emplace(stats_out);
 
     api::ScenarioSpec spec;
     spec.name = "quad-soc-soak";
@@ -104,6 +111,25 @@ int main(int argc, char** argv) {
                 util::to_ms(result.metrics.mean_waiting_time()));
     const bool safe = result.metrics.max_temp_seen() <= tmax + 1e-3;
     std::printf("guarantee check: %s\n", safe ? "PASS" : "FAIL");
+
+    if (stats) {
+      stats->add_text("scenario", spec.name);
+      stats->add_text("platform", report->platform_name);
+      stats->add_text("policy", report->dfs_policy);
+      stats->add("tmax_degc", tmax);
+      stats->add_count("trace_tasks", report->trace_tasks);
+      stats->add_count("tasks_admitted", result.tasks_admitted);
+      stats->add_count("tasks_completed", result.tasks_completed);
+      stats->add("max_temp_degc", result.metrics.max_temp_seen());
+      stats->add("violation_fraction", result.metrics.violation_fraction());
+      stats->add("mean_waiting_ms",
+                 util::to_ms(result.metrics.mean_waiting_time()));
+      stats->add("mean_frequency_mhz", util::to_mhz(result.mean_frequency));
+      stats->add("energy_joules", result.metrics.total_energy_joules());
+      stats->add_count("guarantee_pass", safe ? 1 : 0);
+      stats->add("wall_seconds", report->wall_seconds);
+      stats->commit();
+    }
     return safe ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

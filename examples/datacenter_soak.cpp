@@ -5,9 +5,11 @@
 // canonical spec persisted next to the results for reproducibility.
 //
 //   ./datacenter_soak [--minutes=2] [--seed=7] [--spec=ops/soak.spec]
-//                     [--spec-out=soak_resolved.spec] [--list-policies]
+//                     [--spec-out=soak_resolved.spec]
+//                     [--stats-out=stats.txt] [--list-policies]
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "api/protemp.hpp"
 
@@ -44,7 +46,12 @@ int main(int argc, char** argv) {
     const std::string spec_path = args.get_string("spec", "");
     const std::string spec_out =
         args.get_string("spec-out", "soak_resolved.spec");
+    const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
+
+    // Fail fast on an unwritable stats path, before any table build.
+    std::optional<util::StatsWriter> stats;
+    if (!stats_out.empty()) stats.emplace(stats_out);
 
     // -- declarative scenario ---------------------------------------------
     api::StatusOr<api::ScenarioSpec> parsed =
@@ -63,11 +70,27 @@ int main(int argc, char** argv) {
 
     // Persist the fully-resolved canonical spec: the artifact that makes
     // this run bit-reproducible anywhere (parse -> serialize -> parse is
-    // idempotent).
+    // idempotent). A spec that cannot be persisted is a broken deployment,
+    // not a warning — the run aborts nonzero.
     if (api::Status s = spec.save_file(spec_out); !s.ok()) {
-      std::fprintf(stderr, "warning: %s\n", s.to_string().c_str());
-    } else {
-      std::printf("resolved spec persisted to %s\n", spec_out.c_str());
+      std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    std::printf("resolved spec persisted to %s\n", spec_out.c_str());
+
+    // The canonical-form invariant the persisted artifact relies on.
+    bool spec_roundtrip_ok = false;
+    {
+      const std::string canonical = spec.serialize();
+      api::StatusOr<api::ScenarioSpec> reparsed =
+          api::ScenarioSpec::parse(canonical);
+      spec_roundtrip_ok =
+          reparsed.ok() && reparsed->serialize() == canonical;
+    }
+    if (!spec_roundtrip_ok) {
+      std::fprintf(stderr, "error: resolved spec does not round-trip "
+                           "through parse/serialize\n");
+      return 1;
     }
 
     // -- run ----------------------------------------------------------------
@@ -109,6 +132,31 @@ int main(int argc, char** argv) {
         result.metrics.max_temp_seen() <= spec.sim.tmax + 1e-3;
     std::printf("\nguarantee check: %s\n",
                 safe ? "PASS (never above tmax)" : "FAIL");
+
+    if (stats) {
+      stats->add_text("scenario", spec.name);
+      stats->add_text("policy", report->dfs_policy);
+      stats->add_text("assignment", report->assignment_policy);
+      stats->add_text("platform", report->platform_name);
+      stats->add_count("spec_roundtrip_ok", spec_roundtrip_ok ? 1 : 0);
+      stats->add_count("trace_tasks", report->trace_tasks);
+      stats->add_count("tasks_admitted", result.tasks_admitted);
+      stats->add_count("tasks_completed", result.tasks_completed);
+      stats->add("offered_utilization", report->offered_utilization);
+      stats->add("max_temp_degc", result.metrics.max_temp_seen());
+      stats->add("violation_fraction", result.metrics.violation_fraction());
+      stats->add("band_lt80_fraction", bands[0]);
+      stats->add("band_80_90_fraction", bands[1]);
+      stats->add("band_90_100_fraction", bands[2]);
+      stats->add("band_gt100_fraction", bands[3]);
+      stats->add("mean_waiting_ms",
+                 util::to_ms(result.metrics.mean_waiting_time()));
+      stats->add("mean_gradient_k", result.metrics.mean_spatial_gradient());
+      stats->add("energy_joules", result.metrics.total_energy_joules());
+      stats->add_count("guarantee_pass", safe ? 1 : 0);
+      stats->add("wall_seconds", report->wall_seconds);
+      stats->commit();
+    }
     return safe ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

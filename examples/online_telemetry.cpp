@@ -6,7 +6,8 @@
 // command per sample.
 //
 //   ./online_telemetry [--trace=telemetry.csv] [--policy=pro-temp]
-//                      [--windows=40] [--save=path.csv] [--list-policies]
+//                      [--windows=40] [--save=path.csv]
+//                      [--stats-out=stats.txt] [--list-policies]
 //
 // Without --trace, a synthetic heat-ramp trace is generated, written
 // through workload::save_telemetry, and read back with load_telemetry, so
@@ -14,6 +15,7 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "api/protemp.hpp"
@@ -92,7 +94,12 @@ int main(int argc, char** argv) {
     const std::string save_path = args.get_string("save", "");
     const std::string policy = args.get_string("policy", "pro-temp");
     const auto windows = static_cast<std::size_t>(args.get_int("windows", 40));
+    const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
+
+    // Fail fast on an unwritable stats path, before any table build.
+    std::optional<util::StatsWriter> stats;
+    if (!stats_out.empty()) stats.emplace(stats_out);
 
     // The session is configured like any scenario — but duration, workload
     // and seed are irrelevant: telemetry is ours, not a generator's.
@@ -175,6 +182,26 @@ int main(int argc, char** argv) {
       std::printf(" %4.0f", util::to_mhz(report->final_frequencies[c]));
     }
     std::printf(" MHz\n");
+
+    if (stats) {
+      stats->add_text("policy", (*session)->dfs_policy().name());
+      stats->add_text("platform", (*session)->platform().name());
+      stats->add_count("frames", report->frames);
+      stats->add_count("windows", report->windows);
+      stats->add_count("trips", report->interventions);
+      stats->add("max_core_temp_degc", report->max_core_temp);
+      stats->add("mean_frequency_mhz", util::to_mhz(report->mean_frequency));
+      stats->add("band_90_100_fraction", sink.metrics().band_fractions()[2]);
+      // Bitwise fingerprint of the last window's actuation (presence-only
+      // in cross-build golden comparisons).
+      std::uint64_t digest = util::fnv1a64("");
+      for (std::size_t c = 0; c < report->final_frequencies.size(); ++c) {
+        const double f = report->final_frequencies[c];
+        digest = util::fnv1a64(&f, sizeof(f), digest);
+      }
+      stats->add_digest("final_actuation_digest", digest);
+      stats->commit();
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -8,9 +8,11 @@
 // sequentially — every scenario owns its seed.
 //
 //   ./policy_faceoff [--duration=30] [--seed=2008] [--workload=compute|mixed]
-//                    [--threads=4] [--online] [--list-policies]
+//                    [--threads=4] [--online] [--coarse]
+//                    [--stats-out=stats.txt] [--list-policies]
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "api/protemp.hpp"
@@ -29,7 +31,13 @@ int main(int argc, char** argv) {
     const auto threads =
         static_cast<std::size_t>(args.get_int("threads", 4));
     const bool online = args.get_bool("online", false);
+    const bool coarse = args.get_bool("coarse", false);
+    const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
+
+    // Fail fast on an unwritable stats path, before any table build.
+    std::optional<util::StatsWriter> stats;
+    if (!stats_out.empty()) stats.emplace(stats_out);
 
     std::vector<std::string> policies = {"no-tc", "basic-dfs", "pro-temp"};
     if (online) policies.push_back("pro-temp-online");
@@ -47,7 +55,15 @@ int main(int argc, char** argv) {
       spec.optimizer.minimize_gradient = false;
       spec.dfs_policy = policy;
       if (policy == "pro-temp") {
-        spec.dfs_options.set("tstart-step", 10.0);
+        spec.dfs_options.set("tstart-step", coarse ? 25.0 : 10.0);
+        if (coarse) {
+          spec.dfs_options.set("ftarget-min-mhz", 400.0)
+              .set("ftarget-step-mhz", 300.0);
+        }
+      }
+      if (coarse) {
+        spec.optimizer.dt = 0.8e-3;
+        spec.optimizer.gradient_step_stride = 20;
       }
       specs.push_back(std::move(spec));
     }
@@ -84,6 +100,26 @@ int main(int argc, char** argv) {
     report.render(std::cout, "policy face-off (" + workload + ")");
     std::printf("\nPro-Temp guarantee: max temperature above must be <= "
                 "100 degC; the baselines overshoot.\n");
+
+    if (stats) {
+      stats->add_text("workload", workload);
+      stats->add_count("policies", reports->size());
+      // One key block per policy; policy names are valid key atoms.
+      for (const api::ScenarioReport& r : *reports) {
+        const std::string p = r.dfs_policy + ".";
+        stats->add(p + "max_temp_degc", r.result.metrics.max_temp_seen());
+        stats->add(p + "violation_fraction",
+                   r.result.metrics.violation_fraction());
+        stats->add(p + "mean_waiting_ms",
+                   util::to_ms(r.result.metrics.mean_waiting_time()));
+        stats->add_count(p + "tasks_completed", r.result.tasks_completed);
+        stats->add(p + "energy_joules",
+                   r.result.metrics.total_energy_joules());
+        stats->add(p + "mean_gradient_k",
+                   r.result.metrics.mean_spatial_gradient());
+      }
+      stats->commit();
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -4,9 +4,10 @@
 // the Pro-Temp machinery.
 //
 //   ./thermal_playground [--watts=6] [--heat-ms=500] [--cool-ms=500]
-//                        [--list-policies]
+//                        [--stats-out=stats.txt] [--list-policies]
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "api/protemp.hpp"
 
@@ -23,7 +24,12 @@ int main(int argc, char** argv) {
     const double watts = args.get_double("watts", 6.0);
     const double heat_ms = args.get_double("heat-ms", 500.0);
     const double cool_ms = args.get_double("cool-ms", 500.0);
+    const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
+
+    // Fail fast on an unwritable stats path, before any simulation.
+    std::optional<util::StatsWriter> stats;
+    if (!stats_out.empty()) stats.emplace(stats_out);
 
     // A little 2x2 chip: one hot accelerator, one core, two SRAM banks.
     thermal::Floorplan fp;
@@ -94,6 +100,23 @@ int main(int argc, char** argv) {
                 ss[0], ss[1], ss[2], ss[net.sink_node()]);
     std::printf("Euler vs exact after %.0f ms: |diff| accel = %.4f K\n",
                 heat_ms + cool_ms, std::abs(t_euler[0] - t_exact[0]));
+
+    if (stats) {
+      stats->add_count("nodes", net.num_nodes());
+      stats->add_count("blocks", net.num_blocks());
+      stats->add("final_accel_euler_degc", t_euler[0]);
+      stats->add("final_accel_rk4_degc", t_rk4[0]);
+      stats->add("final_accel_exact_degc", t_exact[0]);
+      stats->add("final_cpu_euler_degc", t_euler[1]);
+      stats->add("final_sram0_euler_degc", t_euler[2]);
+      stats->add("final_sink_euler_degc", t_euler[net.sink_node()]);
+      stats->add("steady_accel_degc", ss[0]);
+      stats->add("steady_cpu_degc", ss[1]);
+      stats->add("steady_sram0_degc", ss[2]);
+      stats->add("steady_sink_degc", ss[net.sink_node()]);
+      stats->add("euler_exact_diff_k", std::abs(t_euler[0] - t_exact[0]));
+      stats->commit();
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

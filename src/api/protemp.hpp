@@ -53,6 +53,7 @@
 #include "workload/trace_io.hpp"    // IWYU pragma: export
 
 #include "util/cli.hpp"          // IWYU pragma: export
+#include "util/stats.hpp"        // IWYU pragma: export
 #include "util/strings.hpp"      // IWYU pragma: export
 #include "util/table.hpp"        // IWYU pragma: export
 #include "util/thread_pool.hpp"  // IWYU pragma: export

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/strings.hpp"
+
 namespace protemp::api {
 
 // ---------------------------------------------------------- construction --
@@ -308,6 +310,12 @@ StatusOr<ReplayReport> replay_telemetry(
     frame.queue_length = record.queue_length;
     frame.backlog_work = record.backlog_work;
     frame.arrived_work_last_window = record.arrived_work_last_window;
+    if (!record.sensor_temps.empty()) {
+      frame.sensor_temps = linalg::Vector(record.sensor_temps.size());
+      for (std::size_t s = 0; s < record.sensor_temps.size(); ++s) {
+        frame.sensor_temps[s] = record.sensor_temps[s];
+      }
+    }
 
     StatusOr<ActuationCommand> command = session.step(frame);
     if (!command.ok()) {
@@ -333,6 +341,51 @@ StatusOr<ReplayReport> replay_telemetry(
     report.mean_frequency = freq_sum / static_cast<double>(report.frames);
   }
   return report;
+}
+
+// -------------------------------------------------- record / replay soak --
+
+std::uint64_t digest_command(std::uint64_t digest,
+                             const ActuationCommand& command) noexcept {
+  for (std::size_t c = 0; c < command.frequencies.size(); ++c) {
+    const double f = command.frequencies[c];
+    digest = util::fnv1a64(&f, sizeof(f), digest);
+  }
+  const unsigned char flags =
+      static_cast<unsigned char>((command.window_boundary ? 1u : 0u) |
+                                 (command.intervened ? 2u : 0u));
+  return util::fnv1a64(&flags, sizeof(flags), digest);
+}
+
+void CommandDigestObserver::on_step(const sim::TelemetryFrame& frame,
+                                    const ActuationCommand& command) {
+  (void)frame;
+  digest_ = digest_command(digest_, command);
+  ++commands_;
+}
+
+void TelemetryRecorder::on_step(const sim::TelemetryFrame& frame,
+                                const ActuationCommand& command) {
+  workload::TelemetryRecord record;
+  record.time = frame.time;
+  record.core_temps.reserve(frame.core_temps.size());
+  for (std::size_t c = 0; c < frame.core_temps.size(); ++c) {
+    record.core_temps.push_back(frame.core_temps[c]);
+  }
+  record.sensor_temps.reserve(frame.sensor_temps.size());
+  for (std::size_t s = 0; s < frame.sensor_temps.size(); ++s) {
+    record.sensor_temps.push_back(frame.sensor_temps[s]);
+  }
+  record.queue_length = frame.queue_length;
+  record.backlog_work = frame.backlog_work;
+  record.arrived_work_last_window = frame.arrived_work_last_window;
+  trace_.push_back(std::move(record));
+  digest_ = digest_command(digest_, command);
+}
+
+void TelemetryRecorder::reset() {
+  trace_.clear();
+  digest_ = 0xcbf29ce484222325ull;
 }
 
 // ------------------------------------------------------------ MetricsSink --

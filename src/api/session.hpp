@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -235,6 +236,52 @@ struct ReplayReport {
 /// order. Stops at the first rejected frame, anchored with its index.
 StatusOr<ReplayReport> replay_telemetry(
     ControlSession& session, const workload::TelemetryTrace& trace);
+
+// -------------------------------------------------- record / replay soak --
+
+/// Folds one actuation command into a streaming FNV-1a digest: the raw
+/// bits of every frequency, plus the window/intervention flags. Two
+/// command streams agree bitwise iff their digests (seeded identically,
+/// e.g. util::fnv1a64("")) agree — the cheap equality check the
+/// record/replay soak gates on.
+std::uint64_t digest_command(std::uint64_t digest,
+                             const ActuationCommand& command) noexcept;
+
+/// Observer that digests the command stream (see digest_command). Attach
+/// to a replaying session and compare against the digest captured from the
+/// live run.
+class CommandDigestObserver final : public SessionObserver {
+ public:
+  void on_step(const sim::TelemetryFrame& frame,
+               const ActuationCommand& command) override;
+
+  std::uint64_t digest() const noexcept { return digest_; }
+  std::size_t commands() const noexcept { return commands_; }
+
+ private:
+  std::uint64_t digest_ = 0xcbf29ce484222325ull;  ///< FNV offset basis
+  std::size_t commands_ = 0;
+};
+
+/// Observer that captures the telemetry a session consumes (as
+/// workload::TelemetryRecords, block sensors included) together with the
+/// command-stream digest. Saving the trace, reloading it and replaying it
+/// through a freshly created session must reproduce the digest bitwise —
+/// that is the telemetry record/replay contract (DESIGN.md §8).
+class TelemetryRecorder final : public SessionObserver {
+ public:
+  void on_step(const sim::TelemetryFrame& frame,
+               const ActuationCommand& command) override;
+
+  const workload::TelemetryTrace& trace() const noexcept { return trace_; }
+  workload::TelemetryTrace take_trace() { return std::move(trace_); }
+  std::uint64_t command_digest() const noexcept { return digest_; }
+  void reset();
+
+ private:
+  workload::TelemetryTrace trace_;
+  std::uint64_t digest_ = 0xcbf29ce484222325ull;
+};
 
 /// Structured metrics accumulation over a session's step stream — the
 /// observer replacement for ad-hoc result bookkeeping in open-loop mode.

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "api/session.hpp"
 #include "fleetsim/event_queue.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace protemp::fleetsim {
 
@@ -19,7 +21,8 @@ struct SharedState {
   explicit SharedState(const FleetSimConfig& config)
       : fleet(make_fleet_config(config)),
         recorder(config.shards, config.deterministic,
-                 config.record_timeline) {}
+                 config.record_timeline),
+        captures(config.record_telemetry ? config.tenants : 0) {}
 
   static api::ShardedFleetConfig make_fleet_config(
       const FleetSimConfig& config) {
@@ -35,6 +38,9 @@ struct SharedState {
   EventQueue queue;
   api::ShardedFleet fleet;
   MetricsRecorder recorder;
+  /// captures[i] is written only by tenant i's thread (sized up front, so
+  /// sibling pushes never reallocate the outer vector).
+  std::vector<std::vector<TelemetryCapture>> captures;
   std::size_t events = 0;
   std::size_t steps = 0;
   std::size_t windows = 0;
@@ -83,6 +89,21 @@ void tenant_main(SharedState& state, const FleetSimConfig& config,
   std::size_t shard = state.fleet.shard_of(id).value();
   state.recorder.record_op(state.queue.now(), index, TenantOp::kCreate, shard);
 
+  // Record/replay capture of the current incarnation (unused buffers when
+  // record_telemetry is off).
+  const bool recording = !state.captures.empty();
+  TelemetryCapture capture;
+  capture.tenant = index;
+  capture.command_digest = util::fnv1a64("");  // FNV offset basis
+  const auto flush_capture = [&state, &capture, index, recording]() {
+    if (!recording) return;
+    state.captures[index].push_back(std::move(capture));
+    capture.trace = {};
+    capture.commands = 0;
+    capture.command_digest = util::fnv1a64("");
+    ++capture.incarnation;
+  };
+
   double session_time = 0.0;
   bool stopped = false;
   for (;;) {
@@ -109,6 +130,21 @@ void tenant_main(SharedState& state, const FleetSimConfig& config,
         ++state.failures;
         failed = true;
         break;
+      }
+      if (recording) {
+        workload::TelemetryRecord record;
+        record.time = frame.time;
+        record.core_temps.reserve(num_cores);
+        for (std::size_t c = 0; c < num_cores; ++c) {
+          record.core_temps.push_back(frame.core_temps[c]);
+        }
+        record.queue_length = frame.queue_length;
+        record.backlog_work = frame.backlog_work;
+        record.arrived_work_last_window = frame.arrived_work_last_window;
+        capture.trace.push_back(std::move(record));
+        capture.command_digest =
+            api::digest_command(capture.command_digest, command.value());
+        ++capture.commands;
       }
       state.recorder.record_step_latency(
           shard, std::chrono::duration<double>(end - begin).count());
@@ -149,6 +185,7 @@ void tenant_main(SharedState& state, const FleetSimConfig& config,
     } else if (draw < config.snapshot_probability +
                           config.migrate_probability +
                           config.recreate_probability) {
+      flush_capture();  // the old incarnation's stream ends at its destroy
       (void)state.fleet.remove(id);
       api::StatusOr<api::SessionId> recreated = state.fleet.add(spec);
       if (!recreated.ok()) {
@@ -171,6 +208,7 @@ void tenant_main(SharedState& state, const FleetSimConfig& config,
     state.recorder.record_op(state.queue.now(), index, TenantOp::kDestroy,
                              shard);
   }
+  flush_capture();  // final incarnation (stopped or destroyed either way)
   state.queue.deregister_actor(actor);
 }
 
@@ -262,6 +300,11 @@ api::StatusOr<FleetSimReport> run_fleet_simulation(
   report.step_latency = state.recorder.merged_latency();
   report.timeline = state.recorder.timeline();
   report.metrics_csv = state.recorder.csv();
+  for (std::vector<TelemetryCapture>& per_tenant : state.captures) {
+    for (TelemetryCapture& capture : per_tenant) {
+      report.captures.push_back(std::move(capture));
+    }
+  }
   report.fleet = state.fleet.metrics();
   return report;
 }

@@ -28,6 +28,7 @@
 #include "fleetsim/arrival.hpp"
 #include "fleetsim/metrics.hpp"
 #include "util/histogram.hpp"
+#include "workload/trace_io.hpp"
 
 namespace protemp::fleetsim {
 
@@ -56,6 +57,24 @@ struct FleetSimConfig {
   std::size_t build_threads_per_shard = 1;
   /// Keep the full op timeline in the report (tests; large for big runs).
   bool record_timeline = false;
+  /// Capture every tenant's telemetry (one TelemetryCapture per session
+  /// incarnation: frames fed + command-stream digest) for the
+  /// record/replay soak. Memory scales with total steps; pair with
+  /// `deterministic` so the captured streams are replayable bitwise.
+  bool record_telemetry = false;
+};
+
+/// One session incarnation's recorded input and output fingerprint. A
+/// fresh session created from the run's session_spec and fed `trace`
+/// open-loop (api::replay_telemetry) must reproduce `command_digest`
+/// bitwise — churn ops (snapshot round-trips, migrations) are
+/// state-preserving, so each incarnation replays from creation.
+struct TelemetryCapture {
+  std::size_t tenant = 0;
+  std::size_t incarnation = 0;  ///< bumped by destroy+recreate churn
+  workload::TelemetryTrace trace;
+  std::uint64_t command_digest = 0;  ///< api::digest_command chain
+  std::size_t commands = 0;
 };
 
 struct FleetSimReport {
@@ -78,6 +97,9 @@ struct FleetSimReport {
   std::vector<TimelineRecord> timeline;
   /// Time-series CSV (see MetricsRecorder for columns).
   std::string metrics_csv;
+  /// Per-incarnation telemetry captures (empty unless
+  /// config.record_telemetry), ordered by (tenant, incarnation).
+  std::vector<TelemetryCapture> captures;
   /// Final fleet aggregate (before teardown).
   api::FleetMetrics fleet;
 };

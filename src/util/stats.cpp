@@ -1,0 +1,128 @@
+#include "util/stats.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace protemp::util {
+
+namespace {
+
+bool valid_key(const std::string& key) {
+  if (key.empty()) return false;
+  for (const char c : key) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '.' && c != '-' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatsWriter::StatsWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) {
+    throw std::runtime_error("stats-out: cannot open " + path);
+  }
+}
+
+void StatsWriter::add_raw(const std::string& key, std::string value) {
+  if (!valid_key(key)) {
+    throw std::invalid_argument("stats: invalid key '" + key + "'");
+  }
+  for (const auto& [existing, unused] : entries_) {
+    (void)unused;
+    if (existing == key) {
+      throw std::invalid_argument("stats: duplicate key '" + key + "'");
+    }
+  }
+  if (value.find('\n') != std::string::npos) {
+    throw std::invalid_argument("stats: value for '" + key +
+                                "' contains a newline");
+  }
+  entries_.emplace_back(key, std::move(value));
+}
+
+void StatsWriter::add(const std::string& key, double value) {
+  add_raw(key, format("%.17g", value));
+}
+
+void StatsWriter::add_count(const std::string& key, std::uint64_t value) {
+  add_raw(key, std::to_string(value));
+}
+
+void StatsWriter::add_digest(const std::string& key, std::uint64_t digest) {
+  add_raw(key, format("%016llx", static_cast<unsigned long long>(digest)));
+}
+
+void StatsWriter::add_text(const std::string& key, const std::string& value) {
+  add_raw(key, value);
+}
+
+void StatsWriter::write(std::ostream& out) const {
+  out << "# protemp stats v1\n";
+  for (const auto& [key, value] : entries_) {
+    out << key << " = " << value << "\n";
+  }
+}
+
+void StatsWriter::commit() {
+  if (path_.empty()) {
+    throw std::runtime_error("stats: commit() without an output path");
+  }
+  write(out_);
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("stats-out: write failed for " + path_);
+  }
+}
+
+const std::string* StatsFile::find(const std::string& key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+StatsFile load_stats(std::istream& in, const std::string& who) {
+  StatsFile out;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::size_t eq = trimmed.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error(who + ": line " + std::to_string(line_number) +
+                               ": expected 'key = value', got '" + line + "'");
+    }
+    std::string key(trim(trimmed.substr(0, eq)));
+    std::string value(trim(trimmed.substr(eq + 1)));
+    if (!valid_key(key)) {
+      throw std::runtime_error(who + ": line " + std::to_string(line_number) +
+                               ": invalid key '" + key + "'");
+    }
+    if (out.find(key) != nullptr) {
+      throw std::runtime_error(who + ": line " + std::to_string(line_number) +
+                               ": duplicate key '" + key + "'");
+    }
+    out.entries.emplace_back(std::move(key), std::move(value));
+  }
+  return out;
+}
+
+StatsFile load_stats_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_stats_file: cannot open " + path);
+  }
+  return load_stats(in, "load_stats_file(" + path + ")");
+}
+
+}  // namespace protemp::util

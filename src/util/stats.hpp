@@ -1,0 +1,73 @@
+// Machine-readable run summaries for the end-to-end harness.
+//
+// Every example and bench accepts `--stats-out=<path>` and, on success,
+// writes its headline metrics as ordered `key = value` lines through a
+// StatsWriter. The e2e harness (tools/harness) launches the binary as a
+// subprocess, loads the file back with load_stats_file, and diffs it
+// against the scenario's golden stats with per-metric tolerances
+// (DESIGN.md §8). Keys are [A-Za-z0-9_.:-]; numeric values are printed with
+// 17 significant digits so a same-binary rerun round-trips bitwise.
+//
+// The output path is opened (created/truncated) at construction, so an
+// unwritable --stats-out fails before any simulation work starts, with an
+// error naming the path — not after minutes of run time.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace protemp::util {
+
+class StatsWriter {
+ public:
+  /// Buffer-only writer (no file); pair with write(std::ostream&).
+  StatsWriter() = default;
+  /// Opens `path` immediately; throws std::runtime_error
+  /// ("stats-out: cannot open <path>") on failure.
+  explicit StatsWriter(const std::string& path);
+
+  /// Doubles print as %.17g; counts as decimal; digests as 16 hex digits.
+  /// Keys must be unique and match [A-Za-z0-9_.:-]+ (throws otherwise —
+  /// a malformed stats file is a harness bug, not a tolerance question).
+  void add(const std::string& key, double value);
+  void add_count(const std::string& key, std::uint64_t value);
+  void add_digest(const std::string& key, std::uint64_t digest);
+  /// Free-text value (single line; no '=' restriction, value is rhs-trimmed
+  /// on load).
+  void add_text(const std::string& key, const std::string& value);
+
+  /// Writes all entries to `out` in insertion order.
+  void write(std::ostream& out) const;
+  /// Writes to the path given at construction and flushes; throws
+  /// std::runtime_error on I/O failure or if no path was given.
+  void commit();
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  void add_raw(const std::string& key, std::string value);
+
+  std::string path_;
+  std::ofstream out_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// A loaded stats file: ordered key/value pairs plus map-style lookup.
+struct StatsFile {
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  /// nullptr when absent.
+  const std::string* find(const std::string& key) const;
+};
+
+/// Parses `key = value` lines ('#' comments and blank lines ignored).
+/// Throws std::runtime_error naming the offending line on malformed input,
+/// and on duplicate keys.
+StatsFile load_stats(std::istream& in, const std::string& who = "load_stats");
+StatsFile load_stats_file(const std::string& path);
+
+}  // namespace protemp::util

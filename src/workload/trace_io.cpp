@@ -107,11 +107,24 @@ void save_telemetry(const TelemetryTrace& trace, std::ostream& out) {
   if (cores == 0) {
     throw std::invalid_argument("save_telemetry: records have no cores");
   }
+  // Sensor columns appear iff any record carries block-sensor readings;
+  // records without them (non-window frames) write empty cells so the
+  // empty-vs-zero distinction survives the round-trip.
+  std::size_t sensors = 0;
+  for (const TelemetryRecord& r : trace) {
+    if (!r.sensor_temps.empty()) {
+      sensors = r.sensor_temps.size();
+      break;
+    }
+  }
   util::CsvWriter csv(out);
   std::vector<std::string> header = {"time", "queue_length", "backlog_work",
                                      "arrived_work"};
   for (std::size_t c = 0; c < cores; ++c) {
     header.push_back("temp" + std::to_string(c));
+  }
+  for (std::size_t s = 0; s < sensors; ++s) {
+    header.push_back("sensor" + std::to_string(s));
   }
   csv.header(header);
   std::vector<std::string> fields;
@@ -120,6 +133,10 @@ void save_telemetry(const TelemetryTrace& trace, std::ostream& out) {
       throw std::invalid_argument(
           "save_telemetry: inconsistent core count across records");
     }
+    if (!r.sensor_temps.empty() && r.sensor_temps.size() != sensors) {
+      throw std::invalid_argument(
+          "save_telemetry: inconsistent sensor count across records");
+    }
     fields.clear();
     fields.push_back(util::format("%.17g", r.time));
     fields.push_back(std::to_string(r.queue_length));
@@ -127,6 +144,13 @@ void save_telemetry(const TelemetryTrace& trace, std::ostream& out) {
     fields.push_back(util::format("%.17g", r.arrived_work_last_window));
     for (const double t : r.core_temps) {
       fields.push_back(util::format("%.17g", t));
+    }
+    if (r.sensor_temps.empty()) {
+      fields.insert(fields.end(), sensors, std::string());
+    } else {
+      for (const double t : r.sensor_temps) {
+        fields.push_back(util::format("%.17g", t));
+      }
     }
     csv.row(fields);
   }
@@ -152,7 +176,20 @@ TelemetryTrace load_telemetry(std::istream& in) {
       header[kTelemetryFixedColumns] != "temp0") {
     throw std::runtime_error("load_telemetry: bad header");
   }
-  const std::size_t cores = header.size() - kTelemetryFixedColumns;
+  // Optional block-sensor columns follow the core temps (see header
+  // comment); the "sensor0" marker splits the tail.
+  std::size_t cores = header.size() - kTelemetryFixedColumns;
+  std::size_t sensors = 0;
+  for (std::size_t i = kTelemetryFixedColumns; i < header.size(); ++i) {
+    if (header[i] == "sensor0") {
+      cores = i - kTelemetryFixedColumns;
+      sensors = header.size() - i;
+      break;
+    }
+  }
+  if (cores == 0) {
+    throw std::runtime_error("load_telemetry: bad header");
+  }
   TelemetryTrace trace;
   while (std::getline(in, line)) {
     ++line_number;
@@ -162,6 +199,18 @@ TelemetryTrace load_telemetry(std::istream& in) {
       malformed("load_telemetry", line_number,
                 "expected " + std::to_string(header.size()) +
                     " fields, got " + std::to_string(fields.size()));
+    }
+    // Sensor cells are all-empty (no block reading on this sample) or
+    // all-present; a partial row is a truncated/mangled file.
+    const std::size_t sensor_base = kTelemetryFixedColumns + cores;
+    std::size_t present = 0;
+    for (std::size_t s = 0; s < sensors; ++s) {
+      if (!fields[sensor_base + s].empty()) ++present;
+    }
+    if (present != 0 && present != sensors) {
+      malformed("load_telemetry", line_number,
+                "partial sensor row: " + std::to_string(present) + " of " +
+                    std::to_string(sensors) + " sensor fields present");
     }
     try {
       TelemetryRecord r;
@@ -173,6 +222,13 @@ TelemetryTrace load_telemetry(std::istream& in) {
       for (std::size_t c = 0; c < cores; ++c) {
         r.core_temps.push_back(
             util::parse_double(fields[kTelemetryFixedColumns + c]));
+      }
+      if (present == sensors && sensors > 0) {
+        r.sensor_temps.reserve(sensors);
+        for (std::size_t s = 0; s < sensors; ++s) {
+          r.sensor_temps.push_back(
+              util::parse_double(fields[sensor_base + s]));
+        }
       }
       trace.push_back(std::move(r));
     } catch (const std::exception& e) {

@@ -3,9 +3,13 @@
 // Task traces — format: header `id,arrival_time,work,benchmark`, one row
 // per task. Telemetry traces (externally captured sensor/load streams, the
 // open-loop input of api::ControlSession) — format: header
-// `time,queue_length,backlog_work,arrived_work,temp0,...,temp{n-1}`, one
-// row per sensor sample; the core count is taken from the header. Both
-// round-trip exactly (doubles printed with 17 significant digits).
+// `time,queue_length,backlog_work,arrived_work,temp0,...,temp{n-1}` with
+// optional trailing `sensor0,...,sensor{m-1}` block-sensor columns, one
+// row per sensor sample; the core and sensor counts are taken from the
+// header. Rows without a block-sensor reading (non-window frames) leave
+// the sensor cells empty, so an empty-vs-zero reading is preserved and a
+// record/replay of a captured run is bitwise. Both formats round-trip
+// exactly (doubles printed with 17 significant digits).
 #pragma once
 
 #include <cstddef>
@@ -32,6 +36,10 @@ TaskTrace load_trace_file(const std::string& path);
 struct TelemetryRecord {
   double time = 0.0;                      ///< [s]
   std::vector<double> core_temps;         ///< per-core readings [degC]
+  /// Per-block sensor readings in floorplan order (sim::TelemetryFrame's
+  /// sensor_temps). Empty when the sample carried none — only DFS-window
+  /// frames do; the distinction is kept through the CSV format.
+  std::vector<double> sensor_temps;
   std::size_t queue_length = 0;
   double backlog_work = 0.0;              ///< [s at fmax]
   double arrived_work_last_window = 0.0;  ///< [s at fmax]
@@ -39,7 +47,8 @@ struct TelemetryRecord {
 
 using TelemetryTrace = std::vector<TelemetryRecord>;
 
-/// All records must have the same (non-zero) core count; throws
+/// All records must have the same (non-zero) core count, and every record
+/// with sensor readings the same sensor count; throws
 /// std::invalid_argument otherwise.
 void save_telemetry(const TelemetryTrace& trace, std::ostream& out);
 void save_telemetry_file(const TelemetryTrace& trace,

@@ -1,0 +1,135 @@
+// CLI-surface e2e tests: every example binary is launched as a real
+// subprocess and its error contract is checked — `--list-policies` works
+// everywhere, unknown flags and unwritable `--stats-out` paths exit
+// nonzero with a recognizable message, and malformed spec files produce
+// line-anchored diagnostics. These are the fast executable-level checks
+// that run in ctest; the full golden-stats suite lives in protemp_harness.
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifndef PROTEMP_BIN_DIR
+#define PROTEMP_BIN_DIR "."
+#endif
+
+namespace {
+
+const std::vector<std::string>& example_binaries() {
+  static const std::vector<std::string> binaries = {
+      "custom_platform", "datacenter_soak",    "online_telemetry",
+      "policy_faceoff",  "thermal_playground", "quickstart"};
+  return binaries;
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Runs `<bin> <args>` with stdout/stderr captured; `args` is a
+/// shell-ready suffix (tests only pass fixed flag strings).
+RunResult run(const std::string& binary, const std::string& args) {
+  const std::string out_path =
+      testing::TempDir() + "e2e_cli_stdout.txt";
+  const std::string err_path =
+      testing::TempDir() + "e2e_cli_stderr.txt";
+  const std::string command = std::string(PROTEMP_BIN_DIR) + "/" + binary +
+                              " " + args + " >'" + out_path + "' 2>'" +
+                              err_path + "'";
+  const int raw = std::system(command.c_str());
+  RunResult result;
+  result.exit_code =
+      raw == -1 ? -1 : (WIFEXITED(raw) ? WEXITSTATUS(raw) : 128);
+  result.out = slurp(out_path);
+  result.err = slurp(err_path);
+  return result;
+}
+
+TEST(E2eCli, ListPoliciesWorksInEveryExample) {
+  for (const std::string& binary : example_binaries()) {
+    const RunResult r = run(binary, "--list-policies");
+    EXPECT_EQ(r.exit_code, 0) << binary << " stderr: " << r.err;
+    EXPECT_NE(r.out.find("pro-temp"), std::string::npos)
+        << binary << " --list-policies output:\n"
+        << r.out;
+  }
+}
+
+TEST(E2eCli, UnknownFlagRejectedByEveryExample) {
+  for (const std::string& binary : example_binaries()) {
+    const RunResult r = run(binary, "--definitely-not-a-flag=1");
+    EXPECT_EQ(r.exit_code, 1) << binary;
+    EXPECT_NE(r.err.find("unknown flag --definitely-not-a-flag"),
+              std::string::npos)
+        << binary << " stderr:\n"
+        << r.err;
+  }
+}
+
+TEST(E2eCli, UnwritableStatsOutFailsFastInEveryExample) {
+  // The stats file is opened before any table build or simulation, so
+  // these runs fail in milliseconds even for the slow examples.
+  for (const std::string& binary : example_binaries()) {
+    const RunResult r =
+        run(binary, "--stats-out=/nonexistent-e2e-dir/stats.txt");
+    EXPECT_EQ(r.exit_code, 1) << binary;
+    EXPECT_NE(r.err.find("stats-out: cannot open"), std::string::npos)
+        << binary << " stderr:\n"
+        << r.err;
+  }
+}
+
+TEST(E2eCli, MalformedSpecIsLineAnchored) {
+  const std::string spec_path = testing::TempDir() + "e2e_bad.spec";
+  {
+    std::ofstream out(spec_path);
+    out << "name = bad-spec\n"
+        << "platform = niagara8\n"
+        << "this line has no equals sign\n";
+  }
+  const RunResult r = run("datacenter_soak", "--spec='" + spec_path + "'");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("line 3"), std::string::npos) << r.err;
+}
+
+TEST(E2eCli, UnknownSpecKeyIsLineAnchored) {
+  const std::string spec_path = testing::TempDir() + "e2e_bad_key.spec";
+  {
+    std::ofstream out(spec_path);
+    out << "name = bad-key-spec\n"
+        << "turbo_mode = yes\n";
+  }
+  const RunResult r = run("datacenter_soak", "--spec='" + spec_path + "'");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("line 2"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("turbo_mode"), std::string::npos) << r.err;
+}
+
+TEST(E2eCli, StatsOutWritesParsableStats) {
+  // One cheap end-to-end pass through the StatsWriter contract from a real
+  // binary: header line, key = value shape, a known key present.
+  const std::string stats_path = testing::TempDir() + "e2e_tp_stats.txt";
+  const RunResult r =
+      run("thermal_playground", "--stats-out='" + stats_path + "'");
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  const std::string stats = slurp(stats_path);
+  EXPECT_NE(stats.find("# protemp stats v1"), std::string::npos);
+  EXPECT_NE(stats.find("steady_accel_degc = "), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,302 @@
+// Telemetry record/replay soak at test scale.
+//
+// Contract under test (the deployment-critical one): a ControlSession is a
+// deterministic function of its telemetry stream. Recording a live
+// session's input with api::TelemetryRecorder, round-tripping it through
+// the workload::trace_io CSV format, and replaying it open-loop into a
+// fresh session must reproduce the recorded command stream bitwise
+// (api::digest_command chain) — for every canonical scenario shape, and
+// for every session incarnation of a churning fleetsim run.
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/protemp.hpp"
+#include "fleetsim/tenant.hpp"
+
+namespace {
+
+using namespace protemp;
+
+/// Coarse solver knobs (tests/golden_test.cpp's coarse grid) so pro-temp
+/// sessions build their Phase-1 table in well under a second.
+void coarse_solver(api::ScenarioSpec& spec) {
+  if (spec.dfs_policy == "pro-temp") {
+    spec.dfs_options.set("tstart-step", 25.0)
+        .set("ftarget-min-mhz", 400.0)
+        .set("ftarget-step-mhz", 300.0);
+  }
+  spec.optimizer.dt = 0.8e-3;
+  spec.optimizer.gradient_step_stride = 20;
+}
+
+struct Shape {
+  std::string name;
+  api::ScenarioSpec spec;
+  bool with_sensors = false;  ///< sensor columns on window-boundary frames
+};
+
+/// The five canonical niagara shapes plus one mesh scenario (mirrors the
+/// golden suite's scenario list; shapes differ in policy, platform and
+/// optimizer configuration, which is what replay determinism must survive).
+std::vector<Shape> canonical_shapes() {
+  std::vector<Shape> shapes;
+  {
+    Shape s;
+    s.name = "basic-dfs-mixed";
+    s.spec.dfs_policy = "basic-dfs";
+    s.spec.workload = "mixed";
+    shapes.push_back(std::move(s));
+  }
+  {
+    Shape s;
+    s.name = "no-tc-compute";
+    s.spec.dfs_policy = "no-tc";
+    s.spec.workload = "compute";
+    shapes.push_back(std::move(s));
+  }
+  {
+    Shape s;
+    s.name = "pro-temp-mixed";
+    s.spec.dfs_policy = "pro-temp";
+    coarse_solver(s.spec);
+    s.with_sensors = true;
+    shapes.push_back(std::move(s));
+  }
+  {
+    Shape s;
+    s.name = "pro-temp-uniform";
+    s.spec.dfs_policy = "pro-temp";
+    s.spec.optimizer.uniform_frequency = true;
+    coarse_solver(s.spec);
+    shapes.push_back(std::move(s));
+  }
+  {
+    Shape s;
+    s.name = "pro-temp-online";
+    s.spec.dfs_policy = "pro-temp-online";
+    s.spec.optimizer.dt = 0.8e-3;
+    s.spec.optimizer.gradient_step_stride = 20;
+    s.with_sensors = true;
+    shapes.push_back(std::move(s));
+  }
+  {
+    Shape s;
+    s.name = "mesh-online";
+    s.spec.platform = "mesh:4x4";
+    s.spec.dfs_policy = "pro-temp-online";
+    s.spec.optimizer.dt = 0.8e-3;
+    s.spec.optimizer.gradient_step_stride = 20;
+    s.spec.optimizer.minimize_gradient = false;
+    shapes.push_back(std::move(s));
+  }
+  return shapes;
+}
+
+/// Deterministic synthetic telemetry: a per-shape heat ramp plus load
+/// surge, `samples` records at the session's dt. Window-boundary frames
+/// optionally carry sensor temps (exercising the CSV format's
+/// empty-vs-present sensor cells).
+workload::TelemetryTrace synthetic_trace(const api::ControlSession& session,
+                                         double dt, std::size_t samples,
+                                         std::size_t samples_per_window,
+                                         bool with_sensors,
+                                         std::size_t shape_index) {
+  const std::size_t cores = session.num_cores();
+  workload::TelemetryTrace trace;
+  trace.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    workload::TelemetryRecord r;
+    r.time = static_cast<double>(i) * dt;
+    const double phase =
+        static_cast<double>(i) / static_cast<double>(samples);
+    const double ramp =
+        48.0 + 40.0 * phase + 2.0 * static_cast<double>(shape_index);
+    for (std::size_t c = 0; c < cores; ++c) {
+      r.core_temps.push_back(ramp + 2.5 * std::sin(0.13 * double(i) +
+                                                   0.7 * double(c)));
+    }
+    const double surge = 0.5 + 0.5 * std::sin(3.14159 * phase);
+    r.queue_length = static_cast<std::size_t>(1.0 + 5.0 * surge);
+    r.backlog_work = 0.15 + 0.3 * surge;
+    r.arrived_work_last_window = 0.1 + 0.2 * surge;
+    if (with_sensors && (i + 1) % samples_per_window == 0) {
+      // Sensors read slightly cooler than cores (a sensor-placement model
+      // stand-in); only these frames have sensor cells in the CSV.
+      for (std::size_t c = 0; c < cores; ++c) {
+        r.sensor_temps.push_back(r.core_temps[c] - 0.4);
+      }
+    }
+    trace.push_back(std::move(r));
+  }
+  return trace;
+}
+
+/// Replays `trace` into a fresh session for `spec`, returning the command
+/// digest/count. Fails the current test on any Status error.
+std::pair<std::uint64_t, std::size_t> replay_digest(
+    const api::ScenarioSpec& spec, const workload::TelemetryTrace& trace,
+    api::TableCache* cache, workload::TelemetryTrace* recorded = nullptr) {
+  api::CommandDigestObserver digest;
+  api::TelemetryRecorder recorder;
+  api::SessionConfig config;
+  config.table_cache = cache;
+  config.observers.push_back(&digest);
+  if (recorded != nullptr) config.observers.push_back(&recorder);
+  auto session = api::ControlSession::create(spec, config);
+  EXPECT_TRUE(session.ok()) << session.status().to_string();
+  if (!session.ok()) return {0, 0};
+  auto report = api::replay_telemetry(**session, trace);
+  EXPECT_TRUE(report.ok()) << report.status().to_string();
+  if (recorded != nullptr) *recorded = recorder.take_trace();
+  return {digest.digest(), digest.commands()};
+}
+
+TEST(ReplaySoak, CsvRoundTripReplaysBitwiseForCanonicalShapes) {
+  api::TableCache cache;
+  std::size_t shape_index = 0;
+  for (const Shape& shape : canonical_shapes()) {
+    SCOPED_TRACE(shape.name);
+    api::ScenarioSpec spec = shape.spec;
+    spec.name = "replay-" + shape.name;
+    spec.sim.dt = 0.01;
+    spec.sim.dfs_period = 0.1;  // 10 samples per window
+
+    // Live run: feed the synthetic trace, record what the session saw and
+    // what it commanded.
+    api::SessionConfig probe_config;
+    probe_config.table_cache = &cache;
+    auto probe = api::ControlSession::create(spec, probe_config);
+    ASSERT_TRUE(probe.ok()) << probe.status().to_string();
+    const workload::TelemetryTrace input = synthetic_trace(
+        **probe, spec.sim.dt, /*samples=*/40, /*samples_per_window=*/10,
+        shape.with_sensors, shape_index++);
+
+    workload::TelemetryTrace recorded;
+    const auto [live_digest, live_commands] =
+        replay_digest(spec, input, &cache, &recorded);
+    ASSERT_EQ(live_commands, input.size());
+    ASSERT_EQ(recorded.size(), input.size());
+
+    // The recorder captured the session's own view of the stream; its CSV
+    // round trip must be bitwise (including empty-vs-present sensor cells).
+    std::stringstream csv;
+    workload::save_telemetry(recorded, csv);
+    const workload::TelemetryTrace loaded = workload::load_telemetry(csv);
+    ASSERT_EQ(loaded.size(), recorded.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+      EXPECT_EQ(loaded[i].time, recorded[i].time) << "record " << i;
+      EXPECT_EQ(loaded[i].core_temps, recorded[i].core_temps)
+          << "record " << i;
+      EXPECT_EQ(loaded[i].sensor_temps, recorded[i].sensor_temps)
+          << "record " << i;
+      EXPECT_EQ(loaded[i].queue_length, recorded[i].queue_length);
+      EXPECT_EQ(loaded[i].backlog_work, recorded[i].backlog_work);
+      EXPECT_EQ(loaded[i].arrived_work_last_window,
+                recorded[i].arrived_work_last_window);
+    }
+
+    // Replaying the loaded CSV into a fresh session reproduces the live
+    // command stream bitwise.
+    const auto [replayed_digest, replayed_commands] =
+        replay_digest(spec, loaded, &cache);
+    EXPECT_EQ(replayed_commands, live_commands);
+    EXPECT_EQ(replayed_digest, live_digest);
+  }
+}
+
+TEST(ReplaySoak, FleetsimCapturesReplayBitwise) {
+  fleetsim::FleetSimConfig config;
+  config.tenants = 6;
+  config.duration = 60.0;
+  config.sample_period = 30.0;
+  config.arrival.mean_period = 5.0;  // ~12 events per tenant
+  config.shards = 2;
+  config.seed = 2008;
+  config.deterministic = true;
+  config.record_telemetry = true;
+  config.recreate_probability = 0.05;  // force incarnation churn
+  config.session_spec.dfs_policy = "pro-temp";
+  coarse_solver(config.session_spec);
+
+  auto report = fleetsim::run_fleet_simulation(config);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  ASSERT_EQ(report->failures, 0u);
+  ASSERT_FALSE(report->captures.empty());
+  EXPECT_GT(report->steps, 0u);
+
+  // Every incarnation's capture replays to its recorded digest.
+  api::TableCache cache;
+  std::size_t total_commands = 0;
+  for (const fleetsim::TelemetryCapture& capture : report->captures) {
+    SCOPED_TRACE("tenant " + std::to_string(capture.tenant) +
+                 " incarnation " + std::to_string(capture.incarnation));
+    api::ScenarioSpec spec = config.session_spec;
+    spec.name = "capture-replay";
+    const auto [digest, commands] =
+        replay_digest(spec, capture.trace, &cache);
+    EXPECT_EQ(commands, capture.commands);
+    EXPECT_EQ(digest, capture.command_digest);
+    total_commands += commands;
+  }
+  EXPECT_EQ(total_commands, report->steps);
+
+  // A second identical run produces the identical capture set.
+  auto again = fleetsim::run_fleet_simulation(config);
+  ASSERT_TRUE(again.ok()) << again.status().to_string();
+  ASSERT_EQ(again->captures.size(), report->captures.size());
+  for (std::size_t i = 0; i < report->captures.size(); ++i) {
+    EXPECT_EQ(again->captures[i].tenant, report->captures[i].tenant);
+    EXPECT_EQ(again->captures[i].incarnation,
+              report->captures[i].incarnation);
+    EXPECT_EQ(again->captures[i].commands, report->captures[i].commands);
+    EXPECT_EQ(again->captures[i].command_digest,
+              report->captures[i].command_digest);
+  }
+  EXPECT_EQ(again->timeline_digest, report->timeline_digest);
+}
+
+TEST(ReplaySoak, RecreateChurnStartsNewIncarnations) {
+  fleetsim::FleetSimConfig config;
+  config.tenants = 4;
+  config.duration = 80.0;
+  config.sample_period = 40.0;
+  config.arrival.mean_period = 4.0;  // ~20 events per tenant
+  config.shards = 1;
+  config.seed = 7;
+  config.deterministic = true;
+  config.record_telemetry = true;
+  config.snapshot_probability = 0.0;
+  config.migrate_probability = 0.0;
+  config.recreate_probability = 0.35;  // heavy churn
+  config.session_spec.dfs_policy = "basic-dfs";  // cheap sessions
+
+  auto report = fleetsim::run_fleet_simulation(config);
+  ASSERT_TRUE(report.ok()) << report.status().to_string();
+  ASSERT_EQ(report->failures, 0u);
+  // With 35% per-event recreate odds over ~minutes of events, at least one
+  // tenant must have churned (seeded run: this is deterministic, not flaky).
+  EXPECT_GT(report->recreates, 0u);
+  EXPECT_EQ(report->captures.size(), config.tenants + report->recreates);
+  // Incarnation indices are dense per tenant and each capture replays to
+  // its own digest from a fresh session (recorded state never leaks across
+  // the destroy/create boundary).
+  std::vector<std::size_t> next_incarnation(config.tenants, 0);
+  api::TableCache cache;
+  for (const fleetsim::TelemetryCapture& capture : report->captures) {
+    ASSERT_LT(capture.tenant, config.tenants);
+    EXPECT_EQ(capture.incarnation, next_incarnation[capture.tenant]++);
+    api::ScenarioSpec spec = config.session_spec;
+    spec.name = "churn-replay";
+    const auto [digest, commands] =
+        replay_digest(spec, capture.trace, &cache);
+    EXPECT_EQ(commands, capture.commands);
+    EXPECT_EQ(digest, capture.command_digest);
+  }
+}
+
+}  // namespace

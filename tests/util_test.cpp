@@ -14,6 +14,7 @@
 #include "util/histogram.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -442,6 +443,55 @@ TEST(Fnv1a64, StreamingMatchesOneShot) {
   streamed = fnv1a64(text.data(), 6, streamed);
   streamed = fnv1a64(text.data() + 6, text.size() - 6, streamed);
   EXPECT_EQ(streamed, fnv1a64(text));
+}
+
+// ------------------------------------------------------------------- stats --
+
+TEST(Stats, WriteThenLoadRoundTripsInOrder) {
+  StatsWriter writer;
+  writer.add("max_temp_degc", 99.123456789012345);
+  writer.add_count("tasks_completed", 42);
+  writer.add_digest("result_digest", 0xdeadbeefull);
+  writer.add_text("policy", "pro-temp");
+  writer.add("mesh:8x8.step_speedup", 5.0);  // ':' is a legal key char
+  std::stringstream stream;
+  writer.write(stream);
+
+  const StatsFile loaded = load_stats(stream, "test");
+  ASSERT_EQ(loaded.entries.size(), 5u);
+  EXPECT_EQ(loaded.entries[0].first, "max_temp_degc");  // insertion order
+  ASSERT_NE(loaded.find("max_temp_degc"), nullptr);
+  EXPECT_EQ(std::stod(*loaded.find("max_temp_degc")), 99.123456789012345);
+  EXPECT_EQ(*loaded.find("tasks_completed"), "42");
+  EXPECT_EQ(*loaded.find("result_digest"), "00000000deadbeef");
+  EXPECT_EQ(*loaded.find("policy"), "pro-temp");
+  EXPECT_EQ(loaded.find("missing"), nullptr);
+}
+
+TEST(Stats, RejectsBadKeysAndDuplicates) {
+  StatsWriter writer;
+  writer.add("ok_key", 1.0);
+  EXPECT_THROW(writer.add("ok_key", 2.0), std::invalid_argument);
+  EXPECT_THROW(writer.add("bad key", 1.0), std::invalid_argument);
+  EXPECT_THROW(writer.add("", 1.0), std::invalid_argument);
+  EXPECT_THROW(writer.add_text("multi", "line\nvalue"),
+               std::invalid_argument);
+}
+
+TEST(Stats, LoaderAnchorsErrorsToLines) {
+  std::stringstream bad("# protemp stats v1\na = 1\nnot-an-assignment\n");
+  try {
+    load_stats(bad, "who");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Stats, UnwritablePathThrowsOnConstruction) {
+  EXPECT_THROW(StatsWriter("/nonexistent-dir/stats.txt"),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,707 @@
+#include "harness.hpp"
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "api/protemp.hpp"
+#include "fleetsim/tenant.hpp"
+
+namespace protemp::harness {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------- scenarios --
+
+namespace {
+
+/// Ops-style spec handed to datacenter_soak --spec: the example's default
+/// deployment, but on the coarse Phase-1 grid and short horizon so the
+/// scenario starts in about a second (tests/golden_test.cpp's coarse
+/// solver, in spec-file vocabulary).
+constexpr const char* kSoakSpec = R"(# harness soak scenario (coarse grid)
+name = harness-soak
+platform = niagara8
+workload = mixed
+dfs = pro-temp
+assignment = coolest-first
+duration = 20
+seed = 7
+sim.tmax = 100
+opt.tmax = 100
+opt.dt = 0.0008
+opt.gradient_step_stride = 20
+opt.minimize_gradient = true
+dfs.tstart-step = 25
+dfs.ftarget-min-mhz = 400
+dfs.ftarget-step-mhz = 300
+)";
+
+}  // namespace
+
+const std::vector<Scenario>& scenario_table() {
+  static const std::vector<Scenario> table = {
+      // -- examples (every binary at least once) --------------------------
+      {"quickstart_coarse", "quickstart", {"--coarse"}, {}, false},
+      {"quickstart_basic_dfs",
+       "quickstart",
+       {"--policy=basic-dfs", "--duration=6"},
+       {},
+       false},
+      {"policy_faceoff_coarse",
+       "policy_faceoff",
+       {"--coarse", "--duration=8", "--threads=2"},
+       {},
+       false},
+      {"online_telemetry", "online_telemetry", {"--windows=12"}, {}, false},
+      {"datacenter_soak_spec",
+       "datacenter_soak",
+       {"--spec=harness_soak.spec"},
+       {{"harness_soak.spec", kSoakSpec}},
+       false},
+      {"custom_platform", "custom_platform", {"--duration=12"}, {}, false},
+      {"thermal_playground", "thermal_playground", {}, {}, false},
+      // -- smoke benches --------------------------------------------------
+      {"bench_manycore_scaling",
+       "bench_manycore_scaling",
+       {"--smoke", "--step-iters=200"},
+       {},
+       true},
+      {"bench_session_step",
+       "bench_session_step",
+       {"--windows=20", "--repeats=2", "--gate=1.1"},
+       {},
+       true},
+      {"bench_fleet", "bench_fleet", {"--smoke"}, {}, true},
+      {"bench_fleetsim",
+       "bench_fleetsim",
+       {"--smoke", "--tenants=64", "--virtual-hours=0.5"},
+       {},
+       true},
+  };
+  return table;
+}
+
+// ------------------------------------------------------------ tolerances --
+
+Tolerance tolerance_for(const std::string& key, bool bench_profile) {
+  using Kind = Tolerance::Kind;
+  const auto has = [&key](const char* needle) {
+    return key.find(needle) != std::string::npos;
+  };
+  // Never value-compare across builds: content fingerprints and wall time.
+  if (has("digest") || has("wall")) return {Kind::kSkip, 0.0};
+  if (bench_profile) {
+    // Bench numerics are timings/speedups on whatever machine ran them;
+    // only the gate verdicts and their count carry cross-run meaning.
+    const bool verdict = key.size() > 5 &&
+                         key.compare(key.size() - 5, 5, ".pass") == 0;
+    if (verdict || key == "gated_metrics" || key == "bench") {
+      return {Kind::kExact, 0.0};
+    }
+    return {Kind::kSkip, 0.0};
+  }
+  if (has("temp") || has("degc") || has("gradient")) {
+    return {Kind::kAbsolute, 0.05};  // degC / K
+  }
+  if (has("frequency")) return {Kind::kAbsolute, 2.0};  // MHz
+  if (has("tasks")) return {Kind::kAbsolute, 1.0};      // count
+  if (has("fraction")) return {Kind::kAbsolute, 2e-3};
+  if (has("waiting")) return {Kind::kAbsolute, 50.0};  // ms
+  if (has("energy")) return {Kind::kRelative, 1e-3};
+  if (has("utilization")) return {Kind::kRelative, 1e-6};
+  // Everything else (counts, flags, text) must match exactly.
+  return {Kind::kExact, 0.0};
+}
+
+// -------------------------------------------------------------- execution --
+
+namespace {
+
+/// Single-quote a token for sh. Tokens are harness-authored (paths and
+/// flags), so this is belt-and-braces, not an injection boundary.
+std::string shell_quote(const std::string& token) {
+  std::string out = "'";
+  for (const char c : token) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+RunOutcome run_scenario(const Scenario& scenario, const std::string& bin_dir,
+                        const std::string& work_root) {
+  const fs::path dir = fs::path(work_root) / scenario.name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);  // stale scratch from an earlier run
+  fs::create_directories(dir);
+  for (const auto& [name, content] : scenario.files) {
+    std::ofstream out(dir / name, std::ios::binary);
+    out << content;
+    if (!out) {
+      throw std::runtime_error("harness: cannot write input file " +
+                               (dir / name).string());
+    }
+  }
+
+  const fs::path binary = fs::path(bin_dir) / scenario.binary;
+  if (!fs::exists(binary)) {
+    throw std::runtime_error("harness: missing binary " + binary.string() +
+                             " (build the default targets first)");
+  }
+  std::string command = "cd " + shell_quote(dir.string()) + " && " +
+                        shell_quote(binary.string());
+  for (const std::string& arg : scenario.args) {
+    command += " " + shell_quote(arg);
+  }
+  command += " --stats-out=stats.txt >stdout.txt 2>stderr.txt";
+
+  const int raw = std::system(command.c_str());
+  RunOutcome outcome;
+  outcome.work_dir = dir.string();
+  outcome.stats_path = (dir / "stats.txt").string();
+  if (raw == -1) {
+    outcome.exit_code = -1;
+  } else if (WIFEXITED(raw)) {
+    outcome.exit_code = WEXITSTATUS(raw);
+  } else {
+    outcome.exit_code = 128;  // killed by signal
+  }
+  return outcome;
+}
+
+bool compare_stats(const Scenario& scenario, const util::StatsFile& fresh,
+                   const util::StatsFile& golden,
+                   std::vector<std::string>& diffs) {
+  using Kind = Tolerance::Kind;
+  const std::size_t before = diffs.size();
+  for (const auto& [key, want] : golden.entries) {
+    const std::string* got = fresh.find(key);
+    if (got == nullptr) {
+      diffs.push_back(key + ": missing from run");
+      continue;
+    }
+    const Tolerance tol = tolerance_for(key, scenario.bench);
+    if (tol.kind == Kind::kSkip) continue;
+    if (tol.kind == Kind::kExact) {
+      if (*got != want) {
+        diffs.push_back(key + ": golden '" + want + "' actual '" + *got +
+                        "' (exact)");
+      }
+      continue;
+    }
+    double want_value = 0.0, got_value = 0.0;
+    try {
+      want_value = std::stod(want);
+      got_value = std::stod(*got);
+    } catch (const std::exception&) {
+      diffs.push_back(key + ": non-numeric value ('" + want + "' vs '" +
+                      *got + "')");
+      continue;
+    }
+    const double bar =
+        tol.kind == Kind::kAbsolute
+            ? tol.value
+            : tol.value * std::max(1.0, std::abs(want_value));
+    if (!(std::abs(got_value - want_value) <= bar)) {
+      diffs.push_back(key + ": golden " + util::format("%.9g", want_value) +
+                      " actual " + util::format("%.9g", got_value) +
+                      " (tol " + util::format("%.3g", bar) + ")");
+    }
+  }
+  for (const auto& [key, value] : fresh.entries) {
+    (void)value;
+    if (golden.find(key) == nullptr) {
+      diffs.push_back(key + ": not in golden file (regen to accept new "
+                            "metrics)");
+    }
+  }
+  return diffs.size() == before;
+}
+
+// ---------------------------------------------------------- golden mode --
+
+int run_golden_mode(const GoldenOptions& options) {
+  const bool regen =
+      options.regen || []() {
+        const char* env = std::getenv("PROTEMP_E2E_REGEN");
+        return env != nullptr && env[0] == '1';
+      }();
+  if (regen) fs::create_directories(options.golden_dir);
+
+  std::size_t ran = 0, failed = 0;
+  for (const Scenario& scenario : scenario_table()) {
+    if (!options.filter.empty() &&
+        scenario.name.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    ++ran;
+    std::printf("[ RUN  ] %s (%s)\n", scenario.name.c_str(),
+                scenario.binary.c_str());
+    std::fflush(stdout);
+    RunOutcome outcome;
+    try {
+      outcome = run_scenario(scenario, options.bin_dir, options.work_root);
+    } catch (const std::exception& e) {
+      std::printf("[ FAIL ] %s: %s\n", scenario.name.c_str(), e.what());
+      ++failed;
+      continue;
+    }
+    if (outcome.exit_code != 0) {
+      std::printf("[ FAIL ] %s: exit code %d (see %s/stderr.txt)\n",
+                  scenario.name.c_str(), outcome.exit_code,
+                  outcome.work_dir.c_str());
+      ++failed;
+      continue;
+    }
+    util::StatsFile fresh;
+    try {
+      fresh = util::load_stats_file(outcome.stats_path);
+    } catch (const std::exception& e) {
+      std::printf("[ FAIL ] %s: %s\n", scenario.name.c_str(), e.what());
+      ++failed;
+      continue;
+    }
+
+    const fs::path golden_path =
+        fs::path(options.golden_dir) / (scenario.name + ".stats");
+    if (regen) {
+      fs::copy_file(outcome.stats_path, golden_path,
+                    fs::copy_options::overwrite_existing);
+      std::printf("[ GEN  ] %s -> %s\n", scenario.name.c_str(),
+                  golden_path.string().c_str());
+      continue;
+    }
+    if (!fs::exists(golden_path)) {
+      std::printf("[ FAIL ] %s: no golden file %s (run with --regen or "
+                  "PROTEMP_E2E_REGEN=1)\n",
+                  scenario.name.c_str(), golden_path.string().c_str());
+      ++failed;
+      continue;
+    }
+    util::StatsFile golden;
+    try {
+      golden = util::load_stats_file(golden_path.string());
+    } catch (const std::exception& e) {
+      std::printf("[ FAIL ] %s: %s\n", scenario.name.c_str(), e.what());
+      ++failed;
+      continue;
+    }
+    std::vector<std::string> diffs;
+    if (compare_stats(scenario, fresh, golden, diffs)) {
+      std::printf("[ OK   ] %s (%zu metrics)\n", scenario.name.c_str(),
+                  golden.entries.size());
+    } else {
+      std::printf("[ FAIL ] %s: %zu metric diff(s)\n", scenario.name.c_str(),
+                  diffs.size());
+      for (const std::string& diff : diffs) {
+        std::printf("         %s\n", diff.c_str());
+      }
+      ++failed;
+    }
+  }
+  if (ran == 0) {
+    std::printf("harness: no scenario matches filter '%s'\n",
+                options.filter.c_str());
+    return 2;
+  }
+  std::printf("harness: %zu scenario(s), %zu failure(s)%s\n", ran, failed,
+              regen ? " [regenerated goldens]" : "");
+  return failed == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------ soak mode --
+
+namespace {
+
+/// The soak's session template: coarse-grid Pro-Temp, the same shape
+/// bench_fleetsim smokes with.
+api::ScenarioSpec soak_session_spec() {
+  api::ScenarioSpec spec;
+  spec.dfs_policy = "pro-temp";
+  spec.dfs_options.set("tstart-step", 25.0)
+      .set("ftarget-min-mhz", 400.0)
+      .set("ftarget-step-mhz", 300.0);
+  spec.optimizer.dt = 0.8e-3;
+  spec.optimizer.gradient_step_stride = 20;
+  spec.optimizer.minimize_gradient = false;
+  return spec;
+}
+
+struct CaptureSignature {
+  std::size_t tenant = 0;
+  std::size_t incarnation = 0;
+  std::size_t commands = 0;
+  std::uint64_t digest = 0;
+  bool operator==(const CaptureSignature&) const = default;
+};
+
+}  // namespace
+
+int run_soak_mode(const SoakOptions& options) {
+  fleetsim::FleetSimConfig config;
+  config.tenants = options.tenants;
+  config.duration = options.virtual_minutes * 60.0;
+  config.sample_period = std::max(30.0, config.duration / 8.0);
+  config.arrival.mean_period = 10.0;  // ~12 events/tenant at 2 minutes
+  config.seed = options.seed;
+  config.shards = options.shards;
+  config.deterministic = true;  // sync builds: replayable command streams
+  config.record_telemetry = true;
+  config.session_spec = soak_session_spec();
+
+  std::vector<std::vector<CaptureSignature>> rounds;
+  std::uint64_t first_timeline_digest = 0;
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    std::printf("soak round %zu/%zu: %zu tenants, %.1f virtual minutes, "
+                "seed %llu...\n",
+                round + 1, options.rounds, options.tenants,
+                options.virtual_minutes,
+                static_cast<unsigned long long>(options.seed));
+    std::fflush(stdout);
+    api::StatusOr<fleetsim::FleetSimReport> report =
+        fleetsim::run_fleet_simulation(config);
+    if (!report.ok()) {
+      std::fprintf(stderr, "soak: %s\n",
+                   report.status().to_string().c_str());
+      return 1;
+    }
+    if (report->failures != 0) {
+      std::fprintf(stderr, "soak: %zu serving failure(s) during record\n",
+                   report->failures);
+      return 1;
+    }
+    if (round == 0) {
+      first_timeline_digest = report->timeline_digest;
+    } else if (report->timeline_digest != first_timeline_digest) {
+      std::fprintf(stderr,
+                   "soak: timeline digest changed between runs "
+                   "(%016llx vs %016llx)\n",
+                   static_cast<unsigned long long>(first_timeline_digest),
+                   static_cast<unsigned long long>(report->timeline_digest));
+      return 1;
+    }
+
+    // Replay every incarnation open-loop through a fresh session; one
+    // shared TableCache so Phase-1 builds once for all replays.
+    api::TableCache replay_cache;
+    std::size_t replayed_commands = 0;
+    std::vector<CaptureSignature> signatures;
+    signatures.reserve(report->captures.size());
+    for (const fleetsim::TelemetryCapture& capture : report->captures) {
+      signatures.push_back({capture.tenant, capture.incarnation,
+                            capture.commands, capture.command_digest});
+      api::CommandDigestObserver digest_observer;
+      api::SessionConfig session_config;
+      session_config.table_cache = &replay_cache;
+      session_config.observers.push_back(&digest_observer);
+      api::ScenarioSpec spec = config.session_spec;
+      spec.name = "replay-" + std::to_string(capture.tenant);
+      api::StatusOr<std::unique_ptr<api::ControlSession>> session =
+          api::ControlSession::create(spec, session_config);
+      if (!session.ok()) {
+        std::fprintf(stderr, "soak: replay session: %s\n",
+                     session.status().to_string().c_str());
+        return 1;
+      }
+      if (api::StatusOr<api::ReplayReport> replay =
+              api::replay_telemetry(**session, capture.trace);
+          !replay.ok()) {
+        std::fprintf(stderr, "soak: replay: %s\n",
+                     replay.status().to_string().c_str());
+        return 1;
+      }
+      if (digest_observer.commands() != capture.commands ||
+          digest_observer.digest() != capture.command_digest) {
+        std::fprintf(
+            stderr,
+            "soak: tenant %zu incarnation %zu: replay diverged "
+            "(recorded %zu commands digest %016llx, replayed %zu "
+            "commands digest %016llx)\n",
+            capture.tenant, capture.incarnation, capture.commands,
+            static_cast<unsigned long long>(capture.command_digest),
+            digest_observer.commands(),
+            static_cast<unsigned long long>(digest_observer.digest()));
+        return 1;
+      }
+      replayed_commands += digest_observer.commands();
+    }
+    std::printf("  %zu capture(s), %zu command(s): every incarnation "
+                "replayed bitwise\n",
+                report->captures.size(), replayed_commands);
+
+    if (!rounds.empty() && signatures != rounds.front()) {
+      std::fprintf(stderr,
+                   "soak: capture set changed between consecutive runs\n");
+      return 1;
+    }
+    rounds.push_back(std::move(signatures));
+  }
+  std::printf("soak: PASS (%zu round(s) bitwise identical)\n",
+              rounds.size());
+  return 0;
+}
+
+// ------------------------------------------------------- trajectory mode --
+
+namespace {
+
+/// Extracts the JSON string value following `"key":` at/after `from`.
+/// Returns npos in `pos` when the key is absent.
+std::string json_string_after(const std::string& text, const std::string& key,
+                              std::size_t from, std::size_t limit,
+                              bool* found = nullptr) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (found != nullptr) *found = at != std::string::npos && at < limit;
+  if (at == std::string::npos || at >= limit) return "";
+  std::size_t open = text.find('"', at + needle.size());
+  std::string out;
+  for (std::size_t i = open + 1; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      out += text[++i];  // good enough for the writer's escape set
+    } else if (text[i] == '"') {
+      return out;
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+double json_number_after(const std::string& text, const std::string& key,
+                         std::size_t from, std::size_t limit) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle, from);
+  if (at == std::string::npos || at >= limit) {
+    throw std::runtime_error("missing numeric field '" + key + "'");
+  }
+  return std::stod(text.substr(at + needle.size()));
+}
+
+struct Band {
+  enum class Kind { kSkip, kMinRel, kMaxRel, kAbs };
+  Kind kind = Kind::kSkip;
+  double value = 0.0;
+};
+
+/// bands.txt: `<bench>.<metric> <kind> <value>` per line, # comments.
+/// Kinds: min-rel (fresh >= base*(1-v)), max-rel (fresh <= base*(1+v)),
+/// abs (|fresh-base| <= v), skip.
+std::map<std::string, Band> load_bands(const std::string& path) {
+  std::map<std::string, Band> bands;
+  std::ifstream in(path);
+  if (!in) return bands;  // no bands file: presence + gate checks only
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed(util::trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream fields(trimmed);
+    std::string key, kind;
+    double value = 0.0;
+    fields >> key >> kind;
+    if (kind != "skip") fields >> value;
+    if (fields.fail()) {
+      throw std::runtime_error(path + ": line " +
+                               std::to_string(line_number) +
+                               ": expected '<bench>.<metric> <kind> "
+                               "[value]', got '" + trimmed + "'");
+    }
+    Band band;
+    if (kind == "skip") {
+      band.kind = Band::Kind::kSkip;
+    } else if (kind == "min-rel") {
+      band.kind = Band::Kind::kMinRel;
+    } else if (kind == "max-rel") {
+      band.kind = Band::Kind::kMaxRel;
+    } else if (kind == "abs") {
+      band.kind = Band::Kind::kAbs;
+    } else {
+      throw std::runtime_error(path + ": line " +
+                               std::to_string(line_number) +
+                               ": unknown band kind '" + kind + "'");
+    }
+    band.value = value;
+    bands[key] = band;
+  }
+  return bands;
+}
+
+}  // namespace
+
+BenchReport parse_bench_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  BenchReport report;
+  try {
+    report.bench = json_string_after(text, "bench", 0, text.size());
+    std::size_t at = text.find("\"metrics\":");
+    if (at == std::string::npos) throw std::runtime_error("no metrics array");
+    while ((at = text.find('{', at + 1)) != std::string::npos) {
+      const std::size_t end = text.find('}', at);
+      if (end == std::string::npos) {
+        throw std::runtime_error("unterminated metric object");
+      }
+      BenchMetric metric;
+      metric.metric = json_string_after(text, "metric", at, end);
+      metric.value = json_number_after(text, "value", at, end);
+      metric.unit = json_string_after(text, "unit", at, end);
+      bool has_gate = false;
+      metric.gate = json_string_after(text, "gate", at, end, &has_gate);
+      if (has_gate) {
+        metric.pass = text.find("\"pass\": true", at) != std::string::npos &&
+                      text.find("\"pass\": true", at) < end;
+      }
+      report.metrics.push_back(std::move(metric));
+      at = end;
+    }
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+  if (report.bench.empty()) {
+    throw std::runtime_error(path + ": missing bench name");
+  }
+  return report;
+}
+
+int run_trajectory_mode(const TrajectoryOptions& options) {
+  const std::map<std::string, Band> bands =
+      load_bands((fs::path(options.baseline_dir) / "bands.txt").string());
+
+  std::vector<std::string> wanted;
+  if (!options.benches.empty()) {
+    std::istringstream list(options.benches);
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      if (!name.empty()) wanted.push_back(name);
+    }
+  }
+  const auto selected = [&wanted](const std::string& bench) {
+    if (wanted.empty()) return true;
+    return std::find(wanted.begin(), wanted.end(), bench) != wanted.end();
+  };
+
+  std::size_t checked = 0, failures = 0;
+  std::vector<fs::path> baselines;
+  if (fs::exists(options.baseline_dir)) {
+    for (const auto& entry : fs::directory_iterator(options.baseline_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 &&
+          entry.path().extension() == ".json" &&
+          selected(name.substr(6, name.size() - 6 - 5))) {
+        baselines.push_back(entry.path());
+      }
+    }
+  }
+  if (baselines.empty()) {
+    std::fprintf(stderr, "trajectory: no matching BENCH_*.json baselines "
+                 "in %s\n", options.baseline_dir.c_str());
+    return 2;
+  }
+  std::sort(baselines.begin(), baselines.end());
+
+  for (const fs::path& baseline_path : baselines) {
+    const fs::path fresh_path =
+        fs::path(options.bench_dir) / baseline_path.filename();
+    ++checked;
+    if (!fs::exists(fresh_path)) {
+      std::printf("[ FAIL ] %s: fresh artifact missing in %s\n",
+                  baseline_path.filename().string().c_str(),
+                  options.bench_dir.c_str());
+      ++failures;
+      continue;
+    }
+    BenchReport base, fresh;
+    try {
+      base = parse_bench_json(baseline_path.string());
+      fresh = parse_bench_json(fresh_path.string());
+    } catch (const std::exception& e) {
+      std::printf("[ FAIL ] %s\n", e.what());
+      ++failures;
+      continue;
+    }
+    std::vector<std::string> diffs;
+    for (const BenchMetric& want : base.metrics) {
+      const BenchMetric* got = nullptr;
+      for (const BenchMetric& m : fresh.metrics) {
+        if (m.metric == want.metric) {
+          got = &m;
+          break;
+        }
+      }
+      if (got == nullptr) {
+        diffs.push_back(want.metric + ": missing from fresh artifact");
+        continue;
+      }
+      if (!got->gate.empty() && !got->pass) {
+        diffs.push_back(want.metric + ": gate '" + got->gate +
+                        "' FAILED (value " +
+                        util::format("%.6g", got->value) + ")");
+      }
+      const auto band = bands.find(base.bench + "." + want.metric);
+      if (band == bands.end() || band->second.kind == Band::Kind::kSkip) {
+        continue;
+      }
+      const double b = want.value, f = got->value, v = band->second.value;
+      bool ok = true;
+      std::string rule;
+      switch (band->second.kind) {
+        case Band::Kind::kMinRel:
+          ok = f >= b * (1.0 - v);
+          rule = util::format(">= baseline %.6g - %.0f%%", b, 100.0 * v);
+          break;
+        case Band::Kind::kMaxRel:
+          ok = f <= b * (1.0 + v);
+          rule = util::format("<= baseline %.6g + %.0f%%", b, 100.0 * v);
+          break;
+        case Band::Kind::kAbs:
+          ok = std::abs(f - b) <= v;
+          rule = util::format("within %.6g of baseline %.6g", v, b);
+          break;
+        case Band::Kind::kSkip:
+          break;
+      }
+      if (!ok) {
+        diffs.push_back(want.metric + ": " +
+                        util::format("%.6g", f) + " violates band (" + rule +
+                        ")");
+      }
+    }
+    if (diffs.empty()) {
+      std::printf("[ OK   ] %s (%zu baseline metric(s))\n",
+                  base.bench.c_str(), base.metrics.size());
+    } else {
+      std::printf("[ FAIL ] %s:\n", base.bench.c_str());
+      for (const std::string& diff : diffs) {
+        std::printf("         %s\n", diff.c_str());
+      }
+      ++failures;
+    }
+  }
+  std::printf("trajectory: %zu bench(es), %zu failure(s)\n", checked,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace protemp::harness

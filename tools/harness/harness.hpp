@@ -1,0 +1,147 @@
+// Executable-level scenario harness (the driver behind protemp_harness).
+//
+// Every example and smoke bench is described by a Scenario: a binary under
+// the build tree, its argument list, and any input files the run needs.
+// The harness launches each scenario as a real subprocess in its own
+// scratch directory, captures stdout/stderr, reads the `--stats-out`
+// summary the binary wrote (util::StatsWriter `key = value` lines), and
+// compares it metric-by-metric against the checked-in golden file in
+// tests/e2e/golden_stats/ — per-metric tolerances, both missing and
+// unexpected keys fatal. PROTEMP_E2E_REGEN=1 (or --regen) rewrites the
+// golden files from the current run instead.
+//
+// Two more modes ride on the same driver:
+//   * soak       — in-process telemetry record/replay: a deterministic
+//                  fleetsim run captures every session incarnation's
+//                  telemetry + command-stream digest; each capture is
+//                  replayed open-loop through a fresh ControlSession and
+//                  must reproduce the digest bitwise, twice.
+//   * trajectory — compares fresh BENCH_*.json artifacts against
+//                  bench/baselines/ snapshots with per-metric bands
+//                  (bench/baselines/bands.txt), failing on regressions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace protemp::harness {
+
+// ------------------------------------------------------------- scenarios --
+
+struct Scenario {
+  std::string name;    ///< golden file stem: <name>.stats
+  std::string binary;  ///< executable name under the build dir
+  std::vector<std::string> args;  ///< without --stats-out (harness adds it)
+  /// Files to materialize in the scratch dir before launch (path, content).
+  std::vector<std::pair<std::string, std::string>> files;
+  /// Bench profile: numeric metrics are timing-dominated, so values are
+  /// checked for presence only; gate verdicts (`*.pass`) stay exact.
+  bool bench = false;
+};
+
+/// The full scenario table: all six examples (several under more than one
+/// configuration) plus the four smoke benches.
+const std::vector<Scenario>& scenario_table();
+
+// ------------------------------------------------------------ tolerances --
+
+struct Tolerance {
+  enum class Kind {
+    kSkip,      ///< presence-only (digests, wall-clock, bench timings)
+    kAbsolute,  ///< |fresh - golden| <= value
+    kRelative,  ///< |fresh - golden| <= value * max(1, |golden|)
+    kExact,     ///< string equality (text metrics, 0/1 flags)
+  };
+  Kind kind = Kind::kExact;
+  double value = 0.0;
+};
+
+/// Per-metric comparison rule, mirroring tests/golden_test.cpp's
+/// tolerance_for (units adjusted: frequencies in MHz, waits in ms). Every
+/// tolerance is far below 1%, so a 1% scenario perturbation trips a named
+/// metric diff rather than sliding under the bar.
+Tolerance tolerance_for(const std::string& key, bool bench_profile);
+
+// -------------------------------------------------------------- execution --
+
+struct RunOutcome {
+  int exit_code = -1;
+  std::string work_dir;    ///< scratch dir the scenario ran in
+  std::string stats_path;  ///< work_dir/stats.txt
+};
+
+/// Creates work_root/<scenario.name>, materializes input files, runs the
+/// binary there with `--stats-out=stats.txt` appended, stdout/stderr
+/// captured to files. Throws std::runtime_error on setup failure.
+RunOutcome run_scenario(const Scenario& scenario, const std::string& bin_dir,
+                        const std::string& work_root);
+
+/// Compares fresh against golden under the scenario's profile. Appends
+/// human-readable "metric: ..." diffs; returns true when clean.
+bool compare_stats(const Scenario& scenario, const util::StatsFile& fresh,
+                   const util::StatsFile& golden,
+                   std::vector<std::string>& diffs);
+
+// ------------------------------------------------------------------ modes --
+
+struct GoldenOptions {
+  std::string bin_dir;
+  std::string golden_dir;
+  std::string work_root;
+  std::string filter;  ///< substring match on scenario names; empty = all
+  bool regen = false;
+};
+
+/// Runs every (filtered) scenario and checks stats against goldens.
+/// Returns a process exit code (0 = all pass).
+int run_golden_mode(const GoldenOptions& options);
+
+struct SoakOptions {
+  std::size_t tenants = 128;
+  double virtual_minutes = 2.0;
+  std::uint64_t seed = 2008;
+  std::size_t shards = 4;
+  /// Repeat the whole record+replay cycle this many times; all runs must
+  /// produce identical capture digests (bitwise run-to-run determinism).
+  std::size_t rounds = 2;
+};
+
+/// In-process record/replay soak (see file comment). Returns exit code.
+int run_soak_mode(const SoakOptions& options);
+
+struct TrajectoryOptions {
+  std::string bench_dir;     ///< directory with fresh BENCH_*.json
+  std::string baseline_dir;  ///< bench/baselines (snapshots + bands.txt)
+  /// Comma-separated exact bench names to check (CI jobs that run only a
+  /// subset of the benches scope the gate with this); empty = all
+  /// baselines, every one required.
+  std::string benches;
+};
+
+/// Gates fresh bench artifacts against baselines. Returns exit code.
+int run_trajectory_mode(const TrajectoryOptions& options);
+
+// ------------------------------------------------- bench JSON (trajectory) --
+
+struct BenchMetric {
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+  std::string gate;  ///< empty = ungated
+  bool pass = true;
+};
+
+struct BenchReport {
+  std::string bench;
+  std::vector<BenchMetric> metrics;
+};
+
+/// Parses the fixed bench::JsonReporter schema (and nothing more general).
+/// Throws std::runtime_error with the path on malformed input.
+BenchReport parse_bench_json(const std::string& path);
+
+}  // namespace protemp::harness

@@ -1,0 +1,92 @@
+// protemp_harness — executable-level golden-stats / soak / trajectory
+// driver (see harness.hpp for the design).
+//
+//   ./protemp_harness                         # golden mode, all scenarios
+//   ./protemp_harness --filter=quickstart     # substring scenario filter
+//   ./protemp_harness --regen                 # rewrite golden stats
+//   PROTEMP_E2E_REGEN=1 ./protemp_harness     # same, via environment
+//   ./protemp_harness --mode=list             # print the scenario table
+//   ./protemp_harness --mode=soak [--tenants=128] [--virtual-minutes=2]
+//                     [--seed=2008] [--rounds=2]
+//   ./protemp_harness --mode=trajectory [--bench-dir=.]
+//
+// Directory defaults are baked in at configure time (PROTEMP_BIN_DIR,
+// PROTEMP_E2E_GOLDEN_DIR, PROTEMP_BENCH_BASELINE_DIR) so the binary works
+// from any cwd; every one is overridable by flag.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "harness.hpp"
+#include "util/cli.hpp"
+
+#ifndef PROTEMP_BIN_DIR
+#define PROTEMP_BIN_DIR "."
+#endif
+#ifndef PROTEMP_E2E_GOLDEN_DIR
+#define PROTEMP_E2E_GOLDEN_DIR "tests/e2e/golden_stats"
+#endif
+#ifndef PROTEMP_BENCH_BASELINE_DIR
+#define PROTEMP_BENCH_BASELINE_DIR "bench/baselines"
+#endif
+
+int main(int argc, char** argv) {
+  using namespace protemp;
+  try {
+    util::CliArgs args(argc, argv);
+    const std::string mode = args.get_string("mode", "golden");
+
+    if (mode == "list") {
+      args.check_unknown();
+      for (const harness::Scenario& s : harness::scenario_table()) {
+        std::string line = s.name + ": " + s.binary;
+        for (const std::string& arg : s.args) line += " " + arg;
+        std::printf("%s%s\n", line.c_str(), s.bench ? "  [bench]" : "");
+      }
+      return 0;
+    }
+
+    if (mode == "golden") {
+      harness::GoldenOptions options;
+      options.bin_dir = args.get_string("bin-dir", PROTEMP_BIN_DIR);
+      options.golden_dir =
+          args.get_string("golden-dir", PROTEMP_E2E_GOLDEN_DIR);
+      options.work_root =
+          args.get_string("workdir", "protemp_e2e_work");
+      options.filter = args.get_string("filter", "");
+      options.regen = args.get_bool("regen", false);
+      args.check_unknown();
+      return harness::run_golden_mode(options);
+    }
+
+    if (mode == "soak") {
+      harness::SoakOptions options;
+      options.tenants =
+          static_cast<std::size_t>(args.get_int("tenants", 128));
+      options.virtual_minutes = args.get_double("virtual-minutes", 2.0);
+      options.seed = static_cast<std::uint64_t>(args.get_int("seed", 2008));
+      options.shards = static_cast<std::size_t>(args.get_int("shards", 4));
+      options.rounds = static_cast<std::size_t>(args.get_int("rounds", 2));
+      args.check_unknown();
+      return harness::run_soak_mode(options);
+    }
+
+    if (mode == "trajectory") {
+      harness::TrajectoryOptions options;
+      options.bench_dir = args.get_string("bench-dir", ".");
+      options.baseline_dir =
+          args.get_string("baseline-dir", PROTEMP_BENCH_BASELINE_DIR);
+      options.benches = args.get_string("benches", "");
+      args.check_unknown();
+      return harness::run_trajectory_mode(options);
+    }
+
+    std::fprintf(stderr,
+                 "harness: unknown --mode=%s (golden|soak|trajectory|list)\n",
+                 mode.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "harness: %s\n", e.what());
+    return 1;
+  }
+}
