@@ -13,6 +13,13 @@
 // thread (preserving the observer threading contract even though the build
 // itself ran on a pool worker).
 //
+// The full fallback chain is cache -> store -> AsyncFallback: when the
+// TableCache has a store::TableStore attached and the key is on disk,
+// get_async returns an already-ready future (a mmap load, not a build),
+// so the session swaps its real table in at the first window boundary and
+// serves zero fallback windows — the warm-restart path. Only a true miss
+// pays fallback windows while the grid of solves runs on the pool.
+//
 // Failure contract: if the builder threw, the swap attempt rethrows from
 // on_window, so the owning session's step() returns a Status at that
 // window boundary (and every later one — the shared future is latched).

@@ -9,7 +9,11 @@
 namespace protemp::api {
 
 SessionFleet::SessionFleet(FleetConfig config)
-    : config_(config), pool_(config.build_threads) {}
+    : config_(config), pool_(config.build_threads) {
+  if (config_.table_store != nullptr) {
+    cache_.attach_store(config_.table_store);
+  }
+}
 
 StatusOr<std::unique_ptr<SessionFleet>> SessionFleet::create(
     const std::vector<ScenarioSpec>& specs, FleetConfig config) {
@@ -159,6 +163,7 @@ ShardedFleet::ShardedFleet(ShardedFleetConfig config) : config_(config) {
       config_.build_threads_per_shard, 1);
   fleet_config.async_builds = config_.async_builds;
   fleet_config.fallback = config_.fallback;
+  fleet_config.table_store = config_.table_store;
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(fleet_config));

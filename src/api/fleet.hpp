@@ -53,6 +53,11 @@ struct FleetConfig {
   bool async_builds = true;
   /// Served while a session's build is in flight (async mode).
   AsyncFallback fallback;
+  /// Persistent table tier (optional): attached to the fleet's TableCache
+  /// so cold starts and restarts load prior builds from disk instead of
+  /// re-solving, and completed builds are written through for the next
+  /// process. See store::TableStore and DESIGN.md §6e.
+  std::shared_ptr<store::TableStore> table_store;
 };
 
 /// Point-in-time aggregate over every session in the fleet.
@@ -168,6 +173,10 @@ struct ShardedFleetConfig {
   std::size_t build_threads_per_shard = 1;
   bool async_builds = true;
   AsyncFallback fallback;
+  /// Shared persistent tier for every shard's TableCache: per-shard
+  /// caches don't share tables in memory, but through the store a table
+  /// built on one shard (or in a previous process) serves them all.
+  std::shared_ptr<store::TableStore> table_store;
 };
 
 /// Per-shard aggregate: the shard fleet's metrics plus migration traffic.

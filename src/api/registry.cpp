@@ -14,6 +14,7 @@
 #include "arch/niagara.hpp"
 #include "core/policies.hpp"
 #include "sim/assignment.hpp"
+#include "store/table_store.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 
@@ -156,10 +157,20 @@ std::shared_ptr<const core::FrequencyTable> TableCache::get_or_build(
   }
   if (build_here) {
     try {
-      promise.set_value(
-          std::make_shared<const core::FrequencyTable>(builder()));
-      std::lock_guard<std::mutex> lock(stripe.mu);
-      ++stripe.builds_completed;
+      // Persistent tier first: a store hit is a load, not a build, so it
+      // satisfies every waiter without touching builds_completed.
+      std::shared_ptr<const core::FrequencyTable> table =
+          try_store_load(key);
+      const bool from_store = table != nullptr;
+      if (!from_store) {
+        table = std::make_shared<const core::FrequencyTable>(builder());
+        store_write_through(key, *table);
+      }
+      promise.set_value(std::move(table));
+      if (!from_store) {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        ++stripe.builds_completed;
+      }
     } catch (...) {
       // Drop the poisoned entry so a later request can retry (a transient
       // failure must not disable this key for the process lifetime);
@@ -190,6 +201,16 @@ TableCache::Future TableCache::get_async(const std::string& key,
     future = promise->get_future().share();
     stripe.cache.emplace(key, future);
   }
+  // Persistent tier, consulted synchronously before the pool: a store
+  // load is milliseconds (mmap + copy) against seconds of solves, and a
+  // warm-restarting session whose future is ready at construction serves
+  // zero fallback windows. `*dispatched` stays false — no build ran, so
+  // the session must not report a TableBuildInfo.
+  if (std::shared_ptr<const core::FrequencyTable> table =
+          try_store_load(key)) {
+    promise->set_value(std::move(table));
+    return future;
+  }
   if (dispatched != nullptr) *dispatched = true;
   // The job owns the builder and promise; `this` must outlive the pool
   // (documented on get_async). Same failure contract as the sync path:
@@ -197,10 +218,11 @@ TableCache::Future TableCache::get_async(const std::string& key,
   // safely capture the stripe reference — stripes are fixed at
   // construction and outlive every pool the cache is used with.
   try {
-    pool.post([&stripe, key, builder = std::move(builder), promise]() {
+    pool.post([this, &stripe, key, builder = std::move(builder), promise]() {
       try {
-        promise->set_value(
-            std::make_shared<const core::FrequencyTable>(builder()));
+        auto table = std::make_shared<const core::FrequencyTable>(builder());
+        store_write_through(key, *table);
+        promise->set_value(std::move(table));
         std::lock_guard<std::mutex> lock(stripe.mu);
         ++stripe.builds_completed;
       } catch (...) {
@@ -232,6 +254,38 @@ std::size_t TableCache::builds_completed() const {
     total += stripe->builds_completed;
   }
   return total;
+}
+
+void TableCache::attach_store(std::shared_ptr<store::TableStore> store) {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<store::TableStore> TableCache::store() const {
+  std::lock_guard<std::mutex> lock(store_mu_);
+  return store_;
+}
+
+std::shared_ptr<const core::FrequencyTable> TableCache::try_store_load(
+    const std::string& key) {
+  const std::shared_ptr<store::TableStore> store = this->store();
+  if (store == nullptr) return nullptr;
+  StatusOr<core::FrequencyTable> loaded = store->load(key);
+  if (!loaded.ok()) return nullptr;  // miss or invalid artifact: build
+  store_hits_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<const core::FrequencyTable>(
+      std::move(loaded).value());
+}
+
+void TableCache::store_write_through(const std::string& key,
+                                     const core::FrequencyTable& table) {
+  const std::shared_ptr<store::TableStore> store = this->store();
+  if (store == nullptr) return;
+  // Best-effort: a full disk or revoked permission must not fail the
+  // build that produced a perfectly good in-memory table.
+  if (store->put(key, table, "written-by = TableCache\n").ok()) {
+    store_writes_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 // ----------------------------------------------------------- registration --
@@ -471,10 +525,7 @@ namespace {
 
 /// Builds the Phase-1 grid for the "pro-temp" table from options, and a
 /// cache key that uniquely identifies the resulting table.
-struct TableGrid {
-  std::vector<double> tstart;
-  std::vector<double> ftarget;
-};
+using TableGrid = TableGridSpec;
 
 StatusOr<TableGrid> table_grid_from(OptionReader& reader,
                                     const PolicyContext& context) {
@@ -502,8 +553,19 @@ StatusOr<TableGrid> table_grid_from(OptionReader& reader,
   return grid;
 }
 
-std::string table_cache_key(const PolicyContext& context,
-                            const TableGrid& grid) {
+}  // namespace
+
+StatusOr<TableGridSpec> table_grid_from_options(const Options& options,
+                                                const PolicyContext& context) {
+  OptionReader reader(options);
+  StatusOr<TableGridSpec> grid = table_grid_from(reader, context);
+  if (!grid.ok()) return grid.status();
+  if (Status s = reader.finish(); !s.ok()) return s;
+  return grid;
+}
+
+std::string table_identity_key(const PolicyContext& context,
+                               const TableGridSpec& grid) {
   const core::ProTempConfig& c = context.optimizer;
   std::string key = context.platform_key.empty() ? context.platform->name()
                                                  : context.platform_key;
@@ -524,6 +586,8 @@ std::string table_cache_key(const PolicyContext& context,
   for (const double f : grid.ftarget) key += util::format("|f%.17g", f);
   return key;
 }
+
+namespace {
 
 PROTEMP_REGISTER_DFS_POLICY(
     "no-tc", [](const PolicyContext&, const Options& options)
@@ -553,7 +617,7 @@ PROTEMP_REGISTER_DFS_POLICY(
       if (!grid.ok()) return grid.status();
       if (Status s = reader.finish(); !s.ok()) return s;
 
-      const std::string key = table_cache_key(context, *grid);
+      const std::string key = table_identity_key(context, *grid);
 
       if (context.build_pool != nullptr && context.table_cache != nullptr) {
         // Async serving path: never build on the calling thread. The

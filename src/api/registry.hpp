@@ -15,6 +15,7 @@
 // from any translation unit that is linked into the final binary.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -33,6 +34,10 @@
 #include "core/optimizer.hpp"
 #include "sim/policies.hpp"
 #include "util/thread_pool.hpp"
+
+namespace protemp::store {
+class TableStore;  // persistent tier (src/store/table_store.hpp)
+}  // namespace protemp::store
 
 namespace protemp::api {
 
@@ -126,8 +131,21 @@ class TableCache {
   }
 
   /// Completed builds this cache ran (sync or async; failed builds
-  /// excluded).
+  /// excluded). A store hit is NOT a build — warm restarts from a
+  /// populated store report builds_completed == 0.
   std::size_t builds_completed() const;
+
+  /// Attaches a persistent tier: memory miss -> store lookup (a hit loads
+  /// in milliseconds and counts under store_hits, not builds_completed);
+  /// builds that do run are written through best-effort (store_writes).
+  /// Both the sync and async paths consult the store, so an async session
+  /// restarting against a populated store gets a ready future and serves
+  /// zero fallback windows. Attach before the first lookup; the store
+  /// must outlive the cache's last operation (a shared_ptr is held).
+  void attach_store(std::shared_ptr<store::TableStore> store);
+  std::shared_ptr<store::TableStore> store() const;
+  std::size_t store_hits() const noexcept { return store_hits_; }
+  std::size_t store_writes() const noexcept { return store_writes_; }
 
  private:
   /// One lock domain: every operation on a key touches exactly its
@@ -140,8 +158,18 @@ class TableCache {
   };
 
   Stripe& stripe_of(const std::string& key);
+  /// Store lookup + counters, shared by the sync and async miss paths;
+  /// nullptr on miss or when no store is attached.
+  std::shared_ptr<const core::FrequencyTable> try_store_load(
+      const std::string& key);
+  void store_write_through(const std::string& key,
+                           const core::FrequencyTable& table);
 
   std::vector<std::unique_ptr<Stripe>> stripes_;
+  mutable std::mutex store_mu_;  ///< guards store_ (counters are atomic)
+  std::shared_ptr<store::TableStore> store_;
+  std::atomic<std::size_t> store_hits_{0};
+  std::atomic<std::size_t> store_writes_{0};
 };
 
 /// Describes one Phase-1 table build that actually ran (cache misses only;
@@ -272,6 +300,25 @@ class PolicyRegistry {
   std::map<std::string, PlatformFactory> platforms_;
   std::map<std::string, PlatformFamily> platform_families_;  ///< by prefix
 };
+
+/// The Phase-1 grid the "pro-temp" factory derives from its options
+/// (tstart-min/max/step, ftarget-min/max/step-mhz), exposed so
+/// out-of-band builders (tools/tablectl) derive bit-identical grids —
+/// and therefore bit-identical store keys — from the same option names.
+struct TableGridSpec {
+  std::vector<double> tstart;   ///< [degC]
+  std::vector<double> ftarget;  ///< [Hz]
+};
+StatusOr<TableGridSpec> table_grid_from_options(const Options& options,
+                                                const PolicyContext& context);
+
+/// Cache/store identity of a Phase-1 table: platform key + every
+/// ProTempConfig field + linalg backend + both grids at full precision.
+/// TableCache keys its memory tier and store::TableStore keys its
+/// artifacts with this exact string, which is what lets a tablectl-built
+/// artifact satisfy a serving session's lookup.
+std::string table_identity_key(const PolicyContext& context,
+                               const TableGridSpec& grid);
 
 /// Convenience wrappers over PolicyRegistry::instance().
 StatusOr<std::unique_ptr<sim::DfsPolicy>> make_dfs_policy(

@@ -59,6 +59,11 @@ class ScenarioRunner {
       std::size_t num_threads = 0) const;
 
   /// The shared Phase-1 table cache (exposed for diagnostics/tests).
+  /// The runner's Phase-1 table cache. Callers may attach a persistent
+  /// store::TableStore tier (TableCache::attach_store) before the first
+  /// run so cold starts reuse artifacts built by earlier processes or
+  /// tools/tablectl — examples/quickstart --table-store wires exactly
+  /// this.
   TableCache& table_cache() const noexcept { return table_cache_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "core/frequency_table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
@@ -14,6 +15,18 @@ namespace {
 void check_grid(const std::vector<double>& grid, const char* what) {
   if (grid.empty()) {
     throw std::invalid_argument(std::string("FrequencyTable: empty ") + what);
+  }
+  // A non-finite grid point poisons every lower_bound the online query
+  // runs (NaN makes the "strictly increasing" comparisons vacuously pass
+  // in some positions), so finiteness is checked point-by-point before
+  // monotonicity — matching the util::parse_double hardening at the spec
+  // boundary, for grids that arrive through any other door.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (!std::isfinite(grid[i])) {
+      throw std::invalid_argument(std::string("FrequencyTable: ") + what +
+                                  " has a non-finite value at index " +
+                                  std::to_string(i));
+    }
   }
   for (std::size_t i = 1; i < grid.size(); ++i) {
     if (!(grid[i] > grid[i - 1])) {

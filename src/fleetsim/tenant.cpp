@@ -7,6 +7,7 @@
 #include "api/registry.hpp"
 #include "api/session.hpp"
 #include "fleetsim/event_queue.hpp"
+#include "store/table_store.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 
@@ -18,20 +19,23 @@ namespace {
 /// mutated only from the granted actor or the observer window (see
 /// MetricsRecorder's header); the fleet is internally synchronized.
 struct SharedState {
-  explicit SharedState(const FleetSimConfig& config)
-      : fleet(make_fleet_config(config)),
+  SharedState(const FleetSimConfig& config,
+              std::shared_ptr<store::TableStore> table_store)
+      : fleet(make_fleet_config(config, std::move(table_store))),
         recorder(config.shards, config.deterministic,
                  config.record_timeline),
         captures(config.record_telemetry ? config.tenants : 0) {}
 
   static api::ShardedFleetConfig make_fleet_config(
-      const FleetSimConfig& config) {
+      const FleetSimConfig& config,
+      std::shared_ptr<store::TableStore> table_store) {
     api::ShardedFleetConfig out;
     out.shards = config.shards;
     out.build_threads_per_shard = config.build_threads_per_shard;
     // Deterministic mode builds synchronously: no wall-clock-dependent
     // fallback windows, every session's first step uses the real table.
     out.async_builds = !config.deterministic;
+    out.table_store = std::move(table_store);
     return out;
   }
 
@@ -250,7 +254,19 @@ api::StatusOr<FleetSimReport> run_fleet_simulation(
   }
   const std::size_t num_cores = platform.value().num_cores();
 
-  SharedState state(config);
+  // Persistent table tier, opened before any thread spawns so a bad path
+  // is a configuration error, not a mid-soak failure.
+  std::shared_ptr<store::TableStore> table_store;
+  if (!config.table_store_dir.empty()) {
+    api::StatusOr<std::shared_ptr<store::TableStore>> opened =
+        store::TableStore::open(config.table_store_dir);
+    if (!opened.ok()) {
+      return opened.status().with_context("fleetsim: table_store_dir");
+    }
+    table_store = std::move(opened).value();
+  }
+
+  SharedState state(config, std::move(table_store));
   state.queue.add_observer(
       config.sample_period, config.sample_period,
       [&state](double scheduled, double) {

@@ -62,6 +62,12 @@ struct FleetSimConfig {
   /// record/replay soak. Memory scales with total steps; pair with
   /// `deterministic` so the captured streams are replayable bitwise.
   bool record_telemetry = false;
+  /// Non-empty: open (creating if needed) a store::TableStore at this
+  /// path and attach it to every shard's TableCache, so a soak restarted
+  /// against the same directory warm-starts every table from disk
+  /// (fleet.builds_completed == 0 on the second run) — the warm-restart
+  /// round `protemp_harness --mode=soak` drives.
+  std::string table_store_dir;
 };
 
 /// One session incarnation's recorded input and output fingerprint. A

@@ -1,0 +1,345 @@
+#include "store/format.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "util/crc32.hpp"
+#include "util/strings.hpp"
+
+namespace protemp::store {
+namespace {
+
+using api::Status;
+using api::StatusOr;
+
+constexpr std::size_t kHeaderBytes = sizeof(TableFileHeader);
+// header_crc covers every field before it in the wire layout.
+constexpr std::size_t kHeaderCrcSpan = offsetof(TableFileHeader, header_crc);
+static_assert(kHeaderCrcSpan == 72, "header_crc must be the trailing field");
+
+std::size_t pad8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+std::size_t bitmap_bytes(std::size_t cells) { return pad8((cells + 7) / 8); }
+
+/// Bytes of one dense cell record: average_frequency, total_power, then
+/// the per-core frequency vector.
+std::size_t cell_record_doubles(std::size_t num_cores) {
+  return 2 + num_cores;
+}
+
+std::size_t payload_size(std::size_t rows, std::size_t cols,
+                         std::size_t num_cores) {
+  return rows * 8 + cols * 8 + bitmap_bytes(rows * cols) +
+         rows * cols * cell_record_doubles(num_cores) * 8;
+}
+
+Status anchored(const std::string& path, const std::string& what) {
+  return Status::invalid_argument(path + ": " + what);
+}
+
+Status check_loaded_grid(const std::string& path, const char* what,
+                         const double* grid, std::size_t n) {
+  // CRCs catch torn bytes, not a buggy writer: grids are re-validated at
+  // open so a NaN or non-monotone axis can never reach an online query.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(grid[i])) {
+      return anchored(path, std::string(what) + " has a non-finite value");
+    }
+    if (i > 0 && !(grid[i] > grid[i - 1])) {
+      return anchored(path,
+                      std::string(what) + " is not strictly increasing");
+    }
+  }
+  return Status();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ save --
+
+api::Status save_table(const core::FrequencyTable& table,
+                       std::string_view metadata, const std::string& path) {
+  const std::size_t rows = table.rows();
+  const std::size_t cols = table.cols();
+  const std::size_t cores = table.num_cores();
+
+  const std::size_t meta_padded = pad8(metadata.size());
+  const std::size_t payload_bytes = payload_size(rows, cols, cores);
+
+  TableFileHeader header{};
+  std::memcpy(header.magic, kTableMagic, sizeof(kTableMagic));
+  header.version = kTableFormatVersion;
+  header.num_cores32 = static_cast<std::uint32_t>(cores);
+  header.rows = rows;
+  header.cols = cols;
+  header.meta_offset = kHeaderBytes;
+  header.meta_bytes = metadata.size();
+  header.payload_offset = kHeaderBytes + meta_padded;
+  header.payload_bytes = payload_bytes;
+
+  // Assemble the payload in memory: grids, feasibility bitmap, dense cells.
+  std::vector<unsigned char> payload(payload_bytes, 0);
+  unsigned char* p = payload.data();
+  std::memcpy(p, table.tstart_grid().data(), rows * 8);
+  p += rows * 8;
+  std::memcpy(p, table.ftarget_grid().data(), cols * 8);
+  p += cols * 8;
+  unsigned char* bitmap = p;
+  p += bitmap_bytes(rows * cols);
+  double* cell = reinterpret_cast<double*>(p);
+  const std::size_t record = cell_record_doubles(cores);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t idx = r * cols + c;
+      const auto& entry = table.cell(r, c);
+      double* out = cell + idx * record;
+      if (entry) {
+        bitmap[idx / 8] |= static_cast<unsigned char>(1u << (idx % 8));
+        out[0] = entry->average_frequency;
+        out[1] = entry->total_power;
+        for (std::size_t k = 0; k < cores; ++k) {
+          out[2 + k] = entry->frequencies[k];
+        }
+      }
+    }
+  }
+
+  header.meta_crc =
+      util::crc32(metadata.data(), metadata.size());
+  header.payload_crc = util::crc32(payload.data(), payload.size());
+  header.header_crc = util::crc32(&header, kHeaderCrcSpan);
+
+  // Unique temp name: concurrent writers (threads or processes) must never
+  // interleave bytes into one temp file; rename() then publishes whichever
+  // complete artifact lands last.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = util::format(
+      "%s.%d.%llu.tmp", path.c_str(), static_cast<int>(::getpid()),
+      static_cast<unsigned long long>(
+          counter.fetch_add(1, std::memory_order_relaxed)));
+
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::invalid_argument("save_table: cannot open " + tmp +
+                                    " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(&header), kHeaderBytes);
+  out.write(metadata.data(),
+            static_cast<std::streamsize>(metadata.size()));
+  const char zeros[8] = {};
+  out.write(zeros,
+            static_cast<std::streamsize>(meta_padded - metadata.size()));
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  out.close();
+  if (!out) {
+    std::remove(tmp.c_str());
+    return Status::internal("save_table: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::internal("save_table: rename to " + path + " failed: " +
+                            std::strerror(err));
+  }
+  return Status();
+}
+
+// ------------------------------------------------------------- TableView --
+
+TableView::TableView(TableView&& other) noexcept { *this = std::move(other); }
+
+TableView& TableView::operator=(TableView&& other) noexcept {
+  if (this != &other) {
+    if (mapping_ != nullptr) ::munmap(mapping_, mapping_bytes_);
+    mapping_ = std::exchange(other.mapping_, nullptr);
+    mapping_bytes_ = std::exchange(other.mapping_bytes_, 0);
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    num_cores_ = other.num_cores_;
+    tstart_ = std::exchange(other.tstart_, nullptr);
+    ftarget_ = std::exchange(other.ftarget_, nullptr);
+    bitmap_ = std::exchange(other.bitmap_, nullptr);
+    cells_ = std::exchange(other.cells_, nullptr);
+    metadata_ = std::exchange(other.metadata_, std::string_view());
+  }
+  return *this;
+}
+
+TableView::~TableView() {
+  if (mapping_ != nullptr) ::munmap(mapping_, mapping_bytes_);
+}
+
+api::StatusOr<TableView> TableView::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::not_found(path + ": cannot open: " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status s =
+        Status::internal(path + ": fstat failed: " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  const std::size_t file_bytes = static_cast<std::size_t>(st.st_size);
+  if (file_bytes < kHeaderBytes) {
+    ::close(fd);
+    return anchored(path, "truncated (shorter than the header)");
+  }
+  void* mapping = ::mmap(nullptr, file_bytes, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (mapping == MAP_FAILED) {
+    return Status::internal(path + ": mmap failed: " + std::strerror(errno));
+  }
+  TableView view;
+  view.mapping_ = mapping;
+  view.mapping_bytes_ = file_bytes;
+
+  TableFileHeader header;
+  std::memcpy(&header, mapping, kHeaderBytes);
+
+  // Validation order is the diagnosis order: identity, then version (an
+  // explicit "unsupported version" beats a CRC mismatch for a future
+  // format), then integrity, then bounds, then section checksums.
+  if (std::memcmp(header.magic, kTableMagic, sizeof(kTableMagic)) != 0) {
+    return anchored(path, "not a protemp table file (bad magic)");
+  }
+  if (header.version != kTableFormatVersion) {
+    return anchored(
+        path, util::format("unsupported format version %u (this build reads "
+                           "version %u)",
+                           header.version, kTableFormatVersion));
+  }
+  if (util::crc32(mapping, kHeaderCrcSpan) != header.header_crc) {
+    return anchored(path, "header CRC mismatch (corrupt header)");
+  }
+  if (header.rows == 0 || header.cols == 0 || header.num_cores32 == 0) {
+    return anchored(path, "empty grid or zero cores in header");
+  }
+  // Shape sanity caps keep the size arithmetic below far from overflow.
+  if (header.rows > (1u << 20) || header.cols > (1u << 20) ||
+      header.num_cores32 > (1u << 20) ||
+      header.rows * header.cols > (1u << 28)) {
+    return anchored(path, "implausible table shape in header");
+  }
+  const std::size_t rows = header.rows;
+  const std::size_t cols = header.cols;
+  const std::size_t cores = header.num_cores32;
+  if (header.meta_offset != kHeaderBytes ||
+      header.payload_offset != kHeaderBytes + pad8(header.meta_bytes) ||
+      header.payload_bytes != payload_size(rows, cols, cores) ||
+      header.payload_offset + header.payload_bytes > file_bytes) {
+    return anchored(path, "section layout does not match header (truncated "
+                          "or corrupt file)");
+  }
+  const auto* base = static_cast<const unsigned char*>(mapping);
+  const unsigned char* meta = base + header.meta_offset;
+  const unsigned char* payload = base + header.payload_offset;
+  if (util::crc32(meta, header.meta_bytes) != header.meta_crc) {
+    return anchored(path, "metadata CRC mismatch");
+  }
+  if (util::crc32(payload, header.payload_bytes) != header.payload_crc) {
+    return anchored(path, "payload CRC mismatch");
+  }
+
+  view.rows_ = rows;
+  view.cols_ = cols;
+  view.num_cores_ = cores;
+  view.metadata_ = std::string_view(reinterpret_cast<const char*>(meta),
+                                    header.meta_bytes);
+  view.tstart_ = reinterpret_cast<const double*>(payload);
+  view.ftarget_ = view.tstart_ + rows;
+  view.bitmap_ = reinterpret_cast<const unsigned char*>(view.ftarget_ + cols);
+  view.cells_ = reinterpret_cast<const double*>(view.bitmap_ +
+                                                bitmap_bytes(rows * cols));
+
+  if (Status s = check_loaded_grid(path, "tstart grid", view.tstart_, rows);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = check_loaded_grid(path, "ftarget grid", view.ftarget_, cols);
+      !s.ok()) {
+    return s;
+  }
+  return view;
+}
+
+std::size_t TableView::cell_index(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) {
+    throw std::out_of_range("TableView: cell index out of range");
+  }
+  return row * cols_ + col;
+}
+
+bool TableView::feasible(std::size_t row, std::size_t col) const {
+  const std::size_t idx = cell_index(row, col);
+  return (bitmap_[idx / 8] >> (idx % 8)) & 1u;
+}
+
+double TableView::average_frequency(std::size_t row, std::size_t col) const {
+  return cells_[cell_index(row, col) * (2 + num_cores_)];
+}
+
+double TableView::total_power(std::size_t row, std::size_t col) const {
+  return cells_[cell_index(row, col) * (2 + num_cores_) + 1];
+}
+
+const double* TableView::frequencies(std::size_t row, std::size_t col) const {
+  return cells_ + cell_index(row, col) * (2 + num_cores_) + 2;
+}
+
+std::size_t TableView::feasible_cells() const noexcept {
+  std::size_t count = 0;
+  for (std::size_t idx = 0; idx < rows_ * cols_; ++idx) {
+    count += (bitmap_[idx / 8] >> (idx % 8)) & 1u;
+  }
+  return count;
+}
+
+core::FrequencyTable TableView::materialize() const {
+  core::FrequencyTable table(
+      std::vector<double>(tstart_, tstart_ + rows_),
+      std::vector<double>(ftarget_, ftarget_ + cols_), num_cores_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (!feasible(r, c)) continue;
+      core::FrequencyTable::Entry entry;
+      entry.average_frequency = average_frequency(r, c);
+      entry.total_power = total_power(r, c);
+      entry.frequencies = linalg::Vector(num_cores_);
+      const double* f = frequencies(r, c);
+      for (std::size_t k = 0; k < num_cores_; ++k) entry.frequencies[k] = f[k];
+      table.set_cell(r, c, std::move(entry));
+    }
+  }
+  return table;
+}
+
+// ------------------------------------------------------------------ load --
+
+api::StatusOr<core::FrequencyTable> load_table(const std::string& path,
+                                               std::string* metadata) {
+  StatusOr<TableView> view = TableView::open(path);
+  if (!view.ok()) return view.status();
+  if (metadata != nullptr) *metadata = std::string(view->metadata());
+  try {
+    return view->materialize();
+  } catch (const std::exception& e) {
+    return Status::invalid_argument(path + ": " + e.what());
+  }
+}
+
+}  // namespace protemp::store

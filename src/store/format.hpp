@@ -1,0 +1,131 @@
+// Versioned binary on-disk format for core::FrequencyTable artifacts.
+//
+// Layout (little-endian, 8-byte-aligned sections, see DESIGN.md §6e):
+//
+//   [header]    fixed 80 bytes: magic "PTBLSTR1", format version, grid
+//               shape, section offsets/sizes, per-section CRC-32s, and a
+//               header CRC over the preceding fields.
+//   [metadata]  opaque UTF-8 blob (the store puts the cache key on the
+//               first line, build provenance after), padded to 8 bytes.
+//   [payload]   tstart grid (rows f64) | ftarget grid (cols f64) |
+//               feasibility bitmap (ceil(rows*cols/8) bytes, padded to 8) |
+//               dense cells (rows*cols records of (2+num_cores) f64:
+//               average_frequency, total_power, per-core frequencies;
+//               infeasible cells all-zero).
+//
+// Doubles are stored as raw IEEE-754 bits, so save→load→serve is bitwise
+// identical to the in-memory table. save() writes temp+rename so readers
+// never observe a torn file; every open validates magic → version →
+// header CRC → bounds → section CRCs, in that order, and reports a
+// path-anchored api::Status on the first violation.
+//
+// TableView is the zero-copy reader: it mmaps the file read-only and
+// serves grids/cells straight out of the page cache, so N processes (or N
+// restarts) share one build's pages. Lifetime rule: pointers returned by
+// the accessors alias the mapping and die with the view; materialize()
+// copies into an owning core::FrequencyTable for the serving path, whose
+// policies keep the table beyond any view scope.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/status.hpp"
+#include "core/frequency_table.hpp"
+
+namespace protemp::store {
+
+/// Identifies a table artifact; doubles as the endianness sentinel (a
+/// big-endian writer would scramble every integer field, but the magic
+/// bytes still match — the version check right after catches it).
+inline constexpr char kTableMagic[8] = {'P', 'T', 'B', 'L',
+                                        'S', 'T', 'R', '1'};
+inline constexpr std::uint32_t kTableFormatVersion = 1;
+
+/// Fixed little-endian file header. Field order is the wire format;
+/// header_crc covers every byte before it (offset 0..71) and must be last.
+struct TableFileHeader {
+  char magic[8];
+  std::uint32_t version = kTableFormatVersion;
+  std::uint32_t num_cores32 = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t meta_offset = 0;
+  std::uint64_t meta_bytes = 0;
+  std::uint64_t payload_offset = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t meta_crc = 0;
+  std::uint32_t payload_crc = 0;
+  std::uint32_t header_crc = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(TableFileHeader) == 80,
+              "wire format: header is exactly 80 bytes");
+
+/// Serializes `table` (+ metadata blob) to `path` atomically: the bytes
+/// land in `path + ".tmp"` first and are renamed over the target, so a
+/// concurrent open sees either the old file or the complete new one.
+api::Status save_table(const core::FrequencyTable& table,
+                       std::string_view metadata, const std::string& path);
+
+/// Reads and fully validates `path`, materializing an owning table.
+/// `metadata` (optional) receives the metadata blob.
+api::StatusOr<core::FrequencyTable> load_table(const std::string& path,
+                                               std::string* metadata);
+
+/// Read-only mmap over a validated table file. Movable, not copyable;
+/// the mapping (and every pointer handed out) lives exactly as long as
+/// the view. All accessors are const and safe to share across threads.
+class TableView {
+ public:
+  static api::StatusOr<TableView> open(const std::string& path);
+
+  TableView(TableView&& other) noexcept;
+  TableView& operator=(TableView&& other) noexcept;
+  TableView(const TableView&) = delete;
+  TableView& operator=(const TableView&) = delete;
+  ~TableView();
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t num_cores() const noexcept { return num_cores_; }
+
+  /// Grid pointers alias the mapping (rows() / cols() elements).
+  const double* tstart_grid() const noexcept { return tstart_; }
+  const double* ftarget_grid() const noexcept { return ftarget_; }
+
+  bool feasible(std::size_t row, std::size_t col) const;
+  double average_frequency(std::size_t row, std::size_t col) const;
+  double total_power(std::size_t row, std::size_t col) const;
+  /// Per-core frequency vector of a cell (num_cores() elements).
+  const double* frequencies(std::size_t row, std::size_t col) const;
+
+  std::string_view metadata() const noexcept { return metadata_; }
+
+  std::size_t feasible_cells() const noexcept;
+
+  /// Copies the mapped payload into an owning core::FrequencyTable —
+  /// bitwise identical to the table that was saved. The result outlives
+  /// the view.
+  core::FrequencyTable materialize() const;
+
+ private:
+  TableView() = default;
+
+  std::size_t cell_index(std::size_t row, std::size_t col) const;
+
+  void* mapping_ = nullptr;
+  std::size_t mapping_bytes_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t num_cores_ = 0;
+  const double* tstart_ = nullptr;
+  const double* ftarget_ = nullptr;
+  const unsigned char* bitmap_ = nullptr;
+  const double* cells_ = nullptr;
+  std::string_view metadata_;
+};
+
+}  // namespace protemp::store

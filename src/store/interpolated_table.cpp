@@ -1,0 +1,175 @@
+#include "store/interpolated_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace protemp::store {
+namespace {
+
+using api::Status;
+using api::StatusOr;
+
+/// Kept indices when decimating an n-point axis by `stride`: every
+/// stride-th point plus the endpoint, so the coarse axis spans the fine
+/// one exactly (a shrunken span would turn servable temperatures into
+/// emergencies).
+std::vector<std::size_t> strided_indices(std::size_t n, std::size_t stride) {
+  std::vector<std::size_t> kept;
+  for (std::size_t i = 0; i < n; i += stride) kept.push_back(i);
+  if (kept.back() != n - 1) kept.push_back(n - 1);
+  return kept;
+}
+
+InterpolatedTable::Served served_from_entry(
+    const core::FrequencyTable::Entry& entry, bool downgraded) {
+  InterpolatedTable::Served out;
+  out.feasible = true;
+  out.downgraded = downgraded;
+  out.frequencies = entry.frequencies;
+  out.average_frequency = entry.average_frequency;
+  out.total_power = entry.total_power;
+  return out;
+}
+
+}  // namespace
+
+api::StatusOr<InterpolatedTable> InterpolatedTable::build(
+    const core::FrequencyTable& fine, std::size_t tstart_stride,
+    std::size_t ftarget_stride, double max_error_hz) {
+  if (tstart_stride == 0 || ftarget_stride == 0) {
+    return Status::invalid_argument(
+        "InterpolatedTable: strides must be >= 1");
+  }
+  if (!(max_error_hz >= 0.0)) {  // also rejects NaN
+    return Status::invalid_argument(
+        "InterpolatedTable: max_error_hz must be finite and >= 0");
+  }
+  const std::vector<std::size_t> rows =
+      strided_indices(fine.rows(), tstart_stride);
+  const std::vector<std::size_t> cols =
+      strided_indices(fine.cols(), ftarget_stride);
+  std::vector<double> tstart, ftarget;
+  for (const std::size_t r : rows) tstart.push_back(fine.tstart_grid()[r]);
+  for (const std::size_t c : cols) ftarget.push_back(fine.ftarget_grid()[c]);
+
+  core::FrequencyTable coarse(std::move(tstart), std::move(ftarget),
+                              fine.num_cores());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      const auto& cell = fine.cell(rows[r], cols[c]);
+      if (cell) coarse.set_cell(r, c, *cell);
+    }
+  }
+  InterpolatedTable table(std::move(coarse));
+
+  // Certification sweep: the fine table is the refinement probe. Every
+  // fine grid point is a query both tables can answer; where both serve
+  // without downgrade the served averages must agree to the bound.
+  double max_error = 0.0;
+  std::size_t downgrades = 0;
+  for (std::size_t r = 0; r < fine.rows(); ++r) {
+    const double temp = fine.tstart_grid()[r];
+    for (std::size_t c = 0; c < fine.cols(); ++c) {
+      const double required = fine.ftarget_grid()[c];
+      const core::FrequencyTable::QueryResult fine_q =
+          fine.query(temp, required);
+      if (fine_q.entry == nullptr || fine_q.downgraded || fine_q.emergency) {
+        continue;  // the fine table itself cannot serve this point
+      }
+      const Served coarse_q = table.query(temp, required);
+      if (!coarse_q.feasible || coarse_q.downgraded) {
+        ++downgrades;
+        continue;
+      }
+      // Round-up invariant: an undowngraded serve may never under-deliver
+      // (tiny slack for the blend arithmetic).
+      if (coarse_q.average_frequency < required - 1e-6) {
+        return Status::internal(util::format(
+            "InterpolatedTable: served %.3f MHz below the required %.3f MHz "
+            "at t=%.17g",
+            coarse_q.average_frequency / 1e6, required / 1e6, temp));
+      }
+      max_error = std::max(
+          max_error,
+          std::abs(coarse_q.average_frequency - fine_q.entry->average_frequency));
+    }
+  }
+  if (max_error > max_error_hz) {
+    return Status::failed_precondition(util::format(
+        "InterpolatedTable: certified error %.3f MHz exceeds the %.3f MHz "
+        "bound (strides %zu x %zu too coarse for this grid)",
+        max_error / 1e6, max_error_hz / 1e6, tstart_stride, ftarget_stride));
+  }
+  table.certified_error_hz_ = max_error;
+  table.certified_downgrades_ = downgrades;
+  return table;
+}
+
+InterpolatedTable::Served InterpolatedTable::query(double temperature_celsius,
+                                                   double required_hz) const {
+  Served out;
+  const std::vector<double>& tgrid = coarse_.tstart_grid();
+  const std::vector<double>& fgrid = coarse_.ftarget_grid();
+
+  // Temperature: same conservative round-up as the plain table.
+  const auto row_it =
+      std::lower_bound(tgrid.begin(), tgrid.end(), temperature_celsius);
+  if (row_it == tgrid.end()) {
+    out.emergency = true;
+    return out;
+  }
+  const std::size_t row = static_cast<std::size_t>(row_it - tgrid.begin());
+
+  const auto col_it =
+      std::lower_bound(fgrid.begin(), fgrid.end(), required_hz);
+  const auto plain_fallback = [&]() {
+    // Any bracket touching an infeasible or out-of-grid cell degrades to
+    // the plain round-up/walk-down lookup — never a blend.
+    const core::FrequencyTable::QueryResult q =
+        coarse_.query(temperature_celsius, required_hz);
+    if (q.entry == nullptr) {
+      Served empty;
+      empty.emergency = q.emergency;
+      empty.downgraded = q.downgraded;
+      return empty;
+    }
+    return served_from_entry(*q.entry, q.downgraded);
+  };
+
+  if (col_it == fgrid.end()) return plain_fallback();  // beyond the grid
+  const std::size_t hi = static_cast<std::size_t>(col_it - fgrid.begin());
+  const auto& cell_hi = coarse_.cell(row, hi);
+  if (!cell_hi) return plain_fallback();
+  if (hi == 0) return served_from_entry(*cell_hi, false);
+  const auto& cell_lo = coarse_.cell(row, hi - 1);
+  if (!cell_lo) return served_from_entry(*cell_hi, false);
+
+  const double avg_lo = cell_lo->average_frequency;
+  const double avg_hi = cell_hi->average_frequency;
+  if (required_hz <= avg_lo) {
+    // The lower cell already over-delivers; it is the cooler of the two
+    // feasible answers that satisfy the request.
+    return served_from_entry(*cell_lo, false);
+  }
+  double alpha = (required_hz - avg_lo) / (avg_hi - avg_lo);
+  alpha = std::clamp(alpha, 0.0, 1.0);
+
+  out.feasible = true;
+  out.interpolated = true;
+  out.frequencies = linalg::Vector(coarse_.num_cores());
+  for (std::size_t k = 0; k < coarse_.num_cores(); ++k) {
+    out.frequencies[k] = (1.0 - alpha) * cell_lo->frequencies[k] +
+                         alpha * cell_hi->frequencies[k];
+  }
+  out.average_frequency = (1.0 - alpha) * avg_lo + alpha * avg_hi;
+  // Convexity makes the blend of endpoint powers an upper bound on the
+  // blended vector's true power; report the bound (conservative).
+  out.total_power =
+      (1.0 - alpha) * cell_lo->total_power + alpha * cell_hi->total_power;
+  return out;
+}
+
+}  // namespace protemp::store

@@ -1,0 +1,88 @@
+// Bounded-error serving from a coarse Phase-1 grid.
+//
+// A fine ftarget grid for a 256-core mesh is big (cells carry a per-core
+// vector) and slow to build; InterpolatedTable serves the same queries
+// from a strided coarse grid with a *certified* error bound, staying on
+// the conservative side of every axis:
+//
+//   * temperature rounds UP to the next coarse row (hotter assumed state,
+//     exactly the plain table's rule);
+//   * the required frequency is bracketed by two *feasible* coarse cells
+//     in that row and served as their linear interpolation, with the
+//     blend chosen so the served average equals the request;
+//   * any bracket touching an infeasible cell falls back to the plain
+//     round-up/walk-down lookup — interpolation never manufactures
+//     feasibility.
+//
+// Conservativeness (DESIGN.md §6e): core power is convex in frequency
+// (~f·V², V monotone in f), so the interpolated vector's power is at most
+// the same blend of the endpoint powers; the thermal horizon map is
+// linear and monotone in power, so its temperature trajectory is bounded
+// by the blend of two trajectories that each respect tmax. A blend of
+// feasible cells is therefore feasible.
+//
+// build() certifies the bound: every fine grid point is served through
+// the coarse table and compared against the fine table's own answer; the
+// max |served - fine| average-frequency error must be within
+// `max_error_hz` or construction fails with the measured bound in the
+// Status. bench_table_store gates this at 2 MHz for mesh:4x4.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "api/status.hpp"
+#include "core/frequency_table.hpp"
+#include "linalg/vector.hpp"
+
+namespace protemp::store {
+
+class InterpolatedTable {
+ public:
+  /// Decimates `fine` by keeping every `tstart_stride`-th row and every
+  /// `ftarget_stride`-th column (both endpoints always kept, so coverage
+  /// never shrinks), then certifies the served-frequency error of the
+  /// coarse grid against `fine` at every fine grid point. Fails with
+  /// FailedPrecondition (carrying the measured error) when the bound is
+  /// exceeded; strides must be >= 1.
+  static api::StatusOr<InterpolatedTable> build(
+      const core::FrequencyTable& fine, std::size_t tstart_stride,
+      std::size_t ftarget_stride, double max_error_hz);
+
+  const core::FrequencyTable& coarse() const noexcept { return coarse_; }
+
+  /// Max |interpolated - fine| served average frequency [Hz] measured at
+  /// certification time over every mutually-feasible fine grid point.
+  double certified_error_hz() const noexcept { return certified_error_hz_; }
+
+  /// Fine grid points where the coarse table had to downgrade (serve a
+  /// lower target) though the fine table did not — the price of
+  /// feasibility-preserving conservatism, surfaced for inspection.
+  std::size_t certified_downgrades() const noexcept {
+    return certified_downgrades_;
+  }
+
+  struct Served {
+    bool feasible = false;      ///< false => shut everything down
+    bool emergency = false;     ///< temperature above the top grid row
+    bool downgraded = false;    ///< served below the requested target
+    bool interpolated = false;  ///< blend of two cells (vs a raw cell)
+    linalg::Vector frequencies;
+    double average_frequency = 0.0;  ///< [Hz]
+    double total_power = 0.0;        ///< [W] (upper bound when blended)
+  };
+
+  /// Conservative lookup (see file comment). Mirrors
+  /// core::FrequencyTable::query flag semantics.
+  Served query(double temperature_celsius, double required_hz) const;
+
+ private:
+  explicit InterpolatedTable(core::FrequencyTable coarse)
+      : coarse_(std::move(coarse)) {}
+
+  core::FrequencyTable coarse_;
+  double certified_error_hz_ = 0.0;
+  std::size_t certified_downgrades_ = 0;
+};
+
+}  // namespace protemp::store

@@ -1,0 +1,281 @@
+#include "store/table_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <thread>
+
+#include "store/format.hpp"
+#include "util/strings.hpp"
+
+namespace protemp::store {
+namespace {
+
+using api::Status;
+using api::StatusOr;
+
+namespace fs = std::filesystem;
+
+/// Probe bound for open addressing: 64 same-hash keys live in one store
+/// before lookup gives up — far beyond any plausible 64-bit collision
+/// count; the bound only keeps a pathological directory from looping.
+constexpr std::size_t kMaxProbes = 64;
+
+/// A writer lock older than this is a crashed builder's leftover; waiters
+/// give up on it and gc() reclaims it.
+constexpr double kStaleLockSeconds = 120.0;
+
+/// First metadata line of an artifact is its full identity key.
+std::string_view metadata_key(std::string_view metadata) {
+  const std::size_t eol = metadata.find('\n');
+  return eol == std::string_view::npos ? metadata : metadata.substr(0, eol);
+}
+
+double file_age_seconds(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return 0.0;
+  return std::difftime(std::time(nullptr), st.st_mtime);
+}
+
+/// RAII over the O_CREAT|O_EXCL lock file.
+class WriterLock {
+ public:
+  explicit WriterLock(std::string path) : path_(std::move(path)) {}
+  ~WriterLock() { release(); }
+
+  /// One acquisition attempt; true when this caller now holds the lock.
+  bool try_acquire() {
+    const int fd = ::open(path_.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) return false;
+    ::close(fd);
+    held_ = true;
+    return true;
+  }
+
+  void release() {
+    if (held_) {
+      std::remove(path_.c_str());
+      held_ = false;
+    }
+  }
+
+ private:
+  std::string path_;
+  bool held_ = false;
+};
+
+}  // namespace
+
+api::StatusOr<std::shared_ptr<TableStore>> TableStore::open(
+    const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Status::invalid_argument("table store: cannot create " + root +
+                                    ": " + ec.message());
+  }
+  // Fail fast on an unwritable root (read-only mount, permissions): the
+  // probe file exercises the exact create-and-rename path put() needs.
+  const std::string probe =
+      root + "/.probe." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(probe.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::invalid_argument("table store: " + root +
+                                    " is not writable: " +
+                                    std::strerror(errno));
+  }
+  ::close(fd);
+  std::remove(probe.c_str());
+  return std::shared_ptr<TableStore>(new TableStore(root));
+}
+
+std::string TableStore::slot_path(const std::string& key,
+                                  std::size_t slot) const {
+  return root_ + "/" +
+         util::format("%016llx-%zu.ptbl",
+                      static_cast<unsigned long long>(util::fnv1a64(key)),
+                      slot);
+}
+
+std::string TableStore::lock_path(const std::string& key) const {
+  return root_ + "/" +
+         util::format("%016llx.lock",
+                      static_cast<unsigned long long>(util::fnv1a64(key)));
+}
+
+bool TableStore::find_slot(const std::string& key,
+                           std::string* found_path) const {
+  for (std::size_t slot = 0; slot < kMaxProbes; ++slot) {
+    const std::string path = slot_path(key, slot);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return false;  // first gap ends the probe
+    StatusOr<TableView> view = TableView::open(path);
+    // Invalid artifact: skip the slot (it may shadow a valid later one
+    // written after a collision) — verify_all/gc own the cleanup.
+    if (!view.ok()) continue;
+    if (metadata_key(view->metadata()) != key) continue;
+    if (found_path != nullptr) *found_path = path;
+    return true;
+  }
+  return false;
+}
+
+api::StatusOr<core::FrequencyTable> TableStore::load(
+    const std::string& key) const {
+  std::string path;
+  if (!find_slot(key, &path)) {
+    return Status::not_found("table store: no valid artifact for key");
+  }
+  return load_table(path, nullptr);
+}
+
+bool TableStore::contains(const std::string& key) const {
+  return find_slot(key, nullptr);
+}
+
+api::Status TableStore::put(const std::string& key,
+                            const core::FrequencyTable& table,
+                            const std::string& provenance) {
+  std::string metadata = key + "\n";
+  metadata += util::format("rows = %zu\ncols = %zu\ncores = %zu\n",
+                           table.rows(), table.cols(), table.num_cores());
+  if (!provenance.empty()) {
+    metadata += provenance;
+    if (provenance.back() != '\n') metadata += '\n';
+  }
+  // Slot choice: reuse the slot already holding this key, else the first
+  // slot that is missing or invalid (an invalid file is dead weight — a
+  // fresh valid artifact may claim it).
+  for (std::size_t slot = 0; slot < kMaxProbes; ++slot) {
+    const std::string path = slot_path(key, slot);
+    std::error_code ec;
+    if (fs::exists(path, ec)) {
+      StatusOr<TableView> view = TableView::open(path);
+      if (view.ok() && metadata_key(view->metadata()) != key) continue;
+    }
+    return save_table(table, metadata, path);
+  }
+  return Status::internal("table store: probe chain exhausted for key");
+}
+
+api::StatusOr<core::FrequencyTable> TableStore::get_or_build(
+    const std::string& key, const Builder& builder, bool* built) {
+  if (built != nullptr) *built = false;
+  {
+    StatusOr<core::FrequencyTable> hit = load(key);
+    if (hit.ok()) return hit;
+  }
+  WriterLock lock(lock_path(key));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(kStaleLockSeconds);
+  while (!lock.try_acquire()) {
+    // Another builder holds the key: poll for its published artifact.
+    StatusOr<core::FrequencyTable> hit = load(key);
+    if (hit.ok()) return hit;
+    if (file_age_seconds(lock_path(key)) > kStaleLockSeconds ||
+        std::chrono::steady_clock::now() > deadline) {
+      // Crashed builder: reclaim the lock and build here.
+      std::remove(lock_path(key).c_str());
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Holding the lock. Re-check: the previous holder may have published
+  // between our miss and the acquisition.
+  {
+    StatusOr<core::FrequencyTable> hit = load(key);
+    if (hit.ok()) return hit;
+  }
+  try {
+    core::FrequencyTable table = builder();
+    if (Status s = put(key, table); !s.ok()) return s;
+    if (built != nullptr) *built = true;
+    return table;
+  } catch (const std::exception& e) {
+    return Status::internal(std::string("table store build failed: ") +
+                            e.what());
+  }
+}
+
+std::vector<TableStore::EntryInfo> TableStore::list() const {
+  std::vector<EntryInfo> entries;
+  std::error_code ec;
+  for (const auto& dirent : fs::directory_iterator(root_, ec)) {
+    const std::string file = dirent.path().filename().string();
+    if (file.size() < 5 || file.substr(file.size() - 5) != ".ptbl") continue;
+    EntryInfo info;
+    info.file = file;
+    std::error_code size_ec;
+    info.bytes = static_cast<std::uint64_t>(
+        fs::file_size(dirent.path(), size_ec));
+    StatusOr<TableView> view = TableView::open(dirent.path().string());
+    if (view.ok()) {
+      info.valid = true;
+      info.key = std::string(metadata_key(view->metadata()));
+      info.rows = view->rows();
+      info.cols = view->cols();
+      info.num_cores = view->num_cores();
+    } else {
+      info.error = view.status().message();
+    }
+    entries.push_back(std::move(info));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const EntryInfo& a, const EntryInfo& b) {
+              return a.file < b.file;
+            });
+  return entries;
+}
+
+api::Status TableStore::verify_all(std::vector<std::string>* errors) const {
+  std::size_t bad = 0;
+  for (const EntryInfo& entry : list()) {
+    if (entry.valid) continue;
+    ++bad;
+    if (errors != nullptr) {
+      errors->push_back(entry.file + ": " + entry.error);
+    }
+  }
+  if (bad != 0) {
+    return Status::failed_precondition(
+        util::format("table store: %zu invalid artifact(s) under %s", bad,
+                     root_.c_str()));
+  }
+  return Status();
+}
+
+api::StatusOr<std::size_t> TableStore::gc() {
+  std::size_t removed = 0;
+  std::error_code ec;
+  std::vector<std::string> doomed;
+  for (const auto& dirent : fs::directory_iterator(root_, ec)) {
+    const std::string path = dirent.path().string();
+    const std::string file = dirent.path().filename().string();
+    if (file.size() > 4 && file.substr(file.size() - 4) == ".tmp") {
+      doomed.push_back(path);  // torn publish (writer died mid-save)
+    } else if (file.size() > 5 && file.substr(file.size() - 5) == ".lock") {
+      if (file_age_seconds(path) > kStaleLockSeconds) doomed.push_back(path);
+    } else if (file.size() > 5 &&
+               file.substr(file.size() - 5) == ".ptbl") {
+      if (!TableView::open(path).ok()) doomed.push_back(path);
+    }
+  }
+  if (ec) {
+    return Status::internal("table store: cannot scan " + root_ + ": " +
+                            ec.message());
+  }
+  for (const std::string& path : doomed) {
+    if (std::remove(path.c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace protemp::store

@@ -1,0 +1,103 @@
+// Directory-backed persistent tier for Phase-1 frequency tables.
+//
+// A TableStore maps the exact TableCache identity key (platform key +
+// ProTempConfig + backend + grids — see api::table_identity_key) to one
+// binary artifact (store/format.hpp) under a root directory:
+//
+//   <root>/<fnv1a64(key) as 16 hex>-<slot>.ptbl
+//
+// Collisions are resolved by open addressing on <slot>: lookup probes
+// slots 0, 1, 2, ... comparing the full key stored on the artifact's
+// first metadata line, and stops at the first missing slot. A file that
+// fails validation (truncated, bit-flipped, stale format version) is
+// treated as absent for serving — never served, reported by verify_all,
+// reclaimed by gc.
+//
+// Cross-process build dedup: get_or_build takes a per-key writer lock
+// (O_CREAT|O_EXCL lock file) around the miss path, so N processes cold-
+// starting the same configuration run exactly one grid of solves between
+// them; the others wait on the lock and load the published artifact.
+// Publication itself is atomic (temp+rename in save_table), so readers
+// that skip the lock still never observe a torn file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/status.hpp"
+#include "core/frequency_table.hpp"
+
+namespace protemp::store {
+
+class TableStore {
+ public:
+  using Builder = std::function<core::FrequencyTable()>;
+
+  /// Opens (creating if needed) the store rooted at `root`. The directory
+  /// must be creatable and writable; fails fast otherwise so a misspelled
+  /// path surfaces at configuration time, not at the first build.
+  static api::StatusOr<std::shared_ptr<TableStore>> open(
+      const std::string& root);
+
+  const std::string& root() const noexcept { return root_; }
+
+  /// Loads the table stored under `key`; NotFound on a miss (including
+  /// "only invalid artifacts present").
+  api::StatusOr<core::FrequencyTable> load(const std::string& key) const;
+
+  /// True when a valid artifact for `key` exists.
+  bool contains(const std::string& key) const;
+
+  /// Publishes `table` under `key` (atomic; an existing valid artifact
+  /// for the key is replaced in place — same key means same contents up
+  /// to solver determinism).
+  api::Status put(const std::string& key, const core::FrequencyTable& table,
+                  const std::string& provenance = std::string());
+
+  /// Hit: loads. Miss: takes the per-key writer lock, re-checks (the lock
+  /// holder may have published meanwhile), builds, publishes, releases.
+  /// `*built` (optional) reports whether the builder ran in this call.
+  api::StatusOr<core::FrequencyTable> get_or_build(const std::string& key,
+                                                   const Builder& builder,
+                                                   bool* built = nullptr);
+
+  struct EntryInfo {
+    std::string file;   ///< artifact filename under root
+    bool valid = false;
+    std::string key;    ///< full identity key (valid artifacts)
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::size_t num_cores = 0;
+    std::uint64_t bytes = 0;
+    std::string error;  ///< open/validation failure (invalid artifacts)
+  };
+
+  /// Every *.ptbl under the root, valid or not, sorted by filename.
+  std::vector<EntryInfo> list() const;
+
+  /// Ok when every artifact validates; FailedPrecondition otherwise, with
+  /// one "file: reason" line per bad artifact appended to `errors`.
+  api::Status verify_all(std::vector<std::string>* errors = nullptr) const;
+
+  /// Removes invalid artifacts, orphaned temp files and stale writer
+  /// locks (lock files older than 120 s — a crashed builder). Returns the
+  /// number of files removed.
+  api::StatusOr<std::size_t> gc();
+
+ private:
+  explicit TableStore(std::string root) : root_(std::move(root)) {}
+
+  std::string slot_path(const std::string& key, std::size_t slot) const;
+  std::string lock_path(const std::string& key) const;
+  /// First slot holding `key` (probing stops at a missing slot);
+  /// `*found_path` receives the path on a hit.
+  bool find_slot(const std::string& key, std::string* found_path) const;
+
+  std::string root_;
+};
+
+}  // namespace protemp::store

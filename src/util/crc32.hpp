@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over raw bytes.
+//
+// The table-store binary format (src/store/format.hpp) checksums each file
+// section so a truncated or bit-flipped artifact is rejected at open, never
+// served. CRC-32 is the right tool there: cheap enough to run on every
+// load, and its burst-error guarantees match the failure mode (torn
+// writes, flipped bits), unlike fnv1a64 which is a hash for keying, not an
+// error-detecting code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace protemp::util {
+
+/// CRC-32 of a buffer (initial value for streaming: call with the previous
+/// return value; the default starts a fresh checksum).
+std::uint32_t crc32(const void* bytes, std::size_t size,
+                    std::uint32_t crc = 0) noexcept;
+
+}  // namespace protemp::util

@@ -120,6 +120,71 @@ TEST(E2eCli, UnknownSpecKeyIsLineAnchored) {
   EXPECT_NE(r.err.find("turbo_mode"), std::string::npos) << r.err;
 }
 
+TEST(E2eCli, TablectlExitCodeContract) {
+  // Usage errors are 2 (distinguishable from operational failures at 1 so
+  // fleet runbooks can branch on the code), successes 0.
+  const RunResult no_command = run("tablectl", "");
+  EXPECT_EQ(no_command.exit_code, 2);
+  EXPECT_NE(no_command.err.find("usage:"), std::string::npos);
+
+  const RunResult bad_command = run("tablectl", "frobnicate --store=/tmp");
+  EXPECT_EQ(bad_command.exit_code, 2);
+  EXPECT_NE(bad_command.err.find("unknown command 'frobnicate'"),
+            std::string::npos)
+      << bad_command.err;
+
+  const RunResult bad_flag =
+      run("tablectl", "inspect --store=/tmp --definitely-not-a-flag=1");
+  EXPECT_EQ(bad_flag.exit_code, 2);
+  EXPECT_NE(bad_flag.err.find("unknown flag --definitely-not-a-flag"),
+            std::string::npos)
+      << bad_flag.err;
+
+  const RunResult missing_store = run("tablectl", "verify");
+  EXPECT_EQ(missing_store.exit_code, 1);
+  EXPECT_NE(missing_store.err.find("--store=DIR is required"),
+            std::string::npos)
+      << missing_store.err;
+
+  // An unwritable store root fails fast at open, before any solve (procfs
+  // rejects mkdir for every uid, so this holds even when tests run as
+  // root, where a path under / would happily be created).
+  const RunResult unwritable =
+      run("tablectl", "build --store=/proc/e2e-unwritable-store");
+  EXPECT_EQ(unwritable.exit_code, 1) << unwritable.err;
+}
+
+TEST(E2eCli, TablectlVerifyFlagsCorruptArtifacts) {
+  const std::string store_dir = testing::TempDir() + "e2e_tablectl_store";
+  std::system(("rm -rf '" + store_dir + "' && mkdir -p '" + store_dir + "'")
+                  .c_str());
+
+  // Empty store: verify --all succeeds (vacuously valid).
+  const RunResult clean =
+      run("tablectl", "verify --store='" + store_dir + "' --all");
+  EXPECT_EQ(clean.exit_code, 0) << clean.err;
+
+  // Plant a corrupt artifact: verify must exit 1 naming the file, and gc
+  // must reclaim it so a re-verify passes.
+  {
+    std::ofstream bad(store_dir + "/deadbeefdeadbeef-0.ptbl",
+                      std::ios::binary);
+    bad << "definitely not a table";
+  }
+  const RunResult corrupt =
+      run("tablectl", "verify --store='" + store_dir + "' --all");
+  EXPECT_EQ(corrupt.exit_code, 1);
+  EXPECT_NE(corrupt.err.find("deadbeefdeadbeef-0.ptbl"), std::string::npos)
+      << corrupt.err;
+
+  const RunResult gc = run("tablectl", "gc --store='" + store_dir + "'");
+  EXPECT_EQ(gc.exit_code, 0) << gc.err;
+  EXPECT_NE(gc.out.find("removed 1 file(s)"), std::string::npos) << gc.out;
+  const RunResult reclean =
+      run("tablectl", "verify --store='" + store_dir + "' --all");
+  EXPECT_EQ(reclean.exit_code, 0) << reclean.err;
+}
+
 TEST(E2eCli, StatsOutWritesParsableStats) {
   // One cheap end-to-end pass through the StatsWriter contract from a real
   // binary: header line, key = value shape, a known key present.

@@ -1,0 +1,614 @@
+// Persistent table store suite (src/store/): binary round-trip fidelity,
+// corruption/version rejection, cross-builder dedup, the TableCache store
+// tier, and the certified interpolation bound.
+//
+// Round-trip tests are *bitwise*: the format stores raw IEEE-754 bits, so
+// a loaded table must compare equal double-for-double, not "close". The
+// serve-level check runs the same query sweep through the original and
+// the reloaded table and requires identical entries — the property the
+// e2e store round-trip (golden stats unchanged across a restart) rests
+// on, pinned here at unit scope.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "core/frequency_table.hpp"
+#include "core/optimizer.hpp"
+#include "store/format.hpp"
+#include "store/interpolated_table.hpp"
+#include "store/table_store.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace protemp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --------------------------------------------------------------- fixtures --
+
+/// Scratch directory per test, removed on teardown.
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("protemp_store_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+/// Deterministic synthetic table: exact-double grids, a seeded feasibility
+/// pattern, and cell values exercising the full double range (including
+/// negatives and subnormals — the round trip must not normalize anything).
+core::FrequencyTable synthetic_table(std::size_t rows, std::size_t cols,
+                                     std::size_t cores, std::uint64_t seed) {
+  std::vector<double> tstart, ftarget;
+  for (std::size_t r = 0; r < rows; ++r) {
+    tstart.push_back(50.0 + 7.5 * static_cast<double>(r));
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    ftarget.push_back(util::mhz(100.0 + 137.0 * static_cast<double>(c)));
+  }
+  core::FrequencyTable table(std::move(tstart), std::move(ftarget), cores);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> freq(1e8, 1.2e9);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng() % 4 == 0) continue;  // infeasible holes
+      core::FrequencyTable::Entry entry;
+      entry.frequencies = linalg::Vector(cores);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cores; ++k) {
+        entry.frequencies[k] = freq(rng);
+        sum += entry.frequencies[k];
+      }
+      entry.average_frequency = sum / static_cast<double>(cores);
+      entry.total_power = 0.75 * sum / 1e8;
+      if (r == 0 && c == 0) {
+        // Values a text format would mangle: subnormal power, a frequency
+        // whose decimal expansion doesn't round-trip at %.17g-off.
+        entry.total_power = std::numeric_limits<double>::denorm_min();
+        entry.frequencies[0] = std::nextafter(1e9, 2e9);
+      }
+      table.set_cell(r, c, std::move(entry));
+    }
+  }
+  return table;
+}
+
+void expect_tables_bitwise(const core::FrequencyTable& a,
+                           const core::FrequencyTable& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.num_cores(), b.num_cores());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    EXPECT_EQ(a.tstart_grid()[r], b.tstart_grid()[r]);
+  }
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    EXPECT_EQ(a.ftarget_grid()[c], b.ftarget_grid()[c]);
+  }
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const auto& ea = a.cell(r, c);
+      const auto& eb = b.cell(r, c);
+      ASSERT_EQ(ea.has_value(), eb.has_value()) << "cell " << r << "," << c;
+      if (!ea) continue;
+      // Bitwise: compare the stored bit patterns, so -0.0 vs 0.0 or a
+      // squashed subnormal would fail even where == would pass.
+      auto bits = [](double v) {
+        std::uint64_t u;
+        std::memcpy(&u, &v, sizeof(u));
+        return u;
+      };
+      EXPECT_EQ(bits(ea->average_frequency), bits(eb->average_frequency));
+      EXPECT_EQ(bits(ea->total_power), bits(eb->total_power));
+      for (std::size_t k = 0; k < a.num_cores(); ++k) {
+        EXPECT_EQ(bits(ea->frequencies[k]), bits(eb->frequencies[k]))
+            << "cell " << r << "," << c << " core " << k;
+      }
+    }
+  }
+}
+
+/// Serve-level equality: a probe sweep through query() must pick the same
+/// cells with the same flags and the same entry values.
+void expect_serves_bitwise(const core::FrequencyTable& a,
+                           const core::FrequencyTable& b) {
+  const double t_lo = a.tstart_grid().front() - 5.0;
+  const double t_hi = a.tstart_grid().back() + 5.0;
+  const double f_lo = a.ftarget_grid().front() * 0.5;
+  const double f_hi = a.ftarget_grid().back() * 1.2;
+  for (int i = 0; i <= 20; ++i) {
+    for (int j = 0; j <= 20; ++j) {
+      const double t = t_lo + (t_hi - t_lo) * i / 20.0;
+      const double f = f_lo + (f_hi - f_lo) * j / 20.0;
+      const auto qa = a.query(t, f);
+      const auto qb = b.query(t, f);
+      ASSERT_EQ(qa.entry != nullptr, qb.entry != nullptr);
+      EXPECT_EQ(qa.emergency, qb.emergency);
+      EXPECT_EQ(qa.downgraded, qb.downgraded);
+      if (qa.entry == nullptr) continue;
+      EXPECT_EQ(qa.row, qb.row);
+      EXPECT_EQ(qa.col, qb.col);
+      EXPECT_EQ(qa.entry->average_frequency, qb.entry->average_frequency);
+      for (std::size_t k = 0; k < a.num_cores(); ++k) {
+        EXPECT_EQ(qa.entry->frequencies[k], qb.entry->frequencies[k]);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------- format roundtrip --
+
+TEST_F(StoreTest, RoundTripBitwiseAcrossCanonicalShapes) {
+  // The five canonical table shapes (single cell, golden coarse 3x4,
+  // row/column-dominant, square) plus the mesh:4x4 core count.
+  const struct {
+    std::size_t rows, cols, cores;
+  } shapes[] = {{1, 1, 1}, {3, 4, 8}, {7, 2, 4}, {2, 9, 8}, {5, 5, 2},
+                {3, 4, 16}};
+  std::uint64_t seed = 2008;
+  for (const auto& shape : shapes) {
+    const core::FrequencyTable table =
+        synthetic_table(shape.rows, shape.cols, shape.cores, seed++);
+    const std::string file =
+        path(util::format("shape_%zux%zu.ptbl", shape.rows, shape.cols));
+    ASSERT_TRUE(store::save_table(table, "key\nshape test\n", file).ok());
+
+    std::string metadata;
+    api::StatusOr<core::FrequencyTable> loaded =
+        store::load_table(file, &metadata);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+    EXPECT_EQ(metadata, "key\nshape test\n");
+    expect_tables_bitwise(table, *loaded);
+    expect_serves_bitwise(table, *loaded);
+  }
+}
+
+TEST_F(StoreTest, RoundTripRealSolverTable) {
+  // One table built by the real optimizer (niagara8, golden-coarse-sized
+  // grid) so the round trip is pinned against solver output, not just
+  // synthetic bit patterns.
+  api::StatusOr<arch::Platform> platform = api::make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  core::ProTempConfig config;
+  config.dt = 0.8e-3;
+  config.gradient_step_stride = 20;
+  const core::ProTempOptimizer optimizer(*platform, config);
+  const core::FrequencyTable table = core::FrequencyTable::build(
+      optimizer, {60.0, 85.0}, {util::mhz(400.0), util::mhz(1000.0)});
+  ASSERT_GE(table.feasible_cells(), 1u);
+
+  const std::string file = path("niagara8.ptbl");
+  ASSERT_TRUE(store::save_table(table, "key\n", file).ok());
+  api::StatusOr<core::FrequencyTable> loaded =
+      store::load_table(file, nullptr);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  expect_tables_bitwise(table, *loaded);
+  expect_serves_bitwise(table, *loaded);
+}
+
+TEST_F(StoreTest, TableViewServesZeroCopy) {
+  const core::FrequencyTable table = synthetic_table(4, 5, 3, 99);
+  const std::string file = path("view.ptbl");
+  ASSERT_TRUE(store::save_table(table, "key\nzero copy\n", file).ok());
+  api::StatusOr<store::TableView> view = store::TableView::open(file);
+  ASSERT_TRUE(view.ok()) << view.status().to_string();
+  EXPECT_EQ(view->rows(), 4u);
+  EXPECT_EQ(view->cols(), 5u);
+  EXPECT_EQ(view->num_cores(), 3u);
+  EXPECT_EQ(view->feasible_cells(), table.feasible_cells());
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(view->tstart_grid()[r], table.tstart_grid()[r]);
+    for (std::size_t c = 0; c < 5; ++c) {
+      ASSERT_EQ(view->feasible(r, c), table.cell(r, c).has_value());
+      if (!view->feasible(r, c)) continue;
+      EXPECT_EQ(view->average_frequency(r, c),
+                table.cell(r, c)->average_frequency);
+      EXPECT_EQ(view->frequencies(r, c)[2], table.cell(r, c)->frequencies[2]);
+    }
+  }
+  expect_tables_bitwise(table, view->materialize());
+}
+
+// ------------------------------------------------------ corruption handling --
+
+TEST_F(StoreTest, RejectsTruncatedBitFlippedAndVersionBumpedFiles) {
+  const core::FrequencyTable table = synthetic_table(3, 4, 2, 7);
+  const std::string good = path("good.ptbl");
+  ASSERT_TRUE(store::save_table(table, "key\n", good).ok());
+  std::ifstream in(good, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 100u);
+
+  const auto write_variant = [&](const std::string& name,
+                                 const std::string& content) {
+    std::ofstream out(path(name), std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+  };
+
+  // Truncation: half the payload gone.
+  write_variant("trunc.ptbl", bytes.substr(0, bytes.size() / 2));
+  api::StatusOr<store::TableView> trunc =
+      store::TableView::open(path("trunc.ptbl"));
+  ASSERT_FALSE(trunc.ok());
+  EXPECT_NE(trunc.status().message().find("truncated"), std::string::npos)
+      << trunc.status().to_string();
+
+  // Single payload bit flip: payload CRC.
+  std::string flipped = bytes;
+  flipped[bytes.size() - 9] ^= 0x10;
+  write_variant("flip.ptbl", flipped);
+  api::StatusOr<store::TableView> flip =
+      store::TableView::open(path("flip.ptbl"));
+  ASSERT_FALSE(flip.ok());
+  EXPECT_NE(flip.status().message().find("payload CRC"), std::string::npos);
+
+  // Metadata bit flip: metadata CRC.
+  std::string meta_flip = bytes;
+  meta_flip[sizeof(store::TableFileHeader)] ^= 0x01;
+  write_variant("meta.ptbl", meta_flip);
+  api::StatusOr<store::TableView> meta =
+      store::TableView::open(path("meta.ptbl"));
+  ASSERT_FALSE(meta.ok());
+  EXPECT_NE(meta.status().message().find("metadata CRC"), std::string::npos);
+
+  // Version bump (field right after the 8-byte magic): an explicit
+  // unsupported-version error, not a CRC complaint — stale-version
+  // artifacts must be diagnosable as such.
+  std::string bumped = bytes;
+  bumped[8] = 2;
+  write_variant("v2.ptbl", bumped);
+  api::StatusOr<store::TableView> v2 =
+      store::TableView::open(path("v2.ptbl"));
+  ASSERT_FALSE(v2.ok());
+  EXPECT_NE(v2.status().message().find("unsupported format version 2"),
+            std::string::npos)
+      << v2.status().to_string();
+
+  // Magic: not a table file at all.
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  write_variant("magic.ptbl", wrong_magic);
+  api::StatusOr<store::TableView> magic =
+      store::TableView::open(path("magic.ptbl"));
+  ASSERT_FALSE(magic.ok());
+  EXPECT_NE(magic.status().message().find("bad magic"), std::string::npos);
+
+  // Header bit flip (inside the shape fields): header CRC.
+  std::string header_flip = bytes;
+  header_flip[20] ^= 0x04;
+  write_variant("header.ptbl", header_flip);
+  api::StatusOr<store::TableView> header =
+      store::TableView::open(path("header.ptbl"));
+  ASSERT_FALSE(header.ok());
+  EXPECT_NE(header.status().message().find("header CRC"), std::string::npos);
+}
+
+TEST_F(StoreTest, GridValidationRejectsNonFiniteEverywhere) {
+  // The constructor (the satellite bugfix): non-finite and non-monotone
+  // grids throw with a pointed message.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(core::FrequencyTable({50.0, nan}, {1e8}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(core::FrequencyTable({nan}, {1e8}, 1), std::invalid_argument);
+  EXPECT_THROW(core::FrequencyTable({50.0}, {inf, 2e8}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(core::FrequencyTable({50.0, 40.0}, {1e8}, 1),
+               std::invalid_argument);
+  try {
+    core::FrequencyTable({50.0, nan}, {1e8}, 1);
+    FAIL() << "non-finite grid accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos);
+  }
+
+  // The spec-key door: a non-finite grid option surfaces as a Status from
+  // the pro-temp factory (parse_double hardening), never a crash.
+  api::StatusOr<arch::Platform> platform = api::make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  api::PolicyContext context;
+  context.platform = &platform.value();
+  api::Options options;
+  options.set("tstart-min", "nan");
+  api::StatusOr<api::TableGridSpec> grid =
+      api::table_grid_from_options(options, context);
+  ASSERT_FALSE(grid.ok());
+  EXPECT_EQ(grid.status().code(), api::StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------- TableStore --
+
+TEST_F(StoreTest, StorePutLoadContainsAndInvalidArtifacts) {
+  auto store_or = store::TableStore::open(path("store"));
+  ASSERT_TRUE(store_or.ok()) << store_or.status().to_string();
+  std::shared_ptr<store::TableStore> store = *store_or;
+
+  const std::string key_a = "platform-a|grid-1";
+  const std::string key_b = "platform-b|grid-2";
+  const core::FrequencyTable table_a = synthetic_table(3, 4, 2, 1);
+  const core::FrequencyTable table_b = synthetic_table(2, 2, 4, 2);
+
+  EXPECT_FALSE(store->contains(key_a));
+  EXPECT_EQ(store->load(key_a).status().code(), api::StatusCode::kNotFound);
+  ASSERT_TRUE(store->put(key_a, table_a).ok());
+  ASSERT_TRUE(store->put(key_b, table_b).ok());
+  EXPECT_TRUE(store->contains(key_a));
+  EXPECT_TRUE(store->contains(key_b));
+
+  api::StatusOr<core::FrequencyTable> loaded = store->load(key_a);
+  ASSERT_TRUE(loaded.ok());
+  expect_tables_bitwise(table_a, *loaded);
+
+  EXPECT_EQ(store->list().size(), 2u);
+  EXPECT_TRUE(store->verify_all().ok());
+
+  // A corrupt artifact: invisible to lookup (but never served), reported
+  // by verify_all, reclaimed by gc.
+  {
+    std::ofstream bad(path("store/deadbeefdeadbeef-0.ptbl"),
+                      std::ios::binary);
+    bad << "not a table";
+  }
+  EXPECT_TRUE(store->contains(key_a));
+  std::vector<std::string> errors;
+  EXPECT_FALSE(store->verify_all(&errors).ok());
+  ASSERT_EQ(errors.size(), 1u);
+  api::StatusOr<std::size_t> removed = store->gc();
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1u);
+  EXPECT_TRUE(store->verify_all().ok());
+  EXPECT_TRUE(store->contains(key_a));  // valid artifacts untouched
+}
+
+TEST_F(StoreTest, ConcurrentBuildersDedupAcrossStoreInstances) {
+  // Two-process-style dedup: independent TableStore instances over one
+  // directory (no shared in-memory state) racing get_or_build on one key
+  // must run the builder exactly once; the loser waits on the writer lock
+  // and loads the winner's artifact.
+  const std::string key = "shared|key";
+  std::atomic<int> builds{0};
+  const core::FrequencyTable reference = synthetic_table(3, 3, 2, 5);
+
+  const auto run = [&](int stagger_us) {
+    auto store = store::TableStore::open(path("store"));
+    ASSERT_TRUE(store.ok());
+    // Stagger the second racer into the window where the first holds the
+    // writer lock mid-build.
+    std::this_thread::sleep_for(std::chrono::microseconds(stagger_us));
+    bool built = false;
+    api::StatusOr<core::FrequencyTable> table = (*store)->get_or_build(
+        key,
+        [&]() {
+          builds.fetch_add(1);
+          // Hold the lock long enough that the sibling really contends.
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          return synthetic_table(3, 3, 2, 5);
+        },
+        &built);
+    ASSERT_TRUE(table.ok()) << table.status().to_string();
+    expect_tables_bitwise(reference, *table);
+  };
+
+  std::thread t1([&] { run(0); });
+  std::thread t2([&] { run(5000); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(builds.load(), 1);
+}
+
+// -------------------------------------------------------- TableCache tier --
+
+TEST_F(StoreTest, TableCacheStoreTierSkipsBuildsOnWarmRestart) {
+  auto store_or = store::TableStore::open(path("store"));
+  ASSERT_TRUE(store_or.ok());
+  const std::string key = "cache|tier|key";
+  std::atomic<int> builds{0};
+  const auto builder = [&]() {
+    builds.fetch_add(1);
+    return synthetic_table(3, 4, 2, 11);
+  };
+
+  // Process 1: cold — builds once, writes through.
+  {
+    api::TableCache cache;
+    cache.attach_store(*store_or);
+    auto table = cache.get_or_build(key, builder);
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(cache.builds_completed(), 1u);
+    EXPECT_EQ(cache.store_hits(), 0u);
+    EXPECT_EQ(cache.store_writes(), 1u);
+  }
+  EXPECT_EQ(builds.load(), 1);
+
+  // Process 2 (restart): a fresh cache on the same store serves from disk
+  // with zero builds — the acceptance criterion at unit scope.
+  {
+    api::TableCache cache;
+    cache.attach_store(*store_or);
+    auto table = cache.get_or_build(key, builder);
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(builds.load(), 1);
+    EXPECT_EQ(cache.builds_completed(), 0u);
+    EXPECT_EQ(cache.store_hits(), 1u);
+    expect_tables_bitwise(synthetic_table(3, 4, 2, 11), *table);
+  }
+
+  // Async path: the store hit resolves the future before any pool work,
+  // so dispatched stays false and the future is ready immediately.
+  {
+    api::TableCache cache;
+    cache.attach_store(*store_or);
+    util::ThreadPool pool(1);
+    bool dispatched = true;
+    api::TableCache::Future future =
+        cache.get_async(key, builder, pool, &dispatched);
+    EXPECT_FALSE(dispatched);
+    ASSERT_TRUE(api::TableCache::ready(future));
+    EXPECT_EQ(cache.builds_completed(), 0u);
+    EXPECT_EQ(builds.load(), 1);
+    expect_tables_bitwise(synthetic_table(3, 4, 2, 11), *future.get());
+  }
+}
+
+// ----------------------------------------------------------- interpolation --
+
+/// Fine synthetic table whose cell averages are exactly the column target
+/// (the solver's behavior at feasible cells) — linear interpolation
+/// between columns then reproduces any bracketed target exactly.
+core::FrequencyTable linear_fine_table(std::size_t rows, std::size_t cols,
+                                       std::size_t cores) {
+  std::vector<double> tstart, ftarget;
+  for (std::size_t r = 0; r < rows; ++r) tstart.push_back(55.0 + 5.0 * r);
+  for (std::size_t c = 0; c < cols; ++c) {
+    ftarget.push_back(util::mhz(200.0 + 100.0 * static_cast<double>(c)));
+  }
+  core::FrequencyTable table(std::move(tstart), std::move(ftarget), cores);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      core::FrequencyTable::Entry entry;
+      entry.frequencies = linalg::Vector(cores);
+      const double avg = table.ftarget_grid()[c];
+      for (std::size_t k = 0; k < cores; ++k) entry.frequencies[k] = avg;
+      entry.average_frequency = avg;
+      entry.total_power = avg / 1e8;
+      table.set_cell(r, c, entry);
+    }
+  }
+  return table;
+}
+
+TEST_F(StoreTest, InterpolationCertifiesTightBoundOnLinearTables) {
+  const core::FrequencyTable fine = linear_fine_table(9, 13, 4);
+  api::StatusOr<store::InterpolatedTable> interp =
+      store::InterpolatedTable::build(fine, 2, 3, util::mhz(2.0));
+  ASSERT_TRUE(interp.ok()) << interp.status().to_string();
+  // Averages are linear in the target, so the blend reproduces every fine
+  // grid point exactly (up to rounding).
+  EXPECT_LE(interp->certified_error_hz(), 1.0);
+
+  // Off-grid requests: served average must equal the request when
+  // bracketed (the alpha-blend definition).
+  const store::InterpolatedTable::Served served =
+      interp->query(57.0, util::mhz(533.0));
+  ASSERT_TRUE(served.feasible);
+  EXPECT_TRUE(served.interpolated);
+  EXPECT_NEAR(served.average_frequency, util::mhz(533.0), 1e-3);
+  EXPECT_FALSE(served.downgraded);
+}
+
+TEST_F(StoreTest, InterpolationErrorBoundPropertyOnRandomTables) {
+  // Property sweep over random mesh-like tables: whatever the feasibility
+  // pattern and how nonlinear the averages, an undowngraded serve (a) is
+  // at least the request, (b) stays within the fine table's bracketing
+  // cell averages, and (c) build() only succeeds when its measured error
+  // is within the declared bound.
+  std::mt19937_64 rng(20080808);
+  for (int rep = 0; rep < 12; ++rep) {
+    const std::size_t rows = 3 + rng() % 5;
+    const std::size_t cols = 4 + rng() % 7;
+    const std::size_t cores = 2 + rng() % 15;  // up to 16: mesh:4x4 scale
+    core::FrequencyTable fine = synthetic_table(rows, cols, cores, rng());
+    // Monotone-ize the averages along each row so the bracket logic sees
+    // solver-shaped data (avg grows with the target).
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (!fine.cell(r, c)) continue;
+        core::FrequencyTable::Entry entry = *fine.cell(r, c);
+        entry.average_frequency =
+            fine.ftarget_grid()[c] * (1.0 + 0.001 * (rng() % 10));
+        fine.set_cell(r, c, entry);
+      }
+    }
+    api::StatusOr<store::InterpolatedTable> interp =
+        store::InterpolatedTable::build(fine, 2, 2, util::mhz(1e5));
+    ASSERT_TRUE(interp.ok()) << interp.status().to_string();
+
+    std::uniform_real_distribution<double> temp(
+        fine.tstart_grid().front() - 3.0, fine.tstart_grid().back());
+    std::uniform_real_distribution<double> freq(
+        fine.ftarget_grid().front() * 0.8, fine.ftarget_grid().back());
+    for (int q = 0; q < 50; ++q) {
+      const double t = temp(rng);
+      const double f = freq(rng);
+      const store::InterpolatedTable::Served served = interp->query(t, f);
+      if (!served.feasible || served.downgraded) continue;
+      EXPECT_GE(served.average_frequency, f - 1e-6)
+          << "undowngraded serve under-delivered";
+      if (served.interpolated) {
+        // A blend lies inside its bracket by construction; the bracket's
+        // cells are feasible coarse (= fine) cells.
+        EXPECT_LE(served.average_frequency,
+                  fine.ftarget_grid().back() * 1.01);
+      }
+    }
+  }
+}
+
+TEST_F(StoreTest, InterpolationRejectsBoundItCannotCertify) {
+  // Averages quadratic in the column index: striding away every other
+  // column leaves a real curvature error the certification must measure
+  // and refuse when the declared bound is tighter.
+  std::vector<double> tstart = {60.0, 80.0};
+  std::vector<double> ftarget;
+  for (std::size_t c = 0; c < 9; ++c) {
+    ftarget.push_back(util::mhz(200.0 + 100.0 * static_cast<double>(c)));
+  }
+  core::FrequencyTable fine(std::move(tstart), std::move(ftarget), 2);
+  for (std::size_t r = 0; r < fine.rows(); ++r) {
+    for (std::size_t c = 0; c < fine.cols(); ++c) {
+      core::FrequencyTable::Entry entry;
+      entry.frequencies = linalg::Vector(2);
+      const double x = static_cast<double>(c);
+      const double avg = fine.ftarget_grid()[c] + util::mhz(8.0) * x * x;
+      entry.frequencies[0] = entry.frequencies[1] = avg;
+      entry.average_frequency = avg;
+      entry.total_power = 1.0;
+      fine.set_cell(r, c, entry);
+    }
+  }
+  api::StatusOr<store::InterpolatedTable> tight =
+      store::InterpolatedTable::build(fine, 1, 2, util::mhz(0.5));
+  ASSERT_FALSE(tight.ok());
+  EXPECT_EQ(tight.status().code(), api::StatusCode::kFailedPrecondition);
+  EXPECT_NE(tight.status().message().find("exceeds"), std::string::npos);
+
+  api::StatusOr<store::InterpolatedTable> loose =
+      store::InterpolatedTable::build(fine, 1, 2, util::mhz(1000.0));
+  ASSERT_TRUE(loose.ok()) << loose.status().to_string();
+  EXPECT_GT(loose->certified_error_hz(), util::mhz(0.5));
+}
+
+}  // namespace
+}  // namespace protemp

@@ -452,8 +452,152 @@ int run_soak_mode(const SoakOptions& options) {
     }
     rounds.push_back(std::move(signatures));
   }
-  std::printf("soak: PASS (%zu round(s) bitwise identical)\n",
+  // -- warm-restart round through the persistent store -------------------
+  // Same fleet, twice, sharing one table store directory. The cold run
+  // pays the Phase-1 builds and publishes them; the warm run must load
+  // every table from disk (zero builds) and — because the artifact round
+  // trip is bitwise — drive the exact timeline the storeless rounds
+  // produced.
+  const fs::path store_dir =
+      options.table_store_dir.empty()
+          ? fs::temp_directory_path() / "protemp_soak_table_store"
+          : fs::path(options.table_store_dir);
+  std::error_code ec;
+  fs::remove_all(store_dir, ec);
+  fleetsim::FleetSimConfig store_config = config;
+  store_config.record_telemetry = false;  // replays already proved bitwise
+  store_config.table_store_dir = store_dir.string();
+  for (int warm = 0; warm < 2; ++warm) {
+    std::printf("soak %s-start round through table store %s...\n",
+                warm ? "warm" : "cold", store_dir.string().c_str());
+    std::fflush(stdout);
+    api::StatusOr<fleetsim::FleetSimReport> report =
+        fleetsim::run_fleet_simulation(store_config);
+    if (!report.ok()) {
+      std::fprintf(stderr, "soak store round: %s\n",
+                   report.status().to_string().c_str());
+      return 1;
+    }
+    if (report->failures != 0) {
+      std::fprintf(stderr, "soak store round: %zu serving failure(s)\n",
+                   report->failures);
+      return 1;
+    }
+    if (report->timeline_digest != first_timeline_digest) {
+      std::fprintf(stderr,
+                   "soak store round: timeline digest diverged from the "
+                   "storeless rounds (%016llx vs %016llx) — the store is "
+                   "not serving bitwise-identical tables\n",
+                   static_cast<unsigned long long>(report->timeline_digest),
+                   static_cast<unsigned long long>(first_timeline_digest));
+      return 1;
+    }
+    if (!warm && report->fleet.builds_completed == 0) {
+      std::fprintf(stderr, "soak store round: cold run reported zero "
+                           "builds — the store round is not exercising the "
+                           "build path\n");
+      return 1;
+    }
+    if (warm && report->fleet.builds_completed != 0) {
+      std::fprintf(stderr,
+                   "soak store round: warm restart ran %zu Phase-1 "
+                   "build(s); expected every table to load from the store\n",
+                   report->fleet.builds_completed);
+      return 1;
+    }
+    std::printf("  %zu build(s), digest %016llx: %s\n",
+                report->fleet.builds_completed,
+                static_cast<unsigned long long>(report->timeline_digest),
+                warm ? "warm restart served entirely from the store"
+                     : "store populated");
+  }
+  fs::remove_all(store_dir, ec);
+
+  std::printf("soak: PASS (%zu round(s) bitwise identical + store "
+              "warm-restart)\n",
               rounds.size());
+  return 0;
+}
+
+// -------------------------------------------------- store-roundtrip mode --
+
+int run_store_roundtrip_mode(const StoreRoundtripOptions& options) {
+  const fs::path store_dir =
+      fs::absolute(fs::path(options.work_root)) / "store_roundtrip_store";
+  std::error_code ec;
+  fs::remove_all(store_dir, ec);
+
+  const std::vector<std::string> base_args = {
+      "--coarse", "--duration=6",
+      "--table-store=" + store_dir.string()};
+  const Scenario cold{"store_roundtrip_cold", "quickstart", base_args, {},
+                      false};
+  const Scenario warm{"store_roundtrip_warm", "quickstart", base_args, {},
+                      false};
+
+  util::StatsFile stats[2];
+  const Scenario* scenarios[2] = {&cold, &warm};
+  for (int i = 0; i < 2; ++i) {
+    std::printf("[ RUN  ] %s (%s)\n", scenarios[i]->name.c_str(),
+                scenarios[i]->binary.c_str());
+    std::fflush(stdout);
+    const RunOutcome outcome =
+        run_scenario(*scenarios[i], options.bin_dir, options.work_root);
+    if (outcome.exit_code != 0) {
+      std::printf("[ FAIL ] %s: exit code %d (see %s/stderr.txt)\n",
+                  scenarios[i]->name.c_str(), outcome.exit_code,
+                  outcome.work_dir.c_str());
+      return 1;
+    }
+    stats[i] = util::load_stats_file(outcome.stats_path);
+  }
+
+  std::vector<std::string> diffs;
+  const auto expect_count = [&](int run, const std::string& key,
+                                const std::string& want) {
+    const std::string* got = stats[run].find(key);
+    if (got == nullptr) {
+      diffs.push_back(key + ": missing from " +
+                      std::string(run ? "warm" : "cold") + " run");
+    } else if (*got != want) {
+      diffs.push_back(key + ": " + std::string(run ? "warm" : "cold") +
+                      " run reported " + *got + ", want " + want);
+    }
+  };
+  // The contract under test: the build happens once, on disk, and never
+  // again.
+  expect_count(0, "table_builds", "1");
+  expect_count(0, "store_hits", "0");
+  expect_count(1, "table_builds", "0");
+  expect_count(1, "store_hits", "1");
+
+  // Everything else must agree byte-for-byte — same binary, same seed,
+  // and a bitwise table round trip leave no room for drift (wall time and
+  // the store counters above are the only legitimate differences).
+  for (const auto& [key, want] : stats[0].entries) {
+    if (key == "wall_seconds" || key == "table_builds" ||
+        key == "store_hits") {
+      continue;
+    }
+    const std::string* got = stats[1].find(key);
+    if (got == nullptr) {
+      diffs.push_back(key + ": missing from warm run");
+    } else if (*got != want) {
+      diffs.push_back(key + ": cold '" + want + "' vs warm '" + *got +
+                      "' (must be byte-identical)");
+    }
+  }
+
+  fs::remove_all(store_dir, ec);
+  if (!diffs.empty()) {
+    std::printf("[ FAIL ] store_roundtrip: %zu diff(s)\n", diffs.size());
+    for (const std::string& diff : diffs) {
+      std::printf("         %s\n", diff.c_str());
+    }
+    return 1;
+  }
+  std::printf("store-roundtrip: PASS (warm restart served from the store, "
+              "stats byte-identical)\n");
   return 0;
 }
 

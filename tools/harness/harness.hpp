@@ -108,10 +108,32 @@ struct SoakOptions {
   /// Repeat the whole record+replay cycle this many times; all runs must
   /// produce identical capture digests (bitwise run-to-run determinism).
   std::size_t rounds = 2;
+  /// Scratch directory for the warm-restart round's table store; empty
+  /// picks a path under the system temp dir. The round runs the same
+  /// fleet twice against this store: the cold run populates it (builds
+  /// > 0), the warm run must report zero Phase-1 builds and reproduce the
+  /// storeless timeline digest bitwise — the restart contract of
+  /// DESIGN.md §6e at fleet scale.
+  std::string table_store_dir;
 };
 
-/// In-process record/replay soak (see file comment). Returns exit code.
+/// In-process record/replay soak (see file comment), followed by the
+/// warm-restart round through a persistent table store. Returns exit code.
 int run_soak_mode(const SoakOptions& options);
+
+struct StoreRoundtripOptions {
+  std::string bin_dir;
+  std::string work_root;
+};
+
+/// Executable-level store round trip: runs `quickstart --coarse
+/// --table-store=<shared dir>` twice as real subprocesses. The cold run
+/// must report table_builds = 1 / store_hits = 0, the warm run
+/// table_builds = 0 / store_hits = 1, and every other stat (including the
+/// physics digest) must match byte-for-byte — serving from the store is
+/// bitwise indistinguishable from serving the freshly built table.
+/// Returns exit code.
+int run_store_roundtrip_mode(const StoreRoundtripOptions& options);
 
 struct TrajectoryOptions {
   std::string bench_dir;     ///< directory with fresh BENCH_*.json

@@ -7,7 +7,8 @@
 //   PROTEMP_E2E_REGEN=1 ./protemp_harness     # same, via environment
 //   ./protemp_harness --mode=list             # print the scenario table
 //   ./protemp_harness --mode=soak [--tenants=128] [--virtual-minutes=2]
-//                     [--seed=2008] [--rounds=2]
+//                     [--seed=2008] [--rounds=2] [--table-store-dir=DIR]
+//   ./protemp_harness --mode=store-roundtrip   # cold/warm quickstart pair
 //   ./protemp_harness --mode=trajectory [--bench-dir=.]
 //
 // Directory defaults are baked in at configure time (PROTEMP_BIN_DIR,
@@ -67,8 +68,17 @@ int main(int argc, char** argv) {
       options.seed = static_cast<std::uint64_t>(args.get_int("seed", 2008));
       options.shards = static_cast<std::size_t>(args.get_int("shards", 4));
       options.rounds = static_cast<std::size_t>(args.get_int("rounds", 2));
+      options.table_store_dir = args.get_string("table-store-dir", "");
       args.check_unknown();
       return harness::run_soak_mode(options);
+    }
+
+    if (mode == "store-roundtrip") {
+      harness::StoreRoundtripOptions options;
+      options.bin_dir = args.get_string("bin-dir", PROTEMP_BIN_DIR);
+      options.work_root = args.get_string("workdir", "protemp_e2e_work");
+      args.check_unknown();
+      return harness::run_store_roundtrip_mode(options);
     }
 
     if (mode == "trajectory") {
@@ -82,7 +92,8 @@ int main(int argc, char** argv) {
     }
 
     std::fprintf(stderr,
-                 "harness: unknown --mode=%s (golden|soak|trajectory|list)\n",
+                 "harness: unknown --mode=%s "
+                 "(golden|soak|store-roundtrip|trajectory|list)\n",
                  mode.c_str());
     return 2;
   } catch (const std::exception& e) {

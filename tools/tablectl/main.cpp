@@ -1,0 +1,257 @@
+// tablectl — operate on persistent Phase-1 table stores (DESIGN.md §6e).
+//
+//   tablectl build   --store=DIR [--platform=niagara8] [grid/optimizer flags]
+//   tablectl inspect --store=DIR [--file=NAME.ptbl]
+//   tablectl verify  --store=DIR [--all]
+//   tablectl gc      --store=DIR
+//
+// build runs the Phase-1 grid of solves for the named platform and
+// publishes the artifact under the exact identity key a serving session
+// (ScenarioRunner / SessionFleet with the same configuration) would look
+// up — the build-farm half of the build → store → serve pipeline. The
+// grid flags are the same names the "pro-temp" policy accepts
+// (--tstart-min/max/step, --ftarget-min/max/step-mhz), so a spec file and
+// a tablectl invocation describe the same table in the same words.
+// A build whose key is already present loads instead of re-solving
+// (cross-process dedup via the store's writer lock).
+//
+// inspect lists every artifact (shape, bytes, validity) or, with --file,
+// dumps one artifact's metadata and grid. verify opens and fully
+// validates every artifact (CRCs, version, grids), printing one line per
+// failure; exit 1 when anything is invalid — the fleet-ops health check.
+// gc removes invalid artifacts, orphaned temp files and stale writer
+// locks.
+//
+// Exit codes: 0 success; 1 operational failure (corrupt artifact, failed
+// build, unwritable store); 2 usage error (unknown subcommand or flag).
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/status.hpp"
+#include "arch/platform.hpp"
+#include "core/frequency_table.hpp"
+#include "core/optimizer.hpp"
+#include "store/format.hpp"
+#include "store/interpolated_table.hpp"
+#include "store/table_store.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace protemp;
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: tablectl <build|inspect|verify|gc> --store=DIR "
+               "[flags]\n"
+               "  build   --store=DIR [--platform=niagara8] [--tmax=] "
+               "[--dt=] [--uniform]\n"
+               "          [--tstart-min=] [--tstart-max=] [--tstart-step=]\n"
+               "          [--ftarget-min-mhz=] [--ftarget-max-mhz=] "
+               "[--ftarget-step-mhz=]\n"
+               "  inspect --store=DIR [--file=NAME.ptbl]\n"
+               "  verify  --store=DIR [--all]\n"
+               "  gc      --store=DIR\n");
+}
+
+api::StatusOr<std::shared_ptr<store::TableStore>> open_store(
+    util::CliArgs& args) {
+  const std::string dir = args.get_string("store", "");
+  if (dir.empty()) {
+    return api::Status::invalid_argument("--store=DIR is required");
+  }
+  return store::TableStore::open(dir);
+}
+
+int cmd_build(util::CliArgs& args) {
+  auto store = open_store(args);
+  const std::string platform_name =
+      args.get_string("platform", "niagara8");
+
+  core::ProTempConfig optimizer;
+  optimizer.tmax = args.get_double("tmax", optimizer.tmax);
+  optimizer.dt = args.get_double("dt", optimizer.dt);
+  optimizer.uniform_frequency =
+      args.get_bool("uniform", optimizer.uniform_frequency);
+  optimizer.gradient_step_stride = static_cast<std::size_t>(args.get_int(
+      "gradient-stride",
+      static_cast<long long>(optimizer.gradient_step_stride)));
+  optimizer.minimize_gradient =
+      args.get_bool("minimize-gradient", optimizer.minimize_gradient);
+
+  // Grid flags forward verbatim into the same Options the "pro-temp"
+  // factory reads, so the derived grid — and therefore the identity key —
+  // is bit-identical to a serving session's.
+  api::Options grid_options;
+  for (const char* key :
+       {"tstart-min", "tstart-max", "tstart-step", "ftarget-min-mhz",
+        "ftarget-max-mhz", "ftarget-step-mhz"}) {
+    const std::string value = args.get_string(key, "");
+    if (!value.empty()) grid_options.set(key, value);
+  }
+  args.check_unknown();
+  if (!store.ok()) {
+    std::fprintf(stderr, "tablectl: %s\n", store.status().to_string().c_str());
+    return 1;
+  }
+
+  api::StatusOr<arch::Platform> platform = api::make_platform(platform_name);
+  if (!platform.ok()) {
+    std::fprintf(stderr, "tablectl: %s\n",
+                 platform.status().to_string().c_str());
+    return 1;
+  }
+  api::PolicyContext context;
+  context.platform = &platform.value();
+  context.optimizer = optimizer;
+  context.platform_key = platform_name;  // ScenarioRunner's key, no options
+  api::StatusOr<api::TableGridSpec> grid =
+      api::table_grid_from_options(grid_options, context);
+  if (!grid.ok()) {
+    std::fprintf(stderr, "tablectl: %s\n", grid.status().to_string().c_str());
+    return 1;
+  }
+  const std::string key = api::table_identity_key(context, *grid);
+
+  std::printf("building %zu x %zu table for %s (key hash %016llx)...\n",
+              grid->tstart.size(), grid->ftarget.size(),
+              platform_name.c_str(),
+              static_cast<unsigned long long>(util::fnv1a64(key)));
+  bool built = false;
+  api::StatusOr<core::FrequencyTable> table = store.value()->get_or_build(
+      key,
+      [&]() {
+        const core::ProTempOptimizer opt(platform.value(), optimizer);
+        return core::FrequencyTable::build(opt, grid->tstart, grid->ftarget);
+      },
+      &built);
+  if (!table.ok()) {
+    std::fprintf(stderr, "tablectl: %s\n", table.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s: %zu x %zu, %zu feasible cells, %zu cores\n",
+              built ? "built" : "already in store (loaded)", table->rows(),
+              table->cols(), table->feasible_cells(), table->num_cores());
+  return 0;
+}
+
+int cmd_inspect(util::CliArgs& args) {
+  auto store = open_store(args);
+  const std::string file = args.get_string("file", "");
+  args.check_unknown();
+  if (!store.ok()) {
+    std::fprintf(stderr, "tablectl: %s\n", store.status().to_string().c_str());
+    return 1;
+  }
+  if (!file.empty()) {
+    const std::string path = store.value()->root() + "/" + file;
+    api::StatusOr<store::TableView> view = store::TableView::open(path);
+    if (!view.ok()) {
+      std::fprintf(stderr, "tablectl: %s\n",
+                   view.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("%s: %zu x %zu, %zu cores, %zu feasible cells\n",
+                file.c_str(), view->rows(), view->cols(), view->num_cores(),
+                view->feasible_cells());
+    std::printf("tstart [%g, %g] degC, ftarget [%g, %g] MHz\n",
+                view->tstart_grid()[0], view->tstart_grid()[view->rows() - 1],
+                view->ftarget_grid()[0] / 1e6,
+                view->ftarget_grid()[view->cols() - 1] / 1e6);
+    std::printf("metadata:\n%.*s\n",
+                static_cast<int>(view->metadata().size()),
+                view->metadata().data());
+    return 0;
+  }
+  const std::vector<store::TableStore::EntryInfo> entries =
+      store.value()->list();
+  if (entries.empty()) {
+    std::printf("store %s is empty\n", store.value()->root().c_str());
+    return 0;
+  }
+  for (const auto& entry : entries) {
+    if (entry.valid) {
+      std::printf("%s  %zux%zu x%zu cores  %llu bytes  ok\n",
+                  entry.file.c_str(), entry.rows, entry.cols, entry.num_cores,
+                  static_cast<unsigned long long>(entry.bytes));
+    } else {
+      std::printf("%s  INVALID: %s\n", entry.file.c_str(),
+                  entry.error.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_verify(util::CliArgs& args) {
+  auto store = open_store(args);
+  // --all is the (default) everything sweep; accepted explicitly so fleet
+  // runbooks can say `tablectl verify --all` and mean it.
+  args.get_bool("all", true);
+  args.check_unknown();
+  if (!store.ok()) {
+    std::fprintf(stderr, "tablectl: %s\n", store.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<std::string> errors;
+  const api::Status status = store.value()->verify_all(&errors);
+  for (const std::string& error : errors) {
+    std::fprintf(stderr, "tablectl: %s\n", error.c_str());
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "tablectl: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::printf("store %s: %zu artifact(s), all valid\n",
+              store.value()->root().c_str(), store.value()->list().size());
+  return 0;
+}
+
+int cmd_gc(util::CliArgs& args) {
+  auto store = open_store(args);
+  args.check_unknown();
+  if (!store.ok()) {
+    std::fprintf(stderr, "tablectl: %s\n", store.status().to_string().c_str());
+    return 1;
+  }
+  const api::StatusOr<std::size_t> removed = store.value()->gc();
+  if (!removed.ok()) {
+    std::fprintf(stderr, "tablectl: %s\n",
+                 removed.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("removed %zu file(s)\n", *removed);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::CliArgs args(argc, argv);
+    if (args.positional().size() != 1) {
+      print_usage(stderr);
+      return 2;
+    }
+    const std::string& command = args.positional()[0];
+    if (command == "build") return cmd_build(args);
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "verify") return cmd_verify(args);
+    if (command == "gc") return cmd_gc(args);
+    std::fprintf(stderr, "tablectl: unknown command '%s'\n", command.c_str());
+    print_usage(stderr);
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    // CliArgs errors (unknown flag, malformed value) are usage errors.
+    std::fprintf(stderr, "tablectl: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tablectl: %s\n", e.what());
+    return 1;
+  }
+}
