@@ -19,6 +19,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/histogram.hpp"
@@ -42,6 +43,7 @@ struct SessionRun {
   std::size_t windows = 0;
   std::size_t steady_steps = 0;
   std::size_t warm_started = 0;
+  std::size_t budget_expired = 0;  ///< solves cut short by a fixed budget
   double checksum = 0.0;         ///< sum of per-window mean frequencies
   util::Histogram window_hist;   ///< per-boundary-step latency [s]
   util::Histogram steady_hist;   ///< per-non-boundary-step latency [s]
@@ -152,6 +154,7 @@ SessionRun run_session(bool warm, std::size_t windows, std::size_t repeats) {
     const auto& policy = dynamic_cast<const core::OnlineProTempPolicy&>(
         (*session)->dfs_policy());
     run.warm_started = policy.workspace().stats().warm_started;
+    run.budget_expired = policy.workspace().stats().budget_expired;
     if (rep == 0 || run.seconds < best.seconds) best = run;
   }
   return best;
@@ -169,8 +172,11 @@ int main(int argc, char** argv) {
     const std::string stats_out = args.get_string("stats-out", "");
     args.check_unknown();
 
+    const char* backend =
+        linalg::kernels::to_string(linalg::kernels::active_backend());
     std::printf("# ControlSession::step open-loop replay, %zu windows "
-                "(niagara8, pro-temp-online)...\n", windows);
+                "(niagara8, pro-temp-online, kernel backend: %s)...\n",
+                windows, backend);
     const SessionRun cold = run_session(/*warm=*/false, windows, repeats);
     const SessionRun warm = run_session(/*warm=*/true, windows, repeats);
 
@@ -227,6 +233,9 @@ int main(int argc, char** argv) {
     const bool fast = speedup >= gate;
 
     bench::JsonReporter json("session_step");
+    json.add_info("kernel_backend", backend);
+    json.add_metric("budget_expired",
+                    static_cast<double>(warm.budget_expired), "count");
     json.add_metric("cold_replay", cold.seconds, "s");
     json.add_metric("warm_replay", warm.seconds, "s");
     json.add_metric("warm_window_step", per_window_us(warm), "us");

@@ -180,7 +180,12 @@ void JsonReporter::add_metric(const std::string& metric, double value,
 void JsonReporter::add_gated_metric(const std::string& metric, double value,
                                     const std::string& unit,
                                     const std::string& gate, bool pass) {
-  entries_.push_back(Entry{metric, value, unit, gate, pass});
+  entries_.push_back(Entry{metric, value, unit, gate, pass, ""});
+}
+
+void JsonReporter::add_info(const std::string& metric,
+                            const std::string& text) {
+  entries_.push_back(Entry{metric, 0.0, "", "", true, text});
 }
 
 bool JsonReporter::write() const {
@@ -198,6 +203,12 @@ bool JsonReporter::write() const {
                json_escape(name_).c_str());
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     const Entry& e = entries_[i];
+    if (!e.text.empty()) {
+      std::fprintf(f, "%s\n    {\"metric\": \"%s\", \"info\": \"%s\"}",
+                   i == 0 ? "" : ",", json_escape(e.metric).c_str(),
+                   json_escape(e.text).c_str());
+      continue;
+    }
     std::fprintf(f, "%s\n    {\"metric\": \"%s\", \"value\": %.17g, "
                  "\"unit\": \"%s\"",
                  i == 0 ? "" : ",", json_escape(e.metric).c_str(), e.value,
@@ -228,6 +239,10 @@ void JsonReporter::write_stats(const std::string& path) const {
   for (const Entry& e : entries_) {
     // Metric names become stats keys directly (bench metric names use the
     // same [A-Za-z0-9_.-] alphabet StatsWriter validates).
+    if (!e.text.empty()) {
+      stats.add_text(e.metric, e.text);
+      continue;
+    }
     stats.add(e.metric, e.value);
     if (!e.gate.empty()) {
       stats.add_count(e.metric + ".pass", e.pass ? 1 : 0);

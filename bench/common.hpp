@@ -94,6 +94,10 @@ class JsonReporter {
   void add_gated_metric(const std::string& metric, double value,
                         const std::string& unit, const std::string& gate,
                         bool pass);
+  /// String-valued entry (e.g. `kernel_backend = avx2`): JSON gets
+  /// {"metric": ..., "info": ...}, the stats file a text line — so
+  /// golden-stats diffs name the backend when numerics drift.
+  void add_info(const std::string& metric, const std::string& text);
 
   /// Writes BENCH_<name>.json atomically (temp file + rename, so readers
   /// never observe a truncated artifact); prints the path on success.
@@ -112,6 +116,7 @@ class JsonReporter {
     std::string unit;
     std::string gate;  ///< empty = ungated
     bool pass = true;
+    std::string text;  ///< non-empty = string-valued info entry
   };
   std::string name_;
   std::vector<Entry> entries_;

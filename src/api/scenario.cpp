@@ -152,6 +152,18 @@ class SpecParser {
     if (key == "opt.backend") {
       return set_backend(a, spec_.optimizer.backend);
     }
+    // Solver iteration budgets (convex::BarrierOptions). 0 means unlimited
+    // for the two fixed-budget keys; max_newton_per_stage must stay >= 1
+    // (validated below — 0 would make every centering stage a no-op).
+    if (key == "opt.max_newton_per_stage") {
+      return set_size(a, spec_.optimizer.solver.max_newton_per_stage);
+    }
+    if (key == "opt.max_newton_iters") {
+      return set_size(a, spec_.optimizer.solver.max_newton_total);
+    }
+    if (key == "opt.solve_deadline") {
+      return set_double(a, spec_.optimizer.solver.solve_deadline_seconds);
+    }
 
     if (key.rfind("platform.", 0) == 0) {
       spec_.platform_options.set(key.substr(9), a.value);
@@ -385,6 +397,13 @@ Status ScenarioSpec::validate() const {
   if (optimizer.gradient_step_stride < 1) {
     return fail("opt.gradient_step_stride must be >= 1");
   }
+  if (optimizer.solver.max_newton_per_stage < 1) {
+    return fail("opt.max_newton_per_stage must be >= 1");
+  }
+  if (optimizer.solver.solve_deadline_seconds < 0.0 ||
+      !std::isfinite(optimizer.solver.solve_deadline_seconds)) {
+    return fail("opt.solve_deadline must be >= 0 (0 disables the deadline)");
+  }
   for (std::size_t i = 1; i < sim.band_edges.size(); ++i) {
     if (sim.band_edges[i] <= sim.band_edges[i - 1]) {
       return fail("sim.band_edges must be strictly increasing");
@@ -473,6 +492,12 @@ std::string ScenarioSpec::serialize() const {
   }
   emit("opt.warm_start", optimizer.warm_start ? "true" : "false");
   emit("opt.backend", linalg::to_string(optimizer.backend));
+  emit("opt.max_newton_per_stage",
+       std::to_string(optimizer.solver.max_newton_per_stage));
+  emit("opt.max_newton_iters",
+       std::to_string(optimizer.solver.max_newton_total));
+  emit("opt.solve_deadline",
+       format_double(optimizer.solver.solve_deadline_seconds));
 
   emit("dfs", dfs_policy);
   emit_options("dfs", dfs_options);

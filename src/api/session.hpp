@@ -177,6 +177,12 @@ class ControlSession final : public sim::Controller {
   const sim::SimConfig& sim_config() const noexcept { return sim_config_; }
   const sim::DfsPolicy& dfs_policy() const noexcept { return *dfs_; }
   sim::DfsPolicy& dfs_policy() noexcept { return *dfs_; }
+  /// The dfs policy's solver workspace when it owns one (online MPC
+  /// policies), else nullptr: warm-start counters, Newton totals and
+  /// fixed-budget expiry counts for stats reporting.
+  const convex::SolverWorkspace* solver_workspace() const noexcept {
+    return dfs_->solver_workspace();
+  }
   const sim::AssignmentPolicy& assignment_policy() const noexcept {
     return *assignment_;
   }

@@ -1,6 +1,7 @@
 #include "convex/barrier.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -13,6 +14,27 @@ namespace {
 
 constexpr const char* kModule = "convex.barrier";
 constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Shared fixed-budget state threaded through the centering stages. The
+/// clock is only read when a deadline is armed, so budget-free solves
+/// (the defaults) perform exactly the historical instruction sequence.
+struct BudgetState {
+  std::size_t max_total = 0;  ///< total Newton steps; 0 = unlimited
+  double deadline = 0.0;      ///< monotonic cutoff; 0 = no deadline
+  std::size_t used = 0;
+
+  /// True once another Newton step would overrun the budget.
+  bool expired() const {
+    if (max_total != 0 && used >= max_total) return true;
+    return deadline != 0.0 && monotonic_seconds() >= deadline;
+  }
+};
 
 /// Barrier value at x for parameter t; gradient/Hessian land in the
 /// workspace buffers when requested. `feasible` is false (value +inf,
@@ -86,14 +108,22 @@ BarrierEval evaluate(const BarrierProblem& prob, const linalg::Vector& x,
 /// decrement reached; updates x in place.
 struct CenterResult {
   bool ok = false;
+  bool budget_expired = false;  ///< stopped by the fixed solve budget
   std::size_t newton_steps = 0;
 };
 
 CenterResult center(const BarrierProblem& prob, linalg::Vector& x, double t,
                     const BarrierOptions& opt,
-                    SolverWorkspace::BarrierBuffers& buf) {
+                    SolverWorkspace::BarrierBuffers& buf,
+                    BudgetState& budget) {
   CenterResult result;
   for (std::size_t step = 0; step < opt.max_newton_per_stage; ++step) {
+    if (budget.expired()) {
+      // x is the incumbent reached by the last full step — still strictly
+      // feasible (line search never leaves the domain).
+      result.budget_expired = true;
+      return result;
+    }
     const BarrierEval eval = evaluate(prob, x, t, /*with_derivatives=*/true,
                                       buf);
     if (!eval.feasible) return result;  // should not happen from feasible x
@@ -150,6 +180,7 @@ CenterResult center(const BarrierProblem& prob, linalg::Vector& x, double t,
 
     const double decrement2 = -buf.gradient.dot(buf.direction);  // lambda^2
     result.newton_steps = step + 1;
+    ++budget.used;
     if (!std::isfinite(decrement2)) return result;  // barrier overflow
     if (decrement2 / 2.0 <= opt.newton_tolerance) {
       result.ok = true;
@@ -255,10 +286,30 @@ Solution solve_barrier(const BarrierProblem& problem, const linalg::Vector& x0,
   // gracefully when a late stage hits floating-point limits.
   double certified_gap = kInfinity;
 
+  BudgetState budget;
+  budget.max_total = options.max_newton_total;
+  if (options.solve_deadline_seconds > 0.0) {
+    budget.deadline = monotonic_seconds() + options.solve_deadline_seconds;
+  }
+
   for (std::size_t stage = 0; stage < options.max_stages; ++stage) {
-    const CenterResult centered = center(problem, x, t, options, buf);
+    const CenterResult centered = center(problem, x, t, options, buf, budget);
     total_newton += centered.newton_steps;
     ws.stats().newton_steps += centered.newton_steps;
+    if (centered.budget_expired) {
+      // Fixed budget ran out mid-solve: serve the incumbent. The reported
+      // gap is the bound certified by the last completed stage; before any
+      // stage completed it degrades to the current stage's m/t target,
+      // which is what that stage was driving the gap down to.
+      ++ws.stats().budget_expired;
+      result.status = SolveStatus::kBudgetExpired;
+      result.x = x;
+      result.objective = problem.objective->value(x);
+      result.iterations = total_newton;
+      result.gap = std::isfinite(certified_gap) ? certified_gap : m / t;
+      result.primal_residual = std::max(0.0, problem.max_violation(x));
+      return result;
+    }
     if (!centered.ok) {
       // Late-stage numerical trouble (barrier Hessian overflow near the
       // boundary). If an earlier stage already certified a decent gap, the

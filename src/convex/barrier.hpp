@@ -48,6 +48,16 @@ struct BarrierOptions {
   double newton_tolerance = 1e-10;  ///< centering stop: lambda^2/2
   std::size_t max_newton_per_stage = 80;
   std::size_t max_stages = 64;
+  /// Fixed-budget solve (real-time callers). When the *total* Newton-step
+  /// budget or the wall-clock deadline expires mid-solve, the solver stops
+  /// and returns the incumbent strictly feasible iterate with status
+  /// kBudgetExpired and `gap` set to a finite suboptimality bound (the gap
+  /// certified by the last completed centering stage, or the current
+  /// stage's m/t target when none completed yet). 0 disables either limit;
+  /// the clock is never read while solve_deadline_seconds == 0, so the
+  /// default solve path is untouched.
+  std::size_t max_newton_total = 0;
+  double solve_deadline_seconds = 0.0;
   double line_search_alpha = 0.25;  ///< sufficient-decrease fraction
   double line_search_beta = 0.5;    ///< backtracking shrink factor
   double ridge = 1e-12;             ///< Hessian regularization floor

@@ -9,6 +9,7 @@ const char* to_string(SolveStatus status) noexcept {
     case SolveStatus::kOptimal: return "optimal";
     case SolveStatus::kInfeasible: return "infeasible";
     case SolveStatus::kMaxIterations: return "max_iterations";
+    case SolveStatus::kBudgetExpired: return "budget_expired";
     case SolveStatus::kNumericalFailure: return "numerical_failure";
   }
   return "?";

@@ -12,6 +12,8 @@ enum class SolveStatus {
   kOptimal,          ///< converged to tolerance
   kInfeasible,       ///< problem certified (or phase-I detected) infeasible
   kMaxIterations,    ///< iteration budget exhausted before convergence
+  kBudgetExpired,    ///< explicit Newton/deadline budget hit: x is the
+                     ///< strictly feasible incumbent, gap its bound
   kNumericalFailure  ///< factorization failed beyond recoverable ridge
 };
 

@@ -51,6 +51,7 @@ class SolverWorkspace {
     std::size_t warm_started = 0;   ///< seeded from a recorded optimum
     std::size_t warm_rejected = 0;  ///< hint present but not strictly feasible
     std::size_t newton_steps = 0;   ///< cumulative Newton iterations
+    std::size_t budget_expired = 0; ///< solves cut short by the fixed budget
   };
   Stats& stats() noexcept { return stats_; }
   const Stats& stats() const noexcept { return stats_; }

@@ -403,7 +403,10 @@ FrequencyAssignment ProTempOptimizer::solve_with_rhs(
           throughput, lift_x0, lift_warm ? warm_options() : config_.solver,
           workspace);
       out.newton_iterations += sol.iterations;
-      if (sol.status != convex::SolveStatus::kOptimal) {
+      // A budget-expired lift still yields an incumbent worth trying; the
+      // strictly_feasible check below decides whether it is usable.
+      if (sol.status != convex::SolveStatus::kOptimal &&
+          sol.status != convex::SolveStatus::kBudgetExpired) {
         if (lift_warm) {
           // Stale throughput seed: drop hints, retry fully cold (the
           // recursion terminates — no hints survive forget()).
@@ -433,7 +436,12 @@ FrequencyAssignment ProTempOptimizer::solve_with_rhs(
       problem, x0, out.warm_started ? warm_options() : config_.solver,
       workspace);
   out.newton_iterations += sol.iterations;
-  if (sol.status != convex::SolveStatus::kOptimal) {
+  // A budget-expired solve is served, not retried: the incumbent is
+  // strictly feasible with a finite gap bound, and a cold retry is exactly
+  // the work the deadline exists to cut off.
+  const bool budget_expired =
+      sol.status == convex::SolveStatus::kBudgetExpired;
+  if (sol.status != convex::SolveStatus::kOptimal && !budget_expired) {
     // A stale warm seed must never turn a solvable point into a failure:
     // drop the hint and retry once from the cold path before reporting.
     if (out.warm_started) {
@@ -470,7 +478,7 @@ FrequencyAssignment ProTempOptimizer::solve_with_rhs(
                     "P=%.2fW tgrad=%.2fK newton=%zu",
                     ftarget_hz / 1e6, out.average_frequency / 1e6,
                     out.total_power, out.tgrad, out.newton_iterations);
-  return finish(convex::SolveStatus::kOptimal);
+  return finish(sol.status);
 }
 
 std::optional<ProTempOptimizer::ThroughputResult>

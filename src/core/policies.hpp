@@ -93,6 +93,9 @@ class OnlineProTempPolicy final : public sim::DfsPolicy {
   const convex::SolverWorkspace& workspace() const noexcept {
     return workspace_;
   }
+  const convex::SolverWorkspace* solver_workspace() const override {
+    return &workspace_;
+  }
 
  private:
   struct Snapshot {

@@ -1,0 +1,58 @@
+// 32-byte-aligned storage for the SIMD kernel layer.
+//
+// Matrix/Vector back their contiguous double storage with this allocator so
+// the dispatched kernels (src/linalg/kernels/) can assume vector-friendly
+// base addresses. Kernels still issue unaligned loads — sub-row slices of
+// flat horizon matrices land at arbitrary offsets — but an aligned base
+// keeps whole-container traversals (axpy, dot, elementwise ops) on the
+// fast path and makes the alignment guarantee part of the storage type
+// rather than a per-call-site accident.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace protemp::linalg {
+
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static_assert(Alignment >= alignof(T), "alignment below natural");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment not a power of 2");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// Storage alignment of Matrix/Vector data (one AVX2 register).
+inline constexpr std::size_t kSimdAlignment = 32;
+
+/// The contiguous double buffer type behind Matrix and Vector.
+using AlignedDoubles = std::vector<double, AlignedAllocator<double, kSimdAlignment>>;
+
+}  // namespace protemp::linalg

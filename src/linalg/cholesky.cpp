@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/kernels/kernels.hpp"
+
 namespace protemp::linalg {
 
 std::optional<Cholesky> Cholesky::factor(const Matrix& a) {
@@ -23,17 +25,17 @@ bool Cholesky::refactor(const Matrix& a, double ridge) {
   }
   const std::size_t n = a.rows();
   l_.resize(n, n);
+  // Both inner chains run over contiguous factor-row prefixes — the
+  // neg_dot_from kernel.
+  const auto& ops = kernels::active();
   for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j) + ridge;
     const double* lj = l_.row_data(j);
-    for (std::size_t k = 0; k < j; ++k) diag -= lj[k] * lj[k];
+    const double diag = ops.neg_dot_from(a(j, j) + ridge, j, lj, lj);
     if (!(diag > 0.0) || !std::isfinite(diag)) return false;
     const double ljj = std::sqrt(diag);
     l_(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
-      const double* li = l_.row_data(i);
-      for (std::size_t k = 0; k < j; ++k) acc -= li[k] * lj[k];
+      const double acc = ops.neg_dot_from(a(i, j), j, l_.row_data(i), lj);
       l_(i, j) = acc / ljj;
     }
   }
@@ -51,12 +53,14 @@ void Cholesky::solve_into(const Vector& b, Vector& x) const {
   if (b.size() != n) {
     throw std::invalid_argument("Cholesky::solve: dimension mismatch");
   }
-  // Forward substitution L y = b, with y living in x's storage.
+  // Forward substitution L y = b, with y living in x's storage; the inner
+  // chain is contiguous (neg_dot_from kernel). Back substitution walks a
+  // column and stays scalar.
   x.resize(n);
+  const auto& ops = kernels::active();
   for (std::size_t i = 0; i < n; ++i) {
-    double acc = b[i];
     const double* li = l_.row_data(i);
-    for (std::size_t k = 0; k < i; ++k) acc -= li[k] * x[k];
+    const double acc = ops.neg_dot_from(b[i], i, li, x.data());
     x[i] = acc / li[i];
   }
   // Back substitution L^T x = y, overwriting top-down-safe entries.

@@ -1,0 +1,108 @@
+// Runtime kernel backend selection (see kernels.hpp for the contract).
+#include "linalg/kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace protemp::linalg::kernels {
+
+namespace {
+
+// The resolved table and its backend tag. Resolution is idempotent (same
+// inputs -> same result), so the benign race on first concurrent use is
+// harmless; each field is individually atomic.
+std::atomic<const KernelOps*> g_active{nullptr};
+std::atomic<KernelBackend> g_active_backend{KernelBackend::kAuto};
+std::atomic<KernelBackend> g_forced{KernelBackend::kAuto};
+
+KernelBackend requested_backend() noexcept {
+  const KernelBackend forced = g_forced.load(std::memory_order_relaxed);
+  if (forced != KernelBackend::kAuto) return forced;
+  if (const char* env = std::getenv("PROTEMP_KERNEL_BACKEND")) {
+    if (const auto parsed = parse_kernel_backend(env)) return *parsed;
+    std::fprintf(stderr,
+                 "protemp: ignoring unknown PROTEMP_KERNEL_BACKEND=\"%s\" "
+                 "(want auto|scalar|avx2)\n",
+                 env);
+  }
+  return KernelBackend::kAuto;
+}
+
+const KernelOps* resolve(KernelBackend request,
+                         KernelBackend& resolved) noexcept {
+  if (request == KernelBackend::kScalar) {
+    resolved = KernelBackend::kScalar;
+    return &scalar_ops();
+  }
+  const KernelOps* avx2 = cpu_supports_avx2() ? avx2_ops() : nullptr;
+  if (avx2 == nullptr) {
+    if (request == KernelBackend::kAvx2) {
+      std::fprintf(stderr,
+                   "protemp: avx2 kernel backend requested but unavailable "
+                   "(no AVX2+FMA cpu support); using scalar\n");
+    }
+    resolved = KernelBackend::kScalar;
+    return &scalar_ops();
+  }
+  resolved = KernelBackend::kAvx2;
+  return avx2;
+}
+
+const KernelOps& resolve_and_publish() noexcept {
+  KernelBackend resolved = KernelBackend::kScalar;
+  const KernelOps* ops = resolve(requested_backend(), resolved);
+  g_active_backend.store(resolved, std::memory_order_relaxed);
+  g_active.store(ops, std::memory_order_release);
+  return *ops;
+}
+
+}  // namespace
+
+const char* to_string(KernelBackend backend) noexcept {
+  switch (backend) {
+    case KernelBackend::kAuto:
+      return "auto";
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "auto";
+}
+
+std::optional<KernelBackend> parse_kernel_backend(
+    std::string_view text) noexcept {
+  if (text == "auto") return KernelBackend::kAuto;
+  if (text == "scalar") return KernelBackend::kScalar;
+  if (text == "avx2") return KernelBackend::kAvx2;
+  return std::nullopt;
+}
+
+bool cpu_supports_avx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const KernelOps& active() noexcept {
+  if (const KernelOps* ops = g_active.load(std::memory_order_acquire)) {
+    return *ops;
+  }
+  return resolve_and_publish();
+}
+
+KernelBackend active_backend() noexcept {
+  active();  // ensure resolved
+  return g_active_backend.load(std::memory_order_relaxed);
+}
+
+void force_kernel_backend(KernelBackend backend) noexcept {
+  g_forced.store(backend, std::memory_order_relaxed);
+  resolve_and_publish();
+}
+
+}  // namespace protemp::linalg::kernels

@@ -1,0 +1,142 @@
+// Scalar kernel backend — the bitwise reference.
+//
+// Every function here is the exact inner loop the owning linalg type ran
+// before the kernel layer existed (matrix.cpp / sparse.cpp / vector.cpp /
+// cholesky.cpp history). Do not "improve" these loops: their operation
+// order *is* the contract every golden trace, stats file and dense<->sparse
+// parity gate is pinned to. The AVX2 backend's Class A kernels replicate
+// these sequences lane-for-lane; Class B reductions are tested against
+// these at ulp-level tolerance.
+#include "linalg/kernels/kernels.hpp"
+
+namespace protemp::linalg::kernels {
+namespace scalar {
+
+void matvec_add(const double* a, std::size_t rows, std::size_t cols,
+                const double* x, double* out) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* r = a + i * cols;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) acc += r[j] * x[j];
+    out[i] += acc;
+  }
+}
+
+void matvec_t_add(const double* a, std::size_t rows, std::size_t cols,
+                  const double* x, double* out) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* r = a + i * cols;
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < cols; ++j) out[j] += r[j] * xi;
+  }
+}
+
+void mm_raw(const double* a, std::size_t rows, std::size_t acols,
+            const double* b, std::size_t bcols, double* out) {
+  // i-k-j loop order: unit-stride access on both the B row and the output
+  // row, deliberately branch-free (see Matrix::multiply).
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* ar = a + i * acols;
+    double* o = out + i * bcols;
+    for (std::size_t j = 0; j < bcols; ++j) o[j] = 0.0;
+    for (std::size_t k = 0; k < acols; ++k) {
+      const double aik = ar[k];
+      const double* br = b + k * bcols;
+      for (std::size_t j = 0; j < bcols; ++j) o[j] += aik * br[j];
+    }
+  }
+}
+
+void spmv_add(const CsrView& a, const double* x, double* out) {
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      acc += a.val[k] * x[a.col[k]];
+    }
+    out[i] += acc;
+  }
+}
+
+void spmm_add(const CsrView& a, const double* b, std::size_t bcols,
+              double* out) {
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    double* o = out + i * bcols;
+    for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const double aik = a.val[k];
+      const double* br = b + a.col[k] * bcols;
+      for (std::size_t j = 0; j < bcols; ++j) o[j] += aik * br[j];
+    }
+  }
+}
+
+void spmm_raw(const CsrView& a, const double* b, std::size_t bcols,
+              double* out) {
+  for (std::size_t i = 0; i < a.rows; ++i) {
+    double* o = out + i * bcols;
+    for (std::size_t j = 0; j < bcols; ++j) o[j] = 0.0;
+    for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const double aik = a.val[k];
+      const double* br = b + a.col[k] * bcols;
+      for (std::size_t j = 0; j < bcols; ++j) o[j] += aik * br[j];
+    }
+  }
+}
+
+void gram_weighted(const double* a, std::size_t rows, std::size_t cols,
+                   const double* w, double* out) {
+  for (std::size_t k = 0; k < rows; ++k) {
+    const double* r = a + k * cols;
+    const double wk = w[k];
+    if (wk == 0.0) continue;
+    for (std::size_t i = 0; i < cols; ++i) {
+      const double wri = wk * r[i];
+      if (wri == 0.0) continue;
+      double* o = out + i * cols;
+      // Fill the upper triangle; mirror below.
+      for (std::size_t j = i; j < cols; ++j) o[j] += wri * r[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols; ++i) {
+    for (std::size_t j = i + 1; j < cols; ++j) {
+      out[j * cols + i] = out[i * cols + j];
+    }
+  }
+}
+
+void axpy(std::size_t n, double alpha, const double* x, double* y) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double dot(std::size_t n, const double* x, const double* y) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double sumsq(std::size_t n, const double* x) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc;
+}
+
+double neg_dot_from(double init, std::size_t n, const double* x,
+                    const double* y) {
+  double acc = init;
+  for (std::size_t i = 0; i < n; ++i) acc -= x[i] * y[i];
+  return acc;
+}
+
+}  // namespace scalar
+
+const KernelOps& scalar_ops() noexcept {
+  static constexpr KernelOps ops = {
+      scalar::matvec_add, scalar::matvec_t_add, scalar::mm_raw,
+      scalar::spmv_add,   scalar::spmm_add,     scalar::spmm_raw,
+      scalar::gram_weighted, scalar::axpy,
+      scalar::dot, scalar::sumsq, scalar::neg_dot_from,
+  };
+  return ops;
+}
+
+}  // namespace protemp::linalg::kernels

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "linalg/kernels/kernels.hpp"
+
 namespace protemp::linalg {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -121,12 +123,8 @@ void Matrix::multiply_add_into(const Vector& x, Vector& out) const {
                                 shape_string() + " vs vector of size " +
                                 std::to_string(x.size()));
   }
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* r = row_data(i);
-    double acc = 0.0;
-    for (std::size_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
-    out[i] += acc;
-  }
+  kernels::active().matvec_add(data_.data(), rows_, cols_, x.data(),
+                               out.data());
 }
 
 Vector Matrix::multiply_transposed(const Vector& x) const {
@@ -146,12 +144,8 @@ void Matrix::multiply_transposed_add_into(const Vector& x, Vector& out) const {
                                 shape_string() + " vs vector of size " +
                                 std::to_string(x.size()));
   }
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* r = row_data(i);
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < cols_; ++j) out[j] += r[j] * xi;
-  }
+  kernels::active().matvec_t_add(data_.data(), rows_, cols_, x.data(),
+                                 out.data());
 }
 
 Matrix Matrix::multiply(const Matrix& rhs) const {
@@ -166,15 +160,8 @@ Matrix Matrix::multiply(const Matrix& rhs) const {
   // its cost silently input-dependent; that implicit-sparsity hack is now
   // the explicit SparseMatrix backend. Skipping an exact zero only removes
   // exact-zero addends, so results are bitwise-unchanged either way.)
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a = row_data(i);
-    double* o = out.row_data(i);
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = a[k];
-      const double* b = rhs.row_data(k);
-      for (std::size_t j = 0; j < rhs.cols_; ++j) o[j] += aik * b[j];
-    }
-  }
+  kernels::active().mm_raw(data_.data(), rows_, cols_, rhs.data_.data(),
+                           rhs.cols_, out.data_.data());
   return out;
 }
 
@@ -182,16 +169,7 @@ void Matrix::multiply_raw(const double* b, std::size_t cols,
                           double* out) const {
   // Same i-k-j kernel (and therefore bitwise-identical results) as
   // multiply(); only the storage is caller-provided.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* a = row_data(i);
-    double* o = out + i * cols;
-    for (std::size_t j = 0; j < cols; ++j) o[j] = 0.0;
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = a[k];
-      const double* br = b + k * cols;
-      for (std::size_t j = 0; j < cols; ++j) o[j] += aik * br[j];
-    }
-  }
+  kernels::active().mm_raw(data_.data(), rows_, cols_, b, cols, out);
 }
 
 Matrix Matrix::transposed() const {
@@ -216,21 +194,8 @@ void Matrix::gram_weighted_into(const Vector& d, Matrix& out) const {
                                 std::to_string(rows_));
   }
   out.resize(cols_, cols_);
-  for (std::size_t k = 0; k < rows_; ++k) {
-    const double* r = row_data(k);
-    const double w = d[k];
-    if (w == 0.0) continue;
-    for (std::size_t i = 0; i < cols_; ++i) {
-      const double wri = w * r[i];
-      if (wri == 0.0) continue;
-      double* o = out.row_data(i);
-      // Fill the upper triangle; mirror below.
-      for (std::size_t j = i; j < cols_; ++j) o[j] += wri * r[j];
-    }
-  }
-  for (std::size_t i = 0; i < cols_; ++i) {
-    for (std::size_t j = i + 1; j < cols_; ++j) out(j, i) = out(i, j);
-  }
+  kernels::active().gram_weighted(data_.data(), rows_, cols_, d.data(),
+                                  out.data_.data());
 }
 
 double Matrix::norm_fro() const noexcept {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "linalg/aligned.hpp"
 #include "linalg/vector.hpp"
 
 namespace protemp::linalg {
@@ -131,7 +132,7 @@ class Matrix {
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  AlignedDoubles data_;  // 32-byte-aligned for the SIMD kernel layer
 };
 
 }  // namespace protemp::linalg

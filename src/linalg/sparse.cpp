@@ -55,7 +55,73 @@ SparseMatrix SparseMatrix::from_dense(const Matrix& dense, double drop_tol) {
     }
     out.row_ptr_[i + 1] = out.col_.size();
   }
+  out.build_slabs();
   return out;
+}
+
+void SparseMatrix::build_slabs() {
+  slab_val_.clear();
+  slab_idx_.clear();
+  slab_mask_.clear();
+  slab_ptr_.clear();
+  slab_base_.clear();
+  const std::size_t slabs = rows_ / 4;
+  if (slabs == 0) return;
+  slab_ptr_.assign(slabs + 1, 0);
+  for (std::size_t s = 0; s < slabs; ++s) {
+    std::size_t len = 0;
+    for (std::size_t r = 0; r < 4; ++r) {
+      const std::size_t row = 4 * s + r;
+      len = std::max(len, row_ptr_[row + 1] - row_ptr_[row]);
+    }
+    slab_ptr_[s + 1] = slab_ptr_[s] + len;
+  }
+  const std::size_t total = slab_ptr_[slabs];
+  slab_val_.assign(4 * total, 0.0);
+  slab_idx_.assign(4 * total, 0);
+  slab_mask_.assign(4 * total, 0);
+  for (std::size_t s = 0; s < slabs; ++s) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      const std::size_t row = 4 * s + r;
+      std::uint64_t t = slab_ptr_[s];
+      for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k, ++t) {
+        slab_val_[4 * t + r] = values_[k];
+        slab_idx_[4 * t + r] = col_[k];
+        slab_mask_[4 * t + r] = ~std::uint64_t{0};
+      }
+    }
+  }
+  // Contiguity tags: a k-step whose four lanes are all real entries with
+  // consecutive columns (the interior-slab pattern of banded/stencil
+  // meshes) is tagged with its base column so SpMV can replace the gather
+  // with one contiguous load of x (kernels.hpp CsrView docs).
+  slab_base_.assign(total, -1);
+  for (std::size_t t = 0; t < total; ++t) {
+    bool contiguous = true;
+    for (std::size_t r = 0; r < 4 && contiguous; ++r) {
+      contiguous = slab_mask_[4 * t + r] != 0 &&
+                   slab_idx_[4 * t + r] == slab_idx_[4 * t] + r;
+    }
+    if (contiguous) {
+      slab_base_[t] = static_cast<std::int64_t>(slab_idx_[4 * t]);
+    }
+  }
+}
+
+kernels::CsrView SparseMatrix::view() const noexcept {
+  kernels::CsrView v;
+  v.row_ptr = row_ptr_.data();
+  v.col = col_.data();
+  v.val = values_.data();
+  v.rows = rows_;
+  if (!slab_val_.empty()) {
+    v.slab_val = slab_val_.data();
+    v.slab_idx = slab_idx_.data();
+    v.slab_mask = slab_mask_.data();
+    v.slab_ptr = slab_ptr_.data();
+    v.slab_base = slab_base_.data();
+  }
+  return v;
 }
 
 double SparseMatrix::at(std::size_t i, std::size_t j) const {
@@ -92,14 +158,7 @@ void SparseMatrix::multiply_add_into(const Vector& x, Vector& out) const {
         " x " + std::to_string(cols_) + ") vs vector of size " +
         std::to_string(x.size()));
   }
-  const double* xv = x.data();
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double acc = 0.0;
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      acc += values_[k] * xv[col_[k]];
-    }
-    out[i] += acc;
-  }
+  kernels::active().spmv_add(view(), x.data(), out.data());
 }
 
 Vector SparseMatrix::multiply(const Vector& x) const {
@@ -116,28 +175,13 @@ void SparseMatrix::multiply_dense_into(const Matrix& b, Matrix& out) const {
         " x " + std::to_string(b.cols()) + ")");
   }
   out.resize(rows_, b.cols());
-  const std::size_t bc = b.cols();
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double* o = out.row_data(i);
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      const double aik = values_[k];
-      const double* br = b.row_data(col_[k]);
-      for (std::size_t j = 0; j < bc; ++j) o[j] += aik * br[j];
-    }
-  }
+  if (rows_ == 0 || b.rows() == 0) return;
+  kernels::active().spmm_add(view(), b.row_data(0), b.cols(), out.row_data(0));
 }
 
 void SparseMatrix::multiply_raw(const double* b, std::size_t cols,
                                 double* out) const {
-  for (std::size_t i = 0; i < rows_; ++i) {
-    double* o = out + i * cols;
-    for (std::size_t j = 0; j < cols; ++j) o[j] = 0.0;
-    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-      const double aik = values_[k];
-      const double* br = b + col_[k] * cols;
-      for (std::size_t j = 0; j < cols; ++j) o[j] += aik * br[j];
-    }
-  }
+  kernels::active().spmm_raw(view(), b, cols, out);
 }
 
 bool SparseMatrix::symmetric(double tol) const noexcept {
@@ -190,6 +234,7 @@ SparseMatrix SparseBuilder::build() const {
   for (std::size_t i = 0; i < rows_; ++i) {
     out.row_ptr_[i + 1] += out.row_ptr_[i];
   }
+  out.build_slabs();
   return out;
 }
 
@@ -330,13 +375,16 @@ bool SparseCholesky::refactor(const SparseMatrix& a, double ridge) {
   for (std::size_t i = 0; i < n; ++i) band_a_[i * stride + band_] += ridge;
 
   l_.assign(n * stride, 0.0);
+  const auto& ops = kernels::active();
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t jmin = i > band_ ? i - band_ : 0;
     for (std::size_t j = jmin; j <= i; ++j) {
-      double sum = band_a_[i * stride + (j + band_ - i)];
-      for (std::size_t k = jmin; k < j; ++k) {
-        sum -= l_at(i, k) * l_at(j, k);
-      }
+      // Band rows are contiguous in k, so the subtraction chain is the
+      // neg_dot_from kernel over the two row slices.
+      const double sum =
+          ops.neg_dot_from(band_a_[i * stride + (j + band_ - i)], j - jmin,
+                           &l_[i * stride + (jmin + band_ - i)],
+                           &l_[j * stride + (jmin + band_ - j)]);
       if (j < i) {
         l_at(i, j) = sum / l_at(j, j);
       } else {
@@ -355,11 +403,17 @@ void SparseCholesky::solve_into(const Vector& b, Vector& x,
   }
   scratch.resize(n_);
   for (std::size_t i = 0; i < n_; ++i) scratch[i] = b[perm_[i]];
-  // Forward substitution L y = P b (y overwrites scratch).
+  // Forward substitution L y = P b (y overwrites scratch). The band row is
+  // contiguous in k, so the inner chain is the neg_dot_from kernel; back
+  // substitution below walks a column (stride band_) and stays scalar.
+  const auto& ops = kernels::active();
+  const std::size_t stride = band_ + 1;
   for (std::size_t i = 0; i < n_; ++i) {
     const std::size_t jmin = i > band_ ? i - band_ : 0;
-    double acc = scratch[i];
-    for (std::size_t k = jmin; k < i; ++k) acc -= l_at(i, k) * scratch[k];
+    const double acc =
+        ops.neg_dot_from(scratch[i], i - jmin,
+                         &l_[i * stride + (jmin + band_ - i)],
+                         scratch.data() + jmin);
     scratch[i] = acc / l_at(i, i);
   }
   // Back substitution L^T z = y.

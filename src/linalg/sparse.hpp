@@ -21,12 +21,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "linalg/kernels/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "linalg/vector.hpp"
 
@@ -100,13 +102,28 @@ class SparseMatrix {
   const std::vector<std::size_t>& col_index() const noexcept { return col_; }
   const std::vector<double>& values() const noexcept { return values_; }
 
+  /// Kernel-layer view: the CSR arrays plus the SELL-4 slab mirror (layout
+  /// documented on kernels::CsrView). Slab pointers are null when no slabs
+  /// exist (rows() < 4 or an all-empty slab region).
+  kernels::CsrView view() const noexcept;
+
  private:
   friend class SparseBuilder;
+  /// Builds the SELL-4 mirror of the CSR arrays (called at assembly time;
+  /// the matrix is immutable afterwards).
+  void build_slabs();
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<std::size_t> row_ptr_;  ///< rows()+1 offsets into col_/values_
   std::vector<std::size_t> col_;
   std::vector<double> values_;
+  // SELL-4 slab mirror for SIMD SpMV/SpMM (see kernels::CsrView).
+  std::vector<double> slab_val_;
+  std::vector<std::uint64_t> slab_idx_;
+  std::vector<std::uint64_t> slab_mask_;
+  std::vector<std::uint64_t> slab_ptr_;
+  std::vector<std::int64_t> slab_base_;
 };
 
 /// Accumulating triplet assembler. add() sums duplicate coordinates into a

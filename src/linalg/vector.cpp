@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "linalg/kernels/kernels.hpp"
+
 namespace protemp::linalg {
 
 void Vector::check_same_size(const Vector& rhs, const char* op) const {
@@ -40,22 +42,16 @@ Vector& Vector::operator/=(double scale) {
 
 void Vector::axpy(double alpha, const Vector& x) {
   check_same_size(x, "axpy");
-  for (std::size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * x.data_[i];
-  }
+  kernels::active().axpy(data_.size(), alpha, x.data_.data(), data_.data());
 }
 
 double Vector::dot(const Vector& rhs) const {
   check_same_size(rhs, "dot");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < data_.size(); ++i) acc += data_[i] * rhs.data_[i];
-  return acc;
+  return kernels::active().dot(data_.size(), data_.data(), rhs.data_.data());
 }
 
 double Vector::norm2() const noexcept {
-  double acc = 0.0;
-  for (const double x : data_) acc += x * x;
-  return std::sqrt(acc);
+  return std::sqrt(kernels::active().sumsq(data_.size(), data_.data()));
 }
 
 double Vector::norm_inf() const noexcept {

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "linalg/aligned.hpp"
+
 namespace protemp::linalg {
 
 class Vector {
@@ -22,7 +24,8 @@ class Vector {
   /// Constant vector of dimension n.
   Vector(std::size_t n, double fill) : data_(n, fill) {}
   Vector(std::initializer_list<double> values) : data_(values) {}
-  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+  explicit Vector(const std::vector<double>& values)
+      : data_(values.begin(), values.end()) {}
 
   std::size_t size() const noexcept { return data_.size(); }
   bool empty() const noexcept { return data_.empty(); }
@@ -44,7 +47,7 @@ class Vector {
   auto begin() const noexcept { return data_.begin(); }
   auto end() const noexcept { return data_.end(); }
 
-  const std::vector<double>& raw() const noexcept { return data_; }
+  const AlignedDoubles& raw() const noexcept { return data_; }
 
   /// Re-shapes to dimension n with every entry zeroed, reusing the existing
   /// allocation when capacity suffices. The workhorse of allocation-free
@@ -97,7 +100,7 @@ class Vector {
   }
   void check_same_size(const Vector& rhs, const char* op) const;
 
-  std::vector<double> data_;
+  AlignedDoubles data_;  // 32-byte-aligned for the SIMD kernel layer
 };
 
 /// Dot product as a free function.

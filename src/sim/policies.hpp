@@ -16,6 +16,10 @@
 
 #include "linalg/vector.hpp"
 
+namespace protemp::convex {
+class SolverWorkspace;
+}  // namespace protemp::convex
+
 namespace protemp::sim {
 
 /// Snapshot handed to a DfsPolicy at a window boundary.
@@ -79,6 +83,15 @@ class DfsPolicy {
   /// throw std::invalid_argument on a foreign value.
   virtual std::any save_state() const { return {}; }
   virtual void load_state(const std::any& state) { (void)state; }
+
+  /// The policy's convex-solver workspace, when it owns one (the online
+  /// MPC policies); nullptr for table-driven and reactive policies.
+  /// Sessions surface solver statistics — warm starts, Newton steps,
+  /// fixed-budget expiries — through this without knowing the concrete
+  /// policy type.
+  virtual const convex::SolverWorkspace* solver_workspace() const {
+    return nullptr;
+  }
 };
 
 /// Context for one task-to-core assignment decision.

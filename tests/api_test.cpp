@@ -633,6 +633,44 @@ TEST(ScenarioSpecSerialize, BackendKeysRoundTrip) {
             std::string::npos);
 }
 
+TEST(ScenarioSpecSerialize, SolverBudgetKeysRoundTrip) {
+  ScenarioSpec spec;
+  spec.optimizer.solver.max_newton_per_stage = 17;
+  spec.optimizer.solver.max_newton_total = 250;
+  spec.optimizer.solver.solve_deadline_seconds = 0.125;
+  StatusOr<ScenarioSpec> parsed = ScenarioSpec::parse(spec.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->optimizer.solver.max_newton_per_stage, 17u);
+  EXPECT_EQ(parsed->optimizer.solver.max_newton_total, 250u);
+  EXPECT_DOUBLE_EQ(parsed->optimizer.solver.solve_deadline_seconds, 0.125);
+}
+
+TEST(ScenarioSpec, SolverBudgetKeysValidate) {
+  // max_newton_per_stage = 0 would make every centering stage a no-op.
+  ScenarioSpec zero_stage;
+  zero_stage.optimizer.solver.max_newton_per_stage = 0;
+  EXPECT_EQ(zero_stage.validate().code(), StatusCode::kInvalidArgument);
+
+  // Negative values are rejected at parse time (unsigned grammar).
+  const auto negative =
+      ScenarioSpec::parse("opt.max_newton_per_stage = -3\n");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+
+  const auto negative_total = ScenarioSpec::parse("opt.max_newton_iters = -1\n");
+  EXPECT_FALSE(negative_total.ok());
+
+  ScenarioSpec bad_deadline;
+  bad_deadline.optimizer.solver.solve_deadline_seconds = -0.5;
+  EXPECT_EQ(bad_deadline.validate().code(), StatusCode::kInvalidArgument);
+
+  // 0 = unlimited budget / no deadline stays valid (the defaults).
+  ScenarioSpec defaults;
+  EXPECT_TRUE(defaults.validate().ok());
+  EXPECT_EQ(defaults.optimizer.solver.max_newton_total, 0u);
+  EXPECT_DOUBLE_EQ(defaults.optimizer.solver.solve_deadline_seconds, 0.0);
+}
+
 TEST(ScenarioSpec, MeshPlatformValidatesAndRuns) {
   ScenarioSpec spec;
   spec.name = "mesh-smoke";

@@ -216,6 +216,86 @@ TEST(Barrier, MixedLinearAndNonlinear) {
   EXPECT_NEAR(sol.x[1], 1.0, 1e-5);
 }
 
+// ------------------------------------------------- fixed-budget solves --
+
+/// The polytope LP used by the budget tests: min -x1 - x2 over the unit
+/// box from the interior point (0.5, 0.5); m = 4 constraint rows.
+BarrierProblem budget_polytope() {
+  BarrierProblem problem;
+  problem.objective = affine(Vector{-1.0, -1.0}, 0.0);
+  problem.linear = LinearConstraints{
+      Matrix{{1.0, 0.0}, {0.0, 1.0}, {-1.0, 0.0}, {0.0, -1.0}},
+      Vector{1.0, 1.0, 0.0, 0.0}};
+  return problem;
+}
+
+TEST(Barrier, BudgetStarvationServesFeasibleIncumbent) {
+  // One Newton step is nowhere near convergence: the solver must stop at
+  // the budget, hand back a strictly feasible incumbent and report a
+  // finite duality-gap bound instead of failing.
+  const BarrierProblem problem = budget_polytope();
+  BarrierOptions opt;
+  opt.max_newton_total = 1;
+  SolverWorkspace ws;
+  const Solution sol = solve_barrier(problem, Vector{0.5, 0.5}, opt, &ws);
+  EXPECT_EQ(sol.status, SolveStatus::kBudgetExpired);
+  EXPECT_LE(sol.iterations, opt.max_newton_total);
+  EXPECT_TRUE(problem.strictly_feasible(sol.x));
+  EXPECT_TRUE(std::isfinite(sol.gap));
+  EXPECT_GT(sol.gap, 0.0);
+  EXPECT_EQ(ws.stats().budget_expired, 1u);
+}
+
+TEST(Barrier, NewtonBudgetNeverExceeded) {
+  const BarrierProblem problem = budget_polytope();
+  for (std::size_t budget = 1; budget <= 12; ++budget) {
+    BarrierOptions opt;
+    opt.max_newton_total = budget;
+    const Solution sol = solve_barrier(problem, Vector{0.5, 0.5}, opt);
+    EXPECT_LE(sol.iterations, budget) << "budget " << budget;
+    EXPECT_TRUE(problem.strictly_feasible(sol.x)) << "budget " << budget;
+    EXPECT_TRUE(sol.status == SolveStatus::kBudgetExpired ||
+                sol.status == SolveStatus::kOptimal)
+        << "budget " << budget;
+    EXPECT_TRUE(std::isfinite(sol.gap)) << "budget " << budget;
+  }
+}
+
+TEST(Barrier, DeadlineExpiryServesIncumbent) {
+  // A deadline that has effectively already passed: the very first budget
+  // check fires, so the incumbent is the (strictly feasible) start point.
+  const BarrierProblem problem = budget_polytope();
+  BarrierOptions opt;
+  opt.solve_deadline_seconds = 1e-12;
+  SolverWorkspace ws;
+  const Solution sol = solve_barrier(problem, Vector{0.5, 0.5}, opt, &ws);
+  EXPECT_EQ(sol.status, SolveStatus::kBudgetExpired);
+  EXPECT_TRUE(problem.strictly_feasible(sol.x));
+  EXPECT_TRUE(std::isfinite(sol.gap));
+  EXPECT_EQ(ws.stats().budget_expired, 1u);
+}
+
+TEST(Barrier, UnlimitedBudgetMatchesDefaultBitwise) {
+  // max_newton_total far above need and no deadline must leave the default
+  // solve path untouched — same status, same iterate bits.
+  const BarrierProblem problem = budget_polytope();
+  const Solution base = solve_barrier(problem, Vector{0.5, 0.5});
+  BarrierOptions opt;
+  opt.max_newton_total = 1000000;
+  const Solution budgeted = solve_barrier(problem, Vector{0.5, 0.5}, opt);
+  ASSERT_EQ(base.status, SolveStatus::kOptimal);
+  ASSERT_EQ(budgeted.status, SolveStatus::kOptimal);
+  EXPECT_EQ(base.iterations, budgeted.iterations);
+  ASSERT_EQ(base.x.size(), budgeted.x.size());
+  for (std::size_t i = 0; i < base.x.size(); ++i) {
+    EXPECT_EQ(base.x[i], budgeted.x[i]) << "component " << i;
+  }
+}
+
+TEST(Barrier, BudgetExpiredToString) {
+  EXPECT_STREQ(to_string(SolveStatus::kBudgetExpired), "budget_expired");
+}
+
 TEST(Barrier, RequiresStrictlyFeasibleStart) {
   BarrierProblem problem;
   problem.objective = affine(Vector{1.0}, 0.0);

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "api/protemp.hpp"
+#include "convex/workspace.hpp"
 #include "core/policies.hpp"
 
 namespace protemp {
@@ -329,6 +330,35 @@ TEST(SessionSnapshot, AssignmentStateRestores) {
     second.push_back(*pick);
   }
   EXPECT_EQ(first, second);
+}
+
+// ------------------------------------------------- solver stats surface --
+
+// A session running the online MPC policy exposes its solver workspace, and
+// a fixed Newton budget tight enough to starve the per-window solves shows
+// up in the surfaced budget_expired counter. Table-driven policies own no
+// solver, so the accessor returns nullptr for them.
+TEST(SessionStats, SolverWorkspaceSurfacesBudgetExpiries) {
+  ScenarioSpec spec = open_loop_spec("pro-temp-online");
+  spec.optimizer.solver.max_newton_total = 1;  // starve every solve
+  StatusOr<std::unique_ptr<ControlSession>> session =
+      ControlSession::create(spec);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+
+  const convex::SolverWorkspace* workspace = (*session)->solver_workspace();
+  ASSERT_NE(workspace, nullptr);
+  EXPECT_EQ(workspace->stats().budget_expired, 0u);
+
+  const workload::TelemetryTrace trace =
+      ramp_telemetry((*session)->num_cores(), 20, spec.sim.dt);
+  step_all(**session, trace);  // 4 windows at 5 steps/window
+  EXPECT_GE(workspace->stats().budget_expired, 1u);
+
+  ScenarioSpec table_spec = open_loop_spec("no-tc");
+  StatusOr<std::unique_ptr<ControlSession>> table_session =
+      ControlSession::create(table_spec);
+  ASSERT_TRUE(table_session.ok());
+  EXPECT_EQ((*table_session)->solver_workspace(), nullptr);
 }
 
 // When the DFS state loads but the assignment state is foreign, the DFS
