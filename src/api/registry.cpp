@@ -7,13 +7,18 @@
 #include <cstdlib>
 #include <exception>
 #include <ostream>
+#include <set>
 #include <stdexcept>
 
 #include "api/async.hpp"
+#include "arch/het.hpp"
 #include "arch/mesh.hpp"
 #include "arch/niagara.hpp"
+#include "arch/stack.hpp"
+#include "core/feedback_policies.hpp"
 #include "core/policies.hpp"
 #include "sim/assignment.hpp"
+#include "store/interpolated_policy.hpp"
 #include "store/table_store.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
@@ -584,6 +589,28 @@ std::string table_identity_key(const PolicyContext& context,
       linalg::to_string(c.backend));
   for (const double t : grid.tstart) key += util::format("|t%.17g", t);
   for (const double f : grid.ftarget) key += util::format("|f%.17g", f);
+  // Heterogeneous per-core physics and per-node ceilings change the table's
+  // *contents* (per-core frequency bounds, extra temperature rows), so a
+  // het or ceiling-bearing build must never alias a homogeneous one even
+  // under an identical platform_key. Segments are appended only when
+  // present, keeping every pre-existing homogeneous key byte-identical —
+  // and therefore every existing store artifact addressable.
+  const arch::Platform& platform = *context.platform;
+  if (platform.heterogeneous()) {
+    for (std::size_t v = 0; v < platform.num_cores(); ++v) {
+      key += util::format("|het%zu=%.17g,%.17g,%.17g,%.17g", v,
+                          platform.core_fmax(v), platform.core_pmax_of(v),
+                          platform.leakage_scale_of(v),
+                          platform.core_tmax(v).value_or(-1.0));
+    }
+  }
+  for (const arch::ThermalCeiling& ceiling : platform.thermal_ceilings()) {
+    key += util::format("|ceil=%s:%.17g", ceiling.name.c_str(),
+                        ceiling.tmax_celsius);
+  }
+  for (const auto& [block_name, tmax] : c.node_ceilings) {
+    key += util::format("|ctmax=%s:%.17g", block_name.c_str(), tmax);
+  }
   return key;
 }
 
@@ -618,6 +645,25 @@ PROTEMP_REGISTER_DFS_POLICY(
       if (Status s = reader.finish(); !s.ok()) return s;
 
       const std::string key = table_identity_key(context, *grid);
+
+      // The decimation stride serves the same fine-table identity (it is
+      // deliberately not part of the key), so a coarse-serving session and
+      // a fine-serving one share one cache/store artifact.
+      const std::size_t stride = context.optimizer.table_interp_stride;
+      if (stride > 1 && context.build_pool != nullptr) {
+        return Status::invalid_argument(
+            "pro-temp: opt.table_interp_stride > 1 is incompatible with "
+            "async table builds (the certified decimation runs at "
+            "construction)");
+      }
+      if (stride > 1 && !(context.frequency_quantum > 0.0)) {
+        // Checked before the grid of solves: a misconfigured session must
+        // fail in microseconds, not after building the whole table.
+        return Status::invalid_argument(
+            "pro-temp: opt.table_interp_stride > 1 requires "
+            "sim.frequency_quantum > 0 — the certified interpolation "
+            "error is checked against the serving quantum");
+      }
 
       if (context.build_pool != nullptr && context.table_cache != nullptr) {
         // Async serving path: never build on the calling thread. The
@@ -697,6 +743,17 @@ PROTEMP_REGISTER_DFS_POLICY(
       core::FrequencyTable table =
           context.table_cache ? *context.table_cache->get_or_build(key, build)
                               : build();
+      if (stride > 1) {
+        StatusOr<store::InterpolatedTable> interp =
+            store::InterpolatedTable::build(table, stride, stride,
+                                            context.frequency_quantum);
+        if (!interp.ok()) {
+          return interp.status().with_context(
+              util::format("pro-temp: opt.table_interp_stride=%zu", stride));
+        }
+        return std::unique_ptr<sim::DfsPolicy>(
+            new store::InterpolatedProTempPolicy(std::move(interp).value()));
+      }
       return std::unique_ptr<sim::DfsPolicy>(
           new core::ProTempPolicy(std::move(table)));
     });
@@ -710,6 +767,45 @@ PROTEMP_REGISTER_DFS_POLICY(
           *context.platform, context.optimizer);
       return std::unique_ptr<sim::DfsPolicy>(
           new core::OnlineProTempPolicy(std::move(optimizer)));
+    });
+
+PROTEMP_REGISTER_DFS_POLICY(
+    "integral", [](const PolicyContext& context, const Options& options)
+                    -> StatusOr<std::unique_ptr<sim::DfsPolicy>> {
+      OptionReader reader(options);
+      core::IntegralDfsPolicy::Options opts;
+      // The scenario's thermal limit is the natural regulation target; an
+      // explicit dfs.setpoint overrides it (e.g. to regulate with margin).
+      opts.setpoint_celsius =
+          reader.get_double("setpoint", context.optimizer.tmax);
+      opts.gain_per_celsius_second =
+          reader.get_double("gain", opts.gain_per_celsius_second);
+      opts.adaptive_gain =
+          reader.get_bool("adaptive-gain", opts.adaptive_gain);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      try {
+        return std::unique_ptr<sim::DfsPolicy>(
+            new core::IntegralDfsPolicy(opts));
+      } catch (const std::invalid_argument& e) {
+        return Status::invalid_argument(e.what());
+      }
+    });
+
+PROTEMP_REGISTER_DFS_POLICY(
+    "proportional", [](const PolicyContext& context, const Options& options)
+                        -> StatusOr<std::unique_ptr<sim::DfsPolicy>> {
+      OptionReader reader(options);
+      core::ProportionalDfsPolicy::Options opts;
+      opts.setpoint_celsius =
+          reader.get_double("setpoint", context.optimizer.tmax);
+      opts.kp_per_celsius = reader.get_double("kp", opts.kp_per_celsius);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      try {
+        return std::unique_ptr<sim::DfsPolicy>(
+            new core::ProportionalDfsPolicy(opts));
+      } catch (const std::invalid_argument& e) {
+        return Status::invalid_argument(e.what());
+      }
     });
 
 PROTEMP_REGISTER_ASSIGNMENT_POLICY(
@@ -793,6 +889,115 @@ PROTEMP_REGISTER_PLATFORM_FAMILY(
           reader.get_double("ambient", config.ambient_celsius);
       if (Status s = reader.finish(); !s.ok()) return s;
       return arch::make_mesh_platform(config);
+    });
+
+PROTEMP_REGISTER_PLATFORM_FAMILY(
+    "het", "het:<base>[@<count>x<class>+...]",
+    [](const std::string& name,
+       const Options& options) -> StatusOr<arch::Platform> {
+      const auto spec = arch::parse_het_spec(name);
+      if (!spec) {
+        return Status::invalid_argument(
+            "platform '" + name +
+            "': expected het:<base>[@<count>x<class>[+<count>x<class>...]] "
+            "with distinct class names");
+      }
+      // Class-prefixed options ("<class>-fmax-scale", ...) are consumed
+      // here; everything else forwards verbatim to the base factory, so a
+      // het spec can still configure its base (ambient, core-pmax, ...).
+      std::vector<arch::HetClassParams> params(spec->groups.size());
+      std::set<std::string> consumed;
+      for (std::size_t i = 0; i < spec->groups.size(); ++i) {
+        const std::string& cls = spec->groups[i].class_name;
+        const auto read = [&](const std::string& suffix,
+                              double* out) -> Status {
+          const std::string key = cls + "-" + suffix;
+          const auto it = options.entries().find(key);
+          if (it == options.entries().end()) return Status();
+          consumed.insert(key);
+          try {
+            *out = util::parse_double(it->second);
+          } catch (const std::exception&) {
+            return Status::invalid_argument("option '" + key +
+                                            "': expected a number, got '" +
+                                            it->second + "'");
+          }
+          return Status();
+        };
+        double tmax = 0.0;
+        bool has_tmax = false;
+        {
+          const std::string key = cls + "-tmax";
+          if (options.entries().count(key)) has_tmax = true;
+        }
+        if (Status s = read("fmax-scale", &params[i].fmax_scale); !s.ok()) {
+          return s;
+        }
+        if (Status s = read("pmax-scale", &params[i].pmax_scale); !s.ok()) {
+          return s;
+        }
+        if (Status s = read("leakage-scale", &params[i].leakage_scale);
+            !s.ok()) {
+          return s;
+        }
+        if (has_tmax) {
+          if (Status s = read("tmax", &tmax); !s.ok()) return s;
+          params[i].tmax_celsius = tmax;
+        }
+      }
+      Options base_options;
+      for (const auto& [key, value] : options.entries()) {
+        if (!consumed.count(key)) base_options.set(key, value);
+      }
+      StatusOr<arch::Platform> base =
+          PolicyRegistry::instance().make_platform(spec->base, base_options);
+      if (!base.ok()) {
+        return base.status().with_context("het base of '" + name + "'");
+      }
+      if (!spec->groups.empty()) {
+        arch::apply_het_classes(*base, spec->groups, params);
+      }
+      return base;
+    });
+
+PROTEMP_REGISTER_PLATFORM_FAMILY(
+    "stack", "stack:<rows>x<cols>[+<k>dram]",
+    [](const std::string& name,
+       const Options& options) -> StatusOr<arch::Platform> {
+      const auto dims = arch::parse_stack_dims(name);
+      if (!dims) {
+        return Status::invalid_argument(
+            "platform '" + name +
+            "': expected stack:<rows>x<cols>[+<k>dram] with dimensions in "
+            "[1, 64] and <k> in [1, 4]");
+      }
+      OptionReader reader(options);
+      arch::StackConfig config;
+      config.rows = dims->rows;
+      config.cols = dims->cols;
+      config.dram_layers = dims->dram_layers;
+      config.core_edge_mm =
+          reader.get_double("core-edge-mm", config.core_edge_mm);
+      config.fmax_hz = util::mhz(
+          reader.get_double("fmax-mhz", util::to_mhz(config.fmax_hz)));
+      config.core_pmax_watts =
+          reader.get_double("core-pmax", config.core_pmax_watts);
+      config.other_power_fraction = reader.get_double(
+          "other-power-fraction", config.other_power_fraction);
+      config.dram_power_fraction = reader.get_double(
+          "dram-power-fraction", config.dram_power_fraction);
+      config.dram_tmax_celsius =
+          reader.get_double("dram-tmax", config.dram_tmax_celsius);
+      config.background_activity_fraction = reader.get_double(
+          "background-activity-fraction", config.background_activity_fraction);
+      config.power_exponent =
+          reader.get_double("power-exponent", config.power_exponent);
+      config.idle_fraction =
+          reader.get_double("idle-fraction", config.idle_fraction);
+      config.ambient_celsius =
+          reader.get_double("ambient", config.ambient_celsius);
+      if (Status s = reader.finish(); !s.ok()) return s;
+      return arch::make_stack_platform(config);
     });
 
 PROTEMP_REGISTER_PLATFORM(

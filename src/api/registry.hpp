@@ -231,6 +231,13 @@ struct PolicyContext {
   /// prior behavior.
   util::ThreadPool* build_pool = nullptr;
   AsyncFallback async_fallback;
+  /// The serving layer's frequency quantum [Hz] (sim.frequency_quantum).
+  /// Consumed by the "pro-temp" factory when opt.table_interp_stride > 1:
+  /// the interpolated table's certified error bound must fit under one
+  /// quantum, so decimation never changes a post-quantization command by
+  /// more than one step. 0 (the default) means continuous frequencies —
+  /// interpolated serving is rejected with a named error.
+  double frequency_quantum = 0.0;
 };
 
 using DfsPolicyFactory =

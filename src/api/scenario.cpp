@@ -164,6 +164,10 @@ class SpecParser {
     if (key == "opt.solve_deadline") {
       return set_double(a, spec_.optimizer.solver.solve_deadline_seconds);
     }
+    if (key == "opt.node_tmax") return set_node_tmax(a);
+    if (key == "opt.table_interp_stride") {
+      return set_size(a, spec_.optimizer.table_interp_stride);
+    }
 
     if (key.rfind("platform.", 0) == 0) {
       spec_.platform_options.set(key.substr(9), a.value);
@@ -274,6 +278,38 @@ class SpecParser {
   Status set_staged_double(const Assignment& a, std::optional<double>& out) {
     if (leakage_line_ == 0) leakage_line_ = a.line;
     return set_optional_double(a, out);
+  }
+
+  /// `opt.node_tmax = block:celsius[,block:celsius...]` — per-node ceilings
+  /// on non-core floorplan blocks. Block existence is checked by the
+  /// optimizer against the actual floorplan; the spec layer validates shape.
+  Status set_node_tmax(const Assignment& a) {
+    std::vector<std::pair<std::string, double>> ceilings;
+    for (const std::string& part : util::split(a.value, ',')) {
+      const std::string entry = std::string(util::trim(part));
+      const std::size_t colon = entry.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == entry.size()) {
+        return line_error(a.line,
+                          "key 'opt.node_tmax': expected "
+                          "'block:celsius[,block:celsius...]', got '" +
+                              a.value + "'");
+      }
+      double tmax = 0.0;
+      try {
+        tmax = util::parse_double(entry.substr(colon + 1));
+      } catch (const std::exception&) {
+        return line_error(a.line, "key 'opt.node_tmax': expected a number "
+                                  "after ':' in '" + entry + "'");
+      }
+      ceilings.emplace_back(std::string(util::trim(entry.substr(0, colon))),
+                            tmax);
+    }
+    if (ceilings.empty()) {
+      return line_error(a.line, "key 'opt.node_tmax': empty list");
+    }
+    spec_.optimizer.node_ceilings = std::move(ceilings);
+    return Status();
   }
 
   Status set_band_edges(const Assignment& a) {
@@ -404,6 +440,22 @@ Status ScenarioSpec::validate() const {
       !std::isfinite(optimizer.solver.solve_deadline_seconds)) {
     return fail("opt.solve_deadline must be >= 0 (0 disables the deadline)");
   }
+  if (optimizer.table_interp_stride < 1) {
+    return fail("opt.table_interp_stride must be >= 1 (1 serves the fine "
+                "table directly)");
+  }
+  for (const auto& [block_name, tmax] : optimizer.node_ceilings) {
+    if (block_name.empty() || !line_safe(block_name) ||
+        block_name.find(':') != std::string::npos ||
+        block_name.find(',') != std::string::npos) {
+      return fail("opt.node_tmax block name '" + block_name +
+                  "' must be non-empty and contain no ':' or ','");
+    }
+    if (!std::isfinite(tmax) || tmax <= 0.0) {
+      return fail("opt.node_tmax for '" + block_name +
+                  "' must be finite and positive");
+    }
+  }
   for (std::size_t i = 1; i < sim.band_edges.size(); ++i) {
     if (sim.band_edges[i] <= sim.band_edges[i - 1]) {
       return fail("sim.band_edges must be strictly increasing");
@@ -498,6 +550,20 @@ std::string ScenarioSpec::serialize() const {
        std::to_string(optimizer.solver.max_newton_total));
   emit("opt.solve_deadline",
        format_double(optimizer.solver.solve_deadline_seconds));
+  // Het/ceiling extensions serialize only when set, keeping pre-existing
+  // scenario files byte-stable through a serialize() round-trip.
+  if (!optimizer.node_ceilings.empty()) {
+    std::vector<std::string> parts;
+    parts.reserve(optimizer.node_ceilings.size());
+    for (const auto& [block_name, tmax] : optimizer.node_ceilings) {
+      parts.push_back(block_name + ":" + format_double(tmax));
+    }
+    emit("opt.node_tmax", util::join(parts, ","));
+  }
+  if (optimizer.table_interp_stride != 1) {
+    emit("opt.table_interp_stride",
+         std::to_string(optimizer.table_interp_stride));
+  }
 
   emit("dfs", dfs_policy);
   emit_options("dfs", dfs_options);

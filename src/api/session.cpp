@@ -29,6 +29,12 @@ ControlSession::ControlSession(std::unique_ptr<arch::Platform> platform,
   loop_config.fmin = sim_config_.fmin;
   loop_config.fmax = platform_->fmax();
   loop_config.num_cores = platform_->num_cores();
+  if (platform_->heterogeneous()) {
+    loop_config.core_fmax.resize(platform_->num_cores());
+    for (std::size_t c = 0; c < platform_->num_cores(); ++c) {
+      loop_config.core_fmax[c] = platform_->core_fmax(c);
+    }
+  }
   loop_ = std::make_unique<sim::ControlLoop>(*dfs_, *assignment_, loop_config);
   last_command_.frequencies = linalg::Vector(platform_->num_cores());
 }
@@ -52,6 +58,7 @@ StatusOr<std::unique_ptr<ControlSession>> ControlSession::create(
   context.table_cache = config.table_cache;
   context.build_pool = config.build_pool;
   context.async_fallback = config.async_fallback;
+  context.frequency_quantum = spec.sim.frequency_quantum;
   // Distinct platform options must never share a Phase-1 table, even when
   // the factory gives both platforms the same display name.
   context.platform_key = spec.platform;

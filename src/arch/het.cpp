@@ -1,0 +1,106 @@
+#include "arch/het.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace protemp::arch {
+
+namespace {
+
+bool valid_class_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-';
+}
+
+std::optional<HetGroup> parse_group(std::string_view text) {
+  const std::size_t x = text.find('x');
+  if (x == std::string_view::npos || x == 0 || x > 4 ||
+      x + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  std::size_t count = 0;
+  for (const char c : text.substr(0, x)) {
+    if (c < '0' || c > '9') return std::nullopt;
+    count = count * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (count == 0) return std::nullopt;
+  const std::string_view name = text.substr(x + 1);
+  for (const char c : name) {
+    if (!valid_class_char(c)) return std::nullopt;
+  }
+  return HetGroup{count, std::string(name)};
+}
+
+}  // namespace
+
+std::optional<HetSpec> parse_het_spec(std::string_view name) {
+  if (name.rfind("het:", 0) != 0) return std::nullopt;
+  name.remove_prefix(4);
+  HetSpec spec;
+  const std::size_t at = name.find('@');
+  const std::string_view base =
+      at == std::string_view::npos ? name : name.substr(0, at);
+  if (base.empty() || base.rfind("het:", 0) == 0) return std::nullopt;
+  spec.base = std::string(base);
+  if (at == std::string_view::npos) return spec;
+
+  std::string_view groups = name.substr(at + 1);
+  if (groups.empty()) return std::nullopt;
+  while (!groups.empty()) {
+    const std::size_t plus = groups.find('+');
+    const std::string_view item =
+        plus == std::string_view::npos ? groups : groups.substr(0, plus);
+    const std::optional<HetGroup> group = parse_group(item);
+    if (!group) return std::nullopt;
+    for (const HetGroup& seen : spec.groups) {
+      if (seen.class_name == group->class_name) return std::nullopt;
+    }
+    spec.groups.push_back(*group);
+    if (plus == std::string_view::npos) break;
+    groups.remove_prefix(plus + 1);
+    if (groups.empty()) return std::nullopt;  // trailing '+'
+  }
+  return spec;
+}
+
+void apply_het_classes(Platform& platform,
+                       const std::vector<HetGroup>& groups,
+                       const std::vector<HetClassParams>& params) {
+  if (groups.empty() || groups.size() != params.size()) {
+    throw std::invalid_argument(
+        "apply_het_classes: one HetClassParams per group required");
+  }
+  std::size_t total = 0;
+  for (const HetGroup& group : groups) total += group.count;
+  if (total != platform.num_cores()) {
+    throw std::invalid_argument(
+        "het group counts sum to " + std::to_string(total) + " but '" +
+        platform.name() + "' has " + std::to_string(platform.num_cores()) +
+        " cores");
+  }
+
+  const power::DvfsPowerModel& base = platform.core_power();
+  std::vector<CoreClass> classes;
+  classes.reserve(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const HetClassParams& p = params[i];
+    if (!(p.fmax_scale > 0.0) || !std::isfinite(p.fmax_scale) ||
+        !(p.pmax_scale > 0.0) || !std::isfinite(p.pmax_scale)) {
+      throw std::invalid_argument("het class '" + groups[i].class_name +
+                                  "': fmax/pmax scales must be finite and "
+                                  "positive");
+    }
+    classes.push_back(CoreClass{groups[i].class_name,
+                                base.scaled(p.pmax_scale, p.fmax_scale),
+                                p.tmax_celsius, p.leakage_scale});
+  }
+
+  std::vector<std::size_t> assignment;
+  assignment.reserve(platform.num_cores());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    for (std::size_t c = 0; c < groups[i].count; ++c) assignment.push_back(i);
+  }
+  platform.set_core_classes(std::move(classes), std::move(assignment));
+}
+
+}  // namespace protemp::arch

@@ -1,0 +1,66 @@
+// Heterogeneous platform family ("het:<base>[@<groups>]").
+//
+// A het: platform is an existing platform (the *base*: "niagara8",
+// "mesh:<rows>x<cols>", ...) whose cores are partitioned into named
+// power/thermal classes — the big.LITTLE layout of the heterogeneous
+// DVFS line of work in PAPERS.md. The grammar:
+//
+//   het:niagara8                      pure wrapper: one class, the base
+//                                     model verbatim (bitwise-identical
+//                                     physics to the base platform)
+//   het:niagara8@4xbig+4xlittle       4 "big" cores then 4 "little" cores
+//   het:mesh:4x4@8xfast+8xslow        bases with ':' in the name compose
+//
+// Group order assigns classes to cores in floorplan insertion order, and
+// the counts must sum to the base core count. Class parameters arrive as
+// platform options keyed by class name: `<class>-fmax-scale`,
+// `<class>-pmax-scale` (multipliers on the base DVFS law),
+// `<class>-tmax` (class core-temperature ceiling [degC]; unset = the
+// optimizer's global tmax) and `<class>-leakage-scale`. The floorplan,
+// package and background power are the base's — heterogeneity changes
+// what the cores *can do*, not where they sit.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/platform.hpp"
+
+namespace protemp::arch {
+
+struct HetGroup {
+  std::size_t count = 0;
+  std::string class_name;
+};
+
+struct HetSpec {
+  std::string base;              ///< base platform name (may contain ':')
+  std::vector<HetGroup> groups;  ///< empty = pure wrapper, no classes
+};
+
+/// Parses "het:<base>[@<count>x<class>[+<count>x<class>...]]". Group
+/// counts are 1-4 digits; class names are non-empty [A-Za-z0-9_-] and
+/// must be distinct. Nested "het:" bases are rejected. nullopt on
+/// anything malformed.
+std::optional<HetSpec> parse_het_spec(std::string_view name);
+
+/// Per-class knobs read from platform options (defaults = the base law).
+struct HetClassParams {
+  double fmax_scale = 1.0;
+  double pmax_scale = 1.0;
+  std::optional<double> tmax_celsius;
+  double leakage_scale = 1.0;
+};
+
+/// Installs one CoreClass per group on `platform` (params[i] configures
+/// groups[i]), deriving each class law from the platform's reference
+/// model. Throws std::invalid_argument when the counts do not sum to the
+/// platform core count or a scale is not finite and positive.
+void apply_het_classes(Platform& platform,
+                       const std::vector<HetGroup>& groups,
+                       const std::vector<HetClassParams>& params);
+
+}  // namespace protemp::arch

@@ -1,6 +1,7 @@
 #include "arch/platform.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace protemp::arch {
@@ -32,7 +33,110 @@ Platform::Platform(std::string name, thermal::Floorplan floorplan,
   for (const std::size_t node : core_nodes_) background_[node] = 0.0;
 }
 
+void Platform::set_core_classes(std::vector<CoreClass> classes,
+                                std::vector<std::size_t> assignment) {
+  if (classes.empty()) {
+    throw std::invalid_argument(
+        "Platform::set_core_classes: at least one class required");
+  }
+  if (assignment.size() != num_cores()) {
+    throw std::invalid_argument(
+        "Platform::set_core_classes: assignment must name a class for every "
+        "core");
+  }
+  for (const std::size_t idx : assignment) {
+    if (idx >= classes.size()) {
+      throw std::invalid_argument(
+          "Platform::set_core_classes: assignment references class " +
+          std::to_string(idx) + " but only " +
+          std::to_string(classes.size()) + " classes are defined");
+    }
+  }
+  for (const CoreClass& cls : classes) {
+    if (!(cls.leakage_scale >= 0.0) || !std::isfinite(cls.leakage_scale)) {
+      throw std::invalid_argument("Platform::set_core_classes: class '" +
+                                  cls.name +
+                                  "' leakage_scale must be finite and >= 0");
+    }
+    if (cls.tmax_celsius && !std::isfinite(*cls.tmax_celsius)) {
+      throw std::invalid_argument("Platform::set_core_classes: class '" +
+                                  cls.name + "' tmax must be finite");
+    }
+  }
+
+  // A single class that restates the reference model is NOT heterogeneous:
+  // the platform keeps every homogeneous fast path (and its bitwise
+  // results). Anything else — more classes, a scaled law, a class ceiling,
+  // a leakage corner — flips the flag.
+  const bool trivially_homogeneous =
+      classes.size() == 1 && !classes[0].tmax_celsius &&
+      classes[0].leakage_scale == 1.0 &&
+      classes[0].power.pmax() == core_power_.pmax() &&
+      classes[0].power.fmax() == core_power_.fmax() &&
+      classes[0].power.exponent() == core_power_.exponent() &&
+      classes[0].power.idle_fraction() == core_power_.idle_fraction();
+
+  classes_ = std::move(classes);
+  class_of_ = std::move(assignment);
+  heterogeneous_ = !trivially_homogeneous;
+  het_fmax_ = 0.0;
+  for (const CoreClass& cls : classes_) {
+    het_fmax_ = std::max(het_fmax_, cls.power.fmax());
+  }
+  if (trivially_homogeneous) {
+    // Collapse back to the homogeneous representation so core_power_of()
+    // returns the reference object itself.
+    classes_.clear();
+    class_of_.clear();
+  }
+}
+
+void Platform::add_thermal_ceiling(const std::string& block_name,
+                                   double tmax_celsius) {
+  if (!std::isfinite(tmax_celsius)) {
+    throw std::invalid_argument(
+        "Platform::add_thermal_ceiling: tmax must be finite (block '" +
+        block_name + "')");
+  }
+  for (std::size_t i = 0; i < floorplan_.size(); ++i) {
+    if (floorplan_.block(i).name != block_name) continue;
+    if (floorplan_.block(i).kind == thermal::BlockKind::kCore) {
+      throw std::invalid_argument(
+          "Platform::add_thermal_ceiling: '" + block_name +
+          "' is a core block — core ceilings come from CoreClass / the "
+          "optimizer tmax");
+    }
+    for (const ThermalCeiling& existing : ceilings_) {
+      if (existing.node == i) {
+        throw std::invalid_argument(
+            "Platform::add_thermal_ceiling: duplicate ceiling on block '" +
+            block_name + "'");
+      }
+    }
+    ceilings_.push_back(ThermalCeiling{i, tmax_celsius, block_name});
+    return;
+  }
+  throw std::invalid_argument(
+      "Platform::add_thermal_ceiling: no floorplan block named '" +
+      block_name + "'");
+}
+
+double Platform::total_core_pmax() const noexcept {
+  if (!heterogeneous_) {
+    return static_cast<double>(num_cores()) * core_power_.pmax();
+  }
+  double total = 0.0;
+  for (std::size_t c = 0; c < num_cores(); ++c) {
+    total += core_pmax_of(c);
+  }
+  return total;
+}
+
 linalg::Vector Platform::background_power_at(double activity) const {
+  if (!std::isfinite(activity)) {
+    throw std::invalid_argument(
+        "Platform::background_power_at: non-finite activity");
+  }
   const double a = std::clamp(activity, 0.0, 1.0);
   const double scale = (1.0 - background_activity_fraction_) +
                        background_activity_fraction_ * a;

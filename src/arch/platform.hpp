@@ -4,9 +4,18 @@
 // need to know about one chip: geometry, the assembled RC network, which
 // nodes are DFS-controlled cores, and the fixed background power of the
 // non-core blocks.
+//
+// Heterogeneity (DESIGN.md §10) is layered on top of the homogeneous
+// contract, never instead of it: every Platform still carries one
+// *reference* DvfsPowerModel (`core_power()`), and the per-core views
+// (`core_power_of`, `core_fmax`, ...) resolve to that same object unless
+// `set_core_classes` installed distinct CoreClass descriptors. Call sites
+// that branch on `heterogeneous()` therefore keep the historical
+// homogeneous expressions — and their bitwise results — untouched.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +25,28 @@
 #include "thermal/rc_network.hpp"
 
 namespace protemp::arch {
+
+/// One power/thermal class of cores on a heterogeneous platform: its own
+/// DVFS law (fmax/pmax/alpha/idle), an optional class-specific core
+/// temperature ceiling (unset = the optimizer's global tmax), and a
+/// multiplier on the platform leakage model (little cores on a different
+/// process corner leak differently).
+struct CoreClass {
+  std::string name;
+  power::DvfsPowerModel power;
+  std::optional<double> tmax_celsius;
+  double leakage_scale = 1.0;
+};
+
+/// A non-core network node with its own temperature ceiling — the
+/// DRAM-layer constraint of processor-memory stacks. The optimizer adds
+/// one monitored constraint row per ceiling; the plant itself is
+/// unchanged (a ceiling is a *contract*, not a heat source).
+struct ThermalCeiling {
+  std::size_t node = 0;          ///< network node index (a floorplan block)
+  double tmax_celsius = 0.0;
+  std::string name;              ///< block name, for diagnostics
+};
 
 class Platform {
  public:
@@ -56,6 +87,8 @@ class Platform {
   }
 
   /// Background power at a core-activity level in [0, 1] (clamped).
+  /// Throws std::invalid_argument on a non-finite activity — a NaN here
+  /// would otherwise propagate silently through the whole power vector.
   linalg::Vector background_power_at(double activity) const;
 
   double background_activity_fraction() const noexcept {
@@ -68,8 +101,72 @@ class Platform {
   linalg::Vector full_power(const linalg::Vector& core_watts,
                             double activity = 1.0) const;
 
-  double fmax() const noexcept { return core_power_.fmax(); }
+  /// Reference (maximum) core frequency [Hz]: the homogeneous model's fmax,
+  /// or the fastest class on a heterogeneous platform. Work accounting and
+  /// the sigma change of variables are expressed against this reference.
+  double fmax() const noexcept {
+    return heterogeneous_ ? het_fmax_ : core_power_.fmax();
+  }
+  /// Reference per-core peak power [W] (the homogeneous model's pmax).
   double core_pmax() const noexcept { return core_power_.pmax(); }
+
+  // ------------------------------------------------- heterogeneity view --
+
+  /// Installs per-core power/thermal classes. `assignment[c]` names the
+  /// class of core c; it must cover every core and index into `classes`.
+  /// Calling this with one class identical to the reference model keeps
+  /// `heterogeneous()` false (the platform stays on the homogeneous fast
+  /// paths, bitwise).
+  void set_core_classes(std::vector<CoreClass> classes,
+                        std::vector<std::size_t> assignment);
+
+  /// Adds a per-node temperature ceiling on the named floorplan block
+  /// (e.g. a DRAM strip). Core blocks take their ceiling from CoreClass /
+  /// the optimizer tmax instead; naming one here is rejected.
+  void add_thermal_ceiling(const std::string& block_name,
+                           double tmax_celsius);
+
+  /// True iff distinct per-core classes are installed. All homogeneous
+  /// call sites branch on this and keep their historical expressions.
+  bool heterogeneous() const noexcept { return heterogeneous_; }
+
+  std::size_t num_core_classes() const noexcept {
+    return classes_.empty() ? 1 : classes_.size();
+  }
+  const std::vector<CoreClass>& core_classes() const noexcept {
+    return classes_;
+  }
+  /// Class index of core c (0 on a homogeneous platform).
+  std::size_t class_of(std::size_t core) const {
+    return class_of_.empty() ? 0 : class_of_.at(core);
+  }
+  /// Power model of core c — the reference model unless classes are set.
+  const power::DvfsPowerModel& core_power_of(std::size_t core) const {
+    return class_of_.empty() ? core_power_
+                             : classes_[class_of_[core]].power;
+  }
+  double core_fmax(std::size_t core) const {
+    return core_power_of(core).fmax();
+  }
+  double core_pmax_of(std::size_t core) const {
+    return core_power_of(core).pmax();
+  }
+  /// Class ceiling of core c (unset = use the optimizer's global tmax).
+  std::optional<double> core_tmax(std::size_t core) const {
+    return class_of_.empty() ? std::nullopt
+                             : classes_[class_of_[core]].tmax_celsius;
+  }
+  double leakage_scale_of(std::size_t core) const {
+    return class_of_.empty() ? 1.0 : classes_[class_of_[core]].leakage_scale;
+  }
+  /// Sum of per-core peak powers. Homogeneous platforms compute it as
+  /// n * pmax — the exact expression (and rounding) the simulator always
+  /// used for its activity denominator.
+  double total_core_pmax() const noexcept;
+
+  const std::vector<ThermalCeiling>& thermal_ceilings() const noexcept {
+    return ceilings_;
+  }
 
  private:
   std::string name_;
@@ -79,6 +176,12 @@ class Platform {
   std::vector<std::size_t> core_nodes_;
   linalg::Vector background_;
   double background_activity_fraction_;
+
+  std::vector<CoreClass> classes_;       ///< empty on homogeneous platforms
+  std::vector<std::size_t> class_of_;    ///< per-core class index, or empty
+  std::vector<ThermalCeiling> ceilings_;
+  bool heterogeneous_ = false;
+  double het_fmax_ = 0.0;                ///< max class fmax, when het
 };
 
 }  // namespace protemp::arch

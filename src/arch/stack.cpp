@@ -1,0 +1,151 @@
+#include "arch/stack.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "arch/mesh.hpp"
+#include "util/units.hpp"
+
+namespace protemp::arch {
+
+using thermal::BlockKind;
+using thermal::Floorplan;
+using util::mm;
+
+namespace {
+
+/// Niagara die area [m^2]: the package-calibration reference shared with
+/// the mesh family (arch/mesh.cpp).
+constexpr double kReferenceDieAreaM2 = 12.0e-3 * 10.5e-3;
+constexpr std::size_t kMaxDramLayers = 4;
+
+void validate_config(const StackConfig& config) {
+  if (config.dram_layers == 0 || config.dram_layers > kMaxDramLayers) {
+    throw std::invalid_argument(
+        "StackConfig: dram_layers must be in [1, " +
+        std::to_string(kMaxDramLayers) + "], got " +
+        std::to_string(config.dram_layers));
+  }
+  if (!(config.dram_power_fraction >= 0.0)) {
+    throw std::invalid_argument(
+        "StackConfig: dram_power_fraction must be >= 0");
+  }
+}
+
+MeshConfig mesh_part(const StackConfig& config) {
+  MeshConfig mesh;
+  mesh.rows = config.rows;
+  mesh.cols = config.cols;
+  mesh.core_edge_mm = config.core_edge_mm;
+  mesh.fmax_hz = config.fmax_hz;
+  mesh.core_pmax_watts = config.core_pmax_watts;
+  mesh.other_power_fraction = config.other_power_fraction;
+  mesh.background_activity_fraction = config.background_activity_fraction;
+  mesh.power_exponent = config.power_exponent;
+  mesh.idle_fraction = config.idle_fraction;
+  mesh.ambient_celsius = config.ambient_celsius;
+  return mesh;
+}
+
+}  // namespace
+
+std::optional<StackDims> parse_stack_dims(std::string_view name) noexcept {
+  if (name.rfind("stack:", 0) != 0) return std::nullopt;
+  name.remove_prefix(6);
+  StackDims dims;
+  const std::size_t plus = name.find('+');
+  if (plus != std::string_view::npos) {
+    std::string_view suffix = name.substr(plus + 1);
+    // "<k>dram", k a single digit in [1, kMaxDramLayers].
+    if (suffix.size() != 5 || suffix.substr(1) != "dram" ||
+        suffix[0] < '1' ||
+        suffix[0] > static_cast<char>('0' + kMaxDramLayers)) {
+      return std::nullopt;
+    }
+    dims.dram_layers = static_cast<std::size_t>(suffix[0] - '0');
+    name = name.substr(0, plus);
+  }
+  const auto grid = parse_mesh_dims(name);
+  if (!grid) return std::nullopt;
+  dims.rows = grid->first;
+  dims.cols = grid->second;
+  return dims;
+}
+
+Platform make_stack_platform(const StackConfig& config) {
+  validate_config(config);
+  const MeshConfig mesh = mesh_part(config);
+
+  // Mesh floorplan (l2_s, core grid, l2_n) with the DRAM strips stacked
+  // above the north L2 — one full-width strip per layer.
+  Floorplan fp = make_mesh_floorplan(mesh);
+  const double edge = mm(config.core_edge_mm);
+  const double die_w = static_cast<double>(config.cols) * edge;
+  const double dram_y0 = (static_cast<double>(config.rows) + 2.0) * edge;
+  for (std::size_t layer = 0; layer < config.dram_layers; ++layer) {
+    fp.add_block({"dram" + std::to_string(layer), BlockKind::kInterconnect,
+                  0.0, dram_y0 + static_cast<double>(layer) * edge, die_w,
+                  edge});
+  }
+  fp.validate_no_overlap();
+
+  // Mesh package calibration, with the cooling scaled to the *full* die
+  // (DRAM strips included) so power density stays in the calibrated
+  // regime — same principle as make_mesh_package.
+  thermal::PackageParams pkg = make_mesh_package(mesh);
+  const double mesh_area =
+      die_w * (static_cast<double>(config.rows) + 2.0) * edge;
+  const double full_area = fp.total_area();
+  const double extra_scale = full_area / mesh_area;
+  pkg.spreader_capacitance *= extra_scale;
+  pkg.spreader_to_sink_resistance /= extra_scale;
+  pkg.sink_capacitance *= extra_scale;
+  pkg.convection_resistance /= extra_scale;
+
+  const power::DvfsPowerModel core_model(config.core_pmax_watts,
+                                         config.fmax_hz,
+                                         config.power_exponent,
+                                         config.idle_fraction);
+
+  // Background: the mesh share over the L2 strips by area, plus the DRAM
+  // budget split evenly across the DRAM strips (refresh + access power is
+  // per-device, not per-area).
+  const auto cores = fp.blocks_of_kind(BlockKind::kCore);
+  const double total_core_pmax =
+      config.core_pmax_watts * static_cast<double>(cores.size());
+  const double l2_total = config.other_power_fraction * total_core_pmax;
+  const double dram_each = config.dram_power_fraction * total_core_pmax /
+                           static_cast<double>(config.dram_layers);
+  double l2_area = 0.0;
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    const thermal::Block& block = fp.block(i);
+    if (block.kind != BlockKind::kCore &&
+        block.name.rfind("dram", 0) != 0) {
+      l2_area += block.area();
+    }
+  }
+  linalg::Vector background(fp.size() + 2);  // + spreader + sink
+  for (std::size_t i = 0; i < fp.size(); ++i) {
+    const thermal::Block& block = fp.block(i);
+    if (block.kind == BlockKind::kCore) continue;
+    background[i] = block.name.rfind("dram", 0) == 0
+                        ? dram_each
+                        : l2_total * block.area() / l2_area;
+  }
+
+  std::string name = "stack:" + std::to_string(config.rows) + "x" +
+                     std::to_string(config.cols);
+  if (config.dram_layers != 1) {
+    name += "+" + std::to_string(config.dram_layers) + "dram";
+  }
+  Platform platform(std::move(name), std::move(fp), pkg, core_model,
+                    std::move(background),
+                    config.background_activity_fraction);
+  for (std::size_t layer = 0; layer < config.dram_layers; ++layer) {
+    platform.add_thermal_ceiling("dram" + std::to_string(layer),
+                                 config.dram_tmax_celsius);
+  }
+  return platform;
+}
+
+}  // namespace protemp::arch

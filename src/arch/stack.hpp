@@ -1,0 +1,53 @@
+// Processor-memory stack platform family ("stack:<rows>x<cols>[+<k>dram]").
+//
+// The TRINITY-style 3D constraint of PAPERS.md, modeled laterally: a mesh
+// core grid with its L2 strips plus <k> DRAM strip layers whose silicon
+// sits on the same die-level RC network. Vertical stacking is
+// approximated 2.5D — the DRAM strips abut the core region, so they heat
+// through the same lateral + package paths a stacked layer would through
+// its TSV field. What makes the family interesting to the controller is
+// not the geometry but the *contract*: each DRAM strip registers a
+// per-node thermal ceiling (retention demands DRAM stay well below the
+// logic tmax — default 85 degC), which the Phase-1/MPC formulations
+// enforce as extra monitored constraint rows (DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "arch/platform.hpp"
+
+namespace protemp::arch {
+
+struct StackConfig {
+  std::size_t rows = 4;            ///< core-grid rows
+  std::size_t cols = 4;            ///< core-grid columns
+  std::size_t dram_layers = 1;     ///< DRAM strip count (>= 1)
+  double core_edge_mm = 1.5;       ///< square core edge [mm]
+  double fmax_hz = 1e9;
+  double core_pmax_watts = 0.8;
+  double other_power_fraction = 0.25;  ///< L2/interconnect / total core pmax
+  double dram_power_fraction = 0.2;    ///< DRAM power / total core pmax
+  double dram_tmax_celsius = 85.0;     ///< per-DRAM-node ceiling [degC]
+  double background_activity_fraction = 0.75;
+  double power_exponent = 2.0;
+  double idle_fraction = 0.05;
+  double ambient_celsius = 45.0;
+};
+
+struct StackDims {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t dram_layers = 1;
+};
+
+/// Parses "stack:<rows>x<cols>" (one DRAM layer) or
+/// "stack:<rows>x<cols>+<k>dram" with k in [1, 4]; nullopt otherwise.
+std::optional<StackDims> parse_stack_dims(std::string_view name) noexcept;
+
+/// Assembles the platform: mesh-style core grid + L2 strips + `dram<i>`
+/// strips, with one thermal ceiling per DRAM strip already registered.
+Platform make_stack_platform(const StackConfig& config = {});
+
+}  // namespace protemp::arch

@@ -1,0 +1,132 @@
+#include "core/feedback_policies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace protemp::core {
+namespace {
+
+void check_setpoint(double setpoint) {
+  if (!std::isfinite(setpoint) || setpoint <= 0.0) {
+    throw std::invalid_argument(
+        "feedback policy: setpoint_celsius must be finite and positive");
+  }
+}
+
+}  // namespace
+
+ProportionalDfsPolicy::ProportionalDfsPolicy(Options options)
+    : options_(options) {
+  check_setpoint(options_.setpoint_celsius);
+  if (!std::isfinite(options_.kp_per_celsius) ||
+      options_.kp_per_celsius <= 0.0) {
+    throw std::invalid_argument(
+        "ProportionalDfsPolicy: kp_per_celsius must be finite and positive");
+  }
+}
+
+linalg::Vector ProportionalDfsPolicy::on_window(
+    const sim::ControllerView& view) {
+  const double demand = sim::required_average_frequency(view);
+  linalg::Vector out(view.num_cores);
+  for (std::size_t c = 0; c < view.num_cores; ++c) {
+    const double fmax_c = view.fmax_of(c);
+    const double error = options_.setpoint_celsius - view.core_temps[c];
+    const double cap = std::clamp(options_.kp_per_celsius * error * fmax_c,
+                                  0.0, fmax_c);
+    out[c] = std::min(cap, demand);
+  }
+  return out;
+}
+
+IntegralDfsPolicy::IntegralDfsPolicy(Options options) : options_(options) {
+  check_setpoint(options_.setpoint_celsius);
+  if (!std::isfinite(options_.gain_per_celsius_second) ||
+      options_.gain_per_celsius_second <= 0.0) {
+    throw std::invalid_argument(
+        "IntegralDfsPolicy: gain_per_celsius_second must be finite and "
+        "positive");
+  }
+  if (!(options_.gain_scale_floor > 0.0) ||
+      !(options_.gain_scale_cap >= options_.gain_scale_floor)) {
+    throw std::invalid_argument(
+        "IntegralDfsPolicy: gain scale bounds must satisfy 0 < floor <= cap");
+  }
+}
+
+void IntegralDfsPolicy::reset() {
+  cap_hz_.clear();
+  gain_scale_.clear();
+  last_sign_.clear();
+  persistence_.clear();
+  stats_ = {};
+}
+
+void IntegralDfsPolicy::ensure_state(const sim::ControllerView& view) {
+  if (cap_hz_.size() == view.num_cores) return;
+  cap_hz_.resize(view.num_cores);
+  // The cap starts fully open: a cold platform must not be throttled by
+  // an integrator that has never seen a hot sample.
+  for (std::size_t c = 0; c < view.num_cores; ++c) {
+    cap_hz_[c] = view.fmax_of(c);
+  }
+  gain_scale_.assign(view.num_cores, 1.0);
+  last_sign_.assign(view.num_cores, 0);
+  persistence_.assign(view.num_cores, 0);
+}
+
+linalg::Vector IntegralDfsPolicy::on_window(const sim::ControllerView& view) {
+  // Consecutive same-sign windows before the adaptive gain grows: long
+  // enough to ride out the thermal time constant, short enough to matter
+  // within one bench run.
+  constexpr std::size_t kGrowAfter = 4;
+  ++stats_.windows;
+  ensure_state(view);
+  const double demand = sim::required_average_frequency(view);
+  linalg::Vector out(view.num_cores);
+  for (std::size_t c = 0; c < view.num_cores; ++c) {
+    const double fmax_c = view.fmax_of(c);
+    const double error = options_.setpoint_celsius - view.core_temps[c];
+    const int sign = error > 0.0 ? 1 : (error < 0.0 ? -1 : 0);
+    if (options_.adaptive_gain && sign != 0) {
+      if (last_sign_[c] != 0 && sign != last_sign_[c]) {
+        // Crossed the setpoint: the loop is oscillating — back off.
+        gain_scale_[c] =
+            std::max(options_.gain_scale_floor, gain_scale_[c] * 0.5);
+        persistence_[c] = 0;
+        ++stats_.gain_shrinks;
+      } else if (++persistence_[c] >= kGrowAfter) {
+        // Same side of the setpoint for a while: converge faster.
+        gain_scale_[c] =
+            std::min(options_.gain_scale_cap, gain_scale_[c] * 1.5);
+        persistence_[c] = 0;
+        ++stats_.gain_grows;
+      }
+      last_sign_[c] = sign;
+    }
+    const double rate =
+        options_.gain_per_celsius_second * gain_scale_[c] * fmax_c;
+    cap_hz_[c] = std::clamp(cap_hz_[c] + rate * error * view.dfs_period,
+                            0.0, fmax_c);
+    if (cap_hz_[c] == 0.0 || cap_hz_[c] == fmax_c) ++stats_.saturated;
+    out[c] = std::min(cap_hz_[c], demand);
+  }
+  return out;
+}
+
+std::any IntegralDfsPolicy::save_state() const {
+  return Snapshot{cap_hz_, gain_scale_, last_sign_, persistence_, stats_};
+}
+
+void IntegralDfsPolicy::load_state(const std::any& state) {
+  const Snapshot& snapshot =
+      sim::policy_state_as<Snapshot>(state, "IntegralDfsPolicy");
+  cap_hz_ = snapshot.cap_hz;
+  gain_scale_ = snapshot.gain_scale;
+  last_sign_ = snapshot.last_sign;
+  persistence_ = snapshot.persistence;
+  stats_ = snapshot.stats;
+}
+
+}  // namespace protemp::core

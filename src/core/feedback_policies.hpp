@@ -1,0 +1,103 @@
+// Classical feedback DFS controllers, the non-convex side of the
+// controller-family faceoff (bench_policy_faceoff).
+//
+//   * ProportionalDfsPolicy — fixed-setpoint proportional baseline: the
+//     per-core thermal cap is kp * (setpoint - T_c), in fractions of the
+//     core's own fmax per degC. Memoryless, so it trades a permanent
+//     steady-state temperature error for simplicity — the textbook
+//     reference point the integral controller is measured against.
+//   * IntegralDfsPolicy — adjustable-gain integral controller: each core
+//     integrates its setpoint error into a frequency cap. The cap starts
+//     fully open (fmax), winds down when the core runs above the setpoint
+//     and back up when below; commands are min(cap, demand). The optional
+//     adaptive gain halves a core's gain when its error changes sign
+//     (oscillation around the setpoint) and grows it after sustained
+//     same-sign error (sluggish convergence).
+//
+// Both respect per-core fmax on heterogeneous platforms via
+// ControllerView::fmax_of, and neither consults a model — they are the
+// "no optimizer, no table" contrast class to Pro-Temp.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/policies.hpp"
+
+namespace protemp::core {
+
+class ProportionalDfsPolicy final : public sim::DfsPolicy {
+ public:
+  struct Options {
+    double setpoint_celsius = 90.0;
+    /// Cap slope: fraction of the core's fmax per degC of headroom.
+    double kp_per_celsius = 0.1;
+  };
+
+  ProportionalDfsPolicy() : ProportionalDfsPolicy(Options{}) {}
+  explicit ProportionalDfsPolicy(Options options);
+
+  std::string name() const override { return "proportional"; }
+  linalg::Vector on_window(const sim::ControllerView& view) override;
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+};
+
+class IntegralDfsPolicy final : public sim::DfsPolicy {
+ public:
+  struct Options {
+    double setpoint_celsius = 90.0;
+    /// Integration rate: fraction of the core's fmax added to its cap per
+    /// degC of error per second.
+    double gain_per_celsius_second = 0.2;
+    bool adaptive_gain = true;
+    /// Bounds on the per-core adaptive scale factor (1.0 = nominal gain).
+    double gain_scale_floor = 0.125;
+    double gain_scale_cap = 8.0;
+  };
+
+  struct Stats {
+    std::size_t windows = 0;
+    std::size_t saturated = 0;     ///< core-windows pinned at 0 or fmax
+    std::size_t gain_shrinks = 0;  ///< adaptive halvings (sign flips)
+    std::size_t gain_grows = 0;    ///< adaptive growth steps
+  };
+
+  IntegralDfsPolicy() : IntegralDfsPolicy(Options{}) {}
+  explicit IntegralDfsPolicy(Options options);
+
+  std::string name() const override { return "integral"; }
+  void reset() override;
+  linalg::Vector on_window(const sim::ControllerView& view) override;
+  std::any save_state() const override;
+  void load_state(const std::any& state) override;
+
+  const Options& options() const noexcept { return options_; }
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Snapshot {
+    std::vector<double> cap_hz;
+    std::vector<double> gain_scale;
+    std::vector<int> last_sign;
+    std::vector<std::size_t> persistence;
+    Stats stats;
+  };
+
+  /// (Re)sizes the per-core state on the first window of a run.
+  void ensure_state(const sim::ControllerView& view);
+
+  Options options_;
+  std::vector<double> cap_hz_;      ///< integrator state: per-core cap [Hz]
+  std::vector<double> gain_scale_;  ///< adaptive multiplier, 1.0 nominal
+  std::vector<int> last_sign_;      ///< sign of the previous window's error
+  std::vector<std::size_t> persistence_;  ///< consecutive same-sign windows
+  Stats stats_;
+};
+
+}  // namespace protemp::core

@@ -61,6 +61,14 @@ FrequencyTable FrequencyTable::build(const ProTempOptimizer& optimizer,
                        optimizer.num_cores());
   convex::SolverWorkspace local_workspace(optimizer.config().warm_start);
   convex::SolverWorkspace& ws = workspace ? *workspace : local_workspace;
+  const arch::Platform& platform = optimizer.platform();
+  if (platform.heterogeneous()) {
+    std::vector<double> core_fmax(platform.num_cores());
+    for (std::size_t c = 0; c < platform.num_cores(); ++c) {
+      core_fmax[c] = platform.core_fmax(c);
+    }
+    table.set_core_fmax(std::move(core_fmax));
+  }
   for (std::size_t r = 0; r < table.rows(); ++r) {
     // Descending ftarget: each optimum stays strictly feasible at the next
     // (smaller) target, making it a reliable warm seed.
@@ -95,6 +103,23 @@ void FrequencyTable::set_cell(std::size_t row, std::size_t col, Entry entry) {
         "FrequencyTable::set_cell: frequency vector size mismatch");
   }
   cells_[index(row, col)] = std::move(entry);
+}
+
+void FrequencyTable::set_core_fmax(std::vector<double> core_fmax) {
+  if (!core_fmax.empty()) {
+    if (core_fmax.size() != num_cores_) {
+      throw std::invalid_argument(
+          "FrequencyTable::set_core_fmax: one entry per core required");
+    }
+    for (const double f : core_fmax) {
+      if (!std::isfinite(f) || !(f > 0.0)) {
+        throw std::invalid_argument(
+            "FrequencyTable::set_core_fmax: entries must be finite and "
+            "positive");
+      }
+    }
+  }
+  core_fmax_ = std::move(core_fmax);
 }
 
 std::size_t FrequencyTable::feasible_cells() const noexcept {

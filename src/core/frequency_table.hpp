@@ -55,6 +55,17 @@ class FrequencyTable {
   std::size_t rows() const noexcept { return tstart_grid_.size(); }
   std::size_t cols() const noexcept { return ftarget_grid_.size(); }
   std::size_t num_cores() const noexcept { return num_cores_; }
+
+  /// Per-core frequency axes [Hz] of a heterogeneous build: core c's cells
+  /// top out at core_fmax()[c], not at the shared reference fmax. Empty on
+  /// homogeneous builds (the historical representation, unchanged). The
+  /// annotation rides in the binary store's metadata section (format v2);
+  /// the CSV debug format does not carry it.
+  const std::vector<double>& core_fmax() const noexcept { return core_fmax_; }
+  /// Installs the per-core axes; empty clears them. Throws
+  /// std::invalid_argument unless empty or num_cores finite positive
+  /// entries.
+  void set_core_fmax(std::vector<double> core_fmax);
   const std::vector<double>& tstart_grid() const noexcept {
     return tstart_grid_;
   }
@@ -96,6 +107,7 @@ class FrequencyTable {
   std::vector<double> tstart_grid_;
   std::vector<double> ftarget_grid_;
   std::size_t num_cores_;
+  std::vector<double> core_fmax_;  ///< empty on homogeneous builds
   std::vector<std::optional<Entry>> cells_;
 };
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "util/logging.hpp"
 
@@ -55,6 +57,50 @@ class NegSqrtSum final : public convex::ScalarFunction {
   double scale_;
 };
 
+/// Heterogeneous variant: f(x) = offset - sum_v w_v * sqrt(x_v) with
+/// w_v = fmax_v / fmax_ref, so the sum is the average frequency in units of
+/// the reference fmax. A separate class (not a weighted NegSqrtSum mode) so
+/// the homogeneous expressions — and their rounding — stay untouched.
+class WeightedNegSqrtSum final : public convex::ScalarFunction {
+ public:
+  WeightedNegSqrtSum(std::size_t dimension, std::vector<double> weights,
+                     double offset)
+      : dimension_(dimension),
+        weights_(std::move(weights)),
+        offset_(offset) {}
+
+  std::size_t dimension() const noexcept override { return dimension_; }
+
+  double value(const linalg::Vector& x) const override {
+    double acc = offset_;
+    for (std::size_t v = 0; v < weights_.size(); ++v) {
+      acc -= weights_[v] * std::sqrt(x[v]);
+    }
+    return acc;
+  }
+
+  linalg::Vector gradient(const linalg::Vector& x) const override {
+    linalg::Vector g(dimension_);
+    for (std::size_t v = 0; v < weights_.size(); ++v) {
+      g[v] = -weights_[v] * 0.5 / std::sqrt(x[v]);
+    }
+    return g;
+  }
+
+  linalg::Matrix hessian(const linalg::Vector& x) const override {
+    linalg::Matrix h(dimension_, dimension_);
+    for (std::size_t v = 0; v < weights_.size(); ++v) {
+      h(v, v) = weights_[v] * 0.25 / (x[v] * std::sqrt(x[v]));
+    }
+    return h;
+  }
+
+ private:
+  std::size_t dimension_;
+  std::vector<double> weights_;
+  double offset_;
+};
+
 }  // namespace
 
 ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
@@ -88,6 +134,54 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
   has_tgrad_ = config_.minimize_gradient && !config_.uniform_frequency;
   num_vars_ = num_sigma_ + (has_tgrad_ ? 1 : 0);
 
+  het_ = platform_.heterogeneous();
+  if (het_ && config_.uniform_frequency) {
+    // One shared sigma maps to a *different* frequency per class, so the
+    // uniform-frequency contract of Sec. 5.3 has no het counterpart.
+    throw std::invalid_argument(
+        "ProTempConfig: uniform_frequency is undefined on heterogeneous "
+        "platform '" + platform_.name() + "' (distinct per-class fmax)");
+  }
+  if (het_) {
+    core_pmax_.resize(num_cores_);
+    core_fmax_.resize(num_cores_);
+    workload_weights_.resize(num_cores_);
+    total_core_pmax_ = platform_.total_core_pmax();
+    const double fref = platform_.fmax();
+    for (std::size_t c = 0; c < num_cores_; ++c) {
+      core_pmax_[c] = platform_.core_pmax_of(c);
+      core_fmax_[c] = platform_.core_fmax(c);
+      workload_weights_[c] = core_fmax_[c] / fref;
+    }
+  }
+
+  // Per-node ceilings: the platform's own (stack DRAM strips) followed by
+  // opt.node_tmax entries resolved against the floorplan. Empty on classic
+  // builds, so the row layout below collapses to the historical one.
+  ceilings_ = platform_.thermal_ceilings();
+  for (const auto& [block_name, ceiling_tmax] : config_.node_ceilings) {
+    const auto idx = platform_.floorplan().find(block_name);
+    if (!idx) {
+      throw std::invalid_argument(
+          "ProTempConfig: node_tmax names no floorplan block '" +
+          block_name + "' on platform '" + platform_.name() + "'");
+    }
+    if (platform_.floorplan().block(*idx).kind ==
+        thermal::BlockKind::kCore) {
+      throw std::invalid_argument(
+          "ProTempConfig: node_tmax on core block '" + block_name +
+          "' — core ceilings come from CoreClass tmax or opt.tmax");
+    }
+    if (!std::isfinite(ceiling_tmax)) {
+      throw std::invalid_argument(
+          "ProTempConfig: node_tmax for '" + block_name +
+          "' must be finite");
+    }
+    ceilings_.push_back(
+        arch::ThermalCeiling{*idx, ceiling_tmax, block_name});
+  }
+  num_monitored_ = num_cores_ + ceilings_.size();
+
   const thermal::ThermalModel model(platform_.network(), config_.dt,
                                     config_.backend);
   // Two horizon maps: one with the static background (cores idle), one with
@@ -95,11 +189,16 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
   // the activity-coupled share of the background power, which scales with
   // mean(sigma) and therefore stays linear in the decision variables (the
   // worst-case activity estimate: every core fully busy at its frequency).
+  std::vector<std::size_t> monitored = platform_.core_nodes();
+  monitored.reserve(num_monitored_);
+  for (const arch::ThermalCeiling& ceiling : ceilings_) {
+    monitored.push_back(ceiling.node);
+  }
   const thermal::HorizonAffineMap map = thermal::build_horizon_map(
-      model, steps_, platform_.core_nodes(), platform_.core_nodes(),
+      model, steps_, monitored, platform_.core_nodes(),
       platform_.background_power_at(0.0));
   const thermal::HorizonAffineMap map_peak = thermal::build_horizon_map(
-      model, steps_, platform_.core_nodes(), platform_.core_nodes(),
+      model, steps_, monitored, platform_.core_nodes(),
       platform_.background_power());
 
   const double pmax = platform_.core_pmax();
@@ -110,7 +209,8 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
   };
 
   // Row layout:
-  //   [0, steps*nc)                       temperature rows, k-major
+  //   [0, steps*num_monitored)            temperature rows, k-major
+  //                                       (cores first, then ceilings)
   //   then nc (or 1) upper bounds sigma <= 1
   //   then nc (or 1) lower bounds -sigma <= -sigma_floor
   //   then 1 row -tgrad <= 0                        (if tgrad)
@@ -124,8 +224,8 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
     gradient_rows = strided_steps * nc * (nc - 1);
   }
   const std::size_t budget_rows = config_.power_budget_watts ? 1 : 0;
-  const std::size_t rows = steps_ * nc + 2 * num_sigma_ + budget_rows +
-                           (has_tgrad_ ? 1 + gradient_rows : 0);
+  const std::size_t rows = steps_ * num_monitored_ + 2 * num_sigma_ +
+                           budget_rows + (has_tgrad_ ? 1 + gradient_rows : 0);
 
   const std::size_t n_nodes = platform_.num_nodes();
   g_ = linalg::Matrix(rows, num_vars_);
@@ -140,7 +240,7 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
   // bounds-checked access was the dominant build cost after the sparse
   // horizon recursions removed the matmul one.)
   for (std::size_t k = 1; k <= steps_; ++k) {
-    for (std::size_t r = 0; r < nc; ++r) {
+    for (std::size_t r = 0; r < num_monitored_; ++r) {
       const double d = activity_coeff(k, r);
       const double* mk_row = map.m_row(k, r);
       double* g_row = g_.row_data(row);
@@ -148,12 +248,24 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
         double acc = 0.0;
         for (std::size_t v = 0; v < nc; ++v) acc += mk_row[v];
         g_row[0] = acc * pmax + d;  // mean(sigma) == sigma in uniform mode
+      } else if (het_) {
+        // Per-class power law p_v = pmax_v * sigma_v; the worst-case
+        // activity of core v contributes its pmax share of the chip total.
+        for (std::size_t v = 0; v < nc; ++v) {
+          g_row[v] = mk_row[v] * core_pmax_[v] +
+                     d * (core_pmax_[v] / total_core_pmax_);
+        }
       } else {
         for (std::size_t v = 0; v < nc; ++v) {
           g_row[v] = mk_row[v] * pmax + d / static_cast<double>(nc);
         }
       }
-      h0_[row] = config_.tmax + config_.constraint_slack - map.w_at(k, r);
+      // Core rows bound at the class ceiling (or the global tmax); ceiling
+      // rows (r >= nc) at their own per-node tmax.
+      const double row_tmax =
+          r < nc ? platform_.core_tmax(r).value_or(config_.tmax)
+                 : ceilings_[r - nc].tmax_celsius;
+      h0_[row] = row_tmax + config_.constraint_slack - map.w_at(k, r);
       const double* s_row = map.s_row(k, r);
       double* gain_row = state_gain_.row_data(row);
       for (std::size_t j = 0; j < n_nodes; ++j) {
@@ -177,7 +289,9 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
     // sum_i p_i = pmax * (sum sigma, or n * sigma uniform) <= budget.
     const double per_sigma =
         config_.uniform_frequency ? pmax * static_cast<double>(nc) : pmax;
-    for (std::size_t v = 0; v < num_sigma_; ++v) g_(row, v) = per_sigma;
+    for (std::size_t v = 0; v < num_sigma_; ++v) {
+      g_(row, v) = het_ ? core_pmax_[v] : per_sigma;
+    }
     h0_[row] = *config_.power_budget_watts;
     ++row;
   }
@@ -190,14 +304,23 @@ ProTempOptimizer::ProTempOptimizer(const arch::Platform& platform,
       for (std::size_t r = 0; r < nc; ++r) {
         for (std::size_t q = 0; q < nc; ++q) {
           if (r == q) continue;
-          const double dd =
-              (activity_coeff(k, r) - activity_coeff(k, q)) /
-              static_cast<double>(nc);
           const double* mk_r = map.m_row(k, r);
           const double* mk_q = map.m_row(k, q);
           double* g_row = g_.row_data(row);
-          for (std::size_t v = 0; v < nc; ++v) {
-            g_row[v] = (mk_r[v] - mk_q[v]) * pmax + dd;
+          if (het_) {
+            const double dd =
+                activity_coeff(k, r) - activity_coeff(k, q);
+            for (std::size_t v = 0; v < nc; ++v) {
+              g_row[v] = (mk_r[v] - mk_q[v]) * core_pmax_[v] +
+                         dd * (core_pmax_[v] / total_core_pmax_);
+            }
+          } else {
+            const double dd =
+                (activity_coeff(k, r) - activity_coeff(k, q)) /
+                static_cast<double>(nc);
+            for (std::size_t v = 0; v < nc; ++v) {
+              g_row[v] = (mk_r[v] - mk_q[v]) * pmax + dd;
+            }
           }
           g_row[num_sigma_] = -1.0;
           h0_[row] = map.w_at(k, q) - map.w_at(k, r);
@@ -310,6 +433,18 @@ bool ProTempOptimizer::try_warm_start(const convex::BarrierProblem& problem,
   return false;
 }
 
+std::shared_ptr<convex::ScalarFunction> ProTempOptimizer::neg_freq_sum(
+    double offset) const {
+  if (het_) {
+    return std::make_shared<WeightedNegSqrtSum>(num_vars_, workload_weights_,
+                                                offset);
+  }
+  const double ws_scale =
+      config_.uniform_frequency ? static_cast<double>(num_cores_) : 1.0;
+  return std::make_shared<NegSqrtSum>(num_vars_, num_sigma_, offset,
+                                      ws_scale);
+}
+
 convex::BarrierOptions ProTempOptimizer::warm_options() const {
   // The warm seed is near-optimal, so skip the early wide-gap stages: start
   // the outer loop where the certified gap is already ~1e-3 instead of ~m.
@@ -348,21 +483,21 @@ FrequencyAssignment ProTempOptimizer::solve_with_rhs(
       config_.uniform_frequency
           ? platform_.core_pmax() * static_cast<double>(num_cores_)
           : platform_.core_pmax();
-  for (std::size_t v = 0; v < num_sigma_; ++v) cost[v] = per_sigma_power;
+  for (std::size_t v = 0; v < num_sigma_; ++v) {
+    cost[v] = het_ ? core_pmax_[v] : per_sigma_power;
+  }
   if (has_tgrad_) cost[num_sigma_] = config_.gradient_weight;
 
   convex::BarrierProblem problem;
   problem.objective =
       std::make_shared<convex::AffineFunction>(std::move(cost), 0.0);
   problem.linear = lin;
-  // Workload constraint: n*phi - sum sqrt(sigma) <= 0. In uniform mode the
-  // single sigma serves all n cores: n*phi - n*sqrt(sigma) <= 0.
-  const double ws_scale =
-      config_.uniform_frequency ? static_cast<double>(num_cores_) : 1.0;
+  // Workload constraint: n*phi - sum sqrt(sigma) <= 0 (fmax-weighted per
+  // class in het mode). In uniform mode the single sigma serves all n
+  // cores: n*phi - n*sqrt(sigma) <= 0.
   if (phi > 0.0) {
-    problem.constraints.push_back(std::make_shared<NegSqrtSum>(
-        num_vars_, num_sigma_, static_cast<double>(num_cores_) * phi,
-        ws_scale));
+    problem.constraints.push_back(
+        neg_freq_sum(static_cast<double>(num_cores_) * phi));
   }
 
   const auto finish = [&](convex::SolveStatus status) {
@@ -391,8 +526,7 @@ FrequencyAssignment ProTempOptimizer::solve_with_rhs(
       // the thermal rows; its optimizer is strictly feasible for them, and
       // if even it cannot meet the workload the point is infeasible.
       convex::BarrierProblem throughput;
-      throughput.objective =
-          std::make_shared<NegSqrtSum>(num_vars_, num_sigma_, 0.0, ws_scale);
+      throughput.objective = neg_freq_sum(0.0);
       throughput.linear = lin;
       linalg::Vector lift_x0;
       const bool lift_warm = try_warm_start(
@@ -466,9 +600,10 @@ FrequencyAssignment ProTempOptimizer::solve_with_rhs(
   for (std::size_t c = 0; c < num_cores_; ++c) {
     const double sigma =
         config_.uniform_frequency ? sol.x[0] : sol.x[c];
-    out.frequencies[c] = fmax * std::sqrt(std::max(0.0, sigma));
+    out.frequencies[c] =
+        (het_ ? core_fmax_[c] : fmax) * std::sqrt(std::max(0.0, sigma));
     freq_sum += out.frequencies[c];
-    power_sum += platform_.core_pmax() * sigma;
+    power_sum += (het_ ? core_pmax_[c] : platform_.core_pmax()) * sigma;
   }
   out.average_frequency = freq_sum / static_cast<double>(num_cores_);
   out.total_power = power_sum;
@@ -499,11 +634,8 @@ ProTempOptimizer::max_throughput_with_rhs(
     linalg::Vector rhs, convex::SolverWorkspace* workspace) const {
   convex::LinearConstraints lin{g_, std::move(rhs)};
 
-  const double ws_scale =
-      config_.uniform_frequency ? static_cast<double>(num_cores_) : 1.0;
   convex::BarrierProblem throughput;
-  throughput.objective =
-      std::make_shared<NegSqrtSum>(num_vars_, num_sigma_, 0.0, ws_scale);
+  throughput.objective = neg_freq_sum(0.0);
   throughput.linear = lin;
 
   linalg::Vector x0;
@@ -535,7 +667,8 @@ ProTempOptimizer::max_throughput_with_rhs(
   for (std::size_t c = 0; c < num_cores_; ++c) {
     const double sigma =
         config_.uniform_frequency ? sol.x[0] : sol.x[c];
-    out.frequencies[c] = platform_.fmax() * std::sqrt(std::max(0.0, sigma));
+    out.frequencies[c] = (het_ ? core_fmax_[c] : platform_.fmax()) *
+                         std::sqrt(std::max(0.0, sigma));
     freq_sum += out.frequencies[c];
   }
   out.average_frequency = freq_sum / static_cast<double>(num_cores_);

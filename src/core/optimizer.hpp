@@ -23,7 +23,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "arch/platform.hpp"
 #include "convex/barrier.hpp"
@@ -56,6 +60,19 @@ struct ProTempConfig {
   /// Optional chip-wide core power budget [W] (extension): adds the linear
   /// row sum_i p_i <= budget to the program.
   std::optional<double> power_budget_watts;
+
+  /// Extra per-node temperature ceilings [degC] keyed by floorplan block
+  /// name (scenario key `opt.node_tmax`). Merged with the platform's own
+  /// thermal ceilings (e.g. the stack: family's DRAM strips); a name that
+  /// resolves to no block throws std::invalid_argument at construction.
+  std::vector<std::pair<std::string, double>> node_ceilings;
+
+  /// Serve the Phase-1 table through a bounded-error InterpolatedTable built
+  /// by striding the fine grid this many points per axis (scenario key
+  /// `opt.table_interp_stride`; 1 = serve the fine table directly). Consumed
+  /// by the pro-temp policy factory, not the optimizer itself, and
+  /// deliberately excluded from the fine-table identity key.
+  std::size_t table_interp_stride = 1;
 
   /// Seed successive solves from the previous optimum when the caller
   /// supplies a SolverWorkspace (table sweep points, simulation steps).
@@ -157,6 +174,10 @@ class ProTempOptimizer {
   /// Barrier options for a warm-started solve: the seed is near-optimal, so
   /// the outer loop starts at a sharper barrier parameter.
   convex::BarrierOptions warm_options() const;
+  /// The average-frequency expression offset - sum sqrt(sigma) (workload
+  /// constraint / max-throughput objective): per-class fmax-weighted on a
+  /// heterogeneous platform, the classic NegSqrtSum otherwise.
+  std::shared_ptr<convex::ScalarFunction> neg_freq_sum(double offset) const;
   /// Shared solve paths once the rhs is fixed.
   FrequencyAssignment solve_with_rhs(linalg::Vector rhs, double ftarget_hz,
                                      convex::SolverWorkspace* workspace) const;
@@ -170,6 +191,19 @@ class ProTempOptimizer {
   std::size_t num_sigma_ = 0;   ///< n (variable) or 1 (uniform)
   bool has_tgrad_ = false;
   std::size_t num_vars_ = 0;    ///< num_sigma_ + (has_tgrad_ ? 1 : 0)
+  /// Per-node ceilings beyond the core rows: platform ceilings (stack DRAM)
+  /// followed by resolved config_.node_ceilings. Empty on classic builds,
+  /// keeping the row layout (and every cached golden) bitwise-identical.
+  std::vector<arch::ThermalCeiling> ceilings_;
+  std::size_t num_monitored_ = 0;  ///< num_cores_ + ceilings_.size()
+  /// Heterogeneous per-core laws (arch::Platform core classes). When false,
+  /// every coefficient below is assembled with the exact legacy homogeneous
+  /// expressions so existing artifacts stay bitwise-stable.
+  bool het_ = false;
+  std::vector<double> core_pmax_;   ///< per-core pmax [W] (het only)
+  std::vector<double> core_fmax_;   ///< per-core fmax [Hz] (het only)
+  double total_core_pmax_ = 0.0;
+  std::vector<double> workload_weights_;  ///< fmax_c / fmax ref (het only)
 
   // Cached linear block: G x <= h0 + S t0 (uniform tstart: h0 + tstart*h1
   // with h1 = S 1).

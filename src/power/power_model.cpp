@@ -40,6 +40,17 @@ double DvfsPowerModel::frequency_for_power(double watts) const noexcept {
   return fmax_ * std::pow(watts / pmax_, 1.0 / exponent_);
 }
 
+DvfsPowerModel DvfsPowerModel::scaled(double pmax_scale,
+                                      double fmax_scale) const {
+  if (!(pmax_scale > 0.0) || !std::isfinite(pmax_scale) ||
+      !(fmax_scale > 0.0) || !std::isfinite(fmax_scale)) {
+    throw std::invalid_argument(
+        "DvfsPowerModel::scaled: scales must be finite and positive");
+  }
+  return DvfsPowerModel(pmax_ * pmax_scale, fmax_ * fmax_scale, exponent_,
+                        idle_fraction_);
+}
+
 LeakagePowerModel::LeakagePowerModel(double nominal, double sensitivity,
                                      double ref_celsius)
     : nominal_(nominal), sensitivity_(sensitivity), ref_celsius_(ref_celsius) {

@@ -39,6 +39,11 @@ class DvfsPowerModel {
   /// (clamped to [0, fmax]).
   double frequency_for_power(double watts) const noexcept;
 
+  /// Derives a heterogeneous-class law from this one: same exponent and
+  /// idle fraction, pmax and fmax multiplied by the given (finite,
+  /// positive) scales. Throws std::invalid_argument otherwise.
+  DvfsPowerModel scaled(double pmax_scale, double fmax_scale) const;
+
  private:
   double pmax_;
   double fmax_;

@@ -43,6 +43,19 @@ ControlLoop::ControlLoop(DfsPolicy& dfs, AssignmentPolicy& assignment,
   if (steps_per_window_ == 0) {
     throw std::invalid_argument("ControlLoop: dfs_period shorter than dt");
   }
+  if (!config_.core_fmax.empty()) {
+    if (config_.core_fmax.size() != config_.num_cores) {
+      throw std::invalid_argument(
+          "ControlLoop: core_fmax must have one entry per core");
+    }
+    for (const double f : config_.core_fmax) {
+      if (!std::isfinite(f) || !(f > 0.0) || f > config_.fmax) {
+        throw std::invalid_argument(
+            "ControlLoop: core_fmax entries must be finite, positive and "
+            "<= fmax");
+      }
+    }
+  }
   frequencies_ = linalg::Vector(config_.num_cores);
 }
 
@@ -56,13 +69,16 @@ void ControlLoop::reset() {
   intervened_ = false;
 }
 
-double ControlLoop::quantize(double f) const noexcept {
+double ControlLoop::quantize(double f, std::size_t core) const noexcept {
   const double q = config_.frequency_quantum;
   const double floored = q <= 0.0 ? f : std::floor(f / q) * q;
   // The fmin rail is applied after flooring: a request in (0, quantum)
   // floors to 0 and then lands on the rail, never on a phantom 0 Hz state
-  // the platform does not have.
-  return std::clamp(floored, config_.fmin, config_.fmax);
+  // the platform does not have. Heterogeneous platforms cap each core at
+  // its class fmax instead of the shared reference.
+  const double cap = config_.core_fmax.empty() ? config_.fmax
+                                               : config_.core_fmax[core];
+  return std::clamp(floored, config_.fmin, cap);
 }
 
 const linalg::Vector& ControlLoop::on_telemetry(const TelemetryFrame& frame) {
@@ -77,6 +93,12 @@ const linalg::Vector& ControlLoop::on_telemetry(const TelemetryFrame& frame) {
     view.queue_length = frame.queue_length;
     view.num_cores = config_.num_cores;
     view.fmax = config_.fmax;
+    if (!config_.core_fmax.empty()) {
+      view.core_fmax = linalg::Vector(config_.num_cores);
+      for (std::size_t c = 0; c < config_.num_cores; ++c) {
+        view.core_fmax[c] = config_.core_fmax[c];
+      }
+    }
     view.backlog_work = frame.backlog_work;
     view.arrived_work_last_window = frame.arrived_work_last_window;
     linalg::Vector next = dfs_->on_window(view);
@@ -86,7 +108,7 @@ const linalg::Vector& ControlLoop::on_telemetry(const TelemetryFrame& frame) {
       throw std::logic_error("DfsPolicy returned wrong frequency count");
     }
     for (std::size_t c = 0; c < config_.num_cores; ++c) {
-      next[c] = quantize(next[c]);
+      next[c] = quantize(next[c], c);
     }
     frequencies_ = std::move(next);
     ++windows_;
@@ -99,7 +121,7 @@ const linalg::Vector& ControlLoop::on_telemetry(const TelemetryFrame& frame) {
   intervened_ = dfs_->on_sample(frame.time, frame.core_temps, frequencies_);
   if (intervened_) {
     for (std::size_t c = 0; c < config_.num_cores; ++c) {
-      frequencies_[c] = quantize(frequencies_[c]);
+      frequencies_[c] = quantize(frequencies_[c], c);
     }
   }
 

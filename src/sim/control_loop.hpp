@@ -20,6 +20,7 @@
 
 #include <any>
 #include <cstddef>
+#include <vector>
 
 #include "linalg/vector.hpp"
 #include "sim/policies.hpp"
@@ -83,8 +84,12 @@ class ControlLoop final : public Controller {
     /// (quantization may shut a core down); with fmin > 0, thermal trips
     /// idle at the rail instead of power-gating.
     double fmin = 0.0;
-    double fmax = 0.0;         ///< [Hz]
+    double fmax = 0.0;         ///< reference (maximum) frequency [Hz]
     std::size_t num_cores = 0;
+    /// Per-core frequency caps [Hz] for heterogeneous platforms. Empty =
+    /// every core capped at fmax (the historical homogeneous behavior).
+    /// When set: exactly num_cores finite entries, each in (0, fmax].
+    std::vector<double> core_fmax;
   };
 
   /// Borrows both policies; the caller keeps them alive and unshared for
@@ -135,7 +140,7 @@ class ControlLoop final : public Controller {
   void restore(const Checkpoint& checkpoint);
 
  private:
-  double quantize(double f) const noexcept;
+  double quantize(double f, std::size_t core) const noexcept;
 
   DfsPolicy* dfs_;
   AssignmentPolicy* assignment_;

@@ -36,7 +36,15 @@ struct ControllerView {
   double arrived_work_last_window = 0.0;  ///< [s at fmax]
   std::size_t queue_length = 0;
   std::size_t num_cores = 0;
-  double fmax = 0.0;           ///< [Hz]
+  double fmax = 0.0;           ///< reference (maximum) frequency [Hz]
+  /// Per-core frequency caps [Hz] on heterogeneous platforms; empty on
+  /// homogeneous ones (every core tops out at `fmax`).
+  linalg::Vector core_fmax;
+
+  /// Cap of core c: its class fmax, or the shared reference fmax.
+  double fmax_of(std::size_t core) const {
+    return core_fmax.empty() ? fmax : core_fmax[core];
+  }
 
   double max_core_temp() const { return core_temps.max(); }
   double max_sensor_temp() const {

@@ -73,6 +73,12 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
   loop_config.fmin = config_.fmin;
   loop_config.fmax = platform_.fmax();
   loop_config.num_cores = platform_.num_cores();
+  if (platform_.heterogeneous()) {
+    loop_config.core_fmax.resize(platform_.num_cores());
+    for (std::size_t c = 0; c < platform_.num_cores(); ++c) {
+      loop_config.core_fmax[c] = platform_.core_fmax(c);
+    }
+  }
   ControlLoop loop(dfs, assignment, loop_config);
   return run(trace, loop, duration);
 }
@@ -87,6 +93,9 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
   const double fmax = platform_.fmax();
   const auto& core_nodes = platform_.core_nodes();
   const power::DvfsPowerModel& pm = platform_.core_power();
+  // Heterogeneous branch flag: homogeneous platforms keep the shared `pm`
+  // expressions (and their bitwise results) untouched.
+  const bool het = platform_.heterogeneous();
 
   controller.reset();
 
@@ -251,11 +260,15 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
         }
       }
       const double busy_fraction = busy_time / config_.dt;
-      core_watts[c] = pm.power(core.frequency, true) * busy_fraction +
-                      pm.power(core.frequency, false) * (1.0 - busy_fraction);
+      const power::DvfsPowerModel& cpm =
+          het ? platform_.core_power_of(c) : pm;
+      core_watts[c] = cpm.power(core.frequency, true) * busy_fraction +
+                      cpm.power(core.frequency, false) * (1.0 - busy_fraction);
       if (config_.core_leakage) {
-        // Leakage follows the physical temperature, not the sensor reading.
-        core_watts[c] += config_.core_leakage->power(true_core_temps[c]);
+        // Leakage follows the physical temperature, not the sensor reading;
+        // heterogeneous classes scale it by their process-corner factor.
+        const double leak = config_.core_leakage->power(true_core_temps[c]);
+        core_watts[c] += het ? leak * platform_.leakage_scale_of(c) : leak;
       }
       freq_integral += core.frequency * config_.dt;
     }
@@ -265,9 +278,11 @@ SimResult MulticoreSimulator::run(const workload::TaskTrace& trace,
     //    never above the worst-case activity the Phase-1 optimizer assumed.
     double activity = 0.0;
     for (std::size_t c = 0; c < n_cores; ++c) {
-      activity += pm.power(frequencies[c], true);
+      activity += (het ? platform_.core_power_of(c) : pm)
+                      .power(frequencies[c], true);
     }
-    activity /= static_cast<double>(n_cores) * pm.pmax();
+    activity /= het ? platform_.total_core_pmax()
+                    : static_cast<double>(n_cores) * pm.pmax();
     const linalg::Vector full_power =
         platform_.full_power(core_watts, activity);
     double total_power = 0.0;

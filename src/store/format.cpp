@@ -49,6 +49,36 @@ Status anchored(const std::string& path, const std::string& what) {
   return Status::invalid_argument(path + ": " + what);
 }
 
+/// Extracts the per-core frequency axes from a v2 metadata blob (the
+/// `core-fmax-hz = f0,f1,...` line); empty when absent. Throws on a
+/// malformed number — a het artifact must restore its axes or fail loudly,
+/// never load as silently homogeneous.
+std::vector<double> parse_core_fmax_meta(std::string_view metadata) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= metadata.size()) {
+    const std::size_t eol = metadata.find('\n', pos);
+    const std::string_view line = metadata.substr(
+        pos,
+        eol == std::string_view::npos ? metadata.size() - pos : eol - pos);
+    if (line.rfind(kCoreFmaxMetaPrefix, 0) == 0) {
+      std::string_view list = line.substr(kCoreFmaxMetaPrefix.size());
+      while (!list.empty()) {
+        const std::size_t comma = list.find(',');
+        const std::string_view item =
+            comma == std::string_view::npos ? list : list.substr(0, comma);
+        out.push_back(util::parse_double(item));
+        if (comma == std::string_view::npos) break;
+        list.remove_prefix(comma + 1);
+      }
+      return out;
+    }
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
 Status check_loaded_grid(const std::string& path, const char* what,
                          const double* grid, std::size_t n) {
   // CRCs catch torn bytes, not a buggy writer: grids are re-validated at
@@ -166,6 +196,7 @@ TableView& TableView::operator=(TableView&& other) noexcept {
     if (mapping_ != nullptr) ::munmap(mapping_, mapping_bytes_);
     mapping_ = std::exchange(other.mapping_, nullptr);
     mapping_bytes_ = std::exchange(other.mapping_bytes_, 0);
+    version_ = other.version_;
     rows_ = other.rows_;
     cols_ = other.cols_;
     num_cores_ = other.num_cores_;
@@ -217,11 +248,13 @@ api::StatusOr<TableView> TableView::open(const std::string& path) {
   if (std::memcmp(header.magic, kTableMagic, sizeof(kTableMagic)) != 0) {
     return anchored(path, "not a protemp table file (bad magic)");
   }
-  if (header.version != kTableFormatVersion) {
+  if (header.version < kMinTableFormatVersion ||
+      header.version > kTableFormatVersion) {
     return anchored(
         path, util::format("unsupported format version %u (this build reads "
-                           "version %u)",
-                           header.version, kTableFormatVersion));
+                           "versions %u through %u)",
+                           header.version, kMinTableFormatVersion,
+                           kTableFormatVersion));
   }
   if (util::crc32(mapping, kHeaderCrcSpan) != header.header_crc) {
     return anchored(path, "header CRC mismatch (corrupt header)");
@@ -255,6 +288,7 @@ api::StatusOr<TableView> TableView::open(const std::string& path) {
     return anchored(path, "payload CRC mismatch");
   }
 
+  view.version_ = header.version;
   view.rows_ = rows;
   view.cols_ = cols;
   view.num_cores_ = cores;
@@ -325,6 +359,8 @@ core::FrequencyTable TableView::materialize() const {
       table.set_cell(r, c, std::move(entry));
     }
   }
+  std::vector<double> core_fmax = parse_core_fmax_meta(metadata_);
+  if (!core_fmax.empty()) table.set_core_fmax(std::move(core_fmax));
   return table;
 }
 

@@ -42,7 +42,19 @@ namespace protemp::store {
 /// bytes still match — the version check right after catches it).
 inline constexpr char kTableMagic[8] = {'P', 'T', 'B', 'L',
                                         'S', 'T', 'R', '1'};
-inline constexpr std::uint32_t kTableFormatVersion = 1;
+/// Current writer version. v2 extends v1 only in the metadata section: a
+/// heterogeneous build records its per-core frequency axes on a
+/// `core-fmax-hz = <f0>,<f1>,...` line, restored into
+/// FrequencyTable::core_fmax() on load. The byte layout is unchanged, so
+/// this build reads v1 artifacts as-is; versions outside
+/// [kMinTableFormatVersion, kTableFormatVersion] fail with a named
+/// "unsupported format version" error, never a misparse.
+inline constexpr std::uint32_t kTableFormatVersion = 2;
+inline constexpr std::uint32_t kMinTableFormatVersion = 1;
+
+/// Metadata line prefix carrying the per-core frequency axes of a
+/// heterogeneous build (v2; absent on homogeneous artifacts).
+inline constexpr std::string_view kCoreFmaxMetaPrefix = "core-fmax-hz = ";
 
 /// Fixed little-endian file header. Field order is the wire format;
 /// header_crc covers every byte before it (offset 0..71) and must be last.
@@ -91,6 +103,8 @@ class TableView {
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
   std::size_t num_cores() const noexcept { return num_cores_; }
+  /// On-disk format version of the opened artifact (1 or 2).
+  std::uint32_t version() const noexcept { return version_; }
 
   /// Grid pointers alias the mapping (rows() / cols() elements).
   const double* tstart_grid() const noexcept { return tstart_; }
@@ -118,6 +132,7 @@ class TableView {
 
   void* mapping_ = nullptr;
   std::size_t mapping_bytes_ = 0;
+  std::uint32_t version_ = 0;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t num_cores_ = 0;

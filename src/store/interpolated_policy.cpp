@@ -1,0 +1,28 @@
+#include "store/interpolated_policy.hpp"
+
+namespace protemp::store {
+
+linalg::Vector InterpolatedProTempPolicy::on_window(
+    const sim::ControllerView& view) {
+  ++stats_.windows;
+  const double temperature = view.max_sensor_temp();
+  const double required = sim::required_average_frequency(view);
+  const InterpolatedTable::Served served = table_.query(temperature, required);
+  if (served.emergency) ++stats_.emergencies;
+  if (served.downgraded) ++stats_.downgrades;
+  if (served.interpolated) ++stats_.interpolated;
+  if (!served.feasible) {
+    // No safe assignment at this temperature: shut the cores down for one
+    // window, exactly the plain table policy's guaranteed-safe action.
+    return linalg::Vector(view.num_cores, 0.0);
+  }
+  return served.frequencies;
+}
+
+std::any InterpolatedProTempPolicy::save_state() const { return stats_; }
+
+void InterpolatedProTempPolicy::load_state(const std::any& state) {
+  stats_ = sim::policy_state_as<Stats>(state, "InterpolatedProTempPolicy");
+}
+
+}  // namespace protemp::store

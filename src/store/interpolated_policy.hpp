@@ -1,0 +1,49 @@
+// Phase-2 serving from a bounded-error coarse grid.
+//
+// InterpolatedProTempPolicy is ProTempPolicy with the InterpolatedTable
+// lookup in place of the raw table query: the same max-sensor-temperature /
+// required-frequency key, the same shut-down-on-infeasible fallback, but
+// cells may be served as a certified blend of two coarse cells. A serving
+// session reaches it through `opt.table_interp_stride > 1`, which decimates
+// the (cache- or store-resident) fine table at policy construction and
+// requires the certified error to fit under the control loop's frequency
+// quantum — so the coarse grid can never move a post-quantization command
+// by more than one step.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <string>
+
+#include "sim/policies.hpp"
+#include "store/interpolated_table.hpp"
+
+namespace protemp::store {
+
+class InterpolatedProTempPolicy final : public sim::DfsPolicy {
+ public:
+  struct Stats {
+    std::size_t windows = 0;
+    std::size_t emergencies = 0;   ///< sensor above the table's top row
+    std::size_t downgrades = 0;    ///< served below the requested target
+    std::size_t interpolated = 0;  ///< windows served as a two-cell blend
+  };
+
+  explicit InterpolatedProTempPolicy(InterpolatedTable table)
+      : table_(std::move(table)) {}
+
+  std::string name() const override { return "pro-temp-interp"; }
+  void reset() override { stats_ = {}; }
+  linalg::Vector on_window(const sim::ControllerView& view) override;
+  std::any save_state() const override;
+  void load_state(const std::any& state) override;
+
+  const Stats& stats() const noexcept { return stats_; }
+  const InterpolatedTable& table() const noexcept { return table_; }
+
+ private:
+  InterpolatedTable table_;
+  Stats stats_;
+};
+
+}  // namespace protemp::store

@@ -147,6 +147,15 @@ api::Status TableStore::put(const std::string& key,
   std::string metadata = key + "\n";
   metadata += util::format("rows = %zu\ncols = %zu\ncores = %zu\n",
                            table.rows(), table.cols(), table.num_cores());
+  if (!table.core_fmax().empty()) {
+    // v2: heterogeneous per-core axes, restored by TableView::materialize.
+    metadata += std::string(kCoreFmaxMetaPrefix);
+    for (std::size_t c = 0; c < table.core_fmax().size(); ++c) {
+      if (c != 0) metadata += ",";
+      metadata += util::format("%.17g", table.core_fmax()[c]);
+    }
+    metadata += "\n";
+  }
   if (!provenance.empty()) {
     metadata += provenance;
     if (provenance.back() != '\n') metadata += '\n';

@@ -1,0 +1,272 @@
+// Classical feedback controllers (core/feedback_policies.hpp): the
+// proportional baseline's cap law, the integral controller's wind-down /
+// wind-up dynamics and adaptive gain, per-core caps on heterogeneous
+// views, snapshot/restore reproducibility, and the registry factories.
+#include <any>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "api/protemp.hpp"
+#include "core/feedback_policies.hpp"
+#include "sim/policies.hpp"
+#include "util/units.hpp"
+
+namespace protemp {
+namespace {
+
+using core::IntegralDfsPolicy;
+using core::ProportionalDfsPolicy;
+using linalg::Vector;
+using util::mhz;
+
+/// A saturated homogeneous view: demand pegged at fmax (backlog exceeds
+/// window capacity), so on_window outputs equal the thermal caps.
+sim::ControllerView saturated_view(std::size_t cores, double temp,
+                                   double fmax = mhz(1200.0)) {
+  sim::ControllerView view;
+  view.num_cores = cores;
+  view.dfs_period = 0.1;
+  view.fmax = fmax;
+  view.core_temps = Vector(cores, temp);
+  view.backlog_work = 10.0;  // >> cores * dfs_period
+  return view;
+}
+
+// ---------------------------------------------------------- proportional --
+
+TEST(Proportional, CapIsLinearInHeadroom) {
+  ProportionalDfsPolicy::Options options;
+  options.setpoint_celsius = 90.0;
+  options.kp_per_celsius = 0.1;
+  ProportionalDfsPolicy policy(options);
+  EXPECT_EQ(policy.name(), "proportional");
+
+  // 5 degC of headroom at kp = 0.1/degC caps at half fmax.
+  const sim::ControllerView cool = saturated_view(4, 85.0);
+  const Vector at_85 = policy.on_window(cool);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(at_85[c], 0.5 * cool.fmax) << "core " << c;
+  }
+  // At or above the setpoint the cap hits zero.
+  const Vector at_95 = policy.on_window(saturated_view(4, 95.0));
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(at_95[c], 0.0);
+  // Deep below the setpoint the cap clamps at fmax.
+  const Vector at_40 = policy.on_window(saturated_view(4, 40.0));
+  for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(at_40[c], cool.fmax);
+}
+
+TEST(Proportional, DemandBindsBelowTheCap) {
+  ProportionalDfsPolicy policy;
+  sim::ControllerView view = saturated_view(4, 40.0);
+  // Demand for exactly half capacity: 4 cores x 0.1 s window, 0.2 s of
+  // work pending => fraction 0.5.
+  view.backlog_work = 0.2;
+  const Vector out = policy.on_window(view);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(out[c], 0.5 * view.fmax) << "core " << c;
+  }
+}
+
+TEST(Proportional, RejectsBadOptions) {
+  ProportionalDfsPolicy::Options bad;
+  bad.kp_per_celsius = 0.0;
+  EXPECT_THROW(ProportionalDfsPolicy{bad}, std::invalid_argument);
+  ProportionalDfsPolicy::Options nan_setpoint;
+  nan_setpoint.setpoint_celsius = std::nan("");
+  EXPECT_THROW(ProportionalDfsPolicy{nan_setpoint}, std::invalid_argument);
+}
+
+// -------------------------------------------------------------- integral --
+
+TEST(Integral, CapStartsOpenThenWindsDownWhenHot) {
+  IntegralDfsPolicy::Options options;
+  options.setpoint_celsius = 90.0;
+  options.adaptive_gain = false;
+  IntegralDfsPolicy policy(options);
+  EXPECT_EQ(policy.name(), "integral");
+  policy.reset();
+
+  // First hot window: the cap starts at fmax and integrates downward.
+  const sim::ControllerView hot = saturated_view(2, 95.0);
+  const Vector first = policy.on_window(hot);
+  const double step =
+      options.gain_per_celsius_second * hot.fmax * 5.0 * hot.dfs_period;
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_DOUBLE_EQ(first[c], hot.fmax - step) << "core " << c;
+  }
+  // Repeated hot windows keep winding down, monotonically.
+  Vector prev = first;
+  for (int w = 0; w < 5; ++w) {
+    const Vector next = policy.on_window(hot);
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_LT(next[c], prev[c]) << "window " << w << " core " << c;
+    }
+    prev = next;
+  }
+  // Cooling back below the setpoint winds the cap back up.
+  const sim::ControllerView cool = saturated_view(2, 80.0);
+  const Vector recovered = policy.on_window(cool);
+  for (std::size_t c = 0; c < 2; ++c) EXPECT_GT(recovered[c], prev[c]);
+}
+
+TEST(Integral, CapClampsAtZeroAndFmax) {
+  IntegralDfsPolicy::Options options;
+  options.adaptive_gain = false;
+  options.gain_per_celsius_second = 10.0;  // huge: one window saturates
+  IntegralDfsPolicy policy(options);
+  const sim::ControllerView hot = saturated_view(2, 150.0);
+  const Vector down = policy.on_window(hot);
+  for (std::size_t c = 0; c < 2; ++c) EXPECT_EQ(down[c], 0.0);
+  const sim::ControllerView cool = saturated_view(2, 20.0);
+  const Vector up = policy.on_window(cool);
+  for (std::size_t c = 0; c < 2; ++c) EXPECT_EQ(up[c], cool.fmax);
+  EXPECT_EQ(policy.stats().windows, 2u);
+  EXPECT_EQ(policy.stats().saturated, 4u);  // 2 cores x 2 pinned windows
+}
+
+TEST(Integral, AdaptiveGainShrinksOnOscillationGrowsWhenPersistent) {
+  IntegralDfsPolicy::Options options;
+  options.adaptive_gain = true;
+  IntegralDfsPolicy policy(options);
+  // Alternate across the setpoint: every flip after the first window
+  // halves the gain.
+  for (int w = 0; w < 6; ++w) {
+    policy.on_window(saturated_view(1, w % 2 == 0 ? 95.0 : 85.0));
+  }
+  EXPECT_EQ(policy.stats().gain_shrinks, 5u);
+  EXPECT_EQ(policy.stats().gain_grows, 0u);
+
+  // Persistent same-sign error grows the gain every 4th window.
+  IntegralDfsPolicy steady(options);
+  for (int w = 0; w < 8; ++w) steady.on_window(saturated_view(1, 95.0));
+  EXPECT_EQ(steady.stats().gain_grows, 2u);
+  EXPECT_EQ(steady.stats().gain_shrinks, 0u);
+}
+
+TEST(Integral, PerCoreCapsRespectHeterogeneousFmax) {
+  IntegralDfsPolicy::Options options;
+  options.adaptive_gain = false;
+  IntegralDfsPolicy policy(options);
+  sim::ControllerView view = saturated_view(2, 95.0);
+  view.core_fmax = Vector(2);
+  view.core_fmax[0] = mhz(1200.0);
+  view.core_fmax[1] = mhz(600.0);
+  Vector out = view.core_fmax;  // placeholder; overwritten below
+  for (int w = 0; w < 3; ++w) out = policy.on_window(view);
+  // Both wind down in proportion to their own fmax, never above it.
+  EXPECT_LE(out[0], view.core_fmax[0]);
+  EXPECT_LE(out[1], view.core_fmax[1]);
+  EXPECT_GT(out[0], out[1]);
+  EXPECT_DOUBLE_EQ(out[0] / view.core_fmax[0], out[1] / view.core_fmax[1]);
+}
+
+TEST(Integral, SaveLoadReproducesTheTrajectory) {
+  IntegralDfsPolicy::Options options;
+  IntegralDfsPolicy policy(options);
+  for (int w = 0; w < 4; ++w) policy.on_window(saturated_view(2, 95.0));
+  const std::any snapshot = policy.save_state();
+
+  // Diverge, then restore: the restored branch must replay identically.
+  const Vector diverged = policy.on_window(saturated_view(2, 99.0));
+  IntegralDfsPolicy replayed(options);
+  replayed.load_state(snapshot);
+  policy.load_state(snapshot);
+  const sim::ControllerView next = saturated_view(2, 95.0);
+  const Vector a = policy.on_window(next);
+  const Vector b = replayed.on_window(next);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(a[c], b[c]) << "core " << c;
+    EXPECT_NE(a[c], diverged[c]) << "core " << c;
+  }
+  EXPECT_EQ(policy.stats().windows, replayed.stats().windows);
+}
+
+TEST(Integral, LoadStateRejectsForeignValue) {
+  IntegralDfsPolicy policy;
+  EXPECT_THROW(policy.load_state(std::any(42)), std::invalid_argument);
+}
+
+TEST(Integral, RejectsBadOptions) {
+  IntegralDfsPolicy::Options bad_gain;
+  bad_gain.gain_per_celsius_second = -1.0;
+  EXPECT_THROW(IntegralDfsPolicy{bad_gain}, std::invalid_argument);
+  IntegralDfsPolicy::Options bad_bounds;
+  bad_bounds.gain_scale_floor = 2.0;
+  bad_bounds.gain_scale_cap = 1.0;
+  EXPECT_THROW(IntegralDfsPolicy{bad_bounds}, std::invalid_argument);
+}
+
+// -------------------------------------------------------------- registry --
+
+TEST(FeedbackRegistry, FactoriesParseOptionsAndDefaultToScenarioTmax) {
+  const api::StatusOr<arch::Platform> platform = api::make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  api::PolicyContext context;
+  context.platform = &platform.value();
+  context.optimizer.tmax = 87.5;
+
+  const api::StatusOr<std::unique_ptr<sim::DfsPolicy>> integral =
+      api::make_dfs_policy("integral", context);
+  ASSERT_TRUE(integral.ok()) << integral.status().to_string();
+  EXPECT_EQ((*integral)->name(), "integral");
+  const auto* integral_impl =
+      dynamic_cast<const IntegralDfsPolicy*>(integral->get());
+  ASSERT_NE(integral_impl, nullptr);
+  EXPECT_EQ(integral_impl->options().setpoint_celsius, 87.5);
+
+  api::Options options;
+  options.set("setpoint", 80.0);
+  options.set("kp", 0.25);
+  const api::StatusOr<std::unique_ptr<sim::DfsPolicy>> proportional =
+      api::make_dfs_policy("proportional", context, options);
+  ASSERT_TRUE(proportional.ok()) << proportional.status().to_string();
+  const auto* prop_impl =
+      dynamic_cast<const ProportionalDfsPolicy*>(proportional->get());
+  ASSERT_NE(prop_impl, nullptr);
+  EXPECT_EQ(prop_impl->options().setpoint_celsius, 80.0);
+  EXPECT_EQ(prop_impl->options().kp_per_celsius, 0.25);
+}
+
+TEST(FeedbackRegistry, UnknownOptionsAndBadValuesAreStatuses) {
+  const api::StatusOr<arch::Platform> platform = api::make_platform("niagara8");
+  ASSERT_TRUE(platform.ok());
+  api::PolicyContext context;
+  context.platform = &platform.value();
+
+  api::Options typo;
+  typo.set("gian", 0.5);
+  EXPECT_FALSE(api::make_dfs_policy("integral", context, typo).ok());
+
+  api::Options negative;
+  negative.set("gain", -2.0);
+  const auto bad = api::make_dfs_policy("integral", context, negative);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("gain"), std::string::npos)
+      << bad.status().to_string();
+
+  api::Options bad_kp;
+  bad_kp.set("kp", 0.0);
+  EXPECT_FALSE(api::make_dfs_policy("proportional", context, bad_kp).ok());
+}
+
+TEST(FeedbackRegistry, PoliciesRunEndToEndInScenarios) {
+  for (const char* dfs : {"integral", "proportional"}) {
+    api::ScenarioSpec spec;
+    spec.name = std::string("feedback-") + dfs;
+    spec.dfs_policy = dfs;
+    spec.workload = "mixed";
+    spec.duration = 0.4;
+    spec.seed = 2008;
+    api::ScenarioRunner runner;
+    const api::StatusOr<api::ScenarioReport> report = runner.run(spec);
+    ASSERT_TRUE(report.ok()) << dfs << ": " << report.status().to_string();
+    EXPECT_GT(report->result.metrics.elapsed(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace protemp

@@ -30,6 +30,7 @@
 #include "store/format.hpp"
 #include "store/interpolated_table.hpp"
 #include "store/table_store.hpp"
+#include "util/crc32.hpp"
 #include "util/strings.hpp"
 #include "util/thread_pool.hpp"
 #include "util/units.hpp"
@@ -283,18 +284,20 @@ TEST_F(StoreTest, RejectsTruncatedBitFlippedAndVersionBumpedFiles) {
   ASSERT_FALSE(meta.ok());
   EXPECT_NE(meta.status().message().find("metadata CRC"), std::string::npos);
 
-  // Version bump (field right after the 8-byte magic): an explicit
-  // unsupported-version error, not a CRC complaint — stale-version
+  // Version bump (field right after the 8-byte magic) past the accepted
+  // range [kMinTableFormatVersion, kTableFormatVersion]: an explicit
+  // unsupported-version error, not a CRC complaint — future-version
   // artifacts must be diagnosable as such.
   std::string bumped = bytes;
-  bumped[8] = 2;
-  write_variant("v2.ptbl", bumped);
-  api::StatusOr<store::TableView> v2 =
-      store::TableView::open(path("v2.ptbl"));
-  ASSERT_FALSE(v2.ok());
-  EXPECT_NE(v2.status().message().find("unsupported format version 2"),
+  bumped[8] = static_cast<char>(store::kTableFormatVersion + 1);
+  write_variant("vnext.ptbl", bumped);
+  api::StatusOr<store::TableView> vnext =
+      store::TableView::open(path("vnext.ptbl"));
+  ASSERT_FALSE(vnext.ok());
+  EXPECT_NE(vnext.status().message().find(util::format(
+                "unsupported format version %u", store::kTableFormatVersion + 1)),
             std::string::npos)
-      << v2.status().to_string();
+      << vnext.status().to_string();
 
   // Magic: not a table file at all.
   std::string wrong_magic = bytes;
@@ -313,6 +316,77 @@ TEST_F(StoreTest, RejectsTruncatedBitFlippedAndVersionBumpedFiles) {
       store::TableView::open(path("header.ptbl"));
   ASSERT_FALSE(header.ok());
   EXPECT_NE(header.status().message().find("header CRC"), std::string::npos);
+}
+
+TEST_F(StoreTest, VersionOneArtifactsStillLoad) {
+  // Back-compat: a pre-het artifact (v1 bytes — identical layout, no
+  // core-fmax-hz metadata line) must open and materialize bitwise under
+  // the v2 reader. Synthesized by patching the version field of a fresh
+  // homogeneous artifact down to 1 and re-sealing the header CRC, which
+  // is byte-for-byte what the v1 writer produced.
+  const core::FrequencyTable table = synthetic_table(3, 4, 8, 41);
+  const std::string file = path("v1.ptbl");
+  ASSERT_TRUE(store::save_table(table, "key\nv1 compat\n", file).ok());
+  std::ifstream in(file, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::uint32_t v1 = store::kMinTableFormatVersion;
+  std::memcpy(&bytes[8], &v1, sizeof(v1));
+  const std::uint32_t crc = util::crc32(bytes.data(), 72);
+  std::memcpy(&bytes[72], &crc, sizeof(crc));
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  api::StatusOr<store::TableView> view = store::TableView::open(file);
+  ASSERT_TRUE(view.ok()) << view.status().to_string();
+  EXPECT_EQ(view->version(), store::kMinTableFormatVersion);
+  const core::FrequencyTable loaded = view->materialize();
+  EXPECT_TRUE(loaded.core_fmax().empty());
+  expect_tables_bitwise(table, loaded);
+}
+
+TEST_F(StoreTest, HeterogeneousAxesRoundTripThroughStore) {
+  // v2 metadata: per-core frequency axes survive put() -> load() exactly
+  // (%.17g round-trips every double), and a homogeneous table writes no
+  // core-fmax-hz line at all, keeping its artifact byte-compatible with
+  // pre-het readers.
+  core::FrequencyTable het = synthetic_table(3, 4, 8, 77);
+  std::vector<double> axes;
+  for (std::size_t c = 0; c < 8; ++c) {
+    axes.push_back(util::mhz(c < 4 ? 1200.0 : 700.0) +
+                   std::nextafter(0.0, 1.0));  // exercise %.17g fidelity
+  }
+  het.set_core_fmax(axes);
+
+  api::StatusOr<std::shared_ptr<store::TableStore>> store =
+      store::TableStore::open(path("store"));
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store.value()->put("het-key", het, "").ok());
+  api::StatusOr<core::FrequencyTable> loaded = store.value()->load("het-key");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  ASSERT_EQ(loaded->core_fmax().size(), 8u);
+  for (std::size_t c = 0; c < 8; ++c) {
+    std::uint64_t want, got;
+    std::memcpy(&want, &axes[c], sizeof(want));
+    std::memcpy(&got, &loaded->core_fmax()[c], sizeof(got));
+    EXPECT_EQ(want, got) << "core " << c;
+  }
+  expect_tables_bitwise(het, *loaded);
+
+  const core::FrequencyTable homog = synthetic_table(2, 2, 4, 78);
+  ASSERT_TRUE(store.value()->put("homog-key", homog, "").ok());
+  std::string homog_path;
+  for (const auto& entry : store.value()->list()) {
+    if (entry.key == "homog-key") homog_path = entry.file;
+  }
+  ASSERT_FALSE(homog_path.empty());
+  api::StatusOr<store::TableView> homog_view =
+      store::TableView::open(path("store") + "/" + homog_path);
+  ASSERT_TRUE(homog_view.ok());
+  EXPECT_EQ(homog_view->metadata().find(store::kCoreFmaxMetaPrefix),
+            std::string_view::npos);
 }
 
 TEST_F(StoreTest, GridValidationRejectsNonFiniteEverywhere) {

@@ -47,6 +47,31 @@ dfs.ftarget-min-mhz = 400
 dfs.ftarget-step-mhz = 300
 )";
 
+/// Heterogeneous variant of the soak: a big.LITTLE split of the T1 with
+/// scaled little-core bounds and a per-node ceiling on the crossbar, so
+/// the e2e-golden job exercises the het spec keys, the per-class table
+/// axes and the node-ceiling rows through a real subprocess end to end.
+constexpr const char* kHetSoakSpec = R"(# harness het soak (coarse grid)
+name = harness-het-soak
+platform = het:niagara8@4xbig+4xlittle
+platform.little-fmax-scale = 0.6
+platform.little-pmax-scale = 0.5
+workload = mixed
+dfs = pro-temp
+assignment = coolest-first
+duration = 20
+seed = 7
+sim.tmax = 100
+opt.tmax = 100
+opt.dt = 0.0008
+opt.gradient_step_stride = 20
+opt.minimize_gradient = true
+opt.node_tmax = xbar:95
+dfs.tstart-step = 25
+dfs.ftarget-min-mhz = 400
+dfs.ftarget-step-mhz = 300
+)";
+
 }  // namespace
 
 const std::vector<Scenario>& scenario_table() {
@@ -68,6 +93,11 @@ const std::vector<Scenario>& scenario_table() {
        "datacenter_soak",
        {"--spec=harness_soak.spec"},
        {{"harness_soak.spec", kSoakSpec}},
+       false},
+      {"datacenter_soak_het",
+       "datacenter_soak",
+       {"--spec=harness_het_soak.spec"},
+       {{"harness_het_soak.spec", kHetSoakSpec}},
        false},
       {"custom_platform", "custom_platform", {"--duration=12"}, {}, false},
       {"thermal_playground", "thermal_playground", {}, {}, false},
@@ -94,6 +124,11 @@ const std::vector<Scenario>& scenario_table() {
       {"bench_fleetsim",
        "bench_fleetsim",
        {"--smoke", "--tenants=64", "--virtual-hours=0.5"},
+       {},
+       true},
+      {"bench_policy_faceoff",
+       "bench_policy_faceoff",
+       {"--smoke", "--threads=2"},
        {},
        true},
   };

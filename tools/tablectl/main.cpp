@@ -26,6 +26,7 @@
 // build, unwritable store); 2 usage error (unknown subcommand or flag).
 #include <cstdio>
 #include <exception>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -157,13 +158,25 @@ int cmd_inspect(util::CliArgs& args) {
                    view.status().to_string().c_str());
       return 1;
     }
-    std::printf("%s: %zu x %zu, %zu cores, %zu feasible cells\n",
-                file.c_str(), view->rows(), view->cols(), view->num_cores(),
-                view->feasible_cells());
+    std::printf("%s: format v%u, %zu x %zu, %zu cores, %zu feasible cells\n",
+                file.c_str(), view->version(), view->rows(), view->cols(),
+                view->num_cores(), view->feasible_cells());
     std::printf("tstart [%g, %g] degC, ftarget [%g, %g] MHz\n",
                 view->tstart_grid()[0], view->tstart_grid()[view->rows() - 1],
                 view->ftarget_grid()[0] / 1e6,
                 view->ftarget_grid()[view->cols() - 1] / 1e6);
+    // v2 heterogeneous artifacts carry per-core frequency axes: print the
+    // per-class view (distinct caps with their core counts).
+    const core::FrequencyTable table = view->materialize();
+    if (!table.core_fmax().empty()) {
+      std::map<double, std::size_t> classes;
+      for (const double f : table.core_fmax()) ++classes[f];
+      std::printf("per-class axes:");
+      for (const auto& [fmax_hz, count] : classes) {
+        std::printf(" %zux<=%gMHz", count, fmax_hz / 1e6);
+      }
+      std::printf("\n");
+    }
     std::printf("metadata:\n%.*s\n",
                 static_cast<int>(view->metadata().size()),
                 view->metadata().data());
